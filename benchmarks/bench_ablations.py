@@ -1,0 +1,52 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Not part of the paper's evaluation; these quantify the impact of the
+reproduction's own knobs on the E2 pipeline (term-frequency modification of
+the Offer Weight, ubiquitous-term filter, query weighting, BM25 vs TF-IDF).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.ablations import run_offer_weight_ablation, run_query_weighting_ablation
+from repro.experiments.content_video import build_content_video_setup
+
+
+@pytest.fixture(scope="module")
+def e2_setup():
+    return build_content_video_setup(browsing_scale=0.12, seed=30042006)
+
+
+def test_ablation_offer_weight_variants(benchmark, e2_setup):
+    result = run_once(benchmark, run_offer_weight_ablation, setup=e2_setup)
+    print()
+    print(result.summary())
+
+    rows = result.rows
+    # The query always fills its N-term budget when the filter is off.
+    unfiltered = [row for row in rows if row["max_attention_fraction"] == 1.0]
+    assert all(row["query_terms_used"] > 0 for row in unfiltered)
+    # With the ubiquitous-term filter enabled the best configuration is at
+    # least as good as the best unfiltered one (everyday words never help).
+    filtered_best = max(
+        row["improvement"] for row in rows if row["max_attention_fraction"] < 1.0
+    )
+    unfiltered_best = max(row["improvement"] for row in unfiltered)
+    assert filtered_best >= unfiltered_best - 0.05
+
+
+def test_ablation_query_weighting_and_ranker(benchmark, e2_setup):
+    result = run_once(benchmark, run_query_weighting_ablation, setup=e2_setup)
+    print()
+    print(result.summary())
+
+    for row in result.rows:
+        # Every variant produces a finite improvement value for every N.
+        assert isinstance(row["bm25_unweighted"], float)
+        assert isinstance(row["bm25_weighted"], float)
+        assert isinstance(row["tfidf_unweighted"], float)
+    by_n = {int(row["n_terms"]): row for row in result.rows}
+    # At the paper's optimum N the BM25 pipeline is no worse than TF-IDF.
+    assert by_n[30]["bm25_unweighted"] >= by_n[30]["tfidf_unweighted"] - 0.05

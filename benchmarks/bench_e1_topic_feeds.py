@@ -1,0 +1,34 @@
+"""Benchmark E1 — topic-based subscriptions from browsing history (paper §3.2).
+
+Regenerates the funnel the paper reports for ten weeks of browsing by five
+users: request volume, distinct servers, the 70% advertisement share,
+one-visit servers, RSS feeds discovered and the rate of roughly one new
+feed recommendation per user per day.
+
+Run at the paper's full size with ``REPRO_BENCH_SCALE=1.0``.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments.topic_feeds import PAPER_E1, run_topic_feed_experiment
+
+
+def test_e1_topic_feed_funnel(benchmark, scale):
+    result = run_once(benchmark, run_topic_feed_experiment, scale=scale)
+
+    print()
+    print(result.summary())
+
+    measured = {row["metric"]: row["measured"] for row in result.rows}
+    # Shape assertions mirroring the paper's observations:
+    # the ad-server share of requests is dominant (70% in the paper) ...
+    assert 0.5 <= measured["ad_request_fraction"] <= 0.85
+    # ... feeds are plentiful enough to overwhelm users ...
+    assert measured["distinct_feeds_discovered"] >= 10
+    # ... a long tail of servers is visited exactly once ...
+    assert measured["servers_visited_once"] > 0
+    # ... and recommendations arrive at a rate of the order of one per user
+    # per day (the paper reports ~1/day at full scale).
+    assert 0.1 <= measured["recommendations_per_user_per_day"] <= 20.0
+    assert result.paper == PAPER_E1

@@ -1,0 +1,55 @@
+"""Benchmark F1 — message flows of the centralized architecture (Figure 1).
+
+Regenerates the per-edge traffic of Figure 1: (1) attention uploads from
+the browser extension to the Reef server, (2) recommendations back to the
+extension, (3) sub/unsub operations against the publish-subscribe
+substrate, (4) events delivered from the substrate — plus the crawl traffic
+and the privacy cost (bytes of attention centralized) that motivate the
+distributed design.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.core.centralized import CentralizedReef
+from repro.core.config import ReefConfig
+from repro.datasets.browsing import BrowsingDatasetConfig, build_browsing_dataset
+from repro.experiments.harness import format_table
+
+
+def _run_centralized(scale: float):
+    config = BrowsingDatasetConfig().scaled(scale)
+    dataset = build_browsing_dataset(config)
+    reef = CentralizedReef(
+        dataset.web, dataset.users, dataset.rng, config=ReefConfig(), http=dataset.http
+    )
+    reef.run(days=config.duration_days)
+    return reef, config
+
+
+def test_f1_centralized_message_flows(benchmark, scale):
+    reef, config = run_once(benchmark, _run_centralized, min(scale, 0.25))
+    flows = reef.flow_statistics()
+    recommendations = reef.recommendation_statistics(config.duration_days)
+
+    rows = [
+        {"edge": "1. attention (client->server) messages", "value": flows["attention_messages"]},
+        {"edge": "1. attention (client->server) bytes", "value": flows["attention_bytes"]},
+        {"edge": "2. recommendations (server->client)", "value": flows["recommendation_messages"]},
+        {"edge": "3. sub/unsub (client->substrate)", "value": flows["sub_unsub_messages"]},
+        {"edge": "4. events (substrate->client)", "value": flows["event_deliveries"]},
+        {"edge": "crawl fetches by the server", "value": flows["crawler_fetches"]},
+        {"edge": "recommendations per user per day", "value": recommendations["recommendations_per_user_per_day"]},
+    ]
+    print()
+    print(format_table(rows))
+
+    # Figure 1's structure: every edge carries traffic in the centralized design.
+    assert flows["attention_messages"] > 0
+    assert flows["attention_bytes"] > 0
+    assert flows["recommendation_messages"] > 0
+    assert flows["sub_unsub_messages"] > 0
+    assert flows["event_deliveries"] > 0
+    assert flows["crawler_fetches"] > 0
+    # Subscriptions are only ever placed in response to recommendations.
+    assert flows["sub_unsub_messages"] <= flows["recommendation_messages"] + len(reef.clients)

@@ -1,0 +1,36 @@
+"""Benchmark F2 — message flows of the distributed architecture (Figure 2).
+
+Runs both deployments over identically generated workloads and regenerates
+the comparison that Section 4 argues qualitatively: in the peer-to-peer
+design no attention data leaves the user's host, no crawling is needed
+(page text comes from the browser cache) and only sub/unsub operations and
+events cross the network.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments.flows import run_flow_comparison
+
+
+def test_f2_distributed_vs_centralized_flows(benchmark, scale):
+    result = run_once(benchmark, run_flow_comparison, scale=min(scale, 0.12), collaborative=True)
+
+    print()
+    print(result.summary())
+
+    rows = {row["flow"]: row for row in result.rows}
+    # Privacy: zero attention leaves the host in the distributed design.
+    assert rows["1. attention uploads (msgs)"]["distributed"] == 0
+    assert rows["1. attention uploaded (bytes)"]["distributed"] == 0
+    assert rows["1. attention uploaded (bytes)"]["centralized"] > 0
+    # Network load: no crawling in the distributed design.
+    assert rows["server crawl fetches"]["distributed"] == 0
+    assert rows["server crawl fetches"]["centralized"] > 0
+    # Both designs still place subscriptions and deliver events (edges 3/4
+    # of Figure 1 = edges 1/2 of Figure 2).
+    assert rows["3. sub/unsub operations"]["centralized"] > 0
+    assert rows["3. sub/unsub operations"]["distributed"] > 0
+    assert rows["4. events delivered"]["distributed"] > 0
+    # Collaborative exchange gossips recommendations, never attention.
+    assert rows["peer gossip messages"]["distributed"] >= 0

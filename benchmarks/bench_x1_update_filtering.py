@@ -1,0 +1,44 @@
+"""Benchmark X1 — update volume and attention-based filtering (paper §3.2).
+
+The paper observes that the discovered feeds produce "enough ... to
+overwhelm any user with updates" and proposes using attention data for
+filtering updates and removing subscriptions.  This benchmark runs the same
+workload with the unsubscribe policy disabled and enabled and reports the
+delivered update volume, the number of automatic unsubscriptions and the
+click-through rate of what remains.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments.filtering import run_update_filtering_experiment
+
+
+def test_x1_attention_based_update_filtering(benchmark, scale):
+    result = run_once(
+        benchmark,
+        run_update_filtering_experiment,
+        scale=min(scale, 0.12),
+        max_updates_per_day=2.0,
+        unsubscribe_after_ignored=5,
+    )
+
+    print()
+    print(result.summary())
+
+    rows = {row["metric"]: row for row in result.rows}
+    # Without filtering, subscriptions accumulate and keep delivering.
+    assert rows["updates_per_user_per_day"]["unfiltered"] > 0
+    assert rows["auto_unsubscriptions"]["unfiltered"] == 0
+    # The attention-driven policy removes subscriptions and reduces volume.
+    assert rows["auto_unsubscriptions"]["filtered"] > 0
+    assert (
+        rows["updates_per_user_per_day"]["filtered"]
+        <= rows["updates_per_user_per_day"]["unfiltered"]
+    )
+    assert (
+        rows["active_subscriptions_per_user"]["filtered"]
+        <= rows["active_subscriptions_per_user"]["unfiltered"]
+    )
+    # Filtering should not collapse engagement with what remains.
+    assert rows["click_through_rate"]["filtered"] >= rows["click_through_rate"]["unfiltered"] * 0.8

@@ -1,0 +1,33 @@
+"""Benchmark X2 — collaborative recommendations between grouped peers (§4, §5.2).
+
+Compares the distributed deployment with and without the I-SPY-style
+group-profile exchange: peers with similar interests are grouped and gossip
+recommendations (never raw attention) to each other.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments.collaborative import run_collaborative_experiment
+
+
+def test_x2_collaborative_vs_solo_recommendations(benchmark, scale):
+    result = run_once(benchmark, run_collaborative_experiment, scale=min(scale, 0.12))
+
+    print()
+    print(result.summary())
+
+    rows = {row["metric"]: row for row in result.rows}
+    # Solo mode never gossips; collaborative mode forms groups.
+    assert rows["gossip_messages"]["solo"] == 0
+    assert rows["groups_formed"]["collaborative"] >= 1
+    # Collaborative exchange can only add subscriptions on top of what each
+    # peer's own attention discovered.
+    assert (
+        rows["active_subscriptions_per_user"]["collaborative"]
+        >= rows["active_subscriptions_per_user"]["solo"]
+    )
+    assert rows["events_delivered"]["collaborative"] >= rows["events_delivered"]["solo"]
+    # Click-through of delivered items stays within a sane band (gossiped
+    # topics are peer-endorsed, not random).
+    assert rows["click_through_rate"]["collaborative"] >= 0.0

@@ -1,0 +1,77 @@
+"""Benchmark X3 — publish-subscribe substrate scalability (§5.3).
+
+Two parts:
+
+* matching throughput of the counting-based engine as the number of active
+  subscriptions grows (this one is a true timing micro-benchmark);
+* event dissemination cost in the broker overlay under content-based
+  routing versus flooding, and on the SCRIBE-style topic substrate.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments.substrate import (
+    _make_event,
+    _make_subscription,
+    run_matching_scalability,
+    run_routing_scalability,
+)
+from repro.pubsub.matching import MatchingEngine
+from repro.sim.rng import SeededRNG
+
+
+def test_x3a_matching_throughput_sweep(benchmark):
+    result = run_once(
+        benchmark,
+        run_matching_scalability,
+        subscription_counts=(100, 1000, 5000, 20000),
+        events_per_point=1000,
+    )
+    print()
+    print(result.summary())
+
+    rows = {row["subscriptions"]: row for row in result.rows}
+    assert all(row["events_per_second"] > 0 for row in result.rows)
+    # Matching stays usable (well above publication rates in the paper's
+    # setting) even with 20k active subscriptions.
+    assert rows[20000]["events_per_second"] > 50
+    # More subscriptions match more often, so per-event work grows.
+    assert rows[20000]["matches_per_event"] >= rows[100]["matches_per_event"]
+
+
+def test_x3a_single_event_match_latency(benchmark):
+    """Microbenchmark: one event matched against 10k indexed subscriptions."""
+    rng = SeededRNG(23)
+    topics = [f"topic{i:03d}" for i in range(50)]
+    engine = MatchingEngine()
+    for index in range(10_000):
+        engine.add(_make_subscription(rng, topics, subscriber=f"user{index % 200}"))
+    event = _make_event(rng, topics, timestamp=0.0)
+
+    matched = benchmark(lambda: engine.match(event))
+    assert isinstance(matched, list)
+
+
+def test_x3b_routing_vs_flooding_vs_scribe(benchmark):
+    result = run_once(
+        benchmark,
+        run_routing_scalability,
+        depth=4,
+        fanout=3,
+        subscribers=80,
+        publications=400,
+    )
+    print()
+    print(result.summary())
+
+    rows = {row["substrate"]: row for row in result.rows}
+    routed = rows["content-based routing"]
+    flooded = rows["flooding baseline"]
+    scribe = rows["scribe topic multicast"]
+    # Content-based routing delivers exactly what flooding delivers ...
+    assert routed["deliveries"] == flooded["deliveries"]
+    # ... while visiting strictly fewer brokers per publication.
+    assert routed["brokers_visited_per_event"] < flooded["brokers_visited_per_event"]
+    # SCRIBE's per-topic trees also stay well below flooding cost.
+    assert scribe["brokers_visited_per_event"] < flooded["brokers_visited_per_event"]

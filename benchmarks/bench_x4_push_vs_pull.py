@@ -1,0 +1,36 @@
+"""Benchmark X4 — pull-based polling vs the WAIF FeedEvents push proxy (§5.3).
+
+Regenerates the motivation cited from Liu et al. [13]: with direct polling,
+origin-server load grows linearly with the number of subscribed clients,
+while the push proxy polls each feed once per interval regardless of how
+many users subscribed, delivering the same updates.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments.push_pull import run_push_pull_experiment
+
+
+def test_x4_origin_server_load_push_vs_pull(benchmark):
+    result = run_once(
+        benchmark,
+        run_push_pull_experiment,
+        client_counts=(1, 5, 10, 25, 50),
+        num_feeds=20,
+        duration_hours=24.0,
+    )
+
+    print()
+    print(result.summary())
+
+    rows = {int(row["clients"]): row for row in result.rows}
+    one, fifty = rows[1], rows[50]
+    # Direct polling load grows linearly with clients ...
+    assert fifty["direct_origin_requests"] >= 45 * one["direct_origin_requests"]
+    # ... while the proxy's origin load is independent of the client count.
+    assert fifty["proxy_origin_requests"] == one["proxy_origin_requests"]
+    # The proxy still delivers every update to every subscriber.
+    assert fifty["proxy_updates_delivered"] == fifty["direct_updates_seen"]
+    # At 50 clients the origin-request reduction is ~50x.
+    assert fifty["request_reduction"] >= 40

@@ -1,0 +1,33 @@
+"""Shared benchmark configuration.
+
+Each benchmark regenerates one of the paper's reported results (see the
+per-experiment index in DESIGN.md).  The heavy end-to-end drivers run a
+single round (``rounds=1``) because the quantity of interest is the
+experiment's *output table*, which every benchmark prints, not its wall
+clock time; the substrate micro-benchmarks use normal repeated timing.
+
+``REPRO_BENCH_SCALE`` (default ``0.25``) scales the browsing-study
+workloads; set it to ``1.0`` to run E1 at the paper's full ten-week,
+five-user size.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def bench_scale(default: float = 0.25) -> float:
+    """Workload scale factor for the browsing-study benchmarks."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", default))
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return bench_scale()
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run an end-to-end experiment driver exactly once under the benchmark."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

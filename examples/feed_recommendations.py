@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Topic-based feed recommendations from browsing history (paper §3.2).
+
+Runs a scaled-down version of the paper's first case study end to end: a
+population of synthetic users browses a synthetic Web for a few weeks
+while the centralized Reef server collects their clicks, crawls the pages,
+discovers RSS feeds and pushes zero-click subscriptions to each user's
+browser extension.
+
+The script prints the same funnel the paper reports — requests, distinct
+servers, ad-server share, feeds discovered, recommendations per user per
+day — plus a per-user view of what was subscribed and how the user reacted.
+
+Run with:  python examples/feed_recommendations.py [--scale 0.1]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.core.centralized import CentralizedReef
+from repro.core.config import ReefConfig
+from repro.datasets.browsing import BrowsingDatasetConfig, build_browsing_dataset
+from repro.experiments.harness import format_table
+from repro.experiments.topic_feeds import PAPER_E1
+
+
+def main() -> None:
+    arguments = argparse.ArgumentParser(description=__doc__)
+    arguments.add_argument("--scale", type=float, default=0.1,
+                           help="fraction of the paper's full study size (default 0.1)")
+    arguments.add_argument("--seed", type=int, default=20060419)
+    options = arguments.parse_args()
+
+    config = BrowsingDatasetConfig(seed=options.seed).scaled(options.scale)
+    print(
+        f"Simulating {config.num_users} users browsing for {config.duration_days} days over "
+        f"{config.num_content_servers} content servers and {config.num_ad_servers} ad servers...\n"
+    )
+    dataset = build_browsing_dataset(config)
+    reef = CentralizedReef(
+        dataset.web, dataset.users, dataset.rng, config=ReefConfig(), http=dataset.http
+    )
+    reef.run(days=config.duration_days)
+
+    attention = reef.attention_statistics()
+    recommendations = reef.recommendation_statistics(config.duration_days)
+
+    rows = []
+    for metric in (
+        "total_requests",
+        "distinct_servers",
+        "ad_servers_visited",
+        "ad_request_fraction",
+        "servers_visited_once",
+        "non_ad_servers",
+        "distinct_feeds_discovered",
+    ):
+        rows.append({"metric": metric, "measured": attention[metric], "paper (full scale)": PAPER_E1.get(metric)})
+    rows.append(
+        {
+            "metric": "recommendations_per_user_per_day",
+            "measured": recommendations["recommendations_per_user_per_day"],
+            "paper (full scale)": PAPER_E1["recommendations_per_user_per_day"],
+        }
+    )
+    print(format_table(rows))
+
+    print("\nPer-user outcome:")
+    per_user_rows = []
+    for user_id, client in sorted(reef.clients.items()):
+        counts = client.frontend.sidebar_counts()
+        per_user_rows.append(
+            {
+                "user": user_id,
+                "interests": ", ".join(reef.users[user_id].profile.topics),
+                "active subs": len(client.frontend.active_subscriptions()),
+                "auto-unsubscribed": len(client.frontend.lifecycle.removed_subscriptions(user_id)),
+                "updates shown": len(client.frontend.sidebar),
+                "clicked": counts["clicked"],
+                "deleted": counts["deleted"],
+                "expired": counts["expired"],
+            }
+        )
+    print(format_table(per_user_rows))
+    print(
+        "\nEvery subscription above was placed automatically from attention data; "
+        "none was written by a user."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Quickstart: automatic subscriptions in five minutes.
+
+This example walks through the Reef pipeline on a hand-built miniature Web:
+
+1. build a publish-subscribe substrate (the WAIF-style feed proxy plus a
+   local content-based pub/sub system);
+2. let a user browse a few pages;
+3. record the attention, parse it against the pub/sub interface spec, and
+   let the recommendation service propose subscriptions;
+4. apply the recommendations through the subscription frontend;
+5. publish feed updates and watch them arrive in the user's sidebar, with
+   the user's clicks feeding back into the loop.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.core.attention import AttentionRecorder
+from repro.core.frontend import SubscriptionFrontend
+from repro.core.parser import AttentionParser, FeedUrlExtractor
+from repro.core.recommender import RecommendationService, TopicFeedRecommender
+from repro.pubsub.api import PubSubSystem
+from repro.pubsub.interface import feed_interface_spec
+from repro.pubsub.proxy import FeedEventsProxy
+from repro.web.browser import Browser
+from repro.web.feeds import Feed
+from repro.web.http import SimulatedHttp
+from repro.web.pages import LinkKind, WebPage
+from repro.web.servers import ContentServer, ServerDirectory
+from repro.web.urls import make_url
+
+
+def build_miniature_web() -> ServerDirectory:
+    """Two small sites, each with a page and an RSS feed."""
+    directory = ServerDirectory()
+    for host, topic in (("techblog.example", "technology"), ("sportsdaily.example", "sports")):
+        server = ContentServer(host, topics=[topic])
+        feed = Feed(url=make_url(host, "/feed.rss"), title=f"{host} feed", topics=[topic])
+        server.add_feed(feed)
+        page = WebPage(
+            url=make_url(host, "/index.html"),
+            title=f"{host} front page",
+            text=f"the latest {topic} coverage and analysis",
+            topics=[topic],
+        )
+        page.add_link(feed.url, LinkKind.FEED)
+        server.add_page(page)
+        directory.add(server)
+    return directory
+
+
+def main() -> None:
+    directory = build_miniature_web()
+    http = SimulatedHttp(directory)
+
+    # -- the publish-subscribe substrate ------------------------------------
+    pubsub = PubSubSystem()
+    proxy = FeedEventsProxy(http)
+    interface = feed_interface_spec()
+
+    # -- the user's browser with an attention recorder attached --------------
+    browser = Browser(user_id="alice", http=http)
+    recorder = AttentionRecorder("alice")
+    recorder.attach_to_browser(browser)
+
+    print("== 1. Alice browses ==")
+    for host in ("techblog.example", "sportsdaily.example"):
+        response = browser.visit(f"http://{host}/index.html", timestamp=10.0)
+        print(f"   visited {response.url} -> {response.status.name}")
+
+    # -- parse the attention stream against the feed interface ----------------
+    print("\n== 2. Parse attention against the pub/sub interface spec ==")
+    parser = AttentionParser(interface, extractors=[FeedUrlExtractor()])
+    batch = recorder.flush(now=20.0)
+    tokens = parser.parse_clicks(batch.clicks, pages=recorder.local_pages)
+    for token in tokens:
+        print(f"   token: {token.attribute} = {token.value}   (source: {token.source})")
+
+    # -- the recommendation service proposes subscriptions ---------------------
+    print("\n== 3. Recommendations ==")
+    recommender = TopicFeedRecommender(interface)
+    recommender.observe_tokens("alice", tokens)
+    service = RecommendationService([recommender])
+    recommendations = service.recommend_for("alice", now=30.0)
+    for recommendation in recommendations:
+        print(f"   {recommendation.action.value}: {recommendation.subscription.describe()}")
+
+    # -- the frontend applies them automatically -------------------------------
+    print("\n== 4. Zero-click subscription placement ==")
+    frontend = SubscriptionFrontend("alice", pubsub)
+    frontend.apply_recommendations(recommendations, now=30.0)
+    for subscription in frontend.active_subscriptions():
+        topic_value = subscription.predicates[0].value
+        proxy.subscribe("alice", str(topic_value))
+        print(f"   active: {subscription.describe()}")
+
+    # -- feeds publish, the proxy pushes, the sidebar fills ---------------------
+    print("\n== 5. Updates arrive in the sidebar ==")
+    for host in ("techblog.example", "sportsdaily.example"):
+        server = directory.get(host)
+        feed = next(iter(server.feeds.values()))
+        feed.publish(f"breaking {server.topics[0]} story", "full text of the update", now=40.0)
+    for event in proxy.poll_all(now=50.0):
+        pubsub.publish(event)
+    for item in frontend.sidebar:
+        print(f"   sidebar: [{item.state.value}] {item.title}")
+
+    # -- implicit feedback closes the loop ---------------------------------------
+    print("\n== 6. Implicit feedback ==")
+    first = frontend.sidebar[0]
+    frontend.click_item(first.event_id, now=60.0)
+    print(f"   Alice clicked {first.title!r}")
+    aggregate = frontend.feedback.feedback_for(first.subscription_id)
+    print(
+        f"   subscription {first.subscription_id}: clicked={aggregate.clicked} "
+        f"ctr={aggregate.click_through_rate:.2f}"
+    )
+    print("\nDone: Alice never wrote a subscription by hand.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Content-based video news recommendation (paper §3.3).
+
+Reproduces the paper's second case study: the most important terms from a
+user's browsing history (selected with the modified Robertson Offer
+Weight) form a query that re-ranks a 500-story video news archive with
+BM25; the metric is the improvement in precision over the original airing
+order.  The paper found +12% with 5 terms and a peak of +34% with 30.
+
+The script sweeps the number of query terms N, prints the precision
+improvement per N, and shows the top query terms so you can see what the
+attention data said about the user.
+
+Run with:  python examples/video_news.py [--terms 5 30 100]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments.content_video import (
+    DEFAULT_TERM_COUNTS,
+    PAPER_E2,
+    build_content_video_setup,
+    evaluate_term_count,
+)
+from repro.experiments.harness import format_table
+from repro.ir.termselect import OfferWeightSelector
+
+
+def main() -> None:
+    arguments = argparse.ArgumentParser(description=__doc__)
+    arguments.add_argument("--terms", type=int, nargs="+", default=list(DEFAULT_TERM_COUNTS),
+                           help="query sizes N to evaluate")
+    arguments.add_argument("--k", type=int, default=100, help="precision cut-off")
+    arguments.add_argument("--browsing-scale", type=float, default=0.25)
+    arguments.add_argument("--seed", type=int, default=30042006)
+    options = arguments.parse_args()
+
+    print("Generating the browsing history and the video archive...\n")
+    setup = build_content_video_setup(
+        browsing_scale=options.browsing_scale, seed=options.seed
+    )
+    print(
+        f"user interests: {', '.join(sorted(setup.profile_weights, key=setup.profile_weights.get, reverse=True))}"
+    )
+    print(
+        f"attention documents: {len(setup.attention_documents)}, archive: "
+        f"{len(setup.archive.stories)} stories, relevant: {len(setup.relevant)}\n"
+    )
+
+    selector = OfferWeightSelector(setup.archive.index)
+    top_terms = selector.select(setup.attention_documents, 15)
+    print("Top attention terms by (modified) Offer Weight:")
+    for score in top_terms:
+        print(
+            f"   {score.term:<16s} offer-weight={score.offer_weight:10.1f} "
+            f"pages={score.attention_documents:5d} occurrences={score.attention_frequency}"
+        )
+
+    rows = []
+    for n_terms in options.terms:
+        outcome = evaluate_term_count(setup, n_terms, k=options.k)
+        rows.append(
+            {
+                "N terms": n_terms,
+                f"precision@{options.k}": outcome["precision_at_k"],
+                "baseline (airing order)": outcome["baseline_precision_at_k"],
+                "improvement": f"{outcome['improvement']:+.1%}",
+                "paper": f"+{PAPER_E2[n_terms]:.0%}" if n_terms in PAPER_E2 else "-",
+            }
+        )
+    print("\nPrecision improvement over airing order:")
+    print(format_table(rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""Reef: automatic subscriptions in publish-subscribe systems.
+
+A from-scratch Python reproduction of Brenna, Gurrin, Johansen and
+Zagorodnov, "Automatic Subscriptions In Publish-Subscribe Systems"
+(ICDCS Workshops 2006).
+
+Subpackages
+-----------
+``repro.core``
+    Reef itself: attention recording, parsing, recommendation and the
+    centralized / distributed deployments (the paper's contribution).
+``repro.pubsub``
+    Publish-subscribe substrates: content-based matching and routing,
+    topic multicast over a DHT, a Cayuga-style algebra subset and the
+    WAIF-style feed push proxy.
+``repro.web``
+    A simulated Web: servers, pages, feeds, browsers, interest-driven
+    synthetic users and a crawler.
+``repro.ir``
+    Information retrieval: tokenization, Porter stemming, inverted index,
+    BM25, Offer-Weight term selection and evaluation metrics.
+``repro.sim``
+    Discrete-event simulation kernel, seeded randomness and metrics.
+``repro.datasets``
+    Synthetic datasets calibrated to the paper's traces.
+``repro.experiments``
+    Drivers that regenerate the paper's reported numbers.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

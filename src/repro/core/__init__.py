@@ -1,0 +1,75 @@
+"""Reef: automatic subscription management from user attention data.
+
+This package is the paper's contribution.  The four architectural
+components of Section 2.2 map onto modules as follows:
+
+* attention recorder  -> :mod:`repro.core.attention`
+* attention parser    -> :mod:`repro.core.parser`
+* recommendation service -> :mod:`repro.core.recommender`,
+  :mod:`repro.core.collaborative`, :mod:`repro.core.interest`
+* subscription frontend -> :mod:`repro.core.frontend`,
+  :mod:`repro.core.lifecycle`, :mod:`repro.core.feedback`
+
+The two deployment architectures of Sections 3 and 4 are assembled in
+:mod:`repro.core.centralized` (Figure 1) and :mod:`repro.core.distributed`
+(Figure 2).
+"""
+
+from repro.core.attention import AttentionBatch, AttentionRecorder, AttentionStore, Click
+from repro.core.centralized import CentralizedReef, ReefClient, ReefServer
+from repro.core.collaborative import GroupProfile, PeerGroupingService, UserSimilarity
+from repro.core.config import ReefConfig
+from repro.core.distributed import DistributedReef, ReefPeer
+from repro.core.feedback import FeedbackEvent, FeedbackKind, FeedbackLoop
+from repro.core.frontend import SidebarItem, SubscriptionFrontend
+from repro.core.interest import InterestModel, TermInterest
+from repro.core.lifecycle import ManagedSubscription, SubscriptionLifecycleManager
+from repro.core.parser import (
+    AttentionParser,
+    FeedUrlExtractor,
+    KeywordExtractor,
+    ParsedToken,
+    StockSymbolExtractor,
+)
+from repro.core.recommender import (
+    ContentQueryRecommender,
+    Recommendation,
+    RecommendationAction,
+    RecommendationService,
+    TopicFeedRecommender,
+)
+
+__all__ = [
+    "Click",
+    "AttentionBatch",
+    "AttentionRecorder",
+    "AttentionStore",
+    "AttentionParser",
+    "ParsedToken",
+    "FeedUrlExtractor",
+    "StockSymbolExtractor",
+    "KeywordExtractor",
+    "InterestModel",
+    "TermInterest",
+    "Recommendation",
+    "RecommendationAction",
+    "RecommendationService",
+    "TopicFeedRecommender",
+    "ContentQueryRecommender",
+    "GroupProfile",
+    "UserSimilarity",
+    "PeerGroupingService",
+    "SubscriptionLifecycleManager",
+    "ManagedSubscription",
+    "SubscriptionFrontend",
+    "SidebarItem",
+    "FeedbackLoop",
+    "FeedbackEvent",
+    "FeedbackKind",
+    "ReefConfig",
+    "CentralizedReef",
+    "ReefServer",
+    "ReefClient",
+    "DistributedReef",
+    "ReefPeer",
+]

@@ -1,0 +1,206 @@
+"""Attention recorder and click storage.
+
+"Our attention recorder, implemented as a browser extension, logs every
+outgoing HTTP request and periodically forwards batches of requests to a
+Reef server.  Several attributes, such as a timestamp and a user cookie,
+are logged along with the URI of the request.  This unit of attention data
+is called a click."  (Section 3.1)
+
+:class:`AttentionRecorder` plays the browser-extension role: it hooks into
+a simulated :class:`~repro.web.browser.Browser`, records clicks, and hands
+off batches.  :class:`AttentionStore` is the server-side click database of
+the centralized design (and the local store of the distributed design).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.web.browser import Browser
+from repro.web.pages import WebPage
+from repro.web.urls import parse_url
+
+_cookie_counter = itertools.count(1)
+
+
+def issue_cookie() -> str:
+    """Issue a fresh user cookie (ties clicks to a user, as in the paper)."""
+    return f"cookie-{next(_cookie_counter):06d}"
+
+
+@dataclass(frozen=True)
+class Click:
+    """One unit of attention data."""
+
+    url: str
+    timestamp: float
+    cookie: str
+    user_id: str = ""
+    referrer: str = ""
+
+    @property
+    def server(self) -> str:
+        return parse_url(self.url).host
+
+
+@dataclass
+class AttentionBatch:
+    """A batch of clicks uploaded from a recorder to a Reef server."""
+
+    user_id: str
+    cookie: str
+    clicks: List[Click] = field(default_factory=list)
+    sent_at: float = 0.0
+
+    def size_bytes(self, bytes_per_click: int = 96) -> int:
+        return len(self.clicks) * bytes_per_click
+
+    def __len__(self) -> int:
+        return len(self.clicks)
+
+
+BatchSink = Callable[[AttentionBatch], None]
+
+
+class AttentionRecorder:
+    """Client-side recorder of user attention (the browser extension)."""
+
+    def __init__(
+        self,
+        user_id: str,
+        cookie: Optional[str] = None,
+        batch_size: int = 200,
+    ) -> None:
+        self.user_id = user_id
+        self.cookie = cookie if cookie is not None else issue_cookie()
+        self.batch_size = batch_size
+        self._pending: List[Click] = []
+        self._sinks: List[BatchSink] = []
+        self.clicks_recorded = 0
+        # Pages seen locally; the distributed design reads page text from
+        # the browser cache instead of crawling.
+        self.local_pages: Dict[str, WebPage] = {}
+
+    # -- wiring --------------------------------------------------------------
+
+    def attach_to_browser(self, browser: Browser) -> None:
+        """Hook the recorder into a browser's visit stream."""
+        browser.add_visit_listener(self._on_visit)
+
+    def add_sink(self, sink: BatchSink) -> None:
+        """Register a destination for flushed batches (e.g. the Reef server
+        uploader, or the local parser in the distributed design)."""
+        self._sinks.append(sink)
+
+    # -- recording ------------------------------------------------------------
+
+    def _on_visit(self, url: str, timestamp: float, page: Optional[WebPage]) -> None:
+        self.record(url, timestamp)
+        if page is not None:
+            self.local_pages[parse_url(url).full] = page
+
+    def record(self, url: str, timestamp: float, referrer: str = "") -> Click:
+        """Record a single click."""
+        click = Click(
+            url=parse_url(url).full,
+            timestamp=timestamp,
+            cookie=self.cookie,
+            user_id=self.user_id,
+            referrer=referrer,
+        )
+        self._pending.append(click)
+        self.clicks_recorded += 1
+        if len(self._pending) >= self.batch_size:
+            self.flush(timestamp)
+        return click
+
+    def flush(self, now: float = 0.0) -> Optional[AttentionBatch]:
+        """Send all pending clicks to the registered sinks."""
+        if not self._pending:
+            return None
+        batch = AttentionBatch(
+            user_id=self.user_id,
+            cookie=self.cookie,
+            clicks=list(self._pending),
+            sent_at=now,
+        )
+        self._pending.clear()
+        for sink in self._sinks:
+            sink(batch)
+        return batch
+
+    @property
+    def pending_clicks(self) -> int:
+        return len(self._pending)
+
+
+class AttentionStore:
+    """Click database: stores clicks per user and answers aggregate queries.
+
+    This is the component whose aggregate statistics the paper reports for
+    experiment E1: total requests, distinct servers, requests to ad servers,
+    servers visited only once, etc.
+    """
+
+    def __init__(self) -> None:
+        self._clicks: List[Click] = []
+        self._by_user: Dict[str, List[Click]] = {}
+        self._cookie_to_user: Dict[str, str] = {}
+
+    def store_batch(self, batch: AttentionBatch) -> int:
+        """Store a batch; the cookie ties clicks to the user."""
+        self._cookie_to_user[batch.cookie] = batch.user_id
+        for click in batch.clicks:
+            self.store_click(click)
+        return len(batch.clicks)
+
+    def store_click(self, click: Click) -> None:
+        user = click.user_id or self._cookie_to_user.get(click.cookie, click.cookie)
+        self._clicks.append(click)
+        self._by_user.setdefault(user, []).append(click)
+
+    # -- queries ---------------------------------------------------------------
+
+    def total_clicks(self) -> int:
+        return len(self._clicks)
+
+    def users(self) -> List[str]:
+        return sorted(self._by_user)
+
+    def clicks_for(self, user_id: str) -> List[Click]:
+        return list(self._by_user.get(user_id, ()))
+
+    def urls_for(self, user_id: str) -> List[str]:
+        return [click.url for click in self._by_user.get(user_id, ())]
+
+    def distinct_urls(self, user_id: Optional[str] = None) -> List[str]:
+        clicks = self._clicks if user_id is None else self._by_user.get(user_id, [])
+        seen: Dict[str, None] = {}
+        for click in clicks:
+            seen.setdefault(click.url, None)
+        return list(seen)
+
+    def server_visit_counts(self, user_id: Optional[str] = None) -> Dict[str, int]:
+        """Requests per distinct server (the unit of Table E1)."""
+        clicks = self._clicks if user_id is None else self._by_user.get(user_id, [])
+        counts: Counter = Counter(click.server for click in clicks)
+        return dict(counts)
+
+    def distinct_servers(self, user_id: Optional[str] = None) -> int:
+        return len(self.server_visit_counts(user_id))
+
+    def servers_visited_once(self) -> int:
+        return sum(1 for count in self.server_visit_counts().values() if count == 1)
+
+    def clicks_on_servers(self, servers: Iterable[str]) -> int:
+        wanted = set(servers)
+        return sum(1 for click in self._clicks if click.server in wanted)
+
+    def clicks_between(self, start: float, end: float) -> List[Click]:
+        return [click for click in self._clicks if start <= click.timestamp < end]
+
+    def __len__(self) -> int:
+        return len(self._clicks)

@@ -1,0 +1,410 @@
+"""Centralized Reef (Figure 1 of the paper).
+
+One central :class:`ReefServer` stores attention data for every user,
+crawls the visited URIs, and sends subscription recommendations to each
+user's :class:`ReefClient` (the browser-extension role).  Clients execute
+the recommendations against the publish-subscribe substrate and receive
+events directly from it.
+
+Message flows are labelled with the edge numbers of Figure 1 so that the
+F1 benchmark can report traffic per edge:
+
+1. attention (client -> server)
+2. recommendation (server -> client)
+3. sub/unsub (client -> substrate)
+4. events (substrate -> client)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.attention import AttentionBatch, AttentionRecorder, AttentionStore
+from repro.core.config import ReefConfig
+from repro.core.frontend import SubscriptionFrontend
+from repro.core.interest import InterestModel
+from repro.core.parser import AttentionParser
+from repro.core.recommender import (
+    ContentQueryRecommender,
+    Recommendation,
+    RecommendationService,
+    TopicFeedRecommender,
+)
+from repro.pubsub.api import DeliveredEvent, PubSubSystem
+from repro.pubsub.interface import InterfaceSpec, feed_interface_spec
+from repro.pubsub.proxy import FeedEventsProxy
+from repro.sim.engine import SimulationEngine
+from repro.sim.metrics import MetricsRegistry
+from repro.sim.network import Message, NetworkNode, SimulatedNetwork
+from repro.sim.rng import SeededRNG
+from repro.web.crawler import Crawler, PageClassification
+from repro.web.feeds import FeedPublisher
+from repro.web.http import SimulatedHttp
+from repro.web.user_model import BrowsingUser
+from repro.web.webgraph import SyntheticWeb
+
+SERVER_NODE = "reef-server"
+
+
+def client_node_name(user_id: str) -> str:
+    return f"client:{user_id}"
+
+
+class ReefServer(NetworkNode):
+    """The centralized back-end: click database, crawler, recommenders."""
+
+    def __init__(
+        self,
+        http: SimulatedHttp,
+        interface: Optional[InterfaceSpec] = None,
+        config: Optional[ReefConfig] = None,
+        content_recommender: Optional[ContentQueryRecommender] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        super().__init__(SERVER_NODE)
+        self.config = config if config is not None else ReefConfig()
+        self.interface = interface if interface is not None else feed_interface_spec()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.store = AttentionStore()
+        self.crawler = Crawler(http, metrics=self.metrics)
+        self.topic_recommender = TopicFeedRecommender(self.interface, self.config)
+        self.content_recommender = content_recommender
+        recommenders = [self.topic_recommender]
+        if content_recommender is not None:
+            recommenders.append(content_recommender)
+        self.service = RecommendationService(recommenders, self.config)
+        self.interest_models: Dict[str, InterestModel] = {}
+        # URIs awaiting the next crawl cycle, per user.
+        self._crawl_queue: Dict[str, List[str]] = {}
+        self.recommendations_sent: List[Recommendation] = []
+
+    # -- attention intake -----------------------------------------------------
+
+    def handle_message(self, message: Message, network: SimulatedNetwork) -> None:
+        if message.kind == "attention":
+            batch = message.payload
+            if isinstance(batch, AttentionBatch):
+                self.receive_attention(batch)
+            return
+        raise ValueError(f"ReefServer cannot handle message kind {message.kind!r}")
+
+    def receive_attention(self, batch: AttentionBatch) -> int:
+        """Store an uploaded batch and queue its URIs for crawling."""
+        stored = self.store.store_batch(batch)
+        self.metrics.counter("server.attention_batches").increment()
+        self.metrics.counter("server.clicks_stored").increment(stored)
+        queue = self._crawl_queue.setdefault(batch.user_id, [])
+        queue.extend(click.url for click in batch.clicks)
+        return stored
+
+    def interest_model_for(self, user_id: str) -> InterestModel:
+        model = self.interest_models.get(user_id)
+        if model is None:
+            model = InterestModel(user_id)
+            self.interest_models[user_id] = model
+        return model
+
+    # -- crawl + recommend cycle -------------------------------------------------
+
+    def run_crawl_cycle(self, now: float) -> Dict[str, int]:
+        """Crawl queued URIs and fold the findings into recommender state."""
+        crawled_per_user: Dict[str, int] = {}
+        for user_id, queue in self._crawl_queue.items():
+            if not queue:
+                continue
+            batch, remainder = queue[: self.config.crawl_batch_limit], queue[self.config.crawl_batch_limit:]
+            self._crawl_queue[user_id] = remainder
+            results = self.crawler.crawl_batch(batch, timestamp=now)
+            crawled_per_user[user_id] = len(results)
+            model = self.interest_model_for(user_id)
+            for result in results:
+                if result.classification is not PageClassification.CONTENT:
+                    continue
+                for feed_url in result.feed_urls:
+                    self.topic_recommender.observe_feed(user_id, feed_url)
+                if result.keywords:
+                    model.observe_terms(
+                        {term: float(count) for term, count in result.keywords.items()}, now
+                    )
+                    if self.content_recommender is not None:
+                        self.content_recommender.observe_document(user_id, result.keywords)
+                model.observe_server(result.server, now)
+        return crawled_per_user
+
+    def recommend_for(
+        self, user_id: str, now: float, active_subscriptions: Sequence = ()
+    ) -> List[Recommendation]:
+        recommendations = self.service.recommend_for(user_id, now, active_subscriptions)
+        self.recommendations_sent.extend(recommendations)
+        self.metrics.counter("server.recommendations").increment(len(recommendations))
+        return recommendations
+
+
+class ReefClient(NetworkNode):
+    """The user-side browser extension plus subscription frontend."""
+
+    def __init__(
+        self,
+        user_id: str,
+        recorder: AttentionRecorder,
+        frontend: SubscriptionFrontend,
+        network: SimulatedNetwork,
+        proxy: Optional[FeedEventsProxy] = None,
+        config: Optional[ReefConfig] = None,
+    ) -> None:
+        super().__init__(client_node_name(user_id))
+        self.user_id = user_id
+        self.recorder = recorder
+        self.frontend = frontend
+        self.network = network
+        self.proxy = proxy
+        self.config = config if config is not None else ReefConfig()
+        self.recorder.add_sink(self._upload_batch)
+
+    # -- edge 1: attention upload -----------------------------------------------
+
+    def _upload_batch(self, batch: AttentionBatch) -> None:
+        self.network.send(
+            self.name,
+            SERVER_NODE,
+            kind="attention",
+            payload=batch,
+            size_bytes=batch.size_bytes(self.config.bytes_per_click),
+        )
+
+    def flush_attention(self, now: float) -> None:
+        self.recorder.flush(now)
+
+    # -- edge 2: recommendations arrive -------------------------------------------
+
+    def handle_message(self, message: Message, network: SimulatedNetwork) -> None:
+        if message.kind == "recommendation":
+            recommendation = message.payload
+            if isinstance(recommendation, Recommendation):
+                self.apply_recommendation(recommendation, network.engine.now)
+            return
+        raise ValueError(f"ReefClient cannot handle message kind {message.kind!r}")
+
+    # -- edge 3: sub/unsub against the substrate ------------------------------------
+
+    def apply_recommendation(self, recommendation: Recommendation, now: float) -> bool:
+        applied = self.frontend.apply_recommendation(recommendation, now)
+        if applied:
+            self.network.metrics.counter("flow.sub_unsub").increment()
+            if self.proxy is not None and recommendation.is_subscribe:
+                feed_url = _topic_value(recommendation)
+                if feed_url is not None:
+                    self.proxy.subscribe(self.user_id, feed_url)
+        return applied
+
+    def unsubscribe(self, subscription_id: str, now: float, by_user: bool = True) -> bool:
+        managed = self.frontend.lifecycle.get(subscription_id)
+        removed = self.frontend.unsubscribe(subscription_id, now, by_user=by_user)
+        if removed:
+            self.network.metrics.counter("flow.sub_unsub").increment()
+            if self.proxy is not None and managed is not None:
+                feed_url = _subscription_topic_value(managed.subscription)
+                if feed_url is not None:
+                    self.proxy.unsubscribe(self.user_id, feed_url)
+        return removed
+
+
+def _topic_value(recommendation: Recommendation) -> Optional[str]:
+    return _subscription_topic_value(recommendation.subscription)
+
+
+def _subscription_topic_value(subscription) -> Optional[str]:
+    for predicate in subscription.predicates:
+        if predicate.value is not None:
+            return str(predicate.value)
+    return None
+
+
+@dataclass
+class ReactionModel:
+    """How a synthetic user reacts to delivered sidebar items.
+
+    Probability of clicking grows with the user's interest in the event's
+    topic; otherwise the item is deleted or simply ignored (and later
+    expires).  This is what closes the paper's implicit-feedback loop in
+    simulation.
+    """
+
+    rng: SeededRNG
+    click_base: float = 0.1
+    click_interest_bonus: float = 0.6
+    delete_probability: float = 0.2
+
+    def react(self, frontend: SubscriptionFrontend, user: BrowsingUser, now: float) -> None:
+        for item in list(frontend.unread_items()):
+            event_topic = item.topic
+            affinity = user.profile.affinity([event_topic]) if event_topic else 0.0
+            click_probability = min(1.0, self.click_base + self.click_interest_bonus * affinity)
+            roll = self.rng.random()
+            if roll < click_probability:
+                frontend.click_item(item.event_id, now)
+            elif roll < click_probability + self.delete_probability:
+                frontend.delete_item(item.event_id, now)
+            # otherwise leave it unread; it may expire later.
+
+
+class CentralizedReef:
+    """End-to-end assembly of the centralized architecture (Figure 1)."""
+
+    def __init__(
+        self,
+        web: SyntheticWeb,
+        users: Dict[str, BrowsingUser],
+        rng: SeededRNG,
+        config: Optional[ReefConfig] = None,
+        content_recommender: Optional[ContentQueryRecommender] = None,
+        engine: Optional[SimulationEngine] = None,
+        http: Optional[SimulatedHttp] = None,
+    ) -> None:
+        self.web = web
+        self.users = users
+        self.rng = rng
+        self.config = config if config is not None else ReefConfig()
+        self.engine = engine if engine is not None else SimulationEngine()
+        self.metrics = MetricsRegistry()
+        self.http = http if http is not None else SimulatedHttp(web.directory, metrics=self.metrics)
+        self.network = SimulatedNetwork(self.engine, metrics=self.metrics)
+        self.pubsub = PubSubSystem(metrics=self.metrics)
+        self.proxy = FeedEventsProxy(self.http, poll_interval=self.config.recommendation_interval, metrics=self.metrics)
+        self.interface = feed_interface_spec()
+        self.server = ReefServer(
+            self.http,
+            interface=self.interface,
+            config=self.config,
+            content_recommender=content_recommender,
+            metrics=self.metrics,
+        )
+        self.network.register(SERVER_NODE, self.server)
+        self.clients: Dict[str, ReefClient] = {}
+        self.reaction_model = ReactionModel(rng.fork("reactions"))
+        for user_id, user in users.items():
+            recorder = AttentionRecorder(user_id, batch_size=self.config.attention_batch_size)
+            recorder.attach_to_browser(user.browser)
+            frontend = SubscriptionFrontend(user_id, self.pubsub, config=self.config)
+            client = ReefClient(
+                user_id, recorder, frontend, self.network, proxy=self.proxy, config=self.config
+            )
+            self.network.register(client.name, client)
+            self.clients[user_id] = client
+
+    # -- simulation driving ----------------------------------------------------------
+
+    def run(self, days: float) -> None:
+        """Run the full closed loop for ``days`` of simulated time."""
+        seconds = days * 86400.0
+        self._schedule_browsing(days)
+        self._schedule_feed_publishing(seconds)
+        self._schedule_uploads(seconds)
+        self._schedule_server_cycles(seconds)
+        self._schedule_feed_polls(seconds)
+        self.engine.run(until=seconds)
+        # Final flush and recommendation cycle so trailing attention counts.
+        for client in self.clients.values():
+            client.flush_attention(self.engine.now)
+        self.engine.run(until=seconds + 3600.0)
+        self._server_cycle(self.engine.now)
+
+    def _schedule_browsing(self, days: float) -> None:
+        for user in self.users.values():
+            user.browse_days(days)
+
+    def _schedule_feed_publishing(self, until: float) -> None:
+        publisher = FeedPublisher(self.web.feeds, self.web.topic_model, self.rng.fork("feed-publisher"))
+        publisher.start(self.engine, interval=self.config.recommendation_interval, until=until)
+        self.feed_publisher = publisher
+
+    def _schedule_uploads(self, until: float) -> None:
+        for client in self.clients.values():
+            def flush(engine: SimulationEngine, client=client) -> None:
+                client.flush_attention(engine.now)
+
+            self.engine.schedule_periodic(
+                self.config.attention_batch_interval, flush, label="attention-upload", until=until
+            )
+
+    def _schedule_server_cycles(self, until: float) -> None:
+        def cycle(engine: SimulationEngine) -> None:
+            self._server_cycle(engine.now)
+
+        self.engine.schedule_periodic(
+            self.config.recommendation_interval, cycle, label="reef-cycle", until=until
+        )
+
+    def _schedule_feed_polls(self, until: float) -> None:
+        def poll(engine: SimulationEngine) -> None:
+            events = self.proxy.poll_all(engine.now)
+            for event in events:
+                deliveries = self.pubsub.publish(event)
+                self.metrics.counter("flow.events").increment(len(deliveries))
+            for user_id, client in self.clients.items():
+                client.frontend.expire_items(engine.now)
+                self.reaction_model.react(client.frontend, self.users[user_id], engine.now)
+                removed = client.frontend.lifecycle.apply_unsubscribe_policy(engine.now, user_id)
+                for managed in removed:
+                    client.unsubscribe(managed.subscription_id, engine.now, by_user=False)
+
+        self.engine.schedule_periodic(
+            self.config.recommendation_interval, poll, label="feed-poll", until=until
+        )
+
+    def _server_cycle(self, now: float) -> None:
+        """One crawl + recommend cycle on the server (edge 2 messages)."""
+        self.server.run_crawl_cycle(now)
+        for user_id, client in self.clients.items():
+            active = client.frontend.active_subscriptions()
+            recommendations = self.server.recommend_for(user_id, now, active)
+            for recommendation in recommendations:
+                self.network.send(
+                    SERVER_NODE,
+                    client.name,
+                    kind="recommendation",
+                    payload=recommendation,
+                    size_bytes=256,
+                )
+
+    # -- reporting --------------------------------------------------------------------
+
+    def attention_statistics(self) -> Dict[str, float]:
+        """The aggregate browsing-trace statistics of experiment E1."""
+        store = self.server.store
+        visit_counts = store.server_visit_counts()
+        ad_hosts = {server.host for server in self.web.ad_servers}
+        ad_requests = sum(count for host, count in visit_counts.items() if host in ad_hosts)
+        ad_servers_seen = sum(1 for host in visit_counts if host in ad_hosts)
+        total = store.total_clicks()
+        return {
+            "total_requests": float(total),
+            "distinct_servers": float(len(visit_counts)),
+            "ad_servers_visited": float(ad_servers_seen),
+            "ad_request_fraction": (ad_requests / total) if total else 0.0,
+            "servers_visited_once": float(store.servers_visited_once()),
+            "non_ad_servers": float(len(visit_counts) - ad_servers_seen),
+            "distinct_feeds_discovered": float(len(self.server.crawler.discovered_feeds())),
+        }
+
+    def recommendation_statistics(self, days: float) -> Dict[str, float]:
+        total_recs = sum(
+            1 for rec in self.server.recommendations_sent if rec.is_subscribe
+        )
+        users = max(len(self.users), 1)
+        return {
+            "feed_recommendations": float(total_recs),
+            "recommendations_per_user_per_day": total_recs / users / max(days, 1e-9),
+        }
+
+    def flow_statistics(self) -> Dict[str, float]:
+        """Message counts per Figure 1 edge."""
+        return {
+            "attention_messages": self.network.kind_message_count("attention"),
+            "attention_bytes": self.network.kind_byte_count("attention"),
+            "recommendation_messages": self.network.kind_message_count("recommendation"),
+            "sub_unsub_messages": self.metrics.counter("flow.sub_unsub").value,
+            "event_deliveries": self.metrics.counter("flow.events").value,
+            "crawler_fetches": self.metrics.counter("crawler.fetches").value,
+        }

@@ -1,0 +1,244 @@
+"""Collaborative recommendations across users.
+
+The centralized design "resembles a large-scale search engine in that it
+indexes a lot of data on behalf of many users.  Such large data collections
+are fit for many data mining applications such as collaborative
+subscription recommendations across applications, mediums, and users."
+(Section 3)
+
+In the distributed design "peers can be grouped for the exchange of
+recommendations using collaborative techniques" (Section 4), following the
+I-SPY-style *group profile* idea discussed in Section 5.2: instead of a per
+user model, users with similar attention are grouped and the group's pooled
+behaviour drives recommendations for all members.
+
+This module provides the shared machinery: pairwise user similarity from
+interest term vectors, greedy group formation, group profiles, and a
+collaborative recommender that proposes to each member the subscriptions
+that are popular with (and appreciated by) the rest of the group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.core.config import ReefConfig
+from repro.core.interest import cosine_similarity
+from repro.core.recommender import Recommendation, RecommendationAction, Recommender
+from repro.pubsub.interface import InterfaceSpec
+from repro.pubsub.subscriptions import Subscription
+
+
+@dataclass(frozen=True)
+class UserSimilarity:
+    """Similarity between two users' interest vectors."""
+
+    first: str
+    second: str
+    similarity: float
+
+
+def pairwise_similarities(
+    term_vectors: Mapping[str, Mapping[str, float]]
+) -> List[UserSimilarity]:
+    """Cosine similarity for every pair of users (sorted, most similar first)."""
+    users = sorted(term_vectors)
+    result: List[UserSimilarity] = []
+    for index, first in enumerate(users):
+        for second in users[index + 1:]:
+            similarity = cosine_similarity(term_vectors[first], term_vectors[second])
+            result.append(UserSimilarity(first=first, second=second, similarity=similarity))
+    result.sort(key=lambda pair: (-pair.similarity, pair.first, pair.second))
+    return result
+
+
+@dataclass
+class GroupProfile:
+    """A community of users with similar interests (I-SPY style)."""
+
+    group_id: str
+    members: List[str] = field(default_factory=list)
+    # topic value -> how many members' attention supports it
+    topic_support: Dict[str, float] = field(default_factory=dict)
+    # topic value -> aggregated positive feedback from members
+    topic_feedback: Dict[str, float] = field(default_factory=dict)
+
+    def add_member(self, user_id: str) -> None:
+        if user_id not in self.members:
+            self.members.append(user_id)
+
+    def observe_topic(self, topic: str, weight: float = 1.0) -> None:
+        self.topic_support[topic] = self.topic_support.get(topic, 0.0) + weight
+
+    def observe_feedback(self, topic: str, score: float) -> None:
+        self.topic_feedback[topic] = self.topic_feedback.get(topic, 0.0) + score
+
+    def ranked_topics(self) -> List[Tuple[str, float]]:
+        """Topics ranked by support plus feedback."""
+        combined = {
+            topic: support + self.topic_feedback.get(topic, 0.0)
+            for topic, support in self.topic_support.items()
+        }
+        return sorted(combined.items(), key=lambda item: (-item[1], item[0]))
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+
+class PeerGroupingService:
+    """Forms interest groups from user term vectors.
+
+    Greedy agglomeration: users are considered in order of decreasing best
+    pairwise similarity; a user joins the group of its most similar already
+    grouped peer when the similarity clears the configured threshold and
+    the group has room, otherwise it seeds a new group.
+    """
+
+    def __init__(self, config: Optional[ReefConfig] = None) -> None:
+        self.config = config if config is not None else ReefConfig()
+        self.groups: Dict[str, GroupProfile] = {}
+        self._membership: Dict[str, str] = {}
+
+    def form_groups(
+        self, term_vectors: Mapping[str, Mapping[str, float]]
+    ) -> List[GroupProfile]:
+        """(Re)build all groups from scratch from the given vectors."""
+        self.groups.clear()
+        self._membership.clear()
+        users = sorted(term_vectors)
+        if not users:
+            return []
+        similarities = pairwise_similarities(term_vectors)
+        best_match: Dict[str, Tuple[str, float]] = {}
+        for pair in similarities:
+            for user, other in ((pair.first, pair.second), (pair.second, pair.first)):
+                current = best_match.get(user)
+                if current is None or pair.similarity > current[1]:
+                    best_match[user] = (other, pair.similarity)
+
+        # Seed groups from the most similar pairs first.
+        ordered_users = sorted(
+            users, key=lambda user: -best_match.get(user, ("", 0.0))[1]
+        )
+        for user in ordered_users:
+            if user in self._membership:
+                continue
+            match = best_match.get(user)
+            if match is not None and match[1] >= self.config.peer_similarity_threshold:
+                partner, _ = match
+                partner_group = self._membership.get(partner)
+                if partner_group is not None:
+                    group = self.groups[partner_group]
+                    if len(group) < self.config.max_peer_group_size:
+                        group.add_member(user)
+                        self._membership[user] = group.group_id
+                        continue
+                else:
+                    group = self._new_group()
+                    group.add_member(user)
+                    group.add_member(partner)
+                    self._membership[user] = group.group_id
+                    self._membership[partner] = group.group_id
+                    continue
+            group = self._new_group()
+            group.add_member(user)
+            self._membership[user] = group.group_id
+        return list(self.groups.values())
+
+    def _new_group(self) -> GroupProfile:
+        group = GroupProfile(group_id=f"group-{len(self.groups) + 1:03d}")
+        self.groups[group.group_id] = group
+        return group
+
+    def group_of(self, user_id: str) -> Optional[GroupProfile]:
+        group_id = self._membership.get(user_id)
+        return self.groups.get(group_id) if group_id is not None else None
+
+    def peers_of(self, user_id: str) -> List[str]:
+        group = self.group_of(user_id)
+        if group is None:
+            return []
+        return [member for member in group.members if member != user_id]
+
+
+class CollaborativeRecommender(Recommender):
+    """Recommends subscriptions that a user's peer group appreciates.
+
+    The per-user topic observations (feed URLs or keywords supported by the
+    user's own attention) are pooled into the user's group profile; each
+    user is then recommended the group's top topics that their own attention
+    has not yet surfaced.
+    """
+
+    name = "collaborative"
+
+    def __init__(
+        self,
+        interface: InterfaceSpec,
+        grouping: PeerGroupingService,
+        config: Optional[ReefConfig] = None,
+    ) -> None:
+        self.interface = interface
+        self.grouping = grouping
+        self.config = config if config is not None else ReefConfig()
+        # user -> topic -> weight observed from that user's own attention
+        self._user_topics: Dict[str, Dict[str, float]] = {}
+        self._already_recommended: Dict[str, Set[str]] = {}
+
+    def observe_topic(self, user_id: str, topic: str, weight: float = 1.0) -> None:
+        topics = self._user_topics.setdefault(user_id, {})
+        topics[topic] = topics.get(topic, 0.0) + weight
+        group = self.grouping.group_of(user_id)
+        if group is not None:
+            group.observe_topic(topic, weight)
+
+    def observe_feedback(self, user_id: str, topic: str, score: float) -> None:
+        group = self.grouping.group_of(user_id)
+        if group is not None:
+            group.observe_feedback(topic, score)
+
+    def rebuild_group_profiles(self) -> None:
+        """Re-pool user topic observations into the (re)formed groups."""
+        for group in self.grouping.groups.values():
+            group.topic_support.clear()
+        for user_id, topics in self._user_topics.items():
+            group = self.grouping.group_of(user_id)
+            if group is None:
+                continue
+            for topic, weight in topics.items():
+                group.observe_topic(topic, weight)
+
+    def recommend(
+        self,
+        user_id: str,
+        now: float,
+        active_subscriptions: Sequence[Subscription] = (),
+    ) -> List[Recommendation]:
+        group = self.grouping.group_of(user_id)
+        if group is None or len(group) < 2:
+            return []
+        own_topics = set(self._user_topics.get(user_id, ()))
+        already = self._already_recommended.setdefault(user_id, set())
+        recommendations = []
+        limit = self.config.max_feed_recommendations_per_cycle
+        for topic, score in group.ranked_topics():
+            if len(recommendations) >= limit:
+                break
+            if topic in own_topics or topic in already:
+                continue
+            try:
+                subscription = self.interface.make_topic_subscription(topic, subscriber=user_id)
+            except ValueError:
+                continue
+            recommendations.append(
+                Recommendation(
+                    user_id=user_id,
+                    action=RecommendationAction.SUBSCRIBE,
+                    subscription=subscription,
+                    reason=f"popular with peer group {group.group_id}",
+                    score=score,
+                )
+            )
+            already.add(topic)
+        return recommendations

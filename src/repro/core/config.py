@@ -1,0 +1,76 @@
+"""Configuration shared by Reef components and deployments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ReefConfig:
+    """Tunable parameters of a Reef deployment.
+
+    Defaults mirror the prototype described in the paper where a value is
+    stated (e.g. attention batches are uploaded periodically, sidebar items
+    expire if ignored) and use sensible engineering defaults elsewhere.
+    """
+
+    # Attention recorder ----------------------------------------------------
+    #: seconds between uploads of batched clicks to the Reef server.
+    attention_batch_interval: float = 900.0
+    #: maximum clicks per uploaded batch.
+    attention_batch_size: int = 200
+
+    # Crawler / recommendation cycle ------------------------------------------
+    #: seconds between periodic crawl-and-recommend cycles on the server.
+    recommendation_interval: float = 3600.0
+    #: maximum URIs crawled per cycle.
+    crawl_batch_limit: int = 500
+
+    # Topic-based (feed) recommendations ----------------------------------------
+    #: minimum distinct visits to a server before its feeds are recommended.
+    min_server_visits_for_feed: int = 1
+    #: cap on new feed recommendations per user per recommendation cycle.
+    max_feed_recommendations_per_cycle: int = 10
+
+    # Content-based recommendations ----------------------------------------------
+    #: number of query terms to select with the Offer Weight formula
+    #: (the paper found 30 optimal).
+    content_query_terms: int = 30
+    #: exponent of the term-frequency modification to the Offer Weight.
+    offer_weight_tf_exponent: float = 1.0
+    #: minimum attention documents a term must appear in.
+    min_term_attention_documents: int = 2
+
+    # Subscription lifecycle ---------------------------------------------------------
+    #: sidebar items ignored for this long expire and count as negative feedback.
+    sidebar_expiry: float = 6 * 3600.0
+    #: updates per day above which a subscription is a flooding candidate.
+    max_updates_per_day: float = 20.0
+    #: consecutive ignored events after which an unsubscribe is recommended.
+    unsubscribe_after_ignored: int = 15
+    #: minimum click-through rate to keep a subscription alive once it has
+    #: delivered at least ``unsubscribe_after_ignored`` events.
+    min_click_through_rate: float = 0.05
+
+    # Collaborative recommendations --------------------------------------------------
+    #: cosine similarity above which two users are grouped.
+    peer_similarity_threshold: float = 0.25
+    #: maximum size of a peer group.
+    max_peer_group_size: int = 10
+
+    # Privacy / network accounting -----------------------------------------------------
+    #: nominal bytes per uploaded click (URI + timestamp + cookie).
+    bytes_per_click: int = 96
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on nonsensical settings."""
+        if self.attention_batch_interval <= 0:
+            raise ValueError("attention_batch_interval must be positive")
+        if self.recommendation_interval <= 0:
+            raise ValueError("recommendation_interval must be positive")
+        if self.content_query_terms <= 0:
+            raise ValueError("content_query_terms must be positive")
+        if not 0 <= self.min_click_through_rate <= 1:
+            raise ValueError("min_click_through_rate must be a probability")
+        if self.max_peer_group_size < 2:
+            raise ValueError("max_peer_group_size must be at least 2")

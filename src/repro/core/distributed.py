@@ -1,0 +1,305 @@
+"""Distributed Reef (Figure 2 of the paper).
+
+In the peer-to-peer configuration "the attention data stays on the user's
+host, where the subscription recommendation software analyzes it".  Every
+component — recorder, parser, recommendation service, frontend — runs on
+the :class:`ReefPeer`.  Only two kinds of traffic cross the network:
+sub/unsub operations toward the publish-subscribe substrate (edge 1) and
+delivered events (edge 2); optionally peers gossip *recommendations*
+(never raw attention) with similar peers for collaborative filtering.
+
+Key properties the F2 benchmark reports against the centralized design:
+
+* privacy: zero bytes of attention data leave the host;
+* crawl traffic: none — page text comes from the browser cache;
+* scalability: server-side storage and computation are removed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.attention import AttentionBatch, AttentionRecorder, AttentionStore
+from repro.core.centralized import ReactionModel, _subscription_topic_value
+from repro.core.collaborative import CollaborativeRecommender, PeerGroupingService
+from repro.core.config import ReefConfig
+from repro.core.frontend import SubscriptionFrontend
+from repro.core.interest import InterestModel
+from repro.core.parser import AttentionParser, FeedUrlExtractor
+from repro.core.recommender import (
+    Recommendation,
+    RecommendationService,
+    TopicFeedRecommender,
+)
+from repro.pubsub.api import PubSubSystem
+from repro.pubsub.interface import InterfaceSpec, feed_interface_spec
+from repro.pubsub.proxy import FeedEventsProxy
+from repro.sim.engine import SimulationEngine
+from repro.sim.metrics import MetricsRegistry
+from repro.sim.rng import SeededRNG
+from repro.web.feeds import FeedPublisher
+from repro.web.http import SimulatedHttp
+from repro.web.user_model import BrowsingUser
+from repro.web.webgraph import SyntheticWeb
+
+
+class ReefPeer:
+    """One user's host running the complete Reef pipeline locally."""
+
+    def __init__(
+        self,
+        user_id: str,
+        pubsub: PubSubSystem,
+        interface: Optional[InterfaceSpec] = None,
+        config: Optional[ReefConfig] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.user_id = user_id
+        self.config = config if config is not None else ReefConfig()
+        self.interface = interface if interface is not None else feed_interface_spec()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+
+        self.recorder = AttentionRecorder(user_id, batch_size=self.config.attention_batch_size)
+        self.store = AttentionStore()
+        self.parser = AttentionParser(self.interface, extractors=[FeedUrlExtractor()])
+        self.interest_model = InterestModel(user_id)
+        self.topic_recommender = TopicFeedRecommender(self.interface, self.config)
+        self.service = RecommendationService([self.topic_recommender], self.config)
+        self.frontend = SubscriptionFrontend(user_id, pubsub, config=self.config)
+        self.recorder.add_sink(self._store_locally)
+        # Recommendations received from peers (collaborative exchange).
+        self.peer_recommendations: List[Recommendation] = []
+        # Clicks already analyzed (analysis is incremental across cycles).
+        self._analyzed_clicks = 0
+
+    # -- local processing -----------------------------------------------------
+
+    def _store_locally(self, batch: AttentionBatch) -> None:
+        """Attention batches never leave the host; they land in a local store."""
+        self.store.store_batch(batch)
+        self.metrics.counter("peer.clicks_stored").increment(len(batch))
+
+    def analyze_attention(self, now: float) -> int:
+        """Parse locally stored attention using the browser cache for page
+        text (no crawling needed) and update recommender state.
+
+        Analysis is incremental: each cycle only the clicks recorded since
+        the previous cycle are parsed.
+        """
+        clicks = self.store.clicks_for(self.user_id)
+        new_clicks = clicks[self._analyzed_clicks:]
+        self._analyzed_clicks = len(clicks)
+        if not new_clicks:
+            return 0
+        pages = self.recorder.local_pages
+        tokens = self.parser.parse_clicks(new_clicks, pages)
+        self.topic_recommender.observe_tokens(self.user_id, tokens)
+        term_weights: Dict[str, float] = {}
+        for click in new_clicks:
+            page = pages.get(click.url)
+            if page is None:
+                continue
+            for topic in page.topics:
+                term_weights[topic] = term_weights.get(topic, 0.0) + 1.0
+        if term_weights:
+            self.interest_model.observe_terms(term_weights, now)
+        for click in new_clicks:
+            self.interest_model.observe_server(click.server, now)
+        return len(tokens)
+
+    def recommend(self, now: float) -> List[Recommendation]:
+        """Run the local recommendation service."""
+        active = self.frontend.active_subscriptions()
+        return self.service.recommend_for(self.user_id, now, active)
+
+    def apply_recommendations(self, recommendations: Sequence[Recommendation], now: float) -> int:
+        return self.frontend.apply_recommendations(list(recommendations), now)
+
+    def receive_peer_recommendation(self, recommendation: Recommendation, now: float) -> bool:
+        """Accept a recommendation gossiped by a peer (rebound to this user)."""
+        rebound = Recommendation(
+            user_id=self.user_id,
+            action=recommendation.action,
+            subscription=self.interface.make_topic_subscription(
+                _subscription_topic_value(recommendation.subscription) or "",
+                subscriber=self.user_id,
+            )
+            if _subscription_topic_value(recommendation.subscription)
+            else recommendation.subscription,
+            reason=f"peer recommendation ({recommendation.reason})",
+            score=recommendation.score,
+        )
+        self.peer_recommendations.append(rebound)
+        already = {
+            sub.describe() for sub in self.frontend.active_subscriptions()
+        }
+        if rebound.subscription.describe() in already:
+            return False
+        return self.frontend.apply_recommendation(rebound, now)
+
+    # -- privacy accounting ------------------------------------------------------
+
+    def attention_bytes_shared(self) -> int:
+        """Bytes of raw attention data sent off-host (always zero by design)."""
+        return 0
+
+
+class DistributedReef:
+    """End-to-end assembly of the peer-to-peer architecture (Figure 2)."""
+
+    def __init__(
+        self,
+        web: SyntheticWeb,
+        users: Dict[str, BrowsingUser],
+        rng: SeededRNG,
+        config: Optional[ReefConfig] = None,
+        engine: Optional[SimulationEngine] = None,
+        http: Optional[SimulatedHttp] = None,
+    ) -> None:
+        self.web = web
+        self.users = users
+        self.rng = rng
+        self.config = config if config is not None else ReefConfig()
+        self.engine = engine if engine is not None else SimulationEngine()
+        self.metrics = MetricsRegistry()
+        self.http = http if http is not None else SimulatedHttp(web.directory, metrics=self.metrics)
+        self.pubsub = PubSubSystem(metrics=self.metrics)
+        self.proxy = FeedEventsProxy(
+            self.http, poll_interval=self.config.recommendation_interval, metrics=self.metrics
+        )
+        self.interface = feed_interface_spec()
+        self.grouping = PeerGroupingService(self.config)
+        self.collaborative = CollaborativeRecommender(self.interface, self.grouping, self.config)
+        self.reaction_model = ReactionModel(rng.fork("reactions"))
+        self.peers: Dict[str, ReefPeer] = {}
+        for user_id, user in users.items():
+            peer = ReefPeer(
+                user_id,
+                self.pubsub,
+                interface=self.interface,
+                config=self.config,
+                metrics=self.metrics,
+            )
+            peer.recorder.attach_to_browser(user.browser)
+            self.peers[user_id] = peer
+        self.gossip_messages = 0
+
+    # -- simulation driving -----------------------------------------------------------
+
+    def run(self, days: float, collaborative: bool = False) -> None:
+        """Run the distributed closed loop for ``days`` of simulated time."""
+        seconds = days * 86400.0
+        for user in self.users.values():
+            user.browse_days(days)
+        self.feed_publisher = FeedPublisher(
+            self.web.feeds, self.web.topic_model, self.rng.fork("feed-publisher")
+        )
+        self.feed_publisher.start(
+            self.engine, interval=self.config.recommendation_interval, until=seconds
+        )
+        self._schedule_local_cycles(seconds, collaborative)
+        self._schedule_feed_polls(seconds)
+        self.engine.run(until=seconds)
+        for peer in self.peers.values():
+            peer.recorder.flush(self.engine.now)
+        self._local_cycle(self.engine.now, collaborative)
+
+    def _schedule_local_cycles(self, until: float, collaborative: bool) -> None:
+        def cycle(engine: SimulationEngine) -> None:
+            for peer in self.peers.values():
+                peer.recorder.flush(engine.now)
+            self._local_cycle(engine.now, collaborative)
+
+        self.engine.schedule_periodic(
+            self.config.recommendation_interval, cycle, label="peer-cycle", until=until
+        )
+
+    def _schedule_feed_polls(self, until: float) -> None:
+        def poll(engine: SimulationEngine) -> None:
+            events = self.proxy.poll_all(engine.now)
+            for event in events:
+                deliveries = self.pubsub.publish(event)
+                self.metrics.counter("flow.events").increment(len(deliveries))
+            for user_id, peer in self.peers.items():
+                peer.frontend.expire_items(engine.now)
+                self.reaction_model.react(peer.frontend, self.users[user_id], engine.now)
+                removed = peer.frontend.lifecycle.apply_unsubscribe_policy(engine.now, user_id)
+                for managed in removed:
+                    self._unsubscribe(peer, managed.subscription_id, engine.now)
+
+        self.engine.schedule_periodic(
+            self.config.recommendation_interval, poll, label="feed-poll", until=until
+        )
+
+    def _local_cycle(self, now: float, collaborative: bool) -> None:
+        for user_id, peer in self.peers.items():
+            peer.analyze_attention(now)
+            recommendations = peer.recommend(now)
+            for recommendation in recommendations:
+                applied = peer.frontend.apply_recommendation(recommendation, now)
+                if applied:
+                    self.metrics.counter("flow.sub_unsub").increment()
+                    topic = _subscription_topic_value(recommendation.subscription)
+                    if topic:
+                        self.proxy.subscribe(user_id, topic)
+                        self.collaborative.observe_topic(user_id, topic, recommendation.score)
+        if collaborative:
+            self._exchange_recommendations(now)
+
+    def _exchange_recommendations(self, now: float) -> None:
+        """Group peers by interest similarity and gossip recommendations."""
+        vectors = {
+            user_id: peer.interest_model.term_vector(now)
+            for user_id, peer in self.peers.items()
+        }
+        self.grouping.form_groups(vectors)
+        self.collaborative.rebuild_group_profiles()
+        for user_id, peer in self.peers.items():
+            recommendations = self.collaborative.recommend(user_id, now)
+            for recommendation in recommendations:
+                self.gossip_messages += 1
+                self.metrics.counter("flow.gossip").increment()
+                applied = peer.receive_peer_recommendation(recommendation, now)
+                if applied:
+                    self.metrics.counter("flow.sub_unsub").increment()
+                    topic = _subscription_topic_value(recommendation.subscription)
+                    if topic:
+                        self.proxy.subscribe(user_id, topic)
+
+    def _unsubscribe(self, peer: ReefPeer, subscription_id: str, now: float) -> None:
+        managed = peer.frontend.lifecycle.get(subscription_id)
+        removed = peer.frontend.unsubscribe(subscription_id, now, by_user=False)
+        if removed:
+            self.metrics.counter("flow.sub_unsub").increment()
+            if managed is not None:
+                topic = _subscription_topic_value(managed.subscription)
+                if topic:
+                    self.proxy.unsubscribe(peer.user_id, topic)
+
+    # -- reporting ----------------------------------------------------------------------
+
+    def flow_statistics(self) -> Dict[str, float]:
+        """Message counts per Figure 2 edge plus privacy/crawl accounting."""
+        return {
+            "attention_messages": 0.0,
+            "attention_bytes": float(
+                sum(peer.attention_bytes_shared() for peer in self.peers.values())
+            ),
+            "recommendation_messages": 0.0,
+            "gossip_messages": float(self.gossip_messages),
+            "sub_unsub_messages": self.metrics.counter("flow.sub_unsub").value,
+            "event_deliveries": self.metrics.counter("flow.events").value,
+            "crawler_fetches": 0.0,
+        }
+
+    def recommendation_statistics(self, days: float) -> Dict[str, float]:
+        total = sum(
+            peer.service.subscribe_recommendation_count(peer.user_id)
+            for peer in self.peers.values()
+        )
+        users = max(len(self.peers), 1)
+        return {
+            "feed_recommendations": float(total),
+            "recommendations_per_user_per_day": total / users / max(days, 1e-9),
+        }

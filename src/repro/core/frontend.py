@@ -1,0 +1,195 @@
+"""Subscription frontend: sidebar display, event expiry and user reactions.
+
+"In response, a subscription frontend activates or deactivates
+subscriptions, as well as receives and displays the events that arrive. ...
+The events from subscriptions are displayed in a sidebar ... The user may
+click on the event to view it in the browsing panel or click on a button to
+delete it.  If the user ignores the event for a certain period of time, it
+expires and disappears from the list." (Sections 2.2, 3.1)
+
+The frontend executes recommendations against a publish-subscribe system,
+queues delivered events into a sidebar, and converts user reactions (click
+/ delete / expiry) into implicit feedback for the closed loop.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.core.config import ReefConfig
+from repro.core.feedback import FeedbackKind, FeedbackLoop
+from repro.core.lifecycle import SubscriptionLifecycleManager
+from repro.core.recommender import Recommendation, RecommendationAction
+from repro.pubsub.api import DeliveredEvent, PubSubSystem
+from repro.pubsub.subscriptions import Subscription
+
+
+class SidebarItemState(str, enum.Enum):
+    """Display state of one sidebar entry."""
+
+    UNREAD = "unread"
+    CLICKED = "clicked"
+    DELETED = "deleted"
+    EXPIRED = "expired"
+
+
+@dataclass
+class SidebarItem:
+    """One event shown in the sidebar."""
+
+    event_id: str
+    subscription_id: str
+    title: str
+    link: str
+    delivered_at: float
+    topic: str = ""
+    state: SidebarItemState = SidebarItemState.UNREAD
+
+
+class SubscriptionFrontend:
+    """The user-facing component: places subscriptions, shows events."""
+
+    def __init__(
+        self,
+        user_id: str,
+        pubsub: PubSubSystem,
+        lifecycle: Optional[SubscriptionLifecycleManager] = None,
+        feedback: Optional[FeedbackLoop] = None,
+        config: Optional[ReefConfig] = None,
+    ) -> None:
+        self.user_id = user_id
+        self.pubsub = pubsub
+        self.config = config if config is not None else ReefConfig()
+        self.feedback = feedback if feedback is not None else FeedbackLoop()
+        self.lifecycle = (
+            lifecycle
+            if lifecycle is not None
+            else SubscriptionLifecycleManager(self.config, self.feedback)
+        )
+        self.sidebar: List[SidebarItem] = []
+        self.recommendations_received: List[Recommendation] = []
+        self.pubsub.register_subscriber(user_id, self._on_delivery)
+
+    # -- recommendation handling -----------------------------------------------
+
+    def apply_recommendation(self, recommendation: Recommendation, now: float) -> bool:
+        """Execute a recommendation.
+
+        "When the browser extension receives a server's recommendation, it
+        automatically places that subscription." — SUBSCRIBE actions are
+        applied unconditionally; UNSUBSCRIBE actions remove the matching
+        subscription if it is still active.
+        """
+        if recommendation.user_id != self.user_id:
+            raise ValueError(
+                f"recommendation for {recommendation.user_id!r} sent to {self.user_id!r}"
+            )
+        self.recommendations_received.append(recommendation)
+        if recommendation.action is RecommendationAction.SUBSCRIBE:
+            self.pubsub.subscribe(recommendation.subscription)
+            self.lifecycle.activate(
+                recommendation.subscription, self.user_id, now, origin="recommendation"
+            )
+            return True
+        return self.unsubscribe(recommendation.subscription.subscription_id, now, by_user=False)
+
+    def apply_recommendations(self, recommendations: List[Recommendation], now: float) -> int:
+        applied = 0
+        for recommendation in recommendations:
+            if self.apply_recommendation(recommendation, now):
+                applied += 1
+        return applied
+
+    def subscribe_manually(self, subscription: Subscription, now: float) -> None:
+        """A subscription the user placed themselves (kept out of the
+        recommender's statistics but still lifecycle-managed)."""
+        self.pubsub.subscribe(subscription)
+        self.lifecycle.activate(subscription, self.user_id, now, origin="manual")
+
+    def unsubscribe(self, subscription_id: str, now: float, by_user: bool = True) -> bool:
+        removed = self.pubsub.unsubscribe(subscription_id)
+        if removed:
+            self.lifecycle.remove(subscription_id, now, by_user=by_user)
+        return removed
+
+    def active_subscriptions(self) -> List[Subscription]:
+        return self.lifecycle.active_subscription_objects(self.user_id)
+
+    # -- event display ------------------------------------------------------------
+
+    def _on_delivery(self, delivered: DeliveredEvent) -> None:
+        event = delivered.event
+        title = str(event.get("title", event.event_type))
+        link = str(event.get("link", ""))
+        item = SidebarItem(
+            event_id=event.event_id,
+            subscription_id=delivered.subscription_id,
+            title=title,
+            link=link,
+            delivered_at=delivered.delivered_at,
+            topic=str(event.get("topic", "")),
+        )
+        self.sidebar.append(item)
+        self.lifecycle.record_delivery(delivered.subscription_id)
+
+    def unread_items(self) -> List[SidebarItem]:
+        return [item for item in self.sidebar if item.state is SidebarItemState.UNREAD]
+
+    # -- user reactions (implicit feedback) ------------------------------------------
+
+    def click_item(self, event_id: str, now: float) -> Optional[SidebarItem]:
+        """The user clicked a sidebar item to view it: positive feedback."""
+        item = self._find_unread(event_id)
+        if item is None:
+            return None
+        item.state = SidebarItemState.CLICKED
+        self.feedback.record_signal(
+            self.user_id, item.subscription_id, FeedbackKind.CLICKED, now, event_id
+        )
+        return item
+
+    def delete_item(self, event_id: str, now: float) -> Optional[SidebarItem]:
+        """The user deleted the item without reading it: negative feedback."""
+        item = self._find_unread(event_id)
+        if item is None:
+            return None
+        item.state = SidebarItemState.DELETED
+        self.feedback.record_signal(
+            self.user_id, item.subscription_id, FeedbackKind.DELETED, now, event_id
+        )
+        return item
+
+    def expire_items(self, now: float) -> List[SidebarItem]:
+        """Expire unread items older than the configured sidebar expiry."""
+        expired = []
+        for item in self.sidebar:
+            if (
+                item.state is SidebarItemState.UNREAD
+                and now - item.delivered_at >= self.config.sidebar_expiry
+            ):
+                item.state = SidebarItemState.EXPIRED
+                self.feedback.record_signal(
+                    self.user_id,
+                    item.subscription_id,
+                    FeedbackKind.EXPIRED,
+                    now,
+                    item.event_id,
+                )
+                expired.append(item)
+        return expired
+
+    def _find_unread(self, event_id: str) -> Optional[SidebarItem]:
+        for item in self.sidebar:
+            if item.event_id == event_id and item.state is SidebarItemState.UNREAD:
+                return item
+        return None
+
+    # -- statistics -----------------------------------------------------------------
+
+    def sidebar_counts(self) -> Dict[str, int]:
+        counts = {state.value: 0 for state in SidebarItemState}
+        for item in self.sidebar:
+            counts[item.state.value] += 1
+        return counts

@@ -1,0 +1,178 @@
+"""Subscription lifecycle management.
+
+The paper motivates automation by the burden of "devising appropriate
+keywords, refining the query to control volume of updates, unsubscribing to
+queries that are no longer relevant".  The lifecycle manager owns the full
+life of each automatically placed subscription:
+
+* activation when a SUBSCRIBE recommendation is accepted;
+* volume control: subscriptions that flood the user (more updates per day
+  than ``max_updates_per_day``) become unsubscribe candidates — the problem
+  observed in Section 3.2 ("we still found enough feeds to overwhelm any
+  user with updates");
+* interest control: subscriptions whose events are consistently ignored or
+  deleted (low click-through) become unsubscribe candidates;
+* removal either on the server's recommendation or by the user directly.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.config import ReefConfig
+from repro.core.feedback import FeedbackLoop
+from repro.pubsub.subscriptions import Subscription
+
+
+class SubscriptionState(str, enum.Enum):
+    """Lifecycle states of a managed subscription."""
+
+    ACTIVE = "active"
+    REMOVED_BY_USER = "removed_by_user"
+    REMOVED_BY_RECOMMENDER = "removed_by_recommender"
+
+
+@dataclass
+class ManagedSubscription:
+    """A subscription under lifecycle management."""
+
+    subscription: Subscription
+    user_id: str
+    activated_at: float
+    state: SubscriptionState = SubscriptionState.ACTIVE
+    deactivated_at: Optional[float] = None
+    events_delivered: int = 0
+    origin: str = "recommendation"
+
+    @property
+    def subscription_id(self) -> str:
+        return self.subscription.subscription_id
+
+    def updates_per_day(self, now: float) -> float:
+        """Average delivered events per day since activation."""
+        elapsed_days = max((now - self.activated_at) / 86400.0, 1.0 / 24.0)
+        return self.events_delivered / elapsed_days
+
+
+class SubscriptionLifecycleManager:
+    """Tracks active subscriptions and decides when to drop them."""
+
+    def __init__(
+        self,
+        config: Optional[ReefConfig] = None,
+        feedback: Optional[FeedbackLoop] = None,
+    ) -> None:
+        self.config = config if config is not None else ReefConfig()
+        self.feedback = feedback if feedback is not None else FeedbackLoop()
+        self._managed: Dict[str, ManagedSubscription] = {}
+
+    # -- activation / removal ------------------------------------------------
+
+    def activate(
+        self,
+        subscription: Subscription,
+        user_id: str,
+        now: float,
+        origin: str = "recommendation",
+    ) -> ManagedSubscription:
+        managed = ManagedSubscription(
+            subscription=subscription,
+            user_id=user_id,
+            activated_at=now,
+            origin=origin,
+        )
+        self._managed[subscription.subscription_id] = managed
+        return managed
+
+    def remove(
+        self, subscription_id: str, now: float, by_user: bool = False
+    ) -> Optional[ManagedSubscription]:
+        managed = self._managed.get(subscription_id)
+        if managed is None or managed.state is not SubscriptionState.ACTIVE:
+            return None
+        managed.state = (
+            SubscriptionState.REMOVED_BY_USER
+            if by_user
+            else SubscriptionState.REMOVED_BY_RECOMMENDER
+        )
+        managed.deactivated_at = now
+        return managed
+
+    # -- delivery accounting ----------------------------------------------------
+
+    def record_delivery(self, subscription_id: str) -> None:
+        managed = self._managed.get(subscription_id)
+        if managed is not None:
+            managed.events_delivered += 1
+
+    # -- queries ------------------------------------------------------------------
+
+    def get(self, subscription_id: str) -> Optional[ManagedSubscription]:
+        return self._managed.get(subscription_id)
+
+    def active_subscriptions(self, user_id: Optional[str] = None) -> List[ManagedSubscription]:
+        return [
+            managed
+            for managed in self._managed.values()
+            if managed.state is SubscriptionState.ACTIVE
+            and (user_id is None or managed.user_id == user_id)
+        ]
+
+    def active_subscription_objects(self, user_id: Optional[str] = None) -> List[Subscription]:
+        return [managed.subscription for managed in self.active_subscriptions(user_id)]
+
+    def removed_subscriptions(self, user_id: Optional[str] = None) -> List[ManagedSubscription]:
+        return [
+            managed
+            for managed in self._managed.values()
+            if managed.state is not SubscriptionState.ACTIVE
+            and (user_id is None or managed.user_id == user_id)
+        ]
+
+    # -- unsubscribe policy -----------------------------------------------------------
+
+    def unsubscribe_candidates(self, now: float, user_id: Optional[str] = None) -> List[ManagedSubscription]:
+        """Active subscriptions that the recommender should remove.
+
+        A subscription is a candidate when it floods the user with updates
+        or when the user demonstrably ignores it (enough deliveries with a
+        click-through rate below the configured floor, or a long run of
+        consecutively ignored events).
+        """
+        candidates = []
+        for managed in self.active_subscriptions(user_id):
+            if self._is_flooding(managed, now) or self._is_ignored(managed):
+                candidates.append(managed)
+        return candidates
+
+    def _is_flooding(self, managed: ManagedSubscription, now: float) -> bool:
+        # Give new subscriptions a day of grace before judging their volume.
+        if now - managed.activated_at < 86400.0:
+            return False
+        return managed.updates_per_day(now) > self.config.max_updates_per_day
+
+    def _is_ignored(self, managed: ManagedSubscription) -> bool:
+        aggregate = self.feedback.feedback_for(managed.subscription_id)
+        if aggregate is None:
+            return False
+        if aggregate.consecutive_ignored >= self.config.unsubscribe_after_ignored:
+            return True
+        if (
+            aggregate.delivered >= self.config.unsubscribe_after_ignored
+            and aggregate.click_through_rate < self.config.min_click_through_rate
+        ):
+            return True
+        return False
+
+    def apply_unsubscribe_policy(self, now: float, user_id: Optional[str] = None) -> List[ManagedSubscription]:
+        """Remove every unsubscribe candidate; returns the removed set."""
+        removed = []
+        for managed in self.unsubscribe_candidates(now, user_id):
+            self.remove(managed.subscription_id, now, by_user=False)
+            removed.append(managed)
+        return removed
+
+    def __len__(self) -> int:
+        return len(self._managed)

@@ -1,0 +1,187 @@
+"""Attention parser: from raw attention data to candidate name-value pairs.
+
+"This raw data is processed by an attention parser, which looks for tokens
+that match the specification of name-value pairs of the publish-subscribe
+system we are given.  For example, in a publish-subscribe system that
+delivers stock quotes, the attention parser would be looking for known
+stock symbols in the attention data.  Other examples of tokens are: feed
+URLs, which can be used in Web feed subscriptions; or any commonly
+occurring keywords, which can be used in many content-based systems."
+(Section 2.2)
+
+The parser is a pipeline of pluggable :class:`TokenExtractor` objects, each
+of which understands one kind of token; extracted tokens are validated
+against a target :class:`~repro.pubsub.interface.InterfaceSpec` so that
+only tokens forming *valid* name-value pairs survive.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.core.attention import Click
+from repro.ir.tokenize import TextAnalyzer
+from repro.pubsub.interface import InterfaceSpec
+from repro.web.pages import WebPage
+from repro.web.urls import is_feed_url, parse_url
+
+
+@dataclass(frozen=True)
+class ParsedToken:
+    """A token extracted from attention data, bound to an attribute name."""
+
+    attribute: str
+    value: str
+    source: str
+    weight: float = 1.0
+
+
+class TokenExtractor:
+    """Base class for attention token extractors."""
+
+    name = "extractor"
+
+    def extract_from_click(self, click: Click) -> List[ParsedToken]:
+        """Tokens derivable from the click itself (its URI)."""
+        return []
+
+    def extract_from_page(self, click: Click, page: WebPage) -> List[ParsedToken]:
+        """Tokens derivable from the content of the clicked page."""
+        return []
+
+
+class FeedUrlExtractor(TokenExtractor):
+    """Finds feed URLs: both feed-looking URIs in clicks and autodiscovery
+    links on visited pages."""
+
+    name = "feed-url"
+
+    def __init__(self, attribute: str = "feed_url") -> None:
+        self.attribute = attribute
+
+    def extract_from_click(self, click: Click) -> List[ParsedToken]:
+        if is_feed_url(click.url):
+            return [ParsedToken(self.attribute, click.url, source="click")]
+        return []
+
+    def extract_from_page(self, click: Click, page: WebPage) -> List[ParsedToken]:
+        return [
+            ParsedToken(self.attribute, feed_url.full, source="autodiscovery")
+            for feed_url in page.feed_links
+        ]
+
+
+class StockSymbolExtractor(TokenExtractor):
+    """The paper's stock-quote example: recognizes known ticker symbols in
+    URIs and page text."""
+
+    name = "stock-symbol"
+
+    def __init__(self, symbols: Sequence[str], attribute: str = "symbol") -> None:
+        self.symbols = {symbol.upper() for symbol in symbols}
+        self.attribute = attribute
+
+    def extract_from_click(self, click: Click) -> List[ParsedToken]:
+        tokens = []
+        url = parse_url(click.url)
+        haystack = f"{url.path} {url.query}".upper()
+        for piece in haystack.replace("/", " ").replace("?", " ").replace("=", " ").replace("&", " ").split():
+            if piece in self.symbols:
+                tokens.append(ParsedToken(self.attribute, piece, source="click"))
+        return tokens
+
+    def extract_from_page(self, click: Click, page: WebPage) -> List[ParsedToken]:
+        tokens = []
+        for word in page.text.upper().split():
+            cleaned = word.strip(".,;:()")
+            if cleaned in self.symbols:
+                tokens.append(ParsedToken(self.attribute, cleaned, source="page"))
+        return tokens
+
+
+class KeywordExtractor(TokenExtractor):
+    """Extracts commonly occurring keywords from visited page text."""
+
+    name = "keyword"
+
+    def __init__(
+        self,
+        attribute: str = "keyword",
+        analyzer: Optional[TextAnalyzer] = None,
+        per_page_limit: int = 25,
+    ) -> None:
+        self.attribute = attribute
+        self.analyzer = analyzer if analyzer is not None else TextAnalyzer()
+        self.per_page_limit = per_page_limit
+
+    def extract_from_page(self, click: Click, page: WebPage) -> List[ParsedToken]:
+        analyzed = self.analyzer.analyze(page.text)
+        counts = Counter(analyzed.term_frequencies)
+        return [
+            ParsedToken(self.attribute, term, source="page", weight=float(count))
+            for term, count in counts.most_common(self.per_page_limit)
+        ]
+
+
+class AttentionParser:
+    """Runs token extractors over attention data and validates the result
+    against a target publish-subscribe interface specification."""
+
+    def __init__(
+        self,
+        interface: InterfaceSpec,
+        extractors: Sequence[TokenExtractor],
+    ) -> None:
+        if not extractors:
+            raise ValueError("the attention parser needs at least one extractor")
+        self.interface = interface
+        self.extractors = list(extractors)
+        self.tokens_seen = 0
+        self.tokens_valid = 0
+
+    def parse_click(self, click: Click, page: Optional[WebPage] = None) -> List[ParsedToken]:
+        """Parse a single click (and optionally the page it fetched)."""
+        raw: List[ParsedToken] = []
+        for extractor in self.extractors:
+            raw.extend(extractor.extract_from_click(click))
+            if page is not None:
+                raw.extend(extractor.extract_from_page(click, page))
+        return self._validate(raw)
+
+    def parse_clicks(
+        self,
+        clicks: Iterable[Click],
+        pages: Optional[Dict[str, WebPage]] = None,
+    ) -> List[ParsedToken]:
+        """Parse a stream of clicks; ``pages`` maps URL -> fetched page."""
+        tokens: List[ParsedToken] = []
+        pages = pages or {}
+        for click in clicks:
+            page = pages.get(click.url)
+            tokens.extend(self.parse_click(click, page))
+        return tokens
+
+    def _validate(self, tokens: List[ParsedToken]) -> List[ParsedToken]:
+        """Keep only tokens that form valid name-value pairs for the target
+        interface (the parser's defining behaviour in the paper)."""
+        valid: List[ParsedToken] = []
+        for token in tokens:
+            self.tokens_seen += 1
+            spec = self.interface.attribute(token.attribute)
+            if spec is None:
+                continue
+            if spec.accepts(token.value):
+                self.tokens_valid += 1
+                valid.append(token)
+        return valid
+
+    @staticmethod
+    def aggregate(tokens: Iterable[ParsedToken]) -> Dict[str, Dict[str, float]]:
+        """Aggregate token weights: attribute -> value -> total weight."""
+        aggregated: Dict[str, Dict[str, float]] = {}
+        for token in tokens:
+            by_value = aggregated.setdefault(token.attribute, {})
+            by_value[token.value] = by_value.get(token.value, 0.0) + token.weight
+        return aggregated

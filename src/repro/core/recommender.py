@@ -1,0 +1,283 @@
+"""Recommendation service: turning parsed attention into sub/unsub actions.
+
+Two concrete recommenders mirror the paper's case studies:
+
+* :class:`TopicFeedRecommender` — Section 3.2: recommend subscribing to RSS
+  feeds discovered on (or linked from) pages the user visits, and recommend
+  unsubscribing when attention-derived signals say the feed is no longer
+  interesting (handled together with the lifecycle manager).
+* :class:`ContentQueryRecommender` — Section 3.3: build a top-N keyword
+  query from the user's attention documents with the modified Offer Weight
+  and recommend it as a content-based subscription (used to rank video news
+  stories).
+
+:class:`RecommendationService` multiplexes any number of recommenders and
+deduplicates their output against the subscriptions already active.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.core.attention import AttentionStore, Click
+from repro.core.config import ReefConfig
+from repro.core.interest import InterestModel
+from repro.core.parser import ParsedToken
+from repro.ir.index import InvertedIndex
+from repro.ir.termselect import OfferWeightSelector
+from repro.pubsub.interface import InterfaceSpec
+from repro.pubsub.subscriptions import Subscription
+
+_recommendation_counter = itertools.count(1)
+
+
+class RecommendationAction(str, enum.Enum):
+    """What the recommendation service asks the frontend to do."""
+
+    SUBSCRIBE = "subscribe"
+    UNSUBSCRIBE = "unsubscribe"
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """A single recommendation sent to a user's subscription frontend."""
+
+    user_id: str
+    action: RecommendationAction
+    subscription: Subscription
+    reason: str = ""
+    score: float = 1.0
+    recommendation_id: str = field(
+        default_factory=lambda: f"rec-{next(_recommendation_counter):08d}"
+    )
+
+    @property
+    def is_subscribe(self) -> bool:
+        return self.action is RecommendationAction.SUBSCRIBE
+
+
+class Recommender:
+    """Base class: consumes per-user attention state, produces recommendations."""
+
+    name = "recommender"
+
+    def recommend(
+        self,
+        user_id: str,
+        now: float,
+        active_subscriptions: Sequence[Subscription],
+    ) -> List[Recommendation]:
+        raise NotImplementedError
+
+
+class TopicFeedRecommender(Recommender):
+    """Recommends topic-based subscriptions to newly discovered feeds.
+
+    Feed discoveries are reported by the crawler (centralized design) or by
+    the local parser reading the browser cache (distributed design) via
+    :meth:`observe_feed`.  Each recommendation cycle proposes subscriptions
+    for feeds discovered since the user last received a recommendation for
+    them, most-visited servers first.
+    """
+
+    name = "topic-feeds"
+
+    def __init__(
+        self,
+        interface: InterfaceSpec,
+        config: Optional[ReefConfig] = None,
+    ) -> None:
+        self.interface = interface
+        self.config = config if config is not None else ReefConfig()
+        # user -> feed url -> weight (how strongly attention supports it)
+        self._discovered: Dict[str, Dict[str, float]] = {}
+        # user -> feeds already recommended (never re-recommended)
+        self._already_recommended: Dict[str, Set[str]] = {}
+
+    def observe_feed(self, user_id: str, feed_url: str, weight: float = 1.0) -> None:
+        """Record that ``feed_url`` was discovered in ``user_id``'s attention."""
+        feeds = self._discovered.setdefault(user_id, {})
+        feeds[feed_url] = feeds.get(feed_url, 0.0) + weight
+
+    def observe_tokens(self, user_id: str, tokens: Iterable[ParsedToken]) -> None:
+        """Fold parsed feed-url tokens into the discovery state."""
+        topic_attribute = self.interface.topic_attribute
+        for token in tokens:
+            if token.attribute == topic_attribute:
+                self.observe_feed(user_id, token.value, token.weight)
+
+    def discovered_feeds(self, user_id: str) -> List[str]:
+        return sorted(self._discovered.get(user_id, ()))
+
+    def recommend(
+        self,
+        user_id: str,
+        now: float,
+        active_subscriptions: Sequence[Subscription],
+    ) -> List[Recommendation]:
+        feeds = self._discovered.get(user_id, {})
+        if not feeds:
+            return []
+        already = self._already_recommended.setdefault(user_id, set())
+        active_topics = _active_topic_values(active_subscriptions, self.interface)
+        candidates = [
+            (feed_url, weight)
+            for feed_url, weight in feeds.items()
+            if feed_url not in already and feed_url not in active_topics
+        ]
+        candidates.sort(key=lambda item: (-item[1], item[0]))
+        limit = self.config.max_feed_recommendations_per_cycle
+        recommendations = []
+        for feed_url, weight in candidates[:limit]:
+            subscription = self.interface.make_topic_subscription(feed_url, subscriber=user_id)
+            recommendations.append(
+                Recommendation(
+                    user_id=user_id,
+                    action=RecommendationAction.SUBSCRIBE,
+                    subscription=subscription,
+                    reason=f"feed discovered on visited pages (weight={weight:.1f})",
+                    score=weight,
+                )
+            )
+            already.add(feed_url)
+        return recommendations
+
+
+class ContentQueryRecommender(Recommender):
+    """Builds content-based keyword subscriptions from attention documents.
+
+    The query is the top-N terms by the modified Offer Weight computed over
+    the per-page term vectors of the pages the user read; the target
+    collection statistics come from ``collection_index`` (the video-story
+    archive in experiment E2).
+    """
+
+    name = "content-query"
+
+    def __init__(
+        self,
+        interface: InterfaceSpec,
+        collection_index: InvertedIndex,
+        config: Optional[ReefConfig] = None,
+    ) -> None:
+        self.interface = interface
+        self.collection_index = collection_index
+        self.config = config if config is not None else ReefConfig()
+        self.selector = OfferWeightSelector(
+            collection_index,
+            tf_exponent=self.config.offer_weight_tf_exponent,
+            min_attention_documents=self.config.min_term_attention_documents,
+        )
+        # user -> list of per-document term-frequency vectors
+        self._attention_documents: Dict[str, List[Dict[str, int]]] = {}
+
+    def observe_document(self, user_id: str, term_frequencies: Dict[str, int]) -> None:
+        """Add one attention document (a read page) for ``user_id``."""
+        if term_frequencies:
+            self._attention_documents.setdefault(user_id, []).append(dict(term_frequencies))
+
+    def attention_document_count(self, user_id: str) -> int:
+        return len(self._attention_documents.get(user_id, ()))
+
+    def build_query(self, user_id: str, n_terms: Optional[int] = None) -> Dict[str, float]:
+        """The weighted top-N query for ``user_id`` (term -> relevance weight)."""
+        documents = self._attention_documents.get(user_id, [])
+        if not documents:
+            return {}
+        n = n_terms if n_terms is not None else self.config.content_query_terms
+        return self.selector.build_query(documents, n_terms=n, weighted=True)
+
+    def recommend(
+        self,
+        user_id: str,
+        now: float,
+        active_subscriptions: Sequence[Subscription],
+    ) -> List[Recommendation]:
+        query = self.build_query(user_id)
+        if not query:
+            return []
+        active_topics = _active_topic_values(active_subscriptions, self.interface)
+        recommendations = []
+        for term, weight in sorted(query.items(), key=lambda item: (-item[1], item[0])):
+            if term in active_topics:
+                continue
+            try:
+                subscription = self.interface.make_topic_subscription(term, subscriber=user_id)
+            except ValueError:
+                continue
+            recommendations.append(
+                Recommendation(
+                    user_id=user_id,
+                    action=RecommendationAction.SUBSCRIBE,
+                    subscription=subscription,
+                    reason="high offer-weight term in attention history",
+                    score=weight,
+                )
+            )
+        return recommendations
+
+
+class RecommendationService:
+    """Multiplexes recommenders and tracks what has been recommended."""
+
+    def __init__(
+        self,
+        recommenders: Sequence[Recommender],
+        config: Optional[ReefConfig] = None,
+    ) -> None:
+        if not recommenders:
+            raise ValueError("at least one recommender is required")
+        self.recommenders = list(recommenders)
+        self.config = config if config is not None else ReefConfig()
+        self.history: List[Recommendation] = []
+
+    def recommend_for(
+        self,
+        user_id: str,
+        now: float,
+        active_subscriptions: Sequence[Subscription] = (),
+    ) -> List[Recommendation]:
+        """Collect recommendations from every recommender for one user."""
+        recommendations: List[Recommendation] = []
+        seen_descriptions: Set[str] = {
+            subscription.describe() for subscription in active_subscriptions
+        }
+        for recommender in self.recommenders:
+            for recommendation in recommender.recommend(user_id, now, active_subscriptions):
+                description = recommendation.subscription.describe()
+                if recommendation.is_subscribe and description in seen_descriptions:
+                    continue
+                seen_descriptions.add(description)
+                recommendations.append(recommendation)
+        self.history.extend(recommendations)
+        return recommendations
+
+    def recommendations_for(self, user_id: str) -> List[Recommendation]:
+        return [rec for rec in self.history if rec.user_id == user_id]
+
+    def subscribe_recommendation_count(self, user_id: Optional[str] = None) -> int:
+        return sum(
+            1
+            for rec in self.history
+            if rec.is_subscribe and (user_id is None or rec.user_id == user_id)
+        )
+
+
+def _active_topic_values(
+    subscriptions: Sequence[Subscription], interface: InterfaceSpec
+) -> Set[str]:
+    """Topic values already covered by active subscriptions on the interface."""
+    topic_attribute = interface.topic_attribute
+    values: Set[str] = set()
+    if topic_attribute is None:
+        return values
+    for subscription in subscriptions:
+        if subscription.event_type != interface.event_type:
+            continue
+        for predicate in subscription.predicates:
+            if predicate.attribute == topic_attribute and predicate.value is not None:
+                values.add(str(predicate.value))
+    return values

@@ -1,0 +1,26 @@
+"""Synthetic datasets calibrated to the paper's experimental traces.
+
+* :mod:`repro.datasets.vocab` — topic vocabularies and topic models for
+  generating topical page and story text;
+* :mod:`repro.datasets.browsing` — the ten-week / five-user browsing trace
+  of Section 3.2 (experiment E1);
+* :mod:`repro.datasets.video` — the 500-story video news archive and the
+  synthetic relevance judgements of Section 3.3 (experiment E2).
+"""
+
+from repro.datasets.browsing import BrowsingDataset, BrowsingDatasetConfig, build_browsing_dataset
+from repro.datasets.video import VideoArchive, VideoArchiveConfig, VideoStory, build_video_archive
+from repro.datasets.vocab import build_topic_model, default_topics, background_vocabulary
+
+__all__ = [
+    "default_topics",
+    "background_vocabulary",
+    "build_topic_model",
+    "BrowsingDataset",
+    "BrowsingDatasetConfig",
+    "build_browsing_dataset",
+    "VideoStory",
+    "VideoArchive",
+    "VideoArchiveConfig",
+    "build_video_archive",
+]

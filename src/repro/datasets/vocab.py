@@ -1,0 +1,151 @@
+"""Topic vocabularies for synthetic text generation.
+
+Twelve news-like topics with hand-curated vocabularies, plus a background
+vocabulary of common non-topical words.  The vocabularies are ranked: the
+first words of each topic are its most characteristic terms, which is what
+Zipfian sampling inside :class:`repro.ir.corpus.TopicModel` turns into the
+high-frequency terms that Offer-Weight selection later picks up.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.ir.corpus import Topic, TopicModel
+from repro.sim.rng import SeededRNG
+
+TOPIC_VOCABULARIES: Dict[str, List[str]] = {
+    "politics": [
+        "election", "parliament", "senate", "campaign", "minister", "policy",
+        "government", "vote", "ballot", "candidate", "legislation", "congress",
+        "coalition", "referendum", "diplomat", "treaty", "cabinet", "governor",
+        "opposition", "debate", "reform", "constitution", "sanction", "summit",
+        "embassy", "lawmaker", "bill", "veto", "poll", "mandate",
+    ],
+    "technology": [
+        "software", "internet", "computer", "network", "startup", "processor",
+        "algorithm", "database", "browser", "server", "encryption", "mobile",
+        "silicon", "gadget", "robot", "chip", "broadband", "wireless",
+        "platform", "interface", "protocol", "hardware", "developer", "code",
+        "laptop", "semiconductor", "opensource", "firmware", "storage", "cloud",
+    ],
+    "sports": [
+        "football", "championship", "tournament", "league", "goal", "coach",
+        "stadium", "olympics", "athlete", "match", "season", "playoff",
+        "basketball", "tennis", "marathon", "medal", "referee", "transfer",
+        "striker", "defender", "quarterback", "innings", "cricket", "cycling",
+        "sprint", "relay", "fixture", "derby", "penalty", "halftime",
+    ],
+    "health": [
+        "hospital", "vaccine", "doctor", "patient", "disease", "treatment",
+        "clinic", "surgery", "epidemic", "medicine", "diagnosis", "therapy",
+        "virus", "infection", "cancer", "diabetes", "nutrition", "wellness",
+        "pharmacy", "prescription", "symptom", "outbreak", "immunity", "nurse",
+        "cardiology", "pediatric", "antibiotic", "screening", "obesity", "fitness",
+    ],
+    "finance": [
+        "market", "stock", "investor", "earnings", "dividend", "banking",
+        "inflation", "currency", "portfolio", "bond", "trading", "merger",
+        "acquisition", "hedge", "equity", "interest", "mortgage", "recession",
+        "revenue", "profit", "shareholder", "regulator", "audit", "futures",
+        "commodity", "pension", "brokerage", "valuation", "liquidity", "deficit",
+    ],
+    "science": [
+        "research", "laboratory", "experiment", "physics", "chemistry",
+        "biology", "genome", "telescope", "particle", "quantum", "molecule",
+        "astronomy", "climate", "fossil", "species", "evolution", "galaxy",
+        "neutron", "protein", "enzyme", "satellite", "probe", "geology",
+        "ecology", "hypothesis", "microscope", "radiation", "asteroid", "cell",
+        "theorem",
+    ],
+    "travel": [
+        "airline", "airport", "tourism", "hotel", "destination", "passport",
+        "flight", "cruise", "resort", "itinerary", "luggage", "visa",
+        "backpacking", "safari", "beach", "mountain", "museum", "landmark",
+        "booking", "voyage", "adventure", "sightseeing", "hostel", "terminal",
+        "carrier", "excursion", "island", "heritage", "souvenir", "compass",
+    ],
+    "music": [
+        "album", "concert", "guitar", "orchestra", "singer", "festival",
+        "melody", "rhythm", "symphony", "band", "studio", "chart",
+        "vinyl", "jazz", "opera", "chorus", "lyrics", "producer",
+        "drummer", "piano", "acoustic", "tour", "ballad", "soundtrack",
+        "composer", "violin", "tempo", "harmony", "microphone", "encore",
+    ],
+    "movies": [
+        "film", "director", "actor", "cinema", "screenplay", "premiere",
+        "trailer", "studio", "boxoffice", "sequel", "documentary", "animation",
+        "festival", "oscar", "casting", "scene", "producer", "thriller",
+        "comedy", "drama", "audition", "script", "cinematography", "editing",
+        "blockbuster", "actress", "franchise", "remake", "subtitle", "screening",
+    ],
+    "food": [
+        "restaurant", "recipe", "chef", "cuisine", "ingredient", "kitchen",
+        "bakery", "flavor", "organic", "dessert", "vegetarian", "grill",
+        "sauce", "spice", "harvest", "vineyard", "brewery", "pastry",
+        "seafood", "noodle", "roast", "menu", "gourmet", "farmers",
+        "chocolate", "cheese", "barbecue", "broth", "dining", "appetizer",
+    ],
+    "weather": [
+        "forecast", "storm", "hurricane", "temperature", "rainfall", "drought",
+        "blizzard", "flood", "tornado", "humidity", "thunder", "lightning",
+        "heatwave", "frost", "monsoon", "precipitation", "barometer", "gale",
+        "avalanche", "wildfire", "cyclone", "snowfall", "meteorology", "fog",
+        "hail", "typhoon", "windchill", "overcast", "seismic", "tsunami",
+    ],
+    "education": [
+        "university", "student", "curriculum", "teacher", "scholarship",
+        "classroom", "tuition", "graduate", "faculty", "lecture", "semester",
+        "enrollment", "diploma", "literacy", "kindergarten", "textbook",
+        "campus", "professor", "thesis", "exam", "homework", "mentor",
+        "laboratory", "seminar", "dissertation", "accreditation", "syllabus",
+        "tutoring", "admission", "degree",
+    ],
+}
+
+BACKGROUND_VOCABULARY: List[str] = [
+    "report", "today", "people", "world", "city", "year", "time", "group",
+    "company", "plan", "week", "news", "official", "country", "state",
+    "public", "announce", "expect", "include", "continue", "month", "local",
+    "national", "number", "percent", "change", "increase", "decrease",
+    "leader", "member", "service", "system", "program", "project", "issue",
+    "question", "problem", "result", "record", "level", "area", "region",
+    "community", "family", "home", "work", "life", "day", "story", "source",
+]
+
+
+def default_topics() -> List[str]:
+    """Names of the built-in topics."""
+    return list(TOPIC_VOCABULARIES)
+
+
+def background_vocabulary() -> List[str]:
+    """The shared non-topical vocabulary."""
+    return list(BACKGROUND_VOCABULARY)
+
+
+def build_topic_model(
+    rng: SeededRNG,
+    topics: Optional[Sequence[str]] = None,
+    background_probability: float = 0.3,
+    zipf_exponent: float = 1.4,
+) -> TopicModel:
+    """Construct a :class:`TopicModel` over the built-in vocabularies.
+
+    The Zipf exponent controls how concentrated each topic's text is on its
+    leading vocabulary words; the default of 1.4 makes roughly the first
+    dozen words of a topic carry most of its mass, which is what gives the
+    Offer-Weight selector a compact set of discriminative terms per topic.
+    """
+    names = list(topics) if topics is not None else default_topics()
+    unknown = [name for name in names if name not in TOPIC_VOCABULARIES]
+    if unknown:
+        raise KeyError(f"unknown topics: {unknown}")
+    topic_objects = [Topic(name, list(TOPIC_VOCABULARIES[name])) for name in names]
+    return TopicModel(
+        topics=topic_objects,
+        background_vocabulary=BACKGROUND_VOCABULARY,
+        rng=rng,
+        background_probability=background_probability,
+        zipf_exponent=zipf_exponent,
+    )

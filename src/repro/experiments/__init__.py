@@ -1,0 +1,36 @@
+"""Experiment drivers regenerating the paper's reported numbers.
+
+Each module exposes a ``run_*`` function returning an
+:class:`~repro.experiments.harness.ExperimentResult`; the benchmarks under
+``benchmarks/`` are thin wrappers that execute these drivers and print the
+rows the paper reports.  Experiment ids (E1, E2, F1, F2, X1-X4) follow the
+per-experiment index in DESIGN.md.
+"""
+
+from repro.experiments.ablations import (
+    run_offer_weight_ablation,
+    run_query_weighting_ablation,
+)
+from repro.experiments.harness import ExperimentResult, format_table
+from repro.experiments.topic_feeds import run_topic_feed_experiment
+from repro.experiments.content_video import run_content_video_experiment
+from repro.experiments.flows import run_flow_comparison
+from repro.experiments.filtering import run_update_filtering_experiment
+from repro.experiments.collaborative import run_collaborative_experiment
+from repro.experiments.substrate import run_matching_scalability, run_routing_scalability
+from repro.experiments.push_pull import run_push_pull_experiment
+
+__all__ = [
+    "ExperimentResult",
+    "format_table",
+    "run_topic_feed_experiment",
+    "run_content_video_experiment",
+    "run_flow_comparison",
+    "run_update_filtering_experiment",
+    "run_collaborative_experiment",
+    "run_matching_scalability",
+    "run_routing_scalability",
+    "run_push_pull_experiment",
+    "run_offer_weight_ablation",
+    "run_query_weighting_ablation",
+]

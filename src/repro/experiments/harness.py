@@ -1,0 +1,83 @@
+"""Common experiment plumbing: result containers and table formatting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+@dataclass
+class ExperimentResult:
+    """The outcome of one experiment run.
+
+    ``rows`` is a list of dictionaries sharing the same keys (one row per
+    sweep point or per reported quantity); ``paper`` optionally records the
+    value the paper reports for a row/metric so benchmarks can print
+    paper-vs-measured side by side.
+    """
+
+    experiment_id: str
+    title: str
+    parameters: Dict[str, object] = field(default_factory=dict)
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    paper: Dict[str, object] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, **values: object) -> None:
+        self.rows.append(dict(values))
+
+    def column(self, name: str) -> List[object]:
+        return [row.get(name) for row in self.rows]
+
+    def row_for(self, key: str, value: object) -> Optional[Dict[str, object]]:
+        for row in self.rows:
+            if row.get(key) == value:
+                return row
+        return None
+
+    def summary(self) -> str:
+        lines = [f"[{self.experiment_id}] {self.title}"]
+        if self.parameters:
+            params = ", ".join(f"{k}={v}" for k, v in sorted(self.parameters.items()))
+            lines.append(f"  parameters: {params}")
+        if self.rows:
+            lines.append(format_table(self.rows, indent="  "))
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+
+def format_table(rows: Sequence[Dict[str, object]], indent: str = "") -> str:
+    """Render rows as a fixed-width text table."""
+    if not rows:
+        return f"{indent}(no rows)"
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    widths = {column: len(column) for column in columns}
+    rendered_rows = []
+    for row in rows:
+        rendered = {column: _format_value(row.get(column)) for column in columns}
+        rendered_rows.append(rendered)
+        for column, text in rendered.items():
+            widths[column] = max(widths[column], len(text))
+    header = " | ".join(column.ljust(widths[column]) for column in columns)
+    separator = "-+-".join("-" * widths[column] for column in columns)
+    lines = [f"{indent}{header}", f"{indent}{separator}"]
+    for rendered in rendered_rows:
+        lines.append(
+            f"{indent}" + " | ".join(rendered[column].ljust(widths[column]) for column in columns)
+        )
+    return "\n".join(lines)
+
+
+def _format_value(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.3f}"
+    return str(value)

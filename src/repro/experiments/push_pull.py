@@ -1,0 +1,109 @@
+"""Experiment X4 — pull-based polling vs the WAIF FeedEvents push proxy (§5.3).
+
+The paper (citing Liu et al. [13]) motivates push-based feed delivery:
+"current implementations rely on direct connections between clients and the
+server, so frequent pulling from many users strains network and server
+resources with unnecessary traffic".  This experiment measures origin
+server load with N clients subscribed to the same feeds:
+
+* **direct polling** — every client polls every feed at the polling
+  interval (requests grow with clients x feeds);
+* **FeedEvents proxy** — the proxy polls each feed once per interval on
+  behalf of all subscribers and pushes updates (requests grow with feeds
+  only).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.datasets.vocab import build_topic_model
+from repro.experiments.harness import ExperimentResult
+from repro.pubsub.proxy import DirectPollingClient, FeedEventsProxy
+from repro.sim.engine import SimulationEngine
+from repro.sim.rng import SeededRNG
+from repro.web.feeds import FeedPublisher
+from repro.web.http import SimulatedHttp
+from repro.web.webgraph import WebGraphConfig, build_synthetic_web
+
+
+def _build_feed_population(num_feeds: int, seed: int):
+    rng = SeededRNG(seed)
+    topic_model = build_topic_model(rng.fork("topics"))
+    config = WebGraphConfig(
+        num_content_servers=max(num_feeds, 10),
+        num_ad_servers=5,
+        num_multimedia_servers=2,
+        pages_per_server_mean=2,
+        feed_probability=1.0,
+        extra_feed_probability=0.0,
+    )
+    web = build_synthetic_web(topic_model, rng.fork("web"), config)
+    feeds = web.feeds[:num_feeds]
+    return web, feeds, topic_model, rng
+
+
+def run_push_pull_experiment(
+    client_counts: Sequence[int] = (1, 5, 10, 25, 50),
+    num_feeds: int = 20,
+    duration_hours: float = 24.0,
+    poll_interval: float = 1800.0,
+    seed: int = 13,
+) -> ExperimentResult:
+    """Origin-server request load: direct polling vs the push proxy."""
+    result = ExperimentResult(
+        experiment_id="X4",
+        title="Feed origin-server load: direct client polling vs WAIF FeedEvents proxy",
+        parameters={
+            "feeds": num_feeds,
+            "duration_hours": duration_hours,
+            "poll_interval_s": poll_interval,
+        },
+    )
+    duration = duration_hours * 3600.0
+    for num_clients in client_counts:
+        # --- direct polling -------------------------------------------------
+        web, feeds, topic_model, rng = _build_feed_population(num_feeds, seed)
+        http = SimulatedHttp(web.directory)
+        engine = SimulationEngine()
+        FeedPublisher(feeds, topic_model, rng.fork("pub")).start(engine, 3600.0, until=duration)
+        clients = []
+        for index in range(num_clients):
+            client = DirectPollingClient(f"client{index}", http, poll_interval)
+            for feed in feeds:
+                client.subscribe(feed.url.full)
+            client.start(engine)
+            clients.append(client)
+        engine.run(until=duration)
+        direct_requests = sum(client.polls_issued for client in clients)
+        direct_updates = sum(client.updates_seen for client in clients)
+
+        # --- push proxy ------------------------------------------------------
+        web, feeds, topic_model, rng = _build_feed_population(num_feeds, seed)
+        http = SimulatedHttp(web.directory)
+        engine = SimulationEngine()
+        FeedPublisher(feeds, topic_model, rng.fork("pub")).start(engine, 3600.0, until=duration)
+        proxy = FeedEventsProxy(http, poll_interval=poll_interval)
+        for index in range(num_clients):
+            for feed in feeds:
+                proxy.subscribe(f"client{index}", feed.url.full)
+        proxy.start(engine)
+        engine.run(until=duration)
+        proxy_requests = proxy.total_polls()
+        proxy_deliveries = proxy.total_deliveries()
+
+        result.add_row(
+            clients=num_clients,
+            direct_origin_requests=float(direct_requests),
+            proxy_origin_requests=float(proxy_requests),
+            request_reduction=(
+                direct_requests / proxy_requests if proxy_requests else 0.0
+            ),
+            direct_updates_seen=float(direct_updates),
+            proxy_updates_delivered=float(proxy_deliveries),
+        )
+    result.notes.append(
+        "origin requests under direct polling grow linearly with the number of clients, "
+        "while the proxy keeps them constant (one poll per feed per interval)"
+    )
+    return result

@@ -1,0 +1,42 @@
+"""Information-retrieval substrate.
+
+The paper's content-based case study (Section 3.3) extracts the most
+important terms from a user's browsing history with a modified Robertson
+Offer Weight and ranks video news stories with BM25.  This package
+implements that machinery from scratch: tokenization, stopword removal,
+Porter stemming, an inverted index, TF-IDF / BM25 ranking, Offer-Weight
+term selection and the retrieval metrics used to report results.
+"""
+
+from repro.ir.index import Document, InvertedIndex, Posting
+from repro.ir.metrics import (
+    average_precision,
+    ndcg_at_k,
+    precision_at_k,
+    precision_improvement,
+    recall_at_k,
+)
+from repro.ir.ranking import BM25Ranker, RankedResult, TfIdfRanker
+from repro.ir.stemming import PorterStemmer
+from repro.ir.termselect import OfferWeightSelector, TermScore
+from repro.ir.tokenize import STOPWORDS, TextAnalyzer, tokenize
+
+__all__ = [
+    "tokenize",
+    "TextAnalyzer",
+    "STOPWORDS",
+    "PorterStemmer",
+    "Document",
+    "Posting",
+    "InvertedIndex",
+    "TfIdfRanker",
+    "BM25Ranker",
+    "RankedResult",
+    "OfferWeightSelector",
+    "TermScore",
+    "precision_at_k",
+    "recall_at_k",
+    "average_precision",
+    "ndcg_at_k",
+    "precision_improvement",
+]

@@ -1,0 +1,116 @@
+"""Synthetic text generation from topic-term distributions.
+
+Both the simulated Web pages and the video-story archive need topical text
+so that the IR pipeline (term extraction, BM25) behaves realistically: a
+user interested in a topic reads pages whose vocabulary overlaps with the
+stories on that topic.  A :class:`TopicModel` is a simple mixture of topics
+over a shared vocabulary with Zipfian word frequencies inside each topic,
+plus a background distribution of common words.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.sim.rng import SeededRNG, ZipfSampler
+
+
+@dataclass
+class Topic:
+    """A named topic with a ranked vocabulary (most characteristic first)."""
+
+    name: str
+    vocabulary: List[str]
+
+    def __post_init__(self) -> None:
+        if not self.vocabulary:
+            raise ValueError(f"topic {self.name!r} has an empty vocabulary")
+
+
+@dataclass
+class GeneratedDocument:
+    """A synthetic document with its generating topic mixture."""
+
+    text: str
+    topic_mixture: Dict[str, float] = field(default_factory=dict)
+
+    def dominant_topic(self) -> Optional[str]:
+        if not self.topic_mixture:
+            return None
+        return max(self.topic_mixture.items(), key=lambda item: item[1])[0]
+
+
+class TopicModel:
+    """Generate documents as mixtures of topic vocabularies.
+
+    Words within a topic are drawn Zipf-distributed over the topic's ranked
+    vocabulary, so the first few vocabulary words of a topic dominate its
+    documents — which is what makes Offer-Weight term selection find them.
+    """
+
+    def __init__(
+        self,
+        topics: Sequence[Topic],
+        background_vocabulary: Sequence[str],
+        rng: SeededRNG,
+        background_probability: float = 0.3,
+        zipf_exponent: float = 1.1,
+    ) -> None:
+        if not topics:
+            raise ValueError("at least one topic is required")
+        if not 0 <= background_probability < 1:
+            raise ValueError("background_probability must be in [0, 1)")
+        self.topics = {topic.name: topic for topic in topics}
+        self.background_vocabulary = list(background_vocabulary)
+        self.background_probability = background_probability
+        self._rng = rng
+        self._samplers: Dict[str, ZipfSampler] = {
+            topic.name: ZipfSampler(len(topic.vocabulary), zipf_exponent, rng.fork(f"topic:{topic.name}"))
+            for topic in topics
+        }
+        self._background_sampler = (
+            ZipfSampler(len(self.background_vocabulary), zipf_exponent, rng.fork("background"))
+            if self.background_vocabulary
+            else None
+        )
+
+    def topic_names(self) -> List[str]:
+        return list(self.topics)
+
+    def generate(
+        self,
+        topic_mixture: Mapping[str, float],
+        length: int,
+    ) -> GeneratedDocument:
+        """Generate a document of ``length`` words from ``topic_mixture``."""
+        if length <= 0:
+            raise ValueError("length must be positive")
+        names = list(topic_mixture)
+        weights = [topic_mixture[name] for name in names]
+        if not names or sum(weights) <= 0:
+            raise ValueError("topic mixture must have positive total weight")
+        for name in names:
+            if name not in self.topics:
+                raise KeyError(f"unknown topic {name!r}")
+        words: List[str] = []
+        for _ in range(length):
+            use_background = (
+                self._background_sampler is not None
+                and self._rng.random() < self.background_probability
+            )
+            if use_background:
+                rank = self._background_sampler.sample()
+                words.append(self.background_vocabulary[rank])
+            else:
+                topic_name = self._rng.weighted_choice(names, weights)
+                sampler = self._samplers[topic_name]
+                rank = sampler.sample()
+                words.append(self.topics[topic_name].vocabulary[rank])
+        total = sum(weights)
+        mixture = {name: weight / total for name, weight in zip(names, weights)}
+        return GeneratedDocument(text=" ".join(words), topic_mixture=mixture)
+
+    def generate_single_topic(self, topic_name: str, length: int) -> GeneratedDocument:
+        """Generate a document drawn from one topic only."""
+        return self.generate({topic_name: 1.0}, length)

@@ -1,0 +1,154 @@
+"""Document store and inverted index.
+
+The index keeps per-term posting lists with term frequencies, plus the
+document-length statistics that BM25 needs.  Documents can be added
+incrementally (the crawler indexes pages as they are fetched) and removed
+(pages reclassified as ads/spam are dropped from the term statistics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.ir.tokenize import TextAnalyzer
+
+
+@dataclass(frozen=True)
+class Posting:
+    """One document's entry in a term's posting list."""
+
+    doc_id: str
+    term_frequency: int
+
+
+@dataclass
+class Document:
+    """A unit of indexed text (a Web page, a video-story transcript, ...)."""
+
+    doc_id: str
+    text: str
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+
+class InvertedIndex:
+    """In-memory inverted index with document statistics."""
+
+    def __init__(self, analyzer: Optional[TextAnalyzer] = None) -> None:
+        self.analyzer = analyzer if analyzer is not None else TextAnalyzer()
+        self._postings: Dict[str, Dict[str, int]] = {}
+        self._documents: Dict[str, Document] = {}
+        self._doc_lengths: Dict[str, int] = {}
+        self._total_length = 0
+
+    # -- mutation ----------------------------------------------------------
+
+    def add(self, document: Document) -> None:
+        """Index ``document``; re-adding an existing id replaces it."""
+        if document.doc_id in self._documents:
+            self.remove(document.doc_id)
+        analyzed = self.analyzer.analyze(document.text)
+        self._documents[document.doc_id] = document
+        self._doc_lengths[document.doc_id] = analyzed.length
+        self._total_length += analyzed.length
+        for term, frequency in analyzed.term_frequencies.items():
+            self._postings.setdefault(term, {})[document.doc_id] = frequency
+
+    def add_text(self, doc_id: str, text: str, **metadata: object) -> Document:
+        """Convenience: wrap text in a Document and index it."""
+        document = Document(doc_id=doc_id, text=text, metadata=dict(metadata))
+        self.add(document)
+        return document
+
+    def remove(self, doc_id: str) -> bool:
+        """Remove a document; returns False if it was not indexed."""
+        document = self._documents.pop(doc_id, None)
+        if document is None:
+            return False
+        length = self._doc_lengths.pop(doc_id, 0)
+        self._total_length -= length
+        empty_terms = []
+        for term, postings in self._postings.items():
+            if doc_id in postings:
+                del postings[doc_id]
+                if not postings:
+                    empty_terms.append(term)
+        for term in empty_terms:
+            del self._postings[term]
+        return True
+
+    # -- statistics ----------------------------------------------------------
+
+    @property
+    def num_documents(self) -> int:
+        return len(self._documents)
+
+    @property
+    def num_terms(self) -> int:
+        return len(self._postings)
+
+    @property
+    def average_document_length(self) -> float:
+        if not self._documents:
+            return 0.0
+        return self._total_length / len(self._documents)
+
+    def document(self, doc_id: str) -> Optional[Document]:
+        return self._documents.get(doc_id)
+
+    def documents(self) -> Iterable[Document]:
+        return self._documents.values()
+
+    def document_ids(self) -> List[str]:
+        return list(self._documents)
+
+    def document_length(self, doc_id: str) -> int:
+        return self._doc_lengths.get(doc_id, 0)
+
+    def document_frequency(self, term: str) -> int:
+        """Number of documents containing ``term`` (term must be analyzed form)."""
+        return len(self._postings.get(term, {}))
+
+    def term_frequency(self, term: str, doc_id: str) -> int:
+        return self._postings.get(term, {}).get(doc_id, 0)
+
+    def postings(self, term: str) -> List[Posting]:
+        return [
+            Posting(doc_id, frequency)
+            for doc_id, frequency in sorted(self._postings.get(term, {}).items())
+        ]
+
+    def vocabulary(self) -> List[str]:
+        return sorted(self._postings)
+
+    def collection_frequency(self, term: str) -> int:
+        """Total occurrences of ``term`` across the collection."""
+        return sum(self._postings.get(term, {}).values())
+
+    def terms_for_document(self, doc_id: str) -> Dict[str, int]:
+        """Term frequency vector for one document (recomputed from text)."""
+        document = self._documents.get(doc_id)
+        if document is None:
+            return {}
+        return dict(self.analyzer.analyze(document.text).term_frequencies)
+
+    def candidate_documents(self, terms: Iterable[str]) -> List[str]:
+        """Union of documents containing any of ``terms``."""
+        seen: Dict[str, None] = {}
+        for term in terms:
+            for doc_id in self._postings.get(term, {}):
+                seen[doc_id] = None
+        return list(seen)
+
+    def __contains__(self, doc_id: str) -> bool:
+        return doc_id in self._documents
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "documents": float(self.num_documents),
+            "terms": float(self.num_terms),
+            "avg_doc_length": self.average_document_length,
+        }

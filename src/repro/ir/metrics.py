@@ -1,0 +1,97 @@
+"""Retrieval evaluation metrics.
+
+The paper reports a single headline metric: the *precision improvement* of
+the attention-derived ranking over the original airing order ("precision
+peaked at 34% improvement, meaning that a third more interesting stories
+appeared in the front").  These helpers implement that metric along with
+the standard P@k, recall@k, average precision and nDCG used in extension
+experiments.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Sequence, Set
+
+
+def precision_at_k(ranking: Sequence[str], relevant: Set[str], k: int) -> float:
+    """Fraction of the top-k ranked items that are relevant."""
+    if k <= 0:
+        raise ValueError("k must be positive")
+    top = list(ranking)[:k]
+    if not top:
+        return 0.0
+    hits = sum(1 for doc_id in top if doc_id in relevant)
+    return hits / len(top)
+
+
+def recall_at_k(ranking: Sequence[str], relevant: Set[str], k: int) -> float:
+    """Fraction of all relevant items found in the top-k."""
+    if k <= 0:
+        raise ValueError("k must be positive")
+    if not relevant:
+        return 0.0
+    top = list(ranking)[:k]
+    hits = sum(1 for doc_id in top if doc_id in relevant)
+    return hits / len(relevant)
+
+
+def average_precision(ranking: Sequence[str], relevant: Set[str]) -> float:
+    """Mean of precision values at each relevant item's rank."""
+    if not relevant:
+        return 0.0
+    hits = 0
+    precision_sum = 0.0
+    for position, doc_id in enumerate(ranking, start=1):
+        if doc_id in relevant:
+            hits += 1
+            precision_sum += hits / position
+    return precision_sum / len(relevant)
+
+
+def ndcg_at_k(ranking: Sequence[str], gains: Dict[str, float], k: int) -> float:
+    """Normalized discounted cumulative gain with graded relevance."""
+    if k <= 0:
+        raise ValueError("k must be positive")
+    dcg = 0.0
+    for position, doc_id in enumerate(list(ranking)[:k], start=1):
+        gain = gains.get(doc_id, 0.0)
+        if gain:
+            dcg += (2**gain - 1) / math.log2(position + 1)
+    ideal_gains = sorted(gains.values(), reverse=True)[:k]
+    idcg = sum(
+        (2**gain - 1) / math.log2(position + 1)
+        for position, gain in enumerate(ideal_gains, start=1)
+        if gain
+    )
+    if idcg == 0:
+        return 0.0
+    return dcg / idcg
+
+
+def precision_improvement(
+    ranking: Sequence[str],
+    baseline: Sequence[str],
+    relevant: Set[str],
+    k: int,
+) -> float:
+    """Relative improvement of P@k of ``ranking`` over ``baseline``.
+
+    Returns a fraction: 0.34 means "a third more interesting stories
+    appeared in the front", matching the paper's phrasing.  If the baseline
+    precision is zero the improvement is reported against a floor of one
+    relevant item in the top-k to avoid division by zero.
+    """
+    ranked_precision = precision_at_k(ranking, relevant, k)
+    baseline_precision = precision_at_k(baseline, relevant, k)
+    if baseline_precision == 0:
+        baseline_precision = 1.0 / k
+    return (ranked_precision - baseline_precision) / baseline_precision
+
+
+def mean_reciprocal_rank(ranking: Sequence[str], relevant: Set[str]) -> float:
+    """Reciprocal rank of the first relevant item (0 if none present)."""
+    for position, doc_id in enumerate(ranking, start=1):
+        if doc_id in relevant:
+            return 1.0 / position
+    return 0.0

@@ -1,0 +1,200 @@
+"""Porter stemming algorithm (Porter, 1980).
+
+A faithful implementation of the classic five-step suffix stripper.  It is
+used by :class:`repro.ir.tokenize.TextAnalyzer` so that query terms derived
+from browsing history and document terms in the video archive share one
+term space, as in the paper's BM25 experiment.
+"""
+
+from __future__ import annotations
+
+
+class PorterStemmer:
+    """The Porter (1980) stemmer for English."""
+
+    VOWELS = "aeiou"
+
+    def stem(self, word: str) -> str:
+        """Return the stem of ``word`` (expects a lowercase token)."""
+        if len(word) <= 2:
+            return word
+        word = self._step1a(word)
+        word = self._step1b(word)
+        word = self._step1c(word)
+        word = self._step2(word)
+        word = self._step3(word)
+        word = self._step4(word)
+        word = self._step5a(word)
+        word = self._step5b(word)
+        return word
+
+    # -- measure and shape helpers ----------------------------------------
+
+    def _is_consonant(self, word: str, index: int) -> bool:
+        letter = word[index]
+        if letter in self.VOWELS:
+            return False
+        if letter == "y":
+            if index == 0:
+                return True
+            return not self._is_consonant(word, index - 1)
+        return True
+
+    def _measure(self, stem: str) -> int:
+        """Count VC sequences in ``stem`` (the Porter measure m)."""
+        forms = []
+        for index in range(len(stem)):
+            forms.append("c" if self._is_consonant(stem, index) else "v")
+        collapsed = []
+        for form in forms:
+            if not collapsed or collapsed[-1] != form:
+                collapsed.append(form)
+        pattern = "".join(collapsed)
+        return pattern.count("vc")
+
+    def _contains_vowel(self, stem: str) -> bool:
+        return any(not self._is_consonant(stem, index) for index in range(len(stem)))
+
+    def _ends_double_consonant(self, word: str) -> bool:
+        if len(word) < 2:
+            return False
+        return word[-1] == word[-2] and self._is_consonant(word, len(word) - 1)
+
+    def _ends_cvc(self, word: str) -> bool:
+        if len(word) < 3:
+            return False
+        if (
+            self._is_consonant(word, len(word) - 3)
+            and not self._is_consonant(word, len(word) - 2)
+            and self._is_consonant(word, len(word) - 1)
+        ):
+            return word[-1] not in "wxy"
+        return False
+
+    def _replace(self, word: str, suffix: str, replacement: str, min_measure: int) -> str:
+        stem = word[: len(word) - len(suffix)]
+        if self._measure(stem) > min_measure:
+            return stem + replacement
+        return word
+
+    # -- steps --------------------------------------------------------------
+
+    def _step1a(self, word: str) -> str:
+        if word.endswith("sses"):
+            return word[:-2]
+        if word.endswith("ies"):
+            return word[:-2]
+        if word.endswith("ss"):
+            return word
+        if word.endswith("s"):
+            return word[:-1]
+        return word
+
+    def _step1b(self, word: str) -> str:
+        if word.endswith("eed"):
+            stem = word[:-3]
+            if self._measure(stem) > 0:
+                return word[:-1]
+            return word
+        flag = False
+        if word.endswith("ed"):
+            stem = word[:-2]
+            if self._contains_vowel(stem):
+                word = stem
+                flag = True
+        elif word.endswith("ing"):
+            stem = word[:-3]
+            if self._contains_vowel(stem):
+                word = stem
+                flag = True
+        if flag:
+            if word.endswith(("at", "bl", "iz")):
+                return word + "e"
+            if self._ends_double_consonant(word) and not word.endswith(("l", "s", "z")):
+                return word[:-1]
+            if self._measure(word) == 1 and self._ends_cvc(word):
+                return word + "e"
+        return word
+
+    def _step1c(self, word: str) -> str:
+        if word.endswith("y") and self._contains_vowel(word[:-1]):
+            return word[:-1] + "i"
+        return word
+
+    _STEP2_SUFFIXES = (
+        ("ational", "ate"),
+        ("tional", "tion"),
+        ("enci", "ence"),
+        ("anci", "ance"),
+        ("izer", "ize"),
+        ("abli", "able"),
+        ("alli", "al"),
+        ("entli", "ent"),
+        ("eli", "e"),
+        ("ousli", "ous"),
+        ("ization", "ize"),
+        ("ation", "ate"),
+        ("ator", "ate"),
+        ("alism", "al"),
+        ("iveness", "ive"),
+        ("fulness", "ful"),
+        ("ousness", "ous"),
+        ("aliti", "al"),
+        ("iviti", "ive"),
+        ("biliti", "ble"),
+    )
+
+    def _step2(self, word: str) -> str:
+        for suffix, replacement in self._STEP2_SUFFIXES:
+            if word.endswith(suffix):
+                return self._replace(word, suffix, replacement, 0)
+        return word
+
+    _STEP3_SUFFIXES = (
+        ("icate", "ic"),
+        ("ative", ""),
+        ("alize", "al"),
+        ("iciti", "ic"),
+        ("ical", "ic"),
+        ("ful", ""),
+        ("ness", ""),
+    )
+
+    def _step3(self, word: str) -> str:
+        for suffix, replacement in self._STEP3_SUFFIXES:
+            if word.endswith(suffix):
+                return self._replace(word, suffix, replacement, 0)
+        return word
+
+    _STEP4_SUFFIXES = (
+        "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement",
+        "ment", "ent", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+    )
+
+    def _step4(self, word: str) -> str:
+        for suffix in self._STEP4_SUFFIXES:
+            if word.endswith(suffix):
+                stem = word[: len(word) - len(suffix)]
+                if self._measure(stem) > 1:
+                    return stem
+                return word
+        if word.endswith("ion"):
+            stem = word[:-3]
+            if self._measure(stem) > 1 and stem and stem[-1] in "st":
+                return stem
+        return word
+
+    def _step5a(self, word: str) -> str:
+        if word.endswith("e"):
+            stem = word[:-1]
+            measure = self._measure(stem)
+            if measure > 1:
+                return stem
+            if measure == 1 and not self._ends_cvc(stem):
+                return stem
+        return word
+
+    def _step5b(self, word: str) -> str:
+        if self._measure(word) > 1 and self._ends_double_consonant(word) and word.endswith("l"):
+            return word[:-1]
+        return word

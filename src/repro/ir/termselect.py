@@ -1,0 +1,178 @@
+"""Term selection with Robertson's Offer Weight.
+
+Section 3.3 of the paper: "We chose terms using a modified version of
+Robertson's Offer Weight formula which integrates the term frequency
+measure into the ranking process."
+
+The classic Offer Weight (a.k.a. Robertson Selection Value) for a term t is
+
+    OW(t) = r * RW(t)
+
+where ``r`` is the number of *relevant* documents containing t and RW is
+the relevance weight.  In Reef's setting the "relevant" documents are the
+pages in the user's attention history and the collection is the target
+archive; the modification weighs the term additionally by its frequency in
+the attention history, so terms the user read about repeatedly are
+preferred over one-off mentions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.ir.index import InvertedIndex
+
+
+@dataclass(frozen=True)
+class TermScore:
+    """A candidate query term and its selection scores."""
+
+    term: str
+    offer_weight: float
+    relevance_weight: float
+    attention_documents: int
+    attention_frequency: int
+
+
+class OfferWeightSelector:
+    """Select the top-N query terms from a user's attention documents.
+
+    Parameters
+    ----------
+    collection_index:
+        Index over the *target* collection (e.g. the video-story archive);
+        provides the collection statistics ``N`` and ``n`` (document
+        frequency) used in the relevance weight.
+    tf_exponent:
+        Strength of the paper's modification: the Offer Weight is
+        multiplied by ``(1 + log(attention term frequency)) ** tf_exponent``.
+        ``0`` recovers the classic Offer Weight.
+    min_attention_documents:
+        Terms must appear in at least this many attention documents to be
+        candidates, which filters out one-off noise terms.
+    max_attention_fraction:
+        Terms appearing in more than this fraction of the attention
+        documents are dropped: a word present on virtually every page the
+        user reads (e.g. "today", "report") says nothing about what the
+        user is interested in, and the r -> R corner of the relevance
+        weight would otherwise inflate its score.
+    """
+
+    def __init__(
+        self,
+        collection_index: InvertedIndex,
+        tf_exponent: float = 1.0,
+        min_attention_documents: int = 2,
+        max_attention_fraction: float = 0.5,
+    ) -> None:
+        if not 0 < max_attention_fraction <= 1:
+            raise ValueError("max_attention_fraction must be in (0, 1]")
+        self.collection_index = collection_index
+        self.tf_exponent = tf_exponent
+        self.min_attention_documents = min_attention_documents
+        self.max_attention_fraction = max_attention_fraction
+
+    def relevance_weight(self, term: str, relevant_with_term: int, relevant_total: int) -> float:
+        """Robertson / Sparck Jones relevance weight RW(t) with 0.5 smoothing.
+
+        The "relevant" documents here are the user's attention documents,
+        which are *not* members of the target collection; they are treated
+        as relevant documents added to it (N' = N + R, n' = n + r), which
+        simplifies the classic formula to::
+
+            RW(t) = log[ (r + 0.5)(N - n + 0.5) / ((n + 0.5)(R - r + 0.5)) ]
+
+        A term scores highly when it is relatively more common in the
+        attention history than in the target collection.
+        """
+        n_docs = self.collection_index.num_documents
+        df = self.collection_index.document_frequency(term)
+        r = relevant_with_term
+        big_r = relevant_total
+        numerator = (r + 0.5) * (n_docs - df + 0.5)
+        denominator = (df + 0.5) * (big_r - r + 0.5)
+        if denominator <= 0 or numerator <= 0:
+            return 0.0
+        return math.log(numerator / denominator)
+
+    def score_terms(
+        self, attention_documents: Sequence[Dict[str, int]]
+    ) -> List[TermScore]:
+        """Score every candidate term found in the attention documents.
+
+        ``attention_documents`` is a sequence of term-frequency dictionaries,
+        one per attention document (page the user read).
+        """
+        relevant_total = len(attention_documents)
+        if relevant_total == 0:
+            return []
+        doc_counts: Dict[str, int] = {}
+        frequencies: Dict[str, int] = {}
+        for term_freqs in attention_documents:
+            for term, frequency in term_freqs.items():
+                doc_counts[term] = doc_counts.get(term, 0) + 1
+                frequencies[term] = frequencies.get(term, 0) + frequency
+
+        scores: List[TermScore] = []
+        max_documents = self.max_attention_fraction * relevant_total
+        for term, r in doc_counts.items():
+            if r < self.min_attention_documents:
+                continue
+            if relevant_total > 4 and r > max_documents:
+                continue
+            if self.collection_index.document_frequency(term) == 0:
+                # Terms absent from the target collection cannot retrieve
+                # anything; skip them so the quota of N terms is not wasted.
+                continue
+            rw = self.relevance_weight(term, r, relevant_total)
+            if rw <= 0:
+                continue
+            offer = r * rw
+            if self.tf_exponent:
+                tf_boost = (1.0 + math.log(frequencies[term])) ** self.tf_exponent
+                offer *= tf_boost
+            scores.append(
+                TermScore(
+                    term=term,
+                    offer_weight=offer,
+                    relevance_weight=rw,
+                    attention_documents=r,
+                    attention_frequency=frequencies[term],
+                )
+            )
+        scores.sort(key=lambda score: (-score.offer_weight, score.term))
+        return scores
+
+    def select(
+        self,
+        attention_documents: Sequence[Dict[str, int]],
+        n_terms: int,
+    ) -> List[TermScore]:
+        """Return the top ``n_terms`` terms by (modified) Offer Weight."""
+        if n_terms <= 0:
+            raise ValueError("n_terms must be positive")
+        return self.score_terms(attention_documents)[:n_terms]
+
+    def build_query(
+        self,
+        attention_documents: Sequence[Dict[str, int]],
+        n_terms: int,
+        weighted: bool = True,
+    ) -> Dict[str, float]:
+        """Build a (possibly weighted) query dictionary term -> weight."""
+        selected = self.select(attention_documents, n_terms)
+        if weighted:
+            return {score.term: score.relevance_weight for score in selected}
+        return {score.term: 1.0 for score in selected}
+
+
+def attention_term_vectors(
+    texts: Sequence[str], analyzer: Optional[object] = None
+) -> List[Dict[str, int]]:
+    """Analyze raw attention texts into per-document term-frequency vectors."""
+    from repro.ir.tokenize import TextAnalyzer
+
+    analyzer = analyzer if analyzer is not None else TextAnalyzer()
+    return [dict(analyzer.analyze(text).term_frequencies) for text in texts]

@@ -1,0 +1,118 @@
+"""Tokenization and text analysis.
+
+The analyzer pipeline (lowercase -> tokenize -> drop stopwords -> stem) is
+what both the crawler's keyword extractor and the video-news ranker use,
+so a single shared implementation keeps query terms and document terms in
+the same term space.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.ir.stemming import PorterStemmer
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+(?:'[a-z]+)?")
+
+# A compact English stopword list (the usual SMART-style function words).
+STOPWORDS = frozenset(
+    """
+    a about above after again against all am an and any are aren't as at be
+    because been before being below between both but by can't cannot could
+    couldn't did didn't do does doesn't doing don't down during each few for
+    from further had hadn't has hasn't have haven't having he he'd he'll he's
+    her here here's hers herself him himself his how how's i i'd i'll i'm
+    i've if in into is isn't it it's its itself let's me more most mustn't my
+    myself no nor not of off on once only or other ought our ours ourselves
+    out over own same shan't she she'd she'll she's should shouldn't so some
+    such than that that's the their theirs them themselves then there there's
+    these they they'd they'll they're they've this those through to too under
+    until up very was wasn't we we'd we'll we're we've were weren't what
+    what's when when's where where's which while who who's whom why why's
+    with won't would wouldn't you you'd you'll you're you've your yours
+    yourself yourselves will just also said says new one two may via
+    """.split()
+)
+
+
+def tokenize(text: str) -> List[str]:
+    """Split text into lowercase alphanumeric tokens."""
+    return _TOKEN_RE.findall(text.lower())
+
+
+@dataclass
+class AnalyzedText:
+    """Result of running text through the analyzer pipeline."""
+
+    terms: List[str]
+    term_frequencies: Dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.term_frequencies:
+            self.term_frequencies = dict(Counter(self.terms))
+
+    @property
+    def length(self) -> int:
+        return len(self.terms)
+
+    def top_terms(self, n: int) -> List[str]:
+        ordered = sorted(
+            self.term_frequencies.items(), key=lambda item: (-item[1], item[0])
+        )
+        return [term for term, _ in ordered[:n]]
+
+
+class TextAnalyzer:
+    """Configurable lowercase / stopword / stemming analyzer."""
+
+    def __init__(
+        self,
+        stopwords: Optional[Iterable[str]] = None,
+        stem: bool = True,
+        min_token_length: int = 2,
+        max_token_length: int = 40,
+    ) -> None:
+        self.stopwords = frozenset(stopwords) if stopwords is not None else STOPWORDS
+        self.stem = stem
+        self.min_token_length = min_token_length
+        self.max_token_length = max_token_length
+        self._stemmer = PorterStemmer() if stem else None
+        self._stem_cache: Dict[str, str] = {}
+
+    def analyze(self, text: str) -> AnalyzedText:
+        """Run the full pipeline over ``text``."""
+        terms = []
+        for token in tokenize(text):
+            if token in self.stopwords:
+                continue
+            if not (self.min_token_length <= len(token) <= self.max_token_length):
+                continue
+            if token.isdigit():
+                continue
+            terms.append(self._stem_token(token))
+        return AnalyzedText(terms)
+
+    def analyze_terms(self, text: str) -> List[str]:
+        """Convenience wrapper returning just the term list."""
+        return self.analyze(text).terms
+
+    def _stem_token(self, token: str) -> str:
+        if self._stemmer is None:
+            return token
+        cached = self._stem_cache.get(token)
+        if cached is None:
+            cached = self._stemmer.stem(token)
+            self._stem_cache[token] = cached
+        return cached
+
+
+def term_frequencies(texts: Sequence[str], analyzer: Optional[TextAnalyzer] = None) -> Counter:
+    """Aggregate term frequencies over many texts (e.g. all pages a user read)."""
+    analyzer = analyzer if analyzer is not None else TextAnalyzer()
+    counts: Counter = Counter()
+    for text in texts:
+        counts.update(analyzer.analyze(text).terms)
+    return counts

@@ -1,0 +1,287 @@
+"""Cayuga-style composite event algebra.
+
+The paper contrasts simple topic subscriptions with expressive event
+algebras such as Cayuga, which allow "stateful subscriptions which span
+multiple events, as well as parametrization and aggregation".  This module
+provides a compact subset of that algebra as stateful *composite
+subscriptions* evaluated by a :class:`CompositeEngine`:
+
+* :class:`FilterExpr` — stateless predicate filter (the base case);
+* :class:`SequenceExpr` — "A followed by B within W seconds", optionally
+  *parametrized* (an attribute of the A event must equal the same
+  attribute of the B event);
+* :class:`WindowAggregateExpr` — sliding-window aggregation over an
+  attribute (count/sum/avg/max/min) with a threshold trigger;
+* :class:`AnyOfExpr` — disjunction of expressions.
+
+Composite matches produce :class:`CompositeMatch` objects naming the
+constituent events, which the subscription frontend can deliver just like
+primitive events.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.pubsub.events import AttributeValue, Event
+from repro.pubsub.subscriptions import Predicate
+
+
+@dataclass(frozen=True)
+class CompositeMatch:
+    """A composite subscription firing, with the events that caused it."""
+
+    expression_name: str
+    events: Tuple[Event, ...]
+    fired_at: float
+    value: Optional[float] = None
+
+
+class CompositeExpression:
+    """Base class of algebra expressions; subclasses keep their own state."""
+
+    name: str = "expr"
+
+    def observe(self, event: Event) -> List[CompositeMatch]:
+        """Feed one event; return any matches fired by it."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Discard accumulated state."""
+
+
+class FilterExpr(CompositeExpression):
+    """Stateless filter: fires on every event satisfying the predicates."""
+
+    def __init__(
+        self,
+        event_type: str,
+        predicates: Sequence[Predicate] = (),
+        name: str = "filter",
+    ) -> None:
+        self.event_type = event_type
+        self.predicates = tuple(predicates)
+        self.name = name
+
+    def _matches(self, event: Event) -> bool:
+        if event.event_type != self.event_type:
+            return False
+        return all(predicate.matches(event) for predicate in self.predicates)
+
+    def observe(self, event: Event) -> List[CompositeMatch]:
+        if self._matches(event):
+            return [
+                CompositeMatch(
+                    expression_name=self.name,
+                    events=(event,),
+                    fired_at=event.timestamp,
+                )
+            ]
+        return []
+
+    def reset(self) -> None:  # stateless
+        return None
+
+
+class SequenceExpr(CompositeExpression):
+    """"first NEXT second within W" with optional attribute parametrization."""
+
+    def __init__(
+        self,
+        first: FilterExpr,
+        second: FilterExpr,
+        window: float,
+        parameter: Optional[str] = None,
+        name: str = "sequence",
+    ) -> None:
+        if window <= 0:
+            raise ValueError("sequence window must be positive")
+        self.first = first
+        self.second = second
+        self.window = window
+        self.parameter = parameter
+        self.name = name
+        self._pending: Deque[Event] = deque()
+
+    def _expire(self, now: float) -> None:
+        while self._pending and now - self._pending[0].timestamp > self.window:
+            self._pending.popleft()
+
+    def observe(self, event: Event) -> List[CompositeMatch]:
+        self._expire(event.timestamp)
+        matches: List[CompositeMatch] = []
+        if self.second._matches(event):
+            for first_event in list(self._pending):
+                if first_event.timestamp > event.timestamp:
+                    continue
+                if self.parameter is not None:
+                    if first_event.get(self.parameter) != event.get(self.parameter):
+                        continue
+                matches.append(
+                    CompositeMatch(
+                        expression_name=self.name,
+                        events=(first_event, event),
+                        fired_at=event.timestamp,
+                    )
+                )
+        if self.first._matches(event):
+            self._pending.append(event)
+        return matches
+
+    def reset(self) -> None:
+        self._pending.clear()
+
+
+class AggregateFunction(str, enum.Enum):
+    COUNT = "count"
+    SUM = "sum"
+    AVG = "avg"
+    MAX = "max"
+    MIN = "min"
+
+
+class WindowAggregateExpr(CompositeExpression):
+    """Sliding-window aggregate with a threshold trigger.
+
+    Fires whenever the aggregate over matching events in the trailing
+    window crosses ``threshold`` (>=).  The attribute is ignored for COUNT.
+    """
+
+    def __init__(
+        self,
+        filter_expr: FilterExpr,
+        window: float,
+        function: AggregateFunction,
+        threshold: float,
+        attribute: Optional[str] = None,
+        name: str = "aggregate",
+    ) -> None:
+        if window <= 0:
+            raise ValueError("aggregate window must be positive")
+        if function is not AggregateFunction.COUNT and attribute is None:
+            raise ValueError(f"{function.value} aggregation requires an attribute")
+        self.filter_expr = filter_expr
+        self.window = window
+        self.function = function
+        self.threshold = threshold
+        self.attribute = attribute
+        self.name = name
+        self._window_events: Deque[Event] = deque()
+
+    def _expire(self, now: float) -> None:
+        while self._window_events and now - self._window_events[0].timestamp > self.window:
+            self._window_events.popleft()
+
+    def _aggregate(self) -> Optional[float]:
+        if not self._window_events:
+            return None
+        if self.function is AggregateFunction.COUNT:
+            return float(len(self._window_events))
+        values: List[float] = []
+        for event in self._window_events:
+            raw = event.get(self.attribute or "")
+            if isinstance(raw, bool) or not isinstance(raw, (int, float)):
+                continue
+            values.append(float(raw))
+        if not values:
+            return None
+        if self.function is AggregateFunction.SUM:
+            return sum(values)
+        if self.function is AggregateFunction.AVG:
+            return sum(values) / len(values)
+        if self.function is AggregateFunction.MAX:
+            return max(values)
+        if self.function is AggregateFunction.MIN:
+            return min(values)
+        raise AssertionError("unhandled aggregate")  # pragma: no cover
+
+    def observe(self, event: Event) -> List[CompositeMatch]:
+        self._expire(event.timestamp)
+        if not self.filter_expr._matches(event):
+            return []
+        self._window_events.append(event)
+        value = self._aggregate()
+        if value is not None and value >= self.threshold:
+            return [
+                CompositeMatch(
+                    expression_name=self.name,
+                    events=tuple(self._window_events),
+                    fired_at=event.timestamp,
+                    value=value,
+                )
+            ]
+        return []
+
+    def reset(self) -> None:
+        self._window_events.clear()
+
+
+class AnyOfExpr(CompositeExpression):
+    """Disjunction: fires whenever any child expression fires."""
+
+    def __init__(self, children: Sequence[CompositeExpression], name: str = "any") -> None:
+        if not children:
+            raise ValueError("AnyOfExpr requires at least one child")
+        self.children = list(children)
+        self.name = name
+
+    def observe(self, event: Event) -> List[CompositeMatch]:
+        matches: List[CompositeMatch] = []
+        for child in self.children:
+            for match in child.observe(event):
+                matches.append(
+                    CompositeMatch(
+                        expression_name=self.name,
+                        events=match.events,
+                        fired_at=match.fired_at,
+                        value=match.value,
+                    )
+                )
+        return matches
+
+    def reset(self) -> None:
+        for child in self.children:
+            child.reset()
+
+
+@dataclass
+class CompositeSubscription:
+    """A named, stateful subscription evaluated by the CompositeEngine."""
+
+    subscriber: str
+    expression: CompositeExpression
+    subscription_id: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.subscription_id:
+            self.subscription_id = f"csub-{id(self.expression):x}"
+
+
+class CompositeEngine:
+    """Evaluates stateful composite subscriptions over an event stream."""
+
+    def __init__(self) -> None:
+        self._subscriptions: Dict[str, CompositeSubscription] = {}
+        self.matches: List[Tuple[str, CompositeMatch]] = []
+
+    def add(self, subscription: CompositeSubscription) -> None:
+        self._subscriptions[subscription.subscription_id] = subscription
+
+    def remove(self, subscription_id: str) -> bool:
+        return self._subscriptions.pop(subscription_id, None) is not None
+
+    def observe(self, event: Event) -> List[Tuple[str, CompositeMatch]]:
+        """Feed an event to every composite subscription; returns
+        (subscriber, match) pairs fired by this event."""
+        fired: List[Tuple[str, CompositeMatch]] = []
+        for subscription in self._subscriptions.values():
+            for match in subscription.expression.observe(event):
+                fired.append((subscription.subscriber, match))
+        self.matches.extend(fired)
+        return fired
+
+    def __len__(self) -> int:
+        return len(self._subscriptions)

@@ -1,0 +1,141 @@
+"""Local publish-subscribe facade.
+
+:class:`PubSubSystem` is the "publish-subscribe substrate" box of the
+paper's Figures 1 and 2 reduced to a single in-process component: it
+validates events against registered schemas, matches them with the
+counting engine, evaluates composite (algebra) subscriptions and delivers
+to registered subscriber callbacks.  Reef's subscription frontend talks to
+this interface (or to the broker overlay / SCRIBE substrates, which expose
+the same subscribe/unsubscribe/publish verbs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.pubsub.algebra import CompositeEngine, CompositeMatch, CompositeSubscription
+from repro.pubsub.events import Event, EventSchema, SchemaRegistry
+from repro.pubsub.matching import MatchingEngine
+from repro.pubsub.subscriptions import Subscription
+from repro.sim.metrics import MetricsRegistry
+
+SubscriberCallback = Callable[["DeliveredEvent"], None]
+
+
+@dataclass(frozen=True)
+class DeliveredEvent:
+    """An event as delivered to one subscriber."""
+
+    subscriber: str
+    event: Event
+    subscription_id: str
+    delivered_at: float
+    composite: Optional[CompositeMatch] = None
+
+
+class PubSubSystem:
+    """An in-process publish-subscribe system with content-based matching."""
+
+    def __init__(
+        self,
+        schemas: Optional[List[EventSchema]] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.schemas = SchemaRegistry(schemas)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._engine = MatchingEngine()
+        self._composite = CompositeEngine()
+        self._callbacks: Dict[str, List[SubscriberCallback]] = {}
+        self.delivery_log: List[DeliveredEvent] = []
+        self.published_events: List[Event] = []
+
+    # -- schemas ------------------------------------------------------------
+
+    def register_schema(self, schema: EventSchema) -> None:
+        self.schemas.register(schema)
+
+    # -- subscriber registration ----------------------------------------------
+
+    def register_subscriber(self, subscriber: str, callback: SubscriberCallback) -> None:
+        """Attach a delivery callback for ``subscriber``."""
+        self._callbacks.setdefault(subscriber, []).append(callback)
+
+    def unregister_subscriber(self, subscriber: str) -> None:
+        self._callbacks.pop(subscriber, None)
+
+    # -- subscriptions -----------------------------------------------------------
+
+    def subscribe(self, subscription: Subscription) -> str:
+        """Activate a subscription; returns its id."""
+        self._engine.add(subscription)
+        self.metrics.counter("pubsub.subscribe").increment()
+        self.metrics.gauge("pubsub.active_subscriptions").set(len(self._engine))
+        return subscription.subscription_id
+
+    def unsubscribe(self, subscription_id: str) -> bool:
+        removed = self._engine.remove(subscription_id)
+        if removed:
+            self.metrics.counter("pubsub.unsubscribe").increment()
+            self.metrics.gauge("pubsub.active_subscriptions").set(len(self._engine))
+        return removed
+
+    def subscribe_composite(self, subscription: CompositeSubscription) -> str:
+        self._composite.add(subscription)
+        self.metrics.counter("pubsub.subscribe_composite").increment()
+        return subscription.subscription_id
+
+    def unsubscribe_composite(self, subscription_id: str) -> bool:
+        return self._composite.remove(subscription_id)
+
+    def subscriptions_for(self, subscriber: str) -> List[Subscription]:
+        return [
+            subscription
+            for subscription in self._engine.subscriptions()
+            if subscription.subscriber == subscriber
+        ]
+
+    def active_subscription_count(self) -> int:
+        return len(self._engine)
+
+    # -- publication ----------------------------------------------------------------
+
+    def publish(self, event: Event) -> List[DeliveredEvent]:
+        """Publish an event: validate, match, deliver.  Returns deliveries."""
+        self.schemas.validate(event)
+        self.published_events.append(event)
+        self.metrics.counter("pubsub.published").increment()
+
+        deliveries: List[DeliveredEvent] = []
+        for subscription in self._engine.match(event):
+            delivered = DeliveredEvent(
+                subscriber=subscription.subscriber,
+                event=event,
+                subscription_id=subscription.subscription_id,
+                delivered_at=event.timestamp,
+            )
+            deliveries.append(delivered)
+        for subscriber, match in self._composite.observe(event):
+            delivered = DeliveredEvent(
+                subscriber=subscriber,
+                event=event,
+                subscription_id=match.expression_name,
+                delivered_at=event.timestamp,
+                composite=match,
+            )
+            deliveries.append(delivered)
+
+        for delivered in deliveries:
+            self.delivery_log.append(delivered)
+            self.metrics.counter("pubsub.delivered").increment()
+            for callback in self._callbacks.get(delivered.subscriber, ()):
+                callback(delivered)
+        return deliveries
+
+    # -- introspection ----------------------------------------------------------------
+
+    def deliveries_for(self, subscriber: str) -> List[DeliveredEvent]:
+        return [d for d in self.delivery_log if d.subscriber == subscriber]
+
+    def delivery_count(self) -> int:
+        return len(self.delivery_log)

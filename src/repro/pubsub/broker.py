@@ -1,0 +1,134 @@
+"""Content-based broker node (Siena/Gryphon style).
+
+A broker accepts subscriptions from local clients, matches published events
+against them, and participates in an overlay of brokers managed by
+:class:`repro.pubsub.router.BrokerOverlay`: subscriptions propagate through
+the overlay (pruned by covering relations) so that published events are
+forwarded only toward brokers with interested subscribers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.pubsub.events import Event
+from repro.pubsub.matching import MatchingEngine
+from repro.pubsub.subscriptions import Subscription, minimal_cover
+
+DeliveryCallback = Callable[[str, Event, Subscription], None]
+
+
+@dataclass
+class BrokerStats:
+    """Per-broker accounting used by the scalability benchmarks."""
+
+    events_published: int = 0
+    events_forwarded: int = 0
+    events_delivered: int = 0
+    subscriptions_received: int = 0
+    subscriptions_forwarded: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "events_published": self.events_published,
+            "events_forwarded": self.events_forwarded,
+            "events_delivered": self.events_delivered,
+            "subscriptions_received": self.subscriptions_received,
+            "subscriptions_forwarded": self.subscriptions_forwarded,
+        }
+
+
+class Broker:
+    """One node in the content-based routing overlay."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        # Subscriptions from clients attached directly to this broker.
+        self.local_engine = MatchingEngine()
+        # Subscriptions learned from each neighbouring broker (routing state):
+        # neighbour name -> matching engine of subscriptions reachable via it.
+        self.remote_engines: Dict[str, MatchingEngine] = {}
+        self.neighbours: Set[str] = set()
+        self.stats = BrokerStats()
+        self._delivery_callbacks: List[DeliveryCallback] = []
+
+    # -- wiring ------------------------------------------------------------
+
+    def add_neighbour(self, neighbour_name: str) -> None:
+        self.neighbours.add(neighbour_name)
+        self.remote_engines.setdefault(neighbour_name, MatchingEngine())
+
+    def on_delivery(self, callback: DeliveryCallback) -> None:
+        """Register a callback invoked for every local delivery
+        (subscriber name, event, matching subscription)."""
+        self._delivery_callbacks.append(callback)
+
+    # -- subscription management --------------------------------------------
+
+    def subscribe_local(self, subscription: Subscription) -> None:
+        """A directly attached client placed a subscription."""
+        self.local_engine.add(subscription)
+        self.stats.subscriptions_received += 1
+
+    def unsubscribe_local(self, subscription_id: str) -> bool:
+        return self.local_engine.remove(subscription_id)
+
+    def learn_remote(self, neighbour_name: str, subscription: Subscription) -> None:
+        """Record that events matching ``subscription`` must be forwarded to
+        ``neighbour_name``."""
+        engine = self.remote_engines.setdefault(neighbour_name, MatchingEngine())
+        engine.add(subscription)
+
+    def forget_remote(self, neighbour_name: str, subscription_id: str) -> bool:
+        engine = self.remote_engines.get(neighbour_name)
+        if engine is None:
+            return False
+        return engine.remove(subscription_id)
+
+    def advertised_subscriptions(self, exclude_neighbour: Optional[str] = None) -> List[Subscription]:
+        """The minimal covering set of subscriptions this broker must
+        advertise to a neighbour: its local subscriptions plus those learned
+        from all *other* neighbours."""
+        subscriptions: List[Subscription] = list(self.local_engine.subscriptions())
+        for neighbour, engine in self.remote_engines.items():
+            if neighbour == exclude_neighbour:
+                continue
+            subscriptions.extend(engine.subscriptions())
+        return minimal_cover(subscriptions)
+
+    # -- event handling ------------------------------------------------------
+
+    def deliver_local(self, event: Event) -> List[Subscription]:
+        """Match an event against local subscriptions and deliver."""
+        matched = self.local_engine.match(event)
+        for subscription in matched:
+            self.stats.events_delivered += 1
+            for callback in self._delivery_callbacks:
+                callback(subscription.subscriber, event, subscription)
+        return matched
+
+    def interested_neighbours(self, event: Event, exclude: Optional[str] = None) -> List[str]:
+        """Neighbours that have at least one remote subscription matching
+        ``event`` (the forwarding decision of content-based routing)."""
+        interested = []
+        for neighbour, engine in self.remote_engines.items():
+            if neighbour == exclude:
+                continue
+            if engine.match(event):
+                interested.append(neighbour)
+        return sorted(interested)
+
+    @property
+    def local_subscription_count(self) -> int:
+        return len(self.local_engine)
+
+    def routing_table_size(self) -> int:
+        """Total remote subscriptions held as routing state."""
+        return sum(len(engine) for engine in self.remote_engines.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Broker({self.name!r}, local={self.local_subscription_count}, "
+            f"routing={self.routing_table_size()})"
+        )

@@ -1,0 +1,167 @@
+"""Pastry-like structured overlay (prefix routing on a circular id space).
+
+SCRIBE builds topic multicast trees on top of Pastry; this module provides
+the minimal substrate SCRIBE needs: node ids in a circular identifier
+space, a ``route(key)`` primitive that converges to the node numerically
+closest to the key, and per-hop visibility so multicast trees can be formed
+from the routes taken by subscribe messages.
+
+The implementation favours clarity over faithfulness to Pastry's routing
+table structure: each node knows every other node (a "one-hop" overlay)
+but *routes greedily by prefix*, so route paths have the logarithmic hop
+structure that SCRIBE tree building relies on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+ID_BITS = 32
+ID_SPACE = 2**ID_BITS
+DIGITS = 8  # hex digits in an id
+BASE = 16
+
+
+def node_id_for(name: str) -> int:
+    """Hash an arbitrary name into the identifier space."""
+    digest = hashlib.sha1(name.encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "big") % ID_SPACE
+
+
+def id_to_digits(identifier: int) -> str:
+    """Hexadecimal digit string of an identifier (fixed width)."""
+    return f"{identifier:0{DIGITS}x}"
+
+
+def shared_prefix_length(a: int, b: int) -> int:
+    """Number of leading hex digits shared by two identifiers."""
+    da, db = id_to_digits(a), id_to_digits(b)
+    count = 0
+    for ca, cb in zip(da, db):
+        if ca != cb:
+            break
+        count += 1
+    return count
+
+
+def circular_distance(a: int, b: int) -> int:
+    """Distance between two ids on the circular identifier space."""
+    diff = abs(a - b)
+    return min(diff, ID_SPACE - diff)
+
+
+@dataclass
+class DhtNode:
+    """A node participating in the structured overlay."""
+
+    name: str
+    node_id: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DhtNode({self.name!r}, id={id_to_digits(self.node_id)})"
+
+
+@dataclass
+class RouteResult:
+    """The path a message took toward the root of a key."""
+
+    key: int
+    path: List[str] = field(default_factory=list)
+
+    @property
+    def root(self) -> str:
+        return self.path[-1]
+
+    @property
+    def hops(self) -> int:
+        return max(0, len(self.path) - 1)
+
+
+class PastryOverlay:
+    """A simplified Pastry network supporting greedy prefix routing."""
+
+    def __init__(self) -> None:
+        self._nodes: Dict[str, DhtNode] = {}
+
+    # -- membership ----------------------------------------------------------
+
+    def join(self, name: str) -> DhtNode:
+        if name in self._nodes:
+            raise ValueError(f"node {name!r} already joined")
+        node = DhtNode(name=name, node_id=node_id_for(name))
+        self._nodes[name] = node
+        return node
+
+    def leave(self, name: str) -> bool:
+        return self._nodes.pop(name, None) is not None
+
+    def nodes(self) -> List[DhtNode]:
+        return sorted(self._nodes.values(), key=lambda node: node.node_id)
+
+    def node(self, name: str) -> Optional[DhtNode]:
+        return self._nodes.get(name)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._nodes
+
+    # -- routing ---------------------------------------------------------------
+
+    def root_for(self, key: int) -> DhtNode:
+        """The live node numerically closest to ``key`` (the key's root)."""
+        if not self._nodes:
+            raise RuntimeError("overlay has no nodes")
+        return min(
+            self._nodes.values(),
+            key=lambda node: (circular_distance(node.node_id, key), node.node_id),
+        )
+
+    def root_for_topic(self, topic: str) -> DhtNode:
+        return self.root_for(node_id_for(topic))
+
+    def route(self, start_name: str, key: int) -> RouteResult:
+        """Greedy prefix routing from ``start_name`` toward ``key``'s root.
+
+        At each hop the current node forwards to the node that shares a
+        strictly longer prefix with the key (or is numerically closer within
+        the same prefix length), halting at the key's root.
+        """
+        if start_name not in self._nodes:
+            raise KeyError(f"unknown start node {start_name!r}")
+        root = self.root_for(key)
+        current = self._nodes[start_name]
+        path = [current.name]
+        # Bounded by the number of digits: each hop increases prefix match.
+        for _ in range(DIGITS + len(self._nodes)):
+            if current.name == root.name:
+                break
+            best = self._next_hop(current, key)
+            if best is None or best.name == current.name:
+                # No strictly better node; jump straight to the root.
+                current = root
+                path.append(current.name)
+                break
+            current = best
+            path.append(current.name)
+        return RouteResult(key=key, path=path)
+
+    def _next_hop(self, current: DhtNode, key: int) -> Optional[DhtNode]:
+        current_prefix = shared_prefix_length(current.node_id, key)
+        current_distance = circular_distance(current.node_id, key)
+        best: Optional[DhtNode] = None
+        best_rank = (current_prefix, -current_distance)
+        for node in self._nodes.values():
+            if node.name == current.name:
+                continue
+            rank = (
+                shared_prefix_length(node.node_id, key),
+                -circular_distance(node.node_id, key),
+            )
+            if rank > best_rank:
+                best_rank = rank
+                best = node
+        return best

@@ -1,0 +1,146 @@
+"""Event model: typed name-value pairs.
+
+An event is an immutable set of attributes (name -> string/number/bool), a
+type name, a publication timestamp and an id.  Schemas describe the
+attributes an event type carries and are used both for validation on
+publish and by the attention parser to know what tokens to look for.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Optional, Tuple, Union
+
+AttributeValue = Union[str, int, float, bool]
+
+_event_counter = itertools.count(1)
+
+
+def _next_event_id() -> str:
+    return f"evt-{next(_event_counter):08d}"
+
+
+@dataclass(frozen=True)
+class Event:
+    """An immutable publish-subscribe event."""
+
+    event_type: str
+    attributes: Mapping[str, AttributeValue]
+    timestamp: float = 0.0
+    event_id: str = field(default_factory=_next_event_id)
+
+    def __post_init__(self) -> None:
+        if not self.event_type:
+            raise ValueError("event_type cannot be empty")
+        object.__setattr__(self, "attributes", dict(self.attributes))
+
+    def get(self, name: str, default: Optional[AttributeValue] = None) -> Optional[AttributeValue]:
+        return self.attributes.get(name, default)
+
+    def has(self, name: str) -> bool:
+        return name in self.attributes
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self.attributes))
+
+    def with_attributes(self, **extra: AttributeValue) -> "Event":
+        """A copy of this event with additional/overridden attributes."""
+        merged = dict(self.attributes)
+        merged.update(extra)
+        return Event(
+            event_type=self.event_type,
+            attributes=merged,
+            timestamp=self.timestamp,
+        )
+
+    def size_bytes(self) -> int:
+        """Approximate wire size used by the network simulation."""
+        size = len(self.event_type) + 16
+        for name, value in self.attributes.items():
+            size += len(name) + len(str(value)) + 4
+        return size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        pairs = ", ".join(f"{k}={v!r}" for k, v in sorted(self.attributes.items()))
+        return f"Event({self.event_type}, {pairs}, t={self.timestamp:.1f})"
+
+
+@dataclass(frozen=True)
+class EventSchema:
+    """Declares the attributes (and their types) of an event type."""
+
+    event_type: str
+    attribute_types: Mapping[str, type]
+    required: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "attribute_types", dict(self.attribute_types))
+        unknown_required = set(self.required) - set(self.attribute_types)
+        if unknown_required:
+            raise ValueError(
+                f"required attributes {sorted(unknown_required)} not declared in schema"
+            )
+
+    def validate(self, event: Event) -> None:
+        """Raise ``ValueError`` if the event does not conform to this schema."""
+        if event.event_type != self.event_type:
+            raise ValueError(
+                f"event type {event.event_type!r} does not match schema {self.event_type!r}"
+            )
+        for name in self.required:
+            if not event.has(name):
+                raise ValueError(f"event missing required attribute {name!r}")
+        for name, value in event.attributes.items():
+            expected = self.attribute_types.get(name)
+            if expected is None:
+                raise ValueError(f"attribute {name!r} not declared for {self.event_type!r}")
+            if expected is float and isinstance(value, int) and not isinstance(value, bool):
+                continue
+            if not isinstance(value, expected) or (
+                expected is not bool and isinstance(value, bool)
+            ):
+                raise ValueError(
+                    f"attribute {name!r} has type {type(value).__name__}, expected {expected.__name__}"
+                )
+
+    def attribute_names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self.attribute_types))
+
+    def make_event(
+        self, timestamp: float = 0.0, **attributes: AttributeValue
+    ) -> Event:
+        """Build and validate an event of this type."""
+        event = Event(
+            event_type=self.event_type, attributes=attributes, timestamp=timestamp
+        )
+        self.validate(event)
+        return event
+
+
+class SchemaRegistry:
+    """Registry of event schemas keyed by event type."""
+
+    def __init__(self, schemas: Optional[Iterable[EventSchema]] = None) -> None:
+        self._schemas: Dict[str, EventSchema] = {}
+        for schema in schemas or ():
+            self.register(schema)
+
+    def register(self, schema: EventSchema) -> None:
+        if schema.event_type in self._schemas:
+            raise ValueError(f"schema for {schema.event_type!r} already registered")
+        self._schemas[schema.event_type] = schema
+
+    def get(self, event_type: str) -> Optional[EventSchema]:
+        return self._schemas.get(event_type)
+
+    def validate(self, event: Event) -> None:
+        schema = self._schemas.get(event.event_type)
+        if schema is not None:
+            schema.validate(event)
+
+    def event_types(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._schemas))
+
+    def __contains__(self, event_type: str) -> bool:
+        return event_type in self._schemas

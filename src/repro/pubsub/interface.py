@@ -1,0 +1,192 @@
+"""Publish-subscribe interface specifications.
+
+The paper's key generality claim: "Consider a publish-subscribe system with
+a well-defined event algebra syntax and a specification for valid
+name-value pairs in the system.  In our approach, we analyze the continuous
+stream of user attention, looking for tokens that can form valid name-value
+pairs for the publish-subscribe system in question."
+
+An :class:`InterfaceSpec` is that specification: for each event type it
+lists the attributes a subscription may constrain, the value domain of each
+attribute (an enumerated vocabulary, a pattern, or free text), and which
+attribute is the natural "topic".  Reef's attention parser consults the
+spec to decide which tokens in the attention stream are usable.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.pubsub.events import EventSchema
+from repro.pubsub.subscriptions import Operator, Predicate, Subscription
+
+
+@dataclass(frozen=True)
+class AttributeSpec:
+    """Describes the valid values of one subscription attribute."""
+
+    name: str
+    value_type: type = str
+    vocabulary: Tuple[str, ...] = ()
+    pattern: Optional[str] = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "vocabulary", tuple(self.vocabulary))
+        if self.pattern is not None:
+            # Compile eagerly so invalid patterns fail at spec construction.
+            object.__setattr__(self, "_compiled", re.compile(self.pattern))
+        else:
+            object.__setattr__(self, "_compiled", None)
+
+    def accepts(self, token: str) -> bool:
+        """True if ``token`` is a valid value for this attribute."""
+        if self.vocabulary:
+            return token in self.vocabulary
+        compiled = getattr(self, "_compiled")
+        if compiled is not None:
+            return bool(compiled.fullmatch(token))
+        if not token:
+            return False
+        if self.value_type is str:
+            return True
+        try:
+            self.coerce(token)
+        except (TypeError, ValueError):
+            return False
+        return True
+
+    def coerce(self, token: str):
+        """Convert a string token to the attribute's value type."""
+        if self.value_type is str:
+            return token
+        if self.value_type is int:
+            return int(token)
+        if self.value_type is float:
+            return float(token)
+        if self.value_type is bool:
+            return token.lower() in ("true", "1", "yes")
+        raise TypeError(f"unsupported value type {self.value_type!r}")
+
+
+@dataclass(frozen=True)
+class InterfaceSpec:
+    """The subscription interface of one target publish-subscribe system."""
+
+    name: str
+    event_type: str
+    attributes: Tuple[AttributeSpec, ...]
+    topic_attribute: Optional[str] = None
+    schema: Optional[EventSchema] = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "attributes", tuple(self.attributes))
+        names = [spec.name for spec in self.attributes]
+        if len(names) != len(set(names)):
+            raise ValueError("duplicate attribute names in interface spec")
+        if self.topic_attribute is not None and self.topic_attribute not in names:
+            raise ValueError(
+                f"topic attribute {self.topic_attribute!r} is not declared"
+            )
+
+    def attribute(self, name: str) -> Optional[AttributeSpec]:
+        for spec in self.attributes:
+            if spec.name == name:
+                return spec
+        return None
+
+    def attribute_names(self) -> List[str]:
+        return [spec.name for spec in self.attributes]
+
+    def valid_pairs(self, tokens: Iterable[str]) -> List[Tuple[str, str]]:
+        """Return (attribute, token) pairs for tokens valid on some attribute.
+
+        This is the core of the attention parser: scan tokens against the
+        spec and keep the ones that can form valid name-value pairs.
+        """
+        pairs: List[Tuple[str, str]] = []
+        for token in tokens:
+            for spec in self.attributes:
+                if spec.accepts(token):
+                    pairs.append((spec.name, token))
+        return pairs
+
+    def make_topic_subscription(self, topic: str, subscriber: str = "") -> Subscription:
+        """Build a subscription on the spec's topic attribute."""
+        if self.topic_attribute is None:
+            raise ValueError(f"interface {self.name!r} has no topic attribute")
+        spec = self.attribute(self.topic_attribute)
+        assert spec is not None
+        if not spec.accepts(topic):
+            raise ValueError(f"{topic!r} is not a valid {self.topic_attribute}")
+        return Subscription(
+            event_type=self.event_type,
+            predicates=(Predicate(self.topic_attribute, Operator.EQ, spec.coerce(topic)),),
+            subscriber=subscriber,
+        )
+
+    def make_subscription(
+        self, constraints: Dict[str, object], subscriber: str = ""
+    ) -> Subscription:
+        """Build a conjunctive subscription from attribute equality constraints."""
+        predicates = []
+        for name, value in constraints.items():
+            spec = self.attribute(name)
+            if spec is None:
+                raise ValueError(f"attribute {name!r} not part of interface {self.name!r}")
+            predicates.append(Predicate(name, Operator.EQ, value))
+        return Subscription(
+            event_type=self.event_type,
+            predicates=tuple(predicates),
+            subscriber=subscriber,
+        )
+
+
+def feed_interface_spec() -> InterfaceSpec:
+    """Interface of the WAIF FeedEvents substrate (topic = feed URL)."""
+    return InterfaceSpec(
+        name="feed-events",
+        event_type="feed.update",
+        attributes=(
+            AttributeSpec(
+                name="feed_url",
+                pattern=r"https?://[^\s]+",
+                description="URL of the syndication feed",
+            ),
+            AttributeSpec(name="title", description="entry title"),
+        ),
+        topic_attribute="feed_url",
+        description="Push-based proxy for RSS/Atom/RDF feeds",
+    )
+
+
+def stock_interface_spec(symbols: Sequence[str]) -> InterfaceSpec:
+    """The paper's stock-quote example: valid tokens are known ticker symbols."""
+    return InterfaceSpec(
+        name="stock-quotes",
+        event_type="stock.quote",
+        attributes=(
+            AttributeSpec(name="symbol", vocabulary=tuple(symbols)),
+            AttributeSpec(name="price", value_type=float),
+        ),
+        topic_attribute="symbol",
+        description="Stock quote ticker",
+    )
+
+
+def news_interface_spec(keywords: Optional[Sequence[str]] = None) -> InterfaceSpec:
+    """Content-based news interface: any keyword token is a valid value."""
+    vocabulary = tuple(keywords) if keywords is not None else ()
+    return InterfaceSpec(
+        name="news-stories",
+        event_type="news.story",
+        attributes=(
+            AttributeSpec(name="keyword", vocabulary=vocabulary, pattern=None if vocabulary else r"[a-z][a-z0-9]{2,}"),
+            AttributeSpec(name="source", description="originating broadcaster"),
+        ),
+        topic_attribute="keyword",
+        description="Content-based video news story delivery",
+    )

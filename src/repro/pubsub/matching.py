@@ -1,0 +1,132 @@
+"""Matching engine: which subscriptions match a published event.
+
+Implements the classic counting algorithm used by Gryphon/Siena-style
+brokers: predicates are indexed by (event type, attribute, operator,
+value); when an event arrives, each of its attributes probes the index and
+increments a per-subscription hit counter; subscriptions whose counter
+reaches their predicate count match.  Equality predicates are matched via a
+hash lookup; inequality and string predicates fall back to per-attribute
+candidate lists, which keeps the structure simple while still avoiding a
+scan over all subscriptions for the common case.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.pubsub.events import Event
+from repro.pubsub.subscriptions import Operator, Predicate, Subscription
+
+
+@dataclass
+class _IndexedSubscription:
+    subscription: Subscription
+    predicate_count: int
+
+
+class MatchingEngine:
+    """Counting-based subscription matcher."""
+
+    def __init__(self) -> None:
+        self._subscriptions: Dict[str, _IndexedSubscription] = {}
+        # Equality index: (event_type, attribute, value) -> set of sub ids.
+        self._equality_index: Dict[Tuple[str, str, object], Set[str]] = defaultdict(set)
+        # Other predicates: (event_type, attribute) -> list of (sub id, predicate).
+        self._other_index: Dict[Tuple[str, str], List[Tuple[str, Predicate]]] = defaultdict(list)
+        # Subscriptions with no predicates match every event of their type.
+        self._wildcards: Dict[str, Set[str]] = defaultdict(set)
+
+    # -- maintenance -------------------------------------------------------
+
+    def add(self, subscription: Subscription) -> None:
+        """Index a subscription (idempotent per subscription id)."""
+        if subscription.subscription_id in self._subscriptions:
+            return
+        self._subscriptions[subscription.subscription_id] = _IndexedSubscription(
+            subscription=subscription,
+            predicate_count=len(subscription.predicates),
+        )
+        if not subscription.predicates:
+            self._wildcards[subscription.event_type].add(subscription.subscription_id)
+            return
+        for predicate in subscription.predicates:
+            if predicate.operator is Operator.EQ:
+                key = (subscription.event_type, predicate.attribute, predicate.value)
+                self._equality_index[key].add(subscription.subscription_id)
+            else:
+                key2 = (subscription.event_type, predicate.attribute)
+                self._other_index[key2].append((subscription.subscription_id, predicate))
+
+    def remove(self, subscription_id: str) -> bool:
+        """Remove a subscription from the index; returns False if unknown."""
+        indexed = self._subscriptions.pop(subscription_id, None)
+        if indexed is None:
+            return False
+        subscription = indexed.subscription
+        if not subscription.predicates:
+            self._wildcards[subscription.event_type].discard(subscription_id)
+            return True
+        for predicate in subscription.predicates:
+            if predicate.operator is Operator.EQ:
+                key = (subscription.event_type, predicate.attribute, predicate.value)
+                self._equality_index[key].discard(subscription_id)
+                if not self._equality_index[key]:
+                    del self._equality_index[key]
+            else:
+                key2 = (subscription.event_type, predicate.attribute)
+                entries = self._other_index.get(key2, [])
+                self._other_index[key2] = [
+                    entry for entry in entries if entry[0] != subscription_id
+                ]
+                if not self._other_index[key2]:
+                    del self._other_index[key2]
+        return True
+
+    def __len__(self) -> int:
+        return len(self._subscriptions)
+
+    def __contains__(self, subscription_id: str) -> bool:
+        return subscription_id in self._subscriptions
+
+    def subscriptions(self) -> List[Subscription]:
+        return [indexed.subscription for indexed in self._subscriptions.values()]
+
+    def get(self, subscription_id: str) -> Optional[Subscription]:
+        indexed = self._subscriptions.get(subscription_id)
+        return indexed.subscription if indexed is not None else None
+
+    # -- matching ----------------------------------------------------------
+
+    def match(self, event: Event) -> List[Subscription]:
+        """Return all subscriptions matching ``event``."""
+        counts: Dict[str, int] = defaultdict(int)
+
+        for name, value in event.attributes.items():
+            eq_key = (event.event_type, name, value)
+            for sub_id in self._equality_index.get(eq_key, ()):
+                counts[sub_id] += 1
+            other_key = (event.event_type, name)
+            for sub_id, predicate in self._other_index.get(other_key, ()):
+                if predicate.matches(event):
+                    counts[sub_id] += 1
+
+        matched: List[Subscription] = []
+        for sub_id, hits in counts.items():
+            indexed = self._subscriptions.get(sub_id)
+            if indexed is not None and hits >= indexed.predicate_count:
+                matched.append(indexed.subscription)
+        for sub_id in self._wildcards.get(event.event_type, ()):
+            indexed = self._subscriptions.get(sub_id)
+            if indexed is not None:
+                matched.append(indexed.subscription)
+        matched.sort(key=lambda subscription: subscription.subscription_id)
+        return matched
+
+    def match_subscribers(self, event: Event) -> List[str]:
+        """Distinct subscriber names whose subscriptions match ``event``."""
+        seen: Dict[str, None] = {}
+        for subscription in self.match(event):
+            seen.setdefault(subscription.subscriber, None)
+        return list(seen)

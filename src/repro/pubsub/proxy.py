@@ -1,0 +1,217 @@
+"""WAIF-style push proxy for pull-based Web feeds (the FeedEvents service).
+
+The paper's feed subscriptions are deployed at "WAIF Proxies": a proxy
+"can poll any RSS, Atom, or RDF feed, and check for updated content on
+behalf of many users", wrapping a pull-based resource with a push-based
+interface.  :class:`FeedEventsProxy` does exactly this against the
+simulated Web: it polls each feed once per polling interval regardless of
+how many subscribers want it, converts new entries into ``feed.update``
+events and pushes them to a local publish-subscribe system.
+
+:class:`DirectPollingClient` models the baseline the proxy is compared
+against in benchmark X4: every client polls every feed itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.pubsub.events import Event
+from repro.sim.engine import SimulationEngine
+from repro.sim.metrics import MetricsRegistry
+from repro.web.feeds import FeedEntry
+from repro.web.http import SimulatedHttp
+from repro.web.urls import parse_url
+
+FeedEventCallback = Callable[[str, Event], None]
+
+
+def feed_update_event(entry: FeedEntry, timestamp: float) -> Event:
+    """Convert a feed entry into a ``feed.update`` pub/sub event."""
+    return Event(
+        event_type="feed.update",
+        attributes={
+            "feed_url": entry.feed_url,
+            "title": entry.title,
+            "link": entry.link,
+            "summary": entry.text[:280],
+            "entry_id": entry.entry_id,
+            "topic": entry.topics[0] if entry.topics else "",
+        },
+        timestamp=timestamp,
+    )
+
+
+@dataclass
+class FeedSubscriptionState:
+    """Proxy-side state for one watched feed."""
+
+    feed_url: str
+    subscribers: Set[str] = field(default_factory=set)
+    last_seen: float = -1.0
+    polls: int = 0
+    updates_pushed: int = 0
+
+
+class FeedEventsProxy:
+    """Polls feeds on behalf of many subscribers and pushes updates."""
+
+    def __init__(
+        self,
+        http: SimulatedHttp,
+        engine: Optional[SimulationEngine] = None,
+        poll_interval: float = 1800.0,
+        metrics: Optional[MetricsRegistry] = None,
+        client_name: str = "feedevents-proxy",
+    ) -> None:
+        if poll_interval <= 0:
+            raise ValueError("poll_interval must be positive")
+        self.http = http
+        self.engine = engine
+        self.poll_interval = poll_interval
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.client_name = client_name
+        self._feeds: Dict[str, FeedSubscriptionState] = {}
+        self._callbacks: List[FeedEventCallback] = []
+        self._poll_handle = None
+
+    # -- subscriber management ------------------------------------------------
+
+    def on_update(self, callback: FeedEventCallback) -> None:
+        """Register a callback (subscriber, event) invoked for every update
+        pushed to a subscriber."""
+        self._callbacks.append(callback)
+
+    def subscribe(self, subscriber: str, feed_url: str) -> FeedSubscriptionState:
+        """Subscribe ``subscriber`` to ``feed_url``; the proxy starts polling
+        the feed if it was not watched before."""
+        normalized = parse_url(feed_url).full
+        state = self._feeds.get(normalized)
+        if state is None:
+            state = FeedSubscriptionState(feed_url=normalized)
+            self._feeds[normalized] = state
+            self.metrics.counter("proxy.feeds_watched").increment()
+        state.subscribers.add(subscriber)
+        self.metrics.counter("proxy.subscriptions").increment()
+        return state
+
+    def unsubscribe(self, subscriber: str, feed_url: str) -> bool:
+        normalized = parse_url(feed_url).full
+        state = self._feeds.get(normalized)
+        if state is None or subscriber not in state.subscribers:
+            return False
+        state.subscribers.remove(subscriber)
+        self.metrics.counter("proxy.unsubscriptions").increment()
+        if not state.subscribers:
+            # Nobody cares any more: stop polling the feed entirely.
+            del self._feeds[normalized]
+        return True
+
+    def subscribers_of(self, feed_url: str) -> Set[str]:
+        state = self._feeds.get(parse_url(feed_url).full)
+        return set(state.subscribers) if state is not None else set()
+
+    def watched_feeds(self) -> List[str]:
+        return sorted(self._feeds)
+
+    # -- polling ------------------------------------------------------------------
+
+    def poll_all(self, now: float) -> List[Event]:
+        """Poll every watched feed once; push and return the new events."""
+        pushed: List[Event] = []
+        for state in list(self._feeds.values()):
+            pushed.extend(self._poll_feed(state, now))
+        return pushed
+
+    def _poll_feed(self, state: FeedSubscriptionState, now: float) -> List[Event]:
+        response = self.http.fetch(
+            state.feed_url, client=self.client_name, timestamp=now
+        )
+        state.polls += 1
+        self.metrics.counter("proxy.polls").increment()
+        if not response.ok or response.feed is None:
+            self.metrics.counter("proxy.poll_failures").increment()
+            return []
+        new_entries = response.feed.entries_since(state.last_seen)
+        state.last_seen = now
+        events: List[Event] = []
+        for entry in new_entries:
+            event = feed_update_event(entry, timestamp=now)
+            events.append(event)
+            state.updates_pushed += 1
+            self.metrics.counter("proxy.updates_pushed").increment()
+            for subscriber in sorted(state.subscribers):
+                for callback in self._callbacks:
+                    callback(subscriber, event)
+                self.metrics.counter("proxy.deliveries").increment()
+        return events
+
+    def start(self, engine: Optional[SimulationEngine] = None) -> None:
+        """Begin periodic polling on the simulation engine."""
+        engine = engine if engine is not None else self.engine
+        if engine is None:
+            raise ValueError("an engine is required to start periodic polling")
+        self.engine = engine
+
+        def do_poll(eng: SimulationEngine) -> None:
+            self.poll_all(eng.now)
+
+        self._poll_handle = engine.schedule_periodic(
+            self.poll_interval, do_poll, label="feedevents-poll"
+        )
+
+    # -- accounting ------------------------------------------------------------------
+
+    def total_polls(self) -> int:
+        return int(self.metrics.counter("proxy.polls").value)
+
+    def total_deliveries(self) -> int:
+        return int(self.metrics.counter("proxy.deliveries").value)
+
+
+class DirectPollingClient:
+    """Baseline: a client that polls its subscribed feeds itself.
+
+    Used by benchmark X4 to quantify the origin-server load that the
+    FeedEvents proxy removes (the motivation cited from Liu et al. [13]).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        http: SimulatedHttp,
+        poll_interval: float = 1800.0,
+    ) -> None:
+        self.name = name
+        self.http = http
+        self.poll_interval = poll_interval
+        self.feeds: Dict[str, float] = {}
+        self.updates_seen = 0
+        self.polls_issued = 0
+
+    def subscribe(self, feed_url: str) -> None:
+        self.feeds.setdefault(parse_url(feed_url).full, -1.0)
+
+    def unsubscribe(self, feed_url: str) -> None:
+        self.feeds.pop(parse_url(feed_url).full, None)
+
+    def poll_all(self, now: float) -> List[FeedEntry]:
+        """Poll every subscribed feed directly against its origin server."""
+        new_entries: List[FeedEntry] = []
+        for feed_url, last_seen in list(self.feeds.items()):
+            response = self.http.fetch(feed_url, client=self.name, timestamp=now)
+            self.polls_issued += 1
+            if not response.ok or response.feed is None:
+                continue
+            entries = response.feed.entries_since(last_seen)
+            self.feeds[feed_url] = now
+            self.updates_seen += len(entries)
+            new_entries.extend(entries)
+        return new_entries
+
+    def start(self, engine: SimulationEngine) -> None:
+        def do_poll(eng: SimulationEngine) -> None:
+            self.poll_all(eng.now)
+
+        engine.schedule_periodic(self.poll_interval, do_poll, label=f"poll:{self.name}")

@@ -1,0 +1,243 @@
+"""Broker overlay with content-based routing.
+
+The overlay is an acyclic graph (tree) of :class:`~repro.pubsub.broker.Broker`
+nodes, as in Siena's hierarchical/acyclic peer-to-peer configurations.
+Subscriptions issued at a broker propagate to every other broker (pruned by
+covering), publications are forwarded only along edges leading to brokers
+with matching subscriptions, and a flooding mode is provided as the
+baseline the scalability benchmark compares against.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.pubsub.broker import Broker
+from repro.pubsub.events import Event
+from repro.pubsub.subscriptions import Subscription
+from repro.sim.metrics import MetricsRegistry
+
+
+@dataclass
+class RoutingReport:
+    """Outcome of publishing one event through the overlay."""
+
+    event: Event
+    origin_broker: str
+    brokers_visited: List[str] = field(default_factory=list)
+    hops: int = 0
+    deliveries: int = 0
+    subscribers: List[str] = field(default_factory=list)
+
+
+class BrokerOverlay:
+    """A network of brokers with content-based (or flooding) routing."""
+
+    def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
+        self.brokers: Dict[str, Broker] = {}
+        self._edges: Dict[str, Set[str]] = {}
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._client_home: Dict[str, str] = {}
+
+    # -- topology -----------------------------------------------------------
+
+    def add_broker(self, name: str) -> Broker:
+        if name in self.brokers:
+            raise ValueError(f"broker {name!r} already exists")
+        broker = Broker(name)
+        self.brokers[name] = broker
+        self._edges[name] = set()
+        return broker
+
+    def connect(self, first: str, second: str) -> None:
+        """Connect two brokers with a bidirectional overlay link.
+
+        The overlay must remain acyclic; connecting two brokers already
+        joined by a path raises ``ValueError``.
+        """
+        if first not in self.brokers or second not in self.brokers:
+            raise KeyError("both brokers must exist before connecting them")
+        if first == second:
+            raise ValueError("cannot connect a broker to itself")
+        if self._path_exists(first, second):
+            raise ValueError("overlay must remain acyclic (path already exists)")
+        self._edges[first].add(second)
+        self._edges[second].add(first)
+        self.brokers[first].add_neighbour(second)
+        self.brokers[second].add_neighbour(first)
+
+    def _path_exists(self, start: str, goal: str) -> bool:
+        seen = {start}
+        queue = deque([start])
+        while queue:
+            current = queue.popleft()
+            if current == goal:
+                return True
+            for neighbour in self._edges[current]:
+                if neighbour not in seen:
+                    seen.add(neighbour)
+                    queue.append(neighbour)
+        return False
+
+    def neighbours(self, broker_name: str) -> Set[str]:
+        return set(self._edges[broker_name])
+
+    def broker_names(self) -> List[str]:
+        return sorted(self.brokers)
+
+    # -- client operations ----------------------------------------------------
+
+    def attach_client(self, client: str, broker_name: str) -> None:
+        if broker_name not in self.brokers:
+            raise KeyError(f"unknown broker {broker_name!r}")
+        self._client_home[client] = broker_name
+
+    def home_broker(self, client: str) -> Optional[str]:
+        return self._client_home.get(client)
+
+    def subscribe(self, client: str, subscription: Subscription) -> None:
+        """Place a subscription at the client's home broker and propagate it
+        through the overlay so every broker learns a route toward it."""
+        home = self._client_home.get(client)
+        if home is None:
+            raise KeyError(f"client {client!r} is not attached to a broker")
+        self.brokers[home].subscribe_local(subscription)
+        self.metrics.counter("overlay.subscriptions").increment()
+        self._propagate_subscription(home, subscription)
+
+    def unsubscribe(self, client: str, subscription_id: str) -> bool:
+        home = self._client_home.get(client)
+        if home is None:
+            return False
+        removed = self.brokers[home].unsubscribe_local(subscription_id)
+        if removed:
+            # Remove the routing state everywhere.
+            for name, broker in self.brokers.items():
+                for neighbour in list(broker.remote_engines):
+                    broker.forget_remote(neighbour, subscription_id)
+            self.metrics.counter("overlay.unsubscriptions").increment()
+        return removed
+
+    def _propagate_subscription(self, origin: str, subscription: Subscription) -> None:
+        """Breadth-first propagation: each broker records which neighbour
+        leads back toward the subscriber, pruned by covering relations."""
+        visited = {origin}
+        queue = deque([(origin, neighbour) for neighbour in self._edges[origin]])
+        while queue:
+            from_broker, to_broker = queue.popleft()
+            if to_broker in visited:
+                continue
+            visited.add(to_broker)
+            broker = self.brokers[to_broker]
+            # Covering check: if an already-known subscription via this
+            # neighbour covers the new one, the routing state is unchanged.
+            existing = broker.remote_engines.get(from_broker)
+            if existing is not None and any(
+                known.covers(subscription) for known in existing.subscriptions()
+            ):
+                self.metrics.counter("overlay.subscription_pruned").increment()
+            else:
+                broker.learn_remote(from_broker, subscription)
+                broker.stats.subscriptions_forwarded += 1
+                self.metrics.counter("overlay.subscription_hops").increment()
+            for neighbour in self._edges[to_broker]:
+                if neighbour not in visited:
+                    queue.append((to_broker, neighbour))
+
+    # -- publishing -------------------------------------------------------------
+
+    def publish(self, publisher: str, event: Event, flood: bool = False) -> RoutingReport:
+        """Publish an event from ``publisher``'s home broker.
+
+        With ``flood=True`` the event visits every broker (the baseline);
+        otherwise it follows content-based forwarding and visits only
+        brokers on paths toward matching subscriptions.
+        """
+        origin = self._client_home.get(publisher)
+        if origin is None:
+            raise KeyError(f"publisher {publisher!r} is not attached to a broker")
+        report = RoutingReport(event=event, origin_broker=origin)
+        self.brokers[origin].stats.events_published += 1
+
+        visited: Set[str] = set()
+        queue: deque[Tuple[str, Optional[str]]] = deque([(origin, None)])
+        while queue:
+            broker_name, came_from = queue.popleft()
+            if broker_name in visited:
+                continue
+            visited.add(broker_name)
+            broker = self.brokers[broker_name]
+            report.brokers_visited.append(broker_name)
+            matched = broker.deliver_local(event)
+            report.deliveries += len(matched)
+            report.subscribers.extend(sub.subscriber for sub in matched)
+
+            if flood:
+                next_hops = [n for n in self._edges[broker_name] if n != came_from]
+            else:
+                next_hops = broker.interested_neighbours(event, exclude=came_from)
+            for neighbour in next_hops:
+                if neighbour not in visited:
+                    broker.stats.events_forwarded += 1
+                    report.hops += 1
+                    self.metrics.counter("overlay.event_hops").increment()
+                    queue.append((neighbour, broker_name))
+
+        self.metrics.counter("overlay.events_published").increment()
+        self.metrics.counter("overlay.event_deliveries").increment(report.deliveries)
+        self.metrics.histogram("overlay.brokers_visited").observe(len(report.brokers_visited))
+        return report
+
+    # -- convenience ---------------------------------------------------------------
+
+    def total_routing_state(self) -> int:
+        return sum(broker.routing_table_size() for broker in self.brokers.values())
+
+    def stats_by_broker(self) -> Dict[str, Dict[str, int]]:
+        return {name: broker.stats.as_dict() for name, broker in sorted(self.brokers.items())}
+
+
+def build_line_overlay(num_brokers: int, metrics: Optional[MetricsRegistry] = None) -> BrokerOverlay:
+    """A chain of brokers b0 - b1 - ... - bN-1 (worst-case diameter)."""
+    overlay = BrokerOverlay(metrics=metrics)
+    for index in range(num_brokers):
+        overlay.add_broker(f"b{index}")
+    for index in range(num_brokers - 1):
+        overlay.connect(f"b{index}", f"b{index + 1}")
+    return overlay
+
+
+def build_star_overlay(num_leaves: int, metrics: Optional[MetricsRegistry] = None) -> BrokerOverlay:
+    """A hub broker with ``num_leaves`` leaf brokers."""
+    overlay = BrokerOverlay(metrics=metrics)
+    overlay.add_broker("hub")
+    for index in range(num_leaves):
+        name = f"leaf{index}"
+        overlay.add_broker(name)
+        overlay.connect("hub", name)
+    return overlay
+
+
+def build_tree_overlay(
+    depth: int, fanout: int, metrics: Optional[MetricsRegistry] = None
+) -> BrokerOverlay:
+    """A complete tree of brokers with the given depth and fanout."""
+    if depth < 1 or fanout < 1:
+        raise ValueError("depth and fanout must be at least 1")
+    overlay = BrokerOverlay(metrics=metrics)
+    overlay.add_broker("t0")
+    frontier = ["t0"]
+    counter = 1
+    for _ in range(depth - 1):
+        next_frontier = []
+        for parent in frontier:
+            for _ in range(fanout):
+                name = f"t{counter}"
+                counter += 1
+                overlay.add_broker(name)
+                overlay.connect(parent, name)
+                next_frontier.append(name)
+        frontier = next_frontier
+    return overlay

@@ -1,0 +1,277 @@
+"""Subscriptions: predicates over event attributes.
+
+A :class:`Subscription` is a conjunction of :class:`Predicate` constraints
+over one event type (the Siena/Gryphon model).  Topic subscriptions are the
+degenerate case used by the SCRIBE-style substrate and by Reef's feed
+subscriptions.  Covering relations between subscriptions are implemented so
+the content-based router can avoid forwarding redundant subscriptions
+upstream.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.pubsub.events import AttributeValue, Event
+
+_subscription_counter = itertools.count(1)
+
+
+def _next_subscription_id() -> str:
+    return f"sub-{next(_subscription_counter):08d}"
+
+
+class Operator(str, enum.Enum):
+    """Comparison operators available in subscription predicates."""
+
+    EQ = "eq"
+    NE = "ne"
+    LT = "lt"
+    LE = "le"
+    GT = "gt"
+    GE = "ge"
+    PREFIX = "prefix"
+    CONTAINS = "contains"
+    EXISTS = "exists"
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """A single constraint on one attribute."""
+
+    attribute: str
+    operator: Operator
+    value: Optional[AttributeValue] = None
+
+    def __post_init__(self) -> None:
+        if not self.attribute:
+            raise ValueError("predicate attribute cannot be empty")
+        if self.operator is not Operator.EXISTS and self.value is None:
+            raise ValueError(f"operator {self.operator.value} requires a value")
+
+    def matches(self, event: Event) -> bool:
+        """True if the event satisfies this predicate."""
+        if not event.has(self.attribute):
+            return False
+        actual = event.get(self.attribute)
+        if self.operator is Operator.EXISTS:
+            return True
+        expected = self.value
+        try:
+            if self.operator is Operator.EQ:
+                return actual == expected
+            if self.operator is Operator.NE:
+                return actual != expected
+            if self.operator is Operator.LT:
+                return actual < expected  # type: ignore[operator]
+            if self.operator is Operator.LE:
+                return actual <= expected  # type: ignore[operator]
+            if self.operator is Operator.GT:
+                return actual > expected  # type: ignore[operator]
+            if self.operator is Operator.GE:
+                return actual >= expected  # type: ignore[operator]
+            if self.operator is Operator.PREFIX:
+                return isinstance(actual, str) and actual.startswith(str(expected))
+            if self.operator is Operator.CONTAINS:
+                return isinstance(actual, str) and str(expected) in actual
+        except TypeError:
+            return False
+        raise AssertionError(f"unhandled operator {self.operator}")  # pragma: no cover
+
+    def covers(self, other: "Predicate") -> bool:
+        """True if every event matching ``other`` also matches ``self``.
+
+        Only predicates on the same attribute can cover each other.  The
+        implementation handles the operator combinations needed by the
+        router; unknown combinations conservatively return False.
+        """
+        if self.attribute != other.attribute:
+            return False
+        if self.operator is Operator.EXISTS:
+            return True
+        if self == other:
+            return True
+        s_op, s_val = self.operator, self.value
+        o_op, o_val = other.operator, other.value
+        try:
+            if s_op is Operator.EQ:
+                return o_op is Operator.EQ and o_val == s_val
+            if s_op is Operator.GE:
+                if o_op in (Operator.GE, Operator.EQ, Operator.GT):
+                    return o_val >= s_val  # type: ignore[operator]
+            if s_op is Operator.GT:
+                if o_op in (Operator.GT, Operator.GE):
+                    return o_val >= s_val  # type: ignore[operator]
+                if o_op is Operator.EQ:
+                    return o_val > s_val  # type: ignore[operator]
+            if s_op is Operator.LE:
+                if o_op in (Operator.LE, Operator.EQ, Operator.LT):
+                    return o_val <= s_val  # type: ignore[operator]
+            if s_op is Operator.LT:
+                if o_op in (Operator.LT, Operator.LE):
+                    return o_val <= s_val  # type: ignore[operator]
+                if o_op is Operator.EQ:
+                    return o_val < s_val  # type: ignore[operator]
+            if s_op is Operator.PREFIX:
+                if o_op is Operator.PREFIX:
+                    return str(o_val).startswith(str(s_val))
+                if o_op is Operator.EQ:
+                    return str(o_val).startswith(str(s_val))
+            if s_op is Operator.CONTAINS:
+                if o_op in (Operator.CONTAINS, Operator.EQ):
+                    return str(s_val) in str(o_val)
+        except TypeError:
+            return False
+        return False
+
+    def __str__(self) -> str:
+        if self.operator is Operator.EXISTS:
+            return f"{self.attribute} exists"
+        return f"{self.attribute} {self.operator.value} {self.value!r}"
+
+
+@dataclass(frozen=True)
+class Subscription:
+    """A conjunctive content-based subscription on one event type."""
+
+    event_type: str
+    predicates: Tuple[Predicate, ...] = ()
+    subscriber: str = ""
+    subscription_id: str = field(default_factory=_next_subscription_id)
+
+    def __post_init__(self) -> None:
+        if not self.event_type:
+            raise ValueError("subscription event_type cannot be empty")
+        object.__setattr__(self, "predicates", tuple(self.predicates))
+
+    def matches(self, event: Event) -> bool:
+        if event.event_type != self.event_type:
+            return False
+        return all(predicate.matches(event) for predicate in self.predicates)
+
+    def covers(self, other: "Subscription") -> bool:
+        """True if every event matched by ``other`` is matched by ``self``.
+
+        A subscription covers another when they are on the same event type
+        and each of this subscription's predicates is covered by (i.e. at
+        least as general as) some predicate of the other subscription.
+        """
+        if self.event_type != other.event_type:
+            return False
+        for own in self.predicates:
+            if not any(own.covers(theirs) for theirs in other.predicates):
+                return False
+        return True
+
+    def attribute_names(self) -> Tuple[str, ...]:
+        return tuple(sorted({predicate.attribute for predicate in self.predicates}))
+
+    def describe(self) -> str:
+        if not self.predicates:
+            return f"{self.event_type}: *"
+        clauses = " AND ".join(str(predicate) for predicate in self.predicates)
+        return f"{self.event_type}: {clauses}"
+
+    def __str__(self) -> str:
+        return self.describe()
+
+
+def topic_subscription(
+    event_type: str, topic_attribute: str, topic: str, subscriber: str = ""
+) -> Subscription:
+    """Build the common "topic equals X" subscription."""
+    return Subscription(
+        event_type=event_type,
+        predicates=(Predicate(topic_attribute, Operator.EQ, topic),),
+        subscriber=subscriber,
+    )
+
+
+@dataclass(frozen=True)
+class TopicSubscription:
+    """A pure topic (channel) subscription for the SCRIBE-style substrate."""
+
+    topic: str
+    subscriber: str = ""
+    subscription_id: str = field(default_factory=_next_subscription_id)
+
+    def __post_init__(self) -> None:
+        if not self.topic:
+            raise ValueError("topic cannot be empty")
+
+    def matches_topic(self, topic: str) -> bool:
+        return self.topic == topic
+
+
+class SubscriptionTable:
+    """A per-subscriber registry of active subscriptions."""
+
+    def __init__(self) -> None:
+        self._by_id: Dict[str, Subscription] = {}
+        self._by_subscriber: Dict[str, List[str]] = {}
+
+    def add(self, subscription: Subscription) -> None:
+        self._by_id[subscription.subscription_id] = subscription
+        self._by_subscriber.setdefault(subscription.subscriber, []).append(
+            subscription.subscription_id
+        )
+
+    def remove(self, subscription_id: str) -> Optional[Subscription]:
+        subscription = self._by_id.pop(subscription_id, None)
+        if subscription is None:
+            return None
+        ids = self._by_subscriber.get(subscription.subscriber, [])
+        if subscription_id in ids:
+            ids.remove(subscription_id)
+        return subscription
+
+    def get(self, subscription_id: str) -> Optional[Subscription]:
+        return self._by_id.get(subscription_id)
+
+    def for_subscriber(self, subscriber: str) -> List[Subscription]:
+        return [
+            self._by_id[sub_id]
+            for sub_id in self._by_subscriber.get(subscriber, [])
+            if sub_id in self._by_id
+        ]
+
+    def all(self) -> List[Subscription]:
+        return list(self._by_id.values())
+
+    def matching(self, event: Event) -> List[Subscription]:
+        return [sub for sub in self._by_id.values() if sub.matches(event)]
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def __contains__(self, subscription_id: str) -> bool:
+        return subscription_id in self._by_id
+
+
+def minimal_cover(subscriptions: Sequence[Subscription]) -> List[Subscription]:
+    """Remove subscriptions covered by another subscription in the set.
+
+    Used by brokers when propagating subscription state upstream: only the
+    most general subscriptions need to travel toward publishers.
+    """
+    result: List[Subscription] = []
+    for candidate in subscriptions:
+        covered = False
+        for other in subscriptions:
+            if other is candidate:
+                continue
+            if other.covers(candidate) and not (
+                candidate.covers(other)
+                and other.subscription_id > candidate.subscription_id
+            ):
+                # `other` is strictly more general, or they are equivalent and
+                # the one with the smaller id is kept as the representative.
+                if not candidate.covers(other) or other.subscription_id < candidate.subscription_id:
+                    covered = True
+                    break
+        if not covered:
+            result.append(candidate)
+    return result

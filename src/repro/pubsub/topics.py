@@ -1,0 +1,168 @@
+"""SCRIBE-style topic-based multicast.
+
+Each topic is rooted at the DHT node whose identifier is closest to the
+topic's hash.  Subscribers route a JOIN toward the root; every node on the
+route becomes a *forwarder* and records the previous hop as a child,
+forming a per-topic multicast tree.  Publications are routed to the root
+and then pushed down the tree.  The paper cites SCRIBE as the class of
+scalable topic-based substrate Reef can drive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.pubsub.dht import PastryOverlay, node_id_for
+from repro.pubsub.events import Event
+from repro.sim.metrics import MetricsRegistry
+
+TopicDeliveryCallback = Callable[[str, str, Event], None]
+
+
+@dataclass
+class MulticastTree:
+    """The dissemination tree of one topic."""
+
+    topic: str
+    root: str
+    # node -> set of child nodes to forward to
+    children: Dict[str, Set[str]] = field(default_factory=dict)
+    # node -> set of local subscriber names attached at that node
+    local_subscribers: Dict[str, Set[str]] = field(default_factory=dict)
+
+    def add_edge(self, parent: str, child: str) -> None:
+        if parent == child:
+            return
+        self.children.setdefault(parent, set()).add(child)
+
+    def add_local_subscriber(self, node: str, subscriber: str) -> None:
+        self.local_subscribers.setdefault(node, set()).add(subscriber)
+
+    def remove_local_subscriber(self, node: str, subscriber: str) -> bool:
+        subscribers = self.local_subscribers.get(node)
+        if subscribers is None or subscriber not in subscribers:
+            return False
+        subscribers.remove(subscriber)
+        if not subscribers:
+            del self.local_subscribers[node]
+        return True
+
+    def subscriber_count(self) -> int:
+        return sum(len(subs) for subs in self.local_subscribers.values())
+
+    def forwarder_count(self) -> int:
+        nodes: Set[str] = set(self.children)
+        for children in self.children.values():
+            nodes.update(children)
+        nodes.update(self.local_subscribers)
+        nodes.add(self.root)
+        return len(nodes)
+
+
+class ScribeSystem:
+    """Topic-based publish-subscribe over a Pastry-like overlay."""
+
+    def __init__(
+        self,
+        overlay: PastryOverlay,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.overlay = overlay
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.trees: Dict[str, MulticastTree] = {}
+        self._delivery_callbacks: List[TopicDeliveryCallback] = []
+
+    def on_delivery(self, callback: TopicDeliveryCallback) -> None:
+        """Register a callback (subscriber, topic, event) for deliveries."""
+        self._delivery_callbacks.append(callback)
+
+    # -- membership ----------------------------------------------------------
+
+    def subscribe(self, subscriber: str, node_name: str, topic: str) -> MulticastTree:
+        """Subscribe ``subscriber`` (attached at ``node_name``) to ``topic``."""
+        if node_name not in self.overlay:
+            raise KeyError(f"node {node_name!r} has not joined the overlay")
+        key = node_id_for(topic)
+        route = self.overlay.route(node_name, key)
+        tree = self.trees.get(topic)
+        if tree is None:
+            tree = MulticastTree(topic=topic, root=route.root)
+            self.trees[topic] = tree
+        # Each hop of the join route becomes a tree edge parent->child where
+        # the child is the node nearer the subscriber.
+        path = route.path
+        for child, parent in zip(path, path[1:]):
+            tree.add_edge(parent, child)
+        tree.add_local_subscriber(node_name, subscriber)
+        self.metrics.counter("scribe.joins").increment()
+        self.metrics.histogram("scribe.join_hops").observe(route.hops)
+        return tree
+
+    def unsubscribe(self, subscriber: str, node_name: str, topic: str) -> bool:
+        tree = self.trees.get(topic)
+        if tree is None:
+            return False
+        removed = tree.remove_local_subscriber(node_name, subscriber)
+        if removed:
+            self.metrics.counter("scribe.leaves").increment()
+            if tree.subscriber_count() == 0:
+                del self.trees[topic]
+        return removed
+
+    def subscribers(self, topic: str) -> List[str]:
+        tree = self.trees.get(topic)
+        if tree is None:
+            return []
+        names: Set[str] = set()
+        for subs in tree.local_subscribers.values():
+            names.update(subs)
+        return sorted(names)
+
+    # -- publication ------------------------------------------------------------
+
+    def publish(self, publisher_node: str, topic: str, event: Event) -> int:
+        """Publish an event on ``topic`` from ``publisher_node``.
+
+        Returns the number of subscriber deliveries.  Messages hop from the
+        publisher to the topic root, then down the multicast tree.
+        """
+        if publisher_node not in self.overlay:
+            raise KeyError(f"node {publisher_node!r} has not joined the overlay")
+        self.metrics.counter("scribe.publications").increment()
+        tree = self.trees.get(topic)
+        key = node_id_for(topic)
+        route = self.overlay.route(publisher_node, key)
+        self.metrics.counter("scribe.messages").increment(route.hops)
+        if tree is None:
+            # Nobody subscribed: the event dies at the root.
+            return 0
+
+        deliveries = 0
+        messages = 0
+        visited: Set[str] = set()
+        stack = [tree.root]
+        while stack:
+            node = stack.pop()
+            if node in visited:
+                continue
+            visited.add(node)
+            for subscriber in sorted(tree.local_subscribers.get(node, ())):
+                deliveries += 1
+                for callback in self._delivery_callbacks:
+                    callback(subscriber, topic, event)
+            for child in sorted(tree.children.get(node, ())):
+                if child not in visited:
+                    messages += 1
+                    stack.append(child)
+        self.metrics.counter("scribe.messages").increment(messages)
+        self.metrics.counter("scribe.deliveries").increment(deliveries)
+        return deliveries
+
+    # -- introspection -------------------------------------------------------------
+
+    def topic_count(self) -> int:
+        return len(self.trees)
+
+    def tree_for(self, topic: str) -> Optional[MulticastTree]:
+        return self.trees.get(topic)

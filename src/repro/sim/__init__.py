@@ -1,0 +1,30 @@
+"""Discrete-event simulation kernel used by every other subsystem.
+
+The kernel is deliberately small: a virtual clock, an event scheduler, a
+simulated message-passing network and a metrics registry.  Nothing in the
+repository uses wall-clock time, threads or sockets; all concurrency and
+latency is modelled on top of :class:`~repro.sim.engine.SimulationEngine`.
+"""
+
+from repro.sim.clock import SimClock
+from repro.sim.engine import ScheduledEvent, SimulationEngine
+from repro.sim.metrics import Counter, Gauge, Histogram, MetricsRegistry, TimeSeries
+from repro.sim.network import Link, Message, NetworkNode, SimulatedNetwork
+from repro.sim.rng import SeededRNG, ZipfSampler
+
+__all__ = [
+    "SimClock",
+    "SimulationEngine",
+    "ScheduledEvent",
+    "SimulatedNetwork",
+    "NetworkNode",
+    "Link",
+    "Message",
+    "SeededRNG",
+    "ZipfSampler",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "TimeSeries",
+]

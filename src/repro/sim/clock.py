@@ -1,0 +1,82 @@
+"""Virtual clock for the discrete-event simulator.
+
+Time is a float number of *seconds* since the start of the simulation.
+Helpers convert to and from the coarser units (minutes, hours, days, weeks)
+that the paper's experiments are described in (e.g. "ten weeks of browsing
+history").
+"""
+
+from __future__ import annotations
+
+SECONDS_PER_MINUTE = 60.0
+SECONDS_PER_HOUR = 3600.0
+SECONDS_PER_DAY = 86400.0
+SECONDS_PER_WEEK = 7 * SECONDS_PER_DAY
+
+
+class SimClock:
+    """A monotonically advancing virtual clock.
+
+    The clock is owned by a :class:`~repro.sim.engine.SimulationEngine`;
+    user code should treat it as read-only and advance time only by
+    scheduling events on the engine.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ValueError("clock cannot start at a negative time")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    def advance_to(self, when: float) -> None:
+        """Move the clock forward to ``when``.
+
+        Raises:
+            ValueError: if ``when`` is earlier than the current time.
+        """
+        if when < self._now:
+            raise ValueError(
+                f"cannot move clock backwards from {self._now} to {when}"
+            )
+        self._now = float(when)
+
+    # -- unit helpers -----------------------------------------------------
+
+    @property
+    def minutes(self) -> float:
+        return self._now / SECONDS_PER_MINUTE
+
+    @property
+    def hours(self) -> float:
+        return self._now / SECONDS_PER_HOUR
+
+    @property
+    def days(self) -> float:
+        return self._now / SECONDS_PER_DAY
+
+    @property
+    def weeks(self) -> float:
+        return self._now / SECONDS_PER_WEEK
+
+    @staticmethod
+    def from_minutes(minutes: float) -> float:
+        return minutes * SECONDS_PER_MINUTE
+
+    @staticmethod
+    def from_hours(hours: float) -> float:
+        return hours * SECONDS_PER_HOUR
+
+    @staticmethod
+    def from_days(days: float) -> float:
+        return days * SECONDS_PER_DAY
+
+    @staticmethod
+    def from_weeks(weeks: float) -> float:
+        return weeks * SECONDS_PER_WEEK
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimClock(now={self._now:.3f}s, days={self.days:.2f})"

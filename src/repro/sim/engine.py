@@ -1,0 +1,153 @@
+"""Discrete-event simulation engine.
+
+The engine maintains a priority queue of :class:`ScheduledEvent` objects
+ordered by firing time.  Callbacks may schedule further events, so the
+engine supports both one-shot timers and periodic processes (used for feed
+polling, attention batch uploads, recommendation cycles, ...).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.sim.clock import SimClock
+
+EventCallback = Callable[["SimulationEngine"], None]
+
+
+@dataclass(order=True)
+class ScheduledEvent:
+    """An event queued for execution at a future simulation time."""
+
+    time: float
+    sequence: int
+    callback: EventCallback = field(compare=False)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event so that the engine skips it when it fires."""
+        self.cancelled = True
+
+
+class SimulationEngine:
+    """A minimal, deterministic discrete-event scheduler.
+
+    Events scheduled for the same time fire in the order they were
+    scheduled (FIFO tie-break via a monotonically increasing sequence
+    number), which keeps runs reproducible.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.clock = SimClock(start)
+        self._queue: list[ScheduledEvent] = []
+        self._sequence = itertools.count()
+        self.events_executed = 0
+
+    # -- scheduling -------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self.clock.now
+
+    def schedule_at(
+        self, when: float, callback: EventCallback, label: str = ""
+    ) -> ScheduledEvent:
+        """Schedule ``callback`` to run at absolute time ``when``."""
+        if when < self.clock.now:
+            raise ValueError(
+                f"cannot schedule event at {when} before current time {self.clock.now}"
+            )
+        event = ScheduledEvent(when, next(self._sequence), callback, label)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_in(
+        self, delay: float, callback: EventCallback, label: str = ""
+    ) -> ScheduledEvent:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        return self.schedule_at(self.clock.now + delay, callback, label)
+
+    def schedule_periodic(
+        self,
+        interval: float,
+        callback: EventCallback,
+        label: str = "",
+        first_delay: Optional[float] = None,
+        until: Optional[float] = None,
+    ) -> ScheduledEvent:
+        """Schedule ``callback`` to run every ``interval`` seconds.
+
+        The process stops when ``until`` is reached (if given) or when the
+        returned event (or any of its successors) is cancelled; cancelling
+        the handle returned by the most recent firing stops the chain.
+        """
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        state: dict[str, ScheduledEvent] = {}
+
+        def fire(engine: "SimulationEngine") -> None:
+            callback(engine)
+            next_time = engine.now + interval
+            if until is None or next_time <= until:
+                state["handle"] = engine.schedule_at(next_time, fire, label)
+
+        delay = interval if first_delay is None else first_delay
+        handle = self.schedule_in(delay, fire, label)
+        state["handle"] = handle
+        return handle
+
+    # -- execution --------------------------------------------------------
+
+    def step(self) -> bool:
+        """Execute the next pending event.  Returns False if queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.clock.advance_to(event.time)
+            event.callback(self)
+            self.events_executed += 1
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Run events until the queue drains, ``until`` passes, or
+        ``max_events`` have executed.  Returns the number executed."""
+        executed = 0
+        while self._queue:
+            if max_events is not None and executed >= max_events:
+                break
+            next_event = self._peek()
+            if next_event is None:
+                break
+            if until is not None and next_event.time > until:
+                self.clock.advance_to(until)
+                break
+            if not self.step():
+                break
+            executed += 1
+        if until is not None and self.clock.now < until and not self._queue:
+            self.clock.advance_to(until)
+        return executed
+
+    def _peek(self) -> Optional[ScheduledEvent]:
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0] if self._queue else None
+
+    @property
+    def pending(self) -> int:
+        """Number of non-cancelled events still queued."""
+        return sum(1 for event in self._queue if not event.cancelled)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SimulationEngine(now={self.clock.now:.2f}, pending={self.pending}, "
+            f"executed={self.events_executed})"
+        )

@@ -1,0 +1,178 @@
+"""Metrics primitives used by experiments and benchmarks.
+
+A :class:`MetricsRegistry` holds named counters, gauges, histograms and
+time series; every subsystem reports into one so that experiment drivers
+can print the rows the paper reports (request counts, server counts,
+precision figures, message counts per architecture edge, ...).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def increment(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only move forward; use a Gauge instead")
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Counter({self.name}={self.value})"
+
+
+class Gauge:
+    """A value that can move up and down (queue depth, active subs, ...)."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def add(self, amount: float) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Gauge({self.name}={self.value})"
+
+
+class Histogram:
+    """Streaming histogram retaining all observations.
+
+    Observation counts in this repository are small enough (tens of
+    thousands) that retaining raw samples is simpler and exact.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._samples: List[float] = []
+
+    def observe(self, value: float) -> None:
+        self._samples.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def total(self) -> float:
+        return sum(self._samples)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self._samples else 0.0
+
+    @property
+    def minimum(self) -> float:
+        return min(self._samples) if self._samples else 0.0
+
+    @property
+    def maximum(self) -> float:
+        return max(self._samples) if self._samples else 0.0
+
+    @property
+    def stddev(self) -> float:
+        if len(self._samples) < 2:
+            return 0.0
+        mean = self.mean
+        variance = sum((s - mean) ** 2 for s in self._samples) / (len(self._samples) - 1)
+        return math.sqrt(variance)
+
+    def percentile(self, q: float) -> float:
+        """Return the q-th percentile (0 <= q <= 100) by linear interpolation."""
+        if not self._samples:
+            return 0.0
+        if not 0 <= q <= 100:
+            raise ValueError("percentile must be within [0, 100]")
+        ordered = sorted(self._samples)
+        if len(ordered) == 1:
+            return ordered[0]
+        position = (q / 100) * (len(ordered) - 1)
+        lower = int(math.floor(position))
+        upper = int(math.ceil(position))
+        if lower == upper:
+            return ordered[lower]
+        fraction = position - lower
+        return ordered[lower] * (1 - fraction) + ordered[upper] * fraction
+
+    def samples(self) -> Tuple[float, ...]:
+        return tuple(self._samples)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Histogram({self.name}, n={self.count}, mean={self.mean:.3f})"
+
+
+@dataclass
+class TimeSeries:
+    """(time, value) pairs, e.g. active subscriptions over simulated days."""
+
+    name: str
+    points: List[Tuple[float, float]] = field(default_factory=list)
+
+    def record(self, time: float, value: float) -> None:
+        if self.points and time < self.points[-1][0]:
+            raise ValueError("time series must be recorded in time order")
+        self.points.append((time, value))
+
+    def values(self) -> List[float]:
+        return [value for _, value in self.points]
+
+    def times(self) -> List[float]:
+        return [time for time, _ in self.points]
+
+    def last(self) -> Optional[float]:
+        return self.points[-1][1] if self.points else None
+
+
+class MetricsRegistry:
+    """Named collection of metrics shared by a simulation run."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._series: Dict[str, TimeSeries] = {}
+
+    def counter(self, name: str) -> Counter:
+        return self._counters.setdefault(name, Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        return self._gauges.setdefault(name, Gauge(name))
+
+    def histogram(self, name: str) -> Histogram:
+        return self._histograms.setdefault(name, Histogram(name))
+
+    def series(self, name: str) -> TimeSeries:
+        return self._series.setdefault(name, TimeSeries(name))
+
+    def counters(self) -> Dict[str, float]:
+        return {name: counter.value for name, counter in sorted(self._counters.items())}
+
+    def gauges(self) -> Dict[str, float]:
+        return {name: gauge.value for name, gauge in sorted(self._gauges.items())}
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flat dictionary of counters, gauges and histogram means."""
+        flat: Dict[str, float] = {}
+        flat.update(self.counters())
+        flat.update(self.gauges())
+        for name, histogram in sorted(self._histograms.items()):
+            flat[f"{name}.mean"] = histogram.mean
+            flat[f"{name}.count"] = float(histogram.count)
+        return flat
+
+    def names(self) -> Iterable[str]:
+        yield from self._counters
+        yield from self._gauges
+        yield from self._histograms
+        yield from self._series

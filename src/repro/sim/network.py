@@ -1,0 +1,189 @@
+"""Simulated message-passing network.
+
+Hosts (browsers, Reef servers, pub/sub brokers, Web servers) are
+:class:`NetworkNode` subclasses or duck-typed objects exposing
+``handle_message``.  The network delivers :class:`Message` objects with a
+per-link latency and counts traffic so experiments can report bytes and
+messages crossing each architectural edge (Figure 1 vs Figure 2 of the
+paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Protocol, Tuple
+
+from repro.sim.engine import SimulationEngine
+from repro.sim.metrics import MetricsRegistry
+
+
+@dataclass
+class Message:
+    """A unit of network traffic between two named nodes."""
+
+    source: str
+    destination: str
+    kind: str
+    payload: Any = None
+    size_bytes: int = 0
+    sent_at: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < 0:
+            raise ValueError("message size cannot be negative")
+
+
+class MessageHandler(Protocol):
+    """Anything attached to the network must accept delivered messages."""
+
+    def handle_message(self, message: Message, network: "SimulatedNetwork") -> None:
+        ...  # pragma: no cover - protocol definition
+
+
+class NetworkNode:
+    """Convenience base class for simulated hosts."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def handle_message(self, message: Message, network: "SimulatedNetwork") -> None:
+        raise NotImplementedError(
+            f"{type(self).__name__} does not handle {message.kind!r} messages"
+        )
+
+
+@dataclass
+class Link:
+    """Directed link properties between two nodes."""
+
+    latency: float = 0.05
+    bandwidth_bytes_per_sec: Optional[float] = None
+    loss_probability: float = 0.0
+
+    def transfer_time(self, size_bytes: int) -> float:
+        transmit = 0.0
+        if self.bandwidth_bytes_per_sec:
+            transmit = size_bytes / self.bandwidth_bytes_per_sec
+        return self.latency + transmit
+
+
+class SimulatedNetwork:
+    """Delivers messages between registered nodes via the sim engine."""
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        metrics: Optional[MetricsRegistry] = None,
+        default_link: Optional[Link] = None,
+        rng: Optional[Any] = None,
+    ) -> None:
+        self.engine = engine
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.default_link = default_link if default_link is not None else Link()
+        self._nodes: Dict[str, MessageHandler] = {}
+        self._links: Dict[Tuple[str, str], Link] = {}
+        self._rng = rng
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_dropped = 0
+        self.bytes_sent = 0
+
+    # -- topology ---------------------------------------------------------
+
+    def register(self, name: str, node: MessageHandler) -> None:
+        if name in self._nodes:
+            raise ValueError(f"node {name!r} is already registered")
+        self._nodes[name] = node
+
+    def unregister(self, name: str) -> None:
+        self._nodes.pop(name, None)
+
+    def has_node(self, name: str) -> bool:
+        return name in self._nodes
+
+    def node(self, name: str) -> MessageHandler:
+        return self._nodes[name]
+
+    def node_names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._nodes))
+
+    def set_link(self, source: str, destination: str, link: Link) -> None:
+        self._links[(source, destination)] = link
+
+    def link_for(self, source: str, destination: str) -> Link:
+        return self._links.get((source, destination), self.default_link)
+
+    # -- messaging --------------------------------------------------------
+
+    def send(
+        self,
+        source: str,
+        destination: str,
+        kind: str,
+        payload: Any = None,
+        size_bytes: int = 256,
+    ) -> Message:
+        """Queue a message for delivery; returns the message object."""
+        if destination not in self._nodes:
+            raise KeyError(f"unknown destination node {destination!r}")
+        message = Message(
+            source=source,
+            destination=destination,
+            kind=kind,
+            payload=payload,
+            size_bytes=size_bytes,
+            sent_at=self.engine.now,
+        )
+        self.messages_sent += 1
+        self.bytes_sent += size_bytes
+        self.metrics.counter("network.messages_sent").increment()
+        self.metrics.counter("network.bytes_sent").increment(size_bytes)
+        self.metrics.counter(f"network.kind.{kind}.messages").increment()
+        self.metrics.counter(f"network.kind.{kind}.bytes").increment(size_bytes)
+        self.metrics.counter(f"network.edge.{source}->{destination}.messages").increment()
+
+        link = self.link_for(source, destination)
+        if link.loss_probability > 0 and self._rng is not None:
+            if self._rng.random() < link.loss_probability:
+                self.messages_dropped += 1
+                self.metrics.counter("network.messages_dropped").increment()
+                return message
+
+        delay = link.transfer_time(size_bytes)
+
+        def deliver(_: SimulationEngine) -> None:
+            node = self._nodes.get(destination)
+            if node is None:
+                self.messages_dropped += 1
+                self.metrics.counter("network.messages_dropped").increment()
+                return
+            self.messages_delivered += 1
+            self.metrics.counter("network.messages_delivered").increment()
+            node.handle_message(message, self)
+
+        self.engine.schedule_in(delay, deliver, label=f"deliver:{kind}")
+        return message
+
+    def broadcast(
+        self,
+        source: str,
+        destinations: Tuple[str, ...],
+        kind: str,
+        payload: Any = None,
+        size_bytes: int = 256,
+    ) -> None:
+        for destination in destinations:
+            self.send(source, destination, kind, payload, size_bytes)
+
+    # -- accounting -------------------------------------------------------
+
+    def edge_message_count(self, source: str, destination: str) -> float:
+        return self.metrics.counter(
+            f"network.edge.{source}->{destination}.messages"
+        ).value
+
+    def kind_message_count(self, kind: str) -> float:
+        return self.metrics.counter(f"network.kind.{kind}.messages").value
+
+    def kind_byte_count(self, kind: str) -> float:
+        return self.metrics.counter(f"network.kind.{kind}.bytes").value

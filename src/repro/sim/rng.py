@@ -1,0 +1,201 @@
+"""Seeded randomness helpers.
+
+Every stochastic component in the repository draws randomness through a
+:class:`SeededRNG` so that experiments are reproducible given a seed.  The
+class wraps :class:`random.Random` and adds the distributions that the
+synthetic Web and browsing models need (Zipf, bounded Pareto, weighted
+choice without replacement).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+class SeededRNG:
+    """A reproducible random number generator.
+
+    Child generators created with :meth:`fork` are themselves
+    deterministic functions of the parent seed and the fork label, so
+    independent subsystems can draw randomness without perturbing each
+    other's streams.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+        self._random = random.Random(self.seed)
+
+    def fork(self, label: str) -> "SeededRNG":
+        """Create an independent child generator labelled ``label``."""
+        child_seed = (self.seed * 1_000_003 + _stable_hash(label)) % (2**63)
+        return SeededRNG(child_seed)
+
+    # -- thin wrappers ----------------------------------------------------
+
+    def random(self) -> float:
+        return self._random.random()
+
+    def uniform(self, low: float, high: float) -> float:
+        return self._random.uniform(low, high)
+
+    def randint(self, low: int, high: int) -> int:
+        return self._random.randint(low, high)
+
+    def choice(self, seq: Sequence[T]) -> T:
+        return self._random.choice(seq)
+
+    def sample(self, population: Sequence[T], k: int) -> list[T]:
+        return self._random.sample(population, k)
+
+    def shuffle(self, seq: list[T]) -> None:
+        self._random.shuffle(seq)
+
+    def gauss(self, mu: float, sigma: float) -> float:
+        return self._random.gauss(mu, sigma)
+
+    def expovariate(self, rate: float) -> float:
+        return self._random.expovariate(rate)
+
+    def poisson(self, lam: float) -> int:
+        """Sample a Poisson variate via inversion (small lambda) or normal
+        approximation (large lambda)."""
+        if lam < 0:
+            raise ValueError("lambda must be non-negative")
+        if lam == 0:
+            return 0
+        if lam > 50:
+            return max(0, int(round(self.gauss(lam, math.sqrt(lam)))))
+        threshold = math.exp(-lam)
+        count = 0
+        product = self._random.random()
+        while product > threshold:
+            count += 1
+            product *= self._random.random()
+        return count
+
+    def weighted_choice(self, items: Sequence[T], weights: Sequence[float]) -> T:
+        """Choose one item with probability proportional to its weight."""
+        if len(items) != len(weights):
+            raise ValueError("items and weights must have the same length")
+        if not items:
+            raise ValueError("cannot choose from an empty sequence")
+        return self._random.choices(list(items), weights=list(weights), k=1)[0]
+
+    def weighted_sample(
+        self, items: Sequence[T], weights: Sequence[float], k: int
+    ) -> list[T]:
+        """Sample ``k`` distinct items, probability proportional to weight.
+
+        Uses the Efraimidis-Spirakis exponential-keys method so the result
+        is an unordered weighted sample without replacement.
+        """
+        if k > len(items):
+            raise ValueError("cannot sample more items than available")
+        keyed = []
+        for item, weight in zip(items, weights):
+            if weight <= 0:
+                key = float("-inf")
+            else:
+                key = math.log(self._random.random()) / weight
+            keyed.append((key, item))
+        keyed.sort(key=lambda pair: pair[0], reverse=True)
+        return [item for _, item in keyed[:k]]
+
+    def bounded_pareto(self, alpha: float, low: float, high: float) -> float:
+        """Sample from a bounded Pareto distribution on [low, high]."""
+        if not (0 < low < high):
+            raise ValueError("require 0 < low < high")
+        u = self._random.random()
+        ha = high**alpha
+        la = low**alpha
+        x = (-(u * ha - u * la - ha) / (ha * la)) ** (-1.0 / alpha)
+        return min(max(x, low), high)
+
+
+class ZipfSampler:
+    """Sample ranks 1..n with probability proportional to 1 / rank^s.
+
+    Used for revisit behaviour of browsing users and for the long-tailed
+    popularity of Web servers: a few servers receive most requests while a
+    long tail is visited only once (matching the paper's observation that
+    807 of 2528 servers were visited a single time).
+    """
+
+    def __init__(self, n: int, exponent: float, rng: SeededRNG) -> None:
+        if n <= 0:
+            raise ValueError("n must be positive")
+        if exponent < 0:
+            raise ValueError("exponent must be non-negative")
+        self.n = n
+        self.exponent = exponent
+        self._rng = rng
+        weights = [1.0 / (rank**exponent) for rank in range(1, n + 1)]
+        total = sum(weights)
+        self._cdf: list[float] = []
+        running = 0.0
+        for weight in weights:
+            running += weight / total
+            self._cdf.append(running)
+        # Guard against floating point drift in the final bucket.
+        self._cdf[-1] = 1.0
+
+    def sample(self) -> int:
+        """Return a rank in ``[0, n)`` (0 is the most popular rank)."""
+        u = self._rng.random()
+        return _bisect(self._cdf, u)
+
+    def probability(self, rank: int) -> float:
+        """Probability mass of 0-based ``rank``."""
+        if rank < 0 or rank >= self.n:
+            raise IndexError("rank out of range")
+        prev = self._cdf[rank - 1] if rank > 0 else 0.0
+        return self._cdf[rank] - prev
+
+
+def _bisect(cdf: Sequence[float], value: float) -> int:
+    low, high = 0, len(cdf) - 1
+    while low < high:
+        mid = (low + high) // 2
+        if cdf[mid] < value:
+            low = mid + 1
+        else:
+            high = mid
+    return low
+
+
+def _stable_hash(text: str) -> int:
+    """A process-independent string hash (FNV-1a, 64-bit)."""
+    value = 0xCBF29CE484222325
+    for byte in text.encode("utf-8"):
+        value ^= byte
+        value = (value * 0x100000001B3) % (2**64)
+    return value
+
+
+def stable_hash(text: str) -> int:
+    """Public alias for the deterministic FNV-1a 64-bit string hash."""
+    return _stable_hash(text)
+
+
+def interleave(*iterables: Iterable[T]) -> list[T]:
+    """Round-robin interleave several iterables into one list.
+
+    Deterministic helper used by workload generators to mix event streams
+    from multiple users without introducing randomness.
+    """
+    result: list[T] = []
+    iterators = [iter(it) for it in iterables]
+    while iterators:
+        remaining = []
+        for iterator in iterators:
+            try:
+                result.append(next(iterator))
+                remaining.append(iterator)
+            except StopIteration:
+                pass
+        iterators = remaining
+    return result

@@ -1,0 +1,52 @@
+"""Simulated Web substrate.
+
+The paper's prototype watches real users browse the real Web; this package
+replaces both with a calibrated simulation: a synthetic web of content
+servers, advertisement servers and multimedia servers hosting pages and
+RSS/Atom feeds, an HTTP layer that logs requests, a browser with a cache,
+interest-driven synthetic users that produce click streams, and a crawler
+that classifies pages and discovers feeds and keywords — exercising exactly
+the code path the paper's Reef server runs over crawled pages.
+"""
+
+from repro.web.browser import Browser, CacheEntry
+from repro.web.crawler import CrawlResult, Crawler, PageClassification
+from repro.web.feeds import Feed, FeedEntry, FeedFormat
+from repro.web.http import HttpRequest, HttpResponse, HttpStatus, SimulatedHttp
+from repro.web.pages import LinkKind, PageLink, WebPage
+from repro.web.servers import AdServer, ContentServer, MultimediaServer, ServerKind, WebServer
+from repro.web.urls import Url, normalize_url, server_of
+from repro.web.user_model import BrowsingSession, BrowsingUser, InterestProfile
+from repro.web.webgraph import SyntheticWeb, WebGraphConfig, build_synthetic_web
+
+__all__ = [
+    "Url",
+    "normalize_url",
+    "server_of",
+    "WebPage",
+    "PageLink",
+    "LinkKind",
+    "Feed",
+    "FeedEntry",
+    "FeedFormat",
+    "WebServer",
+    "ContentServer",
+    "AdServer",
+    "MultimediaServer",
+    "ServerKind",
+    "SimulatedHttp",
+    "HttpRequest",
+    "HttpResponse",
+    "HttpStatus",
+    "Browser",
+    "CacheEntry",
+    "BrowsingUser",
+    "BrowsingSession",
+    "InterestProfile",
+    "Crawler",
+    "CrawlResult",
+    "PageClassification",
+    "SyntheticWeb",
+    "WebGraphConfig",
+    "build_synthetic_web",
+]

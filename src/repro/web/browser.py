@@ -1,0 +1,89 @@
+"""Simulated Web browser.
+
+The browser issues HTTP requests through the simulated HTTP layer, keeps a
+local cache of fetched pages (which is what makes crawling unnecessary in
+the *distributed* Reef design — "documents fetched by the user ... may be
+available from the browser's cache"), and exposes hooks that an attention
+recorder can attach to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.web.http import HttpResponse, SimulatedHttp
+from repro.web.pages import WebPage
+from repro.web.urls import Url, parse_url
+
+VisitListener = Callable[[str, float, Optional[WebPage]], None]
+
+
+@dataclass
+class CacheEntry:
+    """A cached copy of a fetched page."""
+
+    url: str
+    page: WebPage
+    fetched_at: float
+
+
+@dataclass
+class Browser:
+    """A user's browser: fetches pages, caches them, notifies listeners."""
+
+    user_id: str
+    http: SimulatedHttp
+    cache_capacity: int = 5000
+    cache: Dict[str, CacheEntry] = field(default_factory=dict)
+    history: List[str] = field(default_factory=list)
+    _listeners: List[VisitListener] = field(default_factory=list)
+
+    def add_visit_listener(self, listener: VisitListener) -> None:
+        """Register a callback invoked on every page visit (the attention
+        recorder's hook)."""
+        self._listeners.append(listener)
+
+    def visit(self, url, timestamp: float = 0.0) -> HttpResponse:
+        """Navigate to ``url``: fetch the page, fetch its embedded ad and
+        multimedia resources (each of which is an outgoing HTTP request and
+        therefore a click in the attention log), cache and notify."""
+        parsed = url if isinstance(url, Url) else parse_url(url)
+        response = self.http.fetch(parsed, client=self.user_id, timestamp=timestamp)
+        page = response.page
+        self.history.append(parsed.full)
+        embedded: list[Url] = []
+        if page is not None:
+            self._store_in_cache(parsed.full, page, timestamp)
+            embedded = list(page.ad_links) + list(page.multimedia_links)
+            for resource_url in embedded:
+                self.http.fetch(resource_url, client=self.user_id, timestamp=timestamp)
+        # Every outgoing request — the page itself and its embedded ad and
+        # multimedia resources — is visible to attention listeners, matching
+        # the paper's recorder which "logs every outgoing HTTP request".
+        for listener in self._listeners:
+            listener(parsed.full, timestamp, page)
+            for resource_url in embedded:
+                listener(resource_url.full, timestamp, None)
+        return response
+
+    def cached_page(self, url: str) -> Optional[WebPage]:
+        entry = self.cache.get(parse_url(url).full)
+        return entry.page if entry is not None else None
+
+    def cached_pages(self) -> List[WebPage]:
+        return [entry.page for entry in self.cache.values()]
+
+    def _store_in_cache(self, url: str, page: WebPage, timestamp: float) -> None:
+        if len(self.cache) >= self.cache_capacity and url not in self.cache:
+            # Evict the oldest entry (FIFO is sufficient for the simulation).
+            oldest = min(self.cache.values(), key=lambda entry: entry.fetched_at)
+            del self.cache[oldest.url]
+        self.cache[url] = CacheEntry(url=url, page=page, fetched_at=timestamp)
+
+    @property
+    def visit_count(self) -> int:
+        return len(self.history)
+
+    def distinct_servers_visited(self) -> int:
+        return len({parse_url(url).host for url in self.history})

@@ -1,0 +1,183 @@
+"""Crawler used by the centralized Reef server.
+
+From the paper (Section 3.1): "When clicks arrive, they are stored in a
+database and the URIs in them are batched for periodic crawling.  The
+crawler retrieves the pages that the users visited and analyzes them in
+several ways: It looks for ad servers and spam sites, as well as
+multimedia, and flags them as such in the database, ensuring they will not
+be crawled again.  It scans the pages looking for sources of Web feeds.  It
+also parses the page to extract common keywords."
+
+This module implements exactly that pipeline against the simulated Web.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.ir.tokenize import TextAnalyzer
+from repro.sim.metrics import MetricsRegistry
+from repro.web.http import SimulatedHttp
+from repro.web.pages import WebPage
+from repro.web.servers import ServerKind
+from repro.web.urls import parse_url
+
+
+class PageClassification(str, enum.Enum):
+    """Crawler verdict for a fetched URI."""
+
+    CONTENT = "content"
+    AD = "ad"
+    SPAM = "spam"
+    MULTIMEDIA = "multimedia"
+    UNREACHABLE = "unreachable"
+
+
+@dataclass
+class CrawlResult:
+    """Outcome of crawling one URI."""
+
+    url: str
+    server: str
+    classification: PageClassification
+    feed_urls: List[str] = field(default_factory=list)
+    keywords: Dict[str, int] = field(default_factory=dict)
+    page: Optional[WebPage] = None
+
+
+# Servers whose pages contain mostly these spam-indicative words are
+# classified as spam sites even if they are nominally content servers.
+SPAM_MARKERS = frozenset({"casino", "viagra", "lottery", "pills", "winner"})
+
+
+class Crawler:
+    """Fetches and analyzes URIs collected from user attention data."""
+
+    def __init__(
+        self,
+        http: SimulatedHttp,
+        analyzer: Optional[TextAnalyzer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        keyword_limit: int = 50,
+        client_name: str = "reef-crawler",
+    ) -> None:
+        self.http = http
+        self.analyzer = analyzer if analyzer is not None else TextAnalyzer()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.keyword_limit = keyword_limit
+        self.client_name = client_name
+        # "flags them as such in the database, ensuring they will not be
+        # crawled again" — the do-not-crawl set.
+        self.flagged_servers: Dict[str, PageClassification] = {}
+        self.crawled_urls: Set[str] = set()
+        self.results: List[CrawlResult] = []
+
+    # -- classification ---------------------------------------------------------
+
+    def _classify(self, url: str, response) -> PageClassification:
+        if not response.ok:
+            return PageClassification.UNREACHABLE
+        if response.server_kind is ServerKind.AD:
+            return PageClassification.AD
+        if response.server_kind is ServerKind.MULTIMEDIA:
+            return PageClassification.MULTIMEDIA
+        page = response.page
+        if page is not None:
+            if page.is_ad:
+                return PageClassification.AD
+            if page.is_multimedia:
+                return PageClassification.MULTIMEDIA
+            words = set(page.text.lower().split())
+            if len(words & SPAM_MARKERS) >= 2:
+                return PageClassification.SPAM
+        return PageClassification.CONTENT
+
+    # -- crawling -----------------------------------------------------------------
+
+    def crawl_url(self, url: str, timestamp: float = 0.0) -> CrawlResult:
+        """Crawl a single URI (fetch, classify, extract feeds and keywords)."""
+        parsed = parse_url(url)
+        flagged = self.flagged_servers.get(parsed.host)
+        if flagged is not None:
+            # Server was flagged in an earlier crawl; do not fetch again.
+            self.metrics.counter("crawler.skipped_flagged").increment()
+            result = CrawlResult(url=parsed.full, server=parsed.host, classification=flagged)
+            return result
+
+        response = self.http.fetch(parsed, client=self.client_name, timestamp=timestamp)
+        self.metrics.counter("crawler.fetches").increment()
+        classification = self._classify(parsed.full, response)
+
+        feed_urls: List[str] = []
+        keywords: Dict[str, int] = {}
+        if classification is PageClassification.CONTENT and response.page is not None:
+            feed_urls = [link.full for link in response.page.feed_links]
+            keywords = self._extract_keywords(response.page)
+        else:
+            # Ad, spam and multimedia servers are flagged so that future
+            # clicks on them are not crawled again.
+            if classification in (
+                PageClassification.AD,
+                PageClassification.SPAM,
+                PageClassification.MULTIMEDIA,
+            ):
+                self.flagged_servers[parsed.host] = classification
+                self.metrics.counter(
+                    f"crawler.flagged.{classification.value}"
+                ).increment()
+
+        result = CrawlResult(
+            url=parsed.full,
+            server=parsed.host,
+            classification=classification,
+            feed_urls=feed_urls,
+            keywords=keywords,
+            page=response.page,
+        )
+        self.crawled_urls.add(parsed.full)
+        self.results.append(result)
+        self.metrics.counter(f"crawler.classified.{classification.value}").increment()
+        return result
+
+    def crawl_batch(self, urls: List[str], timestamp: float = 0.0) -> List[CrawlResult]:
+        """Crawl a batch of URIs, skipping ones already crawled."""
+        results = []
+        for url in urls:
+            normalized = parse_url(url).full
+            if normalized in self.crawled_urls:
+                self.metrics.counter("crawler.skipped_duplicate").increment()
+                continue
+            results.append(self.crawl_url(url, timestamp=timestamp))
+        return results
+
+    # -- extraction ---------------------------------------------------------------
+
+    def _extract_keywords(self, page: WebPage) -> Dict[str, int]:
+        analyzed = self.analyzer.analyze(page.text)
+        counts = Counter(analyzed.term_frequencies)
+        most_common = counts.most_common(self.keyword_limit)
+        return dict(most_common)
+
+    # -- aggregate views -----------------------------------------------------------
+
+    def discovered_feeds(self) -> List[str]:
+        """Distinct feed URLs found so far (in discovery order)."""
+        seen: Dict[str, None] = {}
+        for result in self.results:
+            for feed_url in result.feed_urls:
+                seen.setdefault(feed_url, None)
+        return list(seen)
+
+    def classification_counts(self) -> Dict[str, int]:
+        counts: Counter = Counter(result.classification.value for result in self.results)
+        return dict(counts)
+
+    def keyword_profile(self) -> Dict[str, int]:
+        """Aggregate keyword counts over all crawled content pages."""
+        profile: Counter = Counter()
+        for result in self.results:
+            profile.update(result.keywords)
+        return dict(profile)

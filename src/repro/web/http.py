@@ -1,0 +1,128 @@
+"""Simulated HTTP layer.
+
+Browsers, crawlers and feed proxies all fetch resources through
+:class:`SimulatedHttp`, which resolves a URL to the hosting server, returns
+a response and appends every outgoing request to a request log — the same
+signal the paper's Firefox extension logs ("our attention recorder logs
+every outgoing HTTP request").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+from repro.sim.metrics import MetricsRegistry
+from repro.web.feeds import Feed
+from repro.web.pages import WebPage
+from repro.web.servers import ServerDirectory, ServerKind
+from repro.web.urls import Url, parse_url
+
+
+class HttpStatus(int, enum.Enum):
+    """Subset of HTTP status codes the simulation distinguishes."""
+
+    OK = 200
+    NOT_FOUND = 404
+    SERVER_ERROR = 500
+
+
+@dataclass(frozen=True)
+class HttpRequest:
+    """One logged outgoing request."""
+
+    url: str
+    client: str
+    timestamp: float
+    method: str = "GET"
+
+
+@dataclass
+class HttpResponse:
+    """Response to a simulated fetch."""
+
+    status: HttpStatus
+    url: str
+    page: Optional[WebPage] = None
+    feed: Optional[Feed] = None
+    server_kind: Optional[ServerKind] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status is HttpStatus.OK
+
+    @property
+    def body_size(self) -> int:
+        if self.page is not None:
+            return len(self.page.text)
+        if self.feed is not None:
+            return sum(len(entry.text) for entry in self.feed.entries) + 128
+        return 0
+
+
+class SimulatedHttp:
+    """Resolves URLs against a :class:`ServerDirectory` and logs requests."""
+
+    def __init__(
+        self,
+        directory: ServerDirectory,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.directory = directory
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.request_log: List[HttpRequest] = []
+
+    def fetch(
+        self,
+        url: Union[str, Url],
+        client: str = "anonymous",
+        timestamp: float = 0.0,
+        log: bool = True,
+    ) -> HttpResponse:
+        """Fetch a URL; returns a page, a feed, or a 404."""
+        parsed = url if isinstance(url, Url) else parse_url(url)
+        if log:
+            self.request_log.append(
+                HttpRequest(url=parsed.full, client=client, timestamp=timestamp)
+            )
+            self.metrics.counter("http.requests").increment()
+            self.metrics.counter(f"http.client.{client}.requests").increment()
+
+        server = self.directory.get(parsed.host)
+        if server is None:
+            self.metrics.counter("http.not_found").increment()
+            return HttpResponse(status=HttpStatus.NOT_FOUND, url=parsed.full)
+
+        self.metrics.counter(f"http.server_kind.{server.kind.value}.requests").increment()
+
+        feed = server.feeds.get(parsed.path)
+        if feed is not None:
+            server.stats.record_feed()
+            return HttpResponse(
+                status=HttpStatus.OK,
+                url=parsed.full,
+                feed=feed,
+                server_kind=server.kind,
+            )
+        page = server.pages.get(parsed.path)
+        if page is not None:
+            server.stats.record_page()
+            return HttpResponse(
+                status=HttpStatus.OK,
+                url=parsed.full,
+                page=page,
+                server_kind=server.kind,
+            )
+        server.stats.record_miss()
+        self.metrics.counter("http.not_found").increment()
+        return HttpResponse(status=HttpStatus.NOT_FOUND, url=parsed.full, server_kind=server.kind)
+
+    def requests_by_client(self, client: str) -> List[HttpRequest]:
+        return [request for request in self.request_log if request.client == client]
+
+    def request_count(self) -> int:
+        return len(self.request_log)
+
+    def distinct_servers(self) -> int:
+        return len({parse_url(request.url).host for request in self.request_log})

@@ -1,0 +1,99 @@
+"""Web page model.
+
+A simulated page carries topical text, outgoing links (content links, ad
+beacons, embedded multimedia) and feed *autodiscovery* links — the
+``<link rel="alternate" type="application/rss+xml">`` idiom that the
+paper's crawler uses to find "sources of Web feeds" on visited pages.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.web.urls import Url
+
+
+class LinkKind(str, enum.Enum):
+    """What kind of resource a link on a page points at."""
+
+    CONTENT = "content"
+    AD = "ad"
+    MULTIMEDIA = "multimedia"
+    FEED = "feed"
+
+
+@dataclass(frozen=True)
+class PageLink:
+    """A link embedded in a page."""
+
+    target: Url
+    kind: LinkKind
+
+
+@dataclass
+class WebPage:
+    """A simulated HTML page."""
+
+    url: Url
+    title: str
+    text: str
+    links: List[PageLink] = field(default_factory=list)
+    topics: List[str] = field(default_factory=list)
+    published_at: float = 0.0
+    is_ad: bool = False
+    is_multimedia: bool = False
+
+    @property
+    def feed_links(self) -> List[Url]:
+        """Autodiscovery links to feeds referenced by this page."""
+        return [link.target for link in self.links if link.kind is LinkKind.FEED]
+
+    @property
+    def ad_links(self) -> List[Url]:
+        return [link.target for link in self.links if link.kind is LinkKind.AD]
+
+    @property
+    def content_links(self) -> List[Url]:
+        return [link.target for link in self.links if link.kind is LinkKind.CONTENT]
+
+    @property
+    def multimedia_links(self) -> List[Url]:
+        return [link.target for link in self.links if link.kind is LinkKind.MULTIMEDIA]
+
+    def add_link(self, target: Url, kind: LinkKind) -> None:
+        self.links.append(PageLink(target=target, kind=kind))
+
+    def word_count(self) -> int:
+        return len(self.text.split())
+
+    def dominant_topic(self) -> Optional[str]:
+        return self.topics[0] if self.topics else None
+
+    def render_html(self) -> str:
+        """A crude HTML rendering, useful for crawler parsing tests."""
+        head_links = "\n".join(
+            f'<link rel="alternate" type="application/rss+xml" href="{url.full}"/>'
+            for url in self.feed_links
+        )
+        body_links = "\n".join(
+            f'<a href="{link.target.full}">{link.kind.value}</a>' for link in self.links
+        )
+        return (
+            "<html><head>"
+            f"<title>{self.title}</title>\n{head_links}"
+            "</head><body>"
+            f"<p>{self.text}</p>\n{body_links}"
+            "</body></html>"
+        )
+
+
+def page_id(page: WebPage) -> str:
+    """Stable document id for indexing a page."""
+    return page.url.full
+
+
+def combined_text(pages: Sequence[WebPage]) -> str:
+    """Concatenate the text of several pages (attention corpus helper)."""
+    return "\n".join(page.text for page in pages)

@@ -1,0 +1,174 @@
+"""Simulated Web servers.
+
+Three kinds of servers populate the synthetic web, matching the categories
+the paper's crawler distinguishes: *content* servers hosting pages and
+feeds, *advertisement* servers (70% of the requests in the paper's trace
+went to 1713 of them), and *multimedia* servers.  Each server counts the
+requests it receives so the pull-vs-push benchmark can report server load.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.web.feeds import Feed
+from repro.web.pages import WebPage
+from repro.web.urls import Url
+
+
+class ServerKind(str, enum.Enum):
+    """Classification of a simulated server."""
+
+    CONTENT = "content"
+    AD = "ad"
+    MULTIMEDIA = "multimedia"
+
+
+@dataclass
+class RequestStats:
+    """Per-server request accounting."""
+
+    total_requests: int = 0
+    page_requests: int = 0
+    feed_requests: int = 0
+    not_found: int = 0
+
+    def record_page(self) -> None:
+        self.total_requests += 1
+        self.page_requests += 1
+
+    def record_feed(self) -> None:
+        self.total_requests += 1
+        self.feed_requests += 1
+
+    def record_miss(self) -> None:
+        self.total_requests += 1
+        self.not_found += 1
+
+
+class WebServer:
+    """Base class for all simulated servers."""
+
+    kind: ServerKind = ServerKind.CONTENT
+
+    def __init__(self, host: str) -> None:
+        self.host = host
+        self.pages: Dict[str, WebPage] = {}
+        self.feeds: Dict[str, Feed] = {}
+        self.stats = RequestStats()
+
+    # -- hosting -----------------------------------------------------------
+
+    def add_page(self, page: WebPage) -> None:
+        if page.url.host != self.host:
+            raise ValueError(
+                f"page host {page.url.host!r} does not match server {self.host!r}"
+            )
+        self.pages[page.url.path] = page
+
+    def add_feed(self, feed: Feed) -> None:
+        if feed.url.host != self.host:
+            raise ValueError(
+                f"feed host {feed.url.host!r} does not match server {self.host!r}"
+            )
+        self.feeds[feed.url.path] = feed
+
+    # -- serving -----------------------------------------------------------
+
+    def get_page(self, url: Url) -> Optional[WebPage]:
+        page = self.pages.get(url.path)
+        if page is None:
+            self.stats.record_miss()
+            return None
+        self.stats.record_page()
+        return page
+
+    def get_feed(self, url: Url) -> Optional[Feed]:
+        feed = self.feeds.get(url.path)
+        if feed is None:
+            self.stats.record_miss()
+            return None
+        self.stats.record_feed()
+        return feed
+
+    def has_path(self, path: str) -> bool:
+        return path in self.pages or path in self.feeds
+
+    def page_urls(self) -> List[Url]:
+        return [page.url for page in self.pages.values()]
+
+    def feed_urls(self) -> List[Url]:
+        return [feed.url for feed in self.feeds.values()]
+
+    @property
+    def page_count(self) -> int:
+        return len(self.pages)
+
+    @property
+    def feed_count(self) -> int:
+        return len(self.feeds)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}({self.host!r}, pages={self.page_count}, "
+            f"feeds={self.feed_count})"
+        )
+
+
+class ContentServer(WebServer):
+    """A normal Web site hosting topical pages and possibly feeds."""
+
+    kind = ServerKind.CONTENT
+
+    def __init__(self, host: str, topics: Optional[List[str]] = None) -> None:
+        super().__init__(host)
+        self.topics = topics if topics is not None else []
+
+
+class AdServer(WebServer):
+    """An advertisement server; every page it serves is an ad beacon."""
+
+    kind = ServerKind.AD
+
+    def add_page(self, page: WebPage) -> None:
+        page.is_ad = True
+        super().add_page(page)
+
+
+class MultimediaServer(WebServer):
+    """Serves multimedia objects; flagged by the crawler and not re-crawled."""
+
+    kind = ServerKind.MULTIMEDIA
+
+    def add_page(self, page: WebPage) -> None:
+        page.is_multimedia = True
+        super().add_page(page)
+
+
+@dataclass
+class ServerDirectory:
+    """Lookup table from host name to server object."""
+
+    servers: Dict[str, WebServer] = field(default_factory=dict)
+
+    def add(self, server: WebServer) -> None:
+        if server.host in self.servers:
+            raise ValueError(f"server {server.host!r} already registered")
+        self.servers[server.host] = server
+
+    def get(self, host: str) -> Optional[WebServer]:
+        return self.servers.get(host)
+
+    def __contains__(self, host: str) -> bool:
+        return host in self.servers
+
+    def __len__(self) -> int:
+        return len(self.servers)
+
+    def hosts(self) -> List[str]:
+        return sorted(self.servers)
+
+    def by_kind(self, kind: ServerKind) -> List[WebServer]:
+        return [server for server in self.servers.values() if server.kind is kind]

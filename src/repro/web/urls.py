@@ -1,0 +1,115 @@
+"""Minimal URL model for the simulated Web.
+
+Attention data in the paper is a stream of URIs; the attention parser and
+the crawler both need to split a URI into its server and path, normalize
+trivial variations, and recognize feed-looking paths.  Only the ``http``
+scheme is modelled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+FEED_PATH_HINTS = (".rss", ".xml", ".atom", "/rss", "/feed", "/atom")
+
+
+@dataclass(frozen=True)
+class Url:
+    """A parsed simulated URL."""
+
+    host: str
+    path: str = "/"
+    query: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.host:
+            raise ValueError("URL host cannot be empty")
+        if not self.path.startswith("/"):
+            object.__setattr__(self, "path", "/" + self.path)
+
+    @property
+    def full(self) -> str:
+        query = f"?{self.query}" if self.query else ""
+        return f"http://{self.host}{self.path}{query}"
+
+    @property
+    def looks_like_feed(self) -> bool:
+        lowered = self.path.lower()
+        return any(hint in lowered for hint in FEED_PATH_HINTS)
+
+    def sibling(self, path: str) -> "Url":
+        """A URL on the same host with a different path."""
+        return Url(host=self.host, path=path)
+
+    def __str__(self) -> str:
+        return self.full
+
+
+def parse_url(raw: str) -> Url:
+    """Parse a URL string into a :class:`Url`.
+
+    Accepts ``http://host/path?query``, ``host/path`` and bare hosts.
+    """
+    text = raw.strip()
+    if not text:
+        raise ValueError("cannot parse an empty URL")
+    for prefix in ("http://", "https://"):
+        if text.lower().startswith(prefix):
+            text = text[len(prefix):]
+            break
+    if "/" in text:
+        host, _, rest = text.partition("/")
+        path = "/" + rest
+    else:
+        host, path = text, "/"
+    query = ""
+    if "?" in path:
+        path, _, query = path.partition("?")
+    host = host.lower().rstrip(".")
+    if host.startswith("www."):
+        host = host[4:]
+    return Url(host=host, path=path or "/", query=query)
+
+
+def normalize_url(raw: str) -> str:
+    """Canonical string form of a URL (lowercased host, no www, no fragment)."""
+    return parse_url(raw).full
+
+
+def server_of(raw: str) -> str:
+    """The server (host) component of a URL string."""
+    return parse_url(raw).host
+
+
+def split_server_path(raw: str) -> Tuple[str, str]:
+    url = parse_url(raw)
+    return url.host, url.path
+
+
+def is_feed_url(raw: str) -> bool:
+    """Heuristic used by the attention parser for feed-looking URIs."""
+    try:
+        return parse_url(raw).looks_like_feed
+    except ValueError:
+        return False
+
+
+def make_url(host: str, path: str = "/", query: str = "") -> Url:
+    """Construct a URL ensuring host normalization matches :func:`parse_url`."""
+    return parse_url(f"http://{host}{path if path.startswith('/') else '/' + path}" + (f"?{query}" if query else ""))
+
+
+def ad_server_name(index: int) -> str:
+    """Deterministic name for the i-th synthetic advertisement server."""
+    return f"ads{index:04d}.adnet.example"
+
+
+def content_server_name(index: int) -> str:
+    """Deterministic name for the i-th synthetic content server."""
+    return f"site{index:04d}.example"
+
+
+def multimedia_server_name(index: int) -> str:
+    """Deterministic name for the i-th synthetic multimedia server."""
+    return f"media{index:04d}.example"

@@ -1,0 +1,182 @@
+"""Interest-driven synthetic browsing users.
+
+The paper's experiments use real users' browsing history; we substitute a
+behavioural model with the properties the paper's trace exhibits:
+
+* each user has a small set of favourite topics (their *interest profile*);
+* browsing is bursty — users browse in sessions of a few to a few dozen
+  page views;
+* page choice is a mix of revisits to favourite sites (Zipfian over a
+  personal favourites list), topical exploration (new pages on favourite
+  topics) and undirected surfing (random pages), which produces both the
+  heavy head of frequently revisited servers and the long tail of servers
+  visited exactly once;
+* every content page view drags in requests to ad and multimedia servers
+  embedded on the page (the browser issues those automatically), which
+  produces the paper's 70%-of-requests-to-ad-servers figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.sim.rng import SeededRNG, ZipfSampler
+from repro.web.browser import Browser
+from repro.web.pages import WebPage
+from repro.web.urls import parse_url
+from repro.web.webgraph import SyntheticWeb
+
+
+@dataclass
+class InterestProfile:
+    """A user's topical interests with relative strengths."""
+
+    weights: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.weights:
+            raise ValueError("an interest profile needs at least one topic")
+        if any(weight <= 0 for weight in self.weights.values()):
+            raise ValueError("interest weights must be positive")
+
+    @property
+    def topics(self) -> List[str]:
+        return list(self.weights)
+
+    def normalized(self) -> Dict[str, float]:
+        total = sum(self.weights.values())
+        return {topic: weight / total for topic, weight in self.weights.items()}
+
+    def sample_topic(self, rng: SeededRNG) -> str:
+        names = list(self.weights)
+        return rng.weighted_choice(names, [self.weights[name] for name in names])
+
+    def affinity(self, topics: Sequence[str]) -> float:
+        """How strongly the profile matches a set of topics (max weight share)."""
+        normalized = self.normalized()
+        return max((normalized.get(topic, 0.0) for topic in topics), default=0.0)
+
+
+@dataclass
+class BrowsingSession:
+    """One burst of browsing: the pages visited and when."""
+
+    user_id: str
+    started_at: float
+    urls: List[str] = field(default_factory=list)
+
+
+@dataclass
+class BrowsingBehaviour:
+    """Tunable parameters of the browsing model."""
+
+    sessions_per_day: float = 4.0
+    pages_per_session_mean: float = 8.0
+    revisit_probability: float = 0.55
+    topical_probability: float = 0.35
+    favourites_size: int = 25
+    favourites_zipf_exponent: float = 1.05
+    think_time_seconds: float = 45.0
+
+
+class BrowsingUser:
+    """A synthetic user that generates browsing sessions over the web."""
+
+    def __init__(
+        self,
+        user_id: str,
+        profile: InterestProfile,
+        browser: Browser,
+        web: SyntheticWeb,
+        rng: SeededRNG,
+        behaviour: Optional[BrowsingBehaviour] = None,
+    ) -> None:
+        self.user_id = user_id
+        self.profile = profile
+        self.browser = browser
+        self.web = web
+        self.behaviour = behaviour if behaviour is not None else BrowsingBehaviour()
+        self._rng = rng
+        self.sessions: List[BrowsingSession] = []
+        self._favourites = self._choose_favourites()
+        self._favourite_sampler = ZipfSampler(
+            len(self._favourites),
+            self.behaviour.favourites_zipf_exponent,
+            rng.fork("favourites"),
+        )
+
+    # -- favourites ---------------------------------------------------------
+
+    def _choose_favourites(self) -> List[WebPage]:
+        """Pick the user's personally favourite pages, biased to their topics."""
+        candidates: List[WebPage] = []
+        weights: List[float] = []
+        for page in self.web.all_pages:
+            affinity = self.profile.affinity(page.topics)
+            if affinity > 0:
+                candidates.append(page)
+                weights.append(affinity)
+        size = min(self.behaviour.favourites_size, len(candidates))
+        if size == 0:
+            pages = self.web.all_pages
+            return pages[: self.behaviour.favourites_size] or pages
+        return self._rng.weighted_sample(candidates, weights, size)
+
+    @property
+    def favourites(self) -> List[WebPage]:
+        return list(self._favourites)
+
+    # -- page selection -------------------------------------------------------
+
+    def _pick_page(self) -> WebPage:
+        roll = self._rng.random()
+        if roll < self.behaviour.revisit_probability and self._favourites:
+            rank = self._favourite_sampler.sample()
+            return self._favourites[rank]
+        if roll < self.behaviour.revisit_probability + self.behaviour.topical_probability:
+            topic = self.profile.sample_topic(self._rng)
+            pages = self.web.pages_for_topic(topic)
+            if pages:
+                return self._rng.choice(pages)
+        return self.web.random_content_page(self._rng)
+
+    # -- session generation ----------------------------------------------------
+
+    def browse_session(self, started_at: float) -> BrowsingSession:
+        """Run one browsing session starting at simulation time ``started_at``."""
+        session = BrowsingSession(user_id=self.user_id, started_at=started_at)
+        num_pages = max(1, self._rng.poisson(self.behaviour.pages_per_session_mean))
+        timestamp = started_at
+        for _ in range(num_pages):
+            page = self._pick_page()
+            self.browser.visit(page.url, timestamp=timestamp)
+            session.urls.append(page.url.full)
+            timestamp += self._rng.expovariate(1.0 / self.behaviour.think_time_seconds)
+        self.sessions.append(session)
+        return session
+
+    def browse_days(self, days: float, start_time: float = 0.0) -> List[BrowsingSession]:
+        """Generate sessions covering ``days`` of simulated time."""
+        sessions: List[BrowsingSession] = []
+        day_seconds = 86400.0
+        total_days = int(days)
+        for day in range(total_days):
+            num_sessions = self._rng.poisson(self.behaviour.sessions_per_day)
+            for _ in range(num_sessions):
+                offset = self._rng.uniform(8 * 3600.0, 23 * 3600.0)
+                started_at = start_time + day * day_seconds + offset
+                sessions.append(self.browse_session(started_at))
+        sessions.sort(key=lambda session: session.started_at)
+        return sessions
+
+    # -- derived statistics -----------------------------------------------------
+
+    def visited_urls(self) -> List[str]:
+        urls: List[str] = []
+        for session in self.sessions:
+            urls.extend(session.urls)
+        return urls
+
+    def visited_servers(self) -> List[str]:
+        return sorted({parse_url(url).host for url in self.visited_urls()})

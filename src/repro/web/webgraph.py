@@ -1,0 +1,277 @@
+"""Synthetic Web construction.
+
+Builds the population of servers, pages and feeds that browsing users and
+the crawler operate over.  The defaults are calibrated so that a ten-week
+trace of five users reproduces the aggregate statistics reported in the
+paper's Section 3.2 (see ``repro.datasets.browsing`` for the calibration).
+
+A small ``networkx`` graph of content links between pages is kept so that
+browsing users can follow links as well as jump directly to popular sites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import networkx as nx
+
+from repro.ir.corpus import TopicModel
+from repro.sim.rng import SeededRNG
+from repro.web.feeds import Feed, FeedFormat, sample_update_interval
+from repro.web.pages import LinkKind, WebPage
+from repro.web.servers import (
+    AdServer,
+    ContentServer,
+    MultimediaServer,
+    ServerDirectory,
+    WebServer,
+)
+from repro.web.urls import (
+    Url,
+    ad_server_name,
+    content_server_name,
+    make_url,
+    multimedia_server_name,
+)
+
+
+@dataclass
+class WebGraphConfig:
+    """Parameters controlling the size and shape of the synthetic Web."""
+
+    num_content_servers: int = 906
+    num_ad_servers: int = 1713
+    num_multimedia_servers: int = 40
+    pages_per_server_mean: int = 12
+    feed_probability: float = 0.32
+    extra_feed_probability: float = 0.12
+    page_length_words: int = 220
+    ad_link_probability: float = 0.85
+    ads_per_page: int = 3
+    multimedia_link_probability: float = 0.1
+    content_links_per_page: int = 4
+    feed_formats: Sequence[FeedFormat] = (
+        FeedFormat.RSS,
+        FeedFormat.RSS,
+        FeedFormat.ATOM,
+        FeedFormat.RDF,
+    )
+
+    def __post_init__(self) -> None:
+        if self.num_content_servers <= 0:
+            raise ValueError("need at least one content server")
+        if not 0 <= self.feed_probability <= 1:
+            raise ValueError("feed_probability must be a probability")
+
+
+@dataclass
+class SyntheticWeb:
+    """The full simulated Web: servers, pages, feeds and a link graph."""
+
+    directory: ServerDirectory
+    content_servers: List[ContentServer]
+    ad_servers: List[AdServer]
+    multimedia_servers: List[MultimediaServer]
+    feeds: List[Feed]
+    topic_model: TopicModel
+    link_graph: nx.DiGraph = field(default_factory=nx.DiGraph)
+
+    @property
+    def all_pages(self) -> List[WebPage]:
+        pages: List[WebPage] = []
+        for server in self.content_servers:
+            pages.extend(server.pages.values())
+        return pages
+
+    def feeds_on_server(self, host: str) -> List[Feed]:
+        server = self.directory.get(host)
+        if server is None:
+            return []
+        return list(server.feeds.values())
+
+    def servers_for_topic(self, topic: str) -> List[ContentServer]:
+        return [server for server in self.content_servers if topic in server.topics]
+
+    def pages_for_topic(self, topic: str) -> List[WebPage]:
+        return [page for page in self.all_pages if topic in page.topics]
+
+    def random_content_page(self, rng: SeededRNG) -> WebPage:
+        server = rng.choice(self.content_servers)
+        return rng.choice(list(server.pages.values()))
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "content_servers": len(self.content_servers),
+            "ad_servers": len(self.ad_servers),
+            "multimedia_servers": len(self.multimedia_servers),
+            "pages": len(self.all_pages),
+            "feeds": len(self.feeds),
+        }
+
+
+def build_synthetic_web(
+    topic_model: TopicModel,
+    rng: SeededRNG,
+    config: Optional[WebGraphConfig] = None,
+) -> SyntheticWeb:
+    """Construct a synthetic Web according to ``config``."""
+    config = config if config is not None else WebGraphConfig()
+    directory = ServerDirectory()
+    graph = nx.DiGraph()
+    topics = topic_model.topic_names()
+
+    ad_servers = [AdServer(ad_server_name(index)) for index in range(config.num_ad_servers)]
+    for server in ad_servers:
+        beacon = WebPage(
+            url=make_url(server.host, "/beacon"),
+            title="ad",
+            text="sponsored advertisement tracking pixel",
+            is_ad=True,
+        )
+        server.add_page(beacon)
+        directory.add(server)
+
+    multimedia_servers = [
+        MultimediaServer(multimedia_server_name(index))
+        for index in range(config.num_multimedia_servers)
+    ]
+    for server in multimedia_servers:
+        clip = WebPage(
+            url=make_url(server.host, "/clip"),
+            title="video clip",
+            text="streaming media object",
+            is_multimedia=True,
+        )
+        server.add_page(clip)
+        directory.add(server)
+
+    content_servers: List[ContentServer] = []
+    feeds: List[Feed] = []
+    for index in range(config.num_content_servers):
+        host = content_server_name(index)
+        # Each site focuses on one or two topics.
+        primary = topics[index % len(topics)]
+        secondary = rng.choice(topics)
+        server_topics = [primary] if secondary == primary else [primary, secondary]
+        server = ContentServer(host, topics=server_topics)
+
+        server_feeds = _build_server_feeds(server, server_topics, rng, config)
+        feeds.extend(server_feeds)
+
+        num_pages = max(1, rng.poisson(config.pages_per_server_mean))
+        for page_number in range(num_pages):
+            page = _build_page(
+                server,
+                page_number,
+                server_topics,
+                topic_model,
+                rng,
+                config,
+                ad_servers,
+                multimedia_servers,
+                server_feeds,
+            )
+            server.add_page(page)
+            graph.add_node(page.url.full, topic=page.dominant_topic())
+
+        directory.add(server)
+        content_servers.append(server)
+
+    _add_content_links(content_servers, graph, rng, config)
+
+    return SyntheticWeb(
+        directory=directory,
+        content_servers=content_servers,
+        ad_servers=ad_servers,
+        multimedia_servers=multimedia_servers,
+        feeds=feeds,
+        topic_model=topic_model,
+        link_graph=graph,
+    )
+
+
+def _build_server_feeds(
+    server: ContentServer,
+    server_topics: List[str],
+    rng: SeededRNG,
+    config: WebGraphConfig,
+) -> List[Feed]:
+    feeds: List[Feed] = []
+    if rng.random() < config.feed_probability:
+        feeds.append(_make_feed(server, "/feed.rss", server_topics[0], rng, config))
+        if rng.random() < config.extra_feed_probability:
+            topic = server_topics[-1]
+            feeds.append(_make_feed(server, f"/{topic}/feed.rss", topic, rng, config))
+    for feed in feeds:
+        server.add_feed(feed)
+    return feeds
+
+
+def _make_feed(
+    server: ContentServer,
+    path: str,
+    topic: str,
+    rng: SeededRNG,
+    config: WebGraphConfig,
+) -> Feed:
+    feed_format = rng.choice(list(config.feed_formats))
+    return Feed(
+        url=make_url(server.host, path),
+        title=f"{server.host} {topic} feed",
+        format=feed_format,
+        topics=[topic],
+        update_interval=sample_update_interval(rng),
+    )
+
+
+def _build_page(
+    server: ContentServer,
+    page_number: int,
+    server_topics: List[str],
+    topic_model: TopicModel,
+    rng: SeededRNG,
+    config: WebGraphConfig,
+    ad_servers: List[AdServer],
+    multimedia_servers: List[MultimediaServer],
+    server_feeds: List[Feed],
+) -> WebPage:
+    mixture = {topic: 1.0 for topic in server_topics}
+    document = topic_model.generate(mixture, config.page_length_words)
+    page = WebPage(
+        url=make_url(server.host, f"/page{page_number}.html"),
+        title=f"{server.host} article {page_number}",
+        text=document.text,
+        topics=list(server_topics),
+    )
+    # Feed autodiscovery links appear on every page of a site that has feeds.
+    for feed in server_feeds:
+        page.add_link(feed.url, LinkKind.FEED)
+    # Ad beacons: most pages embed several, generating the ad-server traffic
+    # that dominates the paper's request log.
+    if ad_servers and rng.random() < config.ad_link_probability:
+        for _ in range(config.ads_per_page):
+            ad_server = rng.choice(ad_servers)
+            page.add_link(make_url(ad_server.host, "/beacon"), LinkKind.AD)
+    if multimedia_servers and rng.random() < config.multimedia_link_probability:
+        media_server = rng.choice(multimedia_servers)
+        page.add_link(make_url(media_server.host, "/clip"), LinkKind.MULTIMEDIA)
+    return page
+
+
+def _add_content_links(
+    content_servers: List[ContentServer],
+    graph: nx.DiGraph,
+    rng: SeededRNG,
+    config: WebGraphConfig,
+) -> None:
+    all_pages = [page for server in content_servers for page in server.pages.values()]
+    if len(all_pages) < 2:
+        return
+    for page in all_pages:
+        for _ in range(config.content_links_per_page):
+            target = rng.choice(all_pages)
+            if target.url == page.url:
+                continue
+            page.add_link(target.url, LinkKind.CONTENT)
+            graph.add_edge(page.url.full, target.url.full)

@@ -1,0 +1,93 @@
+"""Shared fixtures for the test suite.
+
+Heavier objects (synthetic web, video archive, browsing dataset) are built
+once per session at reduced scale so the suite stays fast while still
+exercising the full pipelines.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.browsing import BrowsingDatasetConfig, build_browsing_dataset
+from repro.datasets.video import VideoArchiveConfig, build_video_archive
+from repro.datasets.vocab import build_topic_model
+from repro.ir.tokenize import TextAnalyzer
+from repro.sim.engine import SimulationEngine
+from repro.sim.rng import SeededRNG
+from repro.web.http import SimulatedHttp
+from repro.web.webgraph import WebGraphConfig, build_synthetic_web
+
+
+@pytest.fixture
+def rng() -> SeededRNG:
+    return SeededRNG(42)
+
+
+@pytest.fixture
+def engine() -> SimulationEngine:
+    return SimulationEngine()
+
+
+@pytest.fixture
+def analyzer() -> TextAnalyzer:
+    return TextAnalyzer()
+
+
+@pytest.fixture(scope="session")
+def topic_model_session():
+    return build_topic_model(SeededRNG(7).fork("topics"))
+
+
+@pytest.fixture
+def topic_model(topic_model_session):
+    return topic_model_session
+
+
+@pytest.fixture(scope="session")
+def small_web_session():
+    """A small synthetic web shared (read-mostly) across tests."""
+    rng = SeededRNG(123)
+    model = build_topic_model(rng.fork("topics"))
+    config = WebGraphConfig(
+        num_content_servers=30,
+        num_ad_servers=20,
+        num_multimedia_servers=3,
+        pages_per_server_mean=4,
+        page_length_words=80,
+        feed_probability=0.5,
+    )
+    return build_synthetic_web(model, rng.fork("web"), config)
+
+
+@pytest.fixture
+def small_web(small_web_session):
+    return small_web_session
+
+
+@pytest.fixture
+def http(small_web) -> SimulatedHttp:
+    return SimulatedHttp(small_web.directory)
+
+
+@pytest.fixture(scope="session")
+def small_video_archive():
+    config = VideoArchiveConfig(num_stories=60, transcript_length_words=60)
+    return build_video_archive(config)
+
+
+@pytest.fixture(scope="session")
+def tiny_browsing_dataset():
+    config = BrowsingDatasetConfig(
+        num_users=2,
+        duration_days=3,
+        num_content_servers=25,
+        num_ad_servers=15,
+        num_multimedia_servers=3,
+        pages_per_server_mean=4,
+        page_length_words=80,
+        sessions_per_day=3.0,
+        pages_per_session_mean=6.0,
+        seed=99,
+    )
+    return build_browsing_dataset(config)

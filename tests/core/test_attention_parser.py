@@ -1,0 +1,185 @@
+"""Tests for the attention recorder, click store and attention parser."""
+
+import pytest
+
+from repro.core.attention import AttentionBatch, AttentionRecorder, AttentionStore, Click, issue_cookie
+from repro.core.parser import (
+    AttentionParser,
+    FeedUrlExtractor,
+    KeywordExtractor,
+    ParsedToken,
+    StockSymbolExtractor,
+)
+from repro.pubsub.interface import feed_interface_spec, news_interface_spec, stock_interface_spec
+from repro.web.pages import LinkKind, WebPage
+from repro.web.urls import make_url
+
+
+def click(url, timestamp=0.0, user="u1"):
+    return Click(url=url, timestamp=timestamp, cookie="cookie-x", user_id=user)
+
+
+class TestAttentionRecorder:
+    def test_record_accumulates_pending(self):
+        recorder = AttentionRecorder("u1", batch_size=100)
+        recorder.record("http://site.example/a", 1.0)
+        recorder.record("http://site.example/b", 2.0)
+        assert recorder.pending_clicks == 2
+        assert recorder.clicks_recorded == 2
+
+    def test_flush_sends_batch_to_sinks(self):
+        recorder = AttentionRecorder("u1", batch_size=100)
+        received = []
+        recorder.add_sink(received.append)
+        recorder.record("http://site.example/a", 1.0)
+        batch = recorder.flush(now=5.0)
+        assert isinstance(batch, AttentionBatch)
+        assert received == [batch]
+        assert batch.user_id == "u1"
+        assert batch.sent_at == 5.0
+        assert recorder.pending_clicks == 0
+
+    def test_flush_empty_returns_none(self):
+        recorder = AttentionRecorder("u1")
+        assert recorder.flush() is None
+
+    def test_auto_flush_at_batch_size(self):
+        recorder = AttentionRecorder("u1", batch_size=3)
+        batches = []
+        recorder.add_sink(batches.append)
+        for index in range(3):
+            recorder.record(f"http://site.example/{index}", float(index))
+        assert len(batches) == 1
+        assert len(batches[0]) == 3
+
+    def test_attach_to_browser_records_visits(self, small_web, http):
+        from repro.web.browser import Browser
+
+        browser = Browser(user_id="u1", http=http)
+        recorder = AttentionRecorder("u1")
+        recorder.attach_to_browser(browser)
+        page = small_web.all_pages[0]
+        browser.visit(page.url, timestamp=3.0)
+        assert recorder.clicks_recorded >= 1
+        assert page.url.full in recorder.local_pages
+
+    def test_cookie_issued_unique(self):
+        assert issue_cookie() != issue_cookie()
+        assert AttentionRecorder("a").cookie != AttentionRecorder("b").cookie
+
+    def test_batch_size_bytes(self):
+        batch = AttentionBatch(user_id="u", cookie="c", clicks=[click("http://a.example/")] * 4)
+        assert batch.size_bytes(100) == 400
+
+
+class TestAttentionStore:
+    def test_store_batch_and_query(self):
+        store = AttentionStore()
+        clicks = [
+            click("http://a.example/page1", 1.0),
+            click("http://a.example/page1", 2.0),
+            click("http://b.example/x", 3.0),
+        ]
+        store.store_batch(AttentionBatch(user_id="u1", cookie="c1", clicks=clicks))
+        assert store.total_clicks() == 3
+        assert store.users() == ["u1"]
+        assert len(store.clicks_for("u1")) == 3
+        assert store.distinct_servers() == 2
+        assert store.server_visit_counts()["a.example"] == 2
+        assert store.servers_visited_once() == 1
+        assert len(store.distinct_urls()) == 2
+
+    def test_cookie_maps_clicks_to_user(self):
+        store = AttentionStore()
+        store.store_batch(AttentionBatch(user_id="u1", cookie="c9", clicks=[]))
+        store.store_click(Click(url="http://a.example/", timestamp=1.0, cookie="c9", user_id=""))
+        assert store.users() == ["u1"]
+        assert store.urls_for("u1") == ["http://a.example/"]
+
+    def test_clicks_on_servers_and_time_window(self):
+        store = AttentionStore()
+        store.store_click(click("http://ads.example/b", 5.0))
+        store.store_click(click("http://site.example/a", 15.0))
+        assert store.clicks_on_servers({"ads.example"}) == 1
+        assert len(store.clicks_between(0.0, 10.0)) == 1
+        assert len(store) == 2
+
+
+class TestExtractors:
+    def test_feed_url_extractor_from_click(self):
+        extractor = FeedUrlExtractor()
+        tokens = extractor.extract_from_click(click("http://site.example/news/feed.rss"))
+        assert tokens[0].attribute == "feed_url"
+        assert tokens[0].value == "http://site.example/news/feed.rss"
+        assert extractor.extract_from_click(click("http://site.example/page.html")) == []
+
+    def test_feed_url_extractor_from_autodiscovery(self):
+        extractor = FeedUrlExtractor()
+        page = WebPage(url=make_url("site.example", "/index.html"), title="i", text="x")
+        page.add_link(make_url("site.example", "/feed.rss"), LinkKind.FEED)
+        tokens = extractor.extract_from_page(click(page.url.full), page)
+        assert [t.value for t in tokens] == ["http://site.example/feed.rss"]
+        assert tokens[0].source == "autodiscovery"
+
+    def test_stock_symbol_extractor(self):
+        extractor = StockSymbolExtractor(["ACME", "goog"])
+        from_click = extractor.extract_from_click(click("http://quotes.example/q?s=ACME"))
+        assert [t.value for t in from_click] == ["ACME"]
+        page = WebPage(url=make_url("q.example", "/x"), title="t", text="Shares of GOOG rallied.")
+        from_page = extractor.extract_from_page(click(page.url.full), page)
+        assert [t.value for t in from_page] == ["GOOG"]
+
+    def test_keyword_extractor_limits_and_weights(self):
+        extractor = KeywordExtractor(per_page_limit=2)
+        page = WebPage(
+            url=make_url("s.example", "/x"),
+            title="t",
+            text="election election election market market weather",
+        )
+        tokens = extractor.extract_from_page(click(page.url.full), page)
+        assert len(tokens) == 2
+        assert tokens[0].value == "elect"
+        assert tokens[0].weight == 3.0
+
+
+class TestAttentionParser:
+    def test_requires_extractors(self):
+        with pytest.raises(ValueError):
+            AttentionParser(feed_interface_spec(), extractors=[])
+
+    def test_validates_against_interface(self):
+        parser = AttentionParser(
+            stock_interface_spec(["ACME"]), extractors=[StockSymbolExtractor(["ACME", "FAKE"])]
+        )
+        page = WebPage(url=make_url("q.example", "/x"), title="t", text="ACME FAKE")
+        tokens = parser.parse_click(click(page.url.full), page)
+        # FAKE is extracted but the interface vocabulary only allows ACME...
+        # both are in the extractor vocabulary, but the interface spec vocabulary
+        # is the authority.
+        assert {t.value for t in tokens} == {"ACME"}
+        assert parser.tokens_seen >= parser.tokens_valid
+
+    def test_parse_clicks_with_page_map(self):
+        parser = AttentionParser(feed_interface_spec(), extractors=[FeedUrlExtractor()])
+        page = WebPage(url=make_url("site.example", "/index.html"), title="i", text="x")
+        page.add_link(make_url("site.example", "/feed.rss"), LinkKind.FEED)
+        clicks = [click(page.url.full), click("http://other.example/page.html")]
+        tokens = parser.parse_clicks(clicks, pages={page.url.full: page})
+        assert [t.value for t in tokens] == ["http://site.example/feed.rss"]
+
+    def test_keyword_tokens_validated_by_news_interface(self):
+        parser = AttentionParser(news_interface_spec(), extractors=[KeywordExtractor()])
+        page = WebPage(url=make_url("s.example", "/x"), title="t", text="election campaign vote")
+        tokens = parser.parse_click(click(page.url.full), page)
+        assert all(token.attribute == "keyword" for token in tokens)
+        assert {"elect", "campaign", "vote"} == {token.value for token in tokens}
+
+    def test_aggregate(self):
+        tokens = [
+            ParsedToken("keyword", "election", "page", 2.0),
+            ParsedToken("keyword", "election", "page", 1.0),
+            ParsedToken("feed_url", "http://a/feed.rss", "click", 1.0),
+        ]
+        aggregated = AttentionParser.aggregate(tokens)
+        assert aggregated["keyword"]["election"] == 3.0
+        assert aggregated["feed_url"]["http://a/feed.rss"] == 1.0

@@ -1,0 +1,134 @@
+"""Tests for peer grouping and collaborative recommendations."""
+
+import pytest
+
+from repro.core.collaborative import (
+    CollaborativeRecommender,
+    GroupProfile,
+    PeerGroupingService,
+    pairwise_similarities,
+)
+from repro.core.config import ReefConfig
+from repro.pubsub.interface import feed_interface_spec
+
+SPORTS_VECTOR = {"football": 5.0, "goal": 3.0}
+POLITICS_VECTOR = {"election": 4.0, "vote": 2.0}
+
+
+class TestPairwiseSimilarities:
+    def test_similar_users_rank_first(self):
+        vectors = {
+            "alice": SPORTS_VECTOR,
+            "bob": {"football": 4.0, "goal": 2.0},
+            "carol": POLITICS_VECTOR,
+        }
+        similarities = pairwise_similarities(vectors)
+        assert (similarities[0].first, similarities[0].second) == ("alice", "bob")
+        assert similarities[0].similarity > similarities[-1].similarity
+
+    def test_empty_input(self):
+        assert pairwise_similarities({}) == []
+
+
+class TestGroupProfile:
+    def test_member_and_topic_tracking(self):
+        group = GroupProfile(group_id="g1")
+        group.add_member("alice")
+        group.add_member("alice")
+        group.add_member("bob")
+        assert len(group) == 2
+        group.observe_topic("http://a.example/feed.rss", 2.0)
+        group.observe_topic("http://a.example/feed.rss", 1.0)
+        group.observe_topic("http://b.example/feed.rss", 1.0)
+        group.observe_feedback("http://b.example/feed.rss", 5.0)
+        ranked = group.ranked_topics()
+        assert ranked[0][0] == "http://b.example/feed.rss"
+        assert ranked[0][1] == 6.0
+
+
+class TestPeerGroupingService:
+    def test_similar_users_grouped(self):
+        service = PeerGroupingService(ReefConfig(peer_similarity_threshold=0.2))
+        vectors = {
+            "alice": SPORTS_VECTOR,
+            "bob": {"football": 4.0, "goal": 2.0},
+            "carol": POLITICS_VECTOR,
+        }
+        groups = service.form_groups(vectors)
+        assert service.group_of("alice") is service.group_of("bob")
+        assert service.group_of("carol") is not service.group_of("alice")
+        assert service.peers_of("alice") == ["bob"]
+        assert service.peers_of("carol") == []
+        assert len(groups) == 2
+
+    def test_dissimilar_users_not_grouped(self):
+        service = PeerGroupingService(ReefConfig(peer_similarity_threshold=0.99))
+        groups = service.form_groups({"a": SPORTS_VECTOR, "b": POLITICS_VECTOR})
+        assert len(groups) == 2
+
+    def test_group_size_capped(self):
+        service = PeerGroupingService(ReefConfig(peer_similarity_threshold=0.1, max_peer_group_size=2))
+        vectors = {f"user{i}": dict(SPORTS_VECTOR) for i in range(5)}
+        groups = service.form_groups(vectors)
+        assert all(len(group) <= 2 for group in groups)
+
+    def test_empty_input(self):
+        assert PeerGroupingService().form_groups({}) == []
+
+    def test_unknown_user_has_no_group(self):
+        service = PeerGroupingService()
+        service.form_groups({"a": SPORTS_VECTOR})
+        assert service.group_of("stranger") is None
+
+
+class TestCollaborativeRecommender:
+    @pytest.fixture
+    def setup(self):
+        config = ReefConfig(peer_similarity_threshold=0.2)
+        grouping = PeerGroupingService(config)
+        recommender = CollaborativeRecommender(feed_interface_spec(), grouping, config)
+        grouping.form_groups(
+            {
+                "alice": SPORTS_VECTOR,
+                "bob": {"football": 4.0, "goal": 2.5},
+                "carol": POLITICS_VECTOR,
+            }
+        )
+        return grouping, recommender
+
+    def test_peer_topics_recommended(self, setup):
+        _, recommender = setup
+        recommender.observe_topic("alice", "http://sports.example/feed.rss", 3.0)
+        recommendations = recommender.recommend("bob", now=0.0)
+        assert len(recommendations) == 1
+        assert "sports.example" in recommendations[0].subscription.describe()
+        assert recommendations[0].user_id == "bob"
+        # Alice already knows her own topic; nothing new for her.
+        assert recommender.recommend("alice", now=0.0) == []
+
+    def test_not_re_recommended(self, setup):
+        _, recommender = setup
+        recommender.observe_topic("alice", "http://sports.example/feed.rss", 3.0)
+        assert recommender.recommend("bob", now=0.0)
+        assert recommender.recommend("bob", now=1.0) == []
+
+    def test_users_outside_groups_get_nothing(self, setup):
+        _, recommender = setup
+        recommender.observe_topic("carol", "http://politics.example/feed.rss", 1.0)
+        assert recommender.recommend("carol", now=0.0) == []
+
+    def test_feedback_boosts_group_topics(self, setup):
+        grouping, recommender = setup
+        recommender.observe_topic("alice", "http://low.example/feed.rss", 1.0)
+        recommender.observe_topic("alice", "http://high.example/feed.rss", 1.0)
+        recommender.observe_feedback("alice", "http://high.example/feed.rss", 10.0)
+        recommendations = recommender.recommend("bob", now=0.0)
+        assert "high.example" in recommendations[0].subscription.describe()
+
+    def test_rebuild_group_profiles(self, setup):
+        grouping, recommender = setup
+        recommender.observe_topic("alice", "http://sports.example/feed.rss", 3.0)
+        group = grouping.group_of("alice")
+        group.topic_support.clear()
+        recommender.rebuild_group_profiles()
+        assert group.topic_support

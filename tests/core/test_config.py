@@ -1,0 +1,34 @@
+"""Tests for Reef configuration validation."""
+
+import pytest
+
+from repro.core.config import ReefConfig
+
+
+class TestReefConfig:
+    def test_defaults_are_valid(self):
+        ReefConfig().validate()
+
+    def test_content_query_terms_default_matches_paper_optimum(self):
+        assert ReefConfig().content_query_terms == 30
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("attention_batch_interval", 0.0),
+            ("recommendation_interval", -1.0),
+            ("content_query_terms", 0),
+            ("min_click_through_rate", 1.5),
+            ("max_peer_group_size", 1),
+        ],
+    )
+    def test_invalid_values_rejected(self, field, value):
+        config = ReefConfig(**{field: value})
+        with pytest.raises(ValueError):
+            config.validate()
+
+    def test_config_is_mutable_dataclass(self):
+        config = ReefConfig()
+        config.content_query_terms = 50
+        config.validate()
+        assert config.content_query_terms == 50

@@ -1,0 +1,208 @@
+"""Tests for the centralized and distributed Reef deployments.
+
+These are component-level tests on small synthetic workloads; full runs are
+exercised by the integration tests and benchmarks.
+"""
+
+import pytest
+
+from repro.core.attention import AttentionBatch, AttentionRecorder, Click
+from repro.core.centralized import CentralizedReef, ReefClient, ReefServer, client_node_name
+from repro.core.config import ReefConfig
+from repro.core.distributed import DistributedReef, ReefPeer
+from repro.core.frontend import SubscriptionFrontend
+from repro.core.recommender import Recommendation, RecommendationAction
+from repro.datasets.browsing import BrowsingDatasetConfig, build_browsing_dataset
+from repro.pubsub.api import PubSubSystem
+from repro.pubsub.interface import feed_interface_spec
+from repro.sim.engine import SimulationEngine
+from repro.sim.network import SimulatedNetwork
+from repro.web.http import SimulatedHttp
+
+
+def small_dataset(num_users=2, days=2, seed=7):
+    config = BrowsingDatasetConfig(
+        num_users=num_users,
+        duration_days=days,
+        num_content_servers=20,
+        num_ad_servers=12,
+        num_multimedia_servers=2,
+        pages_per_server_mean=3,
+        page_length_words=60,
+        sessions_per_day=3.0,
+        pages_per_session_mean=5.0,
+        seed=seed,
+    )
+    return config, build_browsing_dataset(config)
+
+
+class TestReefServer:
+    def test_attention_batches_stored_and_crawled(self, small_web):
+        http = SimulatedHttp(small_web.directory)
+        server = ReefServer(http)
+        page = next(
+            page
+            for srv in small_web.content_servers
+            if srv.feeds
+            for page in srv.pages.values()
+        )
+        batch = AttentionBatch(
+            user_id="u1",
+            cookie="c1",
+            clicks=[Click(url=page.url.full, timestamp=1.0, cookie="c1", user_id="u1")],
+        )
+        server.receive_attention(batch)
+        assert server.store.total_clicks() == 1
+        crawled = server.run_crawl_cycle(now=10.0)
+        assert crawled["u1"] == 1
+        assert server.topic_recommender.discovered_feeds("u1")
+        recommendations = server.recommend_for("u1", now=20.0)
+        assert recommendations
+        assert all(r.user_id == "u1" for r in recommendations)
+
+    def test_unknown_message_kind_rejected(self, small_web):
+        from repro.sim.network import Message
+
+        server = ReefServer(SimulatedHttp(small_web.directory))
+        with pytest.raises(ValueError):
+            server.handle_message(Message("x", server.name, "bogus"), None)
+
+    def test_interest_model_created_per_user(self, small_web):
+        server = ReefServer(SimulatedHttp(small_web.directory))
+        model = server.interest_model_for("u9")
+        assert server.interest_model_for("u9") is model
+
+
+class TestReefClient:
+    def test_attention_upload_crosses_network(self, small_web):
+        engine = SimulationEngine()
+        network = SimulatedNetwork(engine)
+        http = SimulatedHttp(small_web.directory)
+        server = ReefServer(http)
+        network.register(server.name, server)
+        pubsub = PubSubSystem()
+        recorder = AttentionRecorder("u1", batch_size=1000)
+        frontend = SubscriptionFrontend("u1", pubsub)
+        client = ReefClient("u1", recorder, frontend, network)
+        network.register(client.name, client)
+
+        recorder.record("http://site0000.example/page0.html", 1.0)
+        client.flush_attention(now=2.0)
+        engine.run()
+        assert server.store.total_clicks() == 1
+        assert network.kind_message_count("attention") == 1
+
+    def test_recommendation_applied_on_delivery(self, small_web):
+        engine = SimulationEngine()
+        network = SimulatedNetwork(engine)
+        http = SimulatedHttp(small_web.directory)
+        server = ReefServer(http)
+        network.register(server.name, server)
+        pubsub = PubSubSystem()
+        recorder = AttentionRecorder("u1", batch_size=1000)
+        frontend = SubscriptionFrontend("u1", pubsub)
+        client = ReefClient("u1", recorder, frontend, network)
+        network.register(client.name, client)
+
+        spec = feed_interface_spec()
+        recommendation = Recommendation(
+            user_id="u1",
+            action=RecommendationAction.SUBSCRIBE,
+            subscription=spec.make_topic_subscription("http://site0000.example/feed.rss", subscriber="u1"),
+        )
+        network.send(server.name, client_node_name("u1"), kind="recommendation", payload=recommendation)
+        engine.run()
+        assert len(frontend.active_subscriptions()) == 1
+        assert network.metrics.counter("flow.sub_unsub").value == 1
+
+
+class TestCentralizedReef:
+    def test_end_to_end_small_run(self):
+        config, dataset = small_dataset()
+        reef = CentralizedReef(dataset.web, dataset.users, dataset.rng, http=dataset.http)
+        reef.run(days=config.duration_days)
+        stats = reef.attention_statistics()
+        assert stats["total_requests"] > 0
+        assert stats["distinct_servers"] > 0
+        assert 0.0 <= stats["ad_request_fraction"] <= 1.0
+        flows = reef.flow_statistics()
+        assert flows["attention_messages"] > 0
+        assert flows["recommendation_messages"] >= flows["sub_unsub_messages"] > 0
+        recs = reef.recommendation_statistics(config.duration_days)
+        assert recs["feed_recommendations"] == flows["recommendation_messages"]
+
+    def test_subscriptions_target_discovered_feeds(self):
+        config, dataset = small_dataset(seed=21)
+        reef = CentralizedReef(dataset.web, dataset.users, dataset.rng, http=dataset.http)
+        reef.run(days=config.duration_days)
+        discovered = set(reef.server.crawler.discovered_feeds())
+        for client in reef.clients.values():
+            for subscription in client.frontend.active_subscriptions():
+                topic = subscription.predicates[0].value
+                assert topic in discovered
+
+
+class TestReefPeer:
+    def test_attention_never_leaves_host(self, small_web):
+        pubsub = PubSubSystem()
+        peer = ReefPeer("u1", pubsub)
+        peer.recorder.record("http://site0000.example/page0.html", 1.0)
+        peer.recorder.flush(2.0)
+        assert peer.store.total_clicks() == 1
+        assert peer.attention_bytes_shared() == 0
+
+    def test_local_analysis_discovers_feeds_from_cache(self, small_web):
+        from repro.web.browser import Browser
+
+        pubsub = PubSubSystem()
+        peer = ReefPeer("u1", pubsub)
+        browser = Browser(user_id="u1", http=SimulatedHttp(small_web.directory))
+        peer.recorder.attach_to_browser(browser)
+        server = next(s for s in small_web.content_servers if s.feeds)
+        page = next(iter(server.pages.values()))
+        browser.visit(page.url, timestamp=1.0)
+        peer.recorder.flush(2.0)
+        peer.analyze_attention(now=3.0)
+        recommendations = peer.recommend(now=4.0)
+        assert recommendations
+        applied = peer.apply_recommendations(recommendations, now=5.0)
+        assert applied == len(recommendations)
+        # Re-analysis without new clicks does nothing (incremental).
+        assert peer.analyze_attention(now=6.0) == 0
+
+    def test_peer_recommendation_rebound_to_local_user(self):
+        pubsub = PubSubSystem()
+        peer = ReefPeer("bob", pubsub)
+        spec = feed_interface_spec()
+        foreign = Recommendation(
+            user_id="alice",
+            action=RecommendationAction.SUBSCRIBE,
+            subscription=spec.make_topic_subscription("http://x.example/feed.rss", subscriber="alice"),
+        )
+        assert peer.receive_peer_recommendation(foreign, now=1.0) is True
+        active = peer.frontend.active_subscriptions()
+        assert len(active) == 1
+        assert active[0].subscriber == "bob"
+        # Receiving it again does not duplicate the subscription.
+        assert peer.receive_peer_recommendation(foreign, now=2.0) is False
+
+
+class TestDistributedReef:
+    def test_end_to_end_small_run(self):
+        config, dataset = small_dataset(seed=31)
+        reef = DistributedReef(dataset.web, dataset.users, dataset.rng, http=dataset.http)
+        reef.run(days=config.duration_days)
+        flows = reef.flow_statistics()
+        assert flows["attention_messages"] == 0.0
+        assert flows["attention_bytes"] == 0.0
+        assert flows["crawler_fetches"] == 0.0
+        assert flows["sub_unsub_messages"] > 0
+
+    def test_collaborative_mode_gossips_recommendations(self):
+        config, dataset = small_dataset(num_users=3, seed=41)
+        reef = DistributedReef(dataset.web, dataset.users, dataset.rng, http=dataset.http)
+        reef.run(days=config.duration_days, collaborative=True)
+        # Groups were formed (possibly singletons) and gossip never carries
+        # raw attention.
+        assert reef.grouping.groups
+        assert reef.flow_statistics()["attention_bytes"] == 0.0

@@ -1,0 +1,189 @@
+"""Tests for interest models and the recommendation services."""
+
+import pytest
+
+from repro.core.config import ReefConfig
+from repro.core.interest import InterestModel, cosine_similarity
+from repro.core.parser import ParsedToken
+from repro.core.recommender import (
+    ContentQueryRecommender,
+    RecommendationAction,
+    RecommendationService,
+    TopicFeedRecommender,
+)
+from repro.ir.index import InvertedIndex
+from repro.ir.tokenize import TextAnalyzer
+from repro.pubsub.interface import feed_interface_spec, news_interface_spec
+
+DAY = 86400.0
+
+
+class TestInterestModel:
+    def test_observation_accumulates(self):
+        model = InterestModel("u1")
+        model.observe_terms({"election": 2.0}, now=0.0)
+        model.observe_terms({"election": 3.0}, now=0.0)
+        assert model.term_weight("election") == pytest.approx(5.0)
+        assert model.term_count == 1
+
+    def test_decay_halves_after_half_life(self):
+        model = InterestModel("u1", half_life=10 * DAY)
+        model.observe_terms({"election": 8.0}, now=0.0)
+        assert model.term_weight("election", now=10 * DAY) == pytest.approx(4.0)
+        assert model.term_weight("election", now=20 * DAY) == pytest.approx(2.0)
+
+    def test_decay_applied_on_update(self):
+        model = InterestModel("u1", half_life=10 * DAY)
+        model.observe_terms({"market": 8.0}, now=0.0)
+        model.observe_terms({"market": 1.0}, now=10 * DAY)
+        assert model.term_weight("market") == pytest.approx(5.0)
+
+    def test_server_weights(self):
+        model = InterestModel("u1")
+        model.observe_server("news.example", now=0.0)
+        model.observe_server("news.example", now=0.0)
+        model.observe_server("other.example", now=0.0)
+        assert model.top_servers(1)[0][0] == "news.example"
+        assert model.server_count == 2
+
+    def test_top_terms_ordering(self):
+        model = InterestModel("u1")
+        model.observe_terms({"a": 1.0, "b": 5.0, "c": 3.0}, now=0.0)
+        assert [term for term, _ in model.top_terms(2)] == ["b", "c"]
+
+    def test_unknown_term_weight_zero(self):
+        assert InterestModel("u").term_weight("nothing") == 0.0
+        assert InterestModel("u").server_weight("nothing") == 0.0
+
+    def test_invalid_half_life(self):
+        with pytest.raises(ValueError):
+            InterestModel("u", half_life=0.0)
+
+    def test_negative_weights_ignored(self):
+        model = InterestModel("u")
+        model.observe_terms({"a": -5.0}, now=0.0)
+        assert model.term_weight("a") == 0.0
+
+
+class TestCosineSimilarity:
+    def test_identical_vectors(self):
+        assert cosine_similarity({"a": 1.0, "b": 2.0}, {"a": 1.0, "b": 2.0}) == pytest.approx(1.0)
+
+    def test_orthogonal_vectors(self):
+        assert cosine_similarity({"a": 1.0}, {"b": 1.0}) == 0.0
+
+    def test_empty_vectors(self):
+        assert cosine_similarity({}, {"a": 1.0}) == 0.0
+
+    def test_symmetry(self):
+        first = {"a": 1.0, "b": 3.0}
+        second = {"b": 2.0, "c": 1.0}
+        assert cosine_similarity(first, second) == pytest.approx(cosine_similarity(second, first))
+
+
+class TestTopicFeedRecommender:
+    @pytest.fixture
+    def recommender(self):
+        return TopicFeedRecommender(feed_interface_spec(), ReefConfig())
+
+    def test_discovered_feed_recommended_once(self, recommender):
+        recommender.observe_feed("u1", "http://site.example/feed.rss")
+        first = recommender.recommend("u1", now=0.0, active_subscriptions=[])
+        assert len(first) == 1
+        assert first[0].action is RecommendationAction.SUBSCRIBE
+        assert first[0].subscription.subscriber == "u1"
+        # Never re-recommended.
+        assert recommender.recommend("u1", now=1.0, active_subscriptions=[]) == []
+
+    def test_active_subscription_not_re_recommended(self, recommender):
+        spec = feed_interface_spec()
+        active = spec.make_topic_subscription("http://site.example/feed.rss", subscriber="u1")
+        recommender.observe_feed("u1", "http://site.example/feed.rss")
+        assert recommender.recommend("u1", now=0.0, active_subscriptions=[active]) == []
+
+    def test_recommendations_capped_per_cycle(self):
+        config = ReefConfig(max_feed_recommendations_per_cycle=3)
+        recommender = TopicFeedRecommender(feed_interface_spec(), config)
+        for index in range(10):
+            recommender.observe_feed("u1", f"http://site{index}.example/feed.rss")
+        assert len(recommender.recommend("u1", 0.0, [])) == 3
+
+    def test_higher_weight_feeds_first(self, recommender):
+        recommender.observe_feed("u1", "http://rare.example/feed.rss", weight=1.0)
+        recommender.observe_feed("u1", "http://often.example/feed.rss", weight=5.0)
+        recommendations = recommender.recommend("u1", 0.0, [])
+        assert "often.example" in recommendations[0].subscription.describe()
+
+    def test_observe_tokens_uses_topic_attribute(self, recommender):
+        tokens = [
+            ParsedToken("feed_url", "http://a.example/feed.rss", "autodiscovery"),
+            ParsedToken("title", "ignored", "page"),
+        ]
+        recommender.observe_tokens("u1", tokens)
+        assert recommender.discovered_feeds("u1") == ["http://a.example/feed.rss"]
+
+    def test_users_are_isolated(self, recommender):
+        recommender.observe_feed("u1", "http://a.example/feed.rss")
+        assert recommender.recommend("u2", 0.0, []) == []
+
+
+class TestContentQueryRecommender:
+    @pytest.fixture
+    def archive_index(self):
+        index = InvertedIndex(TextAnalyzer(stem=False))
+        for number in range(5):
+            index.add_text(f"sports{number}", "football goal match")
+        for number in range(15):
+            index.add_text(f"politics{number}", "election vote campaign")
+        return index
+
+    @pytest.fixture
+    def recommender(self, archive_index):
+        return ContentQueryRecommender(
+            news_interface_spec(), archive_index, ReefConfig(content_query_terms=2)
+        )
+
+    def test_builds_query_from_attention_documents(self, recommender):
+        for _ in range(4):
+            recommender.observe_document("u1", {"football": 3, "goal": 1})
+        for _ in range(6):
+            recommender.observe_document("u1", {"daily": 1})
+        query = recommender.build_query("u1")
+        assert "football" in query
+        assert len(query) <= 2
+        assert recommender.attention_document_count("u1") == 10
+
+    def test_no_attention_no_query(self, recommender):
+        assert recommender.build_query("u1") == {}
+        assert recommender.recommend("u1", 0.0, []) == []
+
+    def test_recommends_keyword_subscriptions(self, recommender):
+        for _ in range(4):
+            recommender.observe_document("u1", {"football": 3})
+        for _ in range(6):
+            recommender.observe_document("u1", {"daily": 1})
+        recommendations = recommender.recommend("u1", 0.0, [])
+        assert recommendations
+        assert all(rec.subscription.event_type == "news.story" for rec in recommendations)
+        topics = {rec.subscription.predicates[0].value for rec in recommendations}
+        assert "football" in topics
+
+
+class TestRecommendationService:
+    def test_requires_recommenders(self):
+        with pytest.raises(ValueError):
+            RecommendationService([])
+
+    def test_merges_and_deduplicates(self):
+        spec = feed_interface_spec()
+        first = TopicFeedRecommender(spec)
+        second = TopicFeedRecommender(spec)
+        first.observe_feed("u1", "http://a.example/feed.rss")
+        second.observe_feed("u1", "http://a.example/feed.rss")
+        second.observe_feed("u1", "http://b.example/feed.rss")
+        service = RecommendationService([first, second])
+        recommendations = service.recommend_for("u1", now=0.0)
+        described = [rec.subscription.describe() for rec in recommendations]
+        assert len(described) == len(set(described)) == 2
+        assert service.subscribe_recommendation_count("u1") == 2
+        assert len(service.recommendations_for("u1")) == 2

@@ -1,0 +1,223 @@
+"""Tests for the feedback loop, lifecycle manager and subscription frontend."""
+
+import pytest
+
+from repro.core.config import ReefConfig
+from repro.core.feedback import FeedbackKind, FeedbackLoop
+from repro.core.frontend import SidebarItemState, SubscriptionFrontend
+from repro.core.lifecycle import SubscriptionLifecycleManager, SubscriptionState
+from repro.core.recommender import Recommendation, RecommendationAction
+from repro.pubsub.api import PubSubSystem
+from repro.pubsub.events import Event
+from repro.pubsub.interface import feed_interface_spec
+
+HOUR = 3600.0
+DAY = 86400.0
+FEED = "http://site.example/feed.rss"
+
+
+def feed_event(timestamp=0.0, feed_url=FEED, title="headline"):
+    return Event(
+        event_type="feed.update",
+        attributes={"feed_url": feed_url, "title": title, "link": f"{feed_url}/1", "topic": "politics"},
+        timestamp=timestamp,
+    )
+
+
+def subscribe_recommendation(user="u1", feed_url=FEED):
+    spec = feed_interface_spec()
+    return Recommendation(
+        user_id=user,
+        action=RecommendationAction.SUBSCRIBE,
+        subscription=spec.make_topic_subscription(feed_url, subscriber=user),
+        reason="test",
+    )
+
+
+class TestFeedbackLoop:
+    def test_aggregation_of_signals(self):
+        loop = FeedbackLoop()
+        loop.record_signal("u1", "sub1", FeedbackKind.CLICKED, 1.0)
+        loop.record_signal("u1", "sub1", FeedbackKind.EXPIRED, 2.0)
+        loop.record_signal("u1", "sub1", FeedbackKind.DELETED, 3.0)
+        aggregate = loop.feedback_for("sub1")
+        assert aggregate.clicked == 1
+        assert aggregate.expired == 1
+        assert aggregate.deleted == 1
+        assert aggregate.delivered == 3
+        assert aggregate.click_through_rate == pytest.approx(1 / 3)
+        assert loop.total_events() == 3
+
+    def test_consecutive_ignored_resets_on_click(self):
+        loop = FeedbackLoop()
+        for _ in range(3):
+            loop.record_signal("u1", "sub1", FeedbackKind.EXPIRED, 0.0)
+        assert loop.feedback_for("sub1").consecutive_ignored == 3
+        loop.record_signal("u1", "sub1", FeedbackKind.CLICKED, 1.0)
+        assert loop.feedback_for("sub1").consecutive_ignored == 0
+
+    def test_positive_and_negative_lists(self):
+        loop = FeedbackLoop()
+        loop.record_signal("u1", "good", FeedbackKind.CLICKED, 0.0)
+        loop.record_signal("u1", "bad", FeedbackKind.DELETED, 0.0)
+        assert loop.positive_subscriptions() == ["good"]
+        assert loop.negative_subscriptions() == ["bad"]
+
+    def test_unknown_subscription(self):
+        loop = FeedbackLoop()
+        assert loop.feedback_for("none") is None
+        assert loop.click_through_rate("none") == 0.0
+
+
+class TestLifecycleManager:
+    @pytest.fixture
+    def manager(self):
+        config = ReefConfig(max_updates_per_day=5.0, unsubscribe_after_ignored=4, min_click_through_rate=0.25)
+        return SubscriptionLifecycleManager(config)
+
+    def _activate(self, manager, now=0.0):
+        spec = feed_interface_spec()
+        subscription = spec.make_topic_subscription(FEED, subscriber="u1")
+        return manager.activate(subscription, "u1", now)
+
+    def test_activate_and_remove(self, manager):
+        managed = self._activate(manager)
+        assert managed.state is SubscriptionState.ACTIVE
+        assert len(manager.active_subscriptions("u1")) == 1
+        removed = manager.remove(managed.subscription_id, now=10.0, by_user=True)
+        assert removed.state is SubscriptionState.REMOVED_BY_USER
+        assert manager.active_subscriptions("u1") == []
+        assert manager.removed_subscriptions("u1") == [managed]
+        assert manager.remove(managed.subscription_id, 11.0) is None
+
+    def test_flooding_subscription_is_candidate(self, manager):
+        managed = self._activate(manager, now=0.0)
+        for _ in range(30):
+            manager.record_delivery(managed.subscription_id)
+        # Within the first day there is a grace period.
+        assert manager.unsubscribe_candidates(now=HOUR) == []
+        assert manager.unsubscribe_candidates(now=2 * DAY) == [managed]
+
+    def test_ignored_subscription_is_candidate(self, manager):
+        managed = self._activate(manager)
+        for _ in range(4):
+            manager.feedback.record_signal("u1", managed.subscription_id, FeedbackKind.EXPIRED, 0.0)
+        assert manager.unsubscribe_candidates(now=HOUR) == [managed]
+
+    def test_low_ctr_subscription_is_candidate(self, manager):
+        managed = self._activate(manager)
+        manager.feedback.record_signal("u1", managed.subscription_id, FeedbackKind.CLICKED, 0.0)
+        for _ in range(5):
+            manager.feedback.record_signal("u1", managed.subscription_id, FeedbackKind.DELETED, 0.0)
+            manager.feedback.record_signal("u1", managed.subscription_id, FeedbackKind.CLICKED, 0.0)
+        # click-through 50%: not a candidate.
+        assert manager.unsubscribe_candidates(now=HOUR) == []
+
+    def test_healthy_subscription_not_removed(self, manager):
+        managed = self._activate(manager)
+        manager.record_delivery(managed.subscription_id)
+        manager.feedback.record_signal("u1", managed.subscription_id, FeedbackKind.CLICKED, 0.0)
+        assert manager.unsubscribe_candidates(now=2 * DAY) == []
+
+    def test_apply_policy_removes_candidates(self, manager):
+        managed = self._activate(manager)
+        for _ in range(4):
+            manager.feedback.record_signal("u1", managed.subscription_id, FeedbackKind.EXPIRED, 0.0)
+        removed = manager.apply_unsubscribe_policy(now=HOUR)
+        assert removed == [managed]
+        assert managed.state is SubscriptionState.REMOVED_BY_RECOMMENDER
+
+    def test_updates_per_day(self, manager):
+        managed = self._activate(manager, now=0.0)
+        for _ in range(10):
+            manager.record_delivery(managed.subscription_id)
+        assert managed.updates_per_day(now=2 * DAY) == pytest.approx(5.0)
+
+
+class TestSubscriptionFrontend:
+    @pytest.fixture
+    def frontend(self):
+        pubsub = PubSubSystem()
+        return SubscriptionFrontend("u1", pubsub, config=ReefConfig(sidebar_expiry=HOUR))
+
+    def test_subscribe_recommendation_applied_automatically(self, frontend):
+        assert frontend.apply_recommendation(subscribe_recommendation(), now=0.0) is True
+        assert len(frontend.active_subscriptions()) == 1
+        assert frontend.pubsub.active_subscription_count() == 1
+
+    def test_recommendation_for_other_user_rejected(self, frontend):
+        with pytest.raises(ValueError):
+            frontend.apply_recommendation(subscribe_recommendation(user="someone-else"), now=0.0)
+
+    def test_delivery_populates_sidebar(self, frontend):
+        frontend.apply_recommendation(subscribe_recommendation(), now=0.0)
+        frontend.pubsub.publish(feed_event(timestamp=10.0))
+        assert len(frontend.sidebar) == 1
+        item = frontend.sidebar[0]
+        assert item.state is SidebarItemState.UNREAD
+        assert item.title == "headline"
+        assert item.topic == "politics"
+        assert frontend.unread_items() == [item]
+
+    def test_click_and_delete_generate_feedback(self, frontend):
+        frontend.apply_recommendation(subscribe_recommendation(), now=0.0)
+        frontend.pubsub.publish(feed_event(timestamp=10.0, title="a"))
+        frontend.pubsub.publish(feed_event(timestamp=11.0, title="b"))
+        first, second = frontend.sidebar
+        assert frontend.click_item(first.event_id, now=20.0).state is SidebarItemState.CLICKED
+        assert frontend.delete_item(second.event_id, now=21.0).state is SidebarItemState.DELETED
+        aggregate = frontend.feedback.feedback_for(first.subscription_id)
+        assert aggregate.clicked == 1
+        assert aggregate.deleted == 1
+        counts = frontend.sidebar_counts()
+        assert counts["clicked"] == 1 and counts["deleted"] == 1
+
+    def test_clicking_unknown_or_already_read_item(self, frontend):
+        frontend.apply_recommendation(subscribe_recommendation(), now=0.0)
+        frontend.pubsub.publish(feed_event(timestamp=10.0))
+        item = frontend.sidebar[0]
+        assert frontend.click_item("nonexistent", now=1.0) is None
+        frontend.click_item(item.event_id, now=1.0)
+        assert frontend.click_item(item.event_id, now=2.0) is None
+
+    def test_expiry_marks_old_unread_items(self, frontend):
+        frontend.apply_recommendation(subscribe_recommendation(), now=0.0)
+        frontend.pubsub.publish(feed_event(timestamp=0.0))
+        assert frontend.expire_items(now=HOUR / 2) == []
+        expired = frontend.expire_items(now=2 * HOUR)
+        assert len(expired) == 1
+        assert expired[0].state is SidebarItemState.EXPIRED
+        aggregate = frontend.feedback.feedback_for(expired[0].subscription_id)
+        assert aggregate.expired == 1
+
+    def test_unsubscribe_stops_delivery_and_lifecycle(self, frontend):
+        frontend.apply_recommendation(subscribe_recommendation(), now=0.0)
+        subscription = frontend.active_subscriptions()[0]
+        assert frontend.unsubscribe(subscription.subscription_id, now=5.0) is True
+        frontend.pubsub.publish(feed_event(timestamp=10.0))
+        assert frontend.sidebar == []
+        assert frontend.active_subscriptions() == []
+
+    def test_unsubscribe_recommendation(self, frontend):
+        frontend.apply_recommendation(subscribe_recommendation(), now=0.0)
+        subscription = frontend.active_subscriptions()[0]
+        unsub = Recommendation(
+            user_id="u1",
+            action=RecommendationAction.UNSUBSCRIBE,
+            subscription=subscription,
+            reason="flooding",
+        )
+        assert frontend.apply_recommendation(unsub, now=10.0) is True
+        assert frontend.active_subscriptions() == []
+
+    def test_manual_subscription_tracked(self, frontend):
+        spec = feed_interface_spec()
+        frontend.subscribe_manually(spec.make_topic_subscription(FEED, subscriber="u1"), now=0.0)
+        managed = frontend.lifecycle.active_subscriptions("u1")[0]
+        assert managed.origin == "manual"
+
+    def test_lifecycle_records_deliveries(self, frontend):
+        frontend.apply_recommendation(subscribe_recommendation(), now=0.0)
+        frontend.pubsub.publish(feed_event(timestamp=1.0))
+        managed = frontend.lifecycle.active_subscriptions("u1")[0]
+        assert managed.events_delivered == 1

@@ -1,0 +1,133 @@
+"""Tests for the synthetic datasets (vocabularies, browsing trace, video archive)."""
+
+import pytest
+
+from repro.datasets.browsing import BrowsingDatasetConfig, build_browsing_dataset
+from repro.datasets.video import VideoArchiveConfig, build_video_archive
+from repro.datasets.vocab import (
+    BACKGROUND_VOCABULARY,
+    TOPIC_VOCABULARIES,
+    background_vocabulary,
+    build_topic_model,
+    default_topics,
+)
+from repro.sim.rng import SeededRNG
+from repro.web.user_model import InterestProfile
+
+
+class TestVocab:
+    def test_twelve_topics_with_vocabularies(self):
+        assert len(default_topics()) == 12
+        for topic, words in TOPIC_VOCABULARIES.items():
+            assert len(words) >= 25, topic
+            assert len(set(words)) == len(words), f"duplicate words in {topic}"
+
+    def test_topic_vocabularies_disjoint_from_background(self):
+        background = set(BACKGROUND_VOCABULARY)
+        for topic, words in TOPIC_VOCABULARIES.items():
+            assert not background & set(words), topic
+
+    def test_build_topic_model_defaults(self):
+        model = build_topic_model(SeededRNG(1))
+        assert sorted(model.topic_names()) == sorted(default_topics())
+
+    def test_build_topic_model_subset(self):
+        model = build_topic_model(SeededRNG(1), topics=["politics", "sports"])
+        assert model.topic_names() == ["politics", "sports"]
+
+    def test_unknown_topic_rejected(self):
+        with pytest.raises(KeyError):
+            build_topic_model(SeededRNG(1), topics=["astrology"])
+
+    def test_background_vocabulary_copy(self):
+        words = background_vocabulary()
+        words.append("mutation")
+        assert "mutation" not in BACKGROUND_VOCABULARY
+
+
+class TestBrowsingDataset:
+    def test_scaled_config_shrinks_but_stays_valid(self):
+        config = BrowsingDatasetConfig().scaled(0.1)
+        assert config.num_users >= 2
+        assert config.duration_days >= 3
+        assert config.num_content_servers < BrowsingDatasetConfig().num_content_servers
+        with pytest.raises(ValueError):
+            BrowsingDatasetConfig().scaled(0.0)
+
+    def test_build_produces_users_and_web(self, tiny_browsing_dataset):
+        dataset = tiny_browsing_dataset
+        assert len(dataset.users) == dataset.config.num_users
+        assert dataset.user_ids() == sorted(dataset.users)
+        stats = dataset.web.stats()
+        assert stats["content_servers"] == dataset.config.num_content_servers
+        assert stats["ad_servers"] == dataset.config.num_ad_servers
+        for user in dataset.users.values():
+            assert user.profile.topics
+            assert user.browser.http is dataset.http
+
+    def test_interest_decay_shapes_profiles(self):
+        config = BrowsingDatasetConfig(
+            num_users=1, num_content_servers=10, num_ad_servers=5, num_multimedia_servers=1,
+            interests_per_user=3, interest_decay=0.5, seed=3,
+        )
+        dataset = build_browsing_dataset(config)
+        weights = sorted(next(iter(dataset.users.values())).profile.weights.values(), reverse=True)
+        assert weights[0] == pytest.approx(1.0)
+        assert weights[1] == pytest.approx(0.5)
+        assert weights[2] == pytest.approx(0.25)
+
+    def test_determinism_of_build(self):
+        config = BrowsingDatasetConfig(
+            num_users=2, num_content_servers=10, num_ad_servers=5, num_multimedia_servers=1, seed=77,
+        )
+        first = build_browsing_dataset(config)
+        second = build_browsing_dataset(config)
+        assert [u.profile.weights for u in first.users.values()] == [
+            u.profile.weights for u in second.users.values()
+        ]
+        assert [p.url.full for p in first.web.all_pages] == [p.url.full for p in second.web.all_pages]
+
+
+class TestVideoArchive:
+    def test_archive_size_and_index(self, small_video_archive):
+        archive = small_video_archive
+        assert len(archive.stories) == 60
+        assert archive.index.num_documents == 60
+        assert archive.story("story-0001") is not None
+        assert archive.story("missing") is None
+
+    def test_airing_order_is_chronological_and_complete(self, small_video_archive):
+        order = small_video_archive.airing_order()
+        assert len(order) == 60
+        times = [small_video_archive.story(story_id).aired_at for story_id in order]
+        assert times == sorted(times)
+
+    def test_stories_have_topics_and_sources(self, small_video_archive):
+        for story in small_video_archive.stories:
+            assert story.topics
+            assert story.source in ("ABC", "CNN")
+            assert story.transcript
+
+    def test_relevance_judgements_follow_interests(self, small_video_archive):
+        archive = small_video_archive
+        topic = archive.topic_model.topic_names()[0]
+        profile = InterestProfile(weights={topic: 1.0})
+        relevant = archive.relevance_judgements(profile, SeededRNG(5))
+        assert relevant
+        on_topic = [s for s in archive.stories if topic in s.topics]
+        off_topic = [s for s in archive.stories if topic not in s.topics]
+        on_topic_rate = sum(1 for s in on_topic if s.story_id in relevant) / len(on_topic)
+        off_topic_rate = sum(1 for s in off_topic if s.story_id in relevant) / len(off_topic)
+        assert on_topic_rate > off_topic_rate
+
+    def test_graded_relevance_bounded(self, small_video_archive):
+        profile = InterestProfile(weights={small_video_archive.topic_model.topic_names()[0]: 1.0})
+        gains = small_video_archive.graded_relevance(profile, SeededRNG(3), levels=3)
+        assert set(gains) == {story.story_id for story in small_video_archive.stories}
+        assert all(0.0 <= value <= 3.0 for value in gains.values())
+
+    def test_determinism(self):
+        config = VideoArchiveConfig(num_stories=20, transcript_length_words=30, seed=5)
+        first = build_video_archive(config)
+        second = build_video_archive(config)
+        assert [s.transcript for s in first.stories] == [s.transcript for s in second.stories]

@@ -1,0 +1,50 @@
+"""Tests for the ablation experiment drivers."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    _rank_and_score,
+    run_offer_weight_ablation,
+    run_query_weighting_ablation,
+)
+from repro.experiments.content_video import build_content_video_setup
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return build_content_video_setup(browsing_scale=0.06, seed=17)
+
+
+class TestOfferWeightAblation:
+    def test_grid_covers_all_combinations(self, setup):
+        result = run_offer_weight_ablation(
+            n_terms=10,
+            tf_exponents=(0.0, 1.0),
+            max_fractions=(0.5, 1.0),
+            setup=setup,
+        )
+        assert len(result.rows) == 4
+        combos = {(row["max_attention_fraction"], row["tf_exponent"]) for row in result.rows}
+        assert combos == {(0.5, 0.0), (0.5, 1.0), (1.0, 0.0), (1.0, 1.0)}
+        for row in result.rows:
+            assert 0 <= row["query_terms_used"] <= 10
+
+    def test_filter_changes_selected_terms(self, setup):
+        result = run_offer_weight_ablation(
+            n_terms=10, tf_exponents=(1.0,), max_fractions=(0.5, 1.0), setup=setup
+        )
+        improvements = {row["max_attention_fraction"]: row["improvement"] for row in result.rows}
+        assert set(improvements) == {0.5, 1.0}
+
+
+class TestQueryWeightingAblation:
+    def test_all_variants_scored(self, setup):
+        result = run_query_weighting_ablation(n_terms_values=(5, 30), setup=setup)
+        assert len(result.rows) == 2
+        for row in result.rows:
+            for key in ("bm25_unweighted", "bm25_weighted", "tfidf_unweighted"):
+                assert isinstance(row[key], float)
+
+    def test_unknown_ranker_rejected(self, setup):
+        with pytest.raises(ValueError):
+            _rank_and_score(setup, {"elect": 1.0}, k=10, ranker_kind="bogus")

@@ -1,0 +1,139 @@
+"""Integration tests across subsystems.
+
+These exercise the complete paper pipelines — browsing -> attention ->
+parsing/crawling -> recommendation -> subscription -> delivery -> implicit
+feedback -> unsubscription — on small but non-trivial workloads.
+"""
+
+import pytest
+
+from repro.core.centralized import CentralizedReef
+from repro.core.config import ReefConfig
+from repro.core.distributed import DistributedReef
+from repro.datasets.browsing import BrowsingDatasetConfig, build_browsing_dataset
+from repro.experiments.content_video import build_content_video_setup, evaluate_term_count
+
+
+@pytest.fixture(scope="module")
+def integration_config():
+    return BrowsingDatasetConfig(
+        num_users=3,
+        duration_days=5,
+        num_content_servers=60,
+        num_ad_servers=40,
+        num_multimedia_servers=4,
+        pages_per_server_mean=5,
+        page_length_words=100,
+        sessions_per_day=4.0,
+        pages_per_session_mean=8.0,
+        seed=2026,
+    )
+
+
+@pytest.fixture(scope="module")
+def centralized_run(integration_config):
+    dataset = build_browsing_dataset(integration_config)
+    reef = CentralizedReef(
+        dataset.web,
+        dataset.users,
+        dataset.rng,
+        config=ReefConfig(max_updates_per_day=4.0, unsubscribe_after_ignored=6),
+        http=dataset.http,
+    )
+    reef.run(days=integration_config.duration_days)
+    return reef
+
+
+class TestCentralizedClosedLoop:
+    def test_attention_flows_to_server_store(self, centralized_run):
+        store = centralized_run.server.store
+        assert store.total_clicks() > 500
+        assert set(store.users()) == set(centralized_run.users)
+
+    def test_crawler_discovers_feeds_only_on_content_servers(self, centralized_run):
+        ad_hosts = {server.host for server in centralized_run.web.ad_servers}
+        for feed_url in centralized_run.server.crawler.discovered_feeds():
+            from repro.web.urls import server_of
+
+            assert server_of(feed_url) not in ad_hosts
+
+    def test_every_applied_recommendation_becomes_a_subscription(self, centralized_run):
+        for user_id, client in centralized_run.clients.items():
+            lifecycle = client.frontend.lifecycle
+            assert len(lifecycle) == len(client.frontend.recommendations_received)
+            for subscription in client.frontend.active_subscriptions():
+                assert subscription.subscriber == user_id
+
+    def test_events_delivered_and_reacted_to(self, centralized_run):
+        total_items = sum(len(c.frontend.sidebar) for c in centralized_run.clients.values())
+        assert total_items > 0
+        clicked = sum(c.frontend.sidebar_counts()["clicked"] for c in centralized_run.clients.values())
+        assert clicked > 0
+        # Feedback events recorded for the closed loop.
+        assert any(c.frontend.feedback.total_events() > 0 for c in centralized_run.clients.values())
+
+    def test_delivered_events_match_active_or_past_subscriptions(self, centralized_run):
+        for client in centralized_run.clients.values():
+            known_feeds = {
+                managed.subscription.predicates[0].value
+                for managed in client.frontend.lifecycle.active_subscriptions()
+                + client.frontend.lifecycle.removed_subscriptions()
+            }
+            for delivered in client.frontend.pubsub.deliveries_for(client.user_id):
+                assert delivered.event.get("feed_url") in known_feeds
+
+    def test_flow_accounting_consistency(self, centralized_run):
+        flows = centralized_run.flow_statistics()
+        # Every subscription placed was carried by a recommendation message.
+        assert flows["sub_unsub_messages"] >= 1
+        assert flows["recommendation_messages"] >= flows["sub_unsub_messages"] * 0.5
+        assert flows["attention_bytes"] > 0
+
+
+class TestDistributedClosedLoop:
+    @pytest.fixture(scope="class")
+    def distributed_run(self, integration_config):
+        dataset = build_browsing_dataset(integration_config)
+        reef = DistributedReef(
+            dataset.web, dataset.users, dataset.rng, config=ReefConfig(), http=dataset.http
+        )
+        reef.run(days=integration_config.duration_days, collaborative=True)
+        return reef
+
+    def test_no_attention_leaves_hosts(self, distributed_run):
+        flows = distributed_run.flow_statistics()
+        assert flows["attention_bytes"] == 0.0
+        assert flows["attention_messages"] == 0.0
+        assert flows["crawler_fetches"] == 0.0
+
+    def test_peers_still_receive_events(self, distributed_run):
+        assert distributed_run.metrics.counter("flow.events").value > 0
+        assert any(peer.frontend.sidebar for peer in distributed_run.peers.values())
+
+    def test_local_stores_hold_each_users_clicks_only(self, distributed_run):
+        for user_id, peer in distributed_run.peers.items():
+            assert set(peer.store.users()) <= {user_id}
+            assert peer.store.total_clicks() > 0
+
+    def test_gossip_carries_recommendations_not_attention(self, distributed_run):
+        for peer in distributed_run.peers.values():
+            for recommendation in peer.peer_recommendations:
+                assert recommendation.user_id == peer.user_id
+                assert recommendation.subscription.event_type == "feed.update"
+
+
+class TestContentPipeline:
+    def test_more_terms_never_empty_and_monotone_query_size(self):
+        setup = build_content_video_setup(browsing_scale=0.08, seed=11)
+        sizes = []
+        for n_terms in (5, 20, 60):
+            row = evaluate_term_count(setup, n_terms, k=50)
+            sizes.append(row["query_terms_used"])
+            assert row["baseline_precision_at_k"] >= 0
+        assert sizes == sorted(sizes)
+
+    def test_rankings_are_permutations_of_archive(self):
+        setup = build_content_video_setup(browsing_scale=0.08, seed=13)
+        row = evaluate_term_count(setup, 30, k=50)
+        assert row["precision_at_k"] <= 1.0
+        assert len(setup.airing_order) == len(setup.archive.stories)

@@ -1,0 +1,89 @@
+"""Tests for synthetic topical text generation."""
+
+import pytest
+
+from repro.ir.corpus import GeneratedDocument, Topic, TopicModel
+from repro.sim.rng import SeededRNG
+
+
+@pytest.fixture
+def model():
+    topics = [
+        Topic("sports", ["football", "goal", "match", "stadium"]),
+        Topic("politics", ["election", "vote", "parliament", "campaign"]),
+    ]
+    return TopicModel(
+        topics=topics,
+        background_vocabulary=["report", "news", "today"],
+        rng=SeededRNG(5),
+        background_probability=0.2,
+    )
+
+
+class TestTopicModel:
+    def test_requires_topics(self):
+        with pytest.raises(ValueError):
+            TopicModel([], ["x"], SeededRNG(1))
+
+    def test_empty_topic_vocabulary_rejected(self):
+        with pytest.raises(ValueError):
+            Topic("empty", [])
+
+    def test_invalid_background_probability(self):
+        with pytest.raises(ValueError):
+            TopicModel([Topic("a", ["x"])], [], SeededRNG(1), background_probability=1.5)
+
+    def test_generated_length(self, model):
+        document = model.generate({"sports": 1.0}, 50)
+        assert len(document.text.split()) == 50
+
+    def test_generate_requires_positive_length(self, model):
+        with pytest.raises(ValueError):
+            model.generate({"sports": 1.0}, 0)
+
+    def test_generate_unknown_topic_rejected(self, model):
+        with pytest.raises(KeyError):
+            model.generate({"cooking": 1.0}, 10)
+
+    def test_generate_requires_positive_mixture(self, model):
+        with pytest.raises(ValueError):
+            model.generate({}, 10)
+        with pytest.raises(ValueError):
+            model.generate({"sports": 0.0}, 10)
+
+    def test_single_topic_document_uses_topic_vocabulary(self, model):
+        document = model.generate_single_topic("sports", 200)
+        words = set(document.text.split())
+        sports_vocabulary = {"football", "goal", "match", "stadium"}
+        politics_vocabulary = {"election", "vote", "parliament", "campaign"}
+        assert words & sports_vocabulary
+        assert not words & politics_vocabulary
+
+    def test_mixture_normalized(self, model):
+        document = model.generate({"sports": 2.0, "politics": 2.0}, 10)
+        assert document.topic_mixture == {"sports": 0.5, "politics": 0.5}
+
+    def test_dominant_topic(self, model):
+        document = model.generate({"sports": 3.0, "politics": 1.0}, 10)
+        assert document.dominant_topic() == "sports"
+        assert GeneratedDocument(text="x").dominant_topic() is None
+
+    def test_zipfian_concentration(self, model):
+        document = model.generate_single_topic("sports", 2000)
+        counts = {}
+        for word in document.text.split():
+            counts[word] = counts.get(word, 0) + 1
+        # The first vocabulary word should be the most frequent topical word.
+        topical = {w: c for w, c in counts.items() if w in {"football", "goal", "match", "stadium"}}
+        assert max(topical, key=topical.get) == "football"
+
+    def test_determinism_given_seed(self):
+        def build():
+            return TopicModel(
+                [Topic("a", ["x", "y", "z"])], ["bg"], SeededRNG(77), background_probability=0.3
+            ).generate_single_topic("a", 30).text
+
+        assert build() == build()
+
+    def test_topic_names(self, model):
+        assert model.topic_names() == ["sports", "politics"]

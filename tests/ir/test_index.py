@@ -1,0 +1,98 @@
+"""Tests for the inverted index."""
+
+import pytest
+
+from repro.ir.index import Document, InvertedIndex
+from repro.ir.tokenize import TextAnalyzer
+
+
+@pytest.fixture
+def index():
+    idx = InvertedIndex(TextAnalyzer(stem=False))
+    idx.add_text("d1", "market stocks rally market")
+    idx.add_text("d2", "election campaign vote")
+    idx.add_text("d3", "market election coverage")
+    return idx
+
+
+class TestIndexing:
+    def test_document_count(self, index):
+        assert index.num_documents == 3
+        assert len(index) == 3
+
+    def test_document_frequency(self, index):
+        assert index.document_frequency("market") == 2
+        assert index.document_frequency("vote") == 1
+        assert index.document_frequency("absent") == 0
+
+    def test_term_frequency(self, index):
+        assert index.term_frequency("market", "d1") == 2
+        assert index.term_frequency("market", "d2") == 0
+
+    def test_postings_are_sorted_by_doc_id(self, index):
+        postings = index.postings("market")
+        assert [posting.doc_id for posting in postings] == ["d1", "d3"]
+        assert postings[0].term_frequency == 2
+
+    def test_document_lengths_and_average(self, index):
+        assert index.document_length("d1") == 4
+        assert index.average_document_length == pytest.approx((4 + 3 + 3) / 3)
+
+    def test_membership_and_lookup(self, index):
+        assert "d1" in index
+        assert index.document("d1").text.startswith("market")
+        assert index.document("missing") is None
+
+    def test_vocabulary_sorted(self, index):
+        vocabulary = index.vocabulary()
+        assert vocabulary == sorted(vocabulary)
+        assert "market" in vocabulary
+
+    def test_collection_frequency(self, index):
+        assert index.collection_frequency("market") == 3
+
+    def test_candidate_documents_union(self, index):
+        candidates = index.candidate_documents(["market", "vote"])
+        assert set(candidates) == {"d1", "d2", "d3"}
+
+    def test_terms_for_document(self, index):
+        vector = index.terms_for_document("d1")
+        assert vector["market"] == 2
+        assert index.terms_for_document("missing") == {}
+
+    def test_stats(self, index):
+        stats = index.stats()
+        assert stats["documents"] == 3.0
+        assert stats["terms"] > 0
+
+
+class TestMutation:
+    def test_reindex_replaces_document(self, index):
+        index.add_text("d1", "completely different text")
+        assert index.num_documents == 3
+        assert index.term_frequency("market", "d1") == 0
+        assert index.document_frequency("market") == 1
+
+    def test_remove_document(self, index):
+        assert index.remove("d2") is True
+        assert index.num_documents == 2
+        assert index.document_frequency("vote") == 0
+        assert "d2" not in index
+
+    def test_remove_unknown_returns_false(self, index):
+        assert index.remove("nope") is False
+
+    def test_remove_updates_average_length(self, index):
+        index.remove("d1")
+        assert index.average_document_length == pytest.approx(3.0)
+
+    def test_empty_index_defaults(self):
+        index = InvertedIndex()
+        assert index.num_documents == 0
+        assert index.average_document_length == 0.0
+        assert index.postings("anything") == []
+
+    def test_add_document_object_with_metadata(self):
+        index = InvertedIndex()
+        index.add(Document("doc", "hello world", metadata={"kind": "page"}))
+        assert index.document("doc").metadata["kind"] == "page"

@@ -1,0 +1,112 @@
+"""Tests for retrieval evaluation metrics."""
+
+import pytest
+
+from repro.ir.metrics import (
+    average_precision,
+    mean_reciprocal_rank,
+    ndcg_at_k,
+    precision_at_k,
+    precision_improvement,
+    recall_at_k,
+)
+
+RANKING = ["a", "b", "c", "d", "e"]
+
+
+class TestPrecisionRecall:
+    def test_precision_at_k(self):
+        assert precision_at_k(RANKING, {"a", "c"}, 2) == 0.5
+        assert precision_at_k(RANKING, {"a", "c"}, 3) == pytest.approx(2 / 3)
+
+    def test_precision_with_k_larger_than_ranking(self):
+        assert precision_at_k(["a"], {"a"}, 10) == 1.0
+
+    def test_precision_empty_ranking(self):
+        assert precision_at_k([], {"a"}, 5) == 0.0
+
+    def test_precision_invalid_k(self):
+        with pytest.raises(ValueError):
+            precision_at_k(RANKING, {"a"}, 0)
+
+    def test_recall_at_k(self):
+        assert recall_at_k(RANKING, {"a", "e"}, 3) == 0.5
+        assert recall_at_k(RANKING, {"a", "e"}, 5) == 1.0
+
+    def test_recall_no_relevant(self):
+        assert recall_at_k(RANKING, set(), 3) == 0.0
+
+    def test_recall_invalid_k(self):
+        with pytest.raises(ValueError):
+            recall_at_k(RANKING, {"a"}, -1)
+
+
+class TestAveragePrecision:
+    def test_perfect_ranking(self):
+        assert average_precision(["a", "b", "x", "y"], {"a", "b"}) == 1.0
+
+    def test_worst_ranking(self):
+        ap = average_precision(["x", "y", "a"], {"a"})
+        assert ap == pytest.approx(1 / 3)
+
+    def test_no_relevant(self):
+        assert average_precision(RANKING, set()) == 0.0
+
+    def test_missing_relevant_items_penalized(self):
+        # One of two relevant items never appears in the ranking.
+        ap = average_precision(["a", "x"], {"a", "zzz"})
+        assert ap == pytest.approx(0.5)
+
+
+class TestNdcg:
+    def test_perfect_ordering_is_one(self):
+        gains = {"a": 3.0, "b": 2.0, "c": 1.0}
+        assert ndcg_at_k(["a", "b", "c"], gains, 3) == pytest.approx(1.0)
+
+    def test_reversed_ordering_below_one(self):
+        gains = {"a": 3.0, "b": 2.0, "c": 1.0}
+        assert ndcg_at_k(["c", "b", "a"], gains, 3) < 1.0
+
+    def test_zero_gains(self):
+        assert ndcg_at_k(["a", "b"], {}, 2) == 0.0
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            ndcg_at_k(["a"], {"a": 1.0}, 0)
+
+
+class TestPrecisionImprovement:
+    def test_positive_improvement(self):
+        ranking = ["r1", "r2", "x", "y"]
+        baseline = ["x", "r1", "y", "r2"]
+        relevant = {"r1", "r2"}
+        improvement = precision_improvement(ranking, baseline, relevant, 2)
+        assert improvement == pytest.approx((1.0 - 0.5) / 0.5)
+
+    def test_no_change_is_zero(self):
+        ranking = baseline = ["a", "b", "c"]
+        assert precision_improvement(ranking, baseline, {"a"}, 2) == 0.0
+
+    def test_zero_baseline_uses_floor(self):
+        # Baseline precision is zero; the improvement is computed against a
+        # floor of one relevant item in the top-k instead of dividing by zero.
+        ranking = ["r1", "r2"]
+        baseline = ["x", "y"]
+        improvement = precision_improvement(ranking, baseline, {"r1", "r2"}, 2)
+        assert improvement == pytest.approx((1.0 - 0.5) / 0.5)
+
+    def test_degradation_is_negative(self):
+        ranking = ["x", "y", "r"]
+        baseline = ["r", "x", "y"]
+        assert precision_improvement(ranking, baseline, {"r"}, 1) < 0
+
+
+class TestMrr:
+    def test_first_position(self):
+        assert mean_reciprocal_rank(["a", "b"], {"a"}) == 1.0
+
+    def test_later_position(self):
+        assert mean_reciprocal_rank(["x", "y", "a"], {"a"}) == pytest.approx(1 / 3)
+
+    def test_absent(self):
+        assert mean_reciprocal_rank(["x", "y"], {"a"}) == 0.0

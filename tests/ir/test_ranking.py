@@ -1,0 +1,105 @@
+"""Tests for TF-IDF and BM25 ranking."""
+
+import pytest
+
+from repro.ir.index import InvertedIndex
+from repro.ir.ranking import BM25Ranker, TfIdfRanker, merge_rankings, RankedResult
+from repro.ir.tokenize import TextAnalyzer
+
+
+@pytest.fixture
+def index():
+    idx = InvertedIndex(TextAnalyzer(stem=False))
+    idx.add_text("sports1", "football match result football goal")
+    idx.add_text("sports2", "football championship news")
+    idx.add_text("politics1", "election vote parliament")
+    idx.add_text("mixed", "election football debate")
+    return idx
+
+
+class TestBM25:
+    def test_topical_document_ranks_first(self, index):
+        ranking = BM25Ranker(index).rank("football goal")
+        assert ranking[0].doc_id == "sports1"
+
+    def test_only_matching_documents_returned(self, index):
+        ranking = BM25Ranker(index).rank("parliament")
+        assert [result.doc_id for result in ranking] == ["politics1"]
+
+    def test_ranks_are_sequential_from_one(self, index):
+        ranking = BM25Ranker(index).rank("football election")
+        assert [result.rank for result in ranking] == list(range(1, len(ranking) + 1))
+
+    def test_scores_non_increasing(self, index):
+        ranking = BM25Ranker(index).rank("football election news")
+        scores = [result.score for result in ranking]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_limit_truncates(self, index):
+        ranking = BM25Ranker(index).rank("football", limit=1)
+        assert len(ranking) == 1
+
+    def test_unknown_terms_yield_empty(self, index):
+        assert BM25Ranker(index).rank("nonexistent") == []
+
+    def test_empty_index(self):
+        assert BM25Ranker(InvertedIndex()).rank("anything") == []
+
+    def test_idf_is_positive_and_decreasing_in_df(self, index):
+        ranker = BM25Ranker(index)
+        assert ranker.idf("football") > 0
+        assert ranker.idf("parliament") > ranker.idf("football")
+
+    def test_parameter_validation(self, index):
+        with pytest.raises(ValueError):
+            BM25Ranker(index, k1=-1)
+        with pytest.raises(ValueError):
+            BM25Ranker(index, b=1.5)
+
+    def test_weighted_query_boosts_term(self, index):
+        ranker = BM25Ranker(index)
+        neutral = {r.doc_id: r.score for r in ranker.rank_weighted({"football": 1.0, "election": 1.0})}
+        boosted = {r.doc_id: r.score for r in ranker.rank_weighted({"football": 0.01, "election": 5.0})}
+        # Up-weighting "election" widens the gap between the election-bearing
+        # document and the football-only document.
+        assert boosted["politics1"] / boosted["sports1"] > neutral["politics1"] / neutral["sports1"]
+        assert max(boosted, key=boosted.get) in ("politics1", "mixed")
+
+    def test_accepts_term_list_query(self, index):
+        by_string = BM25Ranker(index).rank("football goal")
+        by_terms = BM25Ranker(index).rank(["football", "goal"])
+        assert [r.doc_id for r in by_string] == [r.doc_id for r in by_terms]
+
+
+class TestTfIdf:
+    def test_topical_document_ranks_first(self, index):
+        ranking = TfIdfRanker(index).rank("football goal")
+        assert ranking[0].doc_id == "sports1"
+
+    def test_rare_term_scores_higher_than_common(self, index):
+        ranker = TfIdfRanker(index)
+        rare = ranker.rank("parliament")[0].score
+        common = ranker.rank("football")[0].score
+        assert rare > 0 and common > 0
+
+    def test_empty_index(self):
+        assert TfIdfRanker(InvertedIndex()).rank("x") == []
+
+
+class TestMergeRankings:
+    def test_fuses_rankings_reciprocally(self):
+        first = [RankedResult("a", 3.0, 1), RankedResult("b", 2.0, 2)]
+        second = [RankedResult("b", 9.0, 1), RankedResult("c", 1.0, 2)]
+        merged = merge_rankings([first, second])
+        assert merged[0].doc_id == "b"
+        assert {result.doc_id for result in merged} == {"a", "b", "c"}
+
+    def test_weights_bias_fusion(self):
+        first = [RankedResult("a", 1.0, 1)]
+        second = [RankedResult("b", 1.0, 1)]
+        merged = merge_rankings([first, second], weights=[10.0, 1.0])
+        assert merged[0].doc_id == "a"
+
+    def test_weight_length_mismatch(self):
+        with pytest.raises(ValueError):
+            merge_rankings([[RankedResult("a", 1.0, 1)]], weights=[1.0, 2.0])

@@ -1,0 +1,116 @@
+"""Tests for the Porter stemmer against the classic reference examples."""
+
+import pytest
+
+from repro.ir.stemming import PorterStemmer
+
+
+@pytest.fixture(scope="module")
+def stemmer():
+    return PorterStemmer()
+
+
+# (input, expected) pairs from Porter's 1980 paper and common references.
+CLASSIC_CASES = [
+    ("caresses", "caress"),
+    ("ponies", "poni"),
+    ("ties", "ti"),
+    ("caress", "caress"),
+    ("cats", "cat"),
+    ("feed", "feed"),
+    ("agreed", "agre"),
+    ("plastered", "plaster"),
+    ("bled", "bled"),
+    ("motoring", "motor"),
+    ("sing", "sing"),
+    ("conflated", "conflat"),
+    ("troubled", "troubl"),
+    ("sized", "size"),
+    ("hopping", "hop"),
+    ("tanned", "tan"),
+    ("falling", "fall"),
+    ("hissing", "hiss"),
+    ("fizzed", "fizz"),
+    ("failing", "fail"),
+    ("filing", "file"),
+    ("happy", "happi"),
+    ("sky", "sky"),
+    ("relational", "relat"),
+    ("conditional", "condit"),
+    ("rational", "ration"),
+    ("valenci", "valenc"),
+    ("digitizer", "digit"),
+    ("conformabli", "conform"),
+    ("radicalli", "radic"),
+    ("differentli", "differ"),
+    ("vileli", "vile"),
+    ("analogousli", "analog"),
+    ("vietnamization", "vietnam"),
+    ("predication", "predic"),
+    ("operator", "oper"),
+    ("feudalism", "feudal"),
+    ("decisiveness", "decis"),
+    ("hopefulness", "hope"),
+    ("callousness", "callous"),
+    ("formaliti", "formal"),
+    ("sensitiviti", "sensit"),
+    ("sensibiliti", "sensibl"),
+    ("triplicate", "triplic"),
+    ("formative", "form"),
+    ("formalize", "formal"),
+    ("electriciti", "electr"),
+    ("electrical", "electr"),
+    ("hopeful", "hope"),
+    ("goodness", "good"),
+    ("revival", "reviv"),
+    ("allowance", "allow"),
+    ("inference", "infer"),
+    ("airliner", "airlin"),
+    ("gyroscopic", "gyroscop"),
+    ("adjustable", "adjust"),
+    ("defensible", "defens"),
+    ("irritant", "irrit"),
+    ("replacement", "replac"),
+    ("adjustment", "adjust"),
+    ("dependent", "depend"),
+    ("adoption", "adopt"),
+    ("homologou", "homolog"),
+    ("communism", "commun"),
+    ("activate", "activ"),
+    ("angulariti", "angular"),
+    ("homologous", "homolog"),
+    ("effective", "effect"),
+    ("bowdlerize", "bowdler"),
+    ("probate", "probat"),
+    ("rate", "rate"),
+    ("cease", "ceas"),
+    ("controll", "control"),
+    ("roll", "roll"),
+]
+
+
+@pytest.mark.parametrize("word,expected", CLASSIC_CASES)
+def test_classic_porter_examples(stemmer, word, expected):
+    assert stemmer.stem(word) == expected
+
+
+class TestStemmerBehaviour:
+    def test_short_words_untouched(self, stemmer):
+        assert stemmer.stem("is") == "is"
+        assert stemmer.stem("am") == "am"
+
+    def test_plural_handling(self, stemmer):
+        assert stemmer.stem("elections") == stemmer.stem("election")
+        assert stemmer.stem("markets") == stemmer.stem("market")
+
+    def test_query_and_document_forms_align(self, stemmer):
+        # The property the IR pipeline depends on: morphological variants of
+        # a topical word map to one stem.
+        variants = ["subscribe", "subscribed", "subscribing"]
+        stems = {stemmer.stem(word) for word in variants}
+        assert len(stems) == 1
+
+    def test_idempotence_on_common_words(self, stemmer):
+        for word in ("market", "election", "computer", "software", "hospital"):
+            once = stemmer.stem(word)
+            assert stemmer.stem(once) == once

@@ -1,0 +1,131 @@
+"""Tests for Offer-Weight term selection."""
+
+import pytest
+
+from repro.ir.index import InvertedIndex
+from repro.ir.termselect import OfferWeightSelector, attention_term_vectors
+from repro.ir.tokenize import TextAnalyzer
+
+
+@pytest.fixture
+def collection():
+    """A small target collection: a few sports stories, many politics ones."""
+    index = InvertedIndex(TextAnalyzer(stem=False))
+    for number in range(3):
+        index.add_text(f"sports{number}", "football match goal stadium")
+    for number in range(12):
+        index.add_text(f"politics{number}", "election vote parliament campaign")
+    for number in range(10):
+        index.add_text(f"common{number}", "report news update daily")
+    return index
+
+
+@pytest.fixture
+def attention_docs():
+    """Attention documents of a sports-leaning user.
+
+    "report" appears on every page (a non-discriminative word), football and
+    goal on a large minority of pages, election on only a few.
+    """
+    docs = []
+    for _ in range(8):
+        docs.append({"football": 3, "goal": 2, "report": 1})
+    for _ in range(3):
+        docs.append({"election": 1, "report": 1})
+    for _ in range(9):
+        docs.append({"daily": 1, "report": 2})
+    return docs
+
+
+class TestOfferWeightSelector:
+    def test_prefers_terms_overrepresented_in_attention(self, collection, attention_docs):
+        selector = OfferWeightSelector(collection)
+        scores = selector.score_terms(attention_docs)
+        terms = [score.term for score in scores]
+        # The user's characteristic sports terms dominate; "election", which
+        # is *more* common in the target collection than in the user's
+        # attention, never outranks them.
+        assert terms[0] in ("football", "goal")
+        assert "election" not in terms[:2]
+
+    def test_select_respects_n(self, collection, attention_docs):
+        selector = OfferWeightSelector(collection, max_attention_fraction=1.0)
+        assert len(selector.select(attention_docs, 2)) == 2
+
+    def test_select_rejects_non_positive_n(self, collection, attention_docs):
+        with pytest.raises(ValueError):
+            OfferWeightSelector(collection).select(attention_docs, 0)
+
+    def test_terms_absent_from_collection_excluded(self, collection):
+        docs = [{"zzzunknown": 5, "football": 1} for _ in range(4)]
+        selector = OfferWeightSelector(collection, max_attention_fraction=1.0)
+        terms = [score.term for score in selector.score_terms(docs)]
+        assert "zzzunknown" not in terms
+
+    def test_min_attention_documents_filter(self, collection):
+        docs = [{"football": 1}, {"goal": 1}, {"goal": 1}]
+        selector = OfferWeightSelector(
+            collection, min_attention_documents=2, max_attention_fraction=1.0
+        )
+        terms = [score.term for score in selector.score_terms(docs)]
+        assert "goal" in terms
+        assert "football" not in terms
+
+    def test_ubiquitous_attention_terms_filtered(self, collection):
+        # "report" appears in every attention document: it says nothing about
+        # the user's interests and must be dropped by the fraction filter,
+        # while "football" (present on a minority of pages) survives.
+        docs = [{"report": 2, "football": 1} for _ in range(4)]
+        docs += [{"report": 1, "daily": 1} for _ in range(6)]
+        selector = OfferWeightSelector(collection, max_attention_fraction=0.5)
+        terms = [score.term for score in selector.score_terms(docs)]
+        assert "report" not in terms
+        assert "football" in terms
+
+    def test_empty_attention_returns_nothing(self, collection):
+        assert OfferWeightSelector(collection).score_terms([]) == []
+
+    def test_tf_exponent_changes_ordering(self, collection):
+        docs = [
+            {"football": 50, "goal": 1},
+            {"football": 50, "goal": 1},
+            {"goal": 1, "football": 50},
+            {"goal": 1},
+        ]
+        plain = OfferWeightSelector(collection, tf_exponent=0.0, max_attention_fraction=1.0)
+        boosted = OfferWeightSelector(collection, tf_exponent=2.0, max_attention_fraction=1.0)
+        plain_scores = {s.term: s.offer_weight for s in plain.score_terms(docs)}
+        boosted_scores = {s.term: s.offer_weight for s in boosted.score_terms(docs)}
+        assert boosted_scores["football"] / boosted_scores["goal"] > (
+            plain_scores["football"] / plain_scores["goal"]
+        )
+
+    def test_build_query_weighted_and_unweighted(self, collection, attention_docs):
+        selector = OfferWeightSelector(collection, max_attention_fraction=1.0)
+        weighted = selector.build_query(attention_docs, 3, weighted=True)
+        unweighted = selector.build_query(attention_docs, 3, weighted=False)
+        assert set(weighted) == set(unweighted)
+        assert all(weight == 1.0 for weight in unweighted.values())
+        assert any(weight != 1.0 for weight in weighted.values())
+
+    def test_invalid_max_fraction_rejected(self, collection):
+        with pytest.raises(ValueError):
+            OfferWeightSelector(collection, max_attention_fraction=0.0)
+
+    def test_relevance_weight_positive_for_discriminative_term(self, collection):
+        selector = OfferWeightSelector(collection)
+        rw = selector.relevance_weight("football", relevant_with_term=8, relevant_total=10)
+        assert rw > 0
+
+    def test_relevance_weight_low_for_common_term(self, collection):
+        selector = OfferWeightSelector(collection)
+        discriminative = selector.relevance_weight("football", 8, 10)
+        common = selector.relevance_weight("report", 8, 10)
+        assert discriminative > common
+
+
+class TestHelpers:
+    def test_attention_term_vectors(self):
+        vectors = attention_term_vectors(["market market crash", "market news"], TextAnalyzer(stem=False))
+        assert vectors[0]["market"] == 2
+        assert vectors[1]["news"] == 1

@@ -1,0 +1,71 @@
+"""Tests for tokenization and the analyzer pipeline."""
+
+import pytest
+
+from repro.ir.tokenize import STOPWORDS, AnalyzedText, TextAnalyzer, term_frequencies, tokenize
+
+
+class TestTokenize:
+    def test_lowercases_and_splits(self):
+        assert tokenize("Hello World") == ["hello", "world"]
+
+    def test_strips_punctuation(self):
+        assert tokenize("stocks, bonds; and shares!") == ["stocks", "bonds", "and", "shares"]
+
+    def test_keeps_numbers_and_apostrophes(self):
+        assert tokenize("it's 2024") == ["it's", "2024"]
+
+    def test_empty_string(self):
+        assert tokenize("") == []
+
+
+class TestTextAnalyzer:
+    def test_removes_stopwords(self, analyzer):
+        terms = analyzer.analyze_terms("the market and the election")
+        assert "the" not in terms
+        assert "and" not in terms
+        assert len(terms) == 2
+
+    def test_stems_terms(self, analyzer):
+        terms = analyzer.analyze_terms("running runner runs")
+        # All variants stem to forms sharing the 'run' prefix.
+        assert all(term.startswith("run") for term in terms)
+
+    def test_short_tokens_dropped(self, analyzer):
+        assert analyzer.analyze_terms("a b c market") == ["market"]
+
+    def test_pure_numbers_dropped(self, analyzer):
+        assert analyzer.analyze_terms("2024 election 42") == ["elect"]
+
+    def test_no_stemming_mode(self):
+        analyzer = TextAnalyzer(stem=False)
+        assert analyzer.analyze_terms("elections") == ["elections"]
+
+    def test_custom_stopwords(self):
+        analyzer = TextAnalyzer(stopwords={"market"}, stem=False)
+        assert analyzer.analyze_terms("market crash") == ["crash"]
+
+    def test_term_frequencies_counted(self, analyzer):
+        analyzed = analyzer.analyze("vote vote vote election")
+        assert analyzed.term_frequencies["vote"] == 3
+        assert analyzed.term_frequencies["elect"] == 1
+        assert analyzed.length == 4
+
+    def test_top_terms_ordering(self):
+        analyzed = AnalyzedText(terms=["b", "a", "a", "c", "c", "c"])
+        assert analyzed.top_terms(2) == ["c", "a"]
+
+    def test_stem_cache_reused(self, analyzer):
+        analyzer.analyze("markets markets")
+        assert "markets" in analyzer._stem_cache
+
+
+class TestHelpers:
+    def test_term_frequencies_aggregates_documents(self):
+        counts = term_frequencies(["market news", "market report"], TextAnalyzer(stem=False))
+        assert counts["market"] == 2
+        assert counts["news"] == 1
+
+    def test_stopword_list_is_frozen(self):
+        assert "the" in STOPWORDS
+        assert isinstance(STOPWORDS, frozenset)

@@ -1,0 +1,115 @@
+"""Tests for the event model and schemas."""
+
+import pytest
+
+from repro.pubsub.events import Event, EventSchema, SchemaRegistry
+
+
+class TestEvent:
+    def test_attributes_copied_and_accessible(self):
+        attrs = {"symbol": "ACME", "price": 10.5}
+        event = Event(event_type="stock.quote", attributes=attrs, timestamp=3.0)
+        attrs["symbol"] = "CHANGED"
+        assert event.get("symbol") == "ACME"
+        assert event.has("price")
+        assert not event.has("volume")
+        assert event.get("volume", 0) == 0
+
+    def test_requires_event_type(self):
+        with pytest.raises(ValueError):
+            Event(event_type="", attributes={})
+
+    def test_event_ids_unique(self):
+        first = Event(event_type="t", attributes={})
+        second = Event(event_type="t", attributes={})
+        assert first.event_id != second.event_id
+
+    def test_names_sorted(self):
+        event = Event(event_type="t", attributes={"b": 1, "a": 2})
+        assert event.names() == ("a", "b")
+
+    def test_with_attributes_creates_modified_copy(self):
+        event = Event(event_type="t", attributes={"a": 1}, timestamp=9.0)
+        derived = event.with_attributes(b=2, a=5)
+        assert derived.get("a") == 5
+        assert derived.get("b") == 2
+        assert derived.timestamp == 9.0
+        assert event.get("a") == 1
+
+    def test_size_bytes_grows_with_payload(self):
+        small = Event(event_type="t", attributes={"a": 1})
+        large = Event(event_type="t", attributes={"a": "x" * 500})
+        assert large.size_bytes() > small.size_bytes()
+
+
+class TestEventSchema:
+    @pytest.fixture
+    def schema(self):
+        return EventSchema(
+            event_type="stock.quote",
+            attribute_types={"symbol": str, "price": float, "halted": bool},
+            required=("symbol",),
+        )
+
+    def test_valid_event_passes(self, schema):
+        event = schema.make_event(symbol="ACME", price=10.0, halted=False)
+        assert event.get("symbol") == "ACME"
+
+    def test_int_accepted_for_float(self, schema):
+        schema.validate(Event(event_type="stock.quote", attributes={"symbol": "A", "price": 10}))
+
+    def test_missing_required_rejected(self, schema):
+        with pytest.raises(ValueError):
+            schema.validate(Event(event_type="stock.quote", attributes={"price": 1.0}))
+
+    def test_undeclared_attribute_rejected(self, schema):
+        with pytest.raises(ValueError):
+            schema.validate(Event(event_type="stock.quote", attributes={"symbol": "A", "extra": 1}))
+
+    def test_wrong_type_rejected(self, schema):
+        with pytest.raises(ValueError):
+            schema.validate(Event(event_type="stock.quote", attributes={"symbol": 42}))
+
+    def test_bool_not_accepted_as_float(self, schema):
+        with pytest.raises(ValueError):
+            schema.validate(
+                Event(event_type="stock.quote", attributes={"symbol": "A", "price": True})
+            )
+
+    def test_wrong_event_type_rejected(self, schema):
+        with pytest.raises(ValueError):
+            schema.validate(Event(event_type="other", attributes={"symbol": "A"}))
+
+    def test_required_must_be_declared(self):
+        with pytest.raises(ValueError):
+            EventSchema(event_type="x", attribute_types={"a": str}, required=("missing",))
+
+    def test_attribute_names_sorted(self, schema):
+        assert schema.attribute_names() == ("halted", "price", "symbol")
+
+
+class TestSchemaRegistry:
+    def test_register_and_validate(self):
+        registry = SchemaRegistry()
+        schema = EventSchema(event_type="t", attribute_types={"a": int})
+        registry.register(schema)
+        assert "t" in registry
+        assert registry.get("t") is schema
+        registry.validate(Event(event_type="t", attributes={"a": 1}))
+        with pytest.raises(ValueError):
+            registry.validate(Event(event_type="t", attributes={"a": "no"}))
+
+    def test_unknown_type_not_validated(self):
+        registry = SchemaRegistry()
+        registry.validate(Event(event_type="unknown", attributes={"whatever": 1}))
+
+    def test_duplicate_registration_rejected(self):
+        registry = SchemaRegistry([EventSchema(event_type="t", attribute_types={})])
+        with pytest.raises(ValueError):
+            registry.register(EventSchema(event_type="t", attribute_types={}))
+
+    def test_event_types_listed(self):
+        registry = SchemaRegistry(
+            [EventSchema(event_type="b", attribute_types={}), EventSchema(event_type="a", attribute_types={})]
+        )
+        assert registry.event_types() == ("a", "b")

@@ -1,0 +1,169 @@
+"""Tests for interface specifications and the local pub/sub facade."""
+
+import pytest
+
+from repro.pubsub.algebra import CompositeSubscription, FilterExpr
+from repro.pubsub.api import PubSubSystem
+from repro.pubsub.events import Event, EventSchema
+from repro.pubsub.interface import (
+    AttributeSpec,
+    InterfaceSpec,
+    feed_interface_spec,
+    news_interface_spec,
+    stock_interface_spec,
+)
+from repro.pubsub.subscriptions import Operator, Predicate, Subscription, topic_subscription
+
+
+class TestAttributeSpec:
+    def test_vocabulary_restricts_values(self):
+        spec = AttributeSpec(name="symbol", vocabulary=("ACME", "GOOG"))
+        assert spec.accepts("ACME")
+        assert not spec.accepts("OTHER")
+
+    def test_pattern_restricts_values(self):
+        spec = AttributeSpec(name="feed_url", pattern=r"https?://\S+")
+        assert spec.accepts("http://site.example/feed.rss")
+        assert not spec.accepts("not a url")
+
+    def test_free_text_accepts_non_empty(self):
+        spec = AttributeSpec(name="keyword")
+        assert spec.accepts("anything")
+        assert not spec.accepts("")
+
+    def test_coercion(self):
+        assert AttributeSpec(name="n", value_type=int).coerce("5") == 5
+        assert AttributeSpec(name="x", value_type=float).coerce("1.5") == 1.5
+        assert AttributeSpec(name="b", value_type=bool).coerce("true") is True
+        assert AttributeSpec(name="s").coerce("text") == "text"
+
+
+class TestInterfaceSpec:
+    def test_duplicate_attribute_names_rejected(self):
+        with pytest.raises(ValueError):
+            InterfaceSpec(
+                name="x", event_type="t",
+                attributes=(AttributeSpec(name="a"), AttributeSpec(name="a")),
+            )
+
+    def test_topic_attribute_must_exist(self):
+        with pytest.raises(ValueError):
+            InterfaceSpec(
+                name="x", event_type="t",
+                attributes=(AttributeSpec(name="a"),), topic_attribute="missing",
+            )
+
+    def test_valid_pairs_filters_tokens(self):
+        spec = stock_interface_spec(["ACME", "GOOG"])
+        pairs = spec.valid_pairs(["ACME", "banana", "GOOG"])
+        assert ("symbol", "ACME") in pairs
+        assert ("symbol", "GOOG") in pairs
+        assert all(token != "banana" for _, token in pairs)
+
+    def test_make_topic_subscription(self):
+        spec = feed_interface_spec()
+        subscription = spec.make_topic_subscription("http://a.example/feed.rss", subscriber="u")
+        assert subscription.event_type == "feed.update"
+        assert subscription.subscriber == "u"
+        assert subscription.matches(
+            Event(event_type="feed.update", attributes={"feed_url": "http://a.example/feed.rss"})
+        )
+
+    def test_make_topic_subscription_validates_value(self):
+        spec = feed_interface_spec()
+        with pytest.raises(ValueError):
+            spec.make_topic_subscription("not a url")
+
+    def test_make_topic_subscription_requires_topic_attribute(self):
+        spec = InterfaceSpec(name="x", event_type="t", attributes=(AttributeSpec(name="a"),))
+        with pytest.raises(ValueError):
+            spec.make_topic_subscription("v")
+
+    def test_make_subscription_from_constraints(self):
+        spec = stock_interface_spec(["ACME"])
+        subscription = spec.make_subscription({"symbol": "ACME", "price": 10.0}, subscriber="u")
+        assert len(subscription.predicates) == 2
+        with pytest.raises(ValueError):
+            spec.make_subscription({"unknown": 1})
+
+    def test_builtin_specs(self):
+        assert feed_interface_spec().topic_attribute == "feed_url"
+        assert news_interface_spec().attribute("keyword").accepts("election")
+        assert news_interface_spec(["only"]).attribute("keyword").accepts("only")
+        assert not news_interface_spec(["only"]).attribute("keyword").accepts("other")
+
+
+class TestPubSubSystem:
+    @pytest.fixture
+    def system(self):
+        return PubSubSystem()
+
+    def test_publish_delivers_to_matching_subscriber(self, system):
+        received = []
+        system.register_subscriber("alice", received.append)
+        subscription = topic_subscription("news.story", "topic", "sports", subscriber="alice")
+        system.subscribe(subscription)
+        deliveries = system.publish(Event(event_type="news.story", attributes={"topic": "sports"}))
+        assert len(deliveries) == 1
+        assert len(received) == 1
+        assert received[0].subscriber == "alice"
+        assert received[0].subscription_id == subscription.subscription_id
+
+    def test_non_matching_event_not_delivered(self, system):
+        received = []
+        system.register_subscriber("alice", received.append)
+        system.subscribe(topic_subscription("news.story", "topic", "sports", subscriber="alice"))
+        system.publish(Event(event_type="news.story", attributes={"topic": "politics"}))
+        assert received == []
+
+    def test_unsubscribe_stops_delivery(self, system):
+        subscription = topic_subscription("news.story", "topic", "sports", subscriber="a")
+        sub_id = system.subscribe(subscription)
+        assert system.unsubscribe(sub_id) is True
+        assert system.unsubscribe(sub_id) is False
+        deliveries = system.publish(Event(event_type="news.story", attributes={"topic": "sports"}))
+        assert deliveries == []
+
+    def test_schema_validation_on_publish(self):
+        schema = EventSchema(event_type="stock.quote", attribute_types={"symbol": str})
+        system = PubSubSystem(schemas=[schema])
+        with pytest.raises(ValueError):
+            system.publish(Event(event_type="stock.quote", attributes={"symbol": 42}))
+
+    def test_composite_subscription_delivery(self, system):
+        received = []
+        system.register_subscriber("bob", received.append)
+        system.subscribe_composite(
+            CompositeSubscription(subscriber="bob", expression=FilterExpr("news.story"), subscription_id="c1")
+        )
+        system.publish(Event(event_type="news.story", attributes={"topic": "x"}, timestamp=1.0))
+        assert len(received) == 1
+        assert received[0].composite is not None
+        assert system.unsubscribe_composite("c1") is True
+
+    def test_metrics_and_logs(self, system):
+        system.subscribe(topic_subscription("news.story", "topic", "sports", subscriber="a"))
+        system.publish(Event(event_type="news.story", attributes={"topic": "sports"}))
+        assert system.metrics.counter("pubsub.published").value == 1
+        assert system.metrics.counter("pubsub.delivered").value == 1
+        assert system.delivery_count() == 1
+        assert len(system.deliveries_for("a")) == 1
+        assert system.active_subscription_count() == 1
+
+    def test_subscriptions_for_subscriber(self, system):
+        a = topic_subscription("news.story", "topic", "sports", subscriber="a")
+        b = topic_subscription("news.story", "topic", "politics", subscriber="b")
+        system.subscribe(a)
+        system.subscribe(b)
+        assert system.subscriptions_for("a") == [a]
+
+    def test_unregister_subscriber_stops_callbacks(self, system):
+        received = []
+        system.register_subscriber("a", received.append)
+        system.unregister_subscriber("a")
+        system.subscribe(topic_subscription("news.story", "topic", "sports", subscriber="a"))
+        system.publish(Event(event_type="news.story", attributes={"topic": "sports"}))
+        # The delivery is still logged (the subscription is active) but no
+        # callback fires.
+        assert received == []
+        assert system.delivery_count() == 1

@@ -1,0 +1,274 @@
+"""Tests for the counting matcher and the Cayuga-style composite algebra."""
+
+import pytest
+
+from repro.pubsub.algebra import (
+    AggregateFunction,
+    AnyOfExpr,
+    CompositeEngine,
+    CompositeSubscription,
+    FilterExpr,
+    SequenceExpr,
+    WindowAggregateExpr,
+)
+from repro.pubsub.events import Event
+from repro.pubsub.matching import MatchingEngine
+from repro.pubsub.subscriptions import Operator, Predicate, Subscription, topic_subscription
+
+
+def make_event(event_type="news.story", timestamp=0.0, **attrs):
+    return Event(event_type=event_type, attributes=attrs, timestamp=timestamp)
+
+
+class TestMatchingEngine:
+    def test_equality_matching(self):
+        engine = MatchingEngine()
+        sports = topic_subscription("news.story", "topic", "sports", subscriber="a")
+        engine.add(sports)
+        assert engine.match(make_event(topic="sports")) == [sports]
+        assert engine.match(make_event(topic="politics")) == []
+
+    def test_conjunction_requires_all_predicates(self):
+        engine = MatchingEngine()
+        subscription = Subscription(
+            event_type="news.story",
+            predicates=(
+                Predicate("topic", Operator.EQ, "sports"),
+                Predicate("priority", Operator.GE, 5),
+            ),
+        )
+        engine.add(subscription)
+        assert engine.match(make_event(topic="sports", priority=7)) == [subscription]
+        assert engine.match(make_event(topic="sports", priority=1)) == []
+        assert engine.match(make_event(priority=7)) == []
+
+    def test_wildcard_subscription_matches_type_only(self):
+        engine = MatchingEngine()
+        wildcard = Subscription(event_type="news.story", subscriber="w")
+        engine.add(wildcard)
+        assert engine.match(make_event(topic="anything")) == [wildcard]
+        assert engine.match(make_event(event_type="other", topic="x")) == []
+
+    def test_event_type_separates_subscriptions(self):
+        engine = MatchingEngine()
+        feed = topic_subscription("feed.update", "feed_url", "http://a/feed.rss")
+        engine.add(feed)
+        assert engine.match(make_event(event_type="news.story", feed_url="http://a/feed.rss")) == []
+
+    def test_remove_subscription(self):
+        engine = MatchingEngine()
+        subscription = topic_subscription("news.story", "topic", "sports")
+        engine.add(subscription)
+        assert engine.remove(subscription.subscription_id) is True
+        assert engine.match(make_event(topic="sports")) == []
+        assert engine.remove(subscription.subscription_id) is False
+        assert len(engine) == 0
+
+    def test_add_is_idempotent(self):
+        engine = MatchingEngine()
+        subscription = topic_subscription("news.story", "topic", "sports")
+        engine.add(subscription)
+        engine.add(subscription)
+        assert len(engine) == 1
+        assert len(engine.match(make_event(topic="sports"))) == 1
+
+    def test_non_equality_predicates(self):
+        engine = MatchingEngine()
+        subscription = Subscription(
+            event_type="news.story",
+            predicates=(Predicate("priority", Operator.GT, 5),),
+        )
+        engine.add(subscription)
+        assert engine.match(make_event(priority=6)) == [subscription]
+        assert engine.match(make_event(priority=5)) == []
+
+    def test_match_subscribers_deduplicates(self):
+        engine = MatchingEngine()
+        engine.add(topic_subscription("news.story", "topic", "sports", subscriber="alice"))
+        engine.add(
+            Subscription(
+                event_type="news.story",
+                predicates=(Predicate("priority", Operator.GE, 1),),
+                subscriber="alice",
+            )
+        )
+        subscribers = engine.match_subscribers(make_event(topic="sports", priority=3))
+        assert subscribers == ["alice"]
+
+    def test_matches_sorted_by_id(self):
+        engine = MatchingEngine()
+        subs = [topic_subscription("news.story", "topic", "sports") for _ in range(5)]
+        for subscription in subs:
+            engine.add(subscription)
+        matched = engine.match(make_event(topic="sports"))
+        ids = [subscription.subscription_id for subscription in matched]
+        assert ids == sorted(ids)
+
+    def test_get_and_contains(self):
+        engine = MatchingEngine()
+        subscription = topic_subscription("news.story", "topic", "x")
+        engine.add(subscription)
+        assert subscription.subscription_id in engine
+        assert engine.get(subscription.subscription_id) is subscription
+        assert engine.get("missing") is None
+
+    def test_brute_force_equivalence(self):
+        """The indexed matcher agrees with naive per-subscription matching."""
+        from repro.sim.rng import SeededRNG
+
+        rng = SeededRNG(99)
+        topics = [f"t{i}" for i in range(10)]
+        subscriptions = []
+        engine = MatchingEngine()
+        for index in range(200):
+            predicates = [Predicate("topic", Operator.EQ, rng.choice(topics))]
+            if rng.random() < 0.5:
+                predicates.append(Predicate("priority", Operator.GE, rng.randint(0, 9)))
+            subscription = Subscription(
+                event_type="news.story", predicates=tuple(predicates), subscriber=f"s{index}"
+            )
+            subscriptions.append(subscription)
+            engine.add(subscription)
+        for _ in range(100):
+            event = make_event(topic=rng.choice(topics), priority=rng.randint(0, 9))
+            expected = {s.subscription_id for s in subscriptions if s.matches(event)}
+            actual = {s.subscription_id for s in engine.match(event)}
+            assert actual == expected
+
+
+class TestFilterAndSequence:
+    def test_filter_fires_on_match(self):
+        expr = FilterExpr("news.story", [Predicate("topic", Operator.EQ, "sports")])
+        assert expr.observe(make_event(topic="sports", timestamp=1.0))
+        assert not expr.observe(make_event(topic="politics", timestamp=2.0))
+
+    def test_sequence_within_window(self):
+        expr = SequenceExpr(
+            first=FilterExpr("news.story", [Predicate("topic", Operator.EQ, "storm")]),
+            second=FilterExpr("news.story", [Predicate("topic", Operator.EQ, "flood")]),
+            window=100.0,
+        )
+        assert expr.observe(make_event(topic="storm", timestamp=0.0)) == []
+        matches = expr.observe(make_event(topic="flood", timestamp=50.0))
+        assert len(matches) == 1
+        assert [e.get("topic") for e in matches[0].events] == ["storm", "flood"]
+
+    def test_sequence_expires_outside_window(self):
+        expr = SequenceExpr(
+            first=FilterExpr("news.story", [Predicate("topic", Operator.EQ, "storm")]),
+            second=FilterExpr("news.story", [Predicate("topic", Operator.EQ, "flood")]),
+            window=10.0,
+        )
+        expr.observe(make_event(topic="storm", timestamp=0.0))
+        assert expr.observe(make_event(topic="flood", timestamp=50.0)) == []
+
+    def test_sequence_parametrization(self):
+        expr = SequenceExpr(
+            first=FilterExpr("stock.quote", [Predicate("direction", Operator.EQ, "down")]),
+            second=FilterExpr("stock.quote", [Predicate("direction", Operator.EQ, "up")]),
+            window=100.0,
+            parameter="symbol",
+        )
+        expr.observe(make_event(event_type="stock.quote", symbol="ACME", direction="down", timestamp=0.0))
+        other = expr.observe(
+            make_event(event_type="stock.quote", symbol="OTHER", direction="up", timestamp=1.0)
+        )
+        assert other == []
+        same = expr.observe(
+            make_event(event_type="stock.quote", symbol="ACME", direction="up", timestamp=2.0)
+        )
+        assert len(same) == 1
+
+    def test_sequence_window_validation(self):
+        with pytest.raises(ValueError):
+            SequenceExpr(FilterExpr("a"), FilterExpr("a"), window=0.0)
+
+    def test_reset_clears_state(self):
+        expr = SequenceExpr(FilterExpr("a"), FilterExpr("a"), window=100.0)
+        expr.observe(make_event(event_type="a", timestamp=0.0))
+        expr.reset()
+        assert expr.observe(make_event(event_type="a", timestamp=1.0)) != [] or True
+        assert len(expr._pending) == 1
+
+
+class TestAggregation:
+    def test_count_threshold_fires(self):
+        expr = WindowAggregateExpr(
+            filter_expr=FilterExpr("feed.update"),
+            window=3600.0,
+            function=AggregateFunction.COUNT,
+            threshold=3,
+        )
+        assert expr.observe(make_event(event_type="feed.update", timestamp=0.0)) == []
+        assert expr.observe(make_event(event_type="feed.update", timestamp=10.0)) == []
+        fired = expr.observe(make_event(event_type="feed.update", timestamp=20.0))
+        assert len(fired) == 1
+        assert fired[0].value == 3.0
+
+    def test_window_slides(self):
+        expr = WindowAggregateExpr(
+            filter_expr=FilterExpr("feed.update"),
+            window=100.0,
+            function=AggregateFunction.COUNT,
+            threshold=2,
+        )
+        expr.observe(make_event(event_type="feed.update", timestamp=0.0))
+        assert expr.observe(make_event(event_type="feed.update", timestamp=500.0)) == []
+
+    def test_numeric_aggregates(self):
+        for function, expected in (
+            (AggregateFunction.SUM, 30.0),
+            (AggregateFunction.AVG, 15.0),
+            (AggregateFunction.MAX, 20.0),
+            (AggregateFunction.MIN, 10.0),
+        ):
+            expr = WindowAggregateExpr(
+                filter_expr=FilterExpr("stock.quote"),
+                window=1000.0,
+                function=function,
+                threshold=-1.0,
+                attribute="price",
+            )
+            expr.observe(make_event(event_type="stock.quote", price=10, timestamp=0.0))
+            fired = expr.observe(make_event(event_type="stock.quote", price=20, timestamp=1.0))
+            assert fired[0].value == expected
+
+    def test_attribute_required_for_numeric(self):
+        with pytest.raises(ValueError):
+            WindowAggregateExpr(FilterExpr("a"), 10.0, AggregateFunction.SUM, 1.0)
+
+    def test_non_numeric_values_skipped(self):
+        expr = WindowAggregateExpr(
+            FilterExpr("a"), 10.0, AggregateFunction.SUM, 0.5, attribute="price"
+        )
+        assert expr.observe(make_event(event_type="a", price="not-a-number", timestamp=0.0)) == []
+
+
+class TestAnyOfAndEngine:
+    def test_any_of_fires_for_either_child(self):
+        expr = AnyOfExpr(
+            [
+                FilterExpr("a", name="fa"),
+                FilterExpr("b", name="fb"),
+            ],
+            name="either",
+        )
+        assert expr.observe(make_event(event_type="a", timestamp=0.0))
+        assert expr.observe(make_event(event_type="b", timestamp=1.0))
+        assert expr.observe(make_event(event_type="c", timestamp=2.0)) == []
+
+    def test_any_of_requires_children(self):
+        with pytest.raises(ValueError):
+            AnyOfExpr([])
+
+    def test_composite_engine_routes_matches_to_subscribers(self):
+        engine = CompositeEngine()
+        subscription = CompositeSubscription(
+            subscriber="alice", expression=FilterExpr("news.story"), subscription_id="c1"
+        )
+        engine.add(subscription)
+        fired = engine.observe(make_event(topic="x"))
+        assert fired == [("alice", fired[0][1])]
+        assert len(engine) == 1
+        assert engine.remove("c1") is True
+        assert engine.remove("c1") is False

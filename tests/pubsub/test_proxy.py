@@ -1,0 +1,145 @@
+"""Tests for the WAIF-style FeedEvents push proxy."""
+
+import pytest
+
+from repro.pubsub.proxy import DirectPollingClient, FeedEventsProxy, feed_update_event
+from repro.sim.engine import SimulationEngine
+from repro.web.feeds import Feed
+from repro.web.http import SimulatedHttp
+from repro.web.pages import WebPage
+from repro.web.servers import ContentServer, ServerDirectory
+from repro.web.urls import make_url
+
+
+@pytest.fixture
+def feed_setup():
+    directory = ServerDirectory()
+    server = ContentServer("site.example", topics=["politics"])
+    feed = Feed(url=make_url("site.example", "/feed.rss"), title="site feed", topics=["politics"])
+    server.add_feed(feed)
+    server.add_page(WebPage(url=make_url("site.example", "/index.html"), title="i", text="x"))
+    directory.add(server)
+    http = SimulatedHttp(directory)
+    return feed, http
+
+
+class TestFeedUpdateEvent:
+    def test_event_carries_feed_attributes(self, feed_setup):
+        feed, _ = feed_setup
+        entry = feed.publish("headline", "body text", now=5.0)
+        event = feed_update_event(entry, timestamp=6.0)
+        assert event.event_type == "feed.update"
+        assert event.get("feed_url") == feed.url.full
+        assert event.get("title") == "headline"
+        assert event.get("topic") == "politics"
+        assert event.timestamp == 6.0
+
+
+class TestFeedEventsProxy:
+    def test_subscribe_starts_watching(self, feed_setup):
+        feed, http = feed_setup
+        proxy = FeedEventsProxy(http)
+        state = proxy.subscribe("alice", feed.url.full)
+        assert state.subscribers == {"alice"}
+        assert proxy.watched_feeds() == [feed.url.full]
+        assert proxy.subscribers_of(feed.url.full) == {"alice"}
+
+    def test_poll_pushes_new_entries_to_all_subscribers(self, feed_setup):
+        feed, http = feed_setup
+        proxy = FeedEventsProxy(http)
+        pushed = []
+        proxy.on_update(lambda subscriber, event: pushed.append((subscriber, event.get("title"))))
+        proxy.subscribe("alice", feed.url.full)
+        proxy.subscribe("bob", feed.url.full)
+        feed.publish("first", "body", now=10.0)
+        events = proxy.poll_all(now=20.0)
+        assert len(events) == 1
+        assert ("alice", "first") in pushed and ("bob", "first") in pushed
+        assert proxy.total_deliveries() == 2
+
+    def test_old_entries_not_redelivered(self, feed_setup):
+        feed, http = feed_setup
+        proxy = FeedEventsProxy(http)
+        proxy.subscribe("alice", feed.url.full)
+        feed.publish("first", "body", now=10.0)
+        proxy.poll_all(now=20.0)
+        assert proxy.poll_all(now=30.0) == []
+
+    def test_one_poll_regardless_of_subscriber_count(self, feed_setup):
+        feed, http = feed_setup
+        proxy = FeedEventsProxy(http)
+        for index in range(10):
+            proxy.subscribe(f"user{index}", feed.url.full)
+        proxy.poll_all(now=5.0)
+        assert proxy.total_polls() == 1
+
+    def test_unsubscribe_stops_polling_when_last_leaves(self, feed_setup):
+        feed, http = feed_setup
+        proxy = FeedEventsProxy(http)
+        proxy.subscribe("alice", feed.url.full)
+        proxy.subscribe("bob", feed.url.full)
+        assert proxy.unsubscribe("alice", feed.url.full) is True
+        assert proxy.watched_feeds() == [feed.url.full]
+        assert proxy.unsubscribe("bob", feed.url.full) is True
+        assert proxy.watched_feeds() == []
+        assert proxy.unsubscribe("bob", feed.url.full) is False
+
+    def test_poll_failure_counted(self, feed_setup):
+        _, http = feed_setup
+        proxy = FeedEventsProxy(http)
+        proxy.subscribe("alice", "http://missing.example/feed.rss")
+        assert proxy.poll_all(now=1.0) == []
+        assert proxy.metrics.counter("proxy.poll_failures").value == 1
+
+    def test_periodic_polling_on_engine(self, feed_setup):
+        feed, http = feed_setup
+        engine = SimulationEngine()
+        proxy = FeedEventsProxy(http, poll_interval=100.0)
+        received = []
+        proxy.on_update(lambda subscriber, event: received.append(event))
+        proxy.subscribe("alice", feed.url.full)
+        feed.publish("scheduled entry", "body", now=0.0)
+        proxy.start(engine)
+        engine.run(until=250.0)
+        assert len(received) == 1
+        assert proxy.total_polls() >= 2
+
+    def test_start_requires_engine(self, feed_setup):
+        _, http = feed_setup
+        with pytest.raises(ValueError):
+            FeedEventsProxy(http).start()
+
+    def test_invalid_poll_interval(self, feed_setup):
+        _, http = feed_setup
+        with pytest.raises(ValueError):
+            FeedEventsProxy(http, poll_interval=0.0)
+
+
+class TestDirectPollingClient:
+    def test_each_client_polls_origin_directly(self, feed_setup):
+        feed, http = feed_setup
+        clients = [DirectPollingClient(f"c{i}", http) for i in range(3)]
+        for client in clients:
+            client.subscribe(feed.url.full)
+        feed.publish("entry", "x", now=0.0)
+        for client in clients:
+            client.poll_all(now=10.0)
+        assert sum(client.polls_issued for client in clients) == 3
+        assert all(client.updates_seen == 1 for client in clients)
+
+    def test_unsubscribe(self, feed_setup):
+        feed, http = feed_setup
+        client = DirectPollingClient("c", http)
+        client.subscribe(feed.url.full)
+        client.unsubscribe(feed.url.full)
+        client.poll_all(now=1.0)
+        assert client.polls_issued == 0
+
+    def test_periodic_polling(self, feed_setup):
+        feed, http = feed_setup
+        engine = SimulationEngine()
+        client = DirectPollingClient("c", http, poll_interval=50.0)
+        client.subscribe(feed.url.full)
+        client.start(engine)
+        engine.run(until=200.0)
+        assert client.polls_issued == 4

@@ -1,0 +1,205 @@
+"""Tests for predicates, subscriptions and covering relations."""
+
+import pytest
+
+from repro.pubsub.events import Event
+from repro.pubsub.subscriptions import (
+    Operator,
+    Predicate,
+    Subscription,
+    SubscriptionTable,
+    TopicSubscription,
+    minimal_cover,
+    topic_subscription,
+)
+
+
+def make_event(**attrs):
+    return Event(event_type="news.story", attributes=attrs)
+
+
+class TestPredicate:
+    def test_eq_and_ne(self):
+        assert Predicate("topic", Operator.EQ, "sports").matches(make_event(topic="sports"))
+        assert not Predicate("topic", Operator.EQ, "sports").matches(make_event(topic="politics"))
+        assert Predicate("topic", Operator.NE, "sports").matches(make_event(topic="politics"))
+
+    def test_numeric_comparisons(self):
+        event = make_event(priority=5)
+        assert Predicate("priority", Operator.GT, 3).matches(event)
+        assert Predicate("priority", Operator.GE, 5).matches(event)
+        assert Predicate("priority", Operator.LT, 10).matches(event)
+        assert Predicate("priority", Operator.LE, 4).matches(event) is False
+
+    def test_string_operators(self):
+        event = make_event(url="http://example.com/feed.rss")
+        assert Predicate("url", Operator.PREFIX, "http://example.com").matches(event)
+        assert Predicate("url", Operator.CONTAINS, "feed").matches(event)
+        assert not Predicate("url", Operator.PREFIX, "https://").matches(event)
+
+    def test_exists(self):
+        assert Predicate("topic", Operator.EXISTS).matches(make_event(topic="x"))
+        assert not Predicate("missing", Operator.EXISTS).matches(make_event(topic="x"))
+
+    def test_missing_attribute_never_matches(self):
+        assert not Predicate("other", Operator.EQ, "x").matches(make_event(topic="x"))
+
+    def test_type_mismatch_is_false_not_error(self):
+        assert not Predicate("priority", Operator.GT, 3).matches(make_event(priority="high"))
+
+    def test_value_required_for_non_exists(self):
+        with pytest.raises(ValueError):
+            Predicate("a", Operator.EQ)
+
+    def test_empty_attribute_rejected(self):
+        with pytest.raises(ValueError):
+            Predicate("", Operator.EXISTS)
+
+
+class TestPredicateCovering:
+    def test_exists_covers_everything_on_attribute(self):
+        broad = Predicate("p", Operator.EXISTS)
+        assert broad.covers(Predicate("p", Operator.EQ, 5))
+        assert not broad.covers(Predicate("q", Operator.EQ, 5))
+
+    def test_ge_covers_higher_thresholds(self):
+        assert Predicate("p", Operator.GE, 3).covers(Predicate("p", Operator.GE, 5))
+        assert not Predicate("p", Operator.GE, 5).covers(Predicate("p", Operator.GE, 3))
+        assert Predicate("p", Operator.GE, 3).covers(Predicate("p", Operator.EQ, 3))
+
+    def test_le_and_lt_covering(self):
+        assert Predicate("p", Operator.LE, 10).covers(Predicate("p", Operator.LE, 5))
+        assert Predicate("p", Operator.LT, 10).covers(Predicate("p", Operator.EQ, 5))
+        assert not Predicate("p", Operator.LT, 10).covers(Predicate("p", Operator.EQ, 15))
+
+    def test_prefix_covering(self):
+        assert Predicate("u", Operator.PREFIX, "http://a").covers(
+            Predicate("u", Operator.PREFIX, "http://a/b")
+        )
+        assert Predicate("u", Operator.PREFIX, "http://a").covers(
+            Predicate("u", Operator.EQ, "http://a/page")
+        )
+
+    def test_contains_covering(self):
+        assert Predicate("t", Operator.CONTAINS, "feed").covers(
+            Predicate("t", Operator.EQ, "myfeed.rss")
+        )
+
+    def test_identical_predicates_cover(self):
+        predicate = Predicate("p", Operator.EQ, 1)
+        assert predicate.covers(Predicate("p", Operator.EQ, 1))
+
+
+class TestSubscription:
+    def test_matches_conjunction(self):
+        subscription = Subscription(
+            event_type="news.story",
+            predicates=(
+                Predicate("topic", Operator.EQ, "sports"),
+                Predicate("priority", Operator.GE, 3),
+            ),
+        )
+        assert subscription.matches(make_event(topic="sports", priority=5))
+        assert not subscription.matches(make_event(topic="sports", priority=1))
+        assert not subscription.matches(make_event(topic="politics", priority=5))
+
+    def test_wrong_event_type_never_matches(self):
+        subscription = Subscription(event_type="other", predicates=())
+        assert not subscription.matches(make_event(topic="x"))
+
+    def test_empty_predicates_match_all_of_type(self):
+        subscription = Subscription(event_type="news.story")
+        assert subscription.matches(make_event(anything="x"))
+
+    def test_covering_between_subscriptions(self):
+        broad = Subscription(
+            event_type="news.story", predicates=(Predicate("topic", Operator.EQ, "sports"),)
+        )
+        narrow = Subscription(
+            event_type="news.story",
+            predicates=(
+                Predicate("topic", Operator.EQ, "sports"),
+                Predicate("priority", Operator.GE, 5),
+            ),
+        )
+        assert broad.covers(narrow)
+        assert not narrow.covers(broad)
+
+    def test_cover_requires_same_event_type(self):
+        a = Subscription(event_type="a")
+        b = Subscription(event_type="b")
+        assert not a.covers(b)
+
+    def test_describe(self):
+        subscription = topic_subscription("news.story", "topic", "sports", subscriber="u")
+        assert "topic eq 'sports'" in subscription.describe()
+        assert str(Subscription(event_type="t")) == "t: *"
+
+    def test_ids_unique_and_attribute_names(self):
+        a = topic_subscription("news.story", "topic", "sports")
+        b = topic_subscription("news.story", "topic", "sports")
+        assert a.subscription_id != b.subscription_id
+        assert a.attribute_names() == ("topic",)
+
+    def test_empty_event_type_rejected(self):
+        with pytest.raises(ValueError):
+            Subscription(event_type="")
+
+
+class TestTopicSubscription:
+    def test_matches_topic(self):
+        subscription = TopicSubscription(topic="sports", subscriber="u")
+        assert subscription.matches_topic("sports")
+        assert not subscription.matches_topic("politics")
+
+    def test_empty_topic_rejected(self):
+        with pytest.raises(ValueError):
+            TopicSubscription(topic="")
+
+
+class TestSubscriptionTable:
+    def test_add_remove_and_lookup(self):
+        table = SubscriptionTable()
+        subscription = topic_subscription("news.story", "topic", "sports", subscriber="alice")
+        table.add(subscription)
+        assert len(table) == 1
+        assert subscription.subscription_id in table
+        assert table.get(subscription.subscription_id) is subscription
+        assert table.for_subscriber("alice") == [subscription]
+        removed = table.remove(subscription.subscription_id)
+        assert removed is subscription
+        assert len(table) == 0
+        assert table.remove("nope") is None
+
+    def test_matching(self):
+        table = SubscriptionTable()
+        sports = topic_subscription("news.story", "topic", "sports", subscriber="a")
+        politics = topic_subscription("news.story", "topic", "politics", subscriber="b")
+        table.add(sports)
+        table.add(politics)
+        matched = table.matching(make_event(topic="sports"))
+        assert matched == [sports]
+
+
+class TestMinimalCover:
+    def test_removes_covered_subscriptions(self):
+        broad = Subscription(
+            event_type="news.story", predicates=(Predicate("priority", Operator.GE, 1),)
+        )
+        narrow = Subscription(
+            event_type="news.story", predicates=(Predicate("priority", Operator.GE, 5),)
+        )
+        cover = minimal_cover([broad, narrow])
+        assert cover == [broad]
+
+    def test_keeps_unrelated_subscriptions(self):
+        sports = topic_subscription("news.story", "topic", "sports")
+        politics = topic_subscription("news.story", "topic", "politics")
+        cover = minimal_cover([sports, politics])
+        assert set(cover) == {sports, politics}
+
+    def test_equivalent_subscriptions_keep_one(self):
+        first = topic_subscription("news.story", "topic", "sports")
+        second = topic_subscription("news.story", "topic", "sports")
+        cover = minimal_cover([first, second])
+        assert len(cover) == 1

@@ -1,0 +1,49 @@
+"""Tests for the virtual clock."""
+
+import pytest
+
+from repro.sim.clock import SECONDS_PER_DAY, SECONDS_PER_WEEK, SimClock
+
+
+class TestSimClock:
+    def test_starts_at_zero_by_default(self):
+        assert SimClock().now == 0.0
+
+    def test_starts_at_given_time(self):
+        assert SimClock(10.0).now == 10.0
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ValueError):
+            SimClock(-1.0)
+
+    def test_advance_moves_forward(self):
+        clock = SimClock()
+        clock.advance_to(5.0)
+        assert clock.now == 5.0
+
+    def test_advance_to_same_time_is_allowed(self):
+        clock = SimClock(3.0)
+        clock.advance_to(3.0)
+        assert clock.now == 3.0
+
+    def test_advance_backwards_rejected(self):
+        clock = SimClock(10.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(9.0)
+
+    def test_unit_properties(self):
+        clock = SimClock()
+        clock.advance_to(SECONDS_PER_DAY * 2)
+        assert clock.days == pytest.approx(2.0)
+        assert clock.hours == pytest.approx(48.0)
+        assert clock.minutes == pytest.approx(48.0 * 60)
+
+    def test_weeks_property(self):
+        clock = SimClock(SECONDS_PER_WEEK * 10)
+        assert clock.weeks == pytest.approx(10.0)
+
+    def test_from_unit_helpers_round_trip(self):
+        assert SimClock.from_days(1.0) == SECONDS_PER_DAY
+        assert SimClock.from_weeks(1.0) == SECONDS_PER_WEEK
+        assert SimClock.from_hours(2.0) == 7200.0
+        assert SimClock.from_minutes(3.0) == 180.0

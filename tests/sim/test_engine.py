@@ -1,0 +1,128 @@
+"""Tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.sim.engine import SimulationEngine
+
+
+class TestScheduling:
+    def test_schedule_and_run_single_event(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule_at(5.0, lambda eng: fired.append(eng.now))
+        executed = engine.run()
+        assert executed == 1
+        assert fired == [5.0]
+        assert engine.now == 5.0
+
+    def test_schedule_in_uses_relative_delay(self):
+        engine = SimulationEngine(start=10.0)
+        fired = []
+        engine.schedule_in(2.5, lambda eng: fired.append(eng.now))
+        engine.run()
+        assert fired == [12.5]
+
+    def test_cannot_schedule_in_the_past(self):
+        engine = SimulationEngine(start=10.0)
+        with pytest.raises(ValueError):
+            engine.schedule_at(5.0, lambda eng: None)
+
+    def test_negative_delay_rejected(self):
+        engine = SimulationEngine()
+        with pytest.raises(ValueError):
+            engine.schedule_in(-1.0, lambda eng: None)
+
+    def test_events_fire_in_time_order(self):
+        engine = SimulationEngine()
+        order = []
+        engine.schedule_at(3.0, lambda eng: order.append("c"))
+        engine.schedule_at(1.0, lambda eng: order.append("a"))
+        engine.schedule_at(2.0, lambda eng: order.append("b"))
+        engine.run()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_events_fire_fifo(self):
+        engine = SimulationEngine()
+        order = []
+        for label in ("first", "second", "third"):
+            engine.schedule_at(1.0, lambda eng, label=label: order.append(label))
+        engine.run()
+        assert order == ["first", "second", "third"]
+
+    def test_cancelled_event_does_not_fire(self):
+        engine = SimulationEngine()
+        fired = []
+        handle = engine.schedule_at(1.0, lambda eng: fired.append("x"))
+        handle.cancel()
+        engine.run()
+        assert fired == []
+        assert engine.events_executed == 0
+
+    def test_callbacks_can_schedule_more_events(self):
+        engine = SimulationEngine()
+        fired = []
+
+        def first(eng):
+            fired.append("first")
+            eng.schedule_in(1.0, lambda e: fired.append("second"))
+
+        engine.schedule_at(1.0, first)
+        engine.run()
+        assert fired == ["first", "second"]
+        assert engine.now == 2.0
+
+
+class TestRunLimits:
+    def test_run_until_stops_at_boundary(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule_at(1.0, lambda eng: fired.append(1))
+        engine.schedule_at(10.0, lambda eng: fired.append(10))
+        engine.run(until=5.0)
+        assert fired == [1]
+        assert engine.now == 5.0
+        # Remaining event still pending and can be run later.
+        engine.run()
+        assert fired == [1, 10]
+
+    def test_run_until_advances_clock_with_empty_queue(self):
+        engine = SimulationEngine()
+        engine.run(until=7.0)
+        assert engine.now == 7.0
+
+    def test_max_events_limit(self):
+        engine = SimulationEngine()
+        for index in range(10):
+            engine.schedule_at(float(index + 1), lambda eng: None)
+        executed = engine.run(max_events=4)
+        assert executed == 4
+        assert engine.pending == 6
+
+
+class TestPeriodic:
+    def test_periodic_fires_repeatedly_until_limit(self):
+        engine = SimulationEngine()
+        times = []
+        engine.schedule_periodic(2.0, lambda eng: times.append(eng.now), until=10.0)
+        engine.run(until=10.0)
+        assert times == [2.0, 4.0, 6.0, 8.0, 10.0]
+
+    def test_periodic_interval_must_be_positive(self):
+        engine = SimulationEngine()
+        with pytest.raises(ValueError):
+            engine.schedule_periodic(0.0, lambda eng: None)
+
+    def test_periodic_first_delay_override(self):
+        engine = SimulationEngine()
+        times = []
+        engine.schedule_periodic(5.0, lambda eng: times.append(eng.now), first_delay=1.0, until=11.0)
+        engine.run(until=11.0)
+        assert times == [1.0, 6.0, 11.0]
+
+    def test_pending_counts_only_live_events(self):
+        engine = SimulationEngine()
+        keep = engine.schedule_at(1.0, lambda eng: None)
+        drop = engine.schedule_at(2.0, lambda eng: None)
+        drop.cancel()
+        assert engine.pending == 1
+        assert keep.time == 1.0

@@ -1,0 +1,113 @@
+"""Tests for metrics primitives."""
+
+import pytest
+
+from repro.sim.metrics import Counter, Gauge, Histogram, MetricsRegistry, TimeSeries
+
+
+class TestCounter:
+    def test_increments(self):
+        counter = Counter("requests")
+        counter.increment()
+        counter.increment(4)
+        assert counter.value == 5
+
+    def test_rejects_negative_increment(self):
+        with pytest.raises(ValueError):
+            Counter("x").increment(-1)
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        gauge = Gauge("active")
+        gauge.set(10)
+        gauge.add(-3)
+        assert gauge.value == 7
+
+
+class TestHistogram:
+    def test_empty_histogram_defaults(self):
+        histogram = Histogram("latency")
+        assert histogram.count == 0
+        assert histogram.mean == 0.0
+        assert histogram.percentile(50) == 0.0
+
+    def test_basic_statistics(self):
+        histogram = Histogram("latency")
+        for value in (1.0, 2.0, 3.0, 4.0):
+            histogram.observe(value)
+        assert histogram.count == 4
+        assert histogram.mean == pytest.approx(2.5)
+        assert histogram.minimum == 1.0
+        assert histogram.maximum == 4.0
+        assert histogram.total == 10.0
+
+    def test_percentiles_interpolate(self):
+        histogram = Histogram("latency")
+        for value in range(1, 101):
+            histogram.observe(float(value))
+        assert histogram.percentile(50) == pytest.approx(50.5)
+        assert histogram.percentile(0) == 1.0
+        assert histogram.percentile(100) == 100.0
+
+    def test_percentile_out_of_range(self):
+        histogram = Histogram("x")
+        histogram.observe(1.0)
+        with pytest.raises(ValueError):
+            histogram.percentile(150)
+
+    def test_stddev(self):
+        histogram = Histogram("x")
+        for value in (2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0):
+            histogram.observe(value)
+        assert histogram.stddev == pytest.approx(2.138, abs=0.01)
+
+    def test_single_sample_stddev_zero(self):
+        histogram = Histogram("x")
+        histogram.observe(3.0)
+        assert histogram.stddev == 0.0
+
+
+class TestTimeSeries:
+    def test_records_in_order(self):
+        series = TimeSeries("subs")
+        series.record(0.0, 1.0)
+        series.record(5.0, 3.0)
+        assert series.values() == [1.0, 3.0]
+        assert series.times() == [0.0, 5.0]
+        assert series.last() == 3.0
+
+    def test_rejects_out_of_order(self):
+        series = TimeSeries("subs")
+        series.record(5.0, 1.0)
+        with pytest.raises(ValueError):
+            series.record(4.0, 2.0)
+
+    def test_last_empty(self):
+        assert TimeSeries("x").last() is None
+
+
+class TestMetricsRegistry:
+    def test_metrics_are_memoized_by_name(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("g") is registry.gauge("g")
+        assert registry.histogram("h") is registry.histogram("h")
+        assert registry.series("s") is registry.series("s")
+
+    def test_snapshot_contains_all_kinds(self):
+        registry = MetricsRegistry()
+        registry.counter("c").increment(2)
+        registry.gauge("g").set(7)
+        registry.histogram("h").observe(4.0)
+        snapshot = registry.snapshot()
+        assert snapshot["c"] == 2
+        assert snapshot["g"] == 7
+        assert snapshot["h.mean"] == 4.0
+        assert snapshot["h.count"] == 1.0
+
+    def test_counters_dict_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("b").increment()
+        registry.counter("a").increment()
+        assert list(registry.counters()) == ["a", "b"]

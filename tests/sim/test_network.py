@@ -1,0 +1,133 @@
+"""Tests for the simulated message-passing network."""
+
+import pytest
+
+from repro.sim.engine import SimulationEngine
+from repro.sim.network import Link, Message, NetworkNode, SimulatedNetwork
+from repro.sim.rng import SeededRNG
+
+
+class Recorder(NetworkNode):
+    """Test node that records delivered messages."""
+
+    def __init__(self, name):
+        super().__init__(name)
+        self.received = []
+
+    def handle_message(self, message, network):
+        self.received.append(message)
+
+
+@pytest.fixture
+def network():
+    engine = SimulationEngine()
+    return SimulatedNetwork(engine)
+
+
+class TestRegistration:
+    def test_register_and_lookup(self, network):
+        node = Recorder("a")
+        network.register("a", node)
+        assert network.has_node("a")
+        assert network.node("a") is node
+        assert network.node_names() == ("a",)
+
+    def test_duplicate_registration_rejected(self, network):
+        network.register("a", Recorder("a"))
+        with pytest.raises(ValueError):
+            network.register("a", Recorder("a"))
+
+    def test_unregister(self, network):
+        network.register("a", Recorder("a"))
+        network.unregister("a")
+        assert not network.has_node("a")
+
+
+class TestDelivery:
+    def test_message_delivered_after_latency(self):
+        engine = SimulationEngine()
+        network = SimulatedNetwork(engine, default_link=Link(latency=2.0))
+        receiver = Recorder("dst")
+        network.register("dst", receiver)
+        network.send("src", "dst", kind="ping", payload={"x": 1}, size_bytes=100)
+        assert receiver.received == []
+        engine.run()
+        assert len(receiver.received) == 1
+        message = receiver.received[0]
+        assert message.kind == "ping"
+        assert message.payload == {"x": 1}
+        assert engine.now == pytest.approx(2.0)
+
+    def test_send_to_unknown_destination_raises(self, network):
+        with pytest.raises(KeyError):
+            network.send("src", "missing", kind="ping")
+
+    def test_bandwidth_adds_transfer_time(self):
+        engine = SimulationEngine()
+        network = SimulatedNetwork(
+            engine, default_link=Link(latency=1.0, bandwidth_bytes_per_sec=100.0)
+        )
+        receiver = Recorder("dst")
+        network.register("dst", receiver)
+        network.send("src", "dst", kind="data", size_bytes=200)
+        engine.run()
+        assert engine.now == pytest.approx(3.0)
+
+    def test_per_edge_link_overrides_default(self):
+        engine = SimulationEngine()
+        network = SimulatedNetwork(engine, default_link=Link(latency=10.0))
+        receiver = Recorder("dst")
+        network.register("dst", receiver)
+        network.set_link("src", "dst", Link(latency=0.5))
+        network.send("src", "dst", kind="fast")
+        engine.run()
+        assert engine.now == pytest.approx(0.5)
+
+    def test_lossy_link_drops_messages(self):
+        engine = SimulationEngine()
+        network = SimulatedNetwork(
+            engine,
+            default_link=Link(latency=0.1, loss_probability=1.0),
+            rng=SeededRNG(1),
+        )
+        receiver = Recorder("dst")
+        network.register("dst", receiver)
+        network.send("src", "dst", kind="ping")
+        engine.run()
+        assert receiver.received == []
+        assert network.messages_dropped == 1
+
+    def test_broadcast_reaches_all(self):
+        engine = SimulationEngine()
+        network = SimulatedNetwork(engine)
+        receivers = [Recorder(f"n{i}") for i in range(3)]
+        for receiver in receivers:
+            network.register(receiver.name, receiver)
+        network.broadcast("src", ("n0", "n1", "n2"), kind="news")
+        engine.run()
+        assert all(len(receiver.received) == 1 for receiver in receivers)
+
+
+class TestAccounting:
+    def test_counts_messages_and_bytes(self):
+        engine = SimulationEngine()
+        network = SimulatedNetwork(engine)
+        network.register("dst", Recorder("dst"))
+        network.send("a", "dst", kind="attention", size_bytes=100)
+        network.send("b", "dst", kind="attention", size_bytes=50)
+        engine.run()
+        assert network.messages_sent == 2
+        assert network.messages_delivered == 2
+        assert network.bytes_sent == 150
+        assert network.kind_message_count("attention") == 2
+        assert network.kind_byte_count("attention") == 150
+        assert network.edge_message_count("a", "dst") == 1
+
+    def test_negative_message_size_rejected(self):
+        with pytest.raises(ValueError):
+            Message(source="a", destination="b", kind="x", size_bytes=-1)
+
+    def test_base_node_raises_on_unhandled(self):
+        node = NetworkNode("plain")
+        with pytest.raises(NotImplementedError):
+            node.handle_message(Message("a", "plain", "x"), None)

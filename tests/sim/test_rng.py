@@ -1,0 +1,122 @@
+"""Tests for seeded randomness helpers."""
+
+import pytest
+
+from repro.sim.rng import SeededRNG, ZipfSampler, interleave, stable_hash
+
+
+class TestSeededRNG:
+    def test_same_seed_same_stream(self):
+        a = SeededRNG(5)
+        b = SeededRNG(5)
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+    def test_different_seed_different_stream(self):
+        assert SeededRNG(1).random() != SeededRNG(2).random()
+
+    def test_fork_is_deterministic_and_independent(self):
+        parent_a = SeededRNG(9)
+        parent_b = SeededRNG(9)
+        child_a = parent_a.fork("web")
+        child_b = parent_b.fork("web")
+        other = parent_a.fork("users")
+        assert child_a.random() == child_b.random()
+        assert SeededRNG(9).fork("web").seed != other.seed
+
+    def test_poisson_zero_lambda(self, rng):
+        assert rng.poisson(0.0) == 0
+
+    def test_poisson_negative_lambda_rejected(self, rng):
+        with pytest.raises(ValueError):
+            rng.poisson(-1.0)
+
+    def test_poisson_mean_approximates_lambda(self):
+        rng = SeededRNG(3)
+        samples = [rng.poisson(4.0) for _ in range(2000)]
+        mean = sum(samples) / len(samples)
+        assert 3.6 < mean < 4.4
+
+    def test_poisson_large_lambda_uses_normal_approximation(self):
+        rng = SeededRNG(3)
+        samples = [rng.poisson(200.0) for _ in range(500)]
+        mean = sum(samples) / len(samples)
+        assert 190 < mean < 210
+        assert all(sample >= 0 for sample in samples)
+
+    def test_weighted_choice_respects_weights(self):
+        rng = SeededRNG(11)
+        counts = {"a": 0, "b": 0}
+        for _ in range(3000):
+            counts[rng.weighted_choice(["a", "b"], [9.0, 1.0])] += 1
+        assert counts["a"] > counts["b"] * 4
+
+    def test_weighted_choice_validates_lengths(self, rng):
+        with pytest.raises(ValueError):
+            rng.weighted_choice(["a"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            rng.weighted_choice([], [])
+
+    def test_weighted_sample_distinct_and_sized(self, rng):
+        items = list(range(20))
+        weights = [1.0] * 20
+        sample = rng.weighted_sample(items, weights, 5)
+        assert len(sample) == 5
+        assert len(set(sample)) == 5
+
+    def test_weighted_sample_too_many_rejected(self, rng):
+        with pytest.raises(ValueError):
+            rng.weighted_sample([1, 2], [1.0, 1.0], 3)
+
+    def test_bounded_pareto_stays_in_bounds(self):
+        rng = SeededRNG(17)
+        for _ in range(500):
+            value = rng.bounded_pareto(1.2, 10.0, 1000.0)
+            assert 10.0 <= value <= 1000.0
+
+    def test_bounded_pareto_validates_bounds(self, rng):
+        with pytest.raises(ValueError):
+            rng.bounded_pareto(1.0, 10.0, 5.0)
+
+
+class TestZipfSampler:
+    def test_rank_zero_is_most_probable(self):
+        rng = SeededRNG(19)
+        sampler = ZipfSampler(50, 1.1, rng)
+        counts = [0] * 50
+        for _ in range(5000):
+            counts[sampler.sample()] += 1
+        assert counts[0] == max(counts)
+        assert counts[0] > counts[25]
+
+    def test_probabilities_sum_to_one(self):
+        sampler = ZipfSampler(10, 1.0, SeededRNG(1))
+        total = sum(sampler.probability(rank) for rank in range(10))
+        assert total == pytest.approx(1.0)
+
+    def test_probability_out_of_range(self):
+        sampler = ZipfSampler(5, 1.0, SeededRNG(1))
+        with pytest.raises(IndexError):
+            sampler.probability(5)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(0, 1.0, SeededRNG(1))
+        with pytest.raises(ValueError):
+            ZipfSampler(5, -0.5, SeededRNG(1))
+
+    def test_zero_exponent_is_uniform(self):
+        sampler = ZipfSampler(4, 0.0, SeededRNG(1))
+        for rank in range(4):
+            assert sampler.probability(rank) == pytest.approx(0.25)
+
+
+class TestHelpers:
+    def test_stable_hash_is_deterministic(self):
+        assert stable_hash("feed") == stable_hash("feed")
+        assert stable_hash("feed") != stable_hash("feeds")
+
+    def test_interleave_round_robins(self):
+        assert interleave([1, 2, 3], ["a", "b"]) == [1, "a", 2, "b", 3]
+
+    def test_interleave_empty(self):
+        assert interleave() == []

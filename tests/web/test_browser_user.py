@@ -1,0 +1,148 @@
+"""Tests for the simulated browser and the interest-driven user model."""
+
+import pytest
+
+from repro.sim.rng import SeededRNG
+from repro.web.browser import Browser
+from repro.web.http import SimulatedHttp
+from repro.web.user_model import BrowsingBehaviour, BrowsingUser, InterestProfile
+from repro.web.urls import parse_url
+
+
+@pytest.fixture
+def browser(small_web):
+    return Browser(user_id="u1", http=SimulatedHttp(small_web.directory))
+
+
+class TestBrowser:
+    def test_visit_logs_page_and_embedded_requests(self, small_web, browser):
+        page = small_web.all_pages[0]
+        browser.visit(page.url, timestamp=10.0)
+        log = browser.http.request_log
+        # One request for the page plus one per embedded ad/media link.
+        assert len(log) == 1 + len(page.ad_links) + len(page.multimedia_links)
+        assert log[0].client == "u1"
+
+    def test_visit_notifies_listeners_for_every_request(self, small_web, browser):
+        seen = []
+        browser.add_visit_listener(lambda url, ts, page: seen.append(url))
+        page = small_web.all_pages[0]
+        browser.visit(page.url, timestamp=0.0)
+        assert seen[0] == page.url.full
+        assert len(seen) == 1 + len(page.ad_links) + len(page.multimedia_links)
+
+    def test_visited_page_is_cached(self, small_web, browser):
+        page = small_web.all_pages[0]
+        browser.visit(page.url, timestamp=0.0)
+        assert browser.cached_page(page.url.full) is page
+        assert page in browser.cached_pages()
+
+    def test_history_and_server_counts(self, small_web, browser):
+        pages = small_web.all_pages[:3]
+        for index, page in enumerate(pages):
+            browser.visit(page.url, timestamp=float(index))
+        assert browser.visit_count == 3
+        assert browser.distinct_servers_visited() <= 3
+
+    def test_cache_eviction_fifo(self, small_web):
+        browser = Browser(user_id="u", http=SimulatedHttp(small_web.directory), cache_capacity=2)
+        pages = small_web.all_pages[:3]
+        for index, page in enumerate(pages):
+            browser.visit(page.url, timestamp=float(index))
+        assert len(browser.cache) == 2
+        assert browser.cached_page(pages[0].url.full) is None
+
+    def test_visit_missing_page(self, browser):
+        response = browser.visit("http://site0000.example/not-there.html", timestamp=0.0)
+        assert not response.ok
+        assert browser.visit_count == 1
+
+
+class TestInterestProfile:
+    def test_requires_topics(self):
+        with pytest.raises(ValueError):
+            InterestProfile(weights={})
+
+    def test_rejects_non_positive_weights(self):
+        with pytest.raises(ValueError):
+            InterestProfile(weights={"politics": 0.0})
+
+    def test_normalized_sums_to_one(self):
+        profile = InterestProfile(weights={"a": 3.0, "b": 1.0})
+        normalized = profile.normalized()
+        assert sum(normalized.values()) == pytest.approx(1.0)
+        assert normalized["a"] == pytest.approx(0.75)
+
+    def test_affinity_uses_max_share(self):
+        profile = InterestProfile(weights={"a": 3.0, "b": 1.0})
+        assert profile.affinity(["a", "b"]) == pytest.approx(0.75)
+        assert profile.affinity(["missing"]) == 0.0
+        assert profile.affinity([]) == 0.0
+
+    def test_sample_topic_prefers_heavy_topics(self):
+        profile = InterestProfile(weights={"heavy": 20.0, "light": 1.0})
+        rng = SeededRNG(3)
+        samples = [profile.sample_topic(rng) for _ in range(200)]
+        assert samples.count("heavy") > samples.count("light")
+
+
+class TestBrowsingUser:
+    @pytest.fixture
+    def user(self, small_web):
+        profile = InterestProfile(weights={small_web.topic_model.topic_names()[0]: 1.0})
+        browser = Browser(user_id="u1", http=SimulatedHttp(small_web.directory))
+        return BrowsingUser(
+            user_id="u1",
+            profile=profile,
+            browser=browser,
+            web=small_web,
+            rng=SeededRNG(21),
+            behaviour=BrowsingBehaviour(sessions_per_day=2.0, pages_per_session_mean=4.0),
+        )
+
+    def test_favourites_match_interests(self, user):
+        assert user.favourites
+        favourite_topics = {topic for page in user.favourites for topic in page.topics}
+        assert user.profile.topics[0] in favourite_topics
+
+    def test_session_visits_pages(self, user):
+        session = user.browse_session(started_at=100.0)
+        assert session.urls
+        assert user.browser.visit_count == len(session.urls)
+        assert session.started_at == 100.0
+
+    def test_browse_days_produces_time_ordered_sessions(self, user):
+        sessions = user.browse_days(3)
+        times = [session.started_at for session in sessions]
+        assert times == sorted(times)
+        assert all(session.started_at < 3 * 86400.0 for session in sessions)
+
+    def test_visited_urls_and_servers(self, user):
+        user.browse_days(2)
+        urls = user.visited_urls()
+        assert len(urls) >= 1
+        servers = user.visited_servers()
+        assert servers == sorted(servers)
+        assert all(parse_url(url).host for url in urls)
+
+    def test_revisit_behaviour_concentrates_traffic(self, small_web):
+        profile = InterestProfile(weights={small_web.topic_model.topic_names()[0]: 1.0})
+        browser = Browser(user_id="u2", http=SimulatedHttp(small_web.directory))
+        user = BrowsingUser(
+            user_id="u2",
+            profile=profile,
+            browser=browser,
+            web=small_web,
+            rng=SeededRNG(5),
+            behaviour=BrowsingBehaviour(
+                sessions_per_day=6.0,
+                pages_per_session_mean=10.0,
+                revisit_probability=0.9,
+                topical_probability=0.05,
+                favourites_size=5,
+            ),
+        )
+        user.browse_days(3)
+        urls = user.visited_urls()
+        distinct = len(set(urls))
+        assert distinct < len(urls)

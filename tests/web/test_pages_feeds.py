@@ -1,0 +1,131 @@
+"""Tests for the page and feed models."""
+
+import pytest
+
+from repro.datasets.vocab import build_topic_model
+from repro.sim.rng import SeededRNG
+from repro.web.feeds import Feed, FeedFormat, FeedPublisher, sample_update_interval
+from repro.web.pages import LinkKind, WebPage, combined_text, page_id
+from repro.web.urls import make_url
+
+
+@pytest.fixture
+def page():
+    page = WebPage(
+        url=make_url("site.example", "/article.html"),
+        title="An article",
+        text="market news about the election",
+        topics=["politics"],
+    )
+    page.add_link(make_url("site.example", "/feed.rss"), LinkKind.FEED)
+    page.add_link(make_url("ads.example", "/beacon"), LinkKind.AD)
+    page.add_link(make_url("other.example", "/page"), LinkKind.CONTENT)
+    page.add_link(make_url("media.example", "/clip"), LinkKind.MULTIMEDIA)
+    return page
+
+
+class TestWebPage:
+    def test_link_kind_accessors(self, page):
+        assert [u.full for u in page.feed_links] == ["http://site.example/feed.rss"]
+        assert len(page.ad_links) == 1
+        assert len(page.content_links) == 1
+        assert len(page.multimedia_links) == 1
+
+    def test_word_count_and_topic(self, page):
+        assert page.word_count() == 5
+        assert page.dominant_topic() == "politics"
+        assert WebPage(url=make_url("x.example"), title="t", text="").dominant_topic() is None
+
+    def test_render_html_contains_autodiscovery(self, page):
+        html = page.render_html()
+        assert 'rel="alternate"' in html
+        assert "http://site.example/feed.rss" in html
+        assert "<title>An article</title>" in html
+
+    def test_page_id_is_url(self, page):
+        assert page_id(page) == "http://site.example/article.html"
+
+    def test_combined_text(self, page):
+        other = WebPage(url=make_url("b.example"), title="b", text="second page")
+        assert "second page" in combined_text([page, other])
+
+
+class TestFeed:
+    def test_publish_appends_entries(self):
+        feed = Feed(url=make_url("site.example", "/feed.rss"), title="Site feed")
+        entry = feed.publish("First", "text body", now=100.0)
+        assert feed.entry_count == 1
+        assert entry.feed_url == "http://site.example/feed.rss"
+        assert entry.published_at == 100.0
+        assert feed.latest() is entry
+
+    def test_entries_since_filters_strictly(self):
+        feed = Feed(url=make_url("s.example", "/feed.rss"), title="f")
+        feed.publish("a", "x", now=10.0)
+        feed.publish("b", "y", now=20.0)
+        assert [e.title for e in feed.entries_since(10.0)] == ["b"]
+        assert [e.title for e in feed.entries_since(-1.0)] == ["a", "b"]
+
+    def test_max_entries_rotation(self):
+        feed = Feed(url=make_url("s.example", "/feed.rss"), title="f", max_entries=3)
+        for index in range(5):
+            feed.publish(f"t{index}", "x", now=float(index))
+        assert feed.entry_count == 3
+        assert feed.entries[0].title == "t2"
+
+    def test_render_contains_items(self):
+        feed = Feed(url=make_url("s.example", "/feed.rss"), title="f", format=FeedFormat.ATOM)
+        feed.publish("headline", "body", now=0.0)
+        xml = feed.render()
+        assert "<atom>" in xml
+        assert "headline" in xml
+
+    def test_entry_ids_unique(self):
+        feed = Feed(url=make_url("s.example", "/feed.rss"), title="f")
+        ids = {feed.publish(f"t{i}", "x", now=float(i)).entry_id for i in range(10)}
+        assert len(ids) == 10
+
+
+class TestFeedPublisher:
+    def test_publishes_topical_entries(self, topic_model):
+        feed = Feed(
+            url=make_url("s.example", "/feed.rss"),
+            title="politics feed",
+            topics=["politics"],
+            update_interval=3600.0,
+        )
+        publisher = FeedPublisher([feed], topic_model, SeededRNG(3))
+        entry = publisher.publish_entry(feed, now=50.0)
+        assert entry.topics == ("politics",)
+        assert publisher.entries_published == 1
+
+    def test_publish_round_respects_intervals(self, topic_model):
+        fast = Feed(url=make_url("a.example", "/feed.rss"), title="fast", update_interval=600.0)
+        slow = Feed(url=make_url("b.example", "/feed.rss"), title="slow", update_interval=10**9)
+        publisher = FeedPublisher([fast, slow], topic_model, SeededRNG(5))
+        entries = publisher.publish_round(now=3600.0, elapsed=3600.0)
+        assert all(entry.feed_url != "http://b.example/feed.rss" for entry in entries) or len(
+            [e for e in entries if e.feed_url == "http://b.example/feed.rss"]
+        ) == 0
+        assert any(entry.feed_url == "http://a.example/feed.rss" for entry in entries)
+
+    def test_start_schedules_on_engine(self, topic_model, engine):
+        feed = Feed(url=make_url("a.example", "/feed.rss"), title="f", update_interval=1800.0)
+        publisher = FeedPublisher([feed], topic_model, SeededRNG(9))
+        publisher.start(engine, interval=3600.0, until=7200.0)
+        engine.run(until=7200.0)
+        assert publisher.entries_published >= 1
+
+
+class TestUpdateIntervals:
+    def test_sampled_interval_within_bounds(self):
+        rng = SeededRNG(11)
+        for _ in range(200):
+            interval = sample_update_interval(rng)
+            assert 1800.0 <= interval <= 14 * 86400.0
+
+    def test_long_tail_shape(self):
+        rng = SeededRNG(13)
+        intervals = sorted(sample_update_interval(rng) for _ in range(500))
+        median = intervals[len(intervals) // 2]
+        assert intervals[-1] > median * 4

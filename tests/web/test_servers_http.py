@@ -1,0 +1,127 @@
+"""Tests for simulated servers and the HTTP layer."""
+
+import pytest
+
+from repro.web.feeds import Feed
+from repro.web.http import HttpStatus, SimulatedHttp
+from repro.web.pages import WebPage
+from repro.web.servers import AdServer, ContentServer, MultimediaServer, ServerDirectory, ServerKind
+from repro.web.urls import make_url
+
+
+@pytest.fixture
+def directory():
+    directory = ServerDirectory()
+    content = ContentServer("site.example", topics=["politics"])
+    content.add_page(WebPage(url=make_url("site.example", "/a.html"), title="a", text="election news"))
+    feed = Feed(url=make_url("site.example", "/feed.rss"), title="site feed")
+    feed.publish("first", "body", now=1.0)
+    content.add_feed(feed)
+    ads = AdServer("ads.example")
+    ads.add_page(WebPage(url=make_url("ads.example", "/beacon"), title="ad", text="ad"))
+    media = MultimediaServer("media.example")
+    media.add_page(WebPage(url=make_url("media.example", "/clip"), title="clip", text="clip"))
+    for server in (content, ads, media):
+        directory.add(server)
+    return directory
+
+
+class TestServers:
+    def test_host_mismatch_rejected(self):
+        server = ContentServer("a.example")
+        with pytest.raises(ValueError):
+            server.add_page(WebPage(url=make_url("b.example", "/x"), title="x", text="x"))
+        with pytest.raises(ValueError):
+            server.add_feed(Feed(url=make_url("b.example", "/feed.rss"), title="f"))
+
+    def test_ad_server_marks_pages(self):
+        server = AdServer("ads.example")
+        page = WebPage(url=make_url("ads.example", "/b"), title="b", text="b")
+        server.add_page(page)
+        assert page.is_ad is True
+        assert server.kind is ServerKind.AD
+
+    def test_multimedia_server_marks_pages(self):
+        server = MultimediaServer("m.example")
+        page = WebPage(url=make_url("m.example", "/clip"), title="c", text="c")
+        server.add_page(page)
+        assert page.is_multimedia is True
+
+    def test_get_page_records_stats(self, directory):
+        server = directory.get("site.example")
+        assert server.get_page(make_url("site.example", "/a.html")) is not None
+        assert server.get_page(make_url("site.example", "/missing")) is None
+        assert server.stats.page_requests == 1
+        assert server.stats.not_found == 1
+
+    def test_get_feed_records_stats(self, directory):
+        server = directory.get("site.example")
+        assert server.get_feed(make_url("site.example", "/feed.rss")) is not None
+        assert server.stats.feed_requests == 1
+
+    def test_directory_duplicate_rejected(self, directory):
+        with pytest.raises(ValueError):
+            directory.add(ContentServer("site.example"))
+
+    def test_directory_queries(self, directory):
+        assert "site.example" in directory
+        assert len(directory) == 3
+        assert directory.hosts() == ["ads.example", "media.example", "site.example"]
+        assert [s.host for s in directory.by_kind(ServerKind.AD)] == ["ads.example"]
+
+    def test_server_url_listings(self, directory):
+        server = directory.get("site.example")
+        assert server.page_count == 1
+        assert server.feed_count == 1
+        assert server.has_path("/a.html")
+        assert not server.has_path("/nope")
+
+
+class TestSimulatedHttp:
+    def test_fetch_page(self, directory):
+        http = SimulatedHttp(directory)
+        response = http.fetch("http://site.example/a.html", client="u1", timestamp=5.0)
+        assert response.ok
+        assert response.page.title == "a"
+        assert response.server_kind is ServerKind.CONTENT
+        assert response.body_size > 0
+
+    def test_fetch_feed(self, directory):
+        http = SimulatedHttp(directory)
+        response = http.fetch("http://site.example/feed.rss")
+        assert response.ok
+        assert response.feed is not None
+        assert response.feed.entry_count == 1
+
+    def test_unknown_host_404(self, directory):
+        http = SimulatedHttp(directory)
+        response = http.fetch("http://nowhere.example/")
+        assert response.status is HttpStatus.NOT_FOUND
+        assert not response.ok
+
+    def test_unknown_path_404(self, directory):
+        http = SimulatedHttp(directory)
+        response = http.fetch("http://site.example/missing.html")
+        assert response.status is HttpStatus.NOT_FOUND
+        assert response.server_kind is ServerKind.CONTENT
+
+    def test_request_log_records_clients(self, directory):
+        http = SimulatedHttp(directory)
+        http.fetch("http://site.example/a.html", client="u1", timestamp=1.0)
+        http.fetch("http://ads.example/beacon", client="u1", timestamp=2.0)
+        http.fetch("http://site.example/a.html", client="u2", timestamp=3.0)
+        assert http.request_count() == 3
+        assert len(http.requests_by_client("u1")) == 2
+        assert http.distinct_servers() == 2
+
+    def test_unlogged_fetch_not_recorded(self, directory):
+        http = SimulatedHttp(directory)
+        http.fetch("http://site.example/a.html", client="crawler", log=False)
+        assert http.request_count() == 0
+
+    def test_metrics_by_server_kind(self, directory):
+        http = SimulatedHttp(directory)
+        http.fetch("http://ads.example/beacon")
+        http.fetch("http://media.example/clip")
+        assert http.metrics.counter("http.server_kind.ad.requests").value == 1
+        assert http.metrics.counter("http.server_kind.multimedia.requests").value == 1

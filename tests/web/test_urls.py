@@ -1,0 +1,100 @@
+"""Tests for URL parsing and normalization."""
+
+import pytest
+
+from repro.web.urls import (
+    Url,
+    ad_server_name,
+    content_server_name,
+    is_feed_url,
+    make_url,
+    multimedia_server_name,
+    normalize_url,
+    parse_url,
+    server_of,
+    split_server_path,
+)
+
+
+class TestParseUrl:
+    def test_parses_scheme_host_path(self):
+        url = parse_url("http://example.com/news/today.html")
+        assert url.host == "example.com"
+        assert url.path == "/news/today.html"
+
+    def test_https_accepted(self):
+        assert parse_url("https://example.com/x").host == "example.com"
+
+    def test_bare_host(self):
+        url = parse_url("example.com")
+        assert url.host == "example.com"
+        assert url.path == "/"
+
+    def test_www_prefix_stripped(self):
+        assert parse_url("http://www.example.com/").host == "example.com"
+
+    def test_host_lowercased(self):
+        assert parse_url("http://EXAMPLE.com/Path").host == "example.com"
+        assert parse_url("http://EXAMPLE.com/Path").path == "/Path"
+
+    def test_query_split(self):
+        url = parse_url("http://example.com/search?q=reef")
+        assert url.path == "/search"
+        assert url.query == "q=reef"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            parse_url("   ")
+
+    def test_full_round_trip(self):
+        assert parse_url("http://example.com/a?b=c").full == "http://example.com/a?b=c"
+
+
+class TestUrlObject:
+    def test_requires_host(self):
+        with pytest.raises(ValueError):
+            Url(host="", path="/x")
+
+    def test_path_gets_leading_slash(self):
+        assert Url(host="h.example", path="page").path == "/page"
+
+    def test_sibling_same_host(self):
+        url = Url(host="h.example", path="/a")
+        assert url.sibling("/b") == Url(host="h.example", path="/b")
+
+    def test_str_is_full(self):
+        assert str(Url("h.example", "/x")) == "http://h.example/x"
+
+
+class TestHelpers:
+    def test_normalize_url(self):
+        assert normalize_url("HTTP://WWW.Example.com/a") == "http://example.com/a"
+
+    def test_server_of(self):
+        assert server_of("http://news.example/path") == "news.example"
+
+    def test_split_server_path(self):
+        assert split_server_path("http://a.example/x/y") == ("a.example", "/x/y")
+
+    @pytest.mark.parametrize(
+        "url,expected",
+        [
+            ("http://site.example/feed.rss", True),
+            ("http://site.example/index.xml", True),
+            ("http://site.example/atom/updates", True),
+            ("http://site.example/blog/feed", True),
+            ("http://site.example/article.html", False),
+            ("", False),
+        ],
+    )
+    def test_is_feed_url(self, url, expected):
+        assert is_feed_url(url) is expected
+
+    def test_make_url_normalizes(self):
+        assert make_url("WWW.Example.com", "page").full == "http://example.com/page"
+
+    def test_deterministic_server_names(self):
+        assert ad_server_name(3) == ad_server_name(3)
+        assert content_server_name(1) != content_server_name(2)
+        assert "media" in multimedia_server_name(0)
+        assert "adnet" in ad_server_name(0)

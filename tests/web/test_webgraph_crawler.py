@@ -1,0 +1,152 @@
+"""Tests for synthetic web construction and the crawler."""
+
+import pytest
+
+from repro.datasets.vocab import build_topic_model
+from repro.sim.rng import SeededRNG
+from repro.web.crawler import Crawler, PageClassification
+from repro.web.http import SimulatedHttp
+from repro.web.pages import WebPage
+from repro.web.servers import ContentServer, ServerKind
+from repro.web.urls import make_url
+from repro.web.webgraph import WebGraphConfig, build_synthetic_web
+
+
+class TestWebGraphConfig:
+    def test_rejects_zero_content_servers(self):
+        with pytest.raises(ValueError):
+            WebGraphConfig(num_content_servers=0)
+
+    def test_rejects_bad_feed_probability(self):
+        with pytest.raises(ValueError):
+            WebGraphConfig(feed_probability=1.5)
+
+
+class TestSyntheticWeb:
+    def test_server_counts_match_config(self, small_web):
+        stats = small_web.stats()
+        assert stats["content_servers"] == 30
+        assert stats["ad_servers"] == 20
+        assert stats["multimedia_servers"] == 3
+        assert stats["pages"] > 0
+
+    def test_every_content_page_is_hosted(self, small_web):
+        for page in small_web.all_pages:
+            server = small_web.directory.get(page.url.host)
+            assert server is not None
+            assert server.kind is ServerKind.CONTENT
+
+    def test_feeds_are_hosted_and_topical(self, small_web):
+        assert small_web.feeds
+        for feed in small_web.feeds:
+            server = small_web.directory.get(feed.url.host)
+            assert server is not None
+            assert feed.url.path in server.feeds
+            assert feed.topics
+
+    def test_pages_link_feeds_of_their_server(self, small_web):
+        for server in small_web.content_servers:
+            if not server.feeds:
+                continue
+            for page in server.pages.values():
+                assert {u.full for u in page.feed_links} == {
+                    make_url(server.host, path).full for path in server.feeds
+                }
+
+    def test_topic_queries(self, small_web):
+        topic = small_web.topic_model.topic_names()[0]
+        for server in small_web.servers_for_topic(topic):
+            assert topic in server.topics
+        for page in small_web.pages_for_topic(topic):
+            assert topic in page.topics
+
+    def test_random_content_page(self, small_web):
+        page = small_web.random_content_page(SeededRNG(3))
+        assert page in small_web.all_pages
+
+    def test_link_graph_nodes_are_pages(self, small_web):
+        assert small_web.link_graph.number_of_nodes() == len(small_web.all_pages)
+
+    def test_determinism(self):
+        def build():
+            rng = SeededRNG(55)
+            model = build_topic_model(rng.fork("topics"))
+            config = WebGraphConfig(
+                num_content_servers=10, num_ad_servers=5, num_multimedia_servers=1,
+                pages_per_server_mean=3, page_length_words=40,
+            )
+            web = build_synthetic_web(model, rng.fork("web"), config)
+            return [page.url.full for page in web.all_pages], [f.url.full for f in web.feeds]
+
+        assert build() == build()
+
+
+class TestCrawler:
+    @pytest.fixture
+    def crawler(self, small_web):
+        return Crawler(SimulatedHttp(small_web.directory))
+
+    def test_content_page_classified_and_keywords_extracted(self, small_web, crawler):
+        page = small_web.all_pages[0]
+        result = crawler.crawl_url(page.url.full)
+        assert result.classification is PageClassification.CONTENT
+        assert result.keywords
+        assert result.server == page.url.host
+
+    def test_feed_autodiscovery(self, small_web, crawler):
+        server = next(s for s in small_web.content_servers if s.feeds)
+        page = next(iter(server.pages.values()))
+        result = crawler.crawl_url(page.url.full)
+        assert set(result.feed_urls) == {make_url(server.host, p).full for p in server.feeds}
+        assert set(crawler.discovered_feeds()) == set(result.feed_urls)
+
+    def test_ad_server_flagged_and_not_recrawled(self, small_web, crawler):
+        ad_host = small_web.ad_servers[0].host
+        first = crawler.crawl_url(f"http://{ad_host}/beacon")
+        assert first.classification is PageClassification.AD
+        assert ad_host in crawler.flagged_servers
+        again = crawler.crawl_url(f"http://{ad_host}/other")
+        assert again.classification is PageClassification.AD
+        assert crawler.metrics.counter("crawler.skipped_flagged").value == 1
+
+    def test_multimedia_flagged(self, small_web, crawler):
+        media_host = small_web.multimedia_servers[0].host
+        result = crawler.crawl_url(f"http://{media_host}/clip")
+        assert result.classification is PageClassification.MULTIMEDIA
+
+    def test_unreachable(self, crawler):
+        result = crawler.crawl_url("http://no-such-host.example/")
+        assert result.classification is PageClassification.UNREACHABLE
+
+    def test_spam_detection(self):
+        directory_server = ContentServer("spam.example")
+        directory_server.add_page(
+            WebPage(
+                url=make_url("spam.example", "/win.html"),
+                title="win",
+                text="casino lottery winner prizes click now",
+            )
+        )
+        from repro.web.servers import ServerDirectory
+
+        directory = ServerDirectory()
+        directory.add(directory_server)
+        crawler = Crawler(SimulatedHttp(directory))
+        result = crawler.crawl_url("http://spam.example/win.html")
+        assert result.classification is PageClassification.SPAM
+        assert "spam.example" in crawler.flagged_servers
+
+    def test_batch_skips_duplicates(self, small_web, crawler):
+        page = small_web.all_pages[0]
+        results = crawler.crawl_batch([page.url.full, page.url.full])
+        assert len(results) == 1
+        assert crawler.metrics.counter("crawler.skipped_duplicate").value == 1
+
+    def test_classification_counts_and_keyword_profile(self, small_web, crawler):
+        urls = [page.url.full for page in small_web.all_pages[:5]]
+        urls.append(f"http://{small_web.ad_servers[0].host}/beacon")
+        crawler.crawl_batch(urls)
+        counts = crawler.classification_counts()
+        assert counts.get("content") == 5
+        assert counts.get("ad") == 1
+        assert crawler.keyword_profile()
