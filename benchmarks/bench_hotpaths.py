@@ -1,0 +1,121 @@
+"""Hot-path micro-benchmarks (perf-regression harness).
+
+These pin the cost of the two inner loops everything else sits on:
+
+* inverted-index mutation churn (add/remove cycles, as the crawler
+  re-indexes pages and spam pages are dropped);
+* BM25 top-k ranking over a mid-sized archive (the video-story ranking
+  path of experiment E2);
+* single-event subscription matching (the §5.3 substrate hot loop);
+* range-heavy matching, where every subscription carries inequality
+  predicates and the engine cannot lean on the equality hash index.
+
+Run ``python benchmarks/run_hotpath_bench.py --label <name>`` to record a
+named snapshot into ``BENCH_PR1.json``; see PERFORMANCE.md.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.substrate import _make_event, _make_subscription
+from repro.ir.index import Document, InvertedIndex
+from repro.ir.ranking import BM25Ranker
+from repro.pubsub.events import Event
+from repro.pubsub.matching import MatchingEngine
+from repro.pubsub.subscriptions import Operator, Predicate, Subscription
+from repro.sim.rng import SeededRNG, ZipfSampler
+
+
+def _synthetic_documents(
+    num_docs: int, vocab_size: int = 1200, words_per_doc: int = 100, seed: int = 17
+):
+    """Zipf-distributed synthetic documents (realistic term skew)."""
+    rng = SeededRNG(seed)
+    sampler = ZipfSampler(vocab_size, 1.05, rng.fork("zipf"))
+    vocabulary = [f"term{i:04d}" for i in range(vocab_size)]
+    documents = []
+    for index in range(num_docs):
+        words = [vocabulary[sampler.sample()] for _ in range(words_per_doc)]
+        documents.append(Document(doc_id=f"doc{index:05d}", text=" ".join(words)))
+    return documents
+
+
+def _build_index(num_docs: int) -> InvertedIndex:
+    index = InvertedIndex()
+    for document in _synthetic_documents(num_docs):
+        index.add(document)
+    return index
+
+
+def test_hp_index_add_remove_churn(benchmark):
+    """Remove + re-add a batch of documents against a 1.5k-doc index.
+
+    The seed ``remove()`` scanned the whole vocabulary per call; the
+    optimized index walks only the document's own terms.
+    """
+    index = _build_index(1500)
+    churn = [index.document(f"doc{i:05d}") for i in range(0, 1500, 15)]
+
+    def run():
+        for document in churn:
+            index.remove(document.doc_id)
+        for document in churn:
+            index.add(document)
+        return index.num_documents
+
+    result = benchmark(run)
+    assert result == 1500
+
+
+def test_hp_bm25_topk_rank(benchmark):
+    """BM25 top-10 over a 2k-document archive with an 8-term query."""
+    index = _build_index(2000)
+    ranker = BM25Ranker(index)
+    # Mid-frequency terms: selective enough to score, common enough to
+    # produce large candidate sets (the expensive case for full sorting).
+    query = [f"term{i:04d}" for i in (3, 7, 12, 20, 33, 50, 80, 130)]
+
+    results = benchmark(lambda: ranker.rank(query, limit=10))
+    assert len(results) == 10
+    assert results[0].rank == 1
+
+
+def test_hp_single_event_match(benchmark):
+    """One event against 10k mixed equality/range subscriptions (§5.3)."""
+    rng = SeededRNG(23)
+    topics = [f"topic{i:03d}" for i in range(50)]
+    engine = MatchingEngine()
+    for index in range(10_000):
+        engine.add(_make_subscription(rng, topics, subscriber=f"user{index % 200}"))
+    event = _make_event(rng, topics, timestamp=0.0)
+
+    matched = benchmark(lambda: engine.match(event))
+    assert isinstance(matched, list)
+
+
+def test_hp_range_heavy_match(benchmark):
+    """One event against 5k subscriptions that are *all* range predicates.
+
+    No equality predicates at all, so the seed engine degenerated to a
+    linear scan with two ``Predicate.matches`` calls per subscription; the
+    optimized engine answers each bound with a bisect over a sorted index.
+    """
+    rng = SeededRNG(31)
+    engine = MatchingEngine()
+    for index in range(5_000):
+        low = rng.randint(0, 500)
+        high = low + rng.randint(10, 200)
+        engine.add(
+            Subscription(
+                event_type="ticker.quote",
+                predicates=(
+                    Predicate("price", Operator.GE, low),
+                    Predicate("price", Operator.LT, high),
+                ),
+                subscriber=f"trader{index % 100}",
+            )
+        )
+    event = Event(event_type="ticker.quote", attributes={"price": 250, "venue": "X"})
+
+    matched = benchmark(lambda: engine.match(event))
+    assert len(matched) > 0
+    assert all(sub.matches(event) for sub in matched)

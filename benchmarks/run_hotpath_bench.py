@@ -1,0 +1,132 @@
+#!/usr/bin/env python
+"""Run the hot-path micro-benchmarks and record a named snapshot.
+
+Usage::
+
+    python benchmarks/run_hotpath_bench.py --label after [--output BENCH_PR1.json]
+    python benchmarks/run_hotpath_bench.py --label before --import-raw raw.json
+
+Each invocation merges one labeled snapshot (per-test mean/median/stddev
+seconds and round counts) into the output JSON and, whenever a ``before``
+snapshot exists, recomputes every other label's speedup relative to it.
+Future PRs append new labels to the same file to keep a perf trajectory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_OUTPUT = os.path.join(REPO_ROOT, "BENCH_PR1.json")
+BENCH_TARGETS = [
+    "benchmarks/bench_hotpaths.py",
+    "benchmarks/bench_x3_substrate_scale.py::test_x3a_single_event_match_latency",
+]
+
+
+def run_benchmarks() -> dict:
+    """Run pytest-benchmark on the hot-path suite; return the raw JSON."""
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as handle:
+        raw_path = handle.name
+    try:
+        env = dict(os.environ)
+        src = os.path.join(REPO_ROOT, "src")
+        env["PYTHONPATH"] = src + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "pytest",
+                *BENCH_TARGETS,
+                "-q",
+                f"--benchmark-json={raw_path}",
+            ],
+            cwd=REPO_ROOT,
+            env=env,
+            check=True,
+        )
+        with open(raw_path) as raw:
+            return json.load(raw)
+    finally:
+        os.unlink(raw_path)
+
+
+def snapshot_from_raw(raw: dict) -> dict:
+    """Reduce a pytest-benchmark JSON payload to the stats we track."""
+    snapshot = {}
+    for bench in raw.get("benchmarks", []):
+        stats = bench["stats"]
+        snapshot[bench["name"]] = {
+            "mean_s": stats["mean"],
+            "median_s": stats["median"],
+            "stddev_s": stats["stddev"],
+            "min_s": stats["min"],
+            "rounds": stats["rounds"],
+        }
+    return snapshot
+
+
+def merge(output_path: str, label: str, snapshot: dict) -> dict:
+    if os.path.exists(output_path):
+        with open(output_path) as existing:
+            document = json.load(existing)
+    else:
+        document = {
+            "description": "Hot-path perf trajectory (benchmarks/bench_hotpaths.py); "
+            "see PERFORMANCE.md",
+            "snapshots": {},
+            "speedups_vs_before": {},
+        }
+    document["snapshots"][label] = snapshot
+    before = document["snapshots"].get("before")
+    if before:
+        speedups = {}
+        for other_label, other in document["snapshots"].items():
+            if other_label == "before":
+                continue
+            speedups[other_label] = {
+                name: round(before[name]["mean_s"] / stats["mean_s"], 2)
+                for name, stats in other.items()
+                if name in before and stats["mean_s"] > 0
+            }
+        document["speedups_vs_before"] = speedups
+    with open(output_path, "w") as out:
+        json.dump(document, out, indent=2, sort_keys=True)
+        out.write("\n")
+    return document
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--label", required=True, help="snapshot name, e.g. before/after")
+    parser.add_argument("--output", default=DEFAULT_OUTPUT)
+    parser.add_argument(
+        "--import-raw",
+        dest="import_raw",
+        help="merge an existing pytest-benchmark JSON instead of running",
+    )
+    args = parser.parse_args()
+    if args.import_raw:
+        with open(args.import_raw) as handle:
+            raw = json.load(handle)
+    else:
+        raw = run_benchmarks()
+    document = merge(args.output, args.label, snapshot_from_raw(raw))
+    speedups = document.get("speedups_vs_before", {}).get(args.label)
+    if speedups:
+        print(f"speedups vs before ({args.label}):")
+        for name, ratio in sorted(speedups.items()):
+            print(f"  {name}: {ratio:.2f}x")
+    print(f"wrote snapshot {args.label!r} to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

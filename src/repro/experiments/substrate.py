@@ -71,7 +71,7 @@ def run_matching_scalability(
         start = time.perf_counter()
         matches = 0
         for event in events:
-            matches += len(engine.match(event))
+            matches += engine.match_count(event)
         elapsed = time.perf_counter() - start
         result.add_row(
             subscriptions=count,

@@ -16,7 +16,14 @@ from repro.ir.metrics import (
     precision_improvement,
     recall_at_k,
 )
-from repro.ir.ranking import BM25Ranker, RankedResult, TfIdfRanker
+from repro.ir.ranking import (
+    BM25Ranker,
+    RankedResult,
+    TfIdfRanker,
+    merge_rankings,
+    naive_bm25_score_all,
+    naive_tfidf_score_all,
+)
 from repro.ir.stemming import PorterStemmer
 from repro.ir.termselect import OfferWeightSelector, TermScore
 from repro.ir.tokenize import STOPWORDS, TextAnalyzer, tokenize
@@ -32,6 +39,9 @@ __all__ = [
     "TfIdfRanker",
     "BM25Ranker",
     "RankedResult",
+    "merge_rankings",
+    "naive_bm25_score_all",
+    "naive_tfidf_score_all",
     "OfferWeightSelector",
     "TermScore",
     "precision_at_k",

@@ -4,14 +4,24 @@ The index keeps per-term posting lists with term frequencies, plus the
 document-length statistics that BM25 needs.  Documents can be added
 incrementally (the crawler indexes pages as they are fetched) and removed
 (pages reclassified as ads/spam are dropped from the term statistics).
+
+Hot-path notes (see PERFORMANCE.md): the index keeps a doc -> term-vector
+reverse map so ``remove()`` touches only the document's own terms instead
+of scanning the vocabulary, exposes the raw posting dictionaries for
+rankers (``postings_map``/``doc_length_map``) so scoring loops avoid
+per-call :class:`Posting` allocation and sorting, and carries a ``version``
+counter that mutations bump so rankers can cache derived statistics
+(idf, length norms) until the index actually changes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional
 
 from repro.ir.tokenize import TextAnalyzer
+
+_EMPTY_POSTINGS: Dict[str, int] = {}
 
 
 @dataclass(frozen=True)
@@ -39,7 +49,11 @@ class InvertedIndex:
         self._postings: Dict[str, Dict[str, int]] = {}
         self._documents: Dict[str, Document] = {}
         self._doc_lengths: Dict[str, int] = {}
+        # Reverse map doc_id -> {term: frequency}; makes remove() proportional
+        # to the document's own vocabulary and terms_for_document() O(1).
+        self._doc_terms: Dict[str, Dict[str, int]] = {}
         self._total_length = 0
+        self._version = 0
 
     # -- mutation ----------------------------------------------------------
 
@@ -48,11 +62,20 @@ class InvertedIndex:
         if document.doc_id in self._documents:
             self.remove(document.doc_id)
         analyzed = self.analyzer.analyze(document.text)
-        self._documents[document.doc_id] = document
-        self._doc_lengths[document.doc_id] = analyzed.length
+        term_frequencies = dict(analyzed.term_frequencies)
+        doc_id = document.doc_id
+        self._documents[doc_id] = document
+        self._doc_lengths[doc_id] = analyzed.length
+        self._doc_terms[doc_id] = term_frequencies
         self._total_length += analyzed.length
-        for term, frequency in analyzed.term_frequencies.items():
-            self._postings.setdefault(term, {})[document.doc_id] = frequency
+        postings = self._postings
+        for term, frequency in term_frequencies.items():
+            bucket = postings.get(term)
+            if bucket is None:
+                postings[term] = {doc_id: frequency}
+            else:
+                bucket[doc_id] = frequency
+        self._version += 1
 
     def add_text(self, doc_id: str, text: str, **metadata: object) -> Document:
         """Convenience: wrap text in a Document and index it."""
@@ -61,23 +84,30 @@ class InvertedIndex:
         return document
 
     def remove(self, doc_id: str) -> bool:
-        """Remove a document; returns False if it was not indexed."""
+        """Remove a document; returns False if it was not indexed.
+
+        Cost is O(|terms(d)|) via the reverse map, not O(|vocabulary|).
+        """
         document = self._documents.pop(doc_id, None)
         if document is None:
             return False
-        length = self._doc_lengths.pop(doc_id, 0)
-        self._total_length -= length
-        empty_terms = []
-        for term, postings in self._postings.items():
-            if doc_id in postings:
-                del postings[doc_id]
-                if not postings:
-                    empty_terms.append(term)
-        for term in empty_terms:
-            del self._postings[term]
+        self._total_length -= self._doc_lengths.pop(doc_id, 0)
+        postings = self._postings
+        for term in self._doc_terms.pop(doc_id, ()):
+            bucket = postings.get(term)
+            if bucket is not None:
+                bucket.pop(doc_id, None)
+                if not bucket:
+                    del postings[term]
+        self._version += 1
         return True
 
     # -- statistics ----------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Mutation counter; changes whenever term statistics may change."""
+        return self._version
 
     @property
     def num_documents(self) -> int:
@@ -106,37 +136,54 @@ class InvertedIndex:
         return self._doc_lengths.get(doc_id, 0)
 
     def document_frequency(self, term: str) -> int:
-        """Number of documents containing ``term`` (term must be analyzed form)."""
-        return len(self._postings.get(term, {}))
+        """Number of documents containing ``term`` (term must be analyzed form).
+
+        O(1): the df of a term is the size of its posting dictionary, which
+        add()/remove() keep incrementally correct.
+        """
+        bucket = self._postings.get(term)
+        return len(bucket) if bucket is not None else 0
 
     def term_frequency(self, term: str, doc_id: str) -> int:
-        return self._postings.get(term, {}).get(doc_id, 0)
+        return self._postings.get(term, _EMPTY_POSTINGS).get(doc_id, 0)
 
     def postings(self, term: str) -> List[Posting]:
         return [
             Posting(doc_id, frequency)
-            for doc_id, frequency in sorted(self._postings.get(term, {}).items())
+            for doc_id, frequency in sorted(self._postings.get(term, _EMPTY_POSTINGS).items())
         ]
+
+    def postings_map(self, term: str) -> Mapping[str, int]:
+        """Raw posting dictionary ``doc_id -> term frequency`` for ``term``.
+
+        This is the zero-copy scoring interface: no :class:`Posting`
+        allocation and no sorting.  Callers MUST NOT mutate the result.
+        """
+        return self._postings.get(term, _EMPTY_POSTINGS)
+
+    def doc_length_map(self) -> Mapping[str, int]:
+        """Raw ``doc_id -> length`` map (read-only; do not mutate)."""
+        return self._doc_lengths
 
     def vocabulary(self) -> List[str]:
         return sorted(self._postings)
 
     def collection_frequency(self, term: str) -> int:
         """Total occurrences of ``term`` across the collection."""
-        return sum(self._postings.get(term, {}).values())
+        return sum(self._postings.get(term, _EMPTY_POSTINGS).values())
 
     def terms_for_document(self, doc_id: str) -> Dict[str, int]:
-        """Term frequency vector for one document (recomputed from text)."""
-        document = self._documents.get(doc_id)
-        if document is None:
+        """Term frequency vector for one document (from the reverse map)."""
+        term_frequencies = self._doc_terms.get(doc_id)
+        if term_frequencies is None:
             return {}
-        return dict(self.analyzer.analyze(document.text).term_frequencies)
+        return dict(term_frequencies)
 
     def candidate_documents(self, terms: Iterable[str]) -> List[str]:
         """Union of documents containing any of ``terms``."""
         seen: Dict[str, None] = {}
         for term in terms:
-            for doc_id in self._postings.get(term, {}):
+            for doc_id in self._postings.get(term, _EMPTY_POSTINGS):
                 seen[doc_id] = None
         return list(seen)
 

@@ -4,13 +4,24 @@ The paper ranks video news stories with "the BM25 algorithm [16] with
 parameters trained from a previous experiment [9]"; the default ``k1`` and
 ``b`` here follow the usual trained values for news-like text.  TF-IDF is
 provided as a secondary ranker used in ablation benchmarks.
+
+Hot-path notes (see PERFORMANCE.md): scoring iterates the index's raw
+posting dictionaries (``InvertedIndex.postings_map``) in a single pass over
+local variables — no per-call :class:`~repro.ir.index.Posting` allocation,
+no posting-list sorting — with idf and BM25 length norms cached per index
+``version``.  When a result ``limit`` is set, ``rank``/``rank_weighted``
+and ``merge_rankings`` use heap-based top-k selection (O(n log k)) instead
+of sorting every scored document.  ``naive_bm25_score_all`` and
+``naive_tfidf_score_all`` keep the seed's straightforward loops as the
+reference implementations the property tests compare against.
 """
 
 from __future__ import annotations
 
+import heapq
 import math
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.ir.index import InvertedIndex
 
@@ -24,28 +35,50 @@ class RankedResult:
     rank: int
 
 
+def _top_items(scores: Dict[str, float], limit: Optional[int]) -> List[Tuple[str, float]]:
+    """Items of ``scores`` ordered by (-score, doc_id), truncated to ``limit``.
+
+    Uses a heap when ``limit`` is set and smaller than the candidate set,
+    which turns the O(n log n) full sort into O(n log k).
+    """
+    key = lambda item: (-item[1], item[0])
+    if limit is not None and 0 <= limit < len(scores):
+        return heapq.nsmallest(limit, scores.items(), key=key)
+    return sorted(scores.items(), key=key)
+
+
+def _to_results(ordered: Sequence[Tuple[str, float]]) -> List[RankedResult]:
+    return [
+        RankedResult(doc_id=doc_id, score=score, rank=position)
+        for position, (doc_id, score) in enumerate(ordered, start=1)
+    ]
+
+
 class _BaseRanker:
     """Shared query-handling for index-backed rankers."""
 
     def __init__(self, index: InvertedIndex) -> None:
         self.index = index
+        self._idf_cache: Dict[str, float] = {}
+        self._cache_version = -1
 
     def _query_terms(self, query) -> List[str]:
         if isinstance(query, str):
             return self.index.analyzer.analyze_terms(query)
         return list(query)
 
+    def _refresh_cache(self) -> None:
+        """Drop derived statistics when the index has mutated since last use."""
+        version = self.index.version
+        if version != self._cache_version:
+            self._idf_cache.clear()
+            self._cache_version = version
+
     def rank(self, query, limit: Optional[int] = None) -> List[RankedResult]:
         """Rank all candidate documents for ``query`` (string or term list)."""
         terms = self._query_terms(query)
         scores = self.score_all(terms)
-        ordered = sorted(scores.items(), key=lambda item: (-item[1], item[0]))
-        if limit is not None:
-            ordered = ordered[:limit]
-        return [
-            RankedResult(doc_id=doc_id, score=score, rank=position)
-            for position, (doc_id, score) in enumerate(ordered, start=1)
-        ]
+        return _to_results(_top_items(scores, limit))
 
     def score_all(self, terms: Sequence[str]) -> Dict[str, float]:
         raise NotImplementedError
@@ -56,22 +89,31 @@ class TfIdfRanker(_BaseRanker):
 
     def score_all(self, terms: Sequence[str]) -> Dict[str, float]:
         scores: Dict[str, float] = {}
-        n = self.index.num_documents
+        index = self.index
+        n = index.num_documents
         if n == 0:
             return scores
+        self._refresh_cache()
+        idf_cache = self._idf_cache
+        log = math.log
+        scores_get = scores.get
         for term in terms:
-            df = self.index.document_frequency(term)
-            if df == 0:
+            idf = idf_cache.get(term)
+            if idf is None:
+                df = index.document_frequency(term)
+                idf = log((n + 1) / (df + 0.5)) if df else 0.0
+                idf_cache[term] = idf
+            if idf == 0.0:
                 continue
-            idf = math.log((n + 1) / (df + 0.5))
-            for posting in self.index.postings(term):
-                tf_weight = 1.0 + math.log(posting.term_frequency)
-                scores[posting.doc_id] = scores.get(posting.doc_id, 0.0) + tf_weight * idf
+            for doc_id, tf in index.postings_map(term).items():
+                scores[doc_id] = scores_get(doc_id, 0.0) + (1.0 + log(tf)) * idf
         # Normalize by document length so long documents do not dominate.
-        for doc_id in list(scores):
-            length = self.index.document_length(doc_id)
+        lengths = index.doc_length_map()
+        sqrt = math.sqrt
+        for doc_id in scores:
+            length = lengths.get(doc_id, 0)
             if length > 0:
-                scores[doc_id] /= math.sqrt(length)
+                scores[doc_id] /= sqrt(length)
         return scores
 
 
@@ -95,6 +137,15 @@ class BM25Ranker(_BaseRanker):
             raise ValueError("b must be within [0, 1]")
         self.k1 = k1
         self.b = b
+        # doc_id -> k1 * (1 - b + b * |d| / avgdl), cached per index version.
+        self._norm_cache: Dict[str, float] = {}
+
+    def _refresh_cache(self) -> None:
+        version = self.index.version
+        if version != self._cache_version:
+            self._idf_cache.clear()
+            self._norm_cache.clear()
+            self._cache_version = version
 
     def idf(self, term: str) -> float:
         n = self.index.num_documents
@@ -109,20 +160,38 @@ class BM25Ranker(_BaseRanker):
         term_weights: Optional[Dict[str, float]] = None,
     ) -> Dict[str, float]:
         scores: Dict[str, float] = {}
-        avgdl = self.index.average_document_length
+        index = self.index
+        avgdl = index.average_document_length
         if avgdl == 0:
             return scores
+        self._refresh_cache()
+        n = index.num_documents
+        k1 = self.k1
+        k1_plus_1 = k1 + 1.0
+        base_norm = k1 * (1.0 - self.b)
+        length_coef = k1 * self.b / avgdl
+        idf_cache = self._idf_cache
+        norms = self._norm_cache
+        lengths = index.doc_length_map()
+        log = math.log
+        scores_get = scores.get
+        norms_get = norms.get
         for term in terms:
-            idf = self.idf(term)
+            idf = idf_cache.get(term)
+            if idf is None:
+                df = index.document_frequency(term)
+                idf = log((n - df + 0.5) / (df + 0.5) + 1.0)
+                idf_cache[term] = idf
             if idf <= 0:
                 continue
             weight = 1.0 if term_weights is None else term_weights.get(term, 1.0)
-            for posting in self.index.postings(term):
-                tf = posting.term_frequency
-                doc_length = self.index.document_length(posting.doc_id)
-                denominator = tf + self.k1 * (1 - self.b + self.b * doc_length / avgdl)
-                contribution = idf * weight * tf * (self.k1 + 1) / denominator
-                scores[posting.doc_id] = scores.get(posting.doc_id, 0.0) + contribution
+            multiplier = idf * weight * k1_plus_1
+            for doc_id, tf in index.postings_map(term).items():
+                norm = norms_get(doc_id)
+                if norm is None:
+                    norm = base_norm + length_coef * lengths[doc_id]
+                    norms[doc_id] = norm
+                scores[doc_id] = scores_get(doc_id, 0.0) + multiplier * tf / (tf + norm)
         return scores
 
     def rank_weighted(
@@ -132,22 +201,19 @@ class BM25Ranker(_BaseRanker):
     ) -> List[RankedResult]:
         """Rank using a weighted query (term -> weight)."""
         scores = self.score_all(list(term_weights), term_weights=term_weights)
-        ordered = sorted(scores.items(), key=lambda item: (-item[1], item[0]))
-        if limit is not None:
-            ordered = ordered[:limit]
-        return [
-            RankedResult(doc_id=doc_id, score=score, rank=position)
-            for position, (doc_id, score) in enumerate(ordered, start=1)
-        ]
+        return _to_results(_top_items(scores, limit))
 
 
 def merge_rankings(
-    rankings: Iterable[List[RankedResult]], weights: Optional[Sequence[float]] = None
+    rankings: Iterable[List[RankedResult]],
+    weights: Optional[Sequence[float]] = None,
+    limit: Optional[int] = None,
 ) -> List[RankedResult]:
     """Combine several rankings by weighted reciprocal-rank fusion.
 
     Used by the collaborative recommender to merge recommendation lists
-    contributed by several peers in a group.
+    contributed by several peers in a group.  ``limit`` truncates the fused
+    list using the same top-k selection as ``rank()``.
     """
     ranking_list = list(rankings)
     if weights is None:
@@ -155,13 +221,67 @@ def merge_rankings(
     if len(weights) != len(ranking_list):
         raise ValueError("weights must match the number of rankings")
     fused: Dict[str, float] = {}
+    fused_get = fused.get
     for ranking, weight in zip(ranking_list, weights):
         for result in ranking:
-            fused[result.doc_id] = fused.get(result.doc_id, 0.0) + weight / (
+            fused[result.doc_id] = fused_get(result.doc_id, 0.0) + weight / (
                 60.0 + result.rank
             )
-    ordered = sorted(fused.items(), key=lambda item: (-item[1], item[0]))
-    return [
-        RankedResult(doc_id=doc_id, score=score, rank=position)
-        for position, (doc_id, score) in enumerate(ordered, start=1)
-    ]
+    return _to_results(_top_items(fused, limit))
+
+
+# -- reference implementations (property-test oracles) -----------------------
+
+
+def naive_bm25_score_all(
+    index: InvertedIndex,
+    terms: Sequence[str],
+    k1: float = 1.2,
+    b: float = 0.75,
+    term_weights: Optional[Dict[str, float]] = None,
+) -> Dict[str, float]:
+    """The seed's straightforward BM25 loop, kept as the scoring oracle.
+
+    Walks the allocated/sorted ``postings()`` lists and recomputes idf and
+    the length norm per posting; the optimized ``BM25Ranker.score_all`` must
+    produce identical scores (see tests/property/test_hotpath_equivalence.py).
+    """
+    scores: Dict[str, float] = {}
+    avgdl = index.average_document_length
+    if avgdl == 0:
+        return scores
+    n = index.num_documents
+    for term in terms:
+        df = index.document_frequency(term)
+        idf = math.log((n - df + 0.5) / (df + 0.5) + 1.0)
+        if idf <= 0:
+            continue
+        weight = 1.0 if term_weights is None else term_weights.get(term, 1.0)
+        for posting in index.postings(term):
+            tf = posting.term_frequency
+            doc_length = index.document_length(posting.doc_id)
+            denominator = tf + k1 * (1 - b + b * doc_length / avgdl)
+            contribution = idf * weight * tf * (k1 + 1) / denominator
+            scores[posting.doc_id] = scores.get(posting.doc_id, 0.0) + contribution
+    return scores
+
+
+def naive_tfidf_score_all(index: InvertedIndex, terms: Sequence[str]) -> Dict[str, float]:
+    """The seed's straightforward TF-IDF loop, kept as the scoring oracle."""
+    scores: Dict[str, float] = {}
+    n = index.num_documents
+    if n == 0:
+        return scores
+    for term in terms:
+        df = index.document_frequency(term)
+        if df == 0:
+            continue
+        idf = math.log((n + 1) / (df + 0.5))
+        for posting in index.postings(term):
+            tf_weight = 1.0 + math.log(posting.term_frequency)
+            scores[posting.doc_id] = scores.get(posting.doc_id, 0.0) + tf_weight * idf
+    for doc_id in list(scores):
+        length = index.document_length(doc_id)
+        if length > 0:
+            scores[doc_id] /= math.sqrt(length)
+    return scores

@@ -18,6 +18,7 @@ preferred over one-off mentions.
 
 from __future__ import annotations
 
+import heapq
 import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
@@ -105,6 +106,13 @@ class OfferWeightSelector:
         ``attention_documents`` is a sequence of term-frequency dictionaries,
         one per attention document (page the user read).
         """
+        scores = self._score_terms_unsorted(attention_documents)
+        scores.sort(key=lambda score: (-score.offer_weight, score.term))
+        return scores
+
+    def _score_terms_unsorted(
+        self, attention_documents: Sequence[Dict[str, int]]
+    ) -> List[TermScore]:
         relevant_total = len(attention_documents)
         if relevant_total == 0:
             return []
@@ -142,7 +150,6 @@ class OfferWeightSelector:
                     attention_frequency=frequencies[term],
                 )
             )
-        scores.sort(key=lambda score: (-score.offer_weight, score.term))
         return scores
 
     def select(
@@ -150,10 +157,19 @@ class OfferWeightSelector:
         attention_documents: Sequence[Dict[str, int]],
         n_terms: int,
     ) -> List[TermScore]:
-        """Return the top ``n_terms`` terms by (modified) Offer Weight."""
+        """Return the top ``n_terms`` terms by (modified) Offer Weight.
+
+        Heap-based top-k selection: the query builder only ever needs the
+        first ``n_terms`` entries, so the candidate list is never fully
+        sorted (O(candidates log n_terms)).
+        """
         if n_terms <= 0:
             raise ValueError("n_terms must be positive")
-        return self.score_terms(attention_documents)[:n_terms]
+        return heapq.nsmallest(
+            n_terms,
+            self._score_terms_unsorted(attention_documents),
+            key=lambda score: (-score.offer_weight, score.term),
+        )
 
     def build_query(
         self,

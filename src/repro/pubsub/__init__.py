@@ -23,7 +23,7 @@ for Reef to target:
 from repro.pubsub.api import DeliveredEvent, PubSubSystem
 from repro.pubsub.events import AttributeValue, Event, EventSchema
 from repro.pubsub.interface import AttributeSpec, InterfaceSpec
-from repro.pubsub.matching import MatchingEngine
+from repro.pubsub.matching import MatchingEngine, NaiveMatchingEngine
 from repro.pubsub.subscriptions import (
     Operator,
     Predicate,
@@ -42,6 +42,7 @@ __all__ = [
     "InterfaceSpec",
     "AttributeSpec",
     "MatchingEngine",
+    "NaiveMatchingEngine",
     "PubSubSystem",
     "DeliveredEvent",
 ]

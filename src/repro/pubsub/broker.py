@@ -115,7 +115,9 @@ class Broker:
         for neighbour, engine in self.remote_engines.items():
             if neighbour == exclude:
                 continue
-            if engine.match(event):
+            # matches_any() is the early-exit fast path: forwarding only
+            # needs the boolean, not the sorted list of matches.
+            if engine.matches_any(event):
                 interested.append(neighbour)
         return sorted(interested)
 

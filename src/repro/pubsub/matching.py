@@ -4,85 +4,400 @@ Implements the classic counting algorithm used by Gryphon/Siena-style
 brokers: predicates are indexed by (event type, attribute, operator,
 value); when an event arrives, each of its attributes probes the index and
 increments a per-subscription hit counter; subscriptions whose counter
-reaches their predicate count match.  Equality predicates are matched via a
-hash lookup; inequality and string predicates fall back to per-attribute
-candidate lists, which keeps the structure simple while still avoiding a
-scan over all subscriptions for the common case.
+reaches their predicate count match.
+
+Hot-path notes (see PERFORMANCE.md): subscriptions live in dense integer
+slots so the per-event hit counters are a preallocated integer array
+indexed by slot (no per-event ``defaultdict`` and no string hashing in the
+inner loop).  Equality and EXISTS predicates are hash-indexed; numeric
+LT/LE/GT/GE predicates live in per-(event type, attribute, operator)
+sorted threshold arrays answered with a ``bisect`` prefix/suffix walk, so
+range matching is O(log n + hits) per attribute instead of a linear scan
+with ``Predicate.matches`` calls.  Only the leftover predicate shapes
+(NE/PREFIX/CONTAINS and ranges over non-numeric values) fall back to a
+per-attribute candidate scan.  ``remove()`` walks just the subscription's
+own predicates.  :class:`NaiveMatchingEngine` retains the brute-force
+linear scan as the oracle the property tests compare against.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
-from dataclasses import dataclass
+from bisect import bisect_left, bisect_right
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.pubsub.events import Event
 from repro.pubsub.subscriptions import Operator, Predicate, Subscription
 
+# Range-indexable operators, keyed by how an event value v selects the
+# matching prefix/suffix of the sorted threshold array.
+_RANGE_OPS = (Operator.LT, Operator.LE, Operator.GT, Operator.GE)
 
-@dataclass
-class _IndexedSubscription:
-    subscription: Subscription
-    predicate_count: int
+
+def _is_number(value: object) -> bool:
+    # bool is an int subtype and compares numerically, matching the
+    # semantics of Predicate.matches, so it is deliberately included.
+    # NaN is excluded (value != value): it would corrupt the sorted
+    # threshold arrays and the bisect walk; the linear fallback gives it
+    # the seed semantics (all comparisons false) instead.
+    return isinstance(value, (int, float)) and value == value
 
 
 class MatchingEngine:
     """Counting-based subscription matcher."""
 
     def __init__(self) -> None:
-        self._subscriptions: Dict[str, _IndexedSubscription] = {}
-        # Equality index: (event_type, attribute, value) -> set of sub ids.
-        self._equality_index: Dict[Tuple[str, str, object], Set[str]] = defaultdict(set)
-        # Other predicates: (event_type, attribute) -> list of (sub id, predicate).
-        self._other_index: Dict[Tuple[str, str], List[Tuple[str, Predicate]]] = defaultdict(list)
-        # Subscriptions with no predicates match every event of their type.
-        self._wildcards: Dict[str, Set[str]] = defaultdict(set)
+        # Dense slot storage: slot -> subscription / required hit count.
+        self._subs: List[Optional[Subscription]] = []
+        self._needs: List[int] = []
+        # Preallocated per-event hit counters, always zero between calls.
+        self._counts: List[int] = []
+        self._free_slots: List[int] = []
+        self._slot_of: Dict[str, int] = {}
+        # Equality index: (event_type, attribute, value) -> slots.
+        self._eq_index: Dict[Tuple[str, str, object], Set[int]] = {}
+        # EXISTS index: (event_type, attribute) -> slots.
+        self._exists_index: Dict[Tuple[str, str], Set[int]] = {}
+        # Numeric range indexes: (event_type, attribute, operator) ->
+        # [sorted threshold list, parallel slot list].
+        self._range_index: Dict[Tuple[str, str, Operator], List[list]] = {}
+        # Everything else: (event_type, attribute) -> {(slot, predicate)}.
+        self._other_index: Dict[Tuple[str, str], Dict[Tuple[int, Predicate], None]] = {}
+        # Wildcards (no predicates) match every event of their type; the
+        # id-sorted list per event type is cached between mutations.
+        self._wildcards: Dict[str, Dict[str, Subscription]] = {}
+        self._wildcard_cache: Dict[str, List[Subscription]] = {}
 
     # -- maintenance -------------------------------------------------------
 
     def add(self, subscription: Subscription) -> None:
-        """Index a subscription (idempotent per subscription id)."""
-        if subscription.subscription_id in self._subscriptions:
+        """Index a subscription.
+
+        Re-adding the identical subscription is a no-op; re-adding the same
+        subscription id with a *changed* definition (predicates, event type
+        or subscriber) replaces the indexed entry, so the engine never
+        silently keeps matching against a stale definition.
+        """
+        slot = self._slot_of.get(subscription.subscription_id)
+        if slot is not None:
+            if self._subs[slot] == subscription:
+                return
+            self.remove(subscription.subscription_id)
+
+        # Duplicate predicates are conjunctively redundant; dedupe them so
+        # the hit-counter target agrees with Subscription.matches().
+        predicates = tuple(dict.fromkeys(subscription.predicates))
+        slot = self._allocate_slot(subscription, len(predicates))
+        self._slot_of[subscription.subscription_id] = slot
+
+        event_type = subscription.event_type
+        if not predicates:
+            self._wildcards.setdefault(event_type, {})[
+                subscription.subscription_id
+            ] = subscription
+            self._wildcard_cache.pop(event_type, None)
             return
-        self._subscriptions[subscription.subscription_id] = _IndexedSubscription(
-            subscription=subscription,
-            predicate_count=len(subscription.predicates),
-        )
-        if not subscription.predicates:
-            self._wildcards[subscription.event_type].add(subscription.subscription_id)
-            return
-        for predicate in subscription.predicates:
-            if predicate.operator is Operator.EQ:
-                key = (subscription.event_type, predicate.attribute, predicate.value)
-                self._equality_index[key].add(subscription.subscription_id)
+        for predicate in predicates:
+            operator = predicate.operator
+            # A NaN value never equals anything (not even itself), but a
+            # tuple-key hash lookup would match it by identity; keep such
+            # predicates on the Predicate.matches fallback instead.
+            if operator is Operator.EQ and predicate.value == predicate.value:
+                key = (event_type, predicate.attribute, predicate.value)
+                bucket = self._eq_index.get(key)
+                if bucket is None:
+                    self._eq_index[key] = {slot}
+                else:
+                    bucket.add(slot)
+            elif operator is Operator.EXISTS:
+                key2 = (event_type, predicate.attribute)
+                bucket2 = self._exists_index.get(key2)
+                if bucket2 is None:
+                    self._exists_index[key2] = {slot}
+                else:
+                    bucket2.add(slot)
+            elif operator in _RANGE_OPS and _is_number(predicate.value):
+                key3 = (event_type, predicate.attribute, operator)
+                lists = self._range_index.get(key3)
+                if lists is None:
+                    lists = self._range_index[key3] = [[], []]
+                thresholds, slots = lists
+                position = bisect_right(thresholds, predicate.value)
+                thresholds.insert(position, predicate.value)
+                slots.insert(position, slot)
             else:
-                key2 = (subscription.event_type, predicate.attribute)
-                self._other_index[key2].append((subscription.subscription_id, predicate))
+                key2 = (event_type, predicate.attribute)
+                self._other_index.setdefault(key2, {})[(slot, predicate)] = None
+
+    def _allocate_slot(self, subscription: Subscription, needs: int) -> int:
+        if self._free_slots:
+            slot = self._free_slots.pop()
+            self._subs[slot] = subscription
+            self._needs[slot] = needs
+            return slot
+        self._subs.append(subscription)
+        self._needs.append(needs)
+        self._counts.append(0)
+        return len(self._subs) - 1
 
     def remove(self, subscription_id: str) -> bool:
-        """Remove a subscription from the index; returns False if unknown."""
-        indexed = self._subscriptions.pop(subscription_id, None)
-        if indexed is None:
+        """Remove a subscription from the index; returns False if unknown.
+
+        Cost is proportional to the subscription's own predicate count (plus
+        an O(log n + dup) locate inside each sorted range array), not to the
+        size of any per-attribute candidate list.
+        """
+        slot = self._slot_of.pop(subscription_id, None)
+        if slot is None:
             return False
-        subscription = indexed.subscription
-        if not subscription.predicates:
-            self._wildcards[subscription.event_type].discard(subscription_id)
-            return True
-        for predicate in subscription.predicates:
-            if predicate.operator is Operator.EQ:
-                key = (subscription.event_type, predicate.attribute, predicate.value)
-                self._equality_index[key].discard(subscription_id)
-                if not self._equality_index[key]:
-                    del self._equality_index[key]
+        subscription = self._subs[slot]
+        assert subscription is not None
+        event_type = subscription.event_type
+        predicates = tuple(dict.fromkeys(subscription.predicates))
+        if not predicates:
+            wildcards = self._wildcards.get(event_type)
+            if wildcards is not None:
+                wildcards.pop(subscription_id, None)
+                if not wildcards:
+                    del self._wildcards[event_type]
+            self._wildcard_cache.pop(event_type, None)
+        for predicate in predicates:
+            operator = predicate.operator
+            if operator is Operator.EQ and predicate.value == predicate.value:
+                key = (event_type, predicate.attribute, predicate.value)
+                bucket = self._eq_index.get(key)
+                if bucket is not None:
+                    bucket.discard(slot)
+                    if not bucket:
+                        del self._eq_index[key]
+            elif operator is Operator.EXISTS:
+                key2 = (event_type, predicate.attribute)
+                bucket2 = self._exists_index.get(key2)
+                if bucket2 is not None:
+                    bucket2.discard(slot)
+                    if not bucket2:
+                        del self._exists_index[key2]
+            elif operator in _RANGE_OPS and _is_number(predicate.value):
+                key3 = (event_type, predicate.attribute, operator)
+                lists = self._range_index.get(key3)
+                if lists is not None:
+                    thresholds, slots = lists
+                    position = bisect_left(thresholds, predicate.value)
+                    while position < len(thresholds) and thresholds[position] == predicate.value:
+                        if slots[position] == slot:
+                            del thresholds[position]
+                            del slots[position]
+                            break
+                        position += 1
+                    if not thresholds:
+                        del self._range_index[key3]
             else:
-                key2 = (subscription.event_type, predicate.attribute)
-                entries = self._other_index.get(key2, [])
-                self._other_index[key2] = [
-                    entry for entry in entries if entry[0] != subscription_id
-                ]
-                if not self._other_index[key2]:
-                    del self._other_index[key2]
+                key2 = (event_type, predicate.attribute)
+                bucket3 = self._other_index.get(key2)
+                if bucket3 is not None:
+                    bucket3.pop((slot, predicate), None)
+                    if not bucket3:
+                        del self._other_index[key2]
+        self._subs[slot] = None
+        self._needs[slot] = 0
+        self._free_slots.append(slot)
         return True
+
+    def __len__(self) -> int:
+        return len(self._slot_of)
+
+    def __contains__(self, subscription_id: str) -> bool:
+        return subscription_id in self._slot_of
+
+    def subscriptions(self) -> List[Subscription]:
+        return [self._subs[slot] for slot in self._slot_of.values()]
+
+    def get(self, subscription_id: str) -> Optional[Subscription]:
+        slot = self._slot_of.get(subscription_id)
+        return self._subs[slot] if slot is not None else None
+
+    def any_covering(self, subscription: Subscription) -> bool:
+        """True if some indexed subscription covers ``subscription``.
+
+        Early-exit helper for the router's subscription-pruning check.
+        """
+        subs = self._subs
+        for slot in self._slot_of.values():
+            indexed = subs[slot]
+            if indexed is not None and indexed.covers(subscription):
+                return True
+        return False
+
+    # -- matching ----------------------------------------------------------
+
+    def _count_hits(self, event: Event) -> List[int]:
+        """Increment per-slot hit counters for every probe the event fires.
+
+        Returns the list of touched slots; the caller MUST reset
+        ``self._counts[slot]`` to zero for each before returning.
+        """
+        counts = self._counts
+        touched: List[int] = []
+        append = touched.append
+        event_type = event.event_type
+        eq_index = self._eq_index
+        exists_index = self._exists_index
+        range_index = self._range_index
+        other_index = self._other_index
+        try:
+            self._probe(event, counts, append, event_type, eq_index,
+                        exists_index, range_index, other_index)
+        except BaseException:
+            # The counters are shared across calls; a probe that raises
+            # (e.g. an unhashable attribute value) must not leave them
+            # dirty, or the touched subscriptions could never match again.
+            for slot in touched:
+                counts[slot] = 0
+            raise
+        return touched
+
+    def _probe(self, event, counts, append, event_type, eq_index,
+               exists_index, range_index, other_index) -> None:
+        for name, value in event.attributes.items():
+            bucket = eq_index.get((event_type, name, value))
+            if bucket:
+                for slot in bucket:
+                    count = counts[slot] + 1
+                    counts[slot] = count
+                    if count == 1:
+                        append(slot)
+            exists_bucket = exists_index.get((event_type, name))
+            if exists_bucket:
+                for slot in exists_bucket:
+                    count = counts[slot] + 1
+                    counts[slot] = count
+                    if count == 1:
+                        append(slot)
+            if range_index and _is_number(value):
+                # GE: thresholds <= v; GT: thresholds < v.
+                lists = range_index.get((event_type, name, Operator.GE))
+                if lists is not None:
+                    for slot in lists[1][: bisect_right(lists[0], value)]:
+                        count = counts[slot] + 1
+                        counts[slot] = count
+                        if count == 1:
+                            append(slot)
+                lists = range_index.get((event_type, name, Operator.GT))
+                if lists is not None:
+                    for slot in lists[1][: bisect_left(lists[0], value)]:
+                        count = counts[slot] + 1
+                        counts[slot] = count
+                        if count == 1:
+                            append(slot)
+                # LE: thresholds >= v; LT: thresholds > v.
+                lists = range_index.get((event_type, name, Operator.LE))
+                if lists is not None:
+                    for slot in lists[1][bisect_left(lists[0], value):]:
+                        count = counts[slot] + 1
+                        counts[slot] = count
+                        if count == 1:
+                            append(slot)
+                lists = range_index.get((event_type, name, Operator.LT))
+                if lists is not None:
+                    for slot in lists[1][bisect_right(lists[0], value):]:
+                        count = counts[slot] + 1
+                        counts[slot] = count
+                        if count == 1:
+                            append(slot)
+            other_bucket = other_index.get((event_type, name))
+            if other_bucket:
+                for slot, predicate in other_bucket:
+                    if predicate.matches(event):
+                        count = counts[slot] + 1
+                        counts[slot] = count
+                        if count == 1:
+                            append(slot)
+
+    def _wildcard_list(self, event_type: str) -> List[Subscription]:
+        cached = self._wildcard_cache.get(event_type)
+        if cached is None:
+            wildcards = self._wildcards.get(event_type)
+            if not wildcards:
+                return []
+            cached = sorted(
+                wildcards.values(), key=lambda subscription: subscription.subscription_id
+            )
+            self._wildcard_cache[event_type] = cached
+        return cached
+
+    def match(self, event: Event) -> List[Subscription]:
+        """Return all subscriptions matching ``event`` (sorted by id)."""
+        touched = self._count_hits(event)
+        counts = self._counts
+        needs = self._needs
+        subs = self._subs
+        matched: List[Subscription] = []
+        for slot in touched:
+            if counts[slot] >= needs[slot]:
+                matched.append(subs[slot])
+            counts[slot] = 0
+        wildcards = self._wildcard_list(event.event_type)
+        if wildcards:
+            matched.extend(wildcards)
+        matched.sort(key=lambda subscription: subscription.subscription_id)
+        return matched
+
+    def match_count(self, event: Event) -> int:
+        """Number of matching subscriptions, without building the list."""
+        touched = self._count_hits(event)
+        counts = self._counts
+        needs = self._needs
+        matches = 0
+        for slot in touched:
+            if counts[slot] >= needs[slot]:
+                matches += 1
+            counts[slot] = 0
+        wildcards = self._wildcards.get(event.event_type)
+        if wildcards:
+            matches += len(wildcards)
+        return matches
+
+    def matches_any(self, event: Event) -> bool:
+        """True if at least one subscription matches (early exit).
+
+        Used on the broker forwarding path, where only the boolean matters.
+        """
+        wildcards = self._wildcards.get(event.event_type)
+        if wildcards:
+            return True
+        touched = self._count_hits(event)
+        counts = self._counts
+        needs = self._needs
+        found = False
+        for slot in touched:
+            if counts[slot] >= needs[slot]:
+                found = True
+            counts[slot] = 0
+        return found
+
+    def match_subscribers(self, event: Event) -> List[str]:
+        """Distinct subscriber names whose subscriptions match ``event``."""
+        seen: Dict[str, None] = {}
+        for subscription in self.match(event):
+            seen.setdefault(subscription.subscriber, None)
+        return list(seen)
+
+
+class NaiveMatchingEngine:
+    """Brute-force reference matcher (the property-test oracle).
+
+    Evaluates ``Subscription.matches`` against every registered
+    subscription; obviously correct and O(subscriptions) per event.  The
+    optimized :class:`MatchingEngine` must produce identical results.
+    """
+
+    def __init__(self) -> None:
+        self._subscriptions: Dict[str, Subscription] = {}
+
+    def add(self, subscription: Subscription) -> None:
+        self._subscriptions[subscription.subscription_id] = subscription
+
+    def remove(self, subscription_id: str) -> bool:
+        return self._subscriptions.pop(subscription_id, None) is not None
 
     def __len__(self) -> int:
         return len(self._subscriptions)
@@ -91,41 +406,29 @@ class MatchingEngine:
         return subscription_id in self._subscriptions
 
     def subscriptions(self) -> List[Subscription]:
-        return [indexed.subscription for indexed in self._subscriptions.values()]
+        return list(self._subscriptions.values())
 
     def get(self, subscription_id: str) -> Optional[Subscription]:
-        indexed = self._subscriptions.get(subscription_id)
-        return indexed.subscription if indexed is not None else None
-
-    # -- matching ----------------------------------------------------------
+        return self._subscriptions.get(subscription_id)
 
     def match(self, event: Event) -> List[Subscription]:
-        """Return all subscriptions matching ``event``."""
-        counts: Dict[str, int] = defaultdict(int)
-
-        for name, value in event.attributes.items():
-            eq_key = (event.event_type, name, value)
-            for sub_id in self._equality_index.get(eq_key, ()):
-                counts[sub_id] += 1
-            other_key = (event.event_type, name)
-            for sub_id, predicate in self._other_index.get(other_key, ()):
-                if predicate.matches(event):
-                    counts[sub_id] += 1
-
-        matched: List[Subscription] = []
-        for sub_id, hits in counts.items():
-            indexed = self._subscriptions.get(sub_id)
-            if indexed is not None and hits >= indexed.predicate_count:
-                matched.append(indexed.subscription)
-        for sub_id in self._wildcards.get(event.event_type, ()):
-            indexed = self._subscriptions.get(sub_id)
-            if indexed is not None:
-                matched.append(indexed.subscription)
+        matched = [
+            subscription
+            for subscription in self._subscriptions.values()
+            if subscription.matches(event)
+        ]
         matched.sort(key=lambda subscription: subscription.subscription_id)
         return matched
 
+    def match_count(self, event: Event) -> int:
+        return len(self.match(event))
+
+    def matches_any(self, event: Event) -> bool:
+        return any(
+            subscription.matches(event) for subscription in self._subscriptions.values()
+        )
+
     def match_subscribers(self, event: Event) -> List[str]:
-        """Distinct subscriber names whose subscriptions match ``event``."""
         seen: Dict[str, None] = {}
         for subscription in self.match(event):
             seen.setdefault(subscription.subscriber, None)

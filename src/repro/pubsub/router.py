@@ -134,9 +134,7 @@ class BrokerOverlay:
             # Covering check: if an already-known subscription via this
             # neighbour covers the new one, the routing state is unchanged.
             existing = broker.remote_engines.get(from_broker)
-            if existing is not None and any(
-                known.covers(subscription) for known in existing.subscriptions()
-            ):
+            if existing is not None and existing.any_covering(subscription):
                 self.metrics.counter("overlay.subscription_pruned").increment()
             else:
                 broker.learn_remote(from_broker, subscription)

@@ -1,0 +1,132 @@
+"""Pins the re-add semantics of MatchingEngine.add.
+
+The seed engine silently ignored a second ``add`` with an already-known
+subscription id, so a subscription whose definition changed kept matching
+against its stale predicates.  ``add`` now replaces the indexed entry when
+the definition differs (and stays a cheap no-op for the identical re-add).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pubsub.events import Event
+from repro.pubsub.matching import MatchingEngine, NaiveMatchingEngine
+from repro.pubsub.subscriptions import Operator, Predicate, Subscription
+
+
+def _subscription(topic: str, subscription_id: str = "sub-fixed") -> Subscription:
+    return Subscription(
+        event_type="news.story",
+        predicates=(Predicate("topic", Operator.EQ, topic),),
+        subscriber="alice",
+        subscription_id=subscription_id,
+    )
+
+
+class TestReAddSemantics:
+    def test_identical_readd_is_noop(self):
+        engine = MatchingEngine()
+        subscription = _subscription("sports")
+        engine.add(subscription)
+        engine.add(subscription)
+        assert len(engine) == 1
+        event = Event(event_type="news.story", attributes={"topic": "sports"})
+        assert engine.match(event) == [subscription]
+
+    def test_changed_predicates_replace_indexed_entry(self):
+        engine = MatchingEngine()
+        engine.add(_subscription("sports"))
+        updated = _subscription("politics")
+        engine.add(updated)
+
+        assert len(engine) == 1
+        assert engine.get("sub-fixed") is updated
+        sports = Event(event_type="news.story", attributes={"topic": "sports"})
+        politics = Event(event_type="news.story", attributes={"topic": "politics"})
+        # The stale predicate no longer matches; the new one does.
+        assert engine.match(sports) == []
+        assert engine.match(politics) == [updated]
+
+    def test_replacement_to_wildcard_and_back(self):
+        engine = MatchingEngine()
+        engine.add(_subscription("sports"))
+        wildcard = Subscription(
+            event_type="news.story",
+            predicates=(),
+            subscriber="alice",
+            subscription_id="sub-fixed",
+        )
+        engine.add(wildcard)
+        anything = Event(event_type="news.story", attributes={"topic": "weather"})
+        assert engine.match(anything) == [wildcard]
+
+        narrowed = _subscription("weather")
+        engine.add(narrowed)
+        assert engine.match(anything) == [narrowed]
+        assert engine.match(
+            Event(event_type="news.story", attributes={"topic": "sports"})
+        ) == []
+        assert len(engine) == 1
+
+
+class TestCounterRobustness:
+    def test_probe_exception_leaves_counters_clean(self):
+        """A raising probe must not permanently dirty the shared counters."""
+        engine = MatchingEngine()
+        subscription = Subscription(
+            event_type="t",
+            predicates=(
+                Predicate("a", Operator.EQ, 1),
+                Predicate("b", Operator.EQ, 2),
+            ),
+            subscription_id="sub-ab",
+        )
+        engine.add(subscription)
+        # An unhashable attribute value violates the Event type contract and
+        # raises out of the equality probe — after 'a' already counted a hit.
+        bad = Event(event_type="t", attributes={"a": 1})
+        object.__setattr__(bad, "attributes", {"a": 1, "z": ["unhashable"]})
+        with pytest.raises(TypeError):
+            engine.match(bad)
+        # The subscription must still be able to match afterwards.
+        good = Event(event_type="t", attributes={"a": 1, "b": 2})
+        assert engine.match(good) == [subscription]
+
+    def test_nan_thresholds_and_values_match_like_naive(self):
+        """NaN never matches (IEEE semantics) and never corrupts the index."""
+        nan = float("nan")
+        engine, naive = MatchingEngine(), NaiveMatchingEngine()
+        subscriptions = [
+            Subscription(
+                event_type="q",
+                predicates=(Predicate("p", Operator.LT, value),),
+                subscription_id=f"sub-{name}",
+            )
+            for name, value in [("nan", nan), ("hundred", 100), ("five", 5)]
+        ]
+        for subscription in subscriptions:
+            engine.add(subscription)
+            naive.add(subscription)
+        assert engine.remove("sub-nan") and naive.remove("sub-nan")
+        for value in (0, 4, 50, 1000, nan):
+            event = Event(event_type="q", attributes={"p": value})
+            assert [s.subscription_id for s in engine.match(event)] == [
+                s.subscription_id for s in naive.match(event)
+            ]
+
+    def test_nan_equality_predicate_never_matches(self):
+        """EQ NaN is always false, even probed with the identical object."""
+        nan = float("nan")
+        subscription = Subscription(
+            event_type="q",
+            predicates=(Predicate("p", Operator.EQ, nan),),
+            subscription_id="sub-eq-nan",
+        )
+        engine, naive = MatchingEngine(), NaiveMatchingEngine()
+        engine.add(subscription)
+        naive.add(subscription)
+        event = Event(event_type="q", attributes={"p": nan})  # same object
+        assert engine.match(event) == naive.match(event) == []
+        assert engine.remove("sub-eq-nan")
+        assert len(engine) == 0
