@@ -1,0 +1,40 @@
+"""Benchmark C1 — cluster-layer sweep (shards × batch size).
+
+Runs the ``repro.experiments.cluster_scale`` driver once and checks the
+structural properties that must hold at any machine speed: sharded
+matching is verified against the naive oracle (the driver raises on any
+mismatch), every configuration delivers the same events, and batching
+amortizes the per-cycle service overhead in simulated time (which is
+hardware-independent, so it is safe to assert in CI).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import bench_scale, run_once
+from repro.experiments.cluster_scale import run_cluster_scale
+
+
+def test_c1_cluster_scale_sweep(benchmark):
+    result = run_once(
+        benchmark,
+        run_cluster_scale,
+        scale=max(0.1, bench_scale()),
+        verify=True,
+    )
+    print()
+    print(result.summary())
+
+    assert result.parameters["verified"] is True
+    deliveries = {row["deliveries"] for row in result.rows}
+    # Sharding and batching must not change what gets delivered.
+    assert len(deliveries) == 1
+    rows = {(row["shards"], row["batch_size"]): row for row in result.rows}
+    for shards in sorted({s for s, _ in rows}):
+        batch_sizes = sorted(b for s, b in rows if s == shards)
+        unbatched = rows[(shards, batch_sizes[0])]
+        batched = rows[(shards, batch_sizes[-1])]
+        # Simulated time: batching amortizes the per-cycle overhead, so
+        # large batches sustain at least the unbatched throughput and do
+        # not increase mean queue delay under the same arrival process.
+        assert batched["sim_throughput_eps"] >= unbatched["sim_throughput_eps"]
+        assert batched["mean_delay_ms"] <= unbatched["mean_delay_ms"]

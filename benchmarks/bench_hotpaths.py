@@ -4,21 +4,28 @@ These pin the cost of the two inner loops everything else sits on:
 
 * inverted-index mutation churn (add/remove cycles, as the crawler
   re-indexes pages and spam pages are dropped);
+* analyzer throughput on repeated text (the memoized tokenize+stem path);
 * BM25 top-k ranking over a mid-sized archive (the video-story ranking
   path of experiment E2);
 * single-event subscription matching (the §5.3 substrate hot loop);
 * range-heavy matching, where every subscription carries inequality
-  predicates and the engine cannot lean on the equality hash index.
+  predicates and the engine cannot lean on the equality hash index;
+* the cluster layer's sharded / batched publish paths versus sequential
+  single-engine publishing (PR 2; see the "Cluster layer" section of
+  PERFORMANCE.md).
 
 Run ``python benchmarks/run_hotpath_bench.py --label <name>`` to record a
-named snapshot into ``BENCH_PR1.json``; see PERFORMANCE.md.
+named snapshot (``prN`` labels land in ``BENCH_PRN.json``); see
+PERFORMANCE.md.
 """
 
 from __future__ import annotations
 
-from repro.experiments.substrate import _make_event, _make_subscription
+from repro.cluster import ShardedMatchingEngine
+from repro.experiments.substrate import make_event, make_subscription
 from repro.ir.index import Document, InvertedIndex
 from repro.ir.ranking import BM25Ranker
+from repro.ir.tokenize import TextAnalyzer
 from repro.pubsub.events import Event
 from repro.pubsub.matching import MatchingEngine
 from repro.pubsub.subscriptions import Operator, Predicate, Subscription
@@ -85,8 +92,8 @@ def test_hp_single_event_match(benchmark):
     topics = [f"topic{i:03d}" for i in range(50)]
     engine = MatchingEngine()
     for index in range(10_000):
-        engine.add(_make_subscription(rng, topics, subscriber=f"user{index % 200}"))
-    event = _make_event(rng, topics, timestamp=0.0)
+        engine.add(make_subscription(rng, topics, subscriber=f"user{index % 200}"))
+    event = make_event(rng, topics, timestamp=0.0)
 
     matched = benchmark(lambda: engine.match(event))
     assert isinstance(matched, list)
@@ -119,3 +126,83 @@ def test_hp_range_heavy_match(benchmark):
     matched = benchmark(lambda: engine.match(event))
     assert len(matched) > 0
     assert all(sub.matches(event) for sub in matched)
+
+
+def test_hp_analyzer_cached_reanalysis(benchmark):
+    """Re-analyzing a working set of already-seen texts (crawler re-visits).
+
+    The memoized analyzer answers repeats from its LRU cache instead of
+    re-running tokenize + stopword filtering + stemming.
+    """
+    analyzer = TextAnalyzer()
+    texts = [doc.text for doc in _synthetic_documents(300, seed=29)]
+    for text in texts:  # warm the cache (first visit pays full analysis)
+        analyzer.analyze(text)
+
+    def run():
+        total = 0
+        for text in texts:
+            total += analyzer.analyze(text).length
+        return total
+
+    total = benchmark(run)
+    assert total > 0
+
+
+def _cluster_publish_workload(num_subscriptions=10_000, num_events=2_000, seed=23):
+    """The §5.3 mixed equality/range workload at 10k subscriptions."""
+    rng = SeededRNG(seed)
+    topics = [f"topic{i:03d}" for i in range(50)]
+    subscriptions = [
+        make_subscription(rng, topics, subscriber=f"user{index % 200}")
+        for index in range(num_subscriptions)
+    ]
+    events = [make_event(rng, topics, timestamp=float(i)) for i in range(num_events)]
+    return subscriptions, events
+
+
+def test_hp_sequential_publish_single(benchmark):
+    """Baseline: 2k events published one by one through a single engine."""
+    subscriptions, events = _cluster_publish_workload()
+    engine = MatchingEngine()
+    for subscription in subscriptions:
+        engine.add(subscription)
+
+    def run():
+        return sum(len(engine.match(event)) for event in events)
+
+    deliveries = benchmark(run)
+    assert deliveries > 0
+
+
+def test_hp_batch_publish_sharded(benchmark):
+    """The same 2k events as one batch through 4 shards (must be >= 2x)."""
+    subscriptions, events = _cluster_publish_workload()
+    single = MatchingEngine()
+    sharded = ShardedMatchingEngine(num_shards=4)
+    for subscription in subscriptions:
+        single.add(subscription)
+        sharded.add(subscription)
+    expected = sum(len(single.match(event)) for event in events)
+
+    def run():
+        return sum(len(row) for row in sharded.match_batch(events))
+
+    deliveries = benchmark(run)
+    assert deliveries == expected
+
+
+def test_hp_sharded_single_event_match(benchmark):
+    """One event against 10k subscriptions split across 4 shards.
+
+    Pins the per-event overhead sharding adds on the unbatched path (each
+    shard probes the event independently).
+    """
+    subscriptions, events = _cluster_publish_workload(num_events=1)
+    engine = ShardedMatchingEngine(num_shards=4)
+    for subscription in subscriptions:
+        engine.add(subscription)
+    event = events[0]
+
+    matched = benchmark(lambda: engine.match(event))
+    assert isinstance(matched, list)

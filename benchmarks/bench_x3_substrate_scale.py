@@ -12,8 +12,8 @@ from __future__ import annotations
 
 from benchmarks.conftest import run_once
 from repro.experiments.substrate import (
-    _make_event,
-    _make_subscription,
+    make_event,
+    make_subscription,
     run_matching_scalability,
     run_routing_scalability,
 )
@@ -46,8 +46,8 @@ def test_x3a_single_event_match_latency(benchmark):
     topics = [f"topic{i:03d}" for i in range(50)]
     engine = MatchingEngine()
     for index in range(10_000):
-        engine.add(_make_subscription(rng, topics, subscriber=f"user{index % 200}"))
-    event = _make_event(rng, topics, timestamp=0.0)
+        engine.add(make_subscription(rng, topics, subscriber=f"user{index % 200}"))
+    event = make_event(rng, topics, timestamp=0.0)
 
     matched = benchmark(lambda: engine.match(event))
     assert isinstance(matched, list)

@@ -3,20 +3,25 @@
 
 Usage::
 
-    python benchmarks/run_hotpath_bench.py --label after [--output BENCH_PR1.json]
+    python benchmarks/run_hotpath_bench.py --label pr2 [--output BENCH_PR2.json]
     python benchmarks/run_hotpath_bench.py --label before --import-raw raw.json
 
 Each invocation merges one labeled snapshot (per-test mean/median/stddev
 seconds and round counts) into the output JSON and, whenever a ``before``
 snapshot exists, recomputes every other label's speedup relative to it.
-Future PRs append new labels to the same file to keep a perf trajectory.
+A ``prN`` label defaults its output to ``BENCH_PRN.json``; when that file
+does not exist yet it is seeded with the snapshots of the most recent
+earlier ``BENCH_PR*.json`` so the perf trajectory stays in one document
+per PR without losing history.
 """
 
 from __future__ import annotations
 
 import argparse
+import glob
 import json
 import os
+import re
 import subprocess
 import sys
 import tempfile
@@ -27,6 +32,28 @@ BENCH_TARGETS = [
     "benchmarks/bench_hotpaths.py",
     "benchmarks/bench_x3_substrate_scale.py::test_x3a_single_event_match_latency",
 ]
+
+
+def output_for_label(label: str) -> str:
+    """``prN``-style labels get their own ``BENCH_PRN.json`` document."""
+    match = re.fullmatch(r"pr(\d+)", label)
+    if match:
+        return os.path.join(REPO_ROOT, f"BENCH_PR{match.group(1)}.json")
+    return DEFAULT_OUTPUT
+
+
+def bootstrap_snapshots(output_path: str) -> dict:
+    """Seed a new BENCH_PR*.json with the latest earlier document's data."""
+    candidates = []
+    for path in glob.glob(os.path.join(REPO_ROOT, "BENCH_PR*.json")):
+        match = re.fullmatch(r"BENCH_PR(\d+)\.json", os.path.basename(path))
+        if match and os.path.abspath(path) != os.path.abspath(output_path):
+            candidates.append((int(match.group(1)), path))
+    if not candidates:
+        return {}
+    _, latest = max(candidates)
+    with open(latest) as handle:
+        return json.load(handle).get("snapshots", {})
 
 
 def run_benchmarks() -> dict:
@@ -81,7 +108,7 @@ def merge(output_path: str, label: str, snapshot: dict) -> dict:
         document = {
             "description": "Hot-path perf trajectory (benchmarks/bench_hotpaths.py); "
             "see PERFORMANCE.md",
-            "snapshots": {},
+            "snapshots": bootstrap_snapshots(output_path),
             "speedups_vs_before": {},
         }
     document["snapshots"][label] = snapshot
@@ -105,26 +132,31 @@ def merge(output_path: str, label: str, snapshot: dict) -> dict:
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--label", required=True, help="snapshot name, e.g. before/after")
-    parser.add_argument("--output", default=DEFAULT_OUTPUT)
+    parser.add_argument("--label", required=True, help="snapshot name, e.g. before/pr2")
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="output JSON (default: derived from the label, e.g. pr2 -> BENCH_PR2.json)",
+    )
     parser.add_argument(
         "--import-raw",
         dest="import_raw",
         help="merge an existing pytest-benchmark JSON instead of running",
     )
     args = parser.parse_args()
+    output = args.output if args.output else output_for_label(args.label)
     if args.import_raw:
         with open(args.import_raw) as handle:
             raw = json.load(handle)
     else:
         raw = run_benchmarks()
-    document = merge(args.output, args.label, snapshot_from_raw(raw))
+    document = merge(output, args.label, snapshot_from_raw(raw))
     speedups = document.get("speedups_vs_before", {}).get(args.label)
     if speedups:
         print(f"speedups vs before ({args.label}):")
         for name, ratio in sorted(speedups.items()):
             print(f"  {name}: {ratio:.2f}x")
-    print(f"wrote snapshot {args.label!r} to {args.output}")
+    print(f"wrote snapshot {args.label!r} to {output}")
     return 0
 
 

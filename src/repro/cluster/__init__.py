@@ -1,0 +1,33 @@
+"""Cluster layer: sharded matching and batched event flow.
+
+Scales the single-process pub/sub substrate along two axes the ROADMAP
+names:
+
+* :class:`~repro.cluster.sharded.ShardedMatchingEngine` partitions
+  subscriptions across N inner matching engines under a placement policy
+  (:class:`~repro.cluster.placement.HashPlacement` or
+  :class:`~repro.cluster.placement.AttributeRangePlacement`), with
+  drain/refill rebalancing when shard load skews;
+* :class:`~repro.cluster.batch.BatchPublisher` pushes event *batches*
+  through any engine's ``match_batch`` and merges per-shard hits;
+* :class:`~repro.cluster.broker_cluster.BrokerCluster` models brokers as
+  mailbox-driven processes on the discrete-event simulator, yielding
+  queue-delay and throughput metrics for the batching/sharding sweeps in
+  ``repro.experiments.cluster_scale``.
+"""
+
+from repro.cluster.batch import BatchPublisher, BatchReport
+from repro.cluster.broker_cluster import BrokerCluster, BrokerProcess, BrokerProcessStats
+from repro.cluster.placement import AttributeRangePlacement, HashPlacement
+from repro.cluster.sharded import ShardedMatchingEngine
+
+__all__ = [
+    "AttributeRangePlacement",
+    "BatchPublisher",
+    "BatchReport",
+    "BrokerCluster",
+    "BrokerProcess",
+    "BrokerProcessStats",
+    "HashPlacement",
+    "ShardedMatchingEngine",
+]

@@ -1,0 +1,265 @@
+"""Broker cluster: mailbox-driven broker processes on the simulation engine.
+
+The :class:`~repro.pubsub.router.BrokerOverlay` models routing topology but
+executes synchronously — a publication runs to completion instantly.  A
+:class:`BrokerCluster` instead models each broker as a *process*: published
+events enter a per-broker mailbox (FIFO queue) and are served by the
+broker at a configurable service rate, optionally in batches with a fixed
+per-cycle overhead (the connection handshake / syscall / dispatch cost
+batching amortizes).  The cluster runs on
+:class:`~repro.sim.engine.SimulationEngine`, so queueing delay, service
+time and throughput come out of simulated time, and all observations land
+in a :class:`~repro.sim.metrics.MetricsRegistry`:
+
+* ``cluster.queue_delay`` — histogram of arrival-to-completion delay;
+* ``cluster.wait_time`` — histogram of arrival-to-service-start delay;
+* ``cluster.service_batch`` — histogram of served batch sizes;
+* ``cluster.events_processed`` / ``cluster.deliveries`` — counters;
+* ``cluster.queue_depth.<broker>`` — gauge of the live mailbox depth.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.pubsub.broker import EngineFactory
+from repro.pubsub.events import Event
+from repro.pubsub.matching import MatchingEngine
+from repro.pubsub.subscriptions import Subscription
+from repro.sim.engine import SimulationEngine
+from repro.sim.metrics import MetricsRegistry
+
+# Cluster deliveries also carry the serving broker's name (4 args, unlike
+# the 3-arg repro.pubsub.broker.DeliveryCallback).
+ClusterDeliveryCallback = Callable[[str, str, Event, Subscription], None]
+
+
+@dataclass
+class BrokerProcessStats:
+    """Per-broker accounting over one simulation run."""
+
+    events_enqueued: int = 0
+    events_processed: int = 0
+    deliveries: int = 0
+    service_cycles: int = 0
+    busy_time: float = 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "events_enqueued": float(self.events_enqueued),
+            "events_processed": float(self.events_processed),
+            "deliveries": float(self.deliveries),
+            "service_cycles": float(self.service_cycles),
+            "busy_time": self.busy_time,
+        }
+
+
+class BrokerProcess:
+    """One mailbox-driven broker: a queue, a matching engine, a server."""
+
+    def __init__(
+        self,
+        name: str,
+        engine: MatchingEngine,
+        service_rate: float,
+        batch_size: int,
+        batch_overhead: float,
+    ) -> None:
+        if service_rate <= 0:
+            raise ValueError("service_rate must be positive (events per second)")
+        if batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
+        if batch_overhead < 0:
+            raise ValueError("batch_overhead must be non-negative")
+        self.name = name
+        self.engine = engine
+        self.service_rate = service_rate
+        self.batch_size = batch_size
+        self.batch_overhead = batch_overhead
+        self.mailbox: Deque[Tuple[float, Event]] = deque()
+        self.busy = False
+        self.stats = BrokerProcessStats()
+
+    def subscribe(self, subscription: Subscription) -> None:
+        self.engine.add(subscription)
+
+    def unsubscribe(self, subscription_id: str) -> bool:
+        return self.engine.remove(subscription_id)
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self.mailbox)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BrokerProcess({self.name!r}, queued={len(self.mailbox)}, "
+            f"rate={self.service_rate}, batch={self.batch_size})"
+        )
+
+
+class BrokerCluster:
+    """A set of broker processes sharing one simulation clock and metrics."""
+
+    def __init__(
+        self,
+        sim: Optional[SimulationEngine] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        engine_factory: EngineFactory = MatchingEngine,
+        service_rate: float = 2000.0,
+        batch_size: int = 1,
+        batch_overhead: float = 0.0,
+    ) -> None:
+        self.sim = sim if sim is not None else SimulationEngine()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.engine_factory = engine_factory
+        self.default_service_rate = service_rate
+        self.default_batch_size = batch_size
+        self.default_batch_overhead = batch_overhead
+        self.brokers: Dict[str, BrokerProcess] = {}
+        self._delivery_callbacks: List[ClusterDeliveryCallback] = []
+
+    # -- wiring ------------------------------------------------------------
+
+    def add_broker(
+        self,
+        name: str,
+        service_rate: Optional[float] = None,
+        batch_size: Optional[int] = None,
+        batch_overhead: Optional[float] = None,
+        engine: Optional[MatchingEngine] = None,
+    ) -> BrokerProcess:
+        if name in self.brokers:
+            raise ValueError(f"broker {name!r} already exists")
+        broker = BrokerProcess(
+            name=name,
+            engine=engine if engine is not None else self.engine_factory(),
+            service_rate=(
+                service_rate if service_rate is not None else self.default_service_rate
+            ),
+            batch_size=batch_size if batch_size is not None else self.default_batch_size,
+            batch_overhead=(
+                batch_overhead
+                if batch_overhead is not None
+                else self.default_batch_overhead
+            ),
+        )
+        self.brokers[name] = broker
+        return broker
+
+    def subscribe(self, broker_name: str, subscription: Subscription) -> None:
+        self._broker(broker_name).subscribe(subscription)
+
+    def on_delivery(self, callback: ClusterDeliveryCallback) -> None:
+        """Register a callback invoked per delivery
+        (broker name, subscriber, event, matching subscription)."""
+        self._delivery_callbacks.append(callback)
+
+    def _broker(self, name: str) -> BrokerProcess:
+        broker = self.brokers.get(name)
+        if broker is None:
+            raise KeyError(f"unknown broker {name!r}")
+        return broker
+
+    # -- event flow --------------------------------------------------------
+
+    def publish(self, broker_name: str, event: Event) -> None:
+        """Enqueue an event into a broker's mailbox at the current sim time."""
+        broker = self._broker(broker_name)
+        broker.mailbox.append((self.sim.now, event))
+        broker.stats.events_enqueued += 1
+        self.metrics.counter("cluster.events_enqueued").increment()
+        self.metrics.gauge(f"cluster.queue_depth.{broker_name}").set(
+            broker.queue_depth
+        )
+        self._start_service(broker)
+
+    def publish_at(self, time: float, broker_name: str, event: Event) -> None:
+        """Schedule a publication at an absolute simulation time."""
+        self.sim.schedule_at(
+            time,
+            lambda _engine: self.publish(broker_name, event),
+            label=f"publish:{broker_name}",
+        )
+
+    def _start_service(self, broker: BrokerProcess) -> None:
+        if broker.busy or not broker.mailbox:
+            return
+        broker.busy = True
+        # Defer the batch draw by one zero-delay dispatch event: the sim
+        # fires same-time events FIFO, so publications landing at the same
+        # instant coalesce into one service cycle instead of the first
+        # arrival starting a batch of one.
+        self.sim.schedule_in(
+            0.0,
+            lambda _engine: self._dispatch(broker),
+            label=f"dispatch:{broker.name}",
+        )
+
+    def _dispatch(self, broker: BrokerProcess) -> None:
+        if not broker.mailbox:
+            broker.busy = False
+            return
+        # The batch is drawn (and leaves the queue) when service begins;
+        # its size fixes the cycle's service time.
+        batch: List[Tuple[float, Event]] = [
+            broker.mailbox.popleft()
+            for _ in range(min(broker.batch_size, len(broker.mailbox)))
+        ]
+        service_time = broker.batch_overhead + len(batch) / broker.service_rate
+        start = self.sim.now
+        broker.stats.service_cycles += 1
+        broker.stats.busy_time += service_time
+        self.metrics.gauge(f"cluster.queue_depth.{broker.name}").set(
+            broker.queue_depth
+        )
+        self.metrics.histogram("cluster.service_batch").observe(len(batch))
+        for enqueued_at, _event in batch:
+            self.metrics.histogram("cluster.wait_time").observe(start - enqueued_at)
+
+        def complete(_engine: SimulationEngine) -> None:
+            self._complete_service(broker, batch)
+
+        self.sim.schedule_in(service_time, complete, label=f"serve:{broker.name}")
+
+    def _complete_service(
+        self, broker: BrokerProcess, batch: List[Tuple[float, Event]]
+    ) -> None:
+        now = self.sim.now
+        events = [event for _at, event in batch]
+        matches = broker.engine.match_batch(events)
+        deliveries = 0
+        for (enqueued_at, event), row in zip(batch, matches):
+            deliveries += len(row)
+            self.metrics.histogram("cluster.queue_delay").observe(now - enqueued_at)
+            for subscription in row:
+                for callback in self._delivery_callbacks:
+                    callback(broker.name, subscription.subscriber, event, subscription)
+        broker.stats.events_processed += len(batch)
+        broker.stats.deliveries += deliveries
+        self.metrics.counter("cluster.events_processed").increment(len(batch))
+        self.metrics.counter("cluster.deliveries").increment(deliveries)
+        broker.busy = False
+        self._start_service(broker)
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Drive the simulation; returns the number of sim events executed."""
+        return self.sim.run(until=until, max_events=max_events)
+
+    # -- reporting ---------------------------------------------------------
+
+    def throughput(self) -> float:
+        """Events processed per simulated second (cluster-wide)."""
+        if self.sim.now <= 0:
+            return 0.0
+        processed = self.metrics.counter("cluster.events_processed").value
+        return processed / self.sim.now
+
+    def stats_by_broker(self) -> Dict[str, Dict[str, float]]:
+        return {
+            name: broker.stats.as_dict()
+            for name, broker in sorted(self.brokers.items())
+        }

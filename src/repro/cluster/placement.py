@@ -1,0 +1,127 @@
+"""Shard placement policies for :class:`~repro.cluster.sharded.ShardedMatchingEngine`.
+
+A placement policy decides which shard owns a subscription.  Correctness
+never depends on the policy — the shards partition the subscription set,
+so any assignment yields identical match results — but placement governs
+load balance and, for attribute-range placement, locality (subscriptions
+with nearby numeric constraints land on the same shard).
+
+Policies expose two operations:
+
+``shard_for(subscription, num_shards)``
+    The shard index in ``[0, num_shards)`` the subscription belongs on.
+
+``refit(subscriptions, num_shards)``
+    Re-derive internal placement state (e.g. range split points) from the
+    currently live subscription population.  Returns True when the state
+    changed; the sharded engine then migrates every subscription whose
+    assignment moved.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import List, Optional, Sequence
+
+# The same "indexable number" rule the matching engine's range indexes use
+# (bool included, NaN excluded), so placement keys agree with what the
+# shards can range-index.
+from repro.pubsub.matching import _is_number
+from repro.pubsub.subscriptions import Operator, Subscription
+from repro.sim.rng import stable_hash
+
+# Operators whose (numeric) value anchors a subscription on the attribute
+# axis for range placement.
+_KEY_OPERATORS = (Operator.EQ, Operator.GE, Operator.GT, Operator.LE, Operator.LT)
+
+
+class HashPlacement:
+    """Stateless uniform placement by stable hash of the subscription id.
+
+    Uses the process-independent FNV-1a hash so shard assignments are
+    reproducible across runs and machines (Python's ``hash`` on strings is
+    salted per process).
+    """
+
+    name = "hash"
+
+    def shard_for(self, subscription: Subscription, num_shards: int) -> int:
+        return stable_hash(subscription.subscription_id) % num_shards
+
+    def refit(self, subscriptions: Sequence[Subscription], num_shards: int) -> bool:
+        # Hash placement is balanced in expectation; there is nothing to
+        # refit, so rebalancing under it is always a no-op.
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "HashPlacement()"
+
+
+class AttributeRangePlacement:
+    """Range placement on one numeric attribute with hash fallback.
+
+    Subscriptions carrying a numeric constraint on ``attribute`` are keyed
+    by that constraint's value and routed through a sorted boundary list
+    (``num_shards - 1`` split points); subscriptions without a usable key
+    fall back to ``fallback`` (hash placement by default).
+
+    Freshly constructed with no boundaries, every keyed subscription lands
+    on shard 0 — deliberately skewed until the first :meth:`refit`
+    recomputes the boundaries as quantiles of the observed keys, which is
+    exactly the drain/refill rebalance the sharded engine performs when
+    load skews.
+    """
+
+    name = "range"
+
+    def __init__(
+        self,
+        attribute: str,
+        boundaries: Sequence[float] = (),
+        fallback: Optional[HashPlacement] = None,
+    ) -> None:
+        if not attribute:
+            raise ValueError("placement attribute cannot be empty")
+        self.attribute = attribute
+        self.boundaries: List[float] = sorted(boundaries)
+        self.fallback = fallback if fallback is not None else HashPlacement()
+
+    def placement_key(self, subscription: Subscription) -> Optional[float]:
+        """The numeric anchor of a subscription on the placement axis."""
+        for predicate in subscription.predicates:
+            if predicate.attribute != self.attribute:
+                continue
+            value = predicate.value
+            if predicate.operator in _KEY_OPERATORS and _is_number(value):
+                return float(value)  # type: ignore[arg-type]
+        return None
+
+    def shard_for(self, subscription: Subscription, num_shards: int) -> int:
+        key = self.placement_key(subscription)
+        if key is None:
+            return self.fallback.shard_for(subscription, num_shards)
+        # Boundaries may be stale (longer than needed) after a shard-count
+        # change; clamp into range.
+        return min(bisect_right(self.boundaries, key), num_shards - 1)
+
+    def refit(self, subscriptions: Sequence[Subscription], num_shards: int) -> bool:
+        keys = sorted(
+            key
+            for key in (self.placement_key(s) for s in subscriptions)
+            if key is not None
+        )
+        if len(keys) < num_shards:
+            return False
+        new_boundaries = [
+            keys[(index * len(keys)) // num_shards] for index in range(1, num_shards)
+        ]
+        if new_boundaries == self.boundaries:
+            return False
+        self.boundaries = new_boundaries
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"AttributeRangePlacement({self.attribute!r}, "
+            f"boundaries={self.boundaries!r})"
+        )

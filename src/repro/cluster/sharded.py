@@ -1,0 +1,237 @@
+"""Sharded matching engine: subscriptions partitioned across inner engines.
+
+The single-process :class:`~repro.pubsub.matching.MatchingEngine` is the
+scale ceiling the ROADMAP names: one engine owns every subscription.  A
+:class:`ShardedMatchingEngine` splits the subscription set across N inner
+engines under a placement policy (see :mod:`repro.cluster.placement`) and
+merges per-shard hits at match time.  Because the shards *partition* the
+set, any placement yields exactly the single-engine results — the property
+tests in ``tests/property/test_cluster_equivalence.py`` pin this against
+the :class:`~repro.pubsub.matching.NaiveMatchingEngine` oracle, including
+across rebalances.
+
+Rebalancing: when shard loads skew past ``rebalance_threshold`` (max load
+over mean load), the engine asks the placement policy to refit itself to
+the live population and migrates every subscription whose assignment
+moved (drain/refill).  Hash placement never moves anything; range
+placement recomputes quantile boundaries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.cluster.placement import HashPlacement
+from repro.pubsub.broker import EngineFactory
+from repro.pubsub.events import Event
+from repro.pubsub.matching import MatchingEngine, distinct_subscribers
+from repro.pubsub.subscriptions import Subscription
+
+
+class ShardedMatchingEngine:
+    """Partition subscriptions across N inner matching engines.
+
+    Drop-in for :class:`~repro.pubsub.matching.MatchingEngine`: the full
+    matching interface (``match`` / ``match_count`` / ``matches_any`` /
+    ``match_subscribers`` / ``match_batch`` / ``any_covering`` and the
+    maintenance operations) behaves identically, so brokers and overlays
+    can run sharded nodes through the pluggable engine factory.
+    """
+
+    def __init__(
+        self,
+        num_shards: int = 4,
+        placement: Optional[object] = None,
+        engine_factory: EngineFactory = MatchingEngine,
+        rebalance_threshold: float = 2.0,
+        auto_rebalance: bool = True,
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError("num_shards must be at least 1")
+        if rebalance_threshold < 1.0:
+            raise ValueError("rebalance_threshold must be >= 1 (max/mean load ratio)")
+        self._shards: List[MatchingEngine] = [engine_factory() for _ in range(num_shards)]
+        self._placement = placement if placement is not None else HashPlacement()
+        self._shard_of: Dict[str, int] = {}
+        self._rebalance_threshold = float(rebalance_threshold)
+        self._auto_rebalance = auto_rebalance
+        self._adds_since_rebalance = 0
+        # Total drain/refill cycles performed (observable by experiments).
+        self.rebalances = 0
+        self.migrations = 0
+
+    # -- maintenance -------------------------------------------------------
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._shards)
+
+    @property
+    def placement(self) -> object:
+        return self._placement
+
+    def shard_loads(self) -> List[int]:
+        """Live subscription count per shard."""
+        return [len(shard) for shard in self._shards]
+
+    def skew(self) -> float:
+        """Max shard load over mean shard load (1.0 = perfectly even)."""
+        loads = self.shard_loads()
+        total = sum(loads)
+        if total == 0:
+            return 1.0
+        return max(loads) * len(loads) / total
+
+    def add(self, subscription: Subscription) -> None:
+        """Index a subscription on its placement shard.
+
+        Re-adding a known id follows the inner engine's replace-on-readd
+        semantics; if the new definition places on a different shard, the
+        stale entry is drained from the old shard first.
+        """
+        subscription_id = subscription.subscription_id
+        target = self._placement.shard_for(subscription, len(self._shards))
+        current = self._shard_of.get(subscription_id)
+        if current is not None and current != target:
+            self._shards[current].remove(subscription_id)
+        self._shards[target].add(subscription)
+        self._shard_of[subscription_id] = target
+        self._adds_since_rebalance += 1
+        if self._auto_rebalance:
+            self._maybe_rebalance()
+
+    def remove(self, subscription_id: str) -> bool:
+        shard = self._shard_of.pop(subscription_id, None)
+        if shard is None:
+            return False
+        return self._shards[shard].remove(subscription_id)
+
+    def __len__(self) -> int:
+        return len(self._shard_of)
+
+    def __contains__(self, subscription_id: str) -> bool:
+        return subscription_id in self._shard_of
+
+    def get(self, subscription_id: str) -> Optional[Subscription]:
+        shard = self._shard_of.get(subscription_id)
+        if shard is None:
+            return None
+        return self._shards[shard].get(subscription_id)
+
+    def subscriptions(self) -> List[Subscription]:
+        collected: List[Subscription] = []
+        for shard in self._shards:
+            collected.extend(shard.subscriptions())
+        return collected
+
+    def any_covering(self, subscription: Subscription) -> bool:
+        return any(shard.any_covering(subscription) for shard in self._shards)
+
+    # -- rebalancing -------------------------------------------------------
+
+    def _maybe_rebalance(self) -> None:
+        # Amortize: a drain/refill is O(total), so only consider one after
+        # enough mutations, and only once the population is large enough
+        # for skew to be meaningful.
+        total = len(self._shard_of)
+        if total < 8 * len(self._shards):
+            return
+        if self._adds_since_rebalance < max(16, total // 4):
+            return
+        if self.skew() <= self._rebalance_threshold:
+            return
+        self.rebalance()
+
+    def rebalance(self) -> int:
+        """Refit the placement policy and migrate moved subscriptions.
+
+        Returns the number of subscriptions that changed shard.  Matching
+        results are unaffected (the shards still partition the set); only
+        load distribution changes.  When ``refit`` reports no state change
+        the live assignments already agree with the placement, so the
+        drain/refill walk is skipped entirely (and ``rebalances`` does not
+        count a no-op cycle) — under hash placement, or an unfixable skew
+        such as all placement keys being equal, a skew-triggered attempt
+        costs one refit pass, not a full migration scan.
+        """
+        self._adds_since_rebalance = 0
+        live = self.subscriptions()
+        if not self._placement.refit(live, len(self._shards)):
+            return 0
+        moved = 0
+        num_shards = len(self._shards)
+        for subscription in live:
+            subscription_id = subscription.subscription_id
+            current = self._shard_of[subscription_id]
+            target = self._placement.shard_for(subscription, num_shards)
+            if target != current:
+                self._shards[current].remove(subscription_id)
+                self._shards[target].add(subscription)
+                self._shard_of[subscription_id] = target
+                moved += 1
+        self.rebalances += 1
+        self.migrations += moved
+        return moved
+
+    # -- matching ----------------------------------------------------------
+
+    def match(self, event: Event) -> List[Subscription]:
+        """All matching subscriptions across shards (sorted by id)."""
+        merged: List[Subscription] = []
+        parts = 0
+        for shard in self._shards:
+            if not len(shard):
+                continue
+            hits = shard.match(event)
+            if hits:
+                merged.extend(hits)
+                parts += 1
+        if parts > 1:
+            # Each shard returns an id-sorted list; a single global sort of
+            # the concatenation restores the single-engine order.
+            merged.sort(key=lambda subscription: subscription.subscription_id)
+        return merged
+
+    def match_count(self, event: Event) -> int:
+        return sum(shard.match_count(event) for shard in self._shards if len(shard))
+
+    def matches_any(self, event: Event) -> bool:
+        return any(shard.matches_any(event) for shard in self._shards if len(shard))
+
+    def match_subscribers(self, event: Event) -> List[str]:
+        return distinct_subscribers(self.match(event))
+
+    def match_batch(self, events: Sequence[Event]) -> List[List[Subscription]]:
+        """Batch-match against every shard and merge per-event hits.
+
+        Each shard amortizes probe work across the whole batch (see
+        :meth:`MatchingEngine.match_batch`); the merge re-sorts per event
+        only when more than one shard contributed hits.
+        """
+        events = list(events)
+        shard_results = [
+            shard.match_batch(events) for shard in self._shards if len(shard)
+        ]
+        if not shard_results:
+            return [[] for _ in events]
+        if len(shard_results) == 1:
+            return shard_results[0]
+        merged: List[List[Subscription]] = []
+        for index in range(len(events)):
+            row: List[Subscription] = []
+            parts = 0
+            for result in shard_results:
+                hits = result[index]
+                if hits:
+                    row.extend(hits)
+                    parts += 1
+            if parts > 1:
+                row.sort(key=lambda subscription: subscription.subscription_id)
+            merged.append(row)
+        return merged
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShardedMatchingEngine(shards={self.shard_loads()}, "
+            f"placement={self._placement!r}, rebalances={self.rebalances})"
+        )

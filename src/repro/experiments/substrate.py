@@ -27,7 +27,12 @@ from repro.pubsub.topics import ScribeSystem
 from repro.sim.rng import SeededRNG
 
 
-def _make_subscription(rng: SeededRNG, topics: Sequence[str], subscriber: str) -> Subscription:
+def make_subscription(rng: SeededRNG, topics: Sequence[str], subscriber: str) -> Subscription:
+    """One §5.3-shaped subscription: topic equality, 30% add a priority bound.
+
+    Public workload generator shared by the substrate and cluster
+    experiments and the hot-path benchmarks.
+    """
     topic = rng.choice(list(topics))
     predicates = [Predicate("topic", Operator.EQ, topic)]
     if rng.random() < 0.3:
@@ -35,7 +40,8 @@ def _make_subscription(rng: SeededRNG, topics: Sequence[str], subscriber: str) -
     return Subscription(event_type="news.story", predicates=tuple(predicates), subscriber=subscriber)
 
 
-def _make_event(rng: SeededRNG, topics: Sequence[str], timestamp: float) -> Event:
+def make_event(rng: SeededRNG, topics: Sequence[str], timestamp: float) -> Event:
+    """One §5.3-shaped news event (topic, priority, source)."""
     return Event(
         event_type="news.story",
         attributes={
@@ -45,6 +51,11 @@ def _make_event(rng: SeededRNG, topics: Sequence[str], timestamp: float) -> Even
         },
         timestamp=timestamp,
     )
+
+
+# Backwards-compatible aliases (pre-PR 2 name).
+_make_subscription = make_subscription
+_make_event = make_event
 
 
 def run_matching_scalability(

@@ -9,7 +9,7 @@ the same term space.
 from __future__ import annotations
 
 import re
-from collections import Counter
+from collections import Counter, OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence
 
@@ -66,7 +66,15 @@ class AnalyzedText:
 
 
 class TextAnalyzer:
-    """Configurable lowercase / stopword / stemming analyzer."""
+    """Configurable lowercase / stopword / stemming analyzer.
+
+    Whole-text analysis results are memoized in a bounded LRU cache
+    (``analysis_cache_size`` entries; 0 disables it), so repeatedly
+    indexing the same text — crawler re-visits, index churn that re-adds
+    documents, mirrored pages — skips tokenization and stemming entirely.
+    Cached entries are private copies; callers may freely mutate what
+    :meth:`analyze` returns.
+    """
 
     def __init__(
         self,
@@ -74,16 +82,25 @@ class TextAnalyzer:
         stem: bool = True,
         min_token_length: int = 2,
         max_token_length: int = 40,
+        analysis_cache_size: int = 4096,
     ) -> None:
         self.stopwords = frozenset(stopwords) if stopwords is not None else STOPWORDS
         self.stem = stem
         self.min_token_length = min_token_length
         self.max_token_length = max_token_length
+        self.analysis_cache_size = analysis_cache_size
         self._stemmer = PorterStemmer() if stem else None
         self._stem_cache: Dict[str, str] = {}
+        self._analysis_cache: "OrderedDict[str, AnalyzedText]" = OrderedDict()
 
     def analyze(self, text: str) -> AnalyzedText:
-        """Run the full pipeline over ``text``."""
+        """Run the full pipeline over ``text`` (memoized per text)."""
+        cache_size = self.analysis_cache_size
+        if cache_size:
+            cached = self._analysis_cache.get(text)
+            if cached is not None:
+                self._analysis_cache.move_to_end(text)
+                return AnalyzedText(list(cached.terms), dict(cached.term_frequencies))
         terms = []
         for token in tokenize(text):
             if token in self.stopwords:
@@ -93,7 +110,14 @@ class TextAnalyzer:
             if token.isdigit():
                 continue
             terms.append(self._stem_token(token))
-        return AnalyzedText(terms)
+        analyzed = AnalyzedText(terms)
+        if cache_size:
+            self._analysis_cache[text] = AnalyzedText(
+                list(terms), dict(analyzed.term_frequencies)
+            )
+            if len(self._analysis_cache) > cache_size:
+                self._analysis_cache.popitem(last=False)
+        return analyzed
 
     def analyze_terms(self, text: str) -> List[str]:
         """Convenience wrapper returning just the term list."""

@@ -17,6 +17,10 @@ from repro.pubsub.matching import MatchingEngine
 from repro.pubsub.subscriptions import Subscription, minimal_cover
 
 DeliveryCallback = Callable[[str, Event, Subscription], None]
+# Factory producing a matching engine (MatchingEngine, ShardedMatchingEngine,
+# or anything implementing the same interface); pluggable so overlays can
+# run sharded nodes.
+EngineFactory = Callable[[], MatchingEngine]
 
 
 @dataclass
@@ -42,10 +46,13 @@ class BrokerStats:
 class Broker:
     """One node in the content-based routing overlay."""
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str, engine_factory: Optional[EngineFactory] = None) -> None:
         self.name = name
+        self.engine_factory: EngineFactory = (
+            engine_factory if engine_factory is not None else MatchingEngine
+        )
         # Subscriptions from clients attached directly to this broker.
-        self.local_engine = MatchingEngine()
+        self.local_engine = self.engine_factory()
         # Subscriptions learned from each neighbouring broker (routing state):
         # neighbour name -> matching engine of subscriptions reachable via it.
         self.remote_engines: Dict[str, MatchingEngine] = {}
@@ -57,7 +64,8 @@ class Broker:
 
     def add_neighbour(self, neighbour_name: str) -> None:
         self.neighbours.add(neighbour_name)
-        self.remote_engines.setdefault(neighbour_name, MatchingEngine())
+        if neighbour_name not in self.remote_engines:
+            self.remote_engines[neighbour_name] = self.engine_factory()
 
     def on_delivery(self, callback: DeliveryCallback) -> None:
         """Register a callback invoked for every local delivery
@@ -67,9 +75,17 @@ class Broker:
     # -- subscription management --------------------------------------------
 
     def subscribe_local(self, subscription: Subscription) -> None:
-        """A directly attached client placed a subscription."""
+        """A directly attached client placed a subscription.
+
+        ``subscriptions_received`` counts distinct subscriptions, so a
+        client re-issuing an already-held subscription id (identical, or
+        with a changed definition that the engine replaces on re-add) does
+        not double-count.
+        """
+        is_new = subscription.subscription_id not in self.local_engine
         self.local_engine.add(subscription)
-        self.stats.subscriptions_received += 1
+        if is_new:
+            self.stats.subscriptions_received += 1
 
     def unsubscribe_local(self, subscription_id: str) -> bool:
         return self.local_engine.remove(subscription_id)
@@ -77,7 +93,9 @@ class Broker:
     def learn_remote(self, neighbour_name: str, subscription: Subscription) -> None:
         """Record that events matching ``subscription`` must be forwarded to
         ``neighbour_name``."""
-        engine = self.remote_engines.setdefault(neighbour_name, MatchingEngine())
+        engine = self.remote_engines.get(neighbour_name)
+        if engine is None:
+            engine = self.remote_engines[neighbour_name] = self.engine_factory()
         engine.add(subscription)
 
     def forget_remote(self, neighbour_name: str, subscription_id: str) -> bool:

@@ -23,7 +23,7 @@ linear scan as the oracle the property tests compare against.
 from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.pubsub.events import Event
 from repro.pubsub.subscriptions import Operator, Predicate, Subscription
@@ -31,6 +31,18 @@ from repro.pubsub.subscriptions import Operator, Predicate, Subscription
 # Range-indexable operators, keyed by how an event value v selects the
 # matching prefix/suffix of the sorted threshold array.
 _RANGE_OPS = (Operator.LT, Operator.LE, Operator.GT, Operator.GE)
+
+# (operator, bisector, take_suffix): the single table both the per-event
+# probe and the batched per-item probe walk, so the prefix/suffix
+# selection rules cannot diverge between match() and match_batch().
+# GE: thresholds <= v; GT: thresholds < v; LE: thresholds >= v;
+# LT: thresholds > v.
+_RANGE_PROBES = (
+    (Operator.GE, bisect_right, False),
+    (Operator.GT, bisect_left, False),
+    (Operator.LE, bisect_left, True),
+    (Operator.LT, bisect_right, True),
+)
 
 
 def _is_number(value: object) -> bool:
@@ -40,6 +52,39 @@ def _is_number(value: object) -> bool:
     # threshold arrays and the bisect walk; the linear fallback gives it
     # the seed semantics (all comparisons false) instead.
     return isinstance(value, (int, float)) and value == value
+
+
+def distinct_subscribers(matched: List[Subscription]) -> List[str]:
+    """Distinct subscriber names of a match list, first-match order.
+
+    Shared by every engine's ``match_subscribers`` so dedup/ordering
+    semantics cannot drift between the single and sharded engines.
+    """
+    seen: Dict[str, None] = {}
+    for subscription in matched:
+        seen.setdefault(subscription.subscriber, None)
+    return list(seen)
+
+
+class _SingleAttributeView:
+    """Duck-typed single-attribute event for ``Predicate.matches``.
+
+    The fallback predicates indexed under ``(event_type, attribute)`` only
+    ever inspect their own attribute, so batch probing can evaluate them
+    against one (name, value) pair without building a full :class:`Event`.
+    """
+
+    __slots__ = ("_name", "_value")
+
+    def __init__(self, name: str, value: object) -> None:
+        self._name = name
+        self._value = value
+
+    def has(self, name: str) -> bool:
+        return name == self._name
+
+    def get(self, name: str, default: object = None) -> object:
+        return self._value if name == self._name else default
 
 
 class MatchingEngine:
@@ -273,36 +318,17 @@ class MatchingEngine:
                     if count == 1:
                         append(slot)
             if range_index and _is_number(value):
-                # GE: thresholds <= v; GT: thresholds < v.
-                lists = range_index.get((event_type, name, Operator.GE))
-                if lists is not None:
-                    for slot in lists[1][: bisect_right(lists[0], value)]:
-                        count = counts[slot] + 1
-                        counts[slot] = count
-                        if count == 1:
-                            append(slot)
-                lists = range_index.get((event_type, name, Operator.GT))
-                if lists is not None:
-                    for slot in lists[1][: bisect_left(lists[0], value)]:
-                        count = counts[slot] + 1
-                        counts[slot] = count
-                        if count == 1:
-                            append(slot)
-                # LE: thresholds >= v; LT: thresholds > v.
-                lists = range_index.get((event_type, name, Operator.LE))
-                if lists is not None:
-                    for slot in lists[1][bisect_left(lists[0], value):]:
-                        count = counts[slot] + 1
-                        counts[slot] = count
-                        if count == 1:
-                            append(slot)
-                lists = range_index.get((event_type, name, Operator.LT))
-                if lists is not None:
-                    for slot in lists[1][bisect_right(lists[0], value):]:
-                        count = counts[slot] + 1
-                        counts[slot] = count
-                        if count == 1:
-                            append(slot)
+                for operator, bisector, take_suffix in _RANGE_PROBES:
+                    lists = range_index.get((event_type, name, operator))
+                    if lists is not None:
+                        cut = bisector(lists[0], value)
+                        for slot in (
+                            lists[1][cut:] if take_suffix else lists[1][:cut]
+                        ):
+                            count = counts[slot] + 1
+                            counts[slot] = count
+                            if count == 1:
+                                append(slot)
             other_bucket = other_index.get((event_type, name))
             if other_bucket:
                 for slot, predicate in other_bucket:
@@ -376,10 +402,109 @@ class MatchingEngine:
 
     def match_subscribers(self, event: Event) -> List[str]:
         """Distinct subscriber names whose subscriptions match ``event``."""
-        seen: Dict[str, None] = {}
-        for subscription in self.match(event):
-            seen.setdefault(subscription.subscriber, None)
-        return list(seen)
+        return distinct_subscribers(self.match(event))
+
+    # -- batched matching --------------------------------------------------
+
+    def _probe_item(self, event_type: str, name: str, value: object) -> List[int]:
+        """Slots whose hit counter one (name, value) attribute increments.
+
+        The returned list carries one entry per count contribution (a slot
+        with both an EQ and an EXISTS predicate on the attribute appears
+        twice), so summing item contributions reproduces exactly what
+        :meth:`_probe` does for a full event.  Probe results are a pure
+        function of engine state and ``(event_type, name, value)``, which
+        is what lets :meth:`match_batch` cache them across a batch.
+        """
+        slots_out: List[int] = []
+        bucket = self._eq_index.get((event_type, name, value))
+        if bucket:
+            slots_out.extend(bucket)
+        exists_bucket = self._exists_index.get((event_type, name))
+        if exists_bucket:
+            slots_out.extend(exists_bucket)
+        range_index = self._range_index
+        if range_index and _is_number(value):
+            for operator, bisector, take_suffix in _RANGE_PROBES:
+                lists = range_index.get((event_type, name, operator))
+                if lists is not None:
+                    cut = bisector(lists[0], value)
+                    slots_out.extend(
+                        lists[1][cut:] if take_suffix else lists[1][:cut]
+                    )
+        other_bucket = self._other_index.get((event_type, name))
+        if other_bucket:
+            view = _SingleAttributeView(name, value)
+            for slot, predicate in other_bucket:
+                if predicate.matches(view):
+                    slots_out.append(slot)
+        return slots_out
+
+    def match_batch(self, events: Sequence[Event]) -> List[List[Subscription]]:
+        """Match a batch of events; returns one sorted match list per event.
+
+        Semantically identical to ``[self.match(e) for e in events]`` but
+        amortizes probe work across the batch:
+
+        * per-item probe results (the slot contributions of one
+          ``(event_type, attribute, value)`` triple) are computed once per
+          distinct triple instead of once per event, which also skips the
+          per-event slice copies of the sorted range indexes;
+        * the final match list is cached per distinct *contributing* probe
+          signature, so events differing only in attributes no subscription
+          constrains resolve to a cached result without touching counters.
+
+        The engine must not be mutated while a batch is in flight (the
+        per-call caches assume stable indexes).
+        """
+        counts = self._counts
+        needs = self._needs
+        subs = self._subs
+        item_slots: Dict[Tuple[str, str, object], Tuple[int, ...]] = {}
+        result_cache: Dict[Tuple[str, Tuple], Tuple[Subscription, ...]] = {}
+        results: List[List[Subscription]] = []
+        for event in events:
+            event_type = event.event_type
+            signature: List[Tuple[str, str, object]] = []
+            for name, value in event.attributes.items():
+                key = (event_type, name, value)
+                slots = item_slots.get(key)
+                if slots is None:
+                    slots = tuple(self._probe_item(event_type, name, value))
+                    item_slots[key] = slots
+                if slots:
+                    signature.append(key)
+            # Attribute names are unique within an event, so ordering by
+            # (event_type, name) prefixes never compares the values.
+            signature.sort()
+            cache_key = (event_type, tuple(signature))
+            cached = result_cache.get(cache_key)
+            if cached is None:
+                touched: List[int] = []
+                try:
+                    for key in signature:
+                        for slot in item_slots[key]:
+                            count = counts[slot] + 1
+                            counts[slot] = count
+                            if count == 1:
+                                touched.append(slot)
+                except BaseException:
+                    for slot in touched:
+                        counts[slot] = 0
+                    raise
+                matched: List[Subscription] = []
+                for slot in touched:
+                    if counts[slot] >= needs[slot]:
+                        matched.append(subs[slot])
+                    counts[slot] = 0
+                wildcards = self._wildcard_list(event_type)
+                if wildcards:
+                    matched.extend(wildcards)
+                matched.sort(key=lambda subscription: subscription.subscription_id)
+                cached = tuple(matched)
+                result_cache[cache_key] = cached
+            results.append(list(cached))
+        return results
 
 
 class NaiveMatchingEngine:
@@ -411,6 +536,11 @@ class NaiveMatchingEngine:
     def get(self, subscription_id: str) -> Optional[Subscription]:
         return self._subscriptions.get(subscription_id)
 
+    def any_covering(self, subscription: Subscription) -> bool:
+        return any(
+            indexed.covers(subscription) for indexed in self._subscriptions.values()
+        )
+
     def match(self, event: Event) -> List[Subscription]:
         matched = [
             subscription
@@ -433,3 +563,6 @@ class NaiveMatchingEngine:
         for subscription in self.match(event):
             seen.setdefault(subscription.subscriber, None)
         return list(seen)
+
+    def match_batch(self, events: Sequence[Event]) -> List[List[Subscription]]:
+        return [self.match(event) for event in events]

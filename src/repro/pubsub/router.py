@@ -14,7 +14,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
-from repro.pubsub.broker import Broker
+from repro.pubsub.broker import Broker, EngineFactory
 from repro.pubsub.events import Event
 from repro.pubsub.subscriptions import Subscription
 from repro.sim.metrics import MetricsRegistry
@@ -35,18 +35,33 @@ class RoutingReport:
 class BrokerOverlay:
     """A network of brokers with content-based (or flooding) routing."""
 
-    def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
+    def __init__(
+        self,
+        metrics: Optional[MetricsRegistry] = None,
+        engine_factory: Optional[EngineFactory] = None,
+    ) -> None:
         self.brokers: Dict[str, Broker] = {}
         self._edges: Dict[str, Set[str]] = {}
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        # Default matching-engine factory for brokers added to this overlay;
+        # pass e.g. ``lambda: ShardedMatchingEngine(num_shards=4)`` to run
+        # every node sharded.
+        self.engine_factory = engine_factory
         self._client_home: Dict[str, str] = {}
 
     # -- topology -----------------------------------------------------------
 
-    def add_broker(self, name: str) -> Broker:
+    def add_broker(
+        self, name: str, engine_factory: Optional[EngineFactory] = None
+    ) -> Broker:
         if name in self.brokers:
             raise ValueError(f"broker {name!r} already exists")
-        broker = Broker(name)
+        broker = Broker(
+            name,
+            engine_factory=(
+                engine_factory if engine_factory is not None else self.engine_factory
+            ),
+        )
         self.brokers[name] = broker
         self._edges[name] = set()
         return broker
@@ -197,9 +212,13 @@ class BrokerOverlay:
         return {name: broker.stats.as_dict() for name, broker in sorted(self.brokers.items())}
 
 
-def build_line_overlay(num_brokers: int, metrics: Optional[MetricsRegistry] = None) -> BrokerOverlay:
+def build_line_overlay(
+    num_brokers: int,
+    metrics: Optional[MetricsRegistry] = None,
+    engine_factory: Optional[EngineFactory] = None,
+) -> BrokerOverlay:
     """A chain of brokers b0 - b1 - ... - bN-1 (worst-case diameter)."""
-    overlay = BrokerOverlay(metrics=metrics)
+    overlay = BrokerOverlay(metrics=metrics, engine_factory=engine_factory)
     for index in range(num_brokers):
         overlay.add_broker(f"b{index}")
     for index in range(num_brokers - 1):
@@ -207,9 +226,13 @@ def build_line_overlay(num_brokers: int, metrics: Optional[MetricsRegistry] = No
     return overlay
 
 
-def build_star_overlay(num_leaves: int, metrics: Optional[MetricsRegistry] = None) -> BrokerOverlay:
+def build_star_overlay(
+    num_leaves: int,
+    metrics: Optional[MetricsRegistry] = None,
+    engine_factory: Optional[EngineFactory] = None,
+) -> BrokerOverlay:
     """A hub broker with ``num_leaves`` leaf brokers."""
-    overlay = BrokerOverlay(metrics=metrics)
+    overlay = BrokerOverlay(metrics=metrics, engine_factory=engine_factory)
     overlay.add_broker("hub")
     for index in range(num_leaves):
         name = f"leaf{index}"
@@ -219,12 +242,15 @@ def build_star_overlay(num_leaves: int, metrics: Optional[MetricsRegistry] = Non
 
 
 def build_tree_overlay(
-    depth: int, fanout: int, metrics: Optional[MetricsRegistry] = None
+    depth: int,
+    fanout: int,
+    metrics: Optional[MetricsRegistry] = None,
+    engine_factory: Optional[EngineFactory] = None,
 ) -> BrokerOverlay:
     """A complete tree of brokers with the given depth and fanout."""
     if depth < 1 or fanout < 1:
         raise ValueError("depth and fanout must be at least 1")
-    overlay = BrokerOverlay(metrics=metrics)
+    overlay = BrokerOverlay(metrics=metrics, engine_factory=engine_factory)
     overlay.add_broker("t0")
     frontier = ["t0"]
     counter = 1

@@ -1,0 +1,153 @@
+"""BatchPublisher and MatchingEngine.match_batch units."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.batch import BatchPublisher
+from repro.cluster.sharded import ShardedMatchingEngine
+from repro.pubsub.events import Event
+from repro.pubsub.matching import MatchingEngine, NaiveMatchingEngine
+from repro.pubsub.subscriptions import Operator, Predicate, Subscription
+
+
+def _sub(topic=None, priority=None, subscriber="u", event_type="news.story"):
+    predicates = []
+    if topic is not None:
+        predicates.append(Predicate("topic", Operator.EQ, topic))
+    if priority is not None:
+        predicates.append(Predicate("priority", Operator.GE, priority))
+    return Subscription(
+        event_type=event_type, predicates=tuple(predicates), subscriber=subscriber
+    )
+
+
+def _event(topic, priority=5, event_type="news.story"):
+    return Event(
+        event_type=event_type, attributes={"topic": topic, "priority": priority}
+    )
+
+
+@pytest.fixture
+def engines():
+    fast, naive = MatchingEngine(), NaiveMatchingEngine()
+    for subscription in [
+        _sub("alpha"),
+        _sub("alpha", priority=7),
+        _sub("beta"),
+        _sub(priority=3),
+        Subscription(event_type="news.story", subscriber="wild"),
+        _sub("alpha", event_type="sys.log"),
+    ]:
+        fast.add(subscription)
+        naive.add(subscription)
+    return fast, naive
+
+
+class TestMatchBatch:
+    def test_equals_sequential_match(self, engines):
+        fast, naive = engines
+        events = [
+            _event("alpha", 2),
+            _event("alpha", 9),
+            _event("beta", 1),
+            _event("gamma", 8),
+            _event("alpha", 9),  # repeat: served from the batch result cache
+            _event("alpha", event_type="sys.log"),
+        ]
+        batch = fast.match_batch(events)
+        for event, row in zip(events, batch):
+            assert [s.subscription_id for s in row] == [
+                s.subscription_id for s in naive.match(event)
+            ]
+
+    def test_cached_rows_are_independent_lists(self, engines):
+        fast, _ = engines
+        events = [_event("alpha", 9), _event("alpha", 9)]
+        first, second = fast.match_batch(events)
+        assert first == second
+        first.clear()
+        assert second  # mutating one row must not corrupt the cached copy
+
+    def test_empty_batch(self, engines):
+        fast, _ = engines
+        assert fast.match_batch([]) == []
+
+    def test_counters_clean_after_batch(self, engines):
+        fast, naive = engines
+        fast.match_batch([_event("alpha", 9) for _ in range(5)])
+        # A subsequent single match must be unaffected by batch state.
+        event = _event("alpha", 9)
+        assert [s.subscription_id for s in fast.match(event)] == [
+            s.subscription_id for s in naive.match(event)
+        ]
+
+    def test_naive_engine_batch(self, engines):
+        _, naive = engines
+        events = [_event("alpha", 9), _event("beta", 1)]
+        assert naive.match_batch(events) == [naive.match(e) for e in events]
+
+
+class TestBatchPublisher:
+    def test_report_and_metrics(self, engines):
+        fast, naive = engines
+        publisher = BatchPublisher(fast)
+        events = [_event("alpha", 9), _event("beta", 1), _event("gamma", 2)]
+        report = publisher.publish_batch(events)
+        expected = sum(len(naive.match(e)) for e in events)
+        assert report.events == 3
+        assert report.deliveries == expected
+        assert report.matches_per_event == pytest.approx(expected / 3)
+        assert publisher.metrics.counter("batch.batches").value == 1
+        assert publisher.metrics.counter("batch.events").value == 3
+        assert publisher.metrics.counter("batch.deliveries").value == expected
+        assert publisher.metrics.histogram("batch.size").mean == pytest.approx(3.0)
+
+    def test_delivery_callbacks(self, engines):
+        fast, naive = engines
+        publisher = BatchPublisher(fast)
+        seen = []
+        publisher.on_delivery(
+            lambda subscriber, event, subscription: seen.append(
+                (subscriber, event.get("topic"), subscription.subscription_id)
+            )
+        )
+        events = [_event("alpha", 9)]
+        report = publisher.publish_batch(events)
+        assert len(seen) == report.deliveries
+        assert {sub_id for _, _, sub_id in seen} == {
+            s.subscription_id for s in naive.match(events[0])
+        }
+
+    def test_publish_stream_chunks(self, engines):
+        fast, _ = engines
+        publisher = BatchPublisher(fast)
+        events = [_event("alpha", i % 10) for i in range(10)]
+        reports = publisher.publish_stream(events, batch_size=4)
+        assert [r.events for r in reports] == [4, 4, 2]
+        with pytest.raises(ValueError):
+            publisher.publish_stream(events, batch_size=0)
+
+    def test_works_with_sharded_engine(self, engines):
+        _, naive = engines
+        sharded = ShardedMatchingEngine(num_shards=3)
+        for subscription in naive.subscriptions():
+            sharded.add(subscription)
+        publisher = BatchPublisher(sharded)
+        events = [_event("alpha", 9), _event("beta", 1)]
+        report = publisher.publish_batch(events)
+        assert report.deliveries == sum(len(naive.match(e)) for e in events)
+
+    def test_falls_back_to_match_when_no_match_batch(self):
+        class MinimalEngine:
+            def __init__(self):
+                self.inner = MatchingEngine()
+
+            def match(self, event):
+                return self.inner.match(event)
+
+        minimal = MinimalEngine()
+        minimal.inner.add(_sub("alpha"))
+        publisher = BatchPublisher(minimal)
+        report = publisher.publish_batch([_event("alpha")])
+        assert report.deliveries == 1

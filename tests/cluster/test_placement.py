@@ -1,0 +1,96 @@
+"""Placement policy units: hash spread, range boundaries, refit."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.placement import AttributeRangePlacement, HashPlacement
+from repro.pubsub.subscriptions import Operator, Predicate, Subscription
+
+
+def _price_sub(value, operator=Operator.GE, subscriber="u"):
+    return Subscription(
+        event_type="ticker.quote",
+        predicates=(Predicate("price", operator, value),),
+        subscriber=subscriber,
+    )
+
+
+class TestHashPlacement:
+    def test_deterministic_and_in_range(self):
+        placement = HashPlacement()
+        subscription = _price_sub(10)
+        first = placement.shard_for(subscription, 8)
+        assert 0 <= first < 8
+        assert placement.shard_for(subscription, 8) == first
+
+    def test_spreads_across_shards(self):
+        placement = HashPlacement()
+        shards = {
+            placement.shard_for(_price_sub(i), 4) for i in range(200)
+        }
+        assert shards == {0, 1, 2, 3}
+
+    def test_refit_is_noop(self):
+        placement = HashPlacement()
+        assert placement.refit([_price_sub(i) for i in range(50)], 4) is False
+
+
+class TestAttributeRangePlacement:
+    def test_requires_attribute(self):
+        with pytest.raises(ValueError):
+            AttributeRangePlacement("")
+
+    def test_routes_by_boundaries(self):
+        placement = AttributeRangePlacement("price", boundaries=[10, 20])
+        assert placement.shard_for(_price_sub(5), 3) == 0
+        assert placement.shard_for(_price_sub(15), 3) == 1
+        assert placement.shard_for(_price_sub(25), 3) == 2
+
+    def test_boundary_value_goes_right(self):
+        placement = AttributeRangePlacement("price", boundaries=[10])
+        assert placement.shard_for(_price_sub(10), 2) == 1
+
+    def test_empty_boundaries_all_on_shard_zero(self):
+        placement = AttributeRangePlacement("price")
+        assert all(
+            placement.shard_for(_price_sub(i), 4) == 0 for i in range(0, 100, 7)
+        )
+
+    def test_unkeyed_subscription_uses_fallback(self):
+        placement = AttributeRangePlacement("price", boundaries=[10])
+        no_key = Subscription(
+            event_type="ticker.quote",
+            predicates=(Predicate("venue", Operator.EQ, "X"),),
+        )
+        expected = placement.fallback.shard_for(no_key, 2)
+        assert placement.shard_for(no_key, 2) == expected
+
+    def test_non_numeric_and_nan_values_use_fallback(self):
+        placement = AttributeRangePlacement("price", boundaries=[10])
+        textual = _price_sub("cheap", operator=Operator.EQ)
+        nan = _price_sub(float("nan"))
+        for subscription in (textual, nan):
+            expected = placement.fallback.shard_for(subscription, 2)
+            assert placement.shard_for(subscription, 2) == expected
+
+    def test_refit_computes_quantile_boundaries(self):
+        placement = AttributeRangePlacement("price")
+        population = [_price_sub(i) for i in range(100)]
+        assert placement.refit(population, 4) is True
+        assert placement.boundaries == [25, 50, 75]
+        loads = [0, 0, 0, 0]
+        for subscription in population:
+            loads[placement.shard_for(subscription, 4)] += 1
+        assert max(loads) - min(loads) <= 1
+
+    def test_refit_noop_when_unchanged_or_too_few_keys(self):
+        placement = AttributeRangePlacement("price")
+        population = [_price_sub(i) for i in range(100)]
+        assert placement.refit(population, 4) is True
+        assert placement.refit(population, 4) is False
+        assert placement.refit([_price_sub(1)], 4) is False
+
+    def test_stale_boundaries_clamped_to_shard_count(self):
+        placement = AttributeRangePlacement("price", boundaries=[10, 20, 30])
+        assert placement.shard_for(_price_sub(99), 2) == 1

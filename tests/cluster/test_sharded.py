@@ -1,0 +1,248 @@
+"""ShardedMatchingEngine units: maintenance, matching, rebalancing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.placement import AttributeRangePlacement
+from repro.cluster.sharded import ShardedMatchingEngine
+from repro.pubsub.events import Event
+from repro.pubsub.matching import MatchingEngine
+from repro.pubsub.subscriptions import Operator, Predicate, Subscription
+
+
+def _topic_sub(topic, subscriber="u", sub_id=None):
+    kwargs = {"subscription_id": sub_id} if sub_id else {}
+    return Subscription(
+        event_type="news.story",
+        predicates=(Predicate("topic", Operator.EQ, topic),),
+        subscriber=subscriber,
+        **kwargs,
+    )
+
+
+def _price_sub(value, sub_id=None):
+    kwargs = {"subscription_id": sub_id} if sub_id else {}
+    return Subscription(
+        event_type="ticker.quote",
+        predicates=(Predicate("price", Operator.GE, value),),
+        subscriber="trader",
+        **kwargs,
+    )
+
+
+class TestMaintenance:
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            ShardedMatchingEngine(num_shards=0)
+        with pytest.raises(ValueError):
+            ShardedMatchingEngine(rebalance_threshold=0.5)
+
+    def test_add_remove_contains_len_get(self):
+        engine = ShardedMatchingEngine(num_shards=3)
+        subscriptions = [_topic_sub(f"t{i}") for i in range(30)]
+        for subscription in subscriptions:
+            engine.add(subscription)
+        assert len(engine) == 30
+        assert sum(engine.shard_loads()) == 30
+        victim = subscriptions[7]
+        assert victim.subscription_id in engine
+        assert engine.get(victim.subscription_id) == victim
+        assert engine.remove(victim.subscription_id)
+        assert not engine.remove(victim.subscription_id)
+        assert victim.subscription_id not in engine
+        assert engine.get(victim.subscription_id) is None
+        assert len(engine) == 29
+
+    def test_subscriptions_returns_every_shard(self):
+        engine = ShardedMatchingEngine(num_shards=4)
+        subscriptions = [_topic_sub(f"t{i}") for i in range(20)]
+        for subscription in subscriptions:
+            engine.add(subscription)
+        assert sorted(s.subscription_id for s in engine.subscriptions()) == sorted(
+            s.subscription_id for s in subscriptions
+        )
+
+    def test_readd_with_changed_definition_replaces(self):
+        engine = ShardedMatchingEngine(num_shards=4)
+        original = _topic_sub("alpha", sub_id="sub-x")
+        engine.add(original)
+        changed = _topic_sub("beta", sub_id="sub-x")
+        engine.add(changed)
+        assert len(engine) == 1
+        alpha = Event(event_type="news.story", attributes={"topic": "alpha"})
+        beta = Event(event_type="news.story", attributes={"topic": "beta"})
+        assert engine.match(alpha) == []
+        assert [s.subscription_id for s in engine.match(beta)] == ["sub-x"]
+
+    def test_readd_moving_between_shards_drains_old_shard(self):
+        # Range placement keys on the price bound, so changing the bound
+        # moves the subscription to another shard; the stale entry must not
+        # keep matching from the old shard.
+        placement = AttributeRangePlacement("price", boundaries=[50])
+        engine = ShardedMatchingEngine(
+            num_shards=2, placement=placement, auto_rebalance=False
+        )
+        engine.add(_price_sub(10, sub_id="sub-m"))
+        assert engine.shard_loads() == [1, 0]
+        engine.add(_price_sub(90, sub_id="sub-m"))
+        assert engine.shard_loads() == [0, 1]
+        event = Event(event_type="ticker.quote", attributes={"price": 95})
+        assert [s.subscription_id for s in engine.match(event)] == ["sub-m"]
+        assert engine.match_count(event) == 1
+
+    def test_single_shard_degenerates_to_plain_engine(self):
+        sharded = ShardedMatchingEngine(num_shards=1)
+        plain = MatchingEngine()
+        for i in range(25):
+            subscription = _topic_sub(f"t{i % 5}")
+            sharded.add(subscription)
+            plain.add(subscription)
+        event = Event(event_type="news.story", attributes={"topic": "t3"})
+        assert [s.subscription_id for s in sharded.match(event)] == [
+            s.subscription_id for s in plain.match(event)
+        ]
+
+
+class TestMatching:
+    def _populated(self, num_shards=4):
+        engine = ShardedMatchingEngine(num_shards=num_shards)
+        plain = MatchingEngine()
+        for i in range(60):
+            subscription = _topic_sub(f"t{i % 6}", subscriber=f"user{i % 7}")
+            engine.add(subscription)
+            plain.add(subscription)
+        wildcard = Subscription(event_type="news.story", subscriber="firehose")
+        engine.add(wildcard)
+        plain.add(wildcard)
+        return engine, plain
+
+    def test_match_merges_shards_in_id_order(self):
+        engine, plain = self._populated()
+        event = Event(event_type="news.story", attributes={"topic": "t2"})
+        assert [s.subscription_id for s in engine.match(event)] == [
+            s.subscription_id for s in plain.match(event)
+        ]
+
+    def test_match_count_matches_any_subscribers(self):
+        engine, plain = self._populated()
+        for topic in ("t0", "t5", "missing"):
+            event = Event(event_type="news.story", attributes={"topic": topic})
+            assert engine.match_count(event) == plain.match_count(event)
+            assert engine.matches_any(event) == plain.matches_any(event)
+            assert engine.match_subscribers(event) == plain.match_subscribers(event)
+
+    def test_match_batch_equals_per_event_match(self):
+        engine, plain = self._populated()
+        events = [
+            Event(event_type="news.story", attributes={"topic": f"t{i % 8}"})
+            for i in range(40)
+        ]
+        batch = engine.match_batch(events)
+        assert len(batch) == len(events)
+        for event, row in zip(events, batch):
+            assert [s.subscription_id for s in row] == [
+                s.subscription_id for s in plain.match(event)
+            ]
+
+    def test_empty_engine_matches_nothing(self):
+        engine = ShardedMatchingEngine(num_shards=4)
+        event = Event(event_type="news.story", attributes={"topic": "t0"})
+        assert engine.match(event) == []
+        assert engine.match_count(event) == 0
+        assert not engine.matches_any(event)
+        assert engine.match_batch([event, event]) == [[], []]
+
+    def test_any_covering_looks_across_shards(self):
+        engine = ShardedMatchingEngine(num_shards=4)
+        for i in range(10):
+            engine.add(_price_sub(10 + i))
+        covered = _price_sub(50)
+        assert engine.any_covering(covered)
+        uncovered = Subscription(
+            event_type="ticker.quote",
+            predicates=(Predicate("price", Operator.GE, 1),),
+        )
+        assert not engine.any_covering(uncovered)
+
+
+class TestRebalance:
+    def test_explicit_rebalance_reduces_skew(self):
+        placement = AttributeRangePlacement("price")
+        engine = ShardedMatchingEngine(
+            num_shards=4, placement=placement, auto_rebalance=False
+        )
+        for i in range(200):
+            engine.add(_price_sub(i))
+        # No boundaries yet: everything keyed lands on shard 0.
+        assert engine.skew() == pytest.approx(4.0)
+        moved = engine.rebalance()
+        assert moved > 0
+        assert engine.rebalances == 1
+        assert engine.migrations == moved
+        assert engine.skew() < 1.1
+        assert sum(engine.shard_loads()) == 200
+
+    def test_rebalance_preserves_membership_and_matching(self):
+        placement = AttributeRangePlacement("price")
+        engine = ShardedMatchingEngine(
+            num_shards=3, placement=placement, auto_rebalance=False
+        )
+        plain = MatchingEngine()
+        for i in range(90):
+            subscription = _price_sub(i)
+            engine.add(subscription)
+            plain.add(subscription)
+        engine.rebalance()
+        assert len(engine) == 90
+        for price in (0, 45, 89, 200):
+            event = Event(event_type="ticker.quote", attributes={"price": price})
+            assert [s.subscription_id for s in engine.match(event)] == [
+                s.subscription_id for s in plain.match(event)
+            ]
+
+    def test_auto_rebalance_fires_on_skewed_range_load(self):
+        placement = AttributeRangePlacement("price")
+        engine = ShardedMatchingEngine(num_shards=4, placement=placement)
+        for i in range(200):
+            engine.add(_price_sub(i))
+        assert engine.rebalances >= 1
+        assert engine.skew() < 2.0
+
+    def test_hash_placement_rebalance_moves_nothing(self):
+        engine = ShardedMatchingEngine(num_shards=4)
+        for i in range(100):
+            engine.add(_topic_sub(f"t{i}"))
+        assert engine.rebalance() == 0
+        # Nothing to refit: the attempt is not counted as a cycle.
+        assert engine.rebalances == 0
+
+    def test_rebalance_noop_when_refit_unchanged(self):
+        placement = AttributeRangePlacement("price")
+        engine = ShardedMatchingEngine(
+            num_shards=4, placement=placement, auto_rebalance=False
+        )
+        for i in range(200):
+            engine.add(_price_sub(i))
+        assert engine.rebalance() > 0
+        assert engine.rebalances == 1
+        # Same population, same quantiles: no drain/refill walk, no count.
+        assert engine.rebalance() == 0
+        assert engine.rebalances == 1
+
+    def test_unfixable_skew_does_not_thrash(self):
+        # Every placement key identical: skew is pinned at num_shards and
+        # cannot be fixed; after the first boundary fit, skew-triggered
+        # attempts must degrade to refit-only no-ops (no repeated scans).
+        placement = AttributeRangePlacement("price")
+        engine = ShardedMatchingEngine(num_shards=2, placement=placement)
+        for _ in range(400):
+            engine.add(_price_sub(42))
+        assert engine.skew() == pytest.approx(2.0)
+        assert engine.rebalances <= 1
+        rebalances_after_fit = engine.rebalances
+        migrations_after_fit = engine.migrations
+        for _ in range(400):
+            engine.add(_price_sub(42))
+        assert engine.rebalances == rebalances_after_fit
+        assert engine.migrations == migrations_after_fit

@@ -60,6 +60,41 @@ class TestTextAnalyzer:
         assert "markets" in analyzer._stem_cache
 
 
+class TestAnalysisCache:
+    def test_repeated_analysis_served_from_cache(self):
+        analyzer = TextAnalyzer()
+        first = analyzer.analyze("markets are voting on the election outcome")
+        assert "markets are voting on the election outcome" in analyzer._analysis_cache
+        second = analyzer.analyze("markets are voting on the election outcome")
+        assert second.terms == first.terms
+        assert second.term_frequencies == first.term_frequencies
+
+    def test_cached_results_are_isolated_copies(self):
+        analyzer = TextAnalyzer()
+        first = analyzer.analyze("election markets")
+        first.terms.append("corrupted")
+        first.term_frequencies["corrupted"] = 99
+        second = analyzer.analyze("election markets")
+        assert "corrupted" not in second.terms
+        assert "corrupted" not in second.term_frequencies
+
+    def test_cache_bounded_lru(self):
+        analyzer = TextAnalyzer(analysis_cache_size=2)
+        analyzer.analyze("first text here")
+        analyzer.analyze("second text here")
+        analyzer.analyze("first text here")  # refresh "first"
+        analyzer.analyze("third text here")  # evicts "second"
+        assert "first text here" in analyzer._analysis_cache
+        assert "second text here" not in analyzer._analysis_cache
+        assert "third text here" in analyzer._analysis_cache
+        assert len(analyzer._analysis_cache) == 2
+
+    def test_cache_disabled(self):
+        analyzer = TextAnalyzer(analysis_cache_size=0)
+        analyzer.analyze("election markets")
+        assert not analyzer._analysis_cache
+
+
 class TestHelpers:
     def test_term_frequencies_aggregates_documents(self):
         counts = term_frequencies(["market news", "market report"], TextAnalyzer(stem=False))

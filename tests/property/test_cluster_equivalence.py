@@ -1,0 +1,210 @@
+"""Randomized equivalence: sharded matching ≡ single-engine matching.
+
+The :class:`~repro.cluster.sharded.ShardedMatchingEngine` must be
+observationally identical to the :class:`NaiveMatchingEngine` oracle (and
+hence to the optimized single engine, pinned by
+``test_hotpath_equivalence.py``) across randomized workloads, under both
+hash and attribute-range placement, through interleaved add/remove churn,
+and across rebalances that drain and refill shards mid-stream.  All
+randomness is seeded, so every run exercises the same cases.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.placement import AttributeRangePlacement, HashPlacement
+from repro.cluster.sharded import ShardedMatchingEngine
+from repro.pubsub.events import Event
+from repro.pubsub.matching import MatchingEngine, NaiveMatchingEngine
+from repro.pubsub.subscriptions import Operator, Predicate, Subscription
+from repro.sim.rng import SeededRNG
+
+EVENT_TYPES = ["news.story", "ticker.quote", "sys.log"]
+ATTRIBUTES = ["topic", "priority", "price", "source", "flag"]
+STRINGS = ["alpha", "beta", "gamma", "alphabet", "be"]
+
+
+def _random_value(rng: SeededRNG):
+    kind = rng.randint(0, 3)
+    if kind == 0:
+        return rng.randint(-5, 20)
+    if kind == 1:
+        return round(rng.random() * 20 - 5, 3)
+    if kind == 2:
+        return rng.choice(STRINGS)
+    return rng.choice([True, False])
+
+
+def _random_predicate(rng: SeededRNG) -> Predicate:
+    attribute = rng.choice(ATTRIBUTES)
+    operator = rng.choice(list(Operator))
+    if operator is Operator.EXISTS:
+        return Predicate(attribute, operator)
+    # Bias "price" toward numeric values so AttributeRangePlacement sees a
+    # keyed population (plus plenty of fallback subscriptions).
+    if attribute == "price" and rng.random() < 0.8:
+        return Predicate(attribute, operator, rng.randint(0, 100))
+    return Predicate(attribute, operator, _random_value(rng))
+
+
+def _random_subscription(rng: SeededRNG, subscriber: str) -> Subscription:
+    predicates = tuple(_random_predicate(rng) for _ in range(rng.randint(0, 3)))
+    return Subscription(
+        event_type=rng.choice(EVENT_TYPES),
+        predicates=predicates,
+        subscriber=subscriber,
+    )
+
+
+def _random_event(rng: SeededRNG) -> Event:
+    attributes = {}
+    for attribute in ATTRIBUTES:
+        if rng.random() < 0.6:
+            attributes[attribute] = _random_value(rng)
+    if not attributes:
+        attributes["topic"] = "alpha"
+    return Event(event_type=rng.choice(EVENT_TYPES), attributes=attributes)
+
+
+def _placements():
+    return [
+        ("hash", lambda: HashPlacement()),
+        ("range", lambda: AttributeRangePlacement("price")),
+    ]
+
+
+def _matched_ids(engine, event) -> list:
+    return [subscription.subscription_id for subscription in engine.match(event)]
+
+
+class TestShardedEquivalence:
+    @pytest.mark.parametrize("seed", [1, 9, 31])
+    @pytest.mark.parametrize("num_shards", [1, 2, 4, 7])
+    @pytest.mark.parametrize("placement_name,make_placement", _placements())
+    def test_sharded_equals_oracle(
+        self, seed, num_shards, placement_name, make_placement
+    ):
+        rng = SeededRNG(seed * 1000 + num_shards)
+        sharded = ShardedMatchingEngine(
+            num_shards=num_shards, placement=make_placement(), auto_rebalance=False
+        )
+        oracle = NaiveMatchingEngine()
+        for i in range(150):
+            subscription = _random_subscription(rng, f"user{i % 13}")
+            sharded.add(subscription)
+            oracle.add(subscription)
+        for _ in range(80):
+            event = _random_event(rng)
+            assert _matched_ids(sharded, event) == _matched_ids(oracle, event)
+            assert sharded.match_count(event) == oracle.match_count(event)
+            assert sharded.matches_any(event) == oracle.matches_any(event)
+            assert sharded.match_subscribers(event) == oracle.match_subscribers(event)
+
+    @pytest.mark.parametrize("seed", [5, 27])
+    @pytest.mark.parametrize("placement_name,make_placement", _placements())
+    def test_equivalence_under_churn_with_rebalances(
+        self, seed, placement_name, make_placement
+    ):
+        """Drain/refill rebalances mid-stream keep matching identical.
+
+        Interleaves adds, removes, explicit rebalances and match checks so
+        shard membership churns while the oracle never changes meaning.
+        """
+        rng = SeededRNG(seed)
+        sharded = ShardedMatchingEngine(
+            num_shards=4, placement=make_placement(), auto_rebalance=False
+        )
+        oracle = NaiveMatchingEngine()
+        alive = []
+        attempts = 0
+        for round_index in range(12):
+            for i in range(20):
+                subscription = _random_subscription(rng, f"user{i}")
+                sharded.add(subscription)
+                oracle.add(subscription)
+                alive.append(subscription)
+            removals = max(1, len(alive) // 4)
+            for _ in range(removals):
+                victim = alive.pop(rng.randint(0, len(alive) - 1))
+                assert sharded.remove(victim.subscription_id)
+                assert oracle.remove(victim.subscription_id)
+            if round_index % 3 == 1:
+                sharded.rebalance()
+                attempts += 1
+            assert len(sharded) == len(oracle) == len(alive)
+            for _ in range(8):
+                event = _random_event(rng)
+                assert _matched_ids(sharded, event) == _matched_ids(oracle, event)
+        assert attempts >= 2
+        if placement_name == "hash":
+            # Hash placement has nothing to refit: every attempt is a no-op.
+            assert sharded.rebalances == 0
+        else:
+            # The churned key population moves the quantile boundaries, so
+            # at least one attempt performed a real drain/refill.
+            assert 1 <= sharded.rebalances <= attempts
+
+    @pytest.mark.parametrize("seed", [3, 17])
+    def test_match_batch_equals_sequential_across_engines(self, seed):
+        rng = SeededRNG(seed)
+        single = MatchingEngine()
+        sharded = ShardedMatchingEngine(num_shards=3)
+        oracle = NaiveMatchingEngine()
+        for i in range(120):
+            subscription = _random_subscription(rng, f"user{i % 11}")
+            single.add(subscription)
+            sharded.add(subscription)
+            oracle.add(subscription)
+        events = [_random_event(rng) for _ in range(60)]
+        expected = [_matched_ids(oracle, event) for event in events]
+        for engine in (single, sharded):
+            batch = engine.match_batch(events)
+            assert [
+                [s.subscription_id for s in row] for row in batch
+            ] == expected
+
+    @pytest.mark.parametrize("seed", [8, 21])
+    def test_rebalance_between_batches(self, seed):
+        """A rebalance between two batches must not leak stale shard state."""
+        rng = SeededRNG(seed)
+        sharded = ShardedMatchingEngine(
+            num_shards=4,
+            placement=AttributeRangePlacement("price"),
+            auto_rebalance=False,
+        )
+        oracle = NaiveMatchingEngine()
+        for i in range(150):
+            subscription = _random_subscription(rng, f"user{i % 9}")
+            sharded.add(subscription)
+            oracle.add(subscription)
+        events = [_random_event(rng) for _ in range(40)]
+        expected = [_matched_ids(oracle, event) for event in events]
+
+        def ids(batch):
+            return [[s.subscription_id for s in row] for row in batch]
+
+        assert ids(sharded.match_batch(events)) == expected
+        sharded.rebalance()
+        assert ids(sharded.match_batch(events)) == expected
+
+    def test_auto_rebalance_stream_stays_equivalent(self):
+        """Auto-rebalancing (skew-triggered) engines stay oracle-identical."""
+        rng = SeededRNG(99)
+        sharded = ShardedMatchingEngine(
+            num_shards=4,
+            placement=AttributeRangePlacement("price"),
+            rebalance_threshold=1.5,
+        )
+        oracle = NaiveMatchingEngine()
+        for i in range(400):
+            subscription = _random_subscription(rng, f"user{i % 23}")
+            sharded.add(subscription)
+            oracle.add(subscription)
+            if i % 40 == 0:
+                event = _random_event(rng)
+                assert _matched_ids(sharded, event) == _matched_ids(oracle, event)
+        assert sharded.rebalances >= 1
+        for _ in range(40):
+            event = _random_event(rng)
+            assert _matched_ids(sharded, event) == _matched_ids(oracle, event)

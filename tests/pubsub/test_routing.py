@@ -55,6 +55,32 @@ class TestOverlayTopology:
         with pytest.raises(ValueError):
             build_tree_overlay(0, 2)
 
+    def test_engine_factory_threads_through_overlay(self):
+        from repro.cluster import ShardedMatchingEngine
+
+        factory = lambda: ShardedMatchingEngine(num_shards=2)  # noqa: E731
+        overlay = build_line_overlay(3, engine_factory=factory)
+        for broker in overlay.brokers.values():
+            assert isinstance(broker.local_engine, ShardedMatchingEngine)
+        # Routing still works end to end on sharded nodes.
+        overlay.attach_client("pub", "b0")
+        overlay.attach_client("alice", "b2")
+        overlay.subscribe(
+            "alice",
+            topic_subscription("news.story", "topic", "sports", subscriber="alice"),
+        )
+        report = overlay.publish("pub", news("sports"))
+        assert report.deliveries == 1
+        assert "alice" in report.subscribers
+        # Per-broker override beats the overlay default.
+        mixed = BrokerOverlay(engine_factory=factory)
+        from repro.pubsub.matching import MatchingEngine
+
+        plain = mixed.add_broker("plain", engine_factory=MatchingEngine)
+        sharded = mixed.add_broker("sharded")
+        assert isinstance(plain.local_engine, MatchingEngine)
+        assert isinstance(sharded.local_engine, ShardedMatchingEngine)
+
 
 class TestContentRouting:
     @pytest.fixture
