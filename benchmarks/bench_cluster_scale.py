@@ -11,7 +11,7 @@ hardware-independent, so it is safe to assert in CI).
 from __future__ import annotations
 
 from benchmarks.conftest import bench_scale, run_once
-from repro.experiments.cluster_scale import run_cluster_scale
+from repro.experiments.cluster_scale import run_cluster_scale, run_routed_cluster_scale
 
 
 def test_c1_cluster_scale_sweep(benchmark):
@@ -38,3 +38,32 @@ def test_c1_cluster_scale_sweep(benchmark):
         # not increase mean queue delay under the same arrival process.
         assert batched["sim_throughput_eps"] >= unbatched["sim_throughput_eps"]
         assert batched["mean_delay_ms"] <= unbatched["mean_delay_ms"]
+
+
+def test_c1b_routed_cluster_sweep(benchmark):
+    result = run_once(
+        benchmark,
+        run_routed_cluster_scale,
+        scale=max(0.1, bench_scale()),
+        verify=True,
+    )
+    print()
+    print(result.summary())
+
+    assert result.parameters["verified"] is True
+    # Routing must not change what gets delivered: every (topology, shards,
+    # batch) point delivers the oracle set, hence the same total count.
+    deliveries = {row["deliveries"] for row in result.rows}
+    assert len(deliveries) == 1
+    by_topology = {}
+    for row in result.rows:
+        by_topology.setdefault(row["topology"], []).append(row)
+    # Structural, machine-independent facts: the star bounds every path at
+    # two hops, the line pays up to the full diameter.
+    assert all(row["max_hops"] <= 2 for row in by_topology["star"])
+    line_max = max(row["max_hops"] for row in by_topology["line"])
+    assert line_max >= max(row["max_hops"] for row in by_topology["star"])
+    for rows in by_topology.values():
+        for row in rows:
+            assert row["forwards_per_event"] > 0
+            assert row["mean_e2e_delay_ms"] > 0

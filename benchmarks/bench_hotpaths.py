@@ -12,7 +12,10 @@ These pin the cost of the two inner loops everything else sits on:
   predicates and the engine cannot lean on the equality hash index;
 * the cluster layer's sharded / batched publish paths versus sequential
   single-engine publishing (PR 2; see the "Cluster layer" section of
-  PERFORMANCE.md).
+  PERFORMANCE.md);
+* the message plane's routed publish path (mailboxes + content-routed
+  forwarding over simulated links) and the multiprocess shard executor
+  versus the in-process sharded batch (PR 3; see "Message plane").
 
 Run ``python benchmarks/run_hotpath_bench.py --label <name>`` to record a
 named snapshot (``prN`` labels land in ``BENCH_PRN.json``); see
@@ -189,6 +192,70 @@ def test_hp_batch_publish_sharded(benchmark):
         return sum(len(row) for row in sharded.match_batch(events))
 
     deliveries = benchmark(run)
+    assert deliveries == expected
+
+
+def test_hp_routed_cluster_publish(benchmark):
+    """2k events through a routed 3-broker line cluster (sim-driven).
+
+    Pins the per-event cost of the full message plane: mailbox queueing,
+    batched service, content-routed forwarding decisions, and simulated
+    link delivery — everything a routed publish adds over bare matching.
+    Subscriptions are spread across all three brokers, so a large share of
+    deliveries crosses overlay links.
+    """
+    from repro.cluster.broker_cluster import BrokerCluster, build_cluster_topology
+
+    subscriptions, events = _cluster_publish_workload(num_subscriptions=6_000)
+    rng = SeededRNG(41)
+    cluster = BrokerCluster(
+        service_rate=1e9, batch_size=64, link_latency=0.001
+    )
+    names = build_cluster_topology("line", 3, cluster)
+    for subscription in subscriptions:
+        cluster.subscribe(names[rng.randint(0, 2)], subscription)
+    expected = cluster.metrics.counter("cluster.deliveries")
+
+    def run():
+        # The sim clock keeps advancing run over run; each round publishes
+        # the same 2k events at the current sim time and drains them.
+        start = expected.value
+        for index, event in enumerate(events):
+            cluster.publish(names[index % 3], event)
+        cluster.run()
+        return expected.value - start
+
+    deliveries = benchmark(run)
+    assert deliveries > 0
+    assert cluster.metrics.counter("cluster.events_forwarded").value > 0
+
+
+def test_hp_multiprocess_shard_match_batch(benchmark):
+    """The sharded 2k-event batch dispatched to worker processes.
+
+    Directly comparable to ``test_hp_batch_publish_sharded`` (same
+    workload, same shard count): the gap between the two is the
+    serialization + IPC toll of process isolation, and the crossover
+    point depends on core count (see PERFORMANCE.md "Message plane").
+    """
+    from repro.cluster.workers import MultiprocessExecutor
+
+    subscriptions, events = _cluster_publish_workload()
+    single = MatchingEngine()
+    for subscription in subscriptions:
+        single.add(subscription)
+    expected = sum(len(single.match(event)) for event in events)
+
+    with MultiprocessExecutor(chunk_size=500) as executor:
+        sharded = ShardedMatchingEngine(num_shards=4, executor=executor)
+        for subscription in subscriptions:
+            sharded.add(subscription)
+        sharded.match_batch(events[:8])  # warm the pool + worker caches
+
+        def run():
+            return sum(len(row) for row in sharded.match_batch(events))
+
+        deliveries = benchmark(run)
     assert deliveries == expected
 
 

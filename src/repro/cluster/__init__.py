@@ -1,6 +1,6 @@
-"""Cluster layer: sharded matching and batched event flow.
+"""Cluster layer: the distributed message plane.
 
-Scales the single-process pub/sub substrate along two axes the ROADMAP
+Scales the single-process pub/sub substrate along the axes the ROADMAP
 names:
 
 * :class:`~repro.cluster.sharded.ShardedMatchingEngine` partitions
@@ -8,18 +8,42 @@ names:
   (:class:`~repro.cluster.placement.HashPlacement` or
   :class:`~repro.cluster.placement.AttributeRangePlacement`), with
   drain/refill rebalancing when shard load skews;
+* :mod:`~repro.cluster.workers` makes shard execution pluggable:
+  :class:`~repro.cluster.workers.SerialExecutor` runs shards inline,
+  :class:`~repro.cluster.workers.MultiprocessExecutor` fans chunked match
+  batches out to worker processes;
+* :class:`~repro.cluster.routing.RoutingFabric` is the transport-agnostic
+  routing core (subscription propagation with covering pruning and
+  unsubscription repair, plus next-hop decisions), shared by the
+  synchronous :class:`~repro.pubsub.router.BrokerOverlay` and the
+  sim-clock cluster;
 * :class:`~repro.cluster.batch.BatchPublisher` pushes event *batches*
   through any engine's ``match_batch`` and merges per-shard hits;
 * :class:`~repro.cluster.broker_cluster.BrokerCluster` models brokers as
-  mailbox-driven processes on the discrete-event simulator, yielding
-  queue-delay and throughput metrics for the batching/sharding sweeps in
-  ``repro.experiments.cluster_scale``.
+  mailbox-driven processes on the discrete-event simulator — routed: events
+  forward between brokers as latency-bearing network messages through the
+  same mailbox machinery, yielding queue-delay, hop-count and end-to-end
+  delivery-delay metrics for ``repro.experiments.cluster_scale``.
 """
 
 from repro.cluster.batch import BatchPublisher, BatchReport
-from repro.cluster.broker_cluster import BrokerCluster, BrokerProcess, BrokerProcessStats
+from repro.cluster.broker_cluster import (
+    BrokerCluster,
+    BrokerProcess,
+    BrokerProcessStats,
+    EventEnvelope,
+    build_cluster_topology,
+)
 from repro.cluster.placement import AttributeRangePlacement, HashPlacement
+from repro.cluster.routing import RoutingFabric, SubscribeOutcome
 from repro.cluster.sharded import ShardedMatchingEngine
+from repro.cluster.workers import (
+    MultiprocessExecutor,
+    SerialExecutor,
+    ShardView,
+    make_executor,
+    sharded_engine_factory,
+)
 
 __all__ = [
     "AttributeRangePlacement",
@@ -28,6 +52,15 @@ __all__ = [
     "BrokerCluster",
     "BrokerProcess",
     "BrokerProcessStats",
+    "EventEnvelope",
     "HashPlacement",
+    "MultiprocessExecutor",
+    "RoutingFabric",
+    "SerialExecutor",
+    "ShardView",
     "ShardedMatchingEngine",
+    "SubscribeOutcome",
+    "build_cluster_topology",
+    "make_executor",
+    "sharded_engine_factory",
 ]

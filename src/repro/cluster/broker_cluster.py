@@ -6,15 +6,31 @@ executes synchronously — a publication runs to completion instantly.  A
 events enter a per-broker mailbox (FIFO queue) and are served by the
 broker at a configurable service rate, optionally in batches with a fixed
 per-cycle overhead (the connection handshake / syscall / dispatch cost
-batching amortizes).  The cluster runs on
-:class:`~repro.sim.engine.SimulationEngine`, so queueing delay, service
-time and throughput come out of simulated time, and all observations land
-in a :class:`~repro.sim.metrics.MetricsRegistry`:
+batching amortizes).
 
-* ``cluster.queue_delay`` — histogram of arrival-to-completion delay;
+Clusters are *routed*: brokers joined with :meth:`BrokerCluster.connect`
+share the same :class:`~repro.cluster.routing.RoutingFabric` the
+synchronous overlay uses, so subscriptions placed at one broker propagate
+routes through the topology (pruned by covering) and served events are
+forwarded along interested links.  Forwarding is not a function call — it
+is an ``event.forward`` message through
+:class:`~repro.sim.network.SimulatedNetwork` with per-link latency, landing
+in the neighbour's mailbox like any publication, so hop latency, remote
+queueing and service time all show up in the end-to-end delivery delay.
+
+The cluster runs on :class:`~repro.sim.engine.SimulationEngine`, so
+queueing delay, service time and throughput come out of simulated time,
+and all observations land in a :class:`~repro.sim.metrics.MetricsRegistry`:
+
+* ``cluster.queue_delay`` — histogram of arrival-to-completion delay
+  (per mailbox pass);
 * ``cluster.wait_time`` — histogram of arrival-to-service-start delay;
 * ``cluster.service_batch`` — histogram of served batch sizes;
 * ``cluster.events_processed`` / ``cluster.deliveries`` — counters;
+* ``cluster.events_forwarded`` — counter of inter-broker forwards sent;
+* ``cluster.delivery_hops`` — histogram of overlay hops per delivery;
+* ``cluster.e2e_delay`` — histogram of publish-to-delivery delay
+  (queueing + service at every broker on the path + link latency);
 * ``cluster.queue_depth.<broker>`` — gauge of the live mailbox depth.
 """
 
@@ -24,16 +40,34 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
-from repro.pubsub.broker import EngineFactory
+from repro.cluster.routing import RoutingFabric
+from repro.pubsub.broker import Broker, EngineFactory
 from repro.pubsub.events import Event
 from repro.pubsub.matching import MatchingEngine
 from repro.pubsub.subscriptions import Subscription
 from repro.sim.engine import SimulationEngine
 from repro.sim.metrics import MetricsRegistry
+from repro.sim.network import Link, Message, SimulatedNetwork
 
 # Cluster deliveries also carry the serving broker's name (4 args, unlike
 # the 3-arg repro.pubsub.broker.DeliveryCallback).
 ClusterDeliveryCallback = Callable[[str, str, Event, Subscription], None]
+
+
+@dataclass
+class EventEnvelope:
+    """An event in flight through the cluster's message plane.
+
+    Carries the routing context a plain :class:`Event` cannot: when the
+    original publication entered the system (for end-to-end delay), how
+    many overlay links it has crossed, and which neighbour handed it over
+    (so forwarding never bounces an event back along its arrival link).
+    """
+
+    event: Event
+    origin_time: float
+    hops: int = 0
+    came_from: Optional[str] = None
 
 
 @dataclass
@@ -45,6 +79,8 @@ class BrokerProcessStats:
     deliveries: int = 0
     service_cycles: int = 0
     busy_time: float = 0.0
+    events_forwarded: int = 0
+    forwards_received: int = 0
 
     def as_dict(self) -> Dict[str, float]:
         return {
@@ -53,16 +89,23 @@ class BrokerProcessStats:
             "deliveries": float(self.deliveries),
             "service_cycles": float(self.service_cycles),
             "busy_time": self.busy_time,
+            "events_forwarded": float(self.events_forwarded),
+            "forwards_received": float(self.forwards_received),
         }
 
 
 class BrokerProcess:
-    """One mailbox-driven broker: a queue, a matching engine, a server."""
+    """One mailbox-driven broker: a queue, a routing node, a server.
+
+    The broker's matching engine and its routing state live on ``node``
+    (a :class:`~repro.pubsub.broker.Broker`), shared with the routing
+    fabric; ``engine`` exposes the node's local matching engine.
+    """
 
     def __init__(
         self,
         name: str,
-        engine: MatchingEngine,
+        node: Broker,
         service_rate: float,
         batch_size: int,
         batch_overhead: float,
@@ -74,19 +117,32 @@ class BrokerProcess:
         if batch_overhead < 0:
             raise ValueError("batch_overhead must be non-negative")
         self.name = name
-        self.engine = engine
+        self.node = node
         self.service_rate = service_rate
         self.batch_size = batch_size
         self.batch_overhead = batch_overhead
-        self.mailbox: Deque[Tuple[float, Event]] = deque()
+        self.mailbox: Deque[Tuple[float, EventEnvelope]] = deque()
         self.busy = False
         self.stats = BrokerProcessStats()
+        # Set by BrokerCluster.add_broker so the per-broker subscribe
+        # helpers go through the routing fabric (standalone processes
+        # outside a cluster fall back to local-only behavior).
+        self._cluster: Optional["BrokerCluster"] = None
+
+    @property
+    def engine(self) -> MatchingEngine:
+        return self.node.local_engine
 
     def subscribe(self, subscription: Subscription) -> None:
-        self.engine.add(subscription)
+        if self._cluster is not None:
+            self._cluster.subscribe(self.name, subscription)
+        else:
+            self.node.subscribe_local(subscription)
 
     def unsubscribe(self, subscription_id: str) -> bool:
-        return self.engine.remove(subscription_id)
+        if self._cluster is not None:
+            return self._cluster.unsubscribe(self.name, subscription_id)
+        return self.node.unsubscribe_local(subscription_id)
 
     @property
     def queue_depth(self) -> int:
@@ -97,6 +153,17 @@ class BrokerProcess:
             f"BrokerProcess({self.name!r}, queued={len(self.mailbox)}, "
             f"rate={self.service_rate}, batch={self.batch_size})"
         )
+
+
+class _BrokerPort:
+    """Network endpoint of one broker: forwarded events land in its mailbox."""
+
+    def __init__(self, cluster: "BrokerCluster", broker: BrokerProcess) -> None:
+        self.cluster = cluster
+        self.broker = broker
+
+    def handle_message(self, message: Message, network: SimulatedNetwork) -> None:
+        self.cluster._receive_forward(self.broker, message.payload)
 
 
 class BrokerCluster:
@@ -110,13 +177,30 @@ class BrokerCluster:
         service_rate: float = 2000.0,
         batch_size: int = 1,
         batch_overhead: float = 0.0,
+        link_latency: float = 0.002,
+        network: Optional[SimulatedNetwork] = None,
+        routing_engine_factory: EngineFactory = MatchingEngine,
     ) -> None:
+        if link_latency < 0:
+            raise ValueError("link_latency must be non-negative")
         self.sim = sim if sim is not None else SimulationEngine()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.engine_factory = engine_factory
+        # Routing tables hold copies of remote subscriptions only; a plain
+        # engine keeps them cheap even when local engines are sharded.
+        self.routing_engine_factory = routing_engine_factory
         self.default_service_rate = service_rate
         self.default_batch_size = batch_size
         self.default_batch_overhead = batch_overhead
+        self.link_latency = link_latency
+        self.fabric = RoutingFabric(metrics=self.metrics)
+        self.network = (
+            network
+            if network is not None
+            else SimulatedNetwork(
+                self.sim, metrics=self.metrics, default_link=Link(latency=link_latency)
+            )
+        )
         self.brokers: Dict[str, BrokerProcess] = {}
         self._delivery_callbacks: List[ClusterDeliveryCallback] = []
 
@@ -132,9 +216,14 @@ class BrokerCluster:
     ) -> BrokerProcess:
         if name in self.brokers:
             raise ValueError(f"broker {name!r} already exists")
+        node = Broker(
+            name,
+            engine_factory=self.routing_engine_factory,
+            local_engine=engine if engine is not None else self.engine_factory(),
+        )
         broker = BrokerProcess(
             name=name,
-            engine=engine if engine is not None else self.engine_factory(),
+            node=node,
             service_rate=(
                 service_rate if service_rate is not None else self.default_service_rate
             ),
@@ -145,11 +234,40 @@ class BrokerCluster:
                 else self.default_batch_overhead
             ),
         )
+        broker._cluster = self
         self.brokers[name] = broker
+        self.fabric.add_node(name, node)
+        self.network.register(name, _BrokerPort(self, broker))
         return broker
 
+    def connect(
+        self, first: str, second: str, latency: Optional[float] = None
+    ) -> None:
+        """Join two brokers with a bidirectional overlay link.
+
+        Subscription routes start propagating across the link immediately
+        (subscriptions placed before the link existed are re-advertised),
+        and served events are forwarded over it with ``latency`` seconds
+        of one-way delay (the cluster default when not given).
+        """
+        if latency is not None and latency < 0:
+            raise ValueError("latency must be non-negative")
+        self.fabric.connect(first, second)
+        if latency is not None:
+            link = Link(latency=latency)
+            self.network.set_link(first, second, link)
+            self.network.set_link(second, first, link)
+
     def subscribe(self, broker_name: str, subscription: Subscription) -> None:
-        self._broker(broker_name).subscribe(subscription)
+        """Place a subscription at a broker and propagate its route."""
+        self._broker(broker_name)
+        self.fabric.subscribe_at(broker_name, subscription)
+
+    def unsubscribe(self, broker_name: str, subscription_id: str) -> bool:
+        """Remove a subscription homed at ``broker_name`` (with routing
+        repair for subscriptions its covering had pruned)."""
+        self._broker(broker_name)
+        return self.fabric.unsubscribe_at(broker_name, subscription_id)
 
     def on_delivery(self, callback: ClusterDeliveryCallback) -> None:
         """Register a callback invoked per delivery
@@ -167,13 +285,8 @@ class BrokerCluster:
     def publish(self, broker_name: str, event: Event) -> None:
         """Enqueue an event into a broker's mailbox at the current sim time."""
         broker = self._broker(broker_name)
-        broker.mailbox.append((self.sim.now, event))
-        broker.stats.events_enqueued += 1
-        self.metrics.counter("cluster.events_enqueued").increment()
-        self.metrics.gauge(f"cluster.queue_depth.{broker_name}").set(
-            broker.queue_depth
-        )
-        self._start_service(broker)
+        envelope = EventEnvelope(event=event, origin_time=self.sim.now)
+        self._enqueue(broker, envelope)
 
     def publish_at(self, time: float, broker_name: str, event: Event) -> None:
         """Schedule a publication at an absolute simulation time."""
@@ -182,6 +295,19 @@ class BrokerCluster:
             lambda _engine: self.publish(broker_name, event),
             label=f"publish:{broker_name}",
         )
+
+    def _enqueue(self, broker: BrokerProcess, envelope: EventEnvelope) -> None:
+        broker.mailbox.append((self.sim.now, envelope))
+        broker.stats.events_enqueued += 1
+        self.metrics.counter("cluster.events_enqueued").increment()
+        self.metrics.gauge(f"cluster.queue_depth.{broker.name}").set(
+            broker.queue_depth
+        )
+        self._start_service(broker)
+
+    def _receive_forward(self, broker: BrokerProcess, envelope: EventEnvelope) -> None:
+        broker.stats.forwards_received += 1
+        self._enqueue(broker, envelope)
 
     def _start_service(self, broker: BrokerProcess) -> None:
         if broker.busy or not broker.mailbox:
@@ -203,7 +329,7 @@ class BrokerCluster:
             return
         # The batch is drawn (and leaves the queue) when service begins;
         # its size fixes the cycle's service time.
-        batch: List[Tuple[float, Event]] = [
+        batch: List[Tuple[float, EventEnvelope]] = [
             broker.mailbox.popleft()
             for _ in range(min(broker.batch_size, len(broker.mailbox)))
         ]
@@ -215,7 +341,7 @@ class BrokerCluster:
             broker.queue_depth
         )
         self.metrics.histogram("cluster.service_batch").observe(len(batch))
-        for enqueued_at, _event in batch:
+        for enqueued_at, _envelope in batch:
             self.metrics.histogram("cluster.wait_time").observe(start - enqueued_at)
 
         def complete(_engine: SimulationEngine) -> None:
@@ -224,24 +350,50 @@ class BrokerCluster:
         self.sim.schedule_in(service_time, complete, label=f"serve:{broker.name}")
 
     def _complete_service(
-        self, broker: BrokerProcess, batch: List[Tuple[float, Event]]
+        self, broker: BrokerProcess, batch: List[Tuple[float, EventEnvelope]]
     ) -> None:
         now = self.sim.now
-        events = [event for _at, event in batch]
+        events = [envelope.event for _at, envelope in batch]
         matches = broker.engine.match_batch(events)
         deliveries = 0
-        for (enqueued_at, event), row in zip(batch, matches):
+        for (enqueued_at, envelope), row in zip(batch, matches):
             deliveries += len(row)
             self.metrics.histogram("cluster.queue_delay").observe(now - enqueued_at)
             for subscription in row:
+                self.metrics.histogram("cluster.delivery_hops").observe(envelope.hops)
+                self.metrics.histogram("cluster.e2e_delay").observe(
+                    now - envelope.origin_time
+                )
                 for callback in self._delivery_callbacks:
-                    callback(broker.name, subscription.subscriber, event, subscription)
+                    callback(broker.name, subscription.subscriber, envelope.event, subscription)
+            self._forward(broker, envelope)
         broker.stats.events_processed += len(batch)
         broker.stats.deliveries += deliveries
         self.metrics.counter("cluster.events_processed").increment(len(batch))
         self.metrics.counter("cluster.deliveries").increment(deliveries)
         broker.busy = False
         self._start_service(broker)
+
+    def _forward(self, broker: BrokerProcess, envelope: EventEnvelope) -> None:
+        """Send the served event down every interested overlay link."""
+        next_hops = self.fabric.next_hops(
+            broker.name, envelope.event, came_from=envelope.came_from
+        )
+        for neighbour in next_hops:
+            broker.stats.events_forwarded += 1
+            self.metrics.counter("cluster.events_forwarded").increment()
+            self.network.send(
+                broker.name,
+                neighbour,
+                kind="event.forward",
+                payload=EventEnvelope(
+                    event=envelope.event,
+                    origin_time=envelope.origin_time,
+                    hops=envelope.hops + 1,
+                    came_from=broker.name,
+                ),
+                size_bytes=envelope.event.size_bytes(),
+            )
 
     # -- execution ---------------------------------------------------------
 
@@ -263,3 +415,43 @@ class BrokerCluster:
             name: broker.stats.as_dict()
             for name, broker in sorted(self.brokers.items())
         }
+
+    def routing_stats_by_broker(self) -> Dict[str, Dict[str, int]]:
+        """Control-plane accounting (subscription propagation) per broker."""
+        return {
+            name: broker.node.stats.as_dict()
+            for name, broker in sorted(self.brokers.items())
+        }
+
+    def total_routing_state(self) -> int:
+        return self.fabric.total_routing_state()
+
+
+def build_cluster_topology(
+    topology: str,
+    num_brokers: int,
+    cluster: BrokerCluster,
+    latency: Optional[float] = None,
+) -> List[str]:
+    """Add ``num_brokers`` brokers wired as ``line``/``star``/``tree``.
+
+    Returns the broker names in creation order.  ``tree`` is binary,
+    filled level by level; ``star`` puts broker 0 at the hub.
+    """
+    if num_brokers < 1:
+        raise ValueError("num_brokers must be at least 1")
+    names = [f"b{index}" for index in range(num_brokers)]
+    for name in names:
+        cluster.add_broker(name)
+    if topology == "line":
+        for index in range(num_brokers - 1):
+            cluster.connect(names[index], names[index + 1], latency=latency)
+    elif topology == "star":
+        for index in range(1, num_brokers):
+            cluster.connect(names[0], names[index], latency=latency)
+    elif topology == "tree":
+        for index in range(1, num_brokers):
+            cluster.connect(names[(index - 1) // 2], names[index], latency=latency)
+    else:
+        raise ValueError(f"unknown topology {topology!r} (line|star|tree)")
+    return names

@@ -1,0 +1,316 @@
+"""Transport-agnostic content-based routing core (the message plane).
+
+Routing in this system has two halves that must never diverge:
+
+* the *control plane* — subscriptions issued at a broker propagate through
+  the overlay so every broker records, per neighbour, which subscriptions
+  are reachable via that neighbour (pruned by covering relations);
+* the *data plane decision* — given an event at a broker, which neighbours
+  lead toward matching subscriptions.
+
+Before this module existed both halves lived inside the synchronous
+:class:`~repro.pubsub.router.BrokerOverlay`, so the sim-clock
+:class:`~repro.cluster.broker_cluster.BrokerCluster` could not route
+between its brokers at all.  :class:`RoutingFabric` extracts topology
+management, subscription propagation, unsubscription repair and the
+forwarding decision into one component that any transport can drive: the
+overlay walks the fabric's next-hop answers synchronously, the cluster
+turns them into forwarding messages through broker mailboxes with
+simulated link latency.
+
+The fabric operates on :class:`~repro.pubsub.broker.Broker` nodes (or
+anything with the same routing surface: ``subscribe_local`` /
+``unsubscribe_local`` / ``learn_remote`` / ``forget_remote`` /
+``remote_engines`` / ``interested_neighbours`` / ``stats``).
+
+Covering-prune repair
+---------------------
+
+Propagation prunes a subscription's route at a broker when an
+already-known route via the same neighbour *covers* it (Siena semantics:
+any event matching the covered subscription also matches the covering one,
+so the covering route suffices).  That makes removal subtle: retracting a
+subscription must *re-advertise* every remaining subscription it covered,
+because their routes may exist nowhere upstream — the seed overlay skipped
+this and silently stopped forwarding events to covered subscriptions once
+their cover left (see ``tests/pubsub/test_routing.py``
+``test_unsubscribe_restores_covered_routes``).  Re-issuing a subscription
+id with a changed definition retracts the old definition the same way
+before propagating the new one, so stale routes cannot linger either.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.pubsub.events import Event
+from repro.pubsub.subscriptions import Subscription
+from repro.sim.metrics import MetricsRegistry
+
+
+@dataclass
+class SubscribeOutcome:
+    """Control-plane accounting for one subscription propagation."""
+
+    subscription_id: str
+    home_broker: str
+    hops: int = 0
+    pruned: int = 0
+    replaced: bool = False
+
+
+class RoutingFabric:
+    """Topology + routing state shared by every broker transport.
+
+    The fabric owns the overlay graph (kept acyclic), the client→home
+    mapping, and the id→home mapping of live subscriptions; per-broker
+    routing tables live on the node objects themselves so the matching
+    fast paths (``interested_neighbours`` → ``matches_any``) stay where
+    the engines are.
+    """
+
+    def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
+        self.nodes: Dict[str, object] = {}
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._edges: Dict[str, Set[str]] = {}
+        self._client_home: Dict[str, str] = {}
+        # subscription id -> (home broker, live definition); the definition
+        # is kept so retraction can repair routes it may have pruned.
+        self._home_of: Dict[str, Tuple[str, Subscription]] = {}
+
+    # -- topology -----------------------------------------------------------
+
+    def add_node(self, name: str, node: object) -> None:
+        if name in self.nodes:
+            raise ValueError(f"broker {name!r} already exists")
+        self.nodes[name] = node
+        self._edges[name] = set()
+
+    def connect(self, first: str, second: str) -> None:
+        """Join two brokers with a bidirectional overlay link.
+
+        The overlay must remain acyclic; connecting two brokers already
+        joined by a path raises ``ValueError``.
+        """
+        if first not in self.nodes or second not in self.nodes:
+            raise KeyError("both brokers must exist before connecting them")
+        if first == second:
+            raise ValueError("cannot connect a broker to itself")
+        if self.path_exists(first, second):
+            raise ValueError("overlay must remain acyclic (path already exists)")
+        # The components being joined, captured before the edge exists:
+        # each side's live subscriptions must be advertised *into the other
+        # side only* — brokers on a subscription's own side already hold
+        # its routes, so re-walking them would just inflate hop stats.
+        first_side = self._component(first)
+        self._edges[first].add(second)
+        self._edges[second].add(first)
+        self.nodes[first].add_neighbour(second)
+        self.nodes[second].add_neighbour(first)
+        for home, subscription in list(self._home_of.values()):
+            if home in first_side:
+                self._propagate(home, subscription, via=(first, second))
+            else:
+                self._propagate(home, subscription, via=(second, first))
+
+    def path_exists(self, start: str, goal: str) -> bool:
+        return goal in self._component(start)
+
+    def _component(self, start: str) -> Set[str]:
+        """All brokers reachable from ``start`` over current edges."""
+        seen = {start}
+        queue = deque([start])
+        while queue:
+            current = queue.popleft()
+            for neighbour in self._edges[current]:
+                if neighbour not in seen:
+                    seen.add(neighbour)
+                    queue.append(neighbour)
+        return seen
+
+    def neighbours(self, broker_name: str) -> Set[str]:
+        return set(self._edges[broker_name])
+
+    def node_names(self) -> List[str]:
+        return sorted(self.nodes)
+
+    # -- client attachment ---------------------------------------------------
+
+    def attach_client(self, client: str, broker_name: str) -> None:
+        if broker_name not in self.nodes:
+            raise KeyError(f"unknown broker {broker_name!r}")
+        self._client_home[client] = broker_name
+
+    def home_broker(self, client: str) -> Optional[str]:
+        return self._client_home.get(client)
+
+    def require_home(self, client: str) -> str:
+        home = self._client_home.get(client)
+        if home is None:
+            raise KeyError(f"client {client!r} is not attached to a broker")
+        return home
+
+    # -- control plane: subscription propagation -----------------------------
+
+    def subscribe_at(self, broker_name: str, subscription: Subscription) -> SubscribeOutcome:
+        """Place a subscription at ``broker_name`` and propagate its route.
+
+        Re-issuing a live subscription id first retracts the old
+        definition's routing state everywhere (with covering repair), so
+        the new definition starts from a clean table.
+        """
+        if broker_name not in self.nodes:
+            raise KeyError(f"unknown broker {broker_name!r}")
+        subscription_id = subscription.subscription_id
+        replaced = False
+        if subscription_id in self._home_of:
+            # Re-issue at the same home keeps the local engine entry so the
+            # node's replace-on-readd path sees a known id and does not
+            # double-count subscriptions_received; a home move is a real
+            # removal at the old broker plus a fresh placement at the new.
+            old_home = self._home_of[subscription_id][0]
+            self._retract(
+                subscription_id,
+                keep_local=(old_home == broker_name),
+            )
+            replaced = True
+        self.nodes[broker_name].subscribe_local(subscription)
+        self._home_of[subscription_id] = (broker_name, subscription)
+        self.metrics.counter("overlay.subscriptions").increment()
+        outcome = self._propagate(broker_name, subscription)
+        outcome.replaced = replaced
+        return outcome
+
+    def subscribe(self, client: str, subscription: Subscription) -> SubscribeOutcome:
+        """Place a subscription at the client's home broker."""
+        return self.subscribe_at(self.require_home(client), subscription)
+
+    def unsubscribe_at(self, broker_name: str, subscription_id: str) -> bool:
+        """Remove a subscription homed at ``broker_name``.
+
+        Returns ``False`` when the id is unknown or homed elsewhere (the
+        caller is not its owner), mirroring the per-broker semantics of
+        ``Broker.unsubscribe_local``.
+        """
+        homed = self._home_of.get(subscription_id)
+        if homed is None or homed[0] != broker_name:
+            return False
+        removed = self._retract(subscription_id)
+        if removed:
+            self.metrics.counter("overlay.unsubscriptions").increment()
+        return removed
+
+    def unsubscribe(self, client: str, subscription_id: str) -> bool:
+        home = self._client_home.get(client)
+        if home is None:
+            return False
+        return self.unsubscribe_at(home, subscription_id)
+
+    def _retract(self, subscription_id: str, keep_local: bool = False) -> bool:
+        """Drop a subscription and every route toward it, then repair.
+
+        Repair re-propagates every remaining subscription the removed
+        definition covered: their routes may have been pruned in favour of
+        the removed one and must be re-advertised from their home brokers
+        (propagation is idempotent — still-covered routes prune again).
+
+        ``keep_local`` leaves the home broker's local engine untouched
+        (the caller is about to replace the entry in place).
+        """
+        home, removed_sub = self._home_of.pop(subscription_id)
+        home_node = self.nodes[home]
+        if keep_local:
+            removed = subscription_id in home_node.local_engine
+        else:
+            removed = home_node.unsubscribe_local(subscription_id)
+        for node in self.nodes.values():
+            for neighbour in list(node.remote_engines):
+                node.forget_remote(neighbour, subscription_id)
+        if not removed:
+            return False
+        for other_home, survivor in self._home_of.values():
+            if removed_sub.covers(survivor):
+                self._propagate(other_home, survivor)
+        return True
+
+    def _propagate(
+        self,
+        origin: str,
+        subscription: Subscription,
+        via: Optional[Tuple[str, str]] = None,
+    ) -> SubscribeOutcome:
+        """Breadth-first propagation: each broker records which neighbour
+        leads back toward the subscriber, pruned by covering relations.
+
+        With ``via=(from_broker, to_broker)`` the walk starts across that
+        single edge instead of fanning out from ``origin`` — used when a
+        new link joins two components and routes must be advertised into
+        the far side only.
+        """
+        outcome = SubscribeOutcome(
+            subscription_id=subscription.subscription_id, home_broker=origin
+        )
+        if via is None:
+            visited = {origin}
+            queue = deque((origin, neighbour) for neighbour in self._edges[origin])
+        else:
+            from_broker, to_broker = via
+            visited = {from_broker}
+            queue = deque([(from_broker, to_broker)])
+        while queue:
+            from_broker, to_broker = queue.popleft()
+            if to_broker in visited:
+                continue
+            visited.add(to_broker)
+            node = self.nodes[to_broker]
+            # Covering check: if an already-known subscription via this
+            # neighbour covers the new one, the routing state is unchanged.
+            existing = node.remote_engines.get(from_broker)
+            if existing is not None and existing.any_covering(subscription):
+                outcome.pruned += 1
+                self.metrics.counter("overlay.subscription_pruned").increment()
+            else:
+                node.learn_remote(from_broker, subscription)
+                node.stats.subscriptions_forwarded += 1
+                outcome.hops += 1
+                self.metrics.counter("overlay.subscription_hops").increment()
+            for neighbour in self._edges[to_broker]:
+                if neighbour not in visited:
+                    queue.append((to_broker, neighbour))
+        return outcome
+
+    # -- data plane decision --------------------------------------------------
+
+    def next_hops(
+        self,
+        broker_name: str,
+        event: Event,
+        came_from: Optional[str] = None,
+        flood: bool = False,
+    ) -> List[str]:
+        """Neighbours the event must be forwarded to from ``broker_name``.
+
+        With ``flood=True`` every neighbour except the arrival link is a
+        next hop (the baseline); otherwise only neighbours whose routing
+        table holds at least one subscription matching the event.
+        """
+        if flood:
+            return sorted(n for n in self._edges[broker_name] if n != came_from)
+        return self.nodes[broker_name].interested_neighbours(event, exclude=came_from)
+
+    # -- reporting ------------------------------------------------------------
+
+    def subscription_home(self, subscription_id: str) -> Optional[str]:
+        homed = self._home_of.get(subscription_id)
+        return homed[0] if homed is not None else None
+
+    def live_subscriptions(self) -> List[Subscription]:
+        return [subscription for _home, subscription in self._home_of.values()]
+
+    def total_routing_state(self) -> int:
+        return sum(node.routing_table_size() for node in self.nodes.values())
+
+    def __len__(self) -> int:
+        return len(self.nodes)

@@ -15,6 +15,13 @@ over mean load), the engine asks the placement policy to refit itself to
 the live population and migrates every subscription whose assignment
 moved (drain/refill).  Hash placement never moves anything; range
 placement recomputes quantile boundaries.
+
+Execution: *where* per-shard match work runs is delegated to a pluggable
+:class:`~repro.cluster.workers.ShardExecutor`-style object — the default
+:class:`~repro.cluster.workers.SerialExecutor` runs shards inline exactly
+as before, a :class:`~repro.cluster.workers.MultiprocessExecutor` fans
+chunked batches out to worker processes.  The merge logic is shared, so
+all executors produce identical results (pinned by the same oracle suite).
 """
 
 from __future__ import annotations
@@ -22,6 +29,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from repro.cluster.placement import HashPlacement
+from repro.cluster.workers import SerialExecutor, ShardView, next_engine_id
 from repro.pubsub.broker import EngineFactory
 from repro.pubsub.events import Event
 from repro.pubsub.matching import MatchingEngine, distinct_subscribers
@@ -45,6 +53,7 @@ class ShardedMatchingEngine:
         engine_factory: EngineFactory = MatchingEngine,
         rebalance_threshold: float = 2.0,
         auto_rebalance: bool = True,
+        executor: Optional[object] = None,
     ) -> None:
         if num_shards < 1:
             raise ValueError("num_shards must be at least 1")
@@ -53,6 +62,13 @@ class ShardedMatchingEngine:
         self._shards: List[MatchingEngine] = [engine_factory() for _ in range(num_shards)]
         self._placement = placement if placement is not None else HashPlacement()
         self._shard_of: Dict[str, int] = {}
+        # Where the per-shard match work runs (see repro.cluster.workers):
+        # the default serial executor is the classic in-process path.
+        self._executor = executor if executor is not None else SerialExecutor()
+        self._engine_id = next_engine_id()
+        # Bumped whenever a shard's subscription set changes, so
+        # process-based executors can cache per-shard worker engines.
+        self._shard_versions: List[int] = [0] * num_shards
         self._rebalance_threshold = float(rebalance_threshold)
         self._auto_rebalance = auto_rebalance
         self._adds_since_rebalance = 0
@@ -69,6 +85,35 @@ class ShardedMatchingEngine:
     @property
     def placement(self) -> object:
         return self._placement
+
+    @property
+    def executor(self) -> object:
+        return self._executor
+
+    def shard_views(self) -> List[ShardView]:
+        """Live views of the non-empty shards, for the executor."""
+        return [
+            ShardView(
+                key=(self._engine_id, index),
+                version=self._shard_versions[index],
+                engine=shard,
+            )
+            for index, shard in enumerate(self._shards)
+            if len(shard)
+        ]
+
+    def close(self) -> None:
+        """Release executor resources (worker pools); the engine itself
+        remains usable and the executor restarts lazily if called again."""
+        close = getattr(self._executor, "close", None)
+        if close is not None:
+            close()
+
+    def __enter__(self) -> "ShardedMatchingEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def shard_loads(self) -> List[int]:
         """Live subscription count per shard."""
@@ -94,7 +139,9 @@ class ShardedMatchingEngine:
         current = self._shard_of.get(subscription_id)
         if current is not None and current != target:
             self._shards[current].remove(subscription_id)
+            self._shard_versions[current] += 1
         self._shards[target].add(subscription)
+        self._shard_versions[target] += 1
         self._shard_of[subscription_id] = target
         self._adds_since_rebalance += 1
         if self._auto_rebalance:
@@ -104,6 +151,7 @@ class ShardedMatchingEngine:
         shard = self._shard_of.pop(subscription_id, None)
         if shard is None:
             return False
+        self._shard_versions[shard] += 1
         return self._shards[shard].remove(subscription_id)
 
     def __len__(self) -> int:
@@ -167,6 +215,8 @@ class ShardedMatchingEngine:
             if target != current:
                 self._shards[current].remove(subscription_id)
                 self._shards[target].add(subscription)
+                self._shard_versions[current] += 1
+                self._shard_versions[target] += 1
                 self._shard_of[subscription_id] = target
                 moved += 1
         self.rebalances += 1
@@ -177,6 +227,10 @@ class ShardedMatchingEngine:
 
     def match(self, event: Event) -> List[Subscription]:
         """All matching subscriptions across shards (sorted by id)."""
+        if not self._executor.in_process:
+            # Process-based executors only speak match_batch; a single
+            # event is a batch of one (the merge below is shared).
+            return self.match_batch([event])[0]
         merged: List[Subscription] = []
         parts = 0
         for shard in self._shards:
@@ -193,9 +247,13 @@ class ShardedMatchingEngine:
         return merged
 
     def match_count(self, event: Event) -> int:
+        if not self._executor.in_process:
+            return len(self.match(event))
         return sum(shard.match_count(event) for shard in self._shards if len(shard))
 
     def matches_any(self, event: Event) -> bool:
+        if not self._executor.in_process:
+            return bool(self.match(event))
         return any(shard.matches_any(event) for shard in self._shards if len(shard))
 
     def match_subscribers(self, event: Event) -> List[str]:
@@ -209,9 +267,7 @@ class ShardedMatchingEngine:
         only when more than one shard contributed hits.
         """
         events = list(events)
-        shard_results = [
-            shard.match_batch(events) for shard in self._shards if len(shard)
-        ]
+        shard_results = self._executor.match_batch(self.shard_views(), events)
         if not shard_results:
             return [[] for _ in events]
         if len(shard_results) == 1:

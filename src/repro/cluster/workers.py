@@ -1,0 +1,269 @@
+"""Pluggable shard executors: where a sharded engine's match work runs.
+
+:class:`~repro.cluster.sharded.ShardedMatchingEngine` partitions its
+subscription set across N inner engines; *how* the per-shard match work is
+executed is this module's concern.  A :class:`ShardExecutor` receives the
+live shard views plus an event batch and returns one result table per
+shard — the engine merges them, so every executor is observationally
+identical by construction and the property suite runs the same oracle
+checks against each.
+
+* :class:`SerialExecutor` — runs each shard's ``match_batch`` inline in
+  the calling process.  This is the default and preserves the pre-executor
+  behavior byte for byte (same calls, same order, same objects).
+* :class:`MultiprocessExecutor` — dispatches chunked match work to a pool
+  of worker processes.  Workers never see the parent's live engines:
+  each task carries a *picklable subscription spec* (the shard's
+  subscription list) plus a version number; a worker lazily builds a plain
+  :class:`~repro.pubsub.matching.MatchingEngine` from the spec the first
+  time it sees a (shard, version) pair and caches it, so steady-state
+  traffic pays only event/result pickling, not engine rebuilds.  Shard
+  mutations bump the version, invalidating worker caches on the next call.
+
+The multiprocess path trades per-call serialization overhead for
+parallelism across cores; on small batches or few cores the serial
+executor wins (see the "Message plane" section of PERFORMANCE.md for the
+measured crossover).
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import pickle
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.pubsub.events import Event
+from repro.pubsub.matching import MatchingEngine
+from repro.pubsub.subscriptions import Subscription
+
+# One result table per shard: table[event_index] -> id-sorted matches.
+ShardResults = List[List[List[Subscription]]]
+
+_engine_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class ShardView:
+    """What an executor may see of one shard.
+
+    ``key`` is stable across calls for the lifetime of the owning engine
+    (executors key caches on it); ``version`` changes whenever the shard's
+    subscription set changes; ``engine`` is the live in-process engine —
+    only in-process executors may touch it, process-based executors must
+    go through ``spec()``.
+    """
+
+    key: Tuple[int, int]
+    version: int
+    engine: MatchingEngine
+
+    def spec(self) -> List[Subscription]:
+        """Picklable description of the shard: its subscription list."""
+        return self.engine.subscriptions()
+
+
+class SerialExecutor:
+    """Run every shard's batch inline (the classic single-process path)."""
+
+    #: In-process executors let the engine keep its zero-copy single-event
+    #: fast paths (``match``/``matches_any`` loop the live shards directly).
+    in_process = True
+
+    def match_batch(self, views: Sequence[ShardView], events: Sequence[Event]) -> ShardResults:
+        return [view.engine.match_batch(events) for view in views]
+
+    def close(self) -> None:  # pragma: no cover - nothing to release
+        pass
+
+
+# -- multiprocess worker side -------------------------------------------------
+
+# Per-worker-process cache: shard key -> (version, engine built from spec).
+# Bounded: engines for long-gone ShardedMatchingEngines (each gets a fresh
+# engine id) would otherwise accumulate in a long-lived shared pool.
+_WORKER_ENGINES: Dict[Tuple[int, int], Tuple[int, MatchingEngine]] = {}
+_WORKER_ENGINE_CAP = 64
+
+
+def _match_chunk(
+    key: Tuple[int, int],
+    version: int,
+    spec_bytes: Optional[bytes],
+    events: List[Event],
+) -> List[List[Subscription]]:
+    """Match one event chunk against one shard inside a worker process.
+
+    ``spec_bytes`` is the shard's pickled subscription list; the engine
+    built from it is cached per (shard, version), so repeated calls
+    against an unchanged shard skip both the unpickle and the engine
+    rebuild (the "lazy engine build" the executor promises) — the bytes
+    ride along unopened.
+    """
+    cached = _WORKER_ENGINES.get(key)
+    if cached is None or cached[0] != version:
+        engine = MatchingEngine()
+        for subscription in pickle.loads(spec_bytes) if spec_bytes else ():
+            engine.add(subscription)
+        while len(_WORKER_ENGINES) >= _WORKER_ENGINE_CAP:
+            # FIFO eviction: dict order is insertion order, and stale
+            # entries (dead engines, old versions) are the oldest.
+            _WORKER_ENGINES.pop(next(iter(_WORKER_ENGINES)))
+        _WORKER_ENGINES[key] = (version, engine)
+    else:
+        engine = cached[1]
+    return engine.match_batch(events)
+
+
+class MultiprocessExecutor:
+    """Fan shard match work out to worker processes.
+
+    Dispatch is chunked: each shard's event batch is split into up to
+    ``chunk_size``-event chunks so a single large batch spreads across the
+    pool even with few shards.  Results are reassembled in submission
+    order, so the merged output is identical to the serial executor's.
+    """
+
+    in_process = False
+
+    def __init__(
+        self,
+        processes: Optional[int] = None,
+        chunk_size: int = 256,
+        start_method: Optional[str] = None,
+    ) -> None:
+        if processes is not None and processes < 1:
+            raise ValueError("processes must be at least 1")
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be at least 1")
+        self.processes = processes if processes is not None else min(4, os.cpu_count() or 1)
+        self.chunk_size = chunk_size
+        self._start_method = start_method
+        self._pool = None
+        # Parent-side spec cache: shard key -> (version, pickled spec);
+        # the subscription list is extracted and pickled once per shard
+        # version, not once per task.
+        self._specs: Dict[Tuple[int, int], Tuple[int, bytes]] = {}
+        self.tasks_dispatched = 0
+
+    # -- pool lifecycle ----------------------------------------------------
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            import multiprocessing
+            from concurrent.futures import ProcessPoolExecutor
+
+            context = None
+            if self._start_method is not None:
+                context = multiprocessing.get_context(self._start_method)
+            elif "fork" in multiprocessing.get_all_start_methods():
+                # Fork keeps worker start cheap and inherits sys.path; on
+                # platforms without it (Windows/macOS spawn default) the
+                # default context is used instead.
+                context = multiprocessing.get_context("fork")
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.processes, mp_context=context
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down and drop the parent-side spec cache;
+        the executor restarts lazily on the next call (worker caches died
+        with their processes, specs re-pickle on demand), so close()
+        between bursts is always safe."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+        self._specs.clear()
+
+    def __enter__(self) -> "MultiprocessExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC-timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- execution ---------------------------------------------------------
+
+    def _spec_for(self, view: ShardView) -> bytes:
+        cached = self._specs.get(view.key)
+        if cached is not None and cached[0] == view.version:
+            return cached[1]
+        spec = pickle.dumps(view.spec(), protocol=pickle.HIGHEST_PROTOCOL)
+        self._specs[view.key] = (view.version, spec)
+        return spec
+
+    def match_batch(self, views: Sequence[ShardView], events: Sequence[Event]) -> ShardResults:
+        events = list(events)
+        if not views or not events:
+            return [[[] for _ in events] for _ in views]
+        pool = self._ensure_pool()
+        # One task per (shard, event chunk); chunk results concatenate in
+        # order back into the shard's full result table.
+        futures = []
+        for shard_index, view in enumerate(views):
+            spec = self._spec_for(view)
+            for start in range(0, len(events), self.chunk_size):
+                chunk = events[start : start + self.chunk_size]
+                futures.append(
+                    (
+                        shard_index,
+                        pool.submit(_match_chunk, view.key, view.version, spec, chunk),
+                    )
+                )
+                self.tasks_dispatched += 1
+        results: ShardResults = [[] for _ in views]
+        for shard_index, future in futures:
+            results[shard_index].extend(future.result())
+        return results
+
+
+def make_executor(kind: str = "serial", **options) -> object:
+    """Build an executor by name (``serial`` or ``multiprocess``).
+
+    The string form is what experiment CLIs expose (``--executor``); code
+    can always construct the classes directly.
+    """
+    if kind == "serial":
+        return SerialExecutor()
+    if kind == "multiprocess":
+        return MultiprocessExecutor(**options)
+    raise ValueError(f"unknown executor kind {kind!r} (serial|multiprocess)")
+
+
+def sharded_engine_factory(
+    num_shards: int = 4,
+    executor: Optional[object] = None,
+    executor_kind: Optional[str] = None,
+    **engine_options,
+) -> Callable[[], "object"]:
+    """An ``engine_factory`` producing sharded engines on a chosen executor.
+
+    Everything that accepts an engine factory (``Broker``,
+    ``BrokerOverlay``, ``BrokerCluster``, the experiments) can run sharded
+    nodes on any executor through this one hook.  A shared ``executor``
+    instance means all engines produced by the factory reuse one worker
+    pool; with ``executor_kind`` each engine gets its own.
+    """
+    from repro.cluster.sharded import ShardedMatchingEngine
+
+    def factory():
+        chosen = executor
+        if chosen is None and executor_kind is not None:
+            chosen = make_executor(executor_kind)
+        return ShardedMatchingEngine(
+            num_shards=num_shards, executor=chosen, **engine_options
+        )
+
+    return factory
+
+
+def next_engine_id() -> int:
+    """Process-unique engine id; shard cache keys are (engine id, shard)."""
+    return next(_engine_ids)

@@ -13,13 +13,22 @@ substrate (§5.3 workload shape):
   overhead per event, large batches amortize it but hold early arrivals
   back until the batch completes.
 
+* **routed delivery** (``--routed``) — the same engines behind a
+  content-routed multi-broker cluster (line/star/tree topologies), where
+  events forward between broker mailboxes as latency-bearing messages;
+  reports hop counts, forwards per event and end-to-end delivery delay
+  per (topology, shard count, batch size) point, with ``--executor``
+  selecting the shard executor for sharded nodes.
+
 With ``verify=True`` every sweep point is checked against the
 :class:`NaiveMatchingEngine` oracle (including a range-placement engine
-after a forced rebalance); any mismatch raises — this is the CI guard.
+after a forced rebalance), and routed runs compare the union of
+deliveries across brokers to a single-engine oracle event by event; any
+mismatch raises — this is the CI guard.
 
 Run directly (reduced scale for CI)::
 
-    python -m repro.experiments.cluster_scale --scale 0.05 --verify
+    python -m repro.experiments.cluster_scale --scale 0.05 --verify --routed
 """
 
 from __future__ import annotations
@@ -29,13 +38,14 @@ import time
 from typing import List, Optional, Sequence
 
 from repro.cluster.batch import BatchPublisher
-from repro.cluster.broker_cluster import BrokerCluster
+from repro.cluster.broker_cluster import BrokerCluster, build_cluster_topology
 from repro.cluster.placement import AttributeRangePlacement
 from repro.cluster.sharded import ShardedMatchingEngine
+from repro.cluster.workers import sharded_engine_factory
 from repro.experiments.harness import ExperimentResult
 from repro.experiments.substrate import make_event, make_subscription
 from repro.pubsub.events import Event
-from repro.pubsub.matching import NaiveMatchingEngine
+from repro.pubsub.matching import MatchingEngine, NaiveMatchingEngine
 from repro.pubsub.subscriptions import Subscription
 from repro.sim.engine import SimulationEngine
 from repro.sim.rng import SeededRNG
@@ -193,6 +203,161 @@ def run_cluster_scale(
     return result
 
 
+def run_routed_cluster_scale(
+    topologies: Sequence[str] = ("line", "star", "tree"),
+    shard_counts: Sequence[int] = (1, 4),
+    batch_sizes: Sequence[int] = (1, 32),
+    num_brokers: int = 5,
+    num_subscriptions: int = 4000,
+    num_events: int = 1500,
+    num_topics: int = 50,
+    arrival_rate: float = 1500.0,
+    service_rate: float = 2500.0,
+    batch_overhead: float = 0.0005,
+    link_latency: float = 0.002,
+    executor_kind: str = "serial",
+    seed: int = 17,
+    scale: float = 1.0,
+    verify: bool = False,
+) -> ExperimentResult:
+    """C1b — the routed axis: topology × shards × batch size.
+
+    Subscriptions are spread across the brokers of a line/star/tree
+    overlay, events arrive Poisson at random brokers, and deliveries flow
+    through content-routed forwarding messages between broker mailboxes.
+    Reported per point: hop counts (mean/max), end-to-end delivery delay
+    (mean/p95, including queueing + service at each broker on the path and
+    link latency), forwards per event, and simulated throughput.
+
+    With ``verify=True`` the union of deliveries across brokers is checked
+    event-by-event against a single :class:`MatchingEngine` oracle holding
+    every subscription; any divergence raises ``AssertionError``.
+    """
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    num_subscriptions = max(50, int(num_subscriptions * scale))
+    num_events = max(100, int(num_events * scale))
+
+    result = ExperimentResult(
+        experiment_id="C1b",
+        title="Routed cluster: topology x shards x batch size",
+        parameters={
+            "brokers": num_brokers,
+            "subscriptions": num_subscriptions,
+            "events": num_events,
+            "topics": num_topics,
+            "arrival_rate": arrival_rate,
+            "service_rate": service_rate,
+            "link_latency": link_latency,
+            "executor": executor_kind,
+            "verified": verify,
+        },
+    )
+
+    for topology in topologies:
+        for num_shards in shard_counts:
+            for batch_size in batch_sizes:
+                rng = SeededRNG(seed)
+                topics = [f"topic{i:03d}" for i in range(num_topics)]
+                sub_rng = rng.fork("subs")
+                subscriptions = [
+                    make_subscription(sub_rng, topics, subscriber=f"user{i % 200}")
+                    for i in range(num_subscriptions)
+                ]
+                event_rng = rng.fork("events")
+                events = [
+                    make_event(event_rng, topics, timestamp=float(i))
+                    for i in range(num_events)
+                ]
+
+                if num_shards > 1:
+                    engine_factory = sharded_engine_factory(
+                        num_shards=num_shards, executor_kind=executor_kind
+                    )
+                else:
+                    engine_factory = MatchingEngine
+                cluster = BrokerCluster(
+                    sim=SimulationEngine(),
+                    engine_factory=engine_factory,
+                    service_rate=service_rate,
+                    batch_size=batch_size,
+                    batch_overhead=batch_overhead,
+                    link_latency=link_latency,
+                )
+                names = build_cluster_topology(topology, num_brokers, cluster)
+
+                placement_rng = rng.fork("placement")
+                for subscription in subscriptions:
+                    cluster.subscribe(
+                        names[placement_rng.randint(0, len(names) - 1)], subscription
+                    )
+
+                delivered: dict = {}
+                if verify:
+                    cluster.on_delivery(
+                        lambda broker, subscriber, event, subscription: delivered.setdefault(
+                            event.event_id, []
+                        ).append(subscription.subscription_id)
+                    )
+                arrival_rng = rng.fork("arrivals")
+                now = 0.0
+                for event in events:
+                    now += arrival_rng.expovariate(arrival_rate)
+                    cluster.publish_at(
+                        now, names[arrival_rng.randint(0, len(names) - 1)], event
+                    )
+                cluster.run()
+                for broker in cluster.brokers.values():
+                    close = getattr(broker.engine, "close", None)
+                    if close is not None:
+                        close()
+
+                if verify:
+                    oracle = MatchingEngine()
+                    for subscription in subscriptions:
+                        oracle.add(subscription)
+                    for index, event in enumerate(events):
+                        expected = sorted(
+                            s.subscription_id for s in oracle.match(event)
+                        )
+                        got = sorted(delivered.get(event.event_id, []))
+                        if got != expected:
+                            raise AssertionError(
+                                f"routed delivery diverged from oracle on event "
+                                f"{index} (topology={topology}, shards={num_shards}, "
+                                f"batch={batch_size}, executor={executor_kind})"
+                            )
+
+                hops = cluster.metrics.histogram("cluster.delivery_hops")
+                e2e = cluster.metrics.histogram("cluster.e2e_delay")
+                forwarded = cluster.metrics.counter("cluster.events_forwarded").value
+                result.add_row(
+                    topology=topology,
+                    shards=num_shards,
+                    batch_size=batch_size,
+                    deliveries=cluster.metrics.counter("cluster.deliveries").value,
+                    mean_hops=hops.mean,
+                    max_hops=hops.maximum if hops.count else 0.0,
+                    forwards_per_event=forwarded / num_events,
+                    mean_e2e_delay_ms=e2e.mean * 1000.0,
+                    p95_e2e_delay_ms=e2e.percentile(95) * 1000.0,
+                    sim_throughput_eps=cluster.throughput(),
+                )
+    result.notes.append(
+        "subscriptions spread uniformly across brokers; events enter at random "
+        "brokers and are forwarded hop by hop through broker mailboxes with "
+        "per-link latency, so end-to-end delay compounds queueing, service and "
+        "link time along the path; star topologies bound hop count at 2 while "
+        "lines pay the full diameter"
+    )
+    if verify:
+        result.notes.append(
+            "verified: the union of routed deliveries equals the single-engine "
+            "oracle match set for every event"
+        )
+    return result
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         description="Cluster-layer sweep: shards x batch size"
@@ -208,14 +373,33 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         action="store_true",
         help="check sharded results against the naive oracle (exit 1 on mismatch)",
     )
+    parser.add_argument(
+        "--routed",
+        action="store_true",
+        help="also run the routed sweep (topology x shards x batch size)",
+    )
+    parser.add_argument(
+        "--executor",
+        choices=("serial", "multiprocess"),
+        default="serial",
+        help="shard executor for the routed sweep's sharded nodes",
+    )
     parser.add_argument("--seed", type=int, default=13)
     args = parser.parse_args(argv)
     try:
         result = run_cluster_scale(scale=args.scale, verify=args.verify, seed=args.seed)
+        print(result.summary())
+        if args.routed:
+            routed = run_routed_cluster_scale(
+                scale=args.scale,
+                verify=args.verify,
+                seed=args.seed,
+                executor_kind=args.executor,
+            )
+            print(routed.summary())
     except AssertionError as error:
         print(f"ORACLE MISMATCH: {error}")
         return 1
-    print(result.summary())
     return 0
 
 

@@ -46,13 +46,21 @@ class BrokerStats:
 class Broker:
     """One node in the content-based routing overlay."""
 
-    def __init__(self, name: str, engine_factory: Optional[EngineFactory] = None) -> None:
+    def __init__(
+        self,
+        name: str,
+        engine_factory: Optional[EngineFactory] = None,
+        local_engine: Optional[MatchingEngine] = None,
+    ) -> None:
         self.name = name
         self.engine_factory: EngineFactory = (
             engine_factory if engine_factory is not None else MatchingEngine
         )
-        # Subscriptions from clients attached directly to this broker.
-        self.local_engine = self.engine_factory()
+        # Subscriptions from clients attached directly to this broker.  A
+        # pre-built engine may be injected (the sim-clock BrokerCluster
+        # shares one engine between a broker process and its routing node);
+        # per-neighbour routing engines always come from the factory.
+        self.local_engine = local_engine if local_engine is not None else self.engine_factory()
         # Subscriptions learned from each neighbouring broker (routing state):
         # neighbour name -> matching engine of subscriptions reachable via it.
         self.remote_engines: Dict[str, MatchingEngine] = {}

@@ -1,4 +1,4 @@
-"""Broker overlay with content-based routing.
+"""Broker overlay with content-based routing (synchronous transport).
 
 The overlay is an acyclic graph (tree) of :class:`~repro.pubsub.broker.Broker`
 nodes, as in Siena's hierarchical/acyclic peer-to-peer configurations.
@@ -6,6 +6,13 @@ Subscriptions issued at a broker propagate to every other broker (pruned by
 covering), publications are forwarded only along edges leading to brokers
 with matching subscriptions, and a flooding mode is provided as the
 baseline the scalability benchmark compares against.
+
+All routing decisions — topology, subscription propagation and pruning,
+unsubscription repair, next-hop selection — live in the transport-agnostic
+:class:`~repro.cluster.routing.RoutingFabric`, shared with the sim-clock
+:class:`~repro.cluster.broker_cluster.BrokerCluster`.  This class is the
+*synchronous* transport over that fabric: a publication walks the
+forwarding tree to completion instantly, with no queues or clock.
 """
 
 from __future__ import annotations
@@ -14,6 +21,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro.cluster.routing import RoutingFabric
 from repro.pubsub.broker import Broker, EngineFactory
 from repro.pubsub.events import Event
 from repro.pubsub.subscriptions import Subscription
@@ -40,30 +48,29 @@ class BrokerOverlay:
         metrics: Optional[MetricsRegistry] = None,
         engine_factory: Optional[EngineFactory] = None,
     ) -> None:
-        self.brokers: Dict[str, Broker] = {}
-        self._edges: Dict[str, Set[str]] = {}
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.fabric = RoutingFabric(metrics=self.metrics)
         # Default matching-engine factory for brokers added to this overlay;
         # pass e.g. ``lambda: ShardedMatchingEngine(num_shards=4)`` to run
         # every node sharded.
         self.engine_factory = engine_factory
-        self._client_home: Dict[str, str] = {}
+
+    @property
+    def brokers(self) -> Dict[str, Broker]:
+        return self.fabric.nodes  # type: ignore[return-value]
 
     # -- topology -----------------------------------------------------------
 
     def add_broker(
         self, name: str, engine_factory: Optional[EngineFactory] = None
     ) -> Broker:
-        if name in self.brokers:
-            raise ValueError(f"broker {name!r} already exists")
         broker = Broker(
             name,
             engine_factory=(
                 engine_factory if engine_factory is not None else self.engine_factory
             ),
         )
-        self.brokers[name] = broker
-        self._edges[name] = set()
+        self.fabric.add_node(name, broker)
         return broker
 
     def connect(self, first: str, second: str) -> None:
@@ -72,92 +79,29 @@ class BrokerOverlay:
         The overlay must remain acyclic; connecting two brokers already
         joined by a path raises ``ValueError``.
         """
-        if first not in self.brokers or second not in self.brokers:
-            raise KeyError("both brokers must exist before connecting them")
-        if first == second:
-            raise ValueError("cannot connect a broker to itself")
-        if self._path_exists(first, second):
-            raise ValueError("overlay must remain acyclic (path already exists)")
-        self._edges[first].add(second)
-        self._edges[second].add(first)
-        self.brokers[first].add_neighbour(second)
-        self.brokers[second].add_neighbour(first)
-
-    def _path_exists(self, start: str, goal: str) -> bool:
-        seen = {start}
-        queue = deque([start])
-        while queue:
-            current = queue.popleft()
-            if current == goal:
-                return True
-            for neighbour in self._edges[current]:
-                if neighbour not in seen:
-                    seen.add(neighbour)
-                    queue.append(neighbour)
-        return False
+        self.fabric.connect(first, second)
 
     def neighbours(self, broker_name: str) -> Set[str]:
-        return set(self._edges[broker_name])
+        return self.fabric.neighbours(broker_name)
 
     def broker_names(self) -> List[str]:
-        return sorted(self.brokers)
+        return self.fabric.node_names()
 
     # -- client operations ----------------------------------------------------
 
     def attach_client(self, client: str, broker_name: str) -> None:
-        if broker_name not in self.brokers:
-            raise KeyError(f"unknown broker {broker_name!r}")
-        self._client_home[client] = broker_name
+        self.fabric.attach_client(client, broker_name)
 
     def home_broker(self, client: str) -> Optional[str]:
-        return self._client_home.get(client)
+        return self.fabric.home_broker(client)
 
     def subscribe(self, client: str, subscription: Subscription) -> None:
         """Place a subscription at the client's home broker and propagate it
         through the overlay so every broker learns a route toward it."""
-        home = self._client_home.get(client)
-        if home is None:
-            raise KeyError(f"client {client!r} is not attached to a broker")
-        self.brokers[home].subscribe_local(subscription)
-        self.metrics.counter("overlay.subscriptions").increment()
-        self._propagate_subscription(home, subscription)
+        self.fabric.subscribe(client, subscription)
 
     def unsubscribe(self, client: str, subscription_id: str) -> bool:
-        home = self._client_home.get(client)
-        if home is None:
-            return False
-        removed = self.brokers[home].unsubscribe_local(subscription_id)
-        if removed:
-            # Remove the routing state everywhere.
-            for name, broker in self.brokers.items():
-                for neighbour in list(broker.remote_engines):
-                    broker.forget_remote(neighbour, subscription_id)
-            self.metrics.counter("overlay.unsubscriptions").increment()
-        return removed
-
-    def _propagate_subscription(self, origin: str, subscription: Subscription) -> None:
-        """Breadth-first propagation: each broker records which neighbour
-        leads back toward the subscriber, pruned by covering relations."""
-        visited = {origin}
-        queue = deque([(origin, neighbour) for neighbour in self._edges[origin]])
-        while queue:
-            from_broker, to_broker = queue.popleft()
-            if to_broker in visited:
-                continue
-            visited.add(to_broker)
-            broker = self.brokers[to_broker]
-            # Covering check: if an already-known subscription via this
-            # neighbour covers the new one, the routing state is unchanged.
-            existing = broker.remote_engines.get(from_broker)
-            if existing is not None and existing.any_covering(subscription):
-                self.metrics.counter("overlay.subscription_pruned").increment()
-            else:
-                broker.learn_remote(from_broker, subscription)
-                broker.stats.subscriptions_forwarded += 1
-                self.metrics.counter("overlay.subscription_hops").increment()
-            for neighbour in self._edges[to_broker]:
-                if neighbour not in visited:
-                    queue.append((to_broker, neighbour))
+        return self.fabric.unsubscribe(client, subscription_id)
 
     # -- publishing -------------------------------------------------------------
 
@@ -168,7 +112,7 @@ class BrokerOverlay:
         otherwise it follows content-based forwarding and visits only
         brokers on paths toward matching subscriptions.
         """
-        origin = self._client_home.get(publisher)
+        origin = self.fabric.home_broker(publisher)
         if origin is None:
             raise KeyError(f"publisher {publisher!r} is not attached to a broker")
         report = RoutingReport(event=event, origin_broker=origin)
@@ -187,11 +131,9 @@ class BrokerOverlay:
             report.deliveries += len(matched)
             report.subscribers.extend(sub.subscriber for sub in matched)
 
-            if flood:
-                next_hops = [n for n in self._edges[broker_name] if n != came_from]
-            else:
-                next_hops = broker.interested_neighbours(event, exclude=came_from)
-            for neighbour in next_hops:
+            for neighbour in self.fabric.next_hops(
+                broker_name, event, came_from=came_from, flood=flood
+            ):
                 if neighbour not in visited:
                     broker.stats.events_forwarded += 1
                     report.hops += 1
@@ -206,7 +148,7 @@ class BrokerOverlay:
     # -- convenience ---------------------------------------------------------------
 
     def total_routing_state(self) -> int:
-        return sum(broker.routing_table_size() for broker in self.brokers.values())
+        return self.fabric.total_routing_state()
 
     def stats_by_broker(self) -> Dict[str, Dict[str, int]]:
         return {name: broker.stats.as_dict() for name, broker in sorted(self.brokers.items())}

@@ -1,0 +1,155 @@
+"""Shard executor units: serial/multiprocess parity, caching, lifecycle."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.sharded import ShardedMatchingEngine
+from repro.cluster.workers import (
+    MultiprocessExecutor,
+    SerialExecutor,
+    make_executor,
+    sharded_engine_factory,
+)
+from repro.experiments.substrate import make_event, make_subscription
+from repro.pubsub.matching import MatchingEngine, NaiveMatchingEngine
+from repro.sim.rng import SeededRNG
+
+
+def _workload(num_subs=120, num_events=40, seed=11):
+    rng = SeededRNG(seed)
+    topics = [f"topic{i:02d}" for i in range(12)]
+    subs = [
+        make_subscription(rng, topics, subscriber=f"user{i % 9}")
+        for i in range(num_subs)
+    ]
+    events = [make_event(rng, topics, timestamp=float(i)) for i in range(num_events)]
+    return subs, events
+
+
+def _ids(rows):
+    return [[s.subscription_id for s in row] for row in rows]
+
+
+@pytest.fixture(scope="module")
+def pool():
+    executor = MultiprocessExecutor(processes=2, chunk_size=8)
+    yield executor
+    executor.close()
+
+
+class TestSerialExecutor:
+    def test_is_the_default_and_in_process(self):
+        engine = ShardedMatchingEngine(num_shards=2)
+        assert isinstance(engine.executor, SerialExecutor)
+        assert engine.executor.in_process is True
+
+    def test_matches_inline_results(self):
+        subs, events = _workload()
+        serial = ShardedMatchingEngine(num_shards=3, executor=SerialExecutor())
+        oracle = NaiveMatchingEngine()
+        for subscription in subs:
+            serial.add(subscription)
+            oracle.add(subscription)
+        assert _ids(serial.match_batch(events)) == _ids(oracle.match_batch(events))
+
+
+class TestMultiprocessExecutor:
+    def test_validations(self):
+        with pytest.raises(ValueError):
+            MultiprocessExecutor(processes=0)
+        with pytest.raises(ValueError):
+            MultiprocessExecutor(chunk_size=0)
+
+    def test_batch_equals_oracle(self, pool):
+        subs, events = _workload()
+        engine = ShardedMatchingEngine(num_shards=3, executor=pool)
+        oracle = NaiveMatchingEngine()
+        for subscription in subs:
+            engine.add(subscription)
+            oracle.add(subscription)
+        assert _ids(engine.match_batch(events)) == _ids(oracle.match_batch(events))
+
+    def test_single_event_paths_route_through_workers(self, pool):
+        subs, events = _workload(num_events=6)
+        engine = ShardedMatchingEngine(num_shards=2, executor=pool)
+        oracle = NaiveMatchingEngine()
+        for subscription in subs:
+            engine.add(subscription)
+            oracle.add(subscription)
+        for event in events:
+            assert [s.subscription_id for s in engine.match(event)] == [
+                s.subscription_id for s in oracle.match(event)
+            ]
+            assert engine.match_count(event) == oracle.match_count(event)
+            assert engine.matches_any(event) == oracle.matches_any(event)
+
+    def test_mutations_invalidate_worker_caches(self, pool):
+        subs, events = _workload()
+        engine = ShardedMatchingEngine(num_shards=2, executor=pool)
+        oracle = NaiveMatchingEngine()
+        for subscription in subs:
+            engine.add(subscription)
+            oracle.add(subscription)
+        engine.match_batch(events)  # warm worker caches
+        for subscription in subs[: len(subs) // 2]:
+            engine.remove(subscription.subscription_id)
+            oracle.remove(subscription.subscription_id)
+        assert _ids(engine.match_batch(events)) == _ids(oracle.match_batch(events))
+
+    def test_chunked_dispatch_fans_out(self):
+        subs, events = _workload(num_events=32)
+        with MultiprocessExecutor(processes=2, chunk_size=8) as executor:
+            engine = ShardedMatchingEngine(num_shards=2, executor=executor)
+            for subscription in subs:
+                engine.add(subscription)
+            engine.match_batch(events)
+            # 2 populated shards x ceil(32/8) chunks.
+            assert executor.tasks_dispatched == 2 * 4
+
+    def test_empty_inputs(self, pool):
+        engine = ShardedMatchingEngine(num_shards=2, executor=pool)
+        assert engine.match_batch([]) == []
+        subs, events = _workload(num_subs=5, num_events=3)
+        for subscription in subs:
+            engine.add(subscription)
+        assert engine.match_batch([]) == []
+
+    def test_close_restarts_lazily(self):
+        subs, events = _workload(num_subs=30, num_events=5)
+        executor = MultiprocessExecutor(processes=1, chunk_size=4)
+        engine = ShardedMatchingEngine(num_shards=2, executor=executor)
+        for subscription in subs:
+            engine.add(subscription)
+        first = _ids(engine.match_batch(events))
+        engine.close()
+        assert _ids(engine.match_batch(events)) == first
+        engine.close()
+
+
+class TestFactories:
+    def test_make_executor(self):
+        assert isinstance(make_executor("serial"), SerialExecutor)
+        executor = make_executor("multiprocess", processes=1)
+        assert isinstance(executor, MultiprocessExecutor)
+        executor.close()
+        with pytest.raises(ValueError):
+            make_executor("threads")
+
+    def test_sharded_engine_factory_shares_executor(self):
+        with MultiprocessExecutor(processes=1) as executor:
+            factory = sharded_engine_factory(num_shards=2, executor=executor)
+            first, second = factory(), factory()
+            assert first.executor is executor
+            assert second.executor is executor
+            assert first.num_shards == 2
+
+    def test_sharded_engine_factory_by_kind(self):
+        factory = sharded_engine_factory(num_shards=3, executor_kind="serial")
+        engine = factory()
+        assert isinstance(engine.executor, SerialExecutor)
+        assert engine.num_shards == 3
+
+    def test_factory_default_is_serial(self):
+        engine = sharded_engine_factory(num_shards=2)()
+        assert isinstance(engine.executor, SerialExecutor)

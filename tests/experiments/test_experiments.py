@@ -129,6 +129,26 @@ class TestSubstrate:
         assert rows["scribe topic multicast"]["deliveries"] >= 0
 
 
+class TestRoutedClusterSweep:
+    def test_routed_sweep_verified_shape(self):
+        from repro.experiments.cluster_scale import run_routed_cluster_scale
+
+        result = run_routed_cluster_scale(
+            topologies=("line", "star"),
+            shard_counts=(1,),
+            batch_sizes=(1, 8),
+            num_brokers=4,
+            scale=0.03,
+            verify=True,
+        )
+        assert result.parameters["verified"] is True
+        assert len(result.rows) == 4
+        assert len({row["deliveries"] for row in result.rows}) == 1
+        for row in result.rows:
+            assert row["forwards_per_event"] > 0
+            assert row["max_hops"] >= 1
+
+
 class TestPushPull:
     def test_proxy_load_constant_in_clients(self):
         result = run_push_pull_experiment(client_counts=(1, 4), num_feeds=5, duration_hours=6)

@@ -24,6 +24,22 @@ def news(topic, priority=1):
     return Event(event_type="news.story", attributes={"topic": topic, "priority": priority})
 
 
+class TestLateLinks:
+    def test_connect_after_subscribe_learns_routes(self):
+        overlay = BrokerOverlay()
+        overlay.add_broker("a")
+        overlay.add_broker("b")
+        overlay.attach_client("alice", "a")
+        overlay.attach_client("pub", "b")
+        overlay.subscribe(
+            "alice", topic_subscription("news.story", "topic", "sports", subscriber="alice")
+        )
+        overlay.connect("a", "b")
+        report = overlay.publish("pub", news("sports"))
+        assert report.deliveries == 1
+        assert "alice" in report.subscribers
+
+
 class TestOverlayTopology:
     def test_connect_requires_existing_brokers(self):
         overlay = BrokerOverlay()
@@ -156,6 +172,80 @@ class TestContentRouting:
         # broker, so routing state does not grow.
         assert overlay.total_routing_state() == state_after_broad
         assert overlay.metrics.counter("overlay.subscription_pruned").value > 0
+
+    def test_unsubscribe_restores_covered_routes(self, overlay):
+        """Removing a covering subscription must re-advertise the routes of
+        subscriptions it covered (regression: the seed overlay left them
+        pruned, silently dropping deliveries)."""
+        broad = Subscription(
+            event_type="news.story",
+            predicates=(Predicate("priority", Operator.GE, 1),),
+            subscriber="alice",
+        )
+        narrow = Subscription(
+            event_type="news.story",
+            predicates=(Predicate("priority", Operator.GE, 5),),
+            subscriber="alice",
+        )
+        overlay.subscribe("alice", broad)
+        overlay.subscribe("alice", narrow)  # pruned upstream (broad covers it)
+        assert overlay.unsubscribe("alice", broad.subscription_id) is True
+        # The narrow subscription must now have its own routes: an event
+        # matching it still reaches alice's home broker b3 from b0.
+        report = overlay.publish("pub", news("sports", priority=7))
+        assert report.deliveries == 1
+        assert report.subscribers == ["alice"]
+        # And the broad subscription is truly gone.
+        low = overlay.publish("pub", news("sports", priority=2))
+        assert low.deliveries == 0
+
+    def test_resubscribe_narrower_definition_drops_stale_route(self, overlay):
+        """Re-issuing a subscription id with a changed definition retracts
+        the old route even when the new definition is covered elsewhere."""
+        keeper = Subscription(
+            event_type="news.story",
+            predicates=(Predicate("topic", Operator.EQ, "sports"),),
+            subscriber="alice",
+        )
+        overlay.subscribe("alice", keeper)
+        changing = Subscription(
+            event_type="news.story",
+            predicates=(Predicate("topic", Operator.EQ, "weather"),),
+            subscriber="alice",
+        )
+        overlay.subscribe("alice", changing)
+        # Re-issue the same id narrowed to sports+priority: covered by
+        # keeper, so no new routing state is needed anywhere...
+        narrowed = Subscription(
+            event_type="news.story",
+            predicates=(
+                Predicate("topic", Operator.EQ, "sports"),
+                Predicate("priority", Operator.GE, 5),
+            ),
+            subscriber="alice",
+            subscription_id=changing.subscription_id,
+        )
+        overlay.subscribe("alice", narrowed)
+        # ...and the old weather route must be gone: a weather event no
+        # longer leaves the origin broker.
+        report = overlay.publish("pub", news("weather"))
+        assert report.deliveries == 0
+        assert report.brokers_visited == ["b0"]
+
+    def test_resubscribe_same_definition_is_stable(self, overlay):
+        subscription = topic_subscription(
+            "news.story", "topic", "sports", subscriber="alice"
+        )
+        overlay.subscribe("alice", subscription)
+        state = overlay.total_routing_state()
+        overlay.subscribe("alice", subscription)  # identical re-issue
+        assert overlay.total_routing_state() == state
+        report = overlay.publish("pub", news("sports"))
+        assert report.deliveries == 1
+        # Re-issuing through the overlay must not double-count the home
+        # broker's distinct-subscription stat (pinned in PR 2 for the
+        # direct subscribe_local path, preserved across the fabric).
+        assert overlay.brokers["b3"].stats.subscriptions_received == 1
 
     def test_unknown_clients_raise(self, overlay):
         with pytest.raises(KeyError):
