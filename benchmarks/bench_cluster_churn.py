@@ -1,0 +1,48 @@
+"""Benchmark C2 — churn sweep (crash rate × recovery delay × topology).
+
+Runs the ``repro.experiments.cluster_churn`` driver once with the verify
+oracle armed and checks the structural facts that must hold at any
+machine speed: the fault plan actually crashed brokers, routing state
+converged back to the fresh-build snapshot on every point, post-recovery
+delivery matched the oracle exactly (the driver raises otherwise), no
+duplicates ever appeared, and harsher churn loses at least as much as
+gentler churn in simulated time.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import bench_scale, run_once
+from repro.experiments.cluster_churn import run_cluster_churn
+
+
+def test_c2_cluster_churn_sweep(benchmark):
+    result = run_once(
+        benchmark,
+        run_cluster_churn,
+        scale=max(0.08, bench_scale()),
+        crash_rates=(0.25, 0.75),
+        recovery_delays=(0.3,),
+        churn_duration=5.0,
+        verify=True,
+    )
+    print()
+    print(result.summary())
+
+    assert result.parameters["verified"] is True
+    by_topology = {}
+    for row in result.rows:
+        assert row["converged"] == 1.0
+        assert row["duplicated"] == 0
+        assert row["delivered"] + row["lost"] == row["expected"]
+        by_topology.setdefault(row["topology"], []).append(row)
+    assert set(by_topology) == {"line", "star", "tree"}
+    for rows in by_topology.values():
+        gentle = next(row for row in rows if row["crash_rate"] == 0.25)
+        harsh = next(row for row in rows if row["crash_rate"] == 0.75)
+        # Simulated-time facts, hardware independent: more crashes mean
+        # more downtime, and the detector restored every torn-down link.
+        assert harsh["crashes"] >= gentle["crashes"]
+        assert harsh["unavailability_s"] >= gentle["unavailability_s"]
+        for row in rows:
+            if row["crashes"]:
+                assert row["link_restores"] >= 1

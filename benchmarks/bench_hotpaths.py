@@ -14,8 +14,12 @@ These pin the cost of the two inner loops everything else sits on:
   single-engine publishing (PR 2; see the "Cluster layer" section of
   PERFORMANCE.md);
 * the message plane's routed publish path (mailboxes + content-routed
-  forwarding over simulated links) and the multiprocess shard executor
-  versus the in-process sharded batch (PR 3; see "Message plane").
+  forwarding over simulated links) and the multiprocess/thread shard
+  executors versus the in-process sharded batch (PR 3/PR 4; see
+  "Message plane");
+* the fault-tolerance machinery: one full crash → detect → repair →
+  failback cycle with thousands of subscriptions of routing state to
+  rebuild (PR 4; see "Failure & churn").
 
 Run ``python benchmarks/run_hotpath_bench.py --label <name>`` to record a
 named snapshot (``prN`` labels land in ``BENCH_PRN.json``); see
@@ -257,6 +261,69 @@ def test_hp_multiprocess_shard_match_batch(benchmark):
 
         deliveries = benchmark(run)
     assert deliveries == expected
+
+
+def test_hp_thread_shard_match_batch(benchmark):
+    """The sharded 2k-event batch dispatched to a thread pool.
+
+    Comparable to ``test_hp_batch_publish_sharded`` (same workload, same
+    shard count): the gap is the pool-dispatch overhead, and — matching
+    being GIL-bound — the number should sit near the serial executor's.
+    The executor's win is reserved for IO-bound delivery fan-out, which a
+    micro-benchmark of pure matching deliberately does not show.
+    """
+    from repro.cluster.workers import ThreadExecutor
+
+    subscriptions, events = _cluster_publish_workload()
+    single = MatchingEngine()
+    for subscription in subscriptions:
+        single.add(subscription)
+    expected = sum(len(single.match(event)) for event in events)
+
+    with ThreadExecutor(workers=4) as executor:
+        sharded = ShardedMatchingEngine(num_shards=4, executor=executor)
+        for subscription in subscriptions:
+            sharded.add(subscription)
+        sharded.match_batch(events[:8])  # warm the pool
+
+        def run():
+            return sum(len(row) for row in sharded.match_batch(events))
+
+        deliveries = benchmark(run)
+    assert deliveries == expected
+
+
+def test_hp_cluster_churn_recovery(benchmark):
+    """One link failover + failback cycle on a loaded 4-broker line.
+
+    Pins the wall-clock cost of the route-repair machinery itself (what
+    a failure detector triggers once suspicion fires): covering-aware
+    re-routing of both split components on teardown, then the
+    canonicalizing re-advertisement on failback — with 4k subscriptions
+    of routing state to rebuild.  The cluster is built once; each round
+    tears the middle link down and restores it, returning to the
+    identical converged state.
+    """
+    from repro.cluster.broker_cluster import BrokerCluster, build_cluster_topology
+    from repro.cluster.recovery import routing_converged
+
+    subscriptions, _events = _cluster_publish_workload(
+        num_subscriptions=4_000, num_events=1
+    )
+    rng = SeededRNG(47)
+    cluster = BrokerCluster(service_rate=1e9, link_latency=0.001)
+    names = build_cluster_topology("line", 4, cluster)
+    for subscription in subscriptions:
+        cluster.subscribe(names[rng.randint(0, 3)], subscription)
+
+    def run():
+        cluster.fail_link("b1", "b2")
+        cluster.restore_link("b1", "b2")
+        return cluster.total_routing_state()
+
+    state = benchmark(run)
+    assert state > 0
+    assert routing_converged(cluster.fabric)
 
 
 def test_hp_sharded_single_event_match(benchmark):

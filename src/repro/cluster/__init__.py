@@ -23,7 +23,14 @@ names:
   mailbox-driven processes on the discrete-event simulator — routed: events
   forward between brokers as latency-bearing network messages through the
   same mailbox machinery, yielding queue-delay, hop-count and end-to-end
-  delivery-delay metrics for ``repro.experiments.cluster_scale``.
+  delivery-delay metrics for ``repro.experiments.cluster_scale``;
+* :mod:`~repro.cluster.faults` + :mod:`~repro.cluster.recovery` are the
+  fault-tolerance subsystem: scheduled broker crashes/restarts and link
+  churn (:class:`~repro.cluster.faults.FaultPlan` /
+  :class:`~repro.cluster.faults.FaultInjector`), heartbeat-driven failure
+  detection with covering-aware route repair and rejoin re-advertisement
+  (:class:`~repro.cluster.recovery.FailureDetector`), and the routing
+  convergence oracle used by ``repro.experiments.cluster_churn``.
 """
 
 from repro.cluster.batch import BatchPublisher, BatchReport
@@ -34,13 +41,20 @@ from repro.cluster.broker_cluster import (
     EventEnvelope,
     build_cluster_topology,
 )
+from repro.cluster.faults import FaultAction, FaultInjector, FaultPlan
 from repro.cluster.placement import AttributeRangePlacement, HashPlacement
+from repro.cluster.recovery import (
+    FailureDetector,
+    rebuilt_routing_snapshot,
+    routing_converged,
+)
 from repro.cluster.routing import RoutingFabric, SubscribeOutcome
 from repro.cluster.sharded import ShardedMatchingEngine
 from repro.cluster.workers import (
     MultiprocessExecutor,
     SerialExecutor,
     ShardView,
+    ThreadExecutor,
     make_executor,
     sharded_engine_factory,
 )
@@ -53,6 +67,10 @@ __all__ = [
     "BrokerProcess",
     "BrokerProcessStats",
     "EventEnvelope",
+    "FailureDetector",
+    "FaultAction",
+    "FaultInjector",
+    "FaultPlan",
     "HashPlacement",
     "MultiprocessExecutor",
     "RoutingFabric",
@@ -60,7 +78,10 @@ __all__ = [
     "ShardView",
     "ShardedMatchingEngine",
     "SubscribeOutcome",
+    "ThreadExecutor",
     "build_cluster_topology",
     "make_executor",
+    "rebuilt_routing_snapshot",
+    "routing_converged",
     "sharded_engine_factory",
 ]

@@ -38,7 +38,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Deque, Dict, List, Optional, Tuple
+from typing import Callable, Deque, Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.cluster.routing import RoutingFabric
 from repro.pubsub.broker import Broker, EngineFactory
@@ -52,6 +52,13 @@ from repro.sim.network import Link, Message, SimulatedNetwork
 # Cluster deliveries also carry the serving broker's name (4 args, unlike
 # the 3-arg repro.pubsub.broker.DeliveryCallback).
 ClusterDeliveryCallback = Callable[[str, str, Event, Subscription], None]
+# Lifecycle notifications: ("crashed" | "recovered", broker name, sim time).
+LifecycleCallback = Callable[[str, str, float], None]
+
+# What a crash does to a broker's queued events: "freeze" keeps the
+# mailbox for post-recovery service (durable queue), "drop" loses it
+# (in-memory queue).  Single source of truth for validators and CLIs.
+MAILBOX_POLICIES = ("freeze", "drop")
 
 
 @dataclass
@@ -81,6 +88,9 @@ class BrokerProcessStats:
     busy_time: float = 0.0
     events_forwarded: int = 0
     forwards_received: int = 0
+    crashes: int = 0
+    events_lost: int = 0
+    downtime: float = 0.0
 
     def as_dict(self) -> Dict[str, float]:
         return {
@@ -91,6 +101,9 @@ class BrokerProcessStats:
             "busy_time": self.busy_time,
             "events_forwarded": float(self.events_forwarded),
             "forwards_received": float(self.forwards_received),
+            "crashes": float(self.crashes),
+            "events_lost": float(self.events_lost),
+            "downtime": self.downtime,
         }
 
 
@@ -109,6 +122,7 @@ class BrokerProcess:
         service_rate: float,
         batch_size: int,
         batch_overhead: float,
+        mailbox_policy: str = "freeze",
     ) -> None:
         if service_rate <= 0:
             raise ValueError("service_rate must be positive (events per second)")
@@ -116,6 +130,8 @@ class BrokerProcess:
             raise ValueError("batch_size must be at least 1")
         if batch_overhead < 0:
             raise ValueError("batch_overhead must be non-negative")
+        if mailbox_policy not in MAILBOX_POLICIES:
+            raise ValueError(f"mailbox_policy must be one of {MAILBOX_POLICIES}")
         self.name = name
         self.node = node
         self.service_rate = service_rate
@@ -124,6 +140,18 @@ class BrokerProcess:
         self.mailbox: Deque[Tuple[float, EventEnvelope]] = deque()
         self.busy = False
         self.stats = BrokerProcessStats()
+        # -- crash lifecycle -------------------------------------------------
+        # What happens to queued work when the broker dies: "freeze" keeps
+        # the mailbox for post-recovery service (durable queue), "drop"
+        # loses it (in-memory queue).  The batch *in service* is always
+        # lost — it existed only in the crashed process.
+        self.mailbox_policy = mailbox_policy
+        self.up = True
+        # Bumped on every crash so stale service completions scheduled by a
+        # previous life of the broker are ignored.
+        self.incarnation = 0
+        self.crashed_at: Optional[float] = None
+        self._in_service: Optional[List[Tuple[float, EventEnvelope]]] = None
         # Set by BrokerCluster.add_broker so the per-broker subscribe
         # helpers go through the routing fabric (standalone processes
         # outside a cluster fall back to local-only behavior).
@@ -156,14 +184,20 @@ class BrokerProcess:
 
 
 class _BrokerPort:
-    """Network endpoint of one broker: forwarded events land in its mailbox."""
+    """Network endpoint of one broker: forwarded events land in its mailbox,
+    heartbeats go to the attached failure detector (if any)."""
 
     def __init__(self, cluster: "BrokerCluster", broker: BrokerProcess) -> None:
         self.cluster = cluster
         self.broker = broker
 
     def handle_message(self, message: Message, network: SimulatedNetwork) -> None:
-        self.cluster._receive_forward(self.broker, message.payload)
+        if message.kind == "event.forward":
+            self.cluster._receive_forward(self.broker, message.payload)
+        elif message.kind == "heartbeat":
+            self.cluster._receive_heartbeat(self.broker, message)
+        # Unknown kinds are ignored: a crashed broker's port may still see
+        # stragglers from protocols layered on later.
 
 
 class BrokerCluster:
@@ -180,9 +214,12 @@ class BrokerCluster:
         link_latency: float = 0.002,
         network: Optional[SimulatedNetwork] = None,
         routing_engine_factory: EngineFactory = MatchingEngine,
+        mailbox_policy: str = "freeze",
     ) -> None:
         if link_latency < 0:
             raise ValueError("link_latency must be non-negative")
+        if mailbox_policy not in MAILBOX_POLICIES:
+            raise ValueError(f"mailbox_policy must be one of {MAILBOX_POLICIES}")
         self.sim = sim if sim is not None else SimulationEngine()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.engine_factory = engine_factory
@@ -192,6 +229,7 @@ class BrokerCluster:
         self.default_service_rate = service_rate
         self.default_batch_size = batch_size
         self.default_batch_overhead = batch_overhead
+        self.default_mailbox_policy = mailbox_policy
         self.link_latency = link_latency
         self.fabric = RoutingFabric(metrics=self.metrics)
         self.network = (
@@ -202,7 +240,16 @@ class BrokerCluster:
             )
         )
         self.brokers: Dict[str, BrokerProcess] = {}
+        self._ports: Dict[str, _BrokerPort] = {}
         self._delivery_callbacks: List[ClusterDeliveryCallback] = []
+        self._lifecycle_callbacks: List[LifecycleCallback] = []
+        # Intended overlay links (set by connect) and whether the routing
+        # layer currently believes each is usable; a failure detector (or a
+        # test) flips them with fail_link/restore_link.
+        self.intended_links: Set[FrozenSet[str]] = set()
+        self._link_up: Dict[FrozenSet[str], bool] = {}
+        # Attached by repro.cluster.recovery.FailureDetector.
+        self._detector: Optional[object] = None
 
     # -- wiring ------------------------------------------------------------
 
@@ -213,6 +260,7 @@ class BrokerCluster:
         batch_size: Optional[int] = None,
         batch_overhead: Optional[float] = None,
         engine: Optional[MatchingEngine] = None,
+        mailbox_policy: Optional[str] = None,
     ) -> BrokerProcess:
         if name in self.brokers:
             raise ValueError(f"broker {name!r} already exists")
@@ -233,11 +281,18 @@ class BrokerCluster:
                 if batch_overhead is not None
                 else self.default_batch_overhead
             ),
+            mailbox_policy=(
+                mailbox_policy
+                if mailbox_policy is not None
+                else self.default_mailbox_policy
+            ),
         )
         broker._cluster = self
         self.brokers[name] = broker
         self.fabric.add_node(name, node)
-        self.network.register(name, _BrokerPort(self, broker))
+        port = _BrokerPort(self, broker)
+        self._ports[name] = port
+        self.network.register(name, port)
         return broker
 
     def connect(
@@ -253,6 +308,9 @@ class BrokerCluster:
         if latency is not None and latency < 0:
             raise ValueError("latency must be non-negative")
         self.fabric.connect(first, second)
+        pair = frozenset((first, second))
+        self.intended_links.add(pair)
+        self._link_up[pair] = True
         if latency is not None:
             link = Link(latency=latency)
             self.network.set_link(first, second, link)
@@ -274,17 +332,143 @@ class BrokerCluster:
         (broker name, subscriber, event, matching subscription)."""
         self._delivery_callbacks.append(callback)
 
+    def on_lifecycle(self, callback: LifecycleCallback) -> None:
+        """Register a callback invoked on broker crash/recovery
+        (kind ``"crashed"``/``"recovered"``, broker name, sim time)."""
+        self._lifecycle_callbacks.append(callback)
+
     def _broker(self, name: str) -> BrokerProcess:
         broker = self.brokers.get(name)
         if broker is None:
             raise KeyError(f"unknown broker {name!r}")
         return broker
 
+    # -- fault tolerance ---------------------------------------------------
+
+    def crash_broker(self, name: str) -> None:
+        """Kill a broker process at the current sim time.
+
+        The broker leaves the network (in-flight and future messages to it
+        become counted drops), the batch in service is lost, and its
+        mailbox follows the broker's ``mailbox_policy``: ``freeze`` keeps
+        queued events for post-recovery service, ``drop`` loses them.
+        Routing state is *not* touched here — neighbours keep forwarding
+        into the void until a :class:`~repro.cluster.recovery.FailureDetector`
+        (or the test driver, via :meth:`fail_link`) notices and repairs.
+        """
+        broker = self._broker(name)
+        if not broker.up:
+            return
+        now = self.sim.now
+        broker.up = False
+        broker.incarnation += 1
+        broker.crashed_at = now
+        broker.stats.crashes += 1
+        # The batch being served existed only in the dead process.
+        if broker._in_service is not None:
+            self._count_lost(broker, len(broker._in_service))
+            broker._in_service = None
+        broker.busy = False
+        if broker.mailbox_policy == "drop" and broker.mailbox:
+            self._count_lost(broker, len(broker.mailbox))
+            broker.mailbox.clear()
+        self.metrics.gauge(f"cluster.queue_depth.{name}").set(broker.queue_depth)
+        self.network.unregister(name)
+        self.metrics.counter("cluster.broker_crashes").increment()
+        for callback in self._lifecycle_callbacks:
+            callback("crashed", name, now)
+
+    def recover_broker(self, name: str) -> None:
+        """Restart a crashed broker at the current sim time.
+
+        The broker rejoins the network and resumes serving whatever its
+        mailbox froze.  Its local subscription set survived the crash
+        (durable subscription storage); routes toward it are re-advertised
+        when the failure detector restores its links — or immediately, if
+        no detector ever tore them down.
+        """
+        broker = self._broker(name)
+        if broker.up:
+            return
+        now = self.sim.now
+        broker.up = True
+        if broker.crashed_at is not None:
+            window = now - broker.crashed_at
+            broker.stats.downtime += window
+            self.metrics.histogram("cluster.unavailability").observe(window)
+        broker.crashed_at = None
+        self.network.register(name, self._ports[name])
+        self.metrics.counter("cluster.broker_recoveries").increment()
+        for callback in self._lifecycle_callbacks:
+            callback("recovered", name, now)
+        self._start_service(broker)
+
+    def crash_at(self, time: float, name: str) -> None:
+        self.sim.schedule_at(
+            time, lambda _engine: self.crash_broker(name), label=f"crash:{name}"
+        )
+
+    def recover_at(self, time: float, name: str) -> None:
+        self.sim.schedule_at(
+            time, lambda _engine: self.recover_broker(name), label=f"recover:{name}"
+        )
+
+    def fail_link(self, first: str, second: str) -> bool:
+        """Routing-level link failure: tear the overlay link down and
+        repair routes on both sides (what a failure detector does once it
+        suspects the far end).  Returns ``False`` if already down."""
+        pair = frozenset((first, second))
+        if not self._link_up.get(pair, False):
+            return False
+        self._link_up[pair] = False
+        self.fabric.disconnect(first, second)
+        self.metrics.counter("cluster.link_failures").increment()
+        return True
+
+    def restore_link(self, first: str, second: str) -> bool:
+        """Re-join a torn-down overlay link; the surviving subscription
+        set re-advertises across it so routing state converges to what a
+        freshly built topology would hold.  Returns ``False`` if up."""
+        pair = frozenset((first, second))
+        if pair not in self.intended_links or self._link_up.get(pair, False):
+            return False
+        self._link_up[pair] = True
+        if not self.fabric.path_exists(first, second):
+            # Structural add only: the edge-merge advertisement prunes by
+            # arrival order and would be cleared below anyway, so skip it
+            # and canonicalize the healed component in one pass — routing
+            # state converges to exactly the fresh-build snapshot.
+            self.fabric.connect(first, second, propagate=False)
+        self.fabric.reroute_component(first)
+        self.metrics.counter("cluster.link_restores").increment()
+        return True
+
+    def overlay_link_is_up(self, first: str, second: str) -> bool:
+        return self._link_up.get(frozenset((first, second)), False)
+
+    def _count_lost(self, broker: BrokerProcess, count: int) -> None:
+        if count <= 0:
+            return
+        broker.stats.events_lost += count
+        self.metrics.counter("cluster.events_lost").increment(count)
+
+    def _receive_heartbeat(self, broker: BrokerProcess, message: Message) -> None:
+        if self._detector is not None and broker.up:
+            self._detector.heartbeat_received(broker.name, message.source)
+
     # -- event flow --------------------------------------------------------
 
     def publish(self, broker_name: str, event: Event) -> None:
-        """Enqueue an event into a broker's mailbox at the current sim time."""
+        """Enqueue an event into a broker's mailbox at the current sim time.
+
+        Publishing to a crashed broker is a counted drop
+        (``cluster.publishes_dropped``): the client's connection target is
+        simply gone, exactly the unavailability C2 measures.
+        """
         broker = self._broker(broker_name)
+        if not broker.up:
+            self.metrics.counter("cluster.publishes_dropped").increment()
+            return
         envelope = EventEnvelope(event=event, origin_time=self.sim.now)
         self._enqueue(broker, envelope)
 
@@ -306,24 +490,31 @@ class BrokerCluster:
         self._start_service(broker)
 
     def _receive_forward(self, broker: BrokerProcess, envelope: EventEnvelope) -> None:
+        if not broker.up:  # pragma: no cover - the network drops these first
+            self._count_lost(broker, 1)
+            return
         broker.stats.forwards_received += 1
         self._enqueue(broker, envelope)
 
     def _start_service(self, broker: BrokerProcess) -> None:
-        if broker.busy or not broker.mailbox:
+        if not broker.up or broker.busy or not broker.mailbox:
             return
         broker.busy = True
         # Defer the batch draw by one zero-delay dispatch event: the sim
         # fires same-time events FIFO, so publications landing at the same
         # instant coalesce into one service cycle instead of the first
-        # arrival starting a batch of one.
+        # arrival starting a batch of one.  The incarnation stamp makes
+        # dispatches scheduled by a previous life of the broker inert.
+        incarnation = broker.incarnation
         self.sim.schedule_in(
             0.0,
-            lambda _engine: self._dispatch(broker),
+            lambda _engine: self._dispatch(broker, incarnation),
             label=f"dispatch:{broker.name}",
         )
 
-    def _dispatch(self, broker: BrokerProcess) -> None:
+    def _dispatch(self, broker: BrokerProcess, incarnation: int) -> None:
+        if not broker.up or incarnation != broker.incarnation:
+            return
         if not broker.mailbox:
             broker.busy = False
             return
@@ -333,6 +524,7 @@ class BrokerCluster:
             broker.mailbox.popleft()
             for _ in range(min(broker.batch_size, len(broker.mailbox)))
         ]
+        broker._in_service = batch
         service_time = broker.batch_overhead + len(batch) / broker.service_rate
         start = self.sim.now
         broker.stats.service_cycles += 1
@@ -345,13 +537,21 @@ class BrokerCluster:
             self.metrics.histogram("cluster.wait_time").observe(start - enqueued_at)
 
         def complete(_engine: SimulationEngine) -> None:
-            self._complete_service(broker, batch)
+            self._complete_service(broker, batch, incarnation)
 
         self.sim.schedule_in(service_time, complete, label=f"serve:{broker.name}")
 
     def _complete_service(
-        self, broker: BrokerProcess, batch: List[Tuple[float, EventEnvelope]]
+        self,
+        broker: BrokerProcess,
+        batch: List[Tuple[float, EventEnvelope]],
+        incarnation: int,
     ) -> None:
+        if not broker.up or incarnation != broker.incarnation:
+            # The broker died mid-service; the batch was counted lost at
+            # crash time and must not produce deliveries from beyond.
+            return
+        broker._in_service = None
         now = self.sim.now
         events = [envelope.event for _at, envelope in batch]
         matches = broker.engine.match_batch(events)

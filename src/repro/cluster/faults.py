@@ -1,0 +1,212 @@
+"""Fault injection: scheduled broker crashes, restarts and link churn.
+
+A :class:`FaultPlan` is a validated, time-ordered list of
+:class:`FaultAction` entries — broker crashes/recoveries and physical
+link down/up transitions.  :class:`FaultInjector` arms a plan against a
+:class:`~repro.cluster.broker_cluster.BrokerCluster`: each action becomes
+a simulation event that mutates the *physical* layer (process liveness
+via ``crash_broker``/``recover_broker``, message transit via
+``SimulatedNetwork.set_link_down``/``set_link_up``).
+
+The injector deliberately does **not** touch routing state.  Detecting
+that a peer is gone and repairing routes is the recovery subsystem's job
+(:class:`~repro.cluster.recovery.FailureDetector`), so the gap between a
+fault happening and the fabric healing — the window where events are
+forwarded into the void and counted lost — is part of what the churn
+experiment measures.
+
+:meth:`FaultPlan.random_churn` generates the seeded crash/recover and
+link-flap schedules the C2 sweep uses: per-broker crashes arrive Poisson
+at ``crash_rate``, each followed by a recovery ``recovery_delay`` later,
+with optional link flaps on the same pattern.  Every fault generated
+within the window is paired with its recovery, so a plan always ends
+with the whole cluster back up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.sim.rng import SeededRNG
+
+CRASH = "crash"
+RECOVER = "recover"
+LINK_DOWN = "link_down"
+LINK_UP = "link_up"
+_KINDS = (CRASH, RECOVER, LINK_DOWN, LINK_UP)
+
+
+@dataclass(frozen=True, order=True)
+class FaultAction:
+    """One scheduled fault: what happens, when, to which target.
+
+    ``target`` is ``(broker,)`` for crash/recover and ``(a, b)`` for link
+    transitions.  Ordering is by time (then kind/target), so a sorted
+    action list is a valid schedule.
+    """
+
+    time: float
+    kind: str
+    target: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError("fault time must be non-negative")
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r} (one of {_KINDS})")
+        expected = 1 if self.kind in (CRASH, RECOVER) else 2
+        if len(self.target) != expected:
+            raise ValueError(
+                f"{self.kind} takes {expected} target name(s), got {self.target!r}"
+            )
+
+
+def crash(time: float, broker: str) -> FaultAction:
+    return FaultAction(time, CRASH, (broker,))
+
+
+def recover(time: float, broker: str) -> FaultAction:
+    return FaultAction(time, RECOVER, (broker,))
+
+
+def link_down(time: float, first: str, second: str) -> FaultAction:
+    return FaultAction(time, LINK_DOWN, (first, second))
+
+
+def link_up(time: float, first: str, second: str) -> FaultAction:
+    return FaultAction(time, LINK_UP, (first, second))
+
+
+class FaultPlan:
+    """An ordered schedule of fault actions."""
+
+    def __init__(self, actions: Iterable[FaultAction] = ()) -> None:
+        self.actions: List[FaultAction] = sorted(actions)
+
+    def __len__(self) -> int:
+        return len(self.actions)
+
+    def __iter__(self):
+        return iter(self.actions)
+
+    def add(self, action: FaultAction) -> "FaultPlan":
+        self.actions.append(action)
+        self.actions.sort()
+        return self
+
+    @property
+    def last_time(self) -> float:
+        return self.actions[-1].time if self.actions else 0.0
+
+    @property
+    def crash_count(self) -> int:
+        return sum(1 for action in self.actions if action.kind == CRASH)
+
+    @property
+    def link_flap_count(self) -> int:
+        return sum(1 for action in self.actions if action.kind == LINK_DOWN)
+
+    def broker_outages(self) -> List[Tuple[str, float, float]]:
+        """Matched ``(broker, crash time, recovery time)`` windows."""
+        open_crash: dict = {}
+        outages: List[Tuple[str, float, float]] = []
+        for action in self.actions:
+            if action.kind == CRASH:
+                open_crash[action.target[0]] = action.time
+            elif action.kind == RECOVER:
+                started = open_crash.pop(action.target[0], None)
+                if started is not None:
+                    outages.append((action.target[0], started, action.time))
+        return outages
+
+    @classmethod
+    def random_churn(
+        cls,
+        brokers: Sequence[str],
+        rng: SeededRNG,
+        start: float,
+        end: float,
+        crash_rate: float = 0.5,
+        recovery_delay: float = 0.5,
+        links: Sequence[Tuple[str, str]] = (),
+        link_flap_rate: float = 0.0,
+        link_down_time: float = 0.3,
+    ) -> "FaultPlan":
+        """Seeded Poisson churn over ``[start, end)``.
+
+        Each broker crashes at rate ``crash_rate`` (crashes per simulated
+        second) and recovers ``recovery_delay`` later; outages of one
+        broker never overlap.  With ``link_flap_rate`` each listed link
+        additionally flaps down for ``link_down_time`` at its own Poisson
+        arrival times.  Recoveries always make it into the plan even when
+        they land past ``end``, so the plan restores full health.
+        """
+        if end < start:
+            raise ValueError("end must not precede start")
+        if crash_rate < 0 or link_flap_rate < 0:
+            raise ValueError("rates must be non-negative")
+        if recovery_delay <= 0 or link_down_time <= 0:
+            raise ValueError("recovery windows must be positive")
+        actions: List[FaultAction] = []
+        if crash_rate > 0:
+            for name in brokers:
+                fork = rng.fork(f"crash:{name}")
+                at = start + fork.expovariate(crash_rate)
+                while at < end:
+                    back = at + recovery_delay
+                    actions.append(crash(at, name))
+                    actions.append(recover(back, name))
+                    at = back + fork.expovariate(crash_rate)
+        if link_flap_rate > 0:
+            for first, second in links:
+                fork = rng.fork(f"flap:{first}:{second}")
+                at = start + fork.expovariate(link_flap_rate)
+                while at < end:
+                    back = at + link_down_time
+                    actions.append(link_down(at, first, second))
+                    actions.append(link_up(back, first, second))
+                    at = back + fork.expovariate(link_flap_rate)
+        return cls(actions)
+
+
+class FaultInjector:
+    """Arms a :class:`FaultPlan` against a broker cluster's sim clock."""
+
+    def __init__(self, cluster, plan: FaultPlan) -> None:
+        self.cluster = cluster
+        self.plan = plan
+        self.applied: List[FaultAction] = []
+        self._armed = False
+
+    def schedule(self) -> int:
+        """Schedule every action on the cluster's simulation engine.
+
+        Returns the number of actions armed.  Call once, before (or
+        during) the run; actions in the past raise, like any scheduling.
+        """
+        if self._armed:
+            raise RuntimeError("fault plan already scheduled")
+        self._armed = True
+        for action in self.plan:
+            self.cluster.sim.schedule_at(
+                action.time,
+                self._apply(action),
+                label=f"fault:{action.kind}:{'-'.join(action.target)}",
+            )
+        return len(self.plan)
+
+    def _apply(self, action: FaultAction):
+        def fire(_engine) -> None:
+            if action.kind == CRASH:
+                self.cluster.crash_broker(action.target[0])
+            elif action.kind == RECOVER:
+                self.cluster.recover_broker(action.target[0])
+            elif action.kind == LINK_DOWN:
+                self.cluster.network.set_link_down(*action.target)
+            else:
+                self.cluster.network.set_link_up(*action.target)
+            self.applied.append(action)
+            self.cluster.metrics.counter(f"faults.{action.kind}").increment()
+
+        return fire

@@ -88,11 +88,16 @@ class RoutingFabric:
         self.nodes[name] = node
         self._edges[name] = set()
 
-    def connect(self, first: str, second: str) -> None:
+    def connect(self, first: str, second: str, propagate: bool = True) -> None:
         """Join two brokers with a bidirectional overlay link.
 
         The overlay must remain acyclic; connecting two brokers already
         joined by a path raises ``ValueError``.
+
+        With ``propagate=False`` only the edge structure is added — for
+        callers that immediately canonicalize with
+        :meth:`reroute_component` (link failback), where the edge-merge
+        advertisement would be cleared and rebuilt anyway.
         """
         if first not in self.nodes or second not in self.nodes:
             raise KeyError("both brokers must exist before connecting them")
@@ -104,16 +109,98 @@ class RoutingFabric:
         # each side's live subscriptions must be advertised *into the other
         # side only* — brokers on a subscription's own side already hold
         # its routes, so re-walking them would just inflate hop stats.
-        first_side = self._component(first)
+        first_side = self._component(first) if propagate else None
         self._edges[first].add(second)
         self._edges[second].add(first)
         self.nodes[first].add_neighbour(second)
         self.nodes[second].add_neighbour(first)
+        if not propagate:
+            return
         for home, subscription in list(self._home_of.values()):
             if home in first_side:
                 self._propagate(home, subscription, via=(first, second))
             else:
                 self._propagate(home, subscription, via=(second, first))
+
+    def disconnect(self, first: str, second: str) -> bool:
+        """Remove the overlay link between two brokers and repair routes.
+
+        The overlay splits into two components.  Each side purges every
+        route toward subscriptions homed on the *other* side (they are
+        unreachable now) and re-derives its own routing state by
+        re-propagating the subscriptions homed within it — propagation is
+        covering-aware, so the surviving tables end up exactly what a
+        fabric freshly built on the shrunken topology would hold (routes
+        pruned in favour of now-unreachable covers are re-advertised).
+
+        Returns ``False`` when no such link exists.
+        """
+        if second not in self._edges.get(first, ()):
+            return False
+        self._edges[first].discard(second)
+        self._edges[second].discard(first)
+        self.nodes[first].remove_neighbour(second)
+        self.nodes[second].remove_neighbour(first)
+        self.metrics.counter("overlay.links_removed").increment()
+        self.reroute_component(first)
+        self.reroute_component(second)
+        return True
+
+    def remove_node(self, name: str) -> None:
+        """Permanently remove a broker: links, routes, and homed state.
+
+        Subscriptions homed at the broker leave the system with it (their
+        routes elsewhere are repaired by the per-link disconnects); use
+        link removal alone to model a *temporary* outage where the homed
+        subscription set should survive for later re-advertisement.
+        """
+        if name not in self.nodes:
+            raise KeyError(f"unknown broker {name!r}")
+        # Tear every edge down structurally first, then repair: routing
+        # each surviving component exactly once instead of re-rebuilding
+        # the shrinking remainder per disconnect (quadratic for hubs).
+        neighbours = list(self._edges[name])
+        for neighbour in neighbours:
+            self._edges[name].discard(neighbour)
+            self._edges[neighbour].discard(name)
+            self.nodes[name].remove_neighbour(neighbour)
+            self.nodes[neighbour].remove_neighbour(name)
+            self.metrics.counter("overlay.links_removed").increment()
+        for subscription_id, (home, _sub) in list(self._home_of.items()):
+            if home == name:
+                del self._home_of[subscription_id]
+        for client, home in list(self._client_home.items()):
+            if home == name:
+                del self._client_home[client]
+        del self._edges[name]
+        del self.nodes[name]
+        rerouted: Set[str] = set()
+        for neighbour in neighbours:
+            if neighbour not in rerouted:
+                rerouted |= self._component(neighbour)
+                self.reroute_component(neighbour)
+
+    def reroute_component(self, start: str) -> None:
+        """Rebuild the routing tables of ``start``'s component from scratch.
+
+        Clears every member's per-neighbour tables and re-propagates each
+        live subscription homed inside the component in issue order — the
+        same order a fresh build would use, so covering pruning resolves
+        identically and stale routes (toward homes outside the component)
+        simply never reappear.  Link *restoration* paths call this after
+        ``connect`` because the incremental edge-merge, while sound for
+        delivery, prunes by arrival order rather than issue order and so
+        cannot guarantee snapshot equality with a fresh build.
+        """
+        component = self._component(start)
+        for name in component:
+            node = self.nodes[name]
+            for neighbour in list(node.remote_engines):
+                node.clear_remote(neighbour)
+        for home, subscription in list(self._home_of.values()):
+            if home in component:
+                self._propagate(home, subscription)
+        self.metrics.counter("overlay.route_repairs").increment()
 
     def path_exists(self, start: str, goal: str) -> bool:
         return goal in self._component(start)
@@ -308,6 +395,36 @@ class RoutingFabric:
 
     def live_subscriptions(self) -> List[Subscription]:
         return [subscription for _home, subscription in self._home_of.values()]
+
+    def homed_subscriptions(self) -> List[Tuple[str, Subscription]]:
+        """Live ``(home broker, subscription)`` pairs in issue order."""
+        return list(self._home_of.values())
+
+    def edges(self) -> List[Tuple[str, str]]:
+        """Current overlay links, each reported once (sorted endpoint order)."""
+        seen = set()
+        for name, neighbours in self._edges.items():
+            for neighbour in neighbours:
+                seen.add((name, neighbour) if name < neighbour else (neighbour, name))
+        return sorted(seen)
+
+    def routing_snapshot(self) -> Dict[str, Dict[str, Tuple[str, ...]]]:
+        """Canonical view of all routing state, for convergence checks:
+        node -> neighbour -> sorted ids of subscriptions routed via it
+        (neighbours with empty tables are omitted)."""
+        snapshot: Dict[str, Dict[str, Tuple[str, ...]]] = {}
+        for name in sorted(self.nodes):
+            node = self.nodes[name]
+            tables = {
+                neighbour: tuple(
+                    sorted(s.subscription_id for s in engine.subscriptions())
+                )
+                for neighbour, engine in node.remote_engines.items()
+                if len(engine)
+            }
+            if tables:
+                snapshot[name] = tables
+        return snapshot
 
     def total_routing_state(self) -> int:
         return sum(node.routing_table_size() for node in self.nodes.values())

@@ -18,6 +18,7 @@ from repro.experiments.flows import run_flow_comparison
 from repro.experiments.filtering import run_update_filtering_experiment
 from repro.experiments.collaborative import run_collaborative_experiment
 from repro.experiments.substrate import run_matching_scalability, run_routing_scalability
+from repro.experiments.cluster_churn import run_cluster_churn
 from repro.experiments.cluster_scale import run_cluster_scale
 from repro.experiments.push_pull import run_push_pull_experiment
 
@@ -31,6 +32,7 @@ __all__ = [
     "run_collaborative_experiment",
     "run_matching_scalability",
     "run_routing_scalability",
+    "run_cluster_churn",
     "run_cluster_scale",
     "run_push_pull_experiment",
     "run_offer_weight_ablation",

@@ -1,0 +1,391 @@
+"""Experiment C2 — broker crash/recovery and link churn under load.
+
+The routed cluster of C1b assumed an immortal fabric.  C2 measures what
+the paper's "millions of users" substrate actually has to survive:
+brokers crash mid-flight and restart, links flap, and the routing state
+must heal itself through the heartbeat failure detector
+(:mod:`repro.cluster.recovery`) while publications keep arriving.
+
+Per (topology × crash rate × recovery delay) point the sweep drives a
+Poisson publication stream through a line/star/tree overlay while a
+seeded :class:`~repro.cluster.faults.FaultPlan` kills and restarts
+brokers (and optionally flaps links), and reports:
+
+* delivered / lost / duplicated event-deliveries against a single-engine
+  oracle holding every subscription (losses decompose into publishes to
+  dead brokers, frozen-or-dropped mailboxes, in-service batches, and
+  events forwarded into the void before detection);
+* unavailability — summed broker downtime and the mean outage window;
+* detector behaviour — suspicions, false suspicions, link restores;
+* routing-state convergence: time from the last recovery to the last
+  link restore, and whether the fabric converged to exactly the state a
+  freshly built topology would hold (the
+  :func:`~repro.cluster.recovery.routing_converged` oracle).
+
+With ``verify=True`` every point additionally (a) asserts zero stale
+routes after the final heal (live fabric snapshot == rebuilt-from-scratch
+snapshot) and (b) publishes a second wave of events after convergence and
+asserts its delivery sets equal the oracle *exactly* — no losses, no
+duplicates.  Any violation raises; this is the CI guard.
+
+Run directly (reduced scale for CI)::
+
+    python -m repro.experiments.cluster_churn --scale 0.05 --verify
+"""
+
+from __future__ import annotations
+
+import argparse
+from collections import Counter as TallyCounter
+from typing import Dict, List, Optional, Sequence
+
+from repro.cluster.broker_cluster import (
+    MAILBOX_POLICIES,
+    BrokerCluster,
+    build_cluster_topology,
+)
+from repro.cluster.faults import FaultInjector, FaultPlan
+from repro.cluster.recovery import FailureDetector, routing_converged
+from repro.experiments.harness import ExperimentResult
+from repro.experiments.substrate import make_event, make_subscription
+from repro.pubsub.events import Event
+from repro.pubsub.matching import MatchingEngine
+from repro.pubsub.subscriptions import Subscription
+from repro.sim.engine import SimulationEngine
+from repro.sim.rng import SeededRNG
+
+
+def _oracle_expectations(
+    subscriptions: Sequence[Subscription], events: Sequence[Event]
+) -> Dict[str, List[str]]:
+    oracle = MatchingEngine()
+    for subscription in subscriptions:
+        oracle.add(subscription)
+    return {
+        event.event_id: sorted(s.subscription_id for s in oracle.match(event))
+        for event in events
+    }
+
+
+def _loss_and_duplication(
+    expected: Dict[str, List[str]], delivered: Dict[str, List[str]]
+) -> Dict[str, int]:
+    """Compare delivered (with multiplicity) against oracle expectations."""
+    lost = 0
+    duplicated = 0
+    total_expected = 0
+    for event_id, wanted in expected.items():
+        total_expected += len(wanted)
+        got = TallyCounter(delivered.get(event_id, ()))
+        for subscription_id in wanted:
+            count = got.pop(subscription_id, 0)
+            if count == 0:
+                lost += 1
+            elif count > 1:
+                duplicated += count - 1
+        # Deliveries the oracle never predicted (should not happen) count
+        # as duplicates too: they are extra traffic the client sees.
+        duplicated += sum(got.values())
+    return {"expected": total_expected, "lost": lost, "duplicated": duplicated}
+
+
+def run_cluster_churn(
+    topologies: Sequence[str] = ("line", "star", "tree"),
+    crash_rates: Sequence[float] = (0.25, 0.75),
+    recovery_delays: Sequence[float] = (0.3, 0.9),
+    num_brokers: int = 5,
+    num_subscriptions: int = 2000,
+    num_events: int = 1500,
+    num_topics: int = 40,
+    churn_duration: float = 6.0,
+    service_rate: float = 4000.0,
+    batch_size: int = 4,
+    link_latency: float = 0.002,
+    heartbeat_period: float = 0.02,
+    detect_timeout: float = 0.08,
+    link_flap_rate: float = 0.0,
+    link_down_time: float = 0.25,
+    mailbox_policy: str = "freeze",
+    seed: int = 29,
+    scale: float = 1.0,
+    verify: bool = False,
+) -> ExperimentResult:
+    """Sweep crash rate × recovery delay × topology under churn."""
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    num_subscriptions = max(50, int(num_subscriptions * scale))
+    num_events = max(100, int(num_events * scale))
+    arrival_rate = num_events / churn_duration
+
+    result = ExperimentResult(
+        experiment_id="C2",
+        title="Cluster churn: broker crash/recovery + link flap under load",
+        parameters={
+            "brokers": num_brokers,
+            "subscriptions": num_subscriptions,
+            "events": num_events,
+            "churn_duration": churn_duration,
+            "service_rate": service_rate,
+            "heartbeat_period": heartbeat_period,
+            "detect_timeout": detect_timeout,
+            "link_flap_rate": link_flap_rate,
+            "mailbox_policy": mailbox_policy,
+            "verified": verify,
+        },
+    )
+
+    # The workload and its oracle are functions of (seed, sizes) only —
+    # per-point randomness (placement, faults, arrivals) comes from
+    # independent label forks — so generate and match them exactly once.
+    workload_rng = SeededRNG(seed)
+    topics = [f"topic{i:03d}" for i in range(num_topics)]
+    sub_rng = workload_rng.fork("subs")
+    subscriptions = [
+        make_subscription(sub_rng, topics, subscriber=f"user{i % 200}")
+        for i in range(num_subscriptions)
+    ]
+    event_rng = workload_rng.fork("events")
+    events = [
+        make_event(event_rng, topics, timestamp=float(i)) for i in range(num_events)
+    ]
+    expected = _oracle_expectations(subscriptions, events)
+
+    for topology in topologies:
+        for crash_rate in crash_rates:
+            for recovery_delay in recovery_delays:
+                rng = SeededRNG(seed)
+                cluster = BrokerCluster(
+                    sim=SimulationEngine(),
+                    service_rate=service_rate,
+                    batch_size=batch_size,
+                    link_latency=link_latency,
+                    mailbox_policy=mailbox_policy,
+                )
+                names = build_cluster_topology(topology, num_brokers, cluster)
+                placement_rng = rng.fork("placement")
+                for subscription in subscriptions:
+                    cluster.subscribe(
+                        names[placement_rng.randint(0, len(names) - 1)], subscription
+                    )
+
+                detector = FailureDetector(
+                    cluster, period=heartbeat_period, timeout=detect_timeout
+                )
+                plan = FaultPlan.random_churn(
+                    names,
+                    rng.fork("faults"),
+                    start=0.08 * churn_duration,
+                    end=0.75 * churn_duration,
+                    crash_rate=crash_rate,
+                    recovery_delay=recovery_delay,
+                    links=cluster.fabric.edges(),
+                    link_flap_rate=link_flap_rate,
+                    link_down_time=link_down_time,
+                )
+                injector = FaultInjector(cluster, plan)
+                injector.schedule()
+
+                delivered: Dict[str, List[str]] = {}
+                cluster.on_delivery(
+                    lambda broker, subscriber, event, subscription: delivered.setdefault(
+                        event.event_id, []
+                    ).append(subscription.subscription_id)
+                )
+
+                publish_rng = rng.fork("publish")
+                at = 0.0
+                for event in events:
+                    at += publish_rng.expovariate(arrival_rate)
+                    cluster.publish_at(
+                        at, names[publish_rng.randint(0, len(names) - 1)], event
+                    )
+                last_publish = at
+
+                # Phase 1: churn.  Run past both the last fault action
+                # (detection + restore + frozen-mailbox drain) *and* the
+                # publication schedule's tail — the Poisson stream can
+                # outlast churn_duration, and stopping before it drains
+                # would tally unpublished events as churn losses.
+                heal_horizon = (
+                    max(churn_duration, plan.last_time)
+                    + detect_timeout
+                    + 6.0 * heartbeat_period
+                    + 0.25
+                )
+                run_until = max(heal_horizon, last_publish + 1.0)
+                detector.start(until=run_until + (2.0 if verify else 0.0))
+                cluster.run(until=run_until)
+
+                tallies = _loss_and_duplication(expected, delivered)
+                converged = routing_converged(cluster.fabric)
+                all_links_up = all(
+                    cluster.overlay_link_is_up(*sorted(pair))
+                    for pair in cluster.intended_links
+                )
+
+                recoveries = [t for _n, _c, t in plan.broker_outages()]
+                link_restore = detector.last_restore_time
+                convergence_s = (
+                    max(0.0, link_restore - max(recoveries))
+                    if recoveries and link_restore is not None
+                    else 0.0
+                )
+
+                if verify:
+                    if not (converged and all_links_up):
+                        raise AssertionError(
+                            f"routing state failed to converge after heal "
+                            f"(topology={topology}, crash_rate={crash_rate}, "
+                            f"recovery_delay={recovery_delay})"
+                        )
+                    _verify_post_recovery(
+                        cluster, names, subscriptions, rng.fork("verify"),
+                        topics, arrival_rate, topology,
+                    )
+
+                unavailability = sum(
+                    broker.stats.downtime for broker in cluster.brokers.values()
+                )
+                outage = cluster.metrics.histogram("cluster.unavailability")
+                result.add_row(
+                    topology=topology,
+                    crash_rate=crash_rate,
+                    recovery_delay=recovery_delay,
+                    crashes=plan.crash_count,
+                    link_flaps=plan.link_flap_count,
+                    expected=tallies["expected"],
+                    delivered=tallies["expected"] - tallies["lost"],
+                    lost=tallies["lost"],
+                    lost_pct=(
+                        100.0 * tallies["lost"] / tallies["expected"]
+                        if tallies["expected"]
+                        else 0.0
+                    ),
+                    duplicated=tallies["duplicated"],
+                    unavailability_s=unavailability,
+                    mean_outage_s=outage.mean if outage.count else 0.0,
+                    suspicions=cluster.metrics.counter("detector.suspicions").value,
+                    false_suspicions=cluster.metrics.counter(
+                        "detector.false_suspicions"
+                    ).value,
+                    link_restores=cluster.metrics.counter(
+                        "detector.link_restores"
+                    ).value,
+                    convergence_s=convergence_s,
+                    converged=float(converged and all_links_up),
+                )
+                detector.stop()
+
+    loss_channels = (
+        "losses happen in the detection gap (events forwarded toward a dead "
+        "broker before the heartbeat timeout fires), in lost in-service "
+        "batches, and at dead ingress brokers (dropped publishes)"
+    )
+    if mailbox_policy == "freeze":
+        result.notes.append(
+            loss_channels
+            + "; frozen mailboxes drain after recovery (queued work survives, "
+            "delivered late), and higher crash rates widen both "
+            "unavailability and the lost fraction"
+        )
+    else:
+        result.notes.append(
+            loss_channels
+            + "; under the drop policy the crashed broker's queued mailbox is "
+            "lost too, so every outage also discards whatever was waiting "
+            "for service"
+        )
+    if verify:
+        result.notes.append(
+            "verified: after the final heal the live routing state equals a "
+            "fabric rebuilt from scratch on the surviving topology (zero "
+            "stale routes), and a post-recovery publication wave is "
+            "delivered exactly per the single-engine oracle on every "
+            "topology (no losses, no duplicates)"
+        )
+    return result
+
+
+def _verify_post_recovery(
+    cluster: BrokerCluster,
+    names: Sequence[str],
+    subscriptions: Sequence[Subscription],
+    rng: SeededRNG,
+    topics: Sequence[str],
+    arrival_rate: float,
+    topology: str,
+    num_verify_events: int = 150,
+) -> None:
+    """Publish a fresh wave after convergence; delivery must be exact."""
+    events = [
+        make_event(rng, topics, timestamp=1e6 + i) for i in range(num_verify_events)
+    ]
+    delivered: Dict[str, List[str]] = {}
+    cluster.on_delivery(
+        lambda broker, subscriber, event, subscription: delivered.setdefault(
+            event.event_id, []
+        ).append(subscription.subscription_id)
+    )
+    at = cluster.sim.now
+    for event in events:
+        at += rng.expovariate(arrival_rate)
+        cluster.publish_at(at, names[rng.randint(0, len(names) - 1)], event)
+    cluster.run(until=at + 1.0)
+    expected = _oracle_expectations(subscriptions, events)
+    for index, event in enumerate(events):
+        got = sorted(delivered.get(event.event_id, []))
+        if got != expected[event.event_id]:
+            raise AssertionError(
+                f"post-recovery delivery diverged from oracle on verify event "
+                f"{index} (topology={topology}): "
+                f"got {len(got)}, expected {len(expected[event.event_id])}"
+            )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Cluster churn sweep: crash rate x recovery delay x topology"
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="workload scale factor (CI smoke uses 0.05)",
+    )
+    parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="assert routing convergence + exact post-recovery delivery "
+        "(exit 1 on violation)",
+    )
+    parser.add_argument(
+        "--link-flap-rate",
+        type=float,
+        default=0.0,
+        help="additional link up/down churn (flaps per link-second)",
+    )
+    parser.add_argument(
+        "--mailbox-policy",
+        choices=MAILBOX_POLICIES,
+        default="freeze",
+        help="what a crash does to queued events",
+    )
+    parser.add_argument("--seed", type=int, default=29)
+    args = parser.parse_args(argv)
+    try:
+        result = run_cluster_churn(
+            scale=args.scale,
+            verify=args.verify,
+            seed=args.seed,
+            link_flap_rate=args.link_flap_rate,
+            mailbox_policy=args.mailbox_policy,
+        )
+        print(result.summary())
+    except AssertionError as error:
+        print(f"CHURN ORACLE VIOLATION: {error}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

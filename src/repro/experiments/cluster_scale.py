@@ -41,7 +41,7 @@ from repro.cluster.batch import BatchPublisher
 from repro.cluster.broker_cluster import BrokerCluster, build_cluster_topology
 from repro.cluster.placement import AttributeRangePlacement
 from repro.cluster.sharded import ShardedMatchingEngine
-from repro.cluster.workers import sharded_engine_factory
+from repro.cluster.workers import EXECUTOR_KINDS, sharded_engine_factory
 from repro.experiments.harness import ExperimentResult
 from repro.experiments.substrate import make_event, make_subscription
 from repro.pubsub.events import Event
@@ -380,7 +380,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     parser.add_argument(
         "--executor",
-        choices=("serial", "multiprocess"),
+        choices=EXECUTOR_KINDS,
         default="serial",
         help="shard executor for the routed sweep's sharded nodes",
     )

@@ -75,6 +75,17 @@ class Broker:
         if neighbour_name not in self.remote_engines:
             self.remote_engines[neighbour_name] = self.engine_factory()
 
+    def remove_neighbour(self, neighbour_name: str) -> None:
+        """Drop a neighbour link and every route learned through it."""
+        self.neighbours.discard(neighbour_name)
+        self.remote_engines.pop(neighbour_name, None)
+
+    def clear_remote(self, neighbour_name: str) -> None:
+        """Forget all routing state learned via ``neighbour_name`` while
+        keeping the link (route repair rebuilds the table in place)."""
+        if neighbour_name in self.remote_engines:
+            self.remote_engines[neighbour_name] = self.engine_factory()
+
     def on_delivery(self, callback: DeliveryCallback) -> None:
         """Register a callback invoked for every local delivery
         (subscriber name, event, matching subscription)."""

@@ -11,7 +11,7 @@ paper).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional, Protocol, Tuple
+from typing import Any, Dict, Optional, Protocol, Set, Tuple
 
 from repro.sim.engine import SimulationEngine
 from repro.sim.metrics import MetricsRegistry
@@ -82,6 +82,7 @@ class SimulatedNetwork:
         self.default_link = default_link if default_link is not None else Link()
         self._nodes: Dict[str, MessageHandler] = {}
         self._links: Dict[Tuple[str, str], Link] = {}
+        self._down_links: Set[Tuple[str, str]] = set()
         self._rng = rng
         self.messages_sent = 0
         self.messages_delivered = 0
@@ -113,6 +114,24 @@ class SimulatedNetwork:
     def link_for(self, source: str, destination: str) -> Link:
         return self._links.get((source, destination), self.default_link)
 
+    def set_link_down(self, source: str, destination: str, both: bool = True) -> None:
+        """Take a link down: traffic along it is dropped (and counted)
+        until :meth:`set_link_up`.  Messages already in flight still land.
+
+        With ``both`` (default) the reverse direction goes down too.
+        """
+        self._down_links.add((source, destination))
+        if both:
+            self._down_links.add((destination, source))
+
+    def set_link_up(self, source: str, destination: str, both: bool = True) -> None:
+        self._down_links.discard((source, destination))
+        if both:
+            self._down_links.discard((destination, source))
+
+    def link_is_up(self, source: str, destination: str) -> bool:
+        return (source, destination) not in self._down_links
+
     # -- messaging --------------------------------------------------------
 
     def send(
@@ -123,9 +142,14 @@ class SimulatedNetwork:
         payload: Any = None,
         size_bytes: int = 256,
     ) -> Message:
-        """Queue a message for delivery; returns the message object."""
-        if destination not in self._nodes:
-            raise KeyError(f"unknown destination node {destination!r}")
+        """Queue a message for delivery; returns the message object.
+
+        Sending to an unregistered (crashed/departed) node or across a
+        downed link is not an error: the message is a *counted drop*
+        (``messages_dropped`` / ``network.messages_dropped``), matching
+        what a real datagram fabric does when the peer is gone — fault
+        injection relies on this.
+        """
         message = Message(
             source=source,
             destination=destination,
@@ -142,11 +166,14 @@ class SimulatedNetwork:
         self.metrics.counter(f"network.kind.{kind}.bytes").increment(size_bytes)
         self.metrics.counter(f"network.edge.{source}->{destination}.messages").increment()
 
+        if destination not in self._nodes or (source, destination) in self._down_links:
+            self._drop(message)
+            return message
+
         link = self.link_for(source, destination)
         if link.loss_probability > 0 and self._rng is not None:
             if self._rng.random() < link.loss_probability:
-                self.messages_dropped += 1
-                self.metrics.counter("network.messages_dropped").increment()
+                self._drop(message)
                 return message
 
         delay = link.transfer_time(size_bytes)
@@ -154,8 +181,8 @@ class SimulatedNetwork:
         def deliver(_: SimulationEngine) -> None:
             node = self._nodes.get(destination)
             if node is None:
-                self.messages_dropped += 1
-                self.metrics.counter("network.messages_dropped").increment()
+                # The destination went away while the message was in flight.
+                self._drop(message)
                 return
             self.messages_delivered += 1
             self.metrics.counter("network.messages_delivered").increment()
@@ -163,6 +190,11 @@ class SimulatedNetwork:
 
         self.engine.schedule_in(delay, deliver, label=f"deliver:{kind}")
         return message
+
+    def _drop(self, message: Message) -> None:
+        self.messages_dropped += 1
+        self.metrics.counter("network.messages_dropped").increment()
+        self.metrics.counter(f"network.kind.{message.kind}.dropped").increment()
 
     def broadcast(
         self,

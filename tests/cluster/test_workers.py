@@ -1,4 +1,4 @@
-"""Shard executor units: serial/multiprocess parity, caching, lifecycle."""
+"""Shard executor units: serial/thread/multiprocess parity, caching, lifecycle."""
 
 from __future__ import annotations
 
@@ -8,6 +8,7 @@ from repro.cluster.sharded import ShardedMatchingEngine
 from repro.cluster.workers import (
     MultiprocessExecutor,
     SerialExecutor,
+    ThreadExecutor,
     make_executor,
     sharded_engine_factory,
 )
@@ -52,6 +53,65 @@ class TestSerialExecutor:
             serial.add(subscription)
             oracle.add(subscription)
         assert _ids(serial.match_batch(events)) == _ids(oracle.match_batch(events))
+
+
+class TestThreadExecutor:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ThreadExecutor(workers=0)
+
+    def test_batch_equals_oracle(self):
+        subs, events = _workload()
+        oracle = NaiveMatchingEngine()
+        with ThreadExecutor(workers=3) as executor:
+            threaded = ShardedMatchingEngine(num_shards=3, executor=executor)
+            for subscription in subs:
+                threaded.add(subscription)
+                oracle.add(subscription)
+            assert _ids(threaded.match_batch(events)) == _ids(oracle.match_batch(events))
+
+    def test_in_process_keeps_single_event_fast_paths(self):
+        """Threads share memory, so match/matches_any stay on the inline
+        per-shard loops instead of a batch-of-one round trip."""
+        subs, events = _workload(num_events=6)
+        executor = ThreadExecutor(workers=2)
+        assert executor.in_process is True
+        engine = ShardedMatchingEngine(num_shards=2, executor=executor)
+        oracle = NaiveMatchingEngine()
+        for subscription in subs:
+            engine.add(subscription)
+            oracle.add(subscription)
+        for event in events:
+            expected = [s.subscription_id for s in oracle.match(event)]
+            assert [s.subscription_id for s in engine.match(event)] == expected
+            assert engine.match_count(event) == len(expected)
+            assert engine.matches_any(event) == bool(expected)
+        executor.close()
+
+    def test_single_shard_skips_the_pool(self):
+        subs, events = _workload(num_subs=20, num_events=5)
+        with ThreadExecutor(workers=2) as executor:
+            engine = ShardedMatchingEngine(num_shards=1, executor=executor)
+            for subscription in subs:
+                engine.add(subscription)
+            engine.match_batch(events)
+            assert executor._pool is None  # never spun up
+
+    def test_empty_inputs(self):
+        with ThreadExecutor(workers=1) as executor:
+            engine = ShardedMatchingEngine(num_shards=2, executor=executor)
+            assert engine.match_batch([]) == []
+
+    def test_close_restarts_lazily(self):
+        subs, events = _workload(num_subs=40, num_events=8)
+        executor = ThreadExecutor(workers=2)
+        engine = ShardedMatchingEngine(num_shards=2, executor=executor)
+        for subscription in subs:
+            engine.add(subscription)
+        first = _ids(engine.match_batch(events))
+        executor.close()
+        assert _ids(engine.match_batch(events)) == first
+        executor.close()
 
 
 class TestMultiprocessExecutor:
@@ -133,6 +193,9 @@ class TestFactories:
         executor = make_executor("multiprocess", processes=1)
         assert isinstance(executor, MultiprocessExecutor)
         executor.close()
+        threaded = make_executor("thread", workers=2)
+        assert isinstance(threaded, ThreadExecutor)
+        threaded.close()
         with pytest.raises(ValueError):
             make_executor("threads")
 

@@ -1,0 +1,92 @@
+"""Experiment C2 driver: churn sweep shape and the verify oracle."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.cluster_churn import main, run_cluster_churn
+
+
+class TestClusterChurn:
+    def test_sweep_verified_shape(self):
+        result = run_cluster_churn(
+            topologies=("line", "tree"),
+            crash_rates=(0.6,),
+            recovery_delays=(0.3,),
+            num_brokers=4,
+            scale=0.04,
+            churn_duration=4.0,
+            verify=True,
+        )
+        assert result.parameters["verified"] is True
+        assert len(result.rows) == 2
+        for row in result.rows:
+            assert row["crashes"] >= 1  # the plan actually exercised faults
+            assert row["converged"] == 1.0
+            assert row["duplicated"] == 0
+            assert row["expected"] > 0
+            assert row["delivered"] + row["lost"] == row["expected"]
+            assert row["unavailability_s"] > 0
+            assert row["link_restores"] >= 1
+
+    def test_losses_grow_with_crash_rate(self):
+        result = run_cluster_churn(
+            topologies=("line",),
+            crash_rates=(0.2, 1.0),
+            recovery_delays=(0.5,),
+            num_brokers=4,
+            scale=0.04,
+            churn_duration=4.0,
+            seed=31,
+        )
+        gentle, harsh = result.rows
+        assert harsh["crashes"] > gentle["crashes"]
+        assert harsh["lost"] >= gentle["lost"]
+        assert harsh["unavailability_s"] > gentle["unavailability_s"]
+
+    def test_link_flaps_reported(self):
+        result = run_cluster_churn(
+            topologies=("star",),
+            crash_rates=(0.0,),
+            recovery_delays=(0.3,),
+            num_brokers=4,
+            scale=0.04,
+            churn_duration=4.0,
+            link_flap_rate=0.5,
+            verify=True,
+        )
+        (row,) = result.rows
+        assert row["crashes"] == 0
+        assert row["link_flaps"] >= 1
+        assert row["converged"] == 1.0
+
+    @pytest.mark.parametrize("seed", [3, 29])
+    def test_zero_faults_lose_nothing(self, seed):
+        """With no faults injected every expected delivery must happen —
+        in particular the run must outlast the Poisson publication tail
+        (a horizon that stops mid-stream would tally phantom losses)."""
+        result = run_cluster_churn(
+            topologies=("line",),
+            crash_rates=(0.0,),
+            recovery_delays=(0.3,),
+            num_brokers=4,
+            scale=0.05,
+            seed=seed,
+        )
+        (row,) = result.rows
+        assert row["crashes"] == 0
+        assert row["lost"] == 0
+        assert row["duplicated"] == 0
+        assert row["converged"] == 1.0
+
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            run_cluster_churn(scale=0.0)
+
+    def test_cli_smoke(self, capsys):
+        assert (
+            main(["--scale", "0.03", "--verify"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "C2" in out
+        assert "verified" in out

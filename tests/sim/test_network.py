@@ -58,9 +58,55 @@ class TestDelivery:
         assert message.payload == {"x": 1}
         assert engine.now == pytest.approx(2.0)
 
-    def test_send_to_unknown_destination_raises(self, network):
-        with pytest.raises(KeyError):
-            network.send("src", "missing", kind="ping")
+    def test_send_to_unknown_destination_is_counted_drop(self, network):
+        """An unregistered (crashed/departed) destination is not an error:
+        the message is dropped and counted, like a real datagram fabric."""
+        message = network.send("src", "missing", kind="ping")
+        assert message.destination == "missing"
+        assert network.messages_dropped == 1
+        assert network.metrics.counter("network.messages_dropped").value == 1
+        assert network.metrics.counter("network.kind.ping.dropped").value == 1
+        assert network.messages_delivered == 0
+
+    def test_in_flight_message_to_departing_node_dropped(self, network):
+        receiver = Recorder("dst")
+        network.register("dst", receiver)
+        network.send("src", "dst", kind="ping")
+        network.unregister("dst")  # leaves while the message is in flight
+        network.engine.run()
+        assert receiver.received == []
+        assert network.messages_dropped == 1
+
+    def test_downed_link_drops_until_restored(self):
+        engine = SimulationEngine()
+        network = SimulatedNetwork(engine, default_link=Link(latency=0.1))
+        receiver = Recorder("dst")
+        network.register("dst", receiver)
+        network.set_link_down("src", "dst")
+        assert not network.link_is_up("src", "dst")
+        assert not network.link_is_up("dst", "src")  # both directions default
+        network.send("src", "dst", kind="ping")
+        engine.run()
+        assert receiver.received == []
+        assert network.messages_dropped == 1
+        network.set_link_up("src", "dst")
+        assert network.link_is_up("src", "dst")
+        network.send("src", "dst", kind="ping")
+        engine.run()
+        assert len(receiver.received) == 1
+
+    def test_one_way_link_failure(self):
+        engine = SimulationEngine()
+        network = SimulatedNetwork(engine)
+        forward, backward = Recorder("a"), Recorder("b")
+        network.register("a", forward)
+        network.register("b", backward)
+        network.set_link_down("a", "b", both=False)
+        network.send("a", "b", kind="ping")
+        network.send("b", "a", kind="ping")
+        engine.run()
+        assert backward.received == []  # a -> b is down
+        assert len(forward.received) == 1  # b -> a still up
 
     def test_bandwidth_adds_transfer_time(self):
         engine = SimulationEngine()
