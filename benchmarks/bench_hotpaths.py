@@ -19,7 +19,11 @@ These pin the cost of the two inner loops everything else sits on:
   "Message plane");
 * the fault-tolerance machinery: one full crash → detect → repair →
   failback cycle with thousands of subscriptions of routing state to
-  rebuild (PR 4; see "Failure & churn").
+  rebuild (PR 4; see "Failure & churn");
+* the control-plane fast path: unsubscribe/re-issue churn against tens
+  of thousands of routed subscriptions, bounded by the reverse route
+  index and pruned-by graph instead of full-table covers() sweeps
+  (PR 5; see "Control plane").
 
 Run ``python benchmarks/run_hotpath_bench.py --label <name>`` to record a
 named snapshot (``prN`` labels land in ``BENCH_PRN.json``); see
@@ -319,6 +323,50 @@ def test_hp_cluster_churn_recovery(benchmark):
     def run():
         cluster.fail_link("b1", "b2")
         cluster.restore_link("b1", "b2")
+        return cluster.total_routing_state()
+
+    state = benchmark(run)
+    assert state > 0
+    assert routing_converged(cluster.fabric)
+
+
+def test_hp_unsubscribe_churn(benchmark):
+    """Unsubscribe/resubscribe churn against 50k routed subscriptions.
+
+    Pins the control-plane retraction hot path: each round retracts 500
+    subscriptions spread across a 4-broker line (with covering repair for
+    the routes they pruned) and re-issues them.  The reverse route index
+    and the pruned-by graph bound every retraction to the routes the
+    subscription actually holds — the pre-PR 5 path swept every node ×
+    neighbour table and ran a ``covers()`` scan over *all* live
+    subscriptions per unsubscribe, which at this scale is seconds per
+    round.  ``REPRO_BENCH_SCALE`` shrinks the population for CI smoke.
+    """
+    from conftest import bench_scale
+    from repro.cluster.broker_cluster import BrokerCluster, build_cluster_topology
+    from repro.cluster.recovery import routing_converged
+
+    num_subscriptions = max(2_000, int(50_000 * bench_scale(default=1.0)))
+    subscriptions, _events = _cluster_publish_workload(
+        num_subscriptions=num_subscriptions, num_events=1
+    )
+    rng = SeededRNG(53)
+    cluster = BrokerCluster(service_rate=1e9, link_latency=0.001)
+    names = build_cluster_topology("line", 4, cluster)
+    home_of = {}
+    for subscription in subscriptions:
+        home = names[rng.randint(0, 3)]
+        home_of[subscription.subscription_id] = home
+        cluster.subscribe(home, subscription)
+    churn = subscriptions[:: max(1, num_subscriptions // 500)]
+
+    def run():
+        for subscription in churn:
+            assert cluster.unsubscribe(
+                home_of[subscription.subscription_id], subscription.subscription_id
+            )
+        for subscription in churn:
+            cluster.subscribe(home_of[subscription.subscription_id], subscription)
         return cluster.total_routing_state()
 
     state = benchmark(run)

@@ -434,12 +434,16 @@ class BrokerCluster:
             return False
         self._link_up[pair] = True
         if not self.fabric.path_exists(first, second):
-            # Structural add only: the edge-merge advertisement prunes by
-            # arrival order and would be cleared below anyway, so skip it
-            # and canonicalize the healed component in one pass — routing
-            # state converges to exactly the fresh-build snapshot.
-            self.fabric.connect(first, second, propagate=False)
-        self.fabric.reroute_component(first)
+            # The fabric's edge-merge advertisement is canonical (each
+            # side crosses the restored link with issue-order-aware
+            # pruning), so failback is an incremental merge — no
+            # component rebuild — and still converges to exactly the
+            # fresh-build snapshot.
+            self.fabric.connect(first, second)
+        else:
+            # Rare: other restored links already reconnected the
+            # endpoints; canonicalize the healed component the slow way.
+            self.fabric.reroute_component(first)
         self.metrics.counter("cluster.link_restores").increment()
         return True
 

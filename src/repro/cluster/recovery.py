@@ -27,7 +27,10 @@ module is the control loop that notices and heals:
   convergence oracle: the live fabric's routing state must equal that of
   a fabric freshly built on the surviving topology with the same
   subscription issue order.  The C2 experiment's ``--verify`` mode and
-  the recovery property suite both assert through them.
+  the recovery property suite both assert through them.  (Since the
+  control plane went incremental the oracle lives on the fabric itself —
+  :meth:`RoutingFabric.rebuilt_snapshot` — and these remain the public
+  convergence-checking entry points over it.)
 """
 
 from __future__ import annotations
@@ -35,7 +38,6 @@ from __future__ import annotations
 from typing import Dict, Iterable, Optional, Tuple
 
 from repro.cluster.routing import RoutingFabric
-from repro.pubsub.broker import Broker
 
 
 class FailureDetector:
@@ -197,14 +199,7 @@ def rebuilt_routing_snapshot(
     """Routing state of a fabric built from scratch on ``fabric``'s
     surviving topology (its current edges unless ``edges`` is given),
     subscribing the live set in its original issue order."""
-    fresh = RoutingFabric()
-    for name in fabric.node_names():
-        fresh.add_node(name, Broker(name))
-    for first, second in fabric.edges() if edges is None else edges:
-        fresh.connect(first, second)
-    for home, subscription in fabric.homed_subscriptions():
-        fresh.subscribe_at(home, subscription)
-    return fresh.routing_snapshot()
+    return fabric.rebuilt_snapshot(edges)
 
 
 def routing_converged(

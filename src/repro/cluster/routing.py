@@ -23,17 +23,47 @@ anything with the same routing surface: ``subscribe_local`` /
 ``unsubscribe_local`` / ``learn_remote`` / ``forget_remote`` /
 ``remote_engines`` / ``interested_neighbours`` / ``stats``).
 
+Incremental control plane
+-------------------------
+
+Every routing decision reduces to one canonical per-edge rule.  For each
+*directed* table entry position — a ``(node, via-neighbour)`` pair — the
+candidates are the live subscriptions whose home lies beyond that
+neighbour, and the table holds exactly the greedy covering filter of the
+candidates in subscription *issue order*: a candidate is selected unless
+an earlier-issued selected candidate covers it (Siena semantics: the
+covering route already forwards every event the covered one matches).
+Because the rule is per-edge and order-canonical, the whole fabric state
+is a pure function of (topology, issue-ordered live subscriptions) — the
+property the convergence oracle (:meth:`rebuilt_snapshot`) checks.
+
+The fabric maintains that rule *incrementally* instead of rebuilding:
+
+* a **reverse route index** (subscription id → selected table entries)
+  makes retraction touch only the routes that exist;
+* a **pruned-by graph** records, per edge, which selected cover
+  suppressed which candidate — retraction re-admits only actual victims,
+  found by :class:`~repro.pubsub.subscriptions.CoveringIndex` lookups
+  rather than ``covers()``-scanning every live subscription;
+* re-admitted candidates evict later-issued entries they cover (whose own
+  victims transfer by covering transitivity), so any mutation order
+  converges to the same canonical tables — link restoration merges two
+  components without the full component rebuild PR 4 paid;
+* :meth:`disconnect`/:meth:`remove_node` purge only state that crossed
+  the cut and repair only its victims (**delta repair**), with
+  :meth:`reroute_component` retained as the from-scratch verification
+  path (set :attr:`verify_repairs` to cross-check every mutation).
+
 Covering-prune repair
 ---------------------
 
 Propagation prunes a subscription's route at a broker when an
-already-known route via the same neighbour *covers* it (Siena semantics:
-any event matching the covered subscription also matches the covering one,
-so the covering route suffices).  That makes removal subtle: retracting a
-subscription must *re-advertise* every remaining subscription it covered,
-because their routes may exist nowhere upstream — the seed overlay skipped
-this and silently stopped forwarding events to covered subscriptions once
-their cover left (see ``tests/pubsub/test_routing.py``
+already-known route via the same neighbour *covers* it.  That makes
+removal subtle: retracting a subscription must *re-advertise* every
+remaining subscription it covered, because their routes may exist nowhere
+upstream — the seed overlay skipped this and silently stopped forwarding
+events to covered subscriptions once their cover left (see
+``tests/pubsub/test_routing.py``
 ``test_unsubscribe_restores_covered_routes``).  Re-issuing a subscription
 id with a changed definition retracts the old definition the same way
 before propagating the new one, so stale routes cannot linger either.
@@ -43,11 +73,15 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
+from repro.pubsub.broker import Broker
 from repro.pubsub.events import Event
-from repro.pubsub.subscriptions import Subscription
+from repro.pubsub.subscriptions import CoveringIndex, Subscription
 from repro.sim.metrics import MetricsRegistry
+
+# A directed routing-table position: (node name, via-neighbour name).
+RouteEntry = Tuple[str, str]
 
 
 @dataclass
@@ -61,6 +95,23 @@ class SubscribeOutcome:
     replaced: bool = False
 
 
+class _EdgeTable:
+    """Control-plane bookkeeping for one directed table position.
+
+    ``covers`` indexes the *selected* subscriptions (the ones actually in
+    the node's per-neighbour matching engine), keyed by issue sequence;
+    the pruned-by graph links every suppressed candidate to the selected
+    cover that blocks it, in both directions.
+    """
+
+    __slots__ = ("covers", "blocker_of", "victims_of")
+
+    def __init__(self) -> None:
+        self.covers = CoveringIndex()
+        self.blocker_of: Dict[str, str] = {}
+        self.victims_of: Dict[str, Set[str]] = {}
+
+
 class RoutingFabric:
     """Topology + routing state shared by every broker transport.
 
@@ -68,17 +119,33 @@ class RoutingFabric:
     mapping, and the id→home mapping of live subscriptions; per-broker
     routing tables live on the node objects themselves so the matching
     fast paths (``interested_neighbours`` → ``matches_any``) stay where
-    the engines are.
+    the engines are.  With ``verify_repairs`` every mutation cross-checks
+    the incremental result against a from-scratch rebuild (the CI churn
+    oracle) and raises ``AssertionError`` on divergence.
     """
 
-    def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
+    def __init__(
+        self,
+        metrics: Optional[MetricsRegistry] = None,
+        verify_repairs: bool = False,
+    ) -> None:
         self.nodes: Dict[str, object] = {}
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._edges: Dict[str, Set[str]] = {}
         self._client_home: Dict[str, str] = {}
-        # subscription id -> (home broker, live definition); the definition
-        # is kept so retraction can repair routes it may have pruned.
+        # subscription id -> (home broker, live definition); insertion
+        # order is issue order (re-issues move to the end), matching the
+        # ascending `_seq` numbers the per-edge covering filter uses.
         self._home_of: Dict[str, Tuple[str, Subscription]] = {}
+        self._seq: Dict[str, int] = {}
+        self._next_seq = 1
+        # Reverse route index: subscription id -> selected table entries.
+        self._routes: Dict[str, Set[RouteEntry]] = {}
+        # Reverse prune index: subscription id -> entries where a cover
+        # suppresses it (the blocker lives in that edge's table).
+        self._pruned_at: Dict[str, Set[RouteEntry]] = {}
+        self._tables: Dict[RouteEntry, _EdgeTable] = {}
+        self.verify_repairs = verify_repairs
 
     # -- topology -----------------------------------------------------------
 
@@ -94,10 +161,18 @@ class RoutingFabric:
         The overlay must remain acyclic; connecting two brokers already
         joined by a path raises ``ValueError``.
 
+        The edge-merge advertisement is canonical: each side's live
+        subscriptions cross into the other side with issue-order-aware
+        pruning (later-issued routes they cover are evicted), so the
+        merged tables equal a fresh build with no rebuild pass.  With no
+        live subscriptions at all — topologies are usually wired before
+        anything subscribes — the component walk is skipped outright
+        (counted in ``overlay.adverts_skipped``), and a join side homing
+        no subscriptions skips its advertisement direction the same way.
+
         With ``propagate=False`` only the edge structure is added — for
-        callers that immediately canonicalize with
-        :meth:`reroute_component` (link failback), where the edge-merge
-        advertisement would be cleared and rebuilt anyway.
+        callers that canonicalize with :meth:`reroute_component`
+        themselves (the retained verification path).
         """
         if first not in self.nodes or second not in self.nodes:
             raise KeyError("both brokers must exist before connecting them")
@@ -106,32 +181,54 @@ class RoutingFabric:
         if self.path_exists(first, second):
             raise ValueError("overlay must remain acyclic (path already exists)")
         # The components being joined, captured before the edge exists:
-        # each side's live subscriptions must be advertised *into the other
-        # side only* — brokers on a subscription's own side already hold
-        # its routes, so re-walking them would just inflate hop stats.
-        first_side = self._component(first) if propagate else None
+        # each side's live subscriptions must be advertised *into the
+        # other side only* — brokers on a subscription's own side already
+        # hold its routes, so re-walking them would just inflate hop
+        # stats — and subscriptions homed in some *third* component
+        # (possible mid-churn, with several links down at once) have no
+        # path to either side and must not be advertised at all.
+        first_side: Optional[Set[str]] = None
+        second_side: Optional[Set[str]] = None
+        if propagate and self._home_of:
+            first_side = self._component(first)
+            second_side = self._component(second)
         self._edges[first].add(second)
         self._edges[second].add(first)
         self.nodes[first].add_neighbour(second)
         self.nodes[second].add_neighbour(first)
         if not propagate:
             return
+        if first_side is None or second_side is None:
+            self.metrics.counter("overlay.adverts_skipped").increment()
+            return
+        walks: List[Tuple[str, Subscription, Tuple[str, str]]] = []
+        per_side = {first: 0, second: 0}
         for home, subscription in list(self._home_of.values()):
             if home in first_side:
-                self._propagate(home, subscription, via=(first, second))
-            else:
-                self._propagate(home, subscription, via=(second, first))
+                per_side[first] += 1
+                walks.append((home, subscription, (first, second)))
+            elif home in second_side:
+                per_side[second] += 1
+                walks.append((home, subscription, (second, first)))
+        for side in (first, second):
+            if per_side[side] == 0:
+                # One side of the join homes nothing: that whole
+                # advertisement direction is skipped.
+                self.metrics.counter("overlay.adverts_skipped").increment()
+        for home, subscription, via in walks:
+            self._propagate(home, subscription, via=via)
+        self._check_canonical("connect")
 
     def disconnect(self, first: str, second: str) -> bool:
         """Remove the overlay link between two brokers and repair routes.
 
-        The overlay splits into two components.  Each side purges every
-        route toward subscriptions homed on the *other* side (they are
-        unreachable now) and re-derives its own routing state by
-        re-propagating the subscriptions homed within it — propagation is
-        covering-aware, so the surviving tables end up exactly what a
-        fabric freshly built on the shrunken topology would hold (routes
-        pruned in favour of now-unreachable covers are re-advertised).
+        The overlay splits into two components.  Repair is *delta*: using
+        the reverse route index, only routes whose subscription is homed
+        across the cut from the entry's node are purged, and only the
+        recorded prune victims of those purged covers are re-admitted —
+        ending in exactly the state a fabric freshly built on the
+        shrunken topology would hold (cross-checked by the convergence
+        oracle and, with :attr:`verify_repairs`, on every call).
 
         Returns ``False`` when no such link exists.
         """
@@ -142,60 +239,83 @@ class RoutingFabric:
         self.nodes[first].remove_neighbour(second)
         self.nodes[second].remove_neighbour(first)
         self.metrics.counter("overlay.links_removed").increment()
-        self.reroute_component(first)
-        self.reroute_component(second)
+        # The two directed positions on the removed link are gone outright.
+        self._drop_edge_state((first, second))
+        self._drop_edge_state((second, first))
+        self._delta_split_repair(second)
+        self.metrics.counter("overlay.route_repairs").increment()
+        self._check_canonical("disconnect")
         return True
+
+    def _delta_split_repair(self, far_start: str) -> None:
+        """Purge routing state that crossed a just-removed cut and
+        re-admit the pruned victims of the purged covers."""
+        far = self._component(far_start)
+        purged = 0
+        pending: Dict[RouteEntry, Set[str]] = {}
+        for subscription_id, (home, _sub) in list(self._home_of.items()):
+            home_far = home in far
+            routes = self._routes.get(subscription_id)
+            if routes:
+                crossed = [e for e in routes if (e[0] in far) != home_far]
+                for edge in crossed:
+                    victims = self._deselect(edge, subscription_id, collect_victims=True)
+                    purged += 1
+                    if victims:
+                        pending.setdefault(edge, set()).update(victims)
+            prunes = self._pruned_at.get(subscription_id)
+            if prunes:
+                for edge in [e for e in prunes if (e[0] in far) != home_far]:
+                    self._clear_prune(edge, subscription_id)
+        if purged:
+            self.metrics.counter("overlay.routes_purged").increment(purged)
+        for edge, victims in pending.items():
+            node_far = edge[0] in far
+            self._readmit(
+                edge,
+                victims,
+                candidate=lambda vid, nf=node_far: (
+                    (self._home_of[vid][0] in far) == nf
+                ),
+            )
 
     def remove_node(self, name: str) -> None:
         """Permanently remove a broker: links, routes, and homed state.
 
-        Subscriptions homed at the broker leave the system with it (their
-        routes elsewhere are repaired by the per-link disconnects); use
-        link removal alone to model a *temporary* outage where the homed
-        subscription set should survive for later re-advertisement.
+        Subscriptions homed at the broker are retracted first (with
+        covering repair for their prune victims), then each link is torn
+        down with delta repair; use link removal alone to model a
+        *temporary* outage where the homed subscription set should
+        survive for later re-advertisement.
         """
         if name not in self.nodes:
             raise KeyError(f"unknown broker {name!r}")
-        # Tear every edge down structurally first, then repair: routing
-        # each surviving component exactly once instead of re-rebuilding
-        # the shrinking remainder per disconnect (quadratic for hubs).
-        neighbours = list(self._edges[name])
-        for neighbour in neighbours:
-            self._edges[name].discard(neighbour)
-            self._edges[neighbour].discard(name)
-            self.nodes[name].remove_neighbour(neighbour)
-            self.nodes[neighbour].remove_neighbour(name)
-            self.metrics.counter("overlay.links_removed").increment()
         for subscription_id, (home, _sub) in list(self._home_of.items()):
             if home == name:
-                del self._home_of[subscription_id]
+                self._retract(subscription_id, force=True)
         for client, home in list(self._client_home.items()):
             if home == name:
                 del self._client_home[client]
+        for neighbour in list(self._edges[name]):
+            self.disconnect(name, neighbour)
         del self._edges[name]
         del self.nodes[name]
-        rerouted: Set[str] = set()
-        for neighbour in neighbours:
-            if neighbour not in rerouted:
-                rerouted |= self._component(neighbour)
-                self.reroute_component(neighbour)
 
     def reroute_component(self, start: str) -> None:
         """Rebuild the routing tables of ``start``'s component from scratch.
 
         Clears every member's per-neighbour tables and re-propagates each
-        live subscription homed inside the component in issue order — the
-        same order a fresh build would use, so covering pruning resolves
-        identically and stale routes (toward homes outside the component)
-        simply never reappear.  Link *restoration* paths call this after
-        ``connect`` because the incremental edge-merge, while sound for
-        delivery, prunes by arrival order rather than issue order and so
-        cannot guarantee snapshot equality with a fresh build.
+        live subscription homed inside the component in issue order.
+        Delta repair makes this unnecessary on the hot paths; it remains
+        the from-scratch *verification path* the incremental results are
+        held equal to (and the fallback for callers that restructure
+        topology behind the fabric's back).
         """
         component = self._component(start)
         for name in component:
             node = self.nodes[name]
             for neighbour in list(node.remote_engines):
+                self._drop_edge_state((name, neighbour))
                 node.clear_remote(neighbour)
         for home, subscription in list(self._home_of.values()):
             if home in component:
@@ -246,7 +366,8 @@ class RoutingFabric:
 
         Re-issuing a live subscription id first retracts the old
         definition's routing state everywhere (with covering repair), so
-        the new definition starts from a clean table.
+        the new definition starts from a clean table at the *end* of the
+        issue order.
         """
         if broker_name not in self.nodes:
             raise KeyError(f"unknown broker {broker_name!r}")
@@ -261,13 +382,17 @@ class RoutingFabric:
             self._retract(
                 subscription_id,
                 keep_local=(old_home == broker_name),
+                force=True,
             )
             replaced = True
         self.nodes[broker_name].subscribe_local(subscription)
         self._home_of[subscription_id] = (broker_name, subscription)
+        self._seq[subscription_id] = self._next_seq
+        self._next_seq += 1
         self.metrics.counter("overlay.subscriptions").increment()
         outcome = self._propagate(broker_name, subscription)
         outcome.replaced = replaced
+        self._check_canonical("subscribe")
         return outcome
 
     def subscribe(self, client: str, subscription: Subscription) -> SubscribeOutcome:
@@ -287,6 +412,7 @@ class RoutingFabric:
         removed = self._retract(subscription_id)
         if removed:
             self.metrics.counter("overlay.unsubscriptions").increment()
+            self._check_canonical("unsubscribe")
         return removed
 
     def unsubscribe(self, client: str, subscription_id: str) -> bool:
@@ -295,32 +421,205 @@ class RoutingFabric:
             return False
         return self.unsubscribe_at(home, subscription_id)
 
-    def _retract(self, subscription_id: str, keep_local: bool = False) -> bool:
+    def _retract(
+        self, subscription_id: str, keep_local: bool = False, force: bool = False
+    ) -> bool:
         """Drop a subscription and every route toward it, then repair.
 
-        Repair re-propagates every remaining subscription the removed
-        definition covered: their routes may have been pruned in favour of
-        the removed one and must be re-advertised from their home brokers
-        (propagation is idempotent — still-covered routes prune again).
+        The reverse route index bounds the purge to entries that exist,
+        and repair re-admits only the recorded prune victims of those
+        entries — no sweep over nodes or live subscriptions.
 
-        ``keep_local`` leaves the home broker's local engine untouched
-        (the caller is about to replace the entry in place).
+        The failure path — the home broker's local engine no longer holds
+        the id because the fabric was bypassed — is side-effect-free: no
+        home-table, route or prune state changes and ``False`` returns.
+        ``force`` overrides that for callers replacing or discarding the
+        definition anyway (re-issue, node removal), where the old routing
+        state must not linger.  ``keep_local`` leaves the home broker's
+        local engine untouched (the caller is about to replace the entry
+        in place).
         """
-        home, removed_sub = self._home_of.pop(subscription_id)
+        home, _removed_sub = self._home_of[subscription_id]
         home_node = self.nodes[home]
-        if keep_local:
-            removed = subscription_id in home_node.local_engine
-        else:
-            removed = home_node.unsubscribe_local(subscription_id)
-        for node in self.nodes.values():
-            for neighbour in list(node.remote_engines):
-                node.forget_remote(neighbour, subscription_id)
-        if not removed:
+        present = subscription_id in home_node.local_engine
+        if not present and not force:
             return False
-        for other_home, survivor in self._home_of.values():
-            if removed_sub.covers(survivor):
-                self._propagate(other_home, survivor)
+        if present and not keep_local:
+            home_node.unsubscribe_local(subscription_id)
+        del self._home_of[subscription_id]
+        del self._seq[subscription_id]
+        for edge in list(self._pruned_at.get(subscription_id, ())):
+            self._clear_prune(edge, subscription_id)
+        pending: Dict[RouteEntry, Set[str]] = {}
+        for edge in list(self._routes.get(subscription_id, ())):
+            victims = self._deselect(edge, subscription_id, collect_victims=True)
+            if victims:
+                pending[edge] = victims
+        for edge, victims in pending.items():
+            self._readmit(edge, victims)
+        return present
+
+    # -- per-edge canonical placement ----------------------------------------
+
+    def _select(self, edge: RouteEntry, subscription: Subscription, seq: int) -> None:
+        node_name, via = edge
+        node = self.nodes[node_name]
+        node.learn_remote(via, subscription)
+        node.stats.subscriptions_forwarded += 1
+        table = self._tables.get(edge)
+        if table is None:
+            table = self._tables[edge] = _EdgeTable()
+        table.covers.add(subscription, priority=seq)
+        self._routes.setdefault(subscription.subscription_id, set()).add(edge)
+
+    def _deselect(
+        self, edge: RouteEntry, subscription_id: str, collect_victims: bool = False
+    ) -> Set[str]:
+        """Remove a selected entry; optionally detach and return its
+        recorded prune victims (for re-admission by the caller)."""
+        node_name, via = edge
+        self.nodes[node_name].forget_remote(via, subscription_id)
+        victims: Set[str] = set()
+        table = self._tables.get(edge)
+        if table is not None:
+            table.covers.discard(subscription_id)
+            if collect_victims:
+                victims = table.victims_of.pop(subscription_id, set())
+                for victim in victims:
+                    table.blocker_of.pop(victim, None)
+        routes = self._routes.get(subscription_id)
+        if routes is not None:
+            routes.discard(edge)
+            if not routes:
+                del self._routes[subscription_id]
+        return victims
+
+    def _record_prune(self, edge: RouteEntry, victim_id: str, blocker_id: str) -> None:
+        table = self._tables.get(edge)
+        if table is None:
+            table = self._tables[edge] = _EdgeTable()
+        table.blocker_of[victim_id] = blocker_id
+        table.victims_of.setdefault(blocker_id, set()).add(victim_id)
+        self._pruned_at.setdefault(victim_id, set()).add(edge)
+
+    def _clear_prune(self, edge: RouteEntry, victim_id: str) -> None:
+        table = self._tables.get(edge)
+        if table is not None:
+            blocker = table.blocker_of.pop(victim_id, None)
+            if blocker is not None:
+                victims = table.victims_of.get(blocker)
+                if victims is not None:
+                    victims.discard(victim_id)
+                    if not victims:
+                        del table.victims_of[blocker]
+        prunes = self._pruned_at.get(victim_id)
+        if prunes is not None:
+            prunes.discard(edge)
+            if not prunes:
+                del self._pruned_at[victim_id]
+
+    def _drop_edge_state(self, edge: RouteEntry) -> None:
+        """Forget all bookkeeping of a table position whose link is gone
+        (the node-side engine is dropped by ``remove_neighbour``)."""
+        table = self._tables.pop(edge, None)
+        if table is None:
+            return
+        for subscription_id in table.covers.ids():
+            routes = self._routes.get(subscription_id)
+            if routes is not None:
+                routes.discard(edge)
+                if not routes:
+                    del self._routes[subscription_id]
+        for victim in table.blocker_of:
+            prunes = self._pruned_at.get(victim)
+            if prunes is not None:
+                prunes.discard(edge)
+                if not prunes:
+                    del self._pruned_at[victim]
+
+    def _place(self, edge: RouteEntry, subscription: Subscription, seq: int) -> bool:
+        """The canonical greedy decision for one candidate at one edge.
+
+        Selected iff no earlier-issued selected candidate covers it; on
+        selection, later-issued entries it covers are evicted (their
+        victims transfer by covering transitivity).  Returns ``True``
+        when the subscription was learned at this edge.
+        """
+        subscription_id = subscription.subscription_id
+        table = self._tables.get(edge)
+        if table is None:
+            table = self._tables[edge] = _EdgeTable()
+        cover = table.covers.first_cover(
+            subscription, before=seq, exclude=subscription_id
+        )
+        if cover is not None:
+            self._record_prune(edge, subscription_id, cover.subscription_id)
+            return False
+        self._select(edge, subscription, seq)
+        for booted in table.covers.covered_by(
+            subscription, after=seq, exclude=subscription_id
+        ):
+            self._boot(edge, booted.subscription_id, subscription_id)
         return True
+
+    def _boot(self, edge: RouteEntry, booted_id: str, cover_id: str) -> None:
+        """Evict a later-issued selected entry that ``cover_id`` covers.
+
+        The evicted entry's own recorded victims are covered by the new
+        cover too (covering is transitive), so they transfer to it rather
+        than being re-examined.
+        """
+        inherited = self._deselect(edge, booted_id, collect_victims=True)
+        for victim in inherited:
+            self._record_prune(edge, victim, cover_id)
+        self._record_prune(edge, booted_id, cover_id)
+
+    def _readmit(
+        self,
+        edge: RouteEntry,
+        victim_ids: Iterable[str],
+        candidate: Optional[Callable[[str], bool]] = None,
+    ) -> None:
+        """Re-run the greedy decision for victims whose blocker left.
+
+        Victims are processed in issue order so earlier re-admissions can
+        block later ones exactly as a fresh build would.  ``candidate``
+        filters out victims that no longer route through this edge at all
+        (their home fell on the same side of a cut as the edge's node);
+        their prune records are simply dropped.
+        """
+        readmitted = 0
+        seq_of = self._seq
+        for victim_id in sorted(victim_ids, key=lambda vid: seq_of.get(vid, 0)):
+            if victim_id not in self._home_of or (
+                candidate is not None and not candidate(victim_id)
+            ):
+                self._clear_prune(edge, victim_id)
+                continue
+            subscription = self._home_of[victim_id][1]
+            seq = seq_of[victim_id]
+            table = self._tables.get(edge)
+            if table is None:
+                table = self._tables[edge] = _EdgeTable()
+            cover = table.covers.first_cover(subscription, before=seq, exclude=victim_id)
+            if cover is not None:
+                # Still covered — just re-point the prune record.
+                table.blocker_of[victim_id] = cover.subscription_id
+                table.victims_of.setdefault(cover.subscription_id, set()).add(victim_id)
+                continue
+            prunes = self._pruned_at.get(victim_id)
+            if prunes is not None:
+                prunes.discard(edge)
+                if not prunes:
+                    del self._pruned_at[victim_id]
+            self._select(edge, subscription, seq)
+            readmitted += 1
+            for booted in table.covers.covered_by(
+                subscription, after=seq, exclude=victim_id
+            ):
+                self._boot(edge, booted.subscription_id, victim_id)
+        if readmitted:
+            self.metrics.counter("overlay.routes_readmitted").increment(readmitted)
 
     def _propagate(
         self,
@@ -329,7 +628,8 @@ class RoutingFabric:
         via: Optional[Tuple[str, str]] = None,
     ) -> SubscribeOutcome:
         """Breadth-first propagation: each broker records which neighbour
-        leads back toward the subscriber, pruned by covering relations.
+        leads back toward the subscriber, pruned by covering relations
+        through the per-edge canonical placement.
 
         With ``via=(from_broker, to_broker)`` the walk starts across that
         single edge instead of fanning out from ``origin`` — used when a
@@ -339,6 +639,7 @@ class RoutingFabric:
         outcome = SubscribeOutcome(
             subscription_id=subscription.subscription_id, home_broker=origin
         )
+        seq = self._seq[subscription.subscription_id]
         if via is None:
             visited = {origin}
             queue = deque((origin, neighbour) for neighbour in self._edges[origin])
@@ -351,18 +652,12 @@ class RoutingFabric:
             if to_broker in visited:
                 continue
             visited.add(to_broker)
-            node = self.nodes[to_broker]
-            # Covering check: if an already-known subscription via this
-            # neighbour covers the new one, the routing state is unchanged.
-            existing = node.remote_engines.get(from_broker)
-            if existing is not None and existing.any_covering(subscription):
-                outcome.pruned += 1
-                self.metrics.counter("overlay.subscription_pruned").increment()
-            else:
-                node.learn_remote(from_broker, subscription)
-                node.stats.subscriptions_forwarded += 1
+            if self._place((to_broker, from_broker), subscription, seq):
                 outcome.hops += 1
                 self.metrics.counter("overlay.subscription_hops").increment()
+            else:
+                outcome.pruned += 1
+                self.metrics.counter("overlay.subscription_pruned").increment()
             for neighbour in self._edges[to_broker]:
                 if neighbour not in visited:
                     queue.append((to_broker, neighbour))
@@ -425,6 +720,32 @@ class RoutingFabric:
             if tables:
                 snapshot[name] = tables
         return snapshot
+
+    def rebuilt_snapshot(
+        self, edges: Optional[Iterable[Tuple[str, str]]] = None
+    ) -> Dict[str, Dict[str, Tuple[str, ...]]]:
+        """Routing state of a fabric built from scratch on this fabric's
+        surviving topology (its current edges unless ``edges`` is given),
+        subscribing the live set in its original issue order — the
+        verification oracle every delta repair is held equal to."""
+        fresh = RoutingFabric()
+        for name in self.node_names():
+            fresh.add_node(name, Broker(name))
+        for first, second in self.edges() if edges is None else edges:
+            fresh.connect(first, second)
+        for home, subscription in self.homed_subscriptions():
+            fresh.subscribe_at(home, subscription)
+        return fresh.routing_snapshot()
+
+    def _check_canonical(self, context: str) -> None:
+        if not self.verify_repairs:
+            return
+        live = self.routing_snapshot()
+        rebuilt = self.rebuilt_snapshot()
+        if live != rebuilt:
+            raise AssertionError(
+                f"delta repair diverged from a fresh rebuild after {context}"
+            )
 
     def total_routing_state(self) -> int:
         return sum(node.routing_table_size() for node in self.nodes.values())

@@ -109,8 +109,18 @@ def run_cluster_churn(
     seed: int = 29,
     scale: float = 1.0,
     verify: bool = False,
+    cross_check_repairs: bool = False,
 ) -> ExperimentResult:
-    """Sweep crash rate × recovery delay × topology under churn."""
+    """Sweep crash rate × recovery delay × topology under churn.
+
+    With ``cross_check_repairs`` every fabric mutation (subscription
+    placement, link failover delta repair, failback merge) is
+    cross-checked against the retained full-rebuild path
+    (:meth:`RoutingFabric.rebuilt_snapshot`) — any snapshot divergence
+    raises immediately, naming the operation.  This is the control-plane
+    oracle CI arms; it is far stricter (and slower) than ``verify``,
+    which only checks the final healed state per point.
+    """
     if scale <= 0:
         raise ValueError("scale must be positive")
     num_subscriptions = max(50, int(num_subscriptions * scale))
@@ -131,6 +141,7 @@ def run_cluster_churn(
             "link_flap_rate": link_flap_rate,
             "mailbox_policy": mailbox_policy,
             "verified": verify,
+            "cross_checked_repairs": cross_check_repairs,
         },
     )
 
@@ -162,6 +173,7 @@ def run_cluster_churn(
                     mailbox_policy=mailbox_policy,
                 )
                 names = build_cluster_topology(topology, num_brokers, cluster)
+                cluster.fabric.verify_repairs = cross_check_repairs
                 placement_rng = rng.fork("placement")
                 for subscription in subscriptions:
                     cluster.subscribe(
@@ -303,6 +315,12 @@ def run_cluster_churn(
             "delivered exactly per the single-engine oracle on every "
             "topology (no losses, no duplicates)"
         )
+    if cross_check_repairs:
+        result.notes.append(
+            "cross-checked: every individual delta repair (retraction, link "
+            "failover purge+readmit, failback merge) was verified against "
+            "the retained full-rebuild path at mutation time"
+        )
     return result
 
 
@@ -359,6 +377,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "(exit 1 on violation)",
     )
     parser.add_argument(
+        "--cross-check-repairs",
+        action="store_true",
+        help="cross-check every delta route repair against the retained "
+        "full-rebuild path at mutation time (exit 1 on any snapshot "
+        "divergence) — the control-plane CI oracle",
+    )
+    parser.add_argument(
         "--link-flap-rate",
         type=float,
         default=0.0,
@@ -376,6 +401,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         result = run_cluster_churn(
             scale=args.scale,
             verify=args.verify,
+            cross_check_repairs=args.cross_check_repairs,
             seed=args.seed,
             link_flap_rate=args.link_flap_rate,
             mailbox_policy=args.mailbox_policy,

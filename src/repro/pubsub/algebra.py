@@ -71,6 +71,22 @@ class FilterExpr(CompositeExpression):
             return False
         return all(predicate.matches(event) for predicate in self.predicates)
 
+    def covers(self, other: "FilterExpr") -> bool:
+        """True if every event matching ``other`` also matches this filter.
+
+        The same covering relation the routing substrate defines on
+        :class:`~repro.pubsub.subscriptions.Subscription`, lifted to the
+        algebra's stateless base case — so composite subscriptions built
+        from filters can participate in covering-based optimizations
+        (e.g. dropping a redundant disjunct before engine evaluation).
+        """
+        if self.event_type != other.event_type:
+            return False
+        for own in self.predicates:
+            if not any(own.covers(theirs) for theirs in other.predicates):
+                return False
+        return True
+
     def observe(self, event: Event) -> List[CompositeMatch]:
         if self._matches(event):
             return [

@@ -126,7 +126,9 @@ class Broker:
     def advertised_subscriptions(self, exclude_neighbour: Optional[str] = None) -> List[Subscription]:
         """The minimal covering set of subscriptions this broker must
         advertise to a neighbour: its local subscriptions plus those learned
-        from all *other* neighbours."""
+        from all *other* neighbours.  ``minimal_cover`` finds each
+        candidate's covers through a :class:`CoveringIndex` lookup, so
+        this is no longer the all-pairs ``covers()`` sweep it once was."""
         subscriptions: List[Subscription] = list(self.local_engine.subscriptions())
         for neighbour, engine in self.remote_engines.items():
             if neighbour == exclude_neighbour:

@@ -101,7 +101,19 @@ class BrokerOverlay:
         self.fabric.subscribe(client, subscription)
 
     def unsubscribe(self, client: str, subscription_id: str) -> bool:
+        """Retract a subscription with covering repair.
+
+        The fabric's reverse route index bounds the retraction to the
+        routes that actually exist, and its pruned-by graph re-advertises
+        only the recorded victims — unsubscribing is O(routes + victims),
+        not a sweep over every broker and live subscription.
+        """
         return self.fabric.unsubscribe(client, subscription_id)
+
+    def routing_snapshot(self) -> Dict[str, Dict[str, Tuple[str, ...]]]:
+        """Canonical per-broker routing tables (see
+        :meth:`RoutingFabric.routing_snapshot`), for convergence checks."""
+        return self.fabric.routing_snapshot()
 
     # -- publishing -------------------------------------------------------------
 

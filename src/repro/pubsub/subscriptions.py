@@ -13,7 +13,7 @@ from __future__ import annotations
 import enum
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.pubsub.events import AttributeValue, Event
 
@@ -169,6 +169,66 @@ class Subscription:
     def attribute_names(self) -> Tuple[str, ...]:
         return tuple(sorted({predicate.attribute for predicate in self.predicates}))
 
+    def covering_key(self) -> Tuple[Tuple[str, ...], Dict[str, Tuple[AttributeValue, ...]]]:
+        """Cached ``(attribute signature, EQ-pinned values per attribute)``.
+
+        The :class:`CoveringIndex` keys its buckets on this pair; the
+        subscription is immutable, so it is computed once and memoized on
+        the instance (callers must not mutate the returned dict).
+        """
+        key = self.__dict__.get("_covering_key")
+        if key is None:
+            signature = self.attribute_names()
+            eq_values: Dict[str, List[AttributeValue]] = {}
+            for predicate in self.predicates:
+                if predicate.operator is not Operator.EQ:
+                    continue
+                try:
+                    hash(predicate.value)
+                except TypeError:
+                    continue
+                held = eq_values.setdefault(predicate.attribute, [])
+                if predicate.value not in held:
+                    held.append(predicate.value)
+            key = (signature, {attr: tuple(vals) for attr, vals in eq_values.items()})
+            object.__setattr__(self, "_covering_key", key)
+        return key
+
+    def covering_probes(self) -> Optional[Tuple[Tuple[Tuple[str, ...], Tuple], ...]]:
+        """Cached (signature subset, fingerprint) bucket keys enumerating
+        every :class:`CoveringIndex` bucket a cover of this subscription
+        could occupy, or ``None`` when the enumeration would be too
+        combinatorial to beat the index's bucket-scan fallback."""
+        probes = self.__dict__.get("_covering_probes", False)
+        if probes is False:
+            signature, eq_values = self.covering_key()
+            # Cap the enumerated probe *count*, not just the signature
+            # width: wide conjunctions (or many EQ values per attribute)
+            # multiply out, and past a point iterating thousands of
+            # bucket keys per cover query costs more than the index's
+            # bucket-scan fallback.
+            limit = 256
+            enumerated: Optional[List[Tuple[Tuple[str, ...], Tuple]]] = []
+            for size in range(len(signature) + 1):
+                if enumerated is None:
+                    break
+                for sig in itertools.combinations(signature, size):
+                    option_lists = [
+                        [("eq", value) for value in eq_values.get(attr, ())]
+                        + [("*",)]
+                        for attr in sig
+                    ]
+                    for fingerprint in itertools.product(*option_lists):
+                        enumerated.append((sig, fingerprint))
+                        if len(enumerated) > limit:
+                            enumerated = None
+                            break
+                    if enumerated is None:
+                        break
+            probes = tuple(enumerated) if enumerated is not None else None
+            object.__setattr__(self, "_covering_probes", probes)
+        return probes
+
     def describe(self) -> str:
         if not self.predicates:
             return f"{self.event_type}: *"
@@ -251,27 +311,289 @@ class SubscriptionTable:
         return subscription_id in self._by_id
 
 
+class _TypeBucket:
+    """Per-event-type candidate buckets of a :class:`CoveringIndex`."""
+
+    __slots__ = ("members", "by_signature", "by_attribute", "by_eq")
+
+    def __init__(self) -> None:
+        # subscription id -> subscription (everything indexed on this type)
+        self.members: Dict[str, Subscription] = {}
+        # attribute signature -> fingerprint -> ids (see CoveringIndex)
+        self.by_signature: Dict[Tuple[str, ...], Dict[Tuple, Set[str]]] = {}
+        # attribute -> ids of subscriptions constraining it
+        self.by_attribute: Dict[str, Set[str]] = {}
+        # (attribute, value) -> ids holding an EQ predicate pinning it
+        self.by_eq: Dict[Tuple[str, object], Set[str]] = {}
+
+
+class CoveringIndex:
+    """Find covering/covered candidates by (event type, attribute) lookup.
+
+    The routing control plane needs two covering queries per table entry:
+    *is some indexed subscription more general than this one* (pruning)
+    and *which indexed subscriptions does this one make redundant*
+    (repair).  Both used to be answered by pairwise ``covers()`` sweeps
+    over every indexed subscription; this index narrows the candidate set
+    structurally before a single ``covers()`` call runs:
+
+    * A cover's predicate attributes are necessarily a **subset** of the
+      covered subscription's (a predicate only covers predicates on its
+      own attribute), so candidates bucket per event type by their sorted
+      attribute *signature* and a cover query enumerates only the
+      signatures that are subsets of the target's.
+    * An EQ predicate covers nothing but an EQ on the same value, so
+      within a signature bucket candidates sub-key by a *fingerprint*
+      marking each attribute ``("eq", value)`` or ``("*",)`` — candidates
+      pinned to a different value are never touched.
+
+    Each entry carries an integer ``priority`` (the routing fabric uses
+    its subscription issue sequence) so queries can be restricted to
+    candidates issued before/after a given point.  The bucket keys a
+    cover query must probe depend only on the target subscription and are
+    memoized on it (:meth:`Subscription.covering_probes`); signatures too
+    wide to enumerate fall back to scanning the type's signature buckets
+    with a subset check.
+    """
+
+    def __init__(self) -> None:
+        # id -> (subscription, priority, signature, fingerprint)
+        self._entries: Dict[str, Tuple[Subscription, int, Tuple[str, ...], Tuple]] = {}
+        self._types: Dict[str, _TypeBucket] = {}
+
+    # -- maintenance --------------------------------------------------------
+
+    @staticmethod
+    def _fingerprint(
+        subscription: Subscription, signature: Tuple[str, ...]
+    ) -> Tuple:
+        eq_values = subscription.covering_key()[1]
+        return tuple(
+            ("eq", eq_values[attr][0]) if attr in eq_values else ("*",)
+            for attr in signature
+        )
+
+    def add(self, subscription: Subscription, priority: int = 0) -> None:
+        subscription_id = subscription.subscription_id
+        if subscription_id in self._entries:
+            self.discard(subscription_id)
+        signature, eq_values = subscription.covering_key()
+        fingerprint = self._fingerprint(subscription, signature)
+        bucket = self._types.setdefault(subscription.event_type, _TypeBucket())
+        bucket.members[subscription_id] = subscription
+        bucket.by_signature.setdefault(signature, {}).setdefault(
+            fingerprint, set()
+        ).add(subscription_id)
+        for attr in signature:
+            bucket.by_attribute.setdefault(attr, set()).add(subscription_id)
+        for attr, values in eq_values.items():
+            for value in values:
+                bucket.by_eq.setdefault((attr, value), set()).add(subscription_id)
+        self._entries[subscription_id] = (subscription, priority, signature, fingerprint)
+
+    def discard(self, subscription_id: str) -> bool:
+        entry = self._entries.pop(subscription_id, None)
+        if entry is None:
+            return False
+        subscription, _priority, signature, fingerprint = entry
+        bucket = self._types[subscription.event_type]
+        bucket.members.pop(subscription_id, None)
+        fmap = bucket.by_signature.get(signature)
+        if fmap is not None:
+            ids = fmap.get(fingerprint)
+            if ids is not None:
+                ids.discard(subscription_id)
+                if not ids:
+                    del fmap[fingerprint]
+            if not fmap:
+                del bucket.by_signature[signature]
+        for attr in signature:
+            ids = bucket.by_attribute.get(attr)
+            if ids is not None:
+                ids.discard(subscription_id)
+                if not ids:
+                    del bucket.by_attribute[attr]
+        for attr, values in subscription.covering_key()[1].items():
+            for value in values:
+                ids = bucket.by_eq.get((attr, value))
+                if ids is not None:
+                    ids.discard(subscription_id)
+                    if not ids:
+                        del bucket.by_eq[(attr, value)]
+        if not bucket.members:
+            del self._types[subscription.event_type]
+        return True
+
+    def __contains__(self, subscription_id: str) -> bool:
+        return subscription_id in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def ids(self) -> List[str]:
+        return list(self._entries)
+
+    def subscriptions(self) -> List[Subscription]:
+        return [entry[0] for entry in self._entries.values()]
+
+    # -- queries ------------------------------------------------------------
+
+    def covers_of(
+        self,
+        subscription: Subscription,
+        before: Optional[int] = None,
+        exclude: Optional[str] = None,
+    ) -> Iterator[Subscription]:
+        """Indexed subscriptions covering ``subscription``.
+
+        With ``before`` only entries whose priority is strictly lower are
+        yielded; ``exclude`` skips one id (typically the target itself).
+        """
+        bucket = self._types.get(subscription.event_type)
+        if bucket is None:
+            return
+        entries = self._entries
+        candidate_sets: List[Set[str]] = []
+        probes = subscription.covering_probes()
+        if probes is not None:
+            by_signature = bucket.by_signature
+            for sig, fingerprint in probes:
+                fmap = by_signature.get(sig)
+                if fmap:
+                    ids = fmap.get(fingerprint)
+                    if ids:
+                        candidate_sets.append(ids)
+        else:  # pragma: no cover - very wide conjunctions
+            attrs = set(subscription.covering_key()[0])
+            for sig, fmap in bucket.by_signature.items():
+                if set(sig) <= attrs:
+                    candidate_sets.extend(fmap.values())
+        for ids in candidate_sets:
+            for subscription_id in list(ids):
+                if subscription_id == exclude:
+                    continue
+                candidate, priority, _sig, _fp = entries[subscription_id]
+                if before is not None and priority >= before:
+                    continue
+                if candidate.covers(subscription):
+                    yield candidate
+
+    def first_cover(
+        self,
+        subscription: Subscription,
+        before: Optional[int] = None,
+        exclude: Optional[str] = None,
+    ) -> Optional[Subscription]:
+        """Any indexed subscription covering ``subscription`` (or None).
+
+        The pruning hot path of the routing control plane — inlined
+        rather than delegating to :meth:`covers_of` so a miss costs a few
+        dict probes over the cached bucket keys.
+        """
+        bucket = self._types.get(subscription.event_type)
+        if bucket is None:
+            return None
+        probes = subscription.covering_probes()
+        if probes is None:  # pragma: no cover - very wide conjunctions
+            for candidate in self.covers_of(
+                subscription, before=before, exclude=exclude
+            ):
+                return candidate
+            return None
+        entries = self._entries
+        by_signature = bucket.by_signature
+        for sig, fingerprint in probes:
+            fmap = by_signature.get(sig)
+            if not fmap:
+                continue
+            ids = fmap.get(fingerprint)
+            if not ids:
+                continue
+            for subscription_id in ids:
+                if subscription_id == exclude:
+                    continue
+                candidate, priority, _sig, _fp = entries[subscription_id]
+                if before is not None and priority >= before:
+                    continue
+                if candidate.covers(subscription):
+                    return candidate
+        return None
+
+    def covered_by(
+        self,
+        subscription: Subscription,
+        after: Optional[int] = None,
+        exclude: Optional[str] = None,
+    ) -> List[Subscription]:
+        """Indexed subscriptions that ``subscription`` covers.
+
+        A covered candidate constrains a superset of the target's
+        attributes and, where the target pins an attribute with EQ, is
+        pinned to the same value — the candidate pool comes from the
+        smallest such structural bucket before ``covers()`` confirms.
+        With ``after`` only entries with strictly higher priority return.
+        """
+        bucket = self._types.get(subscription.event_type)
+        if bucket is None:
+            return []
+        signature, eq_values = subscription.covering_key()
+        if not signature:
+            pool: Iterable[str] = list(bucket.members)
+        else:
+            smallest: Optional[Set[str]] = None
+            for attr in signature:
+                if attr in eq_values:
+                    options = [
+                        bucket.by_eq.get((attr, value), set())
+                        for value in eq_values[attr]
+                    ]
+                else:
+                    options = [bucket.by_attribute.get(attr, set())]
+                narrowest = min(options, key=len)
+                if smallest is None or len(narrowest) < len(smallest):
+                    smallest = narrowest
+            pool = list(smallest) if smallest else []
+        result: List[Subscription] = []
+        for subscription_id in pool:
+            if subscription_id == exclude:
+                continue
+            candidate, priority, _sig, _fp = self._entries[subscription_id]
+            if after is not None and priority <= after:
+                continue
+            if subscription.covers(candidate):
+                result.append(candidate)
+        return result
+
+
 def minimal_cover(subscriptions: Sequence[Subscription]) -> List[Subscription]:
     """Remove subscriptions covered by another subscription in the set.
 
     Used by brokers when propagating subscription state upstream: only the
-    most general subscriptions need to travel toward publishers.
+    most general subscriptions need to travel toward publishers.  A
+    subscription is dropped when another is strictly more general, or
+    equivalent with a smaller id (the representative); candidate covers
+    come from a :class:`CoveringIndex` lookup instead of the previous
+    all-pairs ``covers()`` sweep.
     """
+    index = CoveringIndex()
+    for subscription in subscriptions:
+        if subscription.subscription_id not in index:
+            index.add(subscription)
+    kept: Dict[str, bool] = {}
     result: List[Subscription] = []
     for candidate in subscriptions:
-        covered = False
-        for other in subscriptions:
-            if other is candidate:
-                continue
-            if other.covers(candidate) and not (
-                candidate.covers(other)
-                and other.subscription_id > candidate.subscription_id
-            ):
-                # `other` is strictly more general, or they are equivalent and
-                # the one with the smaller id is kept as the representative.
-                if not candidate.covers(other) or other.subscription_id < candidate.subscription_id:
-                    covered = True
+        candidate_id = candidate.subscription_id
+        decision = kept.get(candidate_id)
+        if decision is None:
+            decision = True
+            for other in index.covers_of(candidate, exclude=candidate_id):
+                if (
+                    not candidate.covers(other)
+                    or other.subscription_id < candidate_id
+                ):
+                    decision = False
                     break
-        if not covered:
+            kept[candidate_id] = decision
+        if decision:
             result.append(candidate)
     return result

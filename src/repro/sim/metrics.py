@@ -50,15 +50,30 @@ class Histogram:
     """Streaming histogram retaining all observations.
 
     Observation counts in this repository are small enough (tens of
-    thousands) that retaining raw samples is simpler and exact.
+    thousands) that retaining raw samples is simpler and exact.  The
+    aggregate accessors used by experiment reporting loops are O(1):
+    ``total``/``mean``/``minimum``/``maximum`` are maintained as running
+    values on :meth:`observe`, and :meth:`percentile` sorts once and
+    reuses the cached ordering until the next observation.
     """
 
     def __init__(self, name: str) -> None:
         self.name = name
         self._samples: List[float] = []
+        self._total = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._ordered: Optional[List[float]] = None
 
     def observe(self, value: float) -> None:
-        self._samples.append(float(value))
+        value = float(value)
+        self._samples.append(value)
+        self._total += value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+        self._ordered = None
 
     @property
     def count(self) -> int:
@@ -66,19 +81,19 @@ class Histogram:
 
     @property
     def total(self) -> float:
-        return sum(self._samples)
+        return self._total
 
     @property
     def mean(self) -> float:
-        return self.total / self.count if self._samples else 0.0
+        return self._total / len(self._samples) if self._samples else 0.0
 
     @property
     def minimum(self) -> float:
-        return min(self._samples) if self._samples else 0.0
+        return self._min if self._samples else 0.0
 
     @property
     def maximum(self) -> float:
-        return max(self._samples) if self._samples else 0.0
+        return self._max if self._samples else 0.0
 
     @property
     def stddev(self) -> float:
@@ -94,7 +109,9 @@ class Histogram:
             return 0.0
         if not 0 <= q <= 100:
             raise ValueError("percentile must be within [0, 100]")
-        ordered = sorted(self._samples)
+        if self._ordered is None:
+            self._ordered = sorted(self._samples)
+        ordered = self._ordered
         if len(ordered) == 1:
             return ordered[0]
         position = (q / 100) * (len(ordered) - 1)

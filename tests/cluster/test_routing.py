@@ -192,6 +192,44 @@ class TestRetraction:
         assert not fabric.nodes["a"].local_engine.matches_any(_event("sports"))
 
 
+class TestRetractionFailurePath:
+    def test_bypassed_local_engine_makes_unsubscribe_side_effect_free(self):
+        """Regression: when the home broker's local engine no longer holds
+        the id (the fabric was bypassed), the old ``_retract`` still popped
+        the home table and purged every remote route before returning
+        ``False`` — leaving half-removed state with no covering repair.
+        The failure path must mutate nothing."""
+        fabric = _fabric("a", "b", "c", edges=[("a", "b"), ("b", "c")])
+        broad = Subscription(
+            event_type="news.story",
+            predicates=(Predicate("priority", Operator.GE, 1),),
+            subscriber="u",
+        )
+        narrow = Subscription(
+            event_type="news.story",
+            predicates=(Predicate("priority", Operator.GE, 5),),
+            subscriber="u",
+        )
+        fabric.subscribe_at("a", broad)
+        fabric.subscribe_at("a", narrow)  # pruned in favour of broad
+        # Bypass the fabric: the local engine loses the entry directly.
+        assert fabric.nodes["a"].unsubscribe_local(broad.subscription_id)
+        snapshot = fabric.routing_snapshot()
+        homed = [(h, s.subscription_id) for h, s in fabric.homed_subscriptions()]
+
+        assert fabric.unsubscribe_at("a", broad.subscription_id) is False
+        # Nothing moved: routes, home table and issue order are untouched.
+        assert fabric.routing_snapshot() == snapshot
+        assert [(h, s.subscription_id) for h, s in fabric.homed_subscriptions()] == homed
+        assert fabric.subscription_home(broad.subscription_id) == "a"
+        # The fabric heals through a re-issue, which force-retracts the
+        # stale definition and repairs the covered subscription's routes.
+        fabric.subscribe_at("a", broad)
+        assert fabric.unsubscribe_at("a", broad.subscription_id) is True
+        assert fabric.next_hops("c", _event("any", priority=7)) == ["b"]
+        assert fabric.routing_snapshot() == fabric.rebuilt_snapshot()
+
+
 class TestLateLinks:
     def test_connect_readvertises_live_subscriptions(self):
         fabric = _fabric("a", "b", "c")
@@ -228,3 +266,36 @@ class TestLateLinks:
         fabric.subscribe_at("a", subscription)
         fabric.subscribe_at("a", subscription)
         assert fabric.nodes["a"].stats.subscriptions_received == 1
+
+    def test_connect_with_no_subscriptions_skips_advertisement_walk(self):
+        """Wiring a topology before anything subscribes (what every
+        build_* helper does) must not walk components per link."""
+        fabric = _fabric("a", "b", "c")
+        fabric.connect("a", "b")
+        fabric.connect("b", "c")
+        assert fabric.metrics.counter("overlay.adverts_skipped").value == 2
+        assert fabric.metrics.counter("overlay.subscription_hops").value == 0
+
+    def test_connect_with_one_empty_side_counts_skipped_direction(self):
+        fabric = _fabric("a", "b")
+        fabric.subscribe_at("a", _sub("sports"))
+        fabric.connect("a", "b")  # b's side homes nothing to advertise
+        assert fabric.metrics.counter("overlay.adverts_skipped").value == 1
+        assert fabric.next_hops("b", _event("sports")) == ["a"]
+
+    def test_connect_ignores_subscriptions_homed_in_third_components(self):
+        """Merging two components must not advertise subscriptions homed
+        in some *other* disconnected component (possible mid-churn with
+        several links down): their homes are unreachable from both sides
+        and any route toward them would be stale."""
+        fabric = _fabric(
+            "a", "b", "c", "d",
+            edges=[("a", "b"), ("b", "c"), ("c", "d")],
+        )
+        orphan = _sub("weather")
+        fabric.subscribe_at("d", orphan)
+        fabric.disconnect("b", "c")
+        fabric.disconnect("c", "d")  # orphan's home now isolated at d
+        fabric.connect("b", "c")  # merge {a,b} with {c}; d stays apart
+        assert fabric.next_hops("a", _event("weather")) == []
+        assert fabric.routing_snapshot() == fabric.rebuilt_snapshot()

@@ -26,6 +26,7 @@ from repro.cluster.workers import SerialExecutor, ThreadExecutor
 from repro.experiments.substrate import make_event, make_subscription
 from repro.pubsub.broker import Broker
 from repro.pubsub.matching import MatchingEngine
+from repro.pubsub.subscriptions import Subscription
 from repro.sim.rng import SeededRNG
 
 TOPOLOGIES = ["line", "star", "tree"]
@@ -103,6 +104,106 @@ class TestFabricChurnConvergence:
             assert all(
                 home != victim for home, _sub in fabric.homed_subscriptions()
             )
+
+
+class TestControlPlaneChurnConvergence:
+    """Delta-repaired control plane ≡ rebuilt fabric under *mixed* churn.
+
+    PR 5 replaced full component rebuilds with incremental repair (reverse
+    route index + pruned-by graph + per-edge issue-order placement).  This
+    suite interleaves every control-plane mutation the fabric supports —
+    fresh subscribes, unsubscribes, re-issues with changed definitions,
+    home moves — with link churn, and asserts after *every* step that the
+    delta-repaired snapshot equals a fabric rebuilt from scratch, under
+    plain and sharded node engines.
+    """
+
+    NODE_ENGINES = [
+        ("plain", None),
+        ("sharded", lambda: ShardedMatchingEngine(num_shards=2)),
+    ]
+
+    @pytest.mark.parametrize("seed", [5, 23, 77])
+    @pytest.mark.parametrize(
+        "label,node_engine_factory",
+        NODE_ENGINES,
+        ids=lambda value: value if isinstance(value, str) else "",
+    )
+    def test_mixed_control_and_link_churn_stays_canonical(
+        self, seed, label, node_engine_factory
+    ):
+        rng = SeededRNG(seed)
+        num_nodes = rng.randint(5, 8)
+        names = [f"n{i}" for i in range(num_nodes)]
+        fabric = RoutingFabric()
+        for name in names:
+            fabric.add_node(name, Broker(name, engine_factory=node_engine_factory))
+        edges = _random_tree_edges(rng.fork("topo"), num_nodes)
+        for first, second in edges:
+            fabric.connect(first, second)
+        topics = [f"topic{i:02d}" for i in range(6)]
+        sub_rng = rng.fork("subs")
+        live: dict = {}
+
+        def fresh_subscription(subscription_id=None):
+            built = make_subscription(sub_rng, topics, subscriber="user")
+            if subscription_id is None:
+                return built
+            return Subscription(
+                event_type=built.event_type,
+                predicates=built.predicates,
+                subscriber=built.subscriber,
+                subscription_id=subscription_id,
+            )
+
+        churn_rng = rng.fork("churn")
+        down: list = []
+        for _step in range(120):
+            roll = churn_rng.random()
+            if roll < 0.30 or not live:
+                subscription = fresh_subscription()
+                home = names[churn_rng.randint(0, num_nodes - 1)]
+                fabric.subscribe_at(home, subscription)
+                live[subscription.subscription_id] = home
+            elif roll < 0.45:
+                victim = list(live)[churn_rng.randint(0, len(live) - 1)]
+                assert fabric.unsubscribe_at(live.pop(victim), victim)
+            elif roll < 0.60:
+                # Re-issue with a changed definition at the same home.
+                target = list(live)[churn_rng.randint(0, len(live) - 1)]
+                outcome = fabric.subscribe_at(
+                    live[target], fresh_subscription(subscription_id=target)
+                )
+                assert outcome.replaced
+            elif roll < 0.72:
+                # Home move: same id re-issued at a different broker.
+                target = list(live)[churn_rng.randint(0, len(live) - 1)]
+                new_home = names[churn_rng.randint(0, num_nodes - 1)]
+                fabric.subscribe_at(
+                    new_home, fresh_subscription(subscription_id=target)
+                )
+                live[target] = new_home
+            elif roll < 0.88 and edges:
+                first, second = edges.pop(churn_rng.randint(0, len(edges) - 1))
+                assert fabric.disconnect(first, second)
+                down.append((first, second))
+            elif down:
+                first, second = down.pop(churn_rng.randint(0, len(down) - 1))
+                # The canonical incremental edge-merge — no rebuild pass.
+                fabric.connect(first, second)
+                edges.append((first, second))
+            else:
+                continue
+            assert routing_converged(fabric), "delta repair diverged after churn step"
+        # Heal everything and cross-check against the retained rebuild
+        # path: reroute_component must agree with the delta-built state.
+        while down:
+            first, second = down.pop()
+            fabric.connect(first, second)
+        delta_snapshot = fabric.routing_snapshot()
+        fabric.reroute_component(names[0])
+        assert fabric.routing_snapshot() == delta_snapshot
+        assert routing_converged(fabric)
 
 
 def _engine_factories():

@@ -272,3 +272,29 @@ class TestAnyOfAndEngine:
         assert len(engine) == 1
         assert engine.remove("c1") is True
         assert engine.remove("c1") is False
+
+
+class TestFilterCovering:
+    def test_filter_covering_mirrors_subscription_covering(self):
+        broad = FilterExpr("news.story", [Predicate("priority", Operator.GE, 1)])
+        narrow = FilterExpr(
+            "news.story",
+            [
+                Predicate("priority", Operator.GE, 5),
+                Predicate("topic", Operator.EQ, "storm"),
+            ],
+        )
+        assert broad.covers(narrow)
+        assert not narrow.covers(broad)
+        assert broad.covers(broad)
+
+    def test_filter_covering_requires_same_event_type(self):
+        news = FilterExpr("news.story", [Predicate("priority", Operator.GE, 1)])
+        quote = FilterExpr("stock.quote", [Predicate("priority", Operator.GE, 1)])
+        assert not news.covers(quote)
+
+    def test_empty_filter_covers_any_same_type_filter(self):
+        wildcard = FilterExpr("news.story")
+        narrow = FilterExpr("news.story", [Predicate("topic", Operator.EQ, "x")])
+        assert wildcard.covers(narrow)
+        assert not narrow.covers(wildcard)

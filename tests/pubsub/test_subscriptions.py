@@ -203,3 +203,127 @@ class TestMinimalCover:
         second = topic_subscription("news.story", "topic", "sports")
         cover = minimal_cover([first, second])
         assert len(cover) == 1
+
+
+class TestCoveringIndex:
+    def _index(self):
+        from repro.pubsub.subscriptions import CoveringIndex
+
+        return CoveringIndex()
+
+    def _sub(self, sid, *predicates, event_type="news.story"):
+        return Subscription(
+            event_type=event_type,
+            predicates=tuple(predicates),
+            subscriber="u",
+            subscription_id=sid,
+        )
+
+    def test_first_cover_finds_equality_cover_by_lookup(self):
+        index = self._index()
+        cover = self._sub("s1", Predicate("topic", Operator.EQ, "sports"))
+        index.add(cover, priority=1)
+        index.add(
+            self._sub("s2", Predicate("topic", Operator.EQ, "politics")), priority=2
+        )
+        target = self._sub(
+            "s3",
+            Predicate("topic", Operator.EQ, "sports"),
+            Predicate("priority", Operator.GE, 3),
+        )
+        found = index.first_cover(target)
+        assert found is not None and found.subscription_id == "s1"
+
+    def test_first_cover_respects_priority_bound_and_exclusion(self):
+        index = self._index()
+        cover = self._sub("s1", Predicate("priority", Operator.GE, 1))
+        index.add(cover, priority=5)
+        target = self._sub("s2", Predicate("priority", Operator.GE, 4))
+        assert index.first_cover(target) is cover
+        assert index.first_cover(target, before=5) is None
+        assert index.first_cover(cover, exclude="s1") is None
+
+    def test_wildcard_subscription_covers_everything_of_its_type(self):
+        index = self._index()
+        index.add(self._sub("w1"), priority=1)
+        target = self._sub("s1", Predicate("topic", Operator.EQ, "x"))
+        assert index.first_cover(target).subscription_id == "w1"
+        other_type = self._sub("s2", event_type="video.play")
+        assert index.first_cover(other_type) is None
+
+    def test_covered_by_finds_more_specific_entries(self):
+        index = self._index()
+        narrow = self._sub(
+            "n1",
+            Predicate("topic", Operator.EQ, "sports"),
+            Predicate("priority", Operator.GE, 5),
+        )
+        unrelated = self._sub("n2", Predicate("topic", Operator.EQ, "politics"))
+        index.add(narrow, priority=7)
+        index.add(unrelated, priority=8)
+        broad = self._sub("b1", Predicate("topic", Operator.EQ, "sports"))
+        covered = index.covered_by(broad)
+        assert [s.subscription_id for s in covered] == ["n1"]
+        assert index.covered_by(broad, after=7) == []
+
+    def test_discard_removes_all_bucket_entries(self):
+        index = self._index()
+        sub = self._sub("s1", Predicate("topic", Operator.EQ, "sports"))
+        index.add(sub, priority=1)
+        assert "s1" in index and len(index) == 1
+        assert index.discard("s1") is True
+        assert index.discard("s1") is False
+        assert len(index) == 0
+        target = self._sub("s2", Predicate("topic", Operator.EQ, "sports"))
+        assert index.first_cover(target) is None
+
+    def test_matches_brute_force_on_random_population(self):
+        """Index answers must equal the pairwise covers() sweep."""
+        from repro.sim.rng import SeededRNG
+
+        rng = SeededRNG(71)
+        topics = ["a", "b", "c"]
+        population = []
+        index = self._index()
+        for i in range(120):
+            predicates = []
+            if rng.random() < 0.85:
+                predicates.append(
+                    Predicate("topic", Operator.EQ, topics[rng.randint(0, 2)])
+                )
+            if rng.random() < 0.5:
+                predicates.append(
+                    Predicate("priority", Operator.GE, rng.randint(1, 6))
+                )
+            sub = self._sub(f"r{i:03d}", *predicates)
+            population.append((sub, i))
+            index.add(sub, priority=i)
+        for target, priority in population:
+            expected_covers = sorted(
+                s.subscription_id
+                for s, p in population
+                if s.subscription_id != target.subscription_id
+                and p < priority
+                and s.covers(target)
+            )
+            got_covers = sorted(
+                s.subscription_id
+                for s in index.covers_of(
+                    target, before=priority, exclude=target.subscription_id
+                )
+            )
+            assert got_covers == expected_covers
+            expected_covered = sorted(
+                s.subscription_id
+                for s, p in population
+                if s.subscription_id != target.subscription_id
+                and p > priority
+                and target.covers(s)
+            )
+            got_covered = sorted(
+                s.subscription_id
+                for s in index.covered_by(
+                    target, after=priority, exclude=target.subscription_id
+                )
+            )
+            assert got_covered == expected_covered

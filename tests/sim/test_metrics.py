@@ -111,3 +111,34 @@ class TestMetricsRegistry:
         registry.counter("b").increment()
         registry.counter("a").increment()
         assert list(registry.counters()) == ["a", "b"]
+
+
+class TestHistogramRunningAggregates:
+    def test_cached_percentile_invalidated_by_new_observation(self):
+        histogram = Histogram("latency")
+        for value in (5.0, 1.0, 3.0):
+            histogram.observe(value)
+        assert histogram.percentile(50) == 3.0
+        assert histogram.percentile(100) == 5.0  # served from the cached sort
+        histogram.observe(9.0)
+        assert histogram.percentile(100) == 9.0
+        assert histogram.minimum == 1.0
+        assert histogram.maximum == 9.0
+        assert histogram.total == pytest.approx(18.0)
+
+    def test_running_min_max_track_order_independent(self):
+        histogram = Histogram("latency")
+        histogram.observe(-2.5)
+        assert histogram.minimum == -2.5
+        assert histogram.maximum == -2.5
+        histogram.observe(-7.0)
+        assert histogram.minimum == -7.0
+        assert histogram.maximum == -2.5
+        assert histogram.mean == pytest.approx(-4.75)
+
+    def test_samples_order_preserved_despite_sort_cache(self):
+        histogram = Histogram("latency")
+        for value in (3.0, 1.0, 2.0):
+            histogram.observe(value)
+        histogram.percentile(50)  # builds the sorted cache
+        assert histogram.samples() == (3.0, 1.0, 2.0)
