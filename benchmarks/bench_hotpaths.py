@@ -23,7 +23,11 @@ These pin the cost of the two inner loops everything else sits on:
 * the control-plane fast path: unsubscribe/re-issue churn against tens
   of thousands of routed subscriptions, bounded by the reverse route
   index and pruned-by graph instead of full-table covers() sweeps
-  (PR 5; see "Control plane").
+  (PR 5; see "Control plane");
+* the million-subscription engine: a full 1M-subscription resident set
+  (interned predicate pool + columnar slot storage) with RSS and
+  subscribe/unsubscribe latency recorded, and batched advertisement
+  placement versus a subscribe loop at 100k (PR 6; see "Scale").
 
 Run ``python benchmarks/run_hotpath_bench.py --label <name>`` to record a
 named snapshot (``prN`` labels land in ``BENCH_PRN.json``); see
@@ -388,3 +392,141 @@ def test_hp_sharded_single_event_match(benchmark):
 
     matched = benchmark(lambda: engine.match(event))
     assert isinstance(matched, list)
+
+
+def test_hp_scale_million_subscriptions(benchmark):
+    """A million §5.3-shaped subscriptions resident in one engine (PR 6).
+
+    Pins the interned-pool + columnar-storage scale target: the full
+    population is built through ``add_many``, the resident set's RSS and
+    the engine's columnar/pool footprint are recorded in ``extra_info``
+    alongside subscribe/unsubscribe latency at full population, and the
+    benchmark clock times single-event matching against the million
+    resident subscriptions.  ``REPRO_BENCH_SCALE`` shrinks the population
+    for CI smoke (the 100k budget job).
+    """
+    import resource
+    import time
+
+    from conftest import bench_scale
+    from repro.pubsub.subscriptions import predicate_pool
+
+    target = max(20_000, int(1_000_000 * bench_scale(default=1.0)))
+    topics = [f"topic{i:02d}" for i in range(50)]
+    rng = SeededRNG(71)
+    subscriptions = [
+        make_subscription(rng, topics, f"user{i % 200:03d}") for i in range(target)
+    ]
+    engine = MatchingEngine()
+    build_start = time.perf_counter()
+    engine.add_many(subscriptions)
+    build_s = time.perf_counter() - build_start
+    assert len(engine) == target
+    rss_mb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+    # Subscribe/unsubscribe latency at full population: churn a fresh
+    # slice in and out while the million stay resident.
+    churn = [
+        make_subscription(rng, topics, f"churn{i % 50:02d}") for i in range(2_000)
+    ]
+    churn_start = time.perf_counter()
+    for subscription in churn:
+        engine.add(subscription)
+    subscribe_us = (time.perf_counter() - churn_start) / len(churn) * 1e6
+    churn_start = time.perf_counter()
+    for subscription in churn:
+        assert engine.remove(subscription.subscription_id)
+    unsubscribe_us = (time.perf_counter() - churn_start) / len(churn) * 1e6
+
+    stats = engine.column_stats()
+    pool = predicate_pool().stats()
+    benchmark.extra_info.update(
+        {
+            "subscriptions": target,
+            "build_s": round(build_s, 3),
+            "rss_mb": round(rss_mb, 1),
+            "subscribe_us": round(subscribe_us, 3),
+            "unsubscribe_us": round(unsubscribe_us, 3),
+            "column_bytes": stats["needs_bytes"]
+            + stats["counts_bytes"]
+            + stats["subscriber_id_bytes"],
+            "distinct_shapes": stats["distinct_shapes"],
+            "pool_predicates": pool["predicates"],
+            "pool_signatures": pool["signatures"],
+        }
+    )
+
+    event = Event(
+        event_type="news.story", attributes={"topic": topics[7], "priority": 3}
+    )
+    matched = benchmark(lambda: engine.match(event))
+    assert len(matched) > 0
+
+
+def test_hp_batch_subscribe_vs_loop(benchmark):
+    """100k-subscription batch placement versus a subscribe loop (PR 6).
+
+    Pins the advertisement-batching win: ``subscribe_many_at`` runs one
+    BFS over a 48-broker line for the whole batch and lets batch members
+    covered by an earlier member copy that member's per-edge fate (with
+    the per-edge prune records flushed in bulk), where the loop re-walks
+    the overlay and probes every edge table per subscription.  The line
+    topology makes the per-edge control-plane cost dominate — the regime
+    batching exists for; the amortization grows with path length (about
+    0.4s/edge looped vs 0.05s/edge batched at 100k).  Subscribers are
+    distinct (one subscription each) so ingress merging fires in neither
+    path and the measured gap is the batching itself; the loop time and
+    speedup ratio land in ``extra_info``.
+    """
+    import time
+
+    from conftest import bench_scale
+    from repro.cluster.routing import RoutingFabric
+    from repro.pubsub.broker import Broker
+
+    target = max(5_000, int(100_000 * bench_scale(default=1.0)))
+    topics = [f"topic{i:02d}" for i in range(50)]
+    rng = SeededRNG(37)
+    subscriptions = [
+        make_subscription(rng, topics, f"solo{i:06d}") for i in range(target)
+    ]
+
+    def build_fabric():
+        fabric = RoutingFabric()
+        for index in range(48):
+            fabric.add_node(f"b{index}", Broker(f"b{index}"))
+        for index in range(47):
+            fabric.connect(f"b{index}", f"b{index + 1}")
+        return fabric
+
+    # The loop fabric's routing state is millions of container objects;
+    # compare sizes and release it before the timed batch rounds so
+    # cyclic-GC passes over it are not billed to the batch.
+    import gc
+
+    loop_fabric = build_fabric()
+    loop_start = time.perf_counter()
+    for subscription in subscriptions:
+        loop_fabric.subscribe_at("b0", subscription)
+    loop_s = time.perf_counter() - loop_start
+    loop_state = loop_fabric.total_routing_state()
+    del loop_fabric
+    gc.collect()
+
+    def run():
+        fabric = build_fabric()
+        fabric.subscribe_many_at("b0", subscriptions)
+        return fabric.total_routing_state()
+
+    state = benchmark.pedantic(run, setup=gc.collect, rounds=3, iterations=1)
+    assert state == loop_state
+    # benchmark.stats is None under --benchmark-disable (CI smoke).
+    batch_s = benchmark.stats.stats.mean if benchmark.stats else None
+    benchmark.extra_info.update(
+        {
+            "subscriptions": target,
+            "loop_s": round(loop_s, 4),
+            "batch_s": round(batch_s, 4) if batch_s else None,
+            "speedup": round(loop_s / batch_s, 2) if batch_s else None,
+        }
+    )

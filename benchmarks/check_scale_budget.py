@@ -1,0 +1,192 @@
+#!/usr/bin/env python
+"""Reduced-scale memory/latency budget check for the scale machinery.
+
+CI smoke for the million-subscription engine (PR 6) at a scale a shared
+runner can afford: build ``--subs`` subscriptions through ``add_many``,
+enforce a hard RSS ceiling on the resident population, check match and
+churn latency budgets, then run the batch-vs-loop advertisement check on
+the bench topology (a ``--brokers``-node line) and enforce a minimum
+batch speedup.  Exits non-zero on any violated budget, so the CI job
+fails loudly instead of letting scale regressions rot.
+
+Usage::
+
+    python benchmarks/check_scale_budget.py --subs 100000 --max-rss-mb 500
+    python benchmarks/check_scale_budget.py --record budget.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import os
+import resource
+import sys
+import time
+
+sys.path.insert(
+    0,
+    os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"),
+)
+
+from repro.cluster.routing import RoutingFabric  # noqa: E402
+from repro.experiments.substrate import make_subscription  # noqa: E402
+from repro.pubsub.broker import Broker  # noqa: E402
+from repro.pubsub.events import Event  # noqa: E402
+from repro.pubsub.matching import MatchingEngine  # noqa: E402
+from repro.pubsub.subscriptions import predicate_pool  # noqa: E402
+from repro.sim.rng import SeededRNG  # noqa: E402
+
+
+def rss_mb() -> float:
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+def check_engine_budget(subs: int, results: dict) -> None:
+    """Resident-population build: RSS, match and churn latency."""
+    topics = [f"topic{i:02d}" for i in range(50)]
+    rng = SeededRNG(71)
+    subscriptions = [
+        make_subscription(rng, topics, f"user{i % 200:03d}") for i in range(subs)
+    ]
+    engine = MatchingEngine()
+    start = time.perf_counter()
+    engine.add_many(subscriptions)
+    build_s = time.perf_counter() - start
+    assert len(engine) == subs
+
+    event = Event(
+        event_type="news.story", attributes={"topic": topics[7], "priority": 3}
+    )
+    start = time.perf_counter()
+    rounds = 50
+    for _ in range(rounds):
+        matched = engine.match(event)
+    match_ms = (time.perf_counter() - start) / rounds * 1e3
+    assert matched
+
+    churn = [make_subscription(rng, topics, f"churn{i % 50:02d}") for i in range(2_000)]
+    start = time.perf_counter()
+    for subscription in churn:
+        engine.add(subscription)
+    subscribe_us = (time.perf_counter() - start) / len(churn) * 1e6
+    start = time.perf_counter()
+    for subscription in churn:
+        engine.remove(subscription.subscription_id)
+    unsubscribe_us = (time.perf_counter() - start) / len(churn) * 1e6
+
+    stats = engine.column_stats()
+    results["engine"] = {
+        "subscriptions": subs,
+        "build_s": round(build_s, 3),
+        "rss_mb": round(rss_mb(), 1),
+        "match_ms": round(match_ms, 3),
+        "subscribe_us": round(subscribe_us, 3),
+        "unsubscribe_us": round(unsubscribe_us, 3),
+        "distinct_shapes": stats["distinct_shapes"],
+        "pool": predicate_pool().stats(),
+    }
+
+
+def check_batch_budget(subs: int, brokers: int, results: dict) -> None:
+    """Batch-vs-loop advertisement on the bench topology (line)."""
+
+    def build_fabric() -> RoutingFabric:
+        fabric = RoutingFabric()
+        for index in range(brokers):
+            fabric.add_node(f"b{index}", Broker(f"b{index}"))
+        for index in range(brokers - 1):
+            fabric.connect(f"b{index}", f"b{index + 1}")
+        return fabric
+
+    topics = [f"topic{i:02d}" for i in range(50)]
+    rng = SeededRNG(37)
+    subscriptions = [
+        make_subscription(rng, topics, f"solo{i:06d}") for i in range(subs)
+    ]
+
+    # The loop fabric's routing state is millions of container objects;
+    # release it (and collect) before timing the batch so cyclic-GC
+    # passes over the dead heap do not get billed to the batch.
+    loop_fabric = build_fabric()
+    gc.collect()
+    start = time.perf_counter()
+    for subscription in subscriptions:
+        loop_fabric.subscribe_at("b0", subscription)
+    loop_s = time.perf_counter() - start
+    loop_state = loop_fabric.total_routing_state()
+    del loop_fabric
+    gc.collect()
+
+    batch_fabric = build_fabric()
+    start = time.perf_counter()
+    batch_fabric.subscribe_many_at("b0", subscriptions)
+    batch_s = time.perf_counter() - start
+    assert batch_fabric.total_routing_state() == loop_state
+
+    results["batch"] = {
+        "subscriptions": subs,
+        "brokers": brokers,
+        "loop_s": round(loop_s, 3),
+        "batch_s": round(batch_s, 3),
+        "speedup": round(loop_s / batch_s, 2) if batch_s else None,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--subs", type=int, default=100_000,
+                        help="resident population for the engine check")
+    parser.add_argument("--batch-subs", type=int, default=None,
+                        help="batch-vs-loop population (default: --subs)")
+    parser.add_argument("--brokers", type=int, default=48,
+                        help="line length for the batch check (bench topology)")
+    parser.add_argument("--max-rss-mb", type=float, default=500.0,
+                        help="hard ceiling on resident memory after the build")
+    parser.add_argument("--max-match-ms", type=float, default=250.0,
+                        help="ceiling on single-event match latency")
+    parser.add_argument("--max-subscribe-us", type=float, default=250.0,
+                        help="ceiling on per-subscription churn-in latency")
+    parser.add_argument("--min-batch-speedup", type=float, default=3.0,
+                        help="floor on the batch-vs-loop speedup "
+                        "(the full-scale target is 5x; CI keeps noise margin)")
+    parser.add_argument("--record", help="write the measurements to this JSON file")
+    args = parser.parse_args()
+
+    results: dict = {}
+    check_engine_budget(args.subs, results)
+    check_batch_budget(
+        args.batch_subs if args.batch_subs is not None else args.subs,
+        args.brokers,
+        results,
+    )
+
+    budgets = [
+        ("engine rss_mb", results["engine"]["rss_mb"], "<=", args.max_rss_mb),
+        ("engine match_ms", results["engine"]["match_ms"], "<=", args.max_match_ms),
+        ("engine subscribe_us", results["engine"]["subscribe_us"], "<=",
+         args.max_subscribe_us),
+        ("batch speedup", results["batch"]["speedup"], ">=", args.min_batch_speedup),
+    ]
+    failures = []
+    for name, value, op, limit in budgets:
+        ok = value <= limit if op == "<=" else value >= limit
+        print(f"{'PASS' if ok else 'FAIL'}  {name} = {value} (budget {op} {limit})")
+        if not ok:
+            failures.append(name)
+
+    if args.record:
+        with open(args.record, "w") as handle:
+            json.dump(results, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"recorded measurements to {args.record}")
+
+    if failures:
+        print(f"budget violations: {', '.join(failures)}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -90,13 +90,18 @@ def snapshot_from_raw(raw: dict) -> dict:
     snapshot = {}
     for bench in raw.get("benchmarks", []):
         stats = bench["stats"]
-        snapshot[bench["name"]] = {
+        entry = {
             "mean_s": stats["mean"],
             "median_s": stats["median"],
             "stddev_s": stats["stddev"],
             "min_s": stats["min"],
             "rounds": stats["rounds"],
         }
+        # Scale benchmarks attach side-band measurements (RSS, batch
+        # speedups, pool sizes) through benchmark.extra_info.
+        if bench.get("extra_info"):
+            entry["extra_info"] = bench["extra_info"]
+        snapshot[bench["name"]] = entry
     return snapshot
 
 

@@ -38,7 +38,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Deque, Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Callable, Deque, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.cluster.routing import RoutingFabric
 from repro.pubsub.broker import Broker, EngineFactory
@@ -215,6 +215,7 @@ class BrokerCluster:
         network: Optional[SimulatedNetwork] = None,
         routing_engine_factory: EngineFactory = MatchingEngine,
         mailbox_policy: str = "freeze",
+        merge_ingress: bool = False,
     ) -> None:
         if link_latency < 0:
             raise ValueError("link_latency must be non-negative")
@@ -231,7 +232,7 @@ class BrokerCluster:
         self.default_batch_overhead = batch_overhead
         self.default_mailbox_policy = mailbox_policy
         self.link_latency = link_latency
-        self.fabric = RoutingFabric(metrics=self.metrics)
+        self.fabric = RoutingFabric(metrics=self.metrics, merge_ingress=merge_ingress)
         self.network = (
             network
             if network is not None
@@ -320,6 +321,14 @@ class BrokerCluster:
         """Place a subscription at a broker and propagate its route."""
         self._broker(broker_name)
         self.fabric.subscribe_at(broker_name, subscription)
+
+    def subscribe_many(self, broker_name: str, subscriptions: Iterable[Subscription]):
+        """Batch-place subscriptions at a broker: one advertisement walk
+        through the fabric for the whole batch (see
+        ``RoutingFabric.subscribe_many_at``).  Returns the per-subscription
+        ``SubscribeOutcome`` list."""
+        self._broker(broker_name)
+        return self.fabric.subscribe_many_at(broker_name, subscriptions)
 
     def unsubscribe(self, broker_name: str, subscription_id: str) -> bool:
         """Remove a subscription homed at ``broker_name`` (with routing

@@ -83,6 +83,9 @@ from repro.sim.metrics import MetricsRegistry
 # A directed routing-table position: (node name, via-neighbour name).
 RouteEntry = Tuple[str, str]
 
+#: Sentinel home-table entry for ids that are not (or no longer) homed.
+_NOT_HOMED: Tuple[None, None] = (None, None)
+
 
 @dataclass
 class SubscribeOutcome:
@@ -93,6 +96,11 @@ class SubscribeOutcome:
     hops: int = 0
     pruned: int = 0
     replaced: bool = False
+    # True when ingress merging absorbed the subscription: it is
+    # registered locally but not advertised into the fabric because a
+    # live advertised same-subscriber subscription at the same home
+    # already covers it.
+    merged: bool = False
 
 
 class _EdgeTable:
@@ -128,6 +136,7 @@ class RoutingFabric:
         self,
         metrics: Optional[MetricsRegistry] = None,
         verify_repairs: bool = False,
+        merge_ingress: bool = False,
     ) -> None:
         self.nodes: Dict[str, object] = {}
         self.metrics = metrics if metrics is not None else MetricsRegistry()
@@ -146,6 +155,25 @@ class RoutingFabric:
         self._pruned_at: Dict[str, Set[RouteEntry]] = {}
         self._tables: Dict[RouteEntry, _EdgeTable] = {}
         self.verify_repairs = verify_repairs
+        # Covering-aware ingress merging (set at construction; do not
+        # toggle on a live fabric).  A subscription covered by a live
+        # *advertised* same-subscriber subscription at the same home is
+        # registered locally but kept out of `_home_of`/`_seq`/routes —
+        # the coverer's routes already bring every matching event to the
+        # home broker.  Exact-signature duplicates are always merged (the
+        # duplicate-advert no-op); the full covering merge is opt-in.
+        self.merge_ingress = merge_ingress
+        # merged id -> (home, definition, advertised coverer id).
+        self._merged: Dict[str, Tuple[str, Subscription, str]] = {}
+        # advertised coverer id -> merged ids riding on it, merge order.
+        self._merged_children: Dict[str, List[str]] = {}
+        # (home, subscriber, signature id) -> advertised ids; the O(1)
+        # exact-duplicate probe.  At most one id per key: a second
+        # arrival with the same key merges instead of advertising.
+        self._twins: Dict[Tuple[str, str, int], List[str]] = {}
+        # (home, subscriber) -> CoveringIndex over the advertised
+        # subscriptions (maintained only with merge_ingress).
+        self._ingress: Dict[Tuple[str, str], CoveringIndex] = {}
 
     # -- topology -----------------------------------------------------------
 
@@ -201,22 +229,31 @@ class RoutingFabric:
         if first_side is None or second_side is None:
             self.metrics.counter("overlay.adverts_skipped").increment()
             return
-        walks: List[Tuple[str, Subscription, Tuple[str, str]]] = []
-        per_side = {first: 0, second: 0}
+        # Batch the edge merge: one BFS walk per advertisement direction
+        # (the two directions touch disjoint table positions), with each
+        # side's subscriptions fed through the covering filter in issue
+        # order, instead of a full component walk per subscription.
+        first_walks: List[Tuple[Subscription, SubscribeOutcome]] = []
+        second_walks: List[Tuple[Subscription, SubscribeOutcome]] = []
         for home, subscription in list(self._home_of.values()):
             if home in first_side:
-                per_side[first] += 1
-                walks.append((home, subscription, (first, second)))
+                first_walks.append(
+                    (subscription, SubscribeOutcome(subscription.subscription_id, home))
+                )
             elif home in second_side:
-                per_side[second] += 1
-                walks.append((home, subscription, (second, first)))
-        for side in (first, second):
-            if per_side[side] == 0:
+                second_walks.append(
+                    (subscription, SubscribeOutcome(subscription.subscription_id, home))
+                )
+        for origin, walks, via in (
+            (first, first_walks, (first, second)),
+            (second, second_walks, (second, first)),
+        ):
+            if not walks:
                 # One side of the join homes nothing: that whole
                 # advertisement direction is skipped.
                 self.metrics.counter("overlay.adverts_skipped").increment()
-        for home, subscription, via in walks:
-            self._propagate(home, subscription, via=via)
+            else:
+                self._propagate_many(origin, walks, via=via)
         self._check_canonical("connect")
 
     def disconnect(self, first: str, second: str) -> bool:
@@ -290,6 +327,12 @@ class RoutingFabric:
         """
         if name not in self.nodes:
             raise KeyError(f"unknown broker {name!r}")
+        # Merged subscriptions homed here go first, without promotion:
+        # their home is being destroyed, so retracting their coverers
+        # below must not re-advertise them.
+        for subscription_id, (home, _sub, _coverer) in list(self._merged.items()):
+            if home == name:
+                self._unmerge(subscription_id)
         for subscription_id, (home, _sub) in list(self._home_of.items()):
             if home == name:
                 self._retract(subscription_id, force=True)
@@ -367,10 +410,102 @@ class RoutingFabric:
         Re-issuing a live subscription id first retracts the old
         definition's routing state everywhere (with covering repair), so
         the new definition starts from a clean table at the *end* of the
-        issue order.
+        issue order.  A subscription absorbed by ingress merging (see
+        :meth:`_ingest`) returns with ``merged=True`` and zero hops.
         """
         if broker_name not in self.nodes:
             raise KeyError(f"unknown broker {broker_name!r}")
+        outcome, advertise = self._ingest(broker_name, subscription)
+        if advertise:
+            self._propagate(broker_name, subscription, outcome=outcome)
+        self._check_canonical("subscribe")
+        return outcome
+
+    def subscribe_many_at(
+        self, broker_name: str, subscriptions: Iterable[Subscription]
+    ) -> List[SubscribeOutcome]:
+        """Place a batch of subscriptions at ``broker_name`` with one
+        fabric walk.
+
+        Equivalent to :meth:`subscribe_at` in a loop — identical tables,
+        issue order, merge decisions and per-subscription outcomes — but
+        the advertisement BFS over the overlay runs once for the whole
+        batch, and batch members covered by an earlier batch member copy
+        that member's per-edge fate instead of re-probing every edge
+        table (see :meth:`_propagate_many`).
+        """
+        if broker_name not in self.nodes:
+            raise KeyError(f"unknown broker {broker_name!r}")
+        batch = list(subscriptions)
+        outcomes: List[SubscribeOutcome] = []
+        advertise: List[Tuple[Subscription, SubscribeOutcome]] = []
+        any_replaced = False
+        for subscription in batch:
+            outcome, needs_walk = self._ingest(
+                broker_name, subscription, count=False, register_local=False
+            )
+            outcomes.append(outcome)
+            any_replaced = any_replaced or outcome.replaced
+            if needs_walk:
+                advertise.append((subscription, outcome))
+        if batch:
+            self.metrics.counter("overlay.subscriptions").increment(len(batch))
+        # A later batch entry reusing an id retracts (or merges away) the
+        # earlier entry during its own ingest; only definitions still
+        # registered under their id advertise.  Without this filter a
+        # superseded entry would be walked with its successor's issue
+        # number — or, if the successor merged, with none at all.  An
+        # in-batch supersession implies some entry replaced a live id, so
+        # batches without replacements (the common case) skip the scan.
+        if advertise and any_replaced:
+            home_of = self._home_of
+            advertise = [
+                (subscription, outcome)
+                for subscription, outcome in advertise
+                if home_of.get(subscription.subscription_id, _NOT_HOMED)[1]
+                is subscription
+            ]
+        # Local registration runs once for the whole batch (the engine's
+        # add_many path); merge decisions above depend only on fabric
+        # state (_twins/_ingress), never on the local engine contents.
+        node = self.nodes[broker_name]
+        register_many = getattr(node, "subscribe_local_many", None)
+        if register_many is not None:
+            register_many(batch)
+        else:  # pragma: no cover - non-Broker node objects
+            for subscription in batch:
+                node.subscribe_local(subscription)
+        if advertise:
+            self._propagate_many(broker_name, advertise)
+        self._check_canonical("subscribe_many")
+        return outcomes
+
+    def subscribe(self, client: str, subscription: Subscription) -> SubscribeOutcome:
+        """Place a subscription at the client's home broker."""
+        return self.subscribe_at(self.require_home(client), subscription)
+
+    def subscribe_many(
+        self, client: str, subscriptions: Iterable[Subscription]
+    ) -> List[SubscribeOutcome]:
+        """Batch-place subscriptions at the client's home broker."""
+        return self.subscribe_many_at(self.require_home(client), subscriptions)
+
+    def _ingest(
+        self,
+        broker_name: str,
+        subscription: Subscription,
+        count: bool = True,
+        register_local: bool = True,
+    ) -> Tuple[SubscribeOutcome, bool]:
+        """Local registration + merge decision for one subscription.
+
+        Returns ``(outcome, needs_walk)``; when ``needs_walk`` the caller
+        must advertise the subscription (its issue number is already
+        assigned).  When ingress merging absorbs it instead, it is live
+        in the home broker's local engine but holds no fabric state
+        beyond the merge record — the advertised coverer's routes already
+        deliver every event it matches.
+        """
         subscription_id = subscription.subscription_id
         replaced = False
         if subscription_id in self._home_of:
@@ -385,27 +520,149 @@ class RoutingFabric:
                 force=True,
             )
             replaced = True
-        self.nodes[broker_name].subscribe_local(subscription)
+        elif subscription_id in self._merged:
+            old_home = self._merged[subscription_id][0]
+            self._unmerge(subscription_id, keep_local=(old_home == broker_name))
+            replaced = True
+        if register_local:
+            self.nodes[broker_name].subscribe_local(subscription)
+        if count:
+            self.metrics.counter("overlay.subscriptions").increment()
+        outcome = SubscribeOutcome(
+            subscription_id=subscription_id,
+            home_broker=broker_name,
+            replaced=replaced,
+        )
+        coverer_id = self._ingress_cover(broker_name, subscription)
+        if coverer_id is not None:
+            self._merged[subscription_id] = (broker_name, subscription, coverer_id)
+            self._merged_children.setdefault(coverer_id, []).append(subscription_id)
+            outcome.merged = True
+            self.metrics.counter("overlay.adverts_skipped").increment()
+            self.metrics.counter("overlay.subscriptions_merged").increment()
+            return outcome, False
         self._home_of[subscription_id] = (broker_name, subscription)
         self._seq[subscription_id] = self._next_seq
         self._next_seq += 1
-        self.metrics.counter("overlay.subscriptions").increment()
-        outcome = self._propagate(broker_name, subscription)
-        outcome.replaced = replaced
-        self._check_canonical("subscribe")
-        return outcome
+        self._register_ingress(broker_name, subscription)
+        return outcome, True
 
-    def subscribe(self, client: str, subscription: Subscription) -> SubscribeOutcome:
-        """Place a subscription at the client's home broker."""
-        return self.subscribe_at(self.require_home(client), subscription)
+    # -- ingress merging ------------------------------------------------------
+
+    def _ingress_cover(self, home: str, subscription: Subscription) -> Optional[str]:
+        """Id of the live advertised same-subscriber subscription at
+        ``home`` that makes advertising ``subscription`` redundant.
+
+        An exact-signature duplicate always merges (the duplicate-advert
+        no-op); a strictly-covering match only with :attr:`merge_ingress`.
+        Coverers are always advertised subscriptions — merged ones are
+        themselves covered by an advertised one, so transitivity
+        guarantees an advertised cover exists whenever any cover does,
+        and merge chains cannot form.
+        """
+        signature_id = subscription.signature_id()
+        if signature_id is not None:
+            twins = self._twins.get((home, subscription.subscriber, signature_id))
+            if twins:
+                return twins[0]
+        if self.merge_ingress:
+            index = self._ingress.get((home, subscription.subscriber))
+            if index is not None:
+                cover = index.first_cover(
+                    subscription, exclude=subscription.subscription_id
+                )
+                if cover is not None:
+                    return cover.subscription_id
+        return None
+
+    def _register_ingress(self, home: str, subscription: Subscription) -> None:
+        signature_id = subscription.signature_id()
+        if signature_id is not None:
+            self._twins.setdefault(
+                (home, subscription.subscriber, signature_id), []
+            ).append(subscription.subscription_id)
+        if self.merge_ingress:
+            self._ingress.setdefault(
+                (home, subscription.subscriber), CoveringIndex()
+            ).add(subscription)
+
+    def _unregister_ingress(self, home: str, subscription: Subscription) -> None:
+        signature_id = subscription.signature_id()
+        if signature_id is not None:
+            key = (home, subscription.subscriber, signature_id)
+            ids = self._twins.get(key)
+            if ids is not None:
+                try:
+                    ids.remove(subscription.subscription_id)
+                except ValueError:
+                    pass
+                if not ids:
+                    del self._twins[key]
+        index = self._ingress.get((home, subscription.subscriber))
+        if index is not None:
+            index.discard(subscription.subscription_id)
+            if not len(index):
+                del self._ingress[(home, subscription.subscriber)]
+
+    def _unmerge(self, subscription_id: str, keep_local: bool = False) -> None:
+        """Drop a merge record (and, unless ``keep_local``, the local
+        engine entry).  No routing state exists for a merged id."""
+        home, _subscription, coverer_id = self._merged.pop(subscription_id)
+        siblings = self._merged_children.get(coverer_id)
+        if siblings is not None:
+            try:
+                siblings.remove(subscription_id)
+            except ValueError:
+                pass
+            if not siblings:
+                del self._merged_children[coverer_id]
+        if not keep_local:
+            self.nodes[home].unsubscribe_local(subscription_id)
+
+    def _promote_children(self, coverer_id: str) -> None:
+        """Re-issue the merged subscriptions that rode on a just-retracted
+        coverer, in merge order.
+
+        Each child keeps its local engine entry and re-enters through
+        :meth:`_ingest` with a fresh issue number at the end of the issue
+        order — exactly where a rebuild would place it — so it may
+        re-merge under another advertised cover (including a sibling
+        promoted just before it) or advertise into the fabric.
+        """
+        children = self._merged_children.pop(coverer_id, None)
+        if not children:
+            return
+        for child_id in children:
+            entry = self._merged.pop(child_id, None)
+            if entry is None:
+                continue
+            home, subscription, _coverer = entry
+            outcome, needs_walk = self._ingest(home, subscription, count=False)
+            if needs_walk:
+                self._propagate(home, subscription, outcome=outcome)
+            self.metrics.counter("overlay.subscriptions_unmerged").increment()
 
     def unsubscribe_at(self, broker_name: str, subscription_id: str) -> bool:
         """Remove a subscription homed at ``broker_name``.
 
         Returns ``False`` when the id is unknown or homed elsewhere (the
         caller is not its owner), mirroring the per-broker semantics of
-        ``Broker.unsubscribe_local``.
+        ``Broker.unsubscribe_local``.  Retracting a merged subscription
+        just drops its local registration and merge record; retracting an
+        advertised one also promotes any merged subscriptions that rode
+        on it.
         """
+        merged = self._merged.get(subscription_id)
+        if merged is not None:
+            if merged[0] != broker_name:
+                return False
+            if subscription_id not in self.nodes[broker_name].local_engine:
+                # Fabric bypassed — side-effect-free failure, like the
+                # advertised path below.
+                return False
+            self._unmerge(subscription_id)
+            self.metrics.counter("overlay.unsubscriptions").increment()
+            return True
         homed = self._home_of.get(subscription_id)
         if homed is None or homed[0] != broker_name:
             return False
@@ -439,7 +696,7 @@ class RoutingFabric:
         local engine untouched (the caller is about to replace the entry
         in place).
         """
-        home, _removed_sub = self._home_of[subscription_id]
+        home, removed_sub = self._home_of[subscription_id]
         home_node = self.nodes[home]
         present = subscription_id in home_node.local_engine
         if not present and not force:
@@ -448,6 +705,7 @@ class RoutingFabric:
             home_node.unsubscribe_local(subscription_id)
         del self._home_of[subscription_id]
         del self._seq[subscription_id]
+        self._unregister_ingress(home, removed_sub)
         for edge in list(self._pruned_at.get(subscription_id, ())):
             self._clear_prune(edge, subscription_id)
         pending: Dict[RouteEntry, Set[str]] = {}
@@ -457,6 +715,9 @@ class RoutingFabric:
                 pending[edge] = victims
         for edge, victims in pending.items():
             self._readmit(edge, victims)
+        # Merged subscriptions that rode on this coverer re-enter the
+        # issue order now that the fabric is canonical again.
+        self._promote_children(subscription_id)
         return present
 
     # -- per-edge canonical placement ----------------------------------------
@@ -621,25 +882,19 @@ class RoutingFabric:
         if readmitted:
             self.metrics.counter("overlay.routes_readmitted").increment(readmitted)
 
-    def _propagate(
-        self,
-        origin: str,
-        subscription: Subscription,
-        via: Optional[Tuple[str, str]] = None,
-    ) -> SubscribeOutcome:
-        """Breadth-first propagation: each broker records which neighbour
-        leads back toward the subscriber, pruned by covering relations
-        through the per-edge canonical placement.
+    def _walk_edges(
+        self, origin: str, via: Optional[Tuple[str, str]] = None
+    ) -> List[RouteEntry]:
+        """Directed table positions a subscription homed at ``origin``
+        must be placed at, in BFS visit order.
 
         With ``via=(from_broker, to_broker)`` the walk starts across that
         single edge instead of fanning out from ``origin`` — used when a
         new link joins two components and routes must be advertised into
-        the far side only.
+        the far side only.  The walk is subscription-independent (pruning
+        does not stop the BFS), which is what lets a whole batch share
+        one walk.
         """
-        outcome = SubscribeOutcome(
-            subscription_id=subscription.subscription_id, home_broker=origin
-        )
-        seq = self._seq[subscription.subscription_id]
         if via is None:
             visited = {origin}
             queue = deque((origin, neighbour) for neighbour in self._edges[origin])
@@ -647,21 +902,169 @@ class RoutingFabric:
             from_broker, to_broker = via
             visited = {from_broker}
             queue = deque([(from_broker, to_broker)])
+        edges: List[RouteEntry] = []
         while queue:
             from_broker, to_broker = queue.popleft()
             if to_broker in visited:
                 continue
             visited.add(to_broker)
-            if self._place((to_broker, from_broker), subscription, seq):
+            edges.append((to_broker, from_broker))
+            for neighbour in self._edges[to_broker]:
+                if neighbour not in visited:
+                    queue.append((to_broker, neighbour))
+        return edges
+
+    def _propagate(
+        self,
+        origin: str,
+        subscription: Subscription,
+        via: Optional[Tuple[str, str]] = None,
+        outcome: Optional[SubscribeOutcome] = None,
+    ) -> SubscribeOutcome:
+        """Breadth-first propagation: each broker records which neighbour
+        leads back toward the subscriber, pruned by covering relations
+        through the per-edge canonical placement.
+        """
+        if outcome is None:
+            outcome = SubscribeOutcome(
+                subscription_id=subscription.subscription_id, home_broker=origin
+            )
+        seq = self._seq[subscription.subscription_id]
+        for edge in self._walk_edges(origin, via):
+            if self._place(edge, subscription, seq):
                 outcome.hops += 1
                 self.metrics.counter("overlay.subscription_hops").increment()
             else:
                 outcome.pruned += 1
                 self.metrics.counter("overlay.subscription_pruned").increment()
-            for neighbour in self._edges[to_broker]:
-                if neighbour not in visited:
-                    queue.append((to_broker, neighbour))
         return outcome
+
+    def _propagate_many(
+        self,
+        origin: str,
+        advertise: List[Tuple[Subscription, SubscribeOutcome]],
+        via: Optional[Tuple[str, str]] = None,
+    ) -> None:
+        """Advertise a batch of subscriptions homed at ``origin`` (in
+        ascending issue order) over ONE edge walk.
+
+        Canonically equivalent to calling :meth:`_propagate` per
+        subscription: the walk's edge list is subscription-independent,
+        and per-edge placements run in ascending issue order.  Two
+        amortizations make the batch cheap:
+
+        * the BFS over the component runs once, not per subscription;
+        * a batch member covered by an *earlier batch member* copies that
+          member's per-edge fate — blocker = the member itself where it
+          was selected, else the member's own blocker (selected, earlier
+          issued, covers by transitivity) — with two dict operations per
+          edge instead of a covering probe against every edge table.
+          (During the batch nothing is deselected and boots transfer
+          victims to the booting cover, so a placed member's per-edge
+          fate stays valid for the rest of the walk.)
+
+        Only slow-path (non-copied) members enter the batch covering
+        index: a copied member's own covers are covered by its cover too
+        (transitivity), so probing the much smaller placed set finds a
+        valid cover whenever any batch cover exists, and the probe cost
+        stays bounded by the batch's *distinct* shapes rather than its
+        size.
+        """
+        edges = self._walk_edges(origin, via)
+        if not edges:
+            return
+        batch_covers = CoveringIndex()
+        num_edges = len(edges)
+        pruned_at = self._pruned_at
+        # cover id -> precomputed (blocker_of dict, blocker id, victims set)
+        # per edge.  A placed member's per-edge fate is frozen for the
+        # rest of the walk (nothing is deselected during a batch, and a
+        # fresh subscribe carries the highest seq so it never boots), so
+        # every member sharing a cover replays the same plan.
+        plans: Dict[str, Optional[List[Tuple[Dict[str, str], str, Set[str]]]]] = {}
+        # signature id -> resolved batch cover for that signature: the
+        # first slow-path member carrying it, or the cover the first such
+        # member copied.  Equal signatures cover each other and batch
+        # covers stay placed, so the decision is stable for the whole
+        # batch — every later same-shape member costs one dict probe
+        # instead of a covering-index query.
+        shape_cover: Dict[int, str] = {}
+        # cover id -> every member replaying its plan.  Flushed into the
+        # edge tables in bulk after the walk: one C-level set/dict update
+        # per (plan, edge) instead of a Python loop per member x edge.
+        fast_members: Dict[str, List[str]] = {}
+        total_hops = 0
+        total_pruned = 0
+        for subscription, outcome in advertise:
+            subscription_id = subscription.subscription_id
+            signature_id = subscription.signature_id()
+            cover_id = (
+                shape_cover.get(signature_id) if signature_id is not None else None
+            )
+            if cover_id is None:
+                cover = batch_covers.first_cover(
+                    subscription, exclude=subscription_id
+                )
+                cover_id = None if cover is None else cover.subscription_id
+            if cover_id is not None:
+                plan = plans.get(cover_id, False)
+                if plan is False:
+                    cover_routes = self._routes.get(cover_id) or ()
+                    plan = []
+                    for edge in edges:
+                        table = self._tables.get(edge)
+                        if edge in cover_routes:
+                            blocker_id = cover_id
+                        else:
+                            blocker_id = (
+                                None if table is None else table.blocker_of.get(cover_id)
+                            )
+                        if blocker_id is None or table is None:  # pragma: no cover
+                            plan = None
+                            break
+                        plan.append(
+                            (
+                                table.blocker_of,
+                                blocker_id,
+                                table.victims_of.setdefault(blocker_id, set()),
+                            )
+                        )
+                    plans[cover_id] = plan
+                if plan is not None:
+                    if signature_id is not None and signature_id not in shape_cover:
+                        shape_cover[signature_id] = cover_id
+                    fast_members.setdefault(cover_id, []).append(subscription_id)
+                    pruned_at.setdefault(subscription_id, set()).update(edges)
+                    outcome.pruned += num_edges
+                    total_pruned += num_edges
+                    continue
+            seq = self._seq[subscription_id]
+            hops = 0
+            pruned = 0
+            for edge in edges:
+                if self._place(edge, subscription, seq):
+                    hops += 1
+                else:
+                    pruned += 1
+            outcome.hops += hops
+            outcome.pruned += pruned
+            total_hops += hops
+            total_pruned += pruned
+            batch_covers.add(subscription, priority=seq)
+            if signature_id is not None and signature_id not in shape_cover:
+                shape_cover[signature_id] = subscription_id
+        # Bulk flush of the replayed plans.  Safe to defer: nothing between
+        # the fast-path decision and this point reads the pruned-by graph
+        # (_place only probes the *selected* index), and superseded same-id
+        # batch entries were filtered out before the walk.
+        for cover_id, member_ids in fast_members.items():
+            for blocker_of, blocker_id, victims in plans[cover_id]:
+                victims.update(member_ids)
+                blocker_of.update(dict.fromkeys(member_ids, blocker_id))
+        if total_hops:
+            self.metrics.counter("overlay.subscription_hops").increment(total_hops)
+        if total_pruned:
+            self.metrics.counter("overlay.subscription_pruned").increment(total_pruned)
 
     # -- data plane decision --------------------------------------------------
 
@@ -686,14 +1089,28 @@ class RoutingFabric:
 
     def subscription_home(self, subscription_id: str) -> Optional[str]:
         homed = self._home_of.get(subscription_id)
-        return homed[0] if homed is not None else None
+        if homed is not None:
+            return homed[0]
+        merged = self._merged.get(subscription_id)
+        return merged[0] if merged is not None else None
 
     def live_subscriptions(self) -> List[Subscription]:
+        """Advertised live subscriptions (excludes ingress-merged ones;
+        see :meth:`merged_subscriptions`)."""
         return [subscription for _home, subscription in self._home_of.values()]
 
     def homed_subscriptions(self) -> List[Tuple[str, Subscription]]:
-        """Live ``(home broker, subscription)`` pairs in issue order."""
+        """Advertised ``(home broker, subscription)`` pairs in issue
+        order — the set a rebuild re-subscribes.  Ingress-merged
+        subscriptions hold no fabric state and are reported separately."""
         return list(self._home_of.values())
+
+    def merged_subscriptions(self) -> List[Tuple[str, Subscription, str]]:
+        """Ingress-merged ``(home, subscription, coverer id)`` records."""
+        return [
+            (home, subscription, coverer_id)
+            for home, subscription, coverer_id in self._merged.values()
+        ]
 
     def edges(self) -> List[Tuple[str, str]]:
         """Current overlay links, each reported once (sorted endpoint order)."""

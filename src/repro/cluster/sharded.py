@@ -26,7 +26,7 @@ all executors produce identical results (pinned by the same oracle suite).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Set
 
 from repro.cluster.placement import HashPlacement
 from repro.cluster.workers import SerialExecutor, ShardView, next_engine_id
@@ -144,6 +144,50 @@ class ShardedMatchingEngine:
         self._shard_versions[target] += 1
         self._shard_of[subscription_id] = target
         self._adds_since_rebalance += 1
+        if self._auto_rebalance:
+            self._maybe_rebalance()
+
+    def add_many(self, subscriptions: Iterable[Subscription]) -> None:
+        """Batch-index subscriptions through placement in one pass per shard.
+
+        Equivalent to ``add`` in a loop (the last definition of a
+        duplicated id wins), but subscriptions are grouped by placement
+        target and handed to each inner engine as one ``add_many`` batch,
+        shard versions bump once per touched shard, and rebalancing is
+        evaluated once at the end.  Every shard shares the process-global
+        interned predicate pool, so cross-shard copies of a predicate or
+        conjunction shape cost one pooled object, not one per shard.
+        """
+        total = 0
+        unique: Dict[str, Subscription] = {}
+        for subscription in subscriptions:
+            unique[subscription.subscription_id] = subscription
+            total += 1
+        if not unique:
+            return
+        shard_count = len(self._shards)
+        groups: Dict[int, List[Subscription]] = {}
+        touched: Set[int] = set()
+        for subscription_id, subscription in unique.items():
+            target = self._placement.shard_for(subscription, shard_count)
+            current = self._shard_of.get(subscription_id)
+            if current is not None and current != target:
+                self._shards[current].remove(subscription_id)
+                touched.add(current)
+            groups.setdefault(target, []).append(subscription)
+            self._shard_of[subscription_id] = target
+        for target, group in groups.items():
+            engine = self._shards[target]
+            batch_add = getattr(engine, "add_many", None)
+            if batch_add is not None:
+                batch_add(group)
+            else:
+                for subscription in group:
+                    engine.add(subscription)
+            touched.add(target)
+        for index in touched:
+            self._shard_versions[index] += 1
+        self._adds_since_rebalance += total
         if self._auto_rebalance:
             self._maybe_rebalance()
 

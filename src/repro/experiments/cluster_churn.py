@@ -110,6 +110,7 @@ def run_cluster_churn(
     scale: float = 1.0,
     verify: bool = False,
     cross_check_repairs: bool = False,
+    merge_ingress: bool = False,
 ) -> ExperimentResult:
     """Sweep crash rate × recovery delay × topology under churn.
 
@@ -120,6 +121,13 @@ def run_cluster_churn(
     raises immediately, naming the operation.  This is the control-plane
     oracle CI arms; it is far stricter (and slower) than ``verify``,
     which only checks the final healed state per point.
+
+    ``merge_ingress`` runs every cluster with covering-aware ingress
+    merging enabled (PR 6): subscriptions covered by a live
+    same-subscriber subscription at their home broker never advertise.
+    Delivery counts and the oracles must be unaffected — combining it
+    with ``verify``/``cross_check_repairs`` is the CI check that merging
+    survives crash/recovery churn.
     """
     if scale <= 0:
         raise ValueError("scale must be positive")
@@ -142,6 +150,7 @@ def run_cluster_churn(
             "mailbox_policy": mailbox_policy,
             "verified": verify,
             "cross_checked_repairs": cross_check_repairs,
+            "merge_ingress": merge_ingress,
         },
     )
 
@@ -171,6 +180,7 @@ def run_cluster_churn(
                     batch_size=batch_size,
                     link_latency=link_latency,
                     mailbox_policy=mailbox_policy,
+                    merge_ingress=merge_ingress,
                 )
                 names = build_cluster_topology(topology, num_brokers, cluster)
                 cluster.fabric.verify_repairs = cross_check_repairs
@@ -384,6 +394,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "divergence) — the control-plane CI oracle",
     )
     parser.add_argument(
+        "--merge-ingress",
+        action="store_true",
+        help="enable covering-aware ingress merging on every cluster "
+        "(combined with the oracles above, checks merging survives churn)",
+    )
+    parser.add_argument(
         "--link-flap-rate",
         type=float,
         default=0.0,
@@ -402,6 +418,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             scale=args.scale,
             verify=args.verify,
             cross_check_repairs=args.cross_check_repairs,
+            merge_ingress=args.merge_ingress,
             seed=args.seed,
             link_flap_rate=args.link_flap_rate,
             mailbox_policy=args.mailbox_policy,

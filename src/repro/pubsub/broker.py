@@ -10,7 +10,7 @@ forwarded only toward brokers with interested subscribers.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Set
+from typing import Callable, Dict, Iterable, List, Optional, Set
 
 from repro.pubsub.events import Event
 from repro.pubsub.matching import MatchingEngine
@@ -105,6 +105,29 @@ class Broker:
         self.local_engine.add(subscription)
         if is_new:
             self.stats.subscriptions_received += 1
+
+    def subscribe_local_many(self, subscriptions: Iterable[Subscription]) -> None:
+        """Batch ingest of local subscriptions.
+
+        Same per-subscription semantics as :meth:`subscribe_local`
+        (distinct-id accounting, replace-on-readd), with the engine's
+        ``add_many`` batch path when it has one.
+        """
+        engine = self.local_engine
+        batch = list(subscriptions)
+        # An id counts once if the engine did not know it before the batch,
+        # no matter how many definitions of it the batch carries.
+        fresh = len(
+            {s.subscription_id for s in batch}
+            - {s.subscription_id for s in batch if s.subscription_id in engine}
+        )
+        batch_add = getattr(engine, "add_many", None)
+        if batch_add is not None:
+            batch_add(batch)
+        else:
+            for subscription in batch:
+                engine.add(subscription)
+        self.stats.subscriptions_received += fresh
 
     def unsubscribe_local(self, subscription_id: str) -> bool:
         return self.local_engine.remove(subscription_id)

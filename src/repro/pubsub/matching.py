@@ -7,26 +7,39 @@ increments a per-subscription hit counter; subscriptions whose counter
 reaches their predicate count match.
 
 Hot-path notes (see PERFORMANCE.md): subscriptions live in dense integer
-slots so the per-event hit counters are a preallocated integer array
-indexed by slot (no per-event ``defaultdict`` and no string hashing in the
-inner loop).  Equality and EXISTS predicates are hash-indexed; numeric
-LT/LE/GT/GE predicates live in per-(event type, attribute, operator)
-sorted threshold arrays answered with a ``bisect`` prefix/suffix walk, so
-range matching is O(log n + hits) per attribute instead of a linear scan
-with ``Predicate.matches`` calls.  Only the leftover predicate shapes
-(NE/PREFIX/CONTAINS and ranges over non-numeric values) fall back to a
-per-attribute candidate scan.  ``remove()`` walks just the subscription's
-own predicates.  :class:`NaiveMatchingEngine` retains the brute-force
-linear scan as the oracle the property tests compare against.
+slots, and the per-slot bookkeeping is *columnar* — parallel columns for
+the needs-counters, per-event hit counters, interned subscriber ids
+(``array('I')``) and shared conjunction shapes (predicate-id tuples), so
+a million resident subscriptions cost small integers plus one pointer to
+a pooled :class:`SignatureShape` instead of private Python object graphs
+(no per-event ``defaultdict`` and no string hashing in the inner loop;
+the hit/needs columns stay plain lists because ``array`` element access
+boxes a PyLong per probe and costs ~1.5x on the match path).  Equality and EXISTS predicates are
+hash-indexed; numeric LT/LE/GT/GE predicates live in per-(event type,
+attribute, operator) sorted threshold arrays answered with a ``bisect``
+prefix/suffix walk, so range matching is O(log n + hits) per attribute
+instead of a linear scan with ``Predicate.matches`` calls.  Only the
+leftover predicate shapes (NE/PREFIX/CONTAINS and ranges over non-numeric
+values) fall back to a per-attribute candidate scan.  ``remove()`` walks
+just the subscription's own (pooled) distinct predicates.
+:class:`NaiveMatchingEngine` retains the brute-force linear scan as the
+oracle the property tests compare against.
 """
 
 from __future__ import annotations
 
+from array import array
 from bisect import bisect_left, bisect_right
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.pubsub.events import Event
-from repro.pubsub.subscriptions import Operator, Predicate, Subscription
+from repro.pubsub.subscriptions import (
+    PREDICATE_POOL,
+    Operator,
+    Predicate,
+    SignatureShape,
+    Subscription,
+)
 
 # Range-indexable operators, keyed by how an event value v selects the
 # matching prefix/suffix of the sorted threshold array.
@@ -91,11 +104,24 @@ class MatchingEngine:
     """Counting-based subscription matcher."""
 
     def __init__(self) -> None:
-        # Dense slot storage: slot -> subscription / required hit count.
+        # Columnar dense-slot storage: parallel columns keyed by slot.
+        # Subscription objects are needed for match results; everything
+        # else is small integers or a pointer to the pooled, shared
+        # SignatureShape of the conjunction.  The needs/counts columns are
+        # plain lists, NOT array('I'): the probe loop reads and writes
+        # them per hit, and array element access boxes/unboxes a PyLong
+        # each time (~1.5x slower match), while the pointer overhead of a
+        # list of shared small ints is ~4 MB per million slots.
         self._subs: List[Optional[Subscription]] = []
         self._needs: List[int] = []
         # Preallocated per-event hit counters, always zero between calls.
         self._counts: List[int] = []
+        # Interned subscriber id per slot (PREDICATE_POOL.subscriber());
+        # array('I') is fine here — it is only read per match *result*.
+        self._subscriber_ids = array("I")
+        # Shared conjunction shape per slot (carries the distinct
+        # predicate-id tuple); None for uninternable subscriptions.
+        self._shapes: List[Optional[SignatureShape]] = []
         self._free_slots: List[int] = []
         self._slot_of: Dict[str, int] = {}
         # Equality index: (event_type, attribute, value) -> slots.
@@ -124,14 +150,22 @@ class MatchingEngine:
         """
         slot = self._slot_of.get(subscription.subscription_id)
         if slot is not None:
-            if self._subs[slot] == subscription:
+            old = self._subs[slot]
+            if old is subscription or old == subscription:
                 return
             self.remove(subscription.subscription_id)
 
-        # Duplicate predicates are conjunctively redundant; dedupe them so
-        # the hit-counter target agrees with Subscription.matches().
-        predicates = tuple(dict.fromkeys(subscription.predicates))
-        slot = self._allocate_slot(subscription, len(predicates))
+        # Duplicate predicates are conjunctively redundant; the pooled
+        # shape already holds the distinct set (deduped by interned id,
+        # which coincides with dataclass equality), so the hit-counter
+        # target agrees with Subscription.matches().  Uninternable
+        # subscriptions dedupe by equality as before.
+        shape = subscription.interned_shape()
+        if shape is None:
+            predicates = tuple(dict.fromkeys(subscription.predicates))
+        else:
+            predicates = shape.predicates
+        slot = self._allocate_slot(subscription, len(predicates), shape)
         self._slot_of[subscription.subscription_id] = slot
 
         event_type = subscription.event_type
@@ -166,30 +200,55 @@ class MatchingEngine:
                 if lists is None:
                     lists = self._range_index[key3] = [[], []]
                 thresholds, slots = lists
-                position = bisect_right(thresholds, predicate.value)
-                thresholds.insert(position, predicate.value)
+                # Keep equal-threshold runs sorted by slot so remove()
+                # can bisect for the exact entry instead of scanning the
+                # run (runs grow with engine size; at 1M subscriptions a
+                # linear scan made removal milliseconds).
+                value = predicate.value
+                low = bisect_left(thresholds, value)
+                high = bisect_right(thresholds, value, low)
+                position = bisect_left(slots, slot, low, high)
+                thresholds.insert(position, value)
                 slots.insert(position, slot)
             else:
                 key2 = (event_type, predicate.attribute)
                 self._other_index.setdefault(key2, {})[(slot, predicate)] = None
 
-    def _allocate_slot(self, subscription: Subscription, needs: int) -> int:
+    def _allocate_slot(
+        self,
+        subscription: Subscription,
+        needs: int,
+        shape: Optional[SignatureShape],
+    ) -> int:
+        subscriber_id = PREDICATE_POOL.intern_subscriber(subscription.subscriber)
         if self._free_slots:
             slot = self._free_slots.pop()
             self._subs[slot] = subscription
             self._needs[slot] = needs
+            self._subscriber_ids[slot] = subscriber_id
+            self._shapes[slot] = shape
             return slot
         self._subs.append(subscription)
         self._needs.append(needs)
         self._counts.append(0)
+        self._subscriber_ids.append(subscriber_id)
+        self._shapes.append(shape)
         return len(self._subs) - 1
+
+    def add_many(self, subscriptions: Iterable[Subscription]) -> None:
+        """Batch-index subscriptions; equivalent to ``add`` in a loop (the
+        last definition of a duplicated id wins), with per-call dispatch
+        amortized for the million-subscription build path."""
+        add = self.add
+        for subscription in subscriptions:
+            add(subscription)
 
     def remove(self, subscription_id: str) -> bool:
         """Remove a subscription from the index; returns False if unknown.
 
         Cost is proportional to the subscription's own predicate count (plus
-        an O(log n + dup) locate inside each sorted range array), not to the
-        size of any per-attribute candidate list.
+        an O(log n) bisect locate inside each sorted range array), not to
+        the size of any per-attribute candidate list.
         """
         slot = self._slot_of.pop(subscription_id, None)
         if slot is None:
@@ -197,7 +256,11 @@ class MatchingEngine:
         subscription = self._subs[slot]
         assert subscription is not None
         event_type = subscription.event_type
-        predicates = tuple(dict.fromkeys(subscription.predicates))
+        shape = self._shapes[slot]
+        if shape is None:
+            predicates = tuple(dict.fromkeys(subscription.predicates))
+        else:
+            predicates = shape.predicates
         if not predicates:
             wildcards = self._wildcards.get(event_type)
             if wildcards is not None:
@@ -226,13 +289,15 @@ class MatchingEngine:
                 lists = self._range_index.get(key3)
                 if lists is not None:
                     thresholds, slots = lists
-                    position = bisect_left(thresholds, predicate.value)
-                    while position < len(thresholds) and thresholds[position] == predicate.value:
-                        if slots[position] == slot:
-                            del thresholds[position]
-                            del slots[position]
-                            break
-                        position += 1
+                    # Equal-threshold runs are slot-sorted (see add), so
+                    # the exact entry is found by bisect, not a run scan.
+                    value = predicate.value
+                    low = bisect_left(thresholds, value)
+                    high = bisect_right(thresholds, value, low)
+                    position = bisect_left(slots, slot, low, high)
+                    if position < high and slots[position] == slot:
+                        del thresholds[position]
+                        del slots[position]
                     if not thresholds:
                         del self._range_index[key3]
             else:
@@ -244,6 +309,8 @@ class MatchingEngine:
                         del self._other_index[key2]
         self._subs[slot] = None
         self._needs[slot] = 0
+        self._subscriber_ids[slot] = 0
+        self._shapes[slot] = None
         self._free_slots.append(slot)
         return True
 
@@ -401,8 +468,37 @@ class MatchingEngine:
         return found
 
     def match_subscribers(self, event: Event) -> List[str]:
-        """Distinct subscriber names whose subscriptions match ``event``."""
-        return distinct_subscribers(self.match(event))
+        """Distinct subscriber names whose subscriptions match ``event``.
+
+        Dedupes on the interned subscriber-id column (integer set probes
+        instead of string hashing); same names/order as
+        :func:`distinct_subscribers` over :meth:`match`.
+        """
+        matched = self.match(event)
+        slot_of = self._slot_of
+        subscriber_ids = self._subscriber_ids
+        pool = PREDICATE_POOL
+        seen: Set[int] = set()
+        names: List[str] = []
+        for subscription in matched:
+            subscriber_id = subscriber_ids[slot_of[subscription.subscription_id]]
+            if subscriber_id not in seen:
+                seen.add(subscriber_id)
+                names.append(pool.subscriber(subscriber_id))
+        return names
+
+    def column_stats(self) -> Dict[str, int]:
+        """Sizes of the columnar storage (for the scale benchmarks)."""
+        return {
+            "slots": len(self._subs),
+            "free_slots": len(self._free_slots),
+            # Lists of shared small ints: one pointer per slot.
+            "needs_bytes": 8 * len(self._needs),
+            "counts_bytes": 8 * len(self._counts),
+            "subscriber_id_bytes": self._subscriber_ids.itemsize
+            * len(self._subscriber_ids),
+            "distinct_shapes": len({id(s) for s in self._shapes if s is not None}),
+        }
 
     # -- batched matching --------------------------------------------------
 
@@ -520,6 +616,10 @@ class NaiveMatchingEngine:
 
     def add(self, subscription: Subscription) -> None:
         self._subscriptions[subscription.subscription_id] = subscription
+
+    def add_many(self, subscriptions: Iterable[Subscription]) -> None:
+        for subscription in subscriptions:
+            self.add(subscription)
 
     def remove(self, subscription_id: str) -> bool:
         return self._subscriptions.pop(subscription_id, None) is not None

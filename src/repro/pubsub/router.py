@@ -47,9 +47,10 @@ class BrokerOverlay:
         self,
         metrics: Optional[MetricsRegistry] = None,
         engine_factory: Optional[EngineFactory] = None,
+        merge_ingress: bool = False,
     ) -> None:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
-        self.fabric = RoutingFabric(metrics=self.metrics)
+        self.fabric = RoutingFabric(metrics=self.metrics, merge_ingress=merge_ingress)
         # Default matching-engine factory for brokers added to this overlay;
         # pass e.g. ``lambda: ShardedMatchingEngine(num_shards=4)`` to run
         # every node sharded.
@@ -99,6 +100,11 @@ class BrokerOverlay:
         """Place a subscription at the client's home broker and propagate it
         through the overlay so every broker learns a route toward it."""
         self.fabric.subscribe(client, subscription)
+
+    def subscribe_many(self, client: str, subscriptions) -> None:
+        """Batch-place subscriptions at the client's home broker with one
+        advertisement walk for the whole batch."""
+        self.fabric.subscribe_many(client, subscriptions)
 
     def unsubscribe(self, client: str, subscription_id: str) -> bool:
         """Retract a subscription with covering repair.

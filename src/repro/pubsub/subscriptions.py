@@ -13,7 +13,18 @@ from __future__ import annotations
 import enum
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.pubsub.events import AttributeValue, Event
 
@@ -52,6 +63,25 @@ class Predicate:
         if self.operator is not Operator.EXISTS and self.value is None:
             raise ValueError(f"operator {self.operator.value} requires a value")
 
+    def __hash__(self) -> int:
+        # The generated dataclass hash rebuilds the field tuple per call;
+        # interning hashes every predicate on every pool probe, so memoize
+        # it (unhashable values still raise TypeError, as before).
+        cached = self.__dict__.get("_cached_hash")
+        if cached is None:
+            cached = hash((self.attribute, self.operator, self.value))
+            object.__setattr__(self, "_cached_hash", cached)
+        return cached
+
+    def __getstate__(self) -> Dict[str, object]:
+        # String hashes are salted per process: never ship the memoized
+        # hash through pickle (workers recompute their own).
+        return {
+            "attribute": self.attribute,
+            "operator": self.operator,
+            "value": self.value,
+        }
+
     def matches(self, event: Event) -> bool:
         """True if the event satisfies this predicate."""
         if not event.has(self.attribute):
@@ -88,6 +118,10 @@ class Predicate:
         implementation handles the operator combinations needed by the
         router; unknown combinations conservatively return False.
         """
+        if self is other:
+            # Interned predicates make identical constraints pointer-equal,
+            # so the common self-cover resolves without any field compares.
+            return True
         if self.attribute != other.attribute:
             return False
         if self.operator is Operator.EXISTS:
@@ -133,6 +167,233 @@ class Predicate:
         return f"{self.attribute} {self.operator.value} {self.value!r}"
 
 
+#: Cache-miss sentinel (``None`` is a legitimate cached probe value).
+_UNSET = object()
+
+
+def _compute_covering_key(
+    predicates: Tuple["Predicate", ...],
+) -> Tuple[Tuple[str, ...], Dict[str, Tuple[AttributeValue, ...]]]:
+    """``(attribute signature, EQ-pinned values per attribute)`` of a
+    conjunction — the pair :class:`CoveringIndex` keys its buckets on."""
+    signature = tuple(sorted({predicate.attribute for predicate in predicates}))
+    eq_values: Dict[str, List[AttributeValue]] = {}
+    for predicate in predicates:
+        if predicate.operator is not Operator.EQ:
+            continue
+        try:
+            hash(predicate.value)
+        except TypeError:
+            continue
+        held = eq_values.setdefault(predicate.attribute, [])
+        if predicate.value not in held:
+            held.append(predicate.value)
+    return (signature, {attr: tuple(vals) for attr, vals in eq_values.items()})
+
+
+def _compute_covering_probes(
+    covering_key: Tuple[Tuple[str, ...], Dict[str, Tuple[AttributeValue, ...]]],
+) -> Optional[Tuple[Tuple[Tuple[str, ...], Tuple], ...]]:
+    """Enumerate every :class:`CoveringIndex` bucket a cover of a
+    conjunction with this covering key could occupy, or ``None`` when the
+    enumeration would be too combinatorial to beat the bucket-scan
+    fallback.
+
+    The probe set caps the enumerated probe *count*, not just the
+    signature width: wide conjunctions (or many EQ values per attribute)
+    multiply out, and past a point iterating thousands of bucket keys per
+    cover query costs more than the index's fallback scan.
+    """
+    signature, eq_values = covering_key
+    limit = 256
+    enumerated: Optional[List[Tuple[Tuple[str, ...], Tuple]]] = []
+    for size in range(len(signature) + 1):
+        if enumerated is None:
+            break
+        for sig in itertools.combinations(signature, size):
+            option_lists = [
+                [("eq", value) for value in eq_values.get(attr, ())] + [("*",)]
+                for attr in sig
+            ]
+            for fingerprint in itertools.product(*option_lists):
+                enumerated.append((sig, fingerprint))
+                if len(enumerated) > limit:
+                    enumerated = None
+                    break
+            if enumerated is None:
+                break
+    return tuple(enumerated) if enumerated is not None else None
+
+
+class SignatureShape(NamedTuple):
+    """One interned conjunction signature shared by every subscription
+    whose distinct predicate set (and event type) is identical."""
+
+    signature_id: int
+    predicate_ids: Tuple[int, ...]
+    id_set: FrozenSet[int]
+    predicates: Tuple[Predicate, ...]
+
+
+class PredicatePool:
+    """Process-wide interning tables for predicates and conjunction shapes.
+
+    Real workloads issue thousands of near-identical subscriptions.  The
+    pool canonicalizes every predicate to one shared instance with a dense
+    integer id, and every subscription *signature* — ``(event type, sorted
+    distinct predicate ids)`` — to a signature id backed by one shared
+    :class:`SignatureShape`.  A million resident subscriptions then share
+    a few hundred predicate/shape objects instead of carrying private
+    object graphs, and hot-path covering/equality checks reduce to integer
+    and set-of-int comparisons.
+
+    Ids are process-local.  Pickled subscriptions drop their memoized
+    shape (``Subscription.__getstate__``) and re-intern lazily wherever
+    they are unpickled, so the multiprocess shard executors stay correct.
+    Predicates with unhashable values cannot be interned; such
+    subscriptions simply fall back to the uninterned slow paths.
+    """
+
+    __slots__ = ("_predicate_ids", "_predicates", "_signature_ids", "_shapes",
+                 "_subscriber_ids", "_subscribers", "_covering_keys",
+                 "_covering_probes", "_shape_cache")
+
+    def __init__(self) -> None:
+        self._predicate_ids: Dict[Predicate, int] = {}
+        self._predicates: List[Predicate] = []
+        self._signature_ids: Dict[Tuple[str, Tuple[int, ...]], int] = {}
+        self._shapes: List[SignatureShape] = []
+        self._subscriber_ids: Dict[str, int] = {}
+        self._subscribers: List[str] = []
+        # Covering-index keys/probes are pure functions of the signature;
+        # computed once per shape, shared by every subscription on it.
+        self._covering_keys: Dict[int, object] = {}
+        self._covering_probes: Dict[int, object] = {}
+        # Literal (event_type, predicates tuple) -> shape.  Predicates are
+        # already canonical pooled instances with cached hashes by the
+        # time shapes are looked up, so this turns the common repeat
+        # lookup into one dict probe instead of a sort + id walk.
+        self._shape_cache: Dict[Tuple[str, Tuple[Predicate, ...]],
+                                Optional[SignatureShape]] = {}
+
+    # -- predicates ---------------------------------------------------------
+
+    def intern_predicate(self, predicate: Predicate) -> Tuple[Predicate, Optional[int]]:
+        """Canonical ``(instance, id)`` for a predicate; id is ``None`` for
+        uninternable (unhashable-value) predicates."""
+        try:
+            predicate_id = self._predicate_ids.get(predicate)
+        except TypeError:
+            return predicate, None
+        if predicate_id is None:
+            predicate_id = len(self._predicates)
+            self._predicate_ids[predicate] = predicate_id
+            self._predicates.append(predicate)
+            return predicate, predicate_id
+        return self._predicates[predicate_id], predicate_id
+
+    def canonicalize(self, predicates: Tuple[Predicate, ...]) -> Tuple[Predicate, ...]:
+        """Map each predicate to its canonical pooled instance (uninternable
+        predicates pass through unchanged)."""
+        return tuple(self.intern_predicate(predicate)[0] for predicate in predicates)
+
+    def predicate(self, predicate_id: int) -> Predicate:
+        return self._predicates[predicate_id]
+
+    # -- signatures ---------------------------------------------------------
+
+    def shape_for(
+        self, event_type: str, predicates: Sequence[Predicate]
+    ) -> Optional[SignatureShape]:
+        """The shared :class:`SignatureShape` for a conjunction, interning
+        as needed; ``None`` when any predicate is uninternable."""
+        try:
+            cache_key = (event_type, tuple(predicates))
+            cached = self._shape_cache.get(cache_key, _UNSET)
+        except TypeError:
+            # An unhashable predicate value: the conjunction cannot be
+            # interned (and could never hit the cache anyway).
+            return None
+        if cached is not _UNSET:
+            return cached
+        ids: List[int] = []
+        seen: Set[int] = set()
+        for predicate in predicates:
+            _canonical, predicate_id = self.intern_predicate(predicate)
+            if predicate_id is None:
+                return None
+            if predicate_id not in seen:
+                seen.add(predicate_id)
+                ids.append(predicate_id)
+        key = (event_type, tuple(sorted(ids)))
+        signature_id = self._signature_ids.get(key)
+        if signature_id is None:
+            signature_id = len(self._shapes)
+            self._signature_ids[key] = signature_id
+            sorted_ids = key[1]
+            self._shapes.append(
+                SignatureShape(
+                    signature_id=signature_id,
+                    predicate_ids=sorted_ids,
+                    id_set=frozenset(sorted_ids),
+                    predicates=tuple(self._predicates[pid] for pid in sorted_ids),
+                )
+            )
+        shape = self._shapes[signature_id]
+        self._shape_cache[cache_key] = shape
+        return shape
+
+    def shape(self, signature_id: int) -> SignatureShape:
+        return self._shapes[signature_id]
+
+    def covering_key_for(self, shape: SignatureShape):
+        """Shared covering-index bucket key for every subscription on
+        ``shape`` (see :meth:`Subscription.covering_key`)."""
+        key = self._covering_keys.get(shape.signature_id)
+        if key is None:
+            key = _compute_covering_key(shape.predicates)
+            self._covering_keys[shape.signature_id] = key
+        return key
+
+    def covering_probes_for(self, shape: SignatureShape):
+        """Shared covering probe enumeration for every subscription on
+        ``shape`` (see :meth:`Subscription.covering_probes`)."""
+        probes = self._covering_probes.get(shape.signature_id, _UNSET)
+        if probes is _UNSET:
+            probes = _compute_covering_probes(self.covering_key_for(shape))
+            self._covering_probes[shape.signature_id] = probes
+        return probes
+
+    # -- subscribers --------------------------------------------------------
+
+    def intern_subscriber(self, name: str) -> int:
+        subscriber_id = self._subscriber_ids.get(name)
+        if subscriber_id is None:
+            subscriber_id = len(self._subscribers)
+            self._subscriber_ids[name] = subscriber_id
+            self._subscribers.append(name)
+        return subscriber_id
+
+    def subscriber(self, subscriber_id: int) -> str:
+        return self._subscribers[subscriber_id]
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "predicates": len(self._predicates),
+            "signatures": len(self._shapes),
+            "subscribers": len(self._subscribers),
+        }
+
+
+#: Process-global pool shared by every engine, shard and fabric in-process.
+PREDICATE_POOL = PredicatePool()
+
+
+def predicate_pool() -> PredicatePool:
+    """The process-global :class:`PredicatePool`."""
+    return PREDICATE_POOL
+
+
 @dataclass(frozen=True)
 class Subscription:
     """A conjunctive content-based subscription on one event type."""
@@ -145,7 +406,41 @@ class Subscription:
     def __post_init__(self) -> None:
         if not self.event_type:
             raise ValueError("subscription event_type cannot be empty")
-        object.__setattr__(self, "predicates", tuple(self.predicates))
+        object.__setattr__(
+            self, "predicates", PREDICATE_POOL.canonicalize(tuple(self.predicates))
+        )
+
+    def __getstate__(self) -> Dict[str, object]:
+        # Pool ids and covering memos are process-local; pickles (e.g. the
+        # multiprocess shard executor specs) carry only the declared fields
+        # and re-intern lazily wherever they are loaded.
+        return {
+            "event_type": self.event_type,
+            "predicates": self.predicates,
+            "subscriber": self.subscriber,
+            "subscription_id": self.subscription_id,
+        }
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        # Re-intern against the *local* process pool so unpickled copies
+        # share pooled predicate instances like natively built ones.
+        state["predicates"] = PREDICATE_POOL.canonicalize(tuple(state["predicates"]))
+        self.__dict__.update(state)
+
+    def interned_shape(self) -> Optional[SignatureShape]:
+        """Cached shared :class:`SignatureShape` of this conjunction, or
+        ``None`` when a predicate value is unhashable."""
+        shape = self.__dict__.get("_interned_shape", False)
+        if shape is False:
+            shape = PREDICATE_POOL.shape_for(self.event_type, self.predicates)
+            object.__setattr__(self, "_interned_shape", shape)
+        return shape
+
+    def signature_id(self) -> Optional[int]:
+        """Interned id of this subscription's conjunction signature: equal
+        ids mean equal event type and equal distinct predicate sets."""
+        shape = self.interned_shape()
+        return None if shape is None else shape.signature_id
 
     def matches(self, event: Event) -> bool:
         if event.event_type != self.event_type:
@@ -158,9 +453,17 @@ class Subscription:
         A subscription covers another when they are on the same event type
         and each of this subscription's predicates is covered by (i.e. at
         least as general as) some predicate of the other subscription.
+        When both sides are interned, the common cases — identical
+        signatures, or a predicate-id subset (each predicate covers
+        itself) — resolve on integer sets without touching ``covers()``.
         """
         if self.event_type != other.event_type:
             return False
+        shape = self.interned_shape()
+        if shape is not None:
+            other_shape = other.interned_shape()
+            if other_shape is not None and shape.id_set <= other_shape.id_set:
+                return True
         for own in self.predicates:
             if not any(own.covers(theirs) for theirs in other.predicates):
                 return False
@@ -178,19 +481,12 @@ class Subscription:
         """
         key = self.__dict__.get("_covering_key")
         if key is None:
-            signature = self.attribute_names()
-            eq_values: Dict[str, List[AttributeValue]] = {}
-            for predicate in self.predicates:
-                if predicate.operator is not Operator.EQ:
-                    continue
-                try:
-                    hash(predicate.value)
-                except TypeError:
-                    continue
-                held = eq_values.setdefault(predicate.attribute, [])
-                if predicate.value not in held:
-                    held.append(predicate.value)
-            key = (signature, {attr: tuple(vals) for attr, vals in eq_values.items()})
+            shape = self.interned_shape()
+            if shape is not None:
+                # Shared across every subscription with this signature.
+                key = PREDICATE_POOL.covering_key_for(shape)
+            else:
+                key = _compute_covering_key(self.predicates)
             object.__setattr__(self, "_covering_key", key)
         return key
 
@@ -201,31 +497,12 @@ class Subscription:
         combinatorial to beat the index's bucket-scan fallback."""
         probes = self.__dict__.get("_covering_probes", False)
         if probes is False:
-            signature, eq_values = self.covering_key()
-            # Cap the enumerated probe *count*, not just the signature
-            # width: wide conjunctions (or many EQ values per attribute)
-            # multiply out, and past a point iterating thousands of
-            # bucket keys per cover query costs more than the index's
-            # bucket-scan fallback.
-            limit = 256
-            enumerated: Optional[List[Tuple[Tuple[str, ...], Tuple]]] = []
-            for size in range(len(signature) + 1):
-                if enumerated is None:
-                    break
-                for sig in itertools.combinations(signature, size):
-                    option_lists = [
-                        [("eq", value) for value in eq_values.get(attr, ())]
-                        + [("*",)]
-                        for attr in sig
-                    ]
-                    for fingerprint in itertools.product(*option_lists):
-                        enumerated.append((sig, fingerprint))
-                        if len(enumerated) > limit:
-                            enumerated = None
-                            break
-                    if enumerated is None:
-                        break
-            probes = tuple(enumerated) if enumerated is not None else None
+            shape = self.interned_shape()
+            if shape is not None:
+                # Shared across every subscription with this signature.
+                probes = PREDICATE_POOL.covering_probes_for(shape)
+            else:
+                probes = _compute_covering_probes(self.covering_key())
             object.__setattr__(self, "_covering_probes", probes)
         return probes
 
@@ -360,6 +637,12 @@ class CoveringIndex:
         # id -> (subscription, priority, signature, fingerprint)
         self._entries: Dict[str, Tuple[Subscription, int, Tuple[str, ...], Tuple]] = {}
         self._types: Dict[str, _TypeBucket] = {}
+        # Conservative priority bounds over the live entries (stale after
+        # discards, which only makes the early-outs less effective, never
+        # wrong).  Fresh subscribes always carry the highest issue number,
+        # so ``covered_by(after=newest)`` answers [] in O(1).
+        self._min_priority: Optional[int] = None
+        self._max_priority: Optional[int] = None
 
     # -- maintenance --------------------------------------------------------
 
@@ -390,6 +673,10 @@ class CoveringIndex:
             for value in values:
                 bucket.by_eq.setdefault((attr, value), set()).add(subscription_id)
         self._entries[subscription_id] = (subscription, priority, signature, fingerprint)
+        if self._min_priority is None or priority < self._min_priority:
+            self._min_priority = priority
+        if self._max_priority is None or priority > self._max_priority:
+            self._max_priority = priority
 
     def discard(self, subscription_id: str) -> bool:
         entry = self._entries.pop(subscription_id, None)
@@ -422,6 +709,9 @@ class CoveringIndex:
                         del bucket.by_eq[(attr, value)]
         if not bucket.members:
             del self._types[subscription.event_type]
+        if not self._entries:
+            self._min_priority = None
+            self._max_priority = None
         return True
 
     def __contains__(self, subscription_id: str) -> bool:
@@ -449,6 +739,10 @@ class CoveringIndex:
         With ``before`` only entries whose priority is strictly lower are
         yielded; ``exclude`` skips one id (typically the target itself).
         """
+        if before is not None and (
+            self._min_priority is None or self._min_priority >= before
+        ):
+            return
         bucket = self._types.get(subscription.event_type)
         if bucket is None:
             return
@@ -490,6 +784,10 @@ class CoveringIndex:
         rather than delegating to :meth:`covers_of` so a miss costs a few
         dict probes over the cached bucket keys.
         """
+        if before is not None and (
+            self._min_priority is None or self._min_priority >= before
+        ):
+            return None
         bucket = self._types.get(subscription.event_type)
         if bucket is None:
             return None
@@ -533,6 +831,10 @@ class CoveringIndex:
         smallest such structural bucket before ``covers()`` confirms.
         With ``after`` only entries with strictly higher priority return.
         """
+        if after is not None and (
+            self._max_priority is None or self._max_priority <= after
+        ):
+            return []
         bucket = self._types.get(subscription.event_type)
         if bucket is None:
             return []

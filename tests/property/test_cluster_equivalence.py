@@ -48,12 +48,23 @@ def _random_predicate(rng: SeededRNG) -> Predicate:
     return Predicate(attribute, operator, _random_value(rng))
 
 
-def _random_subscription(rng: SeededRNG, subscriber: str) -> Subscription:
+def _random_subscription(
+    rng: SeededRNG, subscriber: str, subscription_id: str = None
+) -> Subscription:
     predicates = tuple(_random_predicate(rng) for _ in range(rng.randint(0, 3)))
+    kwargs = {}
+    if subscription_id is not None:
+        # Placement may hash the subscription id (HashPlacement and the
+        # range placement's fallback).  Tests asserting on placement
+        # side-effects (e.g. skew-triggered rebalances) pass explicit ids
+        # so the outcome does not depend on the process-global id counter
+        # position, i.e. on which tests ran earlier.
+        kwargs["subscription_id"] = subscription_id
     return Subscription(
         event_type=rng.choice(EVENT_TYPES),
         predicates=predicates,
         subscriber=subscriber,
+        **kwargs,
     )
 
 
@@ -198,7 +209,9 @@ class TestShardedEquivalence:
         )
         oracle = NaiveMatchingEngine()
         for i in range(400):
-            subscription = _random_subscription(rng, f"user{i % 23}")
+            subscription = _random_subscription(
+                rng, f"user{i % 23}", subscription_id=f"auto-rebal-{i}"
+            )
             sharded.add(subscription)
             oracle.add(subscription)
             if i % 40 == 0:

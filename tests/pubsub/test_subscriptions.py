@@ -327,3 +327,104 @@ class TestCoveringIndex:
                 )
             )
             assert got_covered == expected_covered
+
+
+class TestPredicatePool:
+    def test_predicates_intern_to_one_instance(self):
+        from repro.pubsub.subscriptions import predicate_pool
+
+        pool = predicate_pool()
+        first, first_id = pool.intern_predicate(Predicate("topic", Operator.EQ, "sports"))
+        second, second_id = pool.intern_predicate(Predicate("topic", Operator.EQ, "sports"))
+        assert first is second
+        assert first_id == second_id is not None
+        assert pool.predicate(first_id) is first
+
+    def test_subscription_predicates_are_canonical(self):
+        a = topic_subscription("news.story", "topic", "sports")
+        b = topic_subscription("news.story", "topic", "sports")
+        assert a.predicates[0] is b.predicates[0]
+
+    def test_signature_id_ignores_order_and_duplicates(self):
+        p1 = Predicate("topic", Operator.EQ, "sports")
+        p2 = Predicate("priority", Operator.GE, 3)
+        base = Subscription(event_type="news.story", predicates=(p1, p2))
+        reordered = Subscription(event_type="news.story", predicates=(p2, p1))
+        duplicated = Subscription(event_type="news.story", predicates=(p1, p2, p1))
+        assert base.signature_id() == reordered.signature_id()
+        assert base.signature_id() == duplicated.signature_id()
+        assert base.interned_shape() is reordered.interned_shape()
+        # A different conjunction gets a different signature.
+        other = Subscription(event_type="news.story", predicates=(p1,))
+        assert other.signature_id() != base.signature_id()
+        # Event type is part of the signature.
+        retyped = Subscription(event_type="ticker.quote", predicates=(p1, p2))
+        assert retyped.signature_id() != base.signature_id()
+
+    def test_shape_carries_distinct_sorted_predicates(self):
+        p1 = Predicate("topic", Operator.EQ, "sports")
+        p2 = Predicate("priority", Operator.GE, 3)
+        sub = Subscription(event_type="news.story", predicates=(p2, p1, p2))
+        shape = sub.interned_shape()
+        assert shape is not None
+        assert len(shape.predicates) == 2
+        assert shape.predicate_ids == tuple(sorted(shape.predicate_ids))
+        assert shape.id_set == frozenset(shape.predicate_ids)
+
+    def test_unhashable_value_falls_back_uninterned(self):
+        predicate = Predicate("tags", Operator.EQ, ["a", "b"])
+        sub = Subscription(event_type="news.story", predicates=(predicate,))
+        assert sub.interned_shape() is None
+        assert sub.signature_id() is None
+        # Matching still works through the slow path.
+        assert sub.matches(
+            Event(event_type="news.story", attributes={"tags": ["a", "b"]})
+        )
+
+    def test_subscriber_interning_round_trips(self):
+        from repro.pubsub.subscriptions import predicate_pool
+
+        pool = predicate_pool()
+        alice = pool.intern_subscriber("alice-pool-test")
+        assert pool.intern_subscriber("alice-pool-test") == alice
+        assert pool.subscriber(alice) == "alice-pool-test"
+        assert pool.intern_subscriber("bob-pool-test") != alice
+        stats = pool.stats()
+        assert stats["predicates"] >= 1
+        assert stats["signatures"] >= 1
+        assert stats["subscribers"] >= 2
+
+    def test_pickle_drops_process_local_memos(self):
+        import pickle
+
+        sub = topic_subscription("news.story", "topic", "sports", subscriber="u")
+        sub.interned_shape()  # populate the memo
+        assert "_interned_shape" in sub.__dict__
+        clone = pickle.loads(pickle.dumps(sub))
+        assert "_interned_shape" not in clone.__dict__
+        assert clone == sub
+        # The clone re-interns lazily and agrees with the original.
+        assert clone.signature_id() == sub.signature_id()
+        assert clone.predicates[0] is sub.predicates[0]
+
+    def test_covers_fast_path_matches_semantics(self):
+        p_topic = Predicate("topic", Operator.EQ, "sports")
+        p_priority = Predicate("priority", Operator.GE, 3)
+        wide = Subscription(event_type="news.story", predicates=(p_topic,))
+        narrow = Subscription(event_type="news.story", predicates=(p_topic, p_priority))
+        # Subset-of-ids fast path and the pairwise slow path must agree.
+        assert wide.covers(narrow)
+        assert not narrow.covers(wide)
+        twin = Subscription(event_type="news.story", predicates=(p_topic,))
+        assert wide.covers(twin) and twin.covers(wide)
+        # Semantic covering without id-subset (GE 1 covers GE 3) still holds.
+        loose = Subscription(
+            event_type="news.story",
+            predicates=(Predicate("priority", Operator.GE, 1),),
+        )
+        tight = Subscription(
+            event_type="news.story",
+            predicates=(Predicate("priority", Operator.GE, 3),),
+        )
+        assert loose.covers(tight)
+        assert not tight.covers(loose)
