@@ -1,0 +1,101 @@
+"""Benchmark OBS — tracing overhead on the routed publish path.
+
+The ISSUE-7 budget: a cluster constructed *without* a tracer must pay
+essentially nothing for the observability hooks (one ``is not None``
+test per stage), and 1-in-1000 head sampling must stay within a few
+percent of untraced throughput.  This suite times the same routed
+workload three ways — untraced, 1-in-1000 sampled, and full sampling —
+and checks the structural facts that hold at any machine speed: the
+sampled runs trace exactly the expected number of events, deliveries are
+identical across all three, and full sampling records a complete span
+chain for every traced event.
+
+Wall-clock ratios are asserted loosely (generous bound, CI boxes are
+noisy); the authoritative before/after gate is BENCH_PR7.json via
+``benchmarks/run_hotpath_bench.py``, which times the matching engine the
+tracer must not touch.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.broker_cluster import BrokerCluster
+from repro.obs import Tracer
+from repro.pubsub.events import Event
+from repro.pubsub.subscriptions import Operator, Predicate, Subscription
+from repro.sim.rng import SeededRNG
+
+NUM_EVENTS = 2000
+NUM_TOPICS = 40
+
+
+def _run_workload(tracer):
+    cluster = BrokerCluster(
+        tracer=tracer, service_rate=5000.0, batch_size=8, link_latency=0.001
+    )
+    names = [f"b{i}" for i in range(5)]
+    for name in names:
+        cluster.add_broker(name)
+    for left, right in zip(names, names[1:]):
+        cluster.connect(left, right)
+    rng = SeededRNG(7)
+    for index in range(200):
+        cluster.subscribe(
+            names[index % len(names)],
+            Subscription(
+                event_type="news.story",
+                predicates=(
+                    Predicate("topic", Operator.EQ, f"t{index % NUM_TOPICS}"),
+                ),
+                subscriber=f"u{index % 50}",
+            ),
+        )
+    at = 0.0
+    for index in range(NUM_EVENTS):
+        at += rng.expovariate(3000.0)
+        cluster.publish_at(
+            at,
+            names[index % len(names)],
+            Event(
+                event_type="news.story",
+                attributes={"topic": f"t{index % NUM_TOPICS}"},
+                timestamp=at,
+            ),
+        )
+    cluster.run()
+    return cluster
+
+
+def test_obs_untraced_routed_publish(benchmark):
+    cluster = benchmark(_run_workload, None)
+    assert cluster.tracer is None
+    assert cluster.metrics.counter("cluster.deliveries").value > 0
+
+
+def test_obs_sampled_1_in_1000(benchmark):
+    def run():
+        return _run_workload(Tracer(sample_every=1000))
+
+    cluster = benchmark(run)
+    tracer = cluster.tracer
+    # Head sampling: the first publication, then every thousandth.
+    assert tracer.sampled_traces == (NUM_EVENTS + 999) // 1000
+    assert tracer.published == NUM_EVENTS
+    assert not tracer.drop_spans()
+
+
+def test_obs_full_sampling_chains_complete(benchmark):
+    def run():
+        return _run_workload(Tracer(sample_every=1))
+
+    cluster = benchmark(run)
+    tracer = cluster.tracer
+    assert tracer.sampled_traces == NUM_EVENTS
+    deliveries = cluster.metrics.counter("cluster.deliveries").value
+    delivered_events = 0
+    for event_id in tracer.traced_event_ids():
+        names = {span.name for span in tracer.spans_for_event(event_id)}
+        assert "publish" in names
+        if "deliver" in names:
+            delivered_events += 1
+    assert delivered_events > 0
+    assert deliveries > 0

@@ -41,6 +41,8 @@ from dataclasses import dataclass
 from typing import Callable, Deque, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.cluster.routing import RoutingFabric
+from repro.obs.audit import RouteAuditLog
+from repro.obs.trace import TraceContext, Tracer
 from repro.pubsub.broker import Broker, EngineFactory
 from repro.pubsub.events import Event
 from repro.pubsub.matching import MatchingEngine
@@ -69,12 +71,15 @@ class EventEnvelope:
     original publication entered the system (for end-to-end delay), how
     many overlay links it has crossed, and which neighbour handed it over
     (so forwarding never bounces an event back along its arrival link).
+    ``trace`` is the sampled-trace handle (``None`` for unsampled events
+    and for clusters without a tracer — the common, zero-cost case).
     """
 
     event: Event
     origin_time: float
     hops: int = 0
     came_from: Optional[str] = None
+    trace: Optional[TraceContext] = None
 
 
 @dataclass
@@ -216,6 +221,8 @@ class BrokerCluster:
         routing_engine_factory: EngineFactory = MatchingEngine,
         mailbox_policy: str = "freeze",
         merge_ingress: bool = False,
+        tracer: Optional[Tracer] = None,
+        route_audit: bool = False,
     ) -> None:
         if link_latency < 0:
             raise ValueError("link_latency must be non-negative")
@@ -232,7 +239,11 @@ class BrokerCluster:
         self.default_batch_overhead = batch_overhead
         self.default_mailbox_policy = mailbox_policy
         self.link_latency = link_latency
-        self.fabric = RoutingFabric(metrics=self.metrics, merge_ingress=merge_ingress)
+        self.fabric = RoutingFabric(
+            metrics=self.metrics,
+            merge_ingress=merge_ingress,
+            audit=RouteAuditLog() if route_audit else None,
+        )
         self.network = (
             network
             if network is not None
@@ -251,6 +262,23 @@ class BrokerCluster:
         self._link_up: Dict[FrozenSet[str], bool] = {}
         # Attached by repro.cluster.recovery.FailureDetector.
         self._detector: Optional[object] = None
+        # -- observability -----------------------------------------------------
+        # The tracer threads TraceContexts through the message plane; a
+        # cluster without one pays a single `is not None` per publish.
+        # Degraded-state counters (crashed brokers / torn-down overlay
+        # links) make "is routing degraded right now" an O(1) question —
+        # traced events served during a degraded window get an at-risk
+        # marker so pruned-route losses stay attributable.
+        self.tracer = tracer
+        self._down_brokers = 0
+        self._down_overlay_links = 0
+        if tracer is not None:
+            self.network.add_drop_listener(self._on_network_drop)
+
+    @property
+    def route_audit(self) -> Optional[RouteAuditLog]:
+        """The control-plane audit log (``route_audit=True``), or None."""
+        return self.fabric.audit
 
     # -- wiring ------------------------------------------------------------
 
@@ -373,13 +401,18 @@ class BrokerCluster:
         broker.incarnation += 1
         broker.crashed_at = now
         broker.stats.crashes += 1
+        self._down_brokers += 1
+        if self.tracer is not None:
+            self.tracer.note_anomaly(f"crash:{name}", now)
         # The batch being served existed only in the dead process.
         if broker._in_service is not None:
             self._count_lost(broker, len(broker._in_service))
+            self._trace_lost_batch(broker._in_service, name, "crashed_in_service")
             broker._in_service = None
         broker.busy = False
         if broker.mailbox_policy == "drop" and broker.mailbox:
             self._count_lost(broker, len(broker.mailbox))
+            self._trace_lost_batch(broker.mailbox, name, "mailbox_dropped")
             broker.mailbox.clear()
         self.metrics.gauge(f"cluster.queue_depth.{name}").set(broker.queue_depth)
         self.network.unregister(name)
@@ -406,10 +439,12 @@ class BrokerCluster:
             broker.stats.downtime += window
             self.metrics.histogram("cluster.unavailability").observe(window)
         broker.crashed_at = None
+        self._down_brokers -= 1
         self.network.register(name, self._ports[name])
         self.metrics.counter("cluster.broker_recoveries").increment()
         for callback in self._lifecycle_callbacks:
             callback("recovered", name, now)
+        self._maybe_clear_anomaly()
         self._start_service(broker)
 
     def crash_at(self, time: float, name: str) -> None:
@@ -430,6 +465,9 @@ class BrokerCluster:
         if not self._link_up.get(pair, False):
             return False
         self._link_up[pair] = False
+        self._down_overlay_links += 1
+        if self.tracer is not None:
+            self.tracer.note_anomaly(f"link_down:{first}-{second}", self.sim.now)
         self.fabric.disconnect(first, second)
         self.metrics.counter("cluster.link_failures").increment()
         return True
@@ -453,11 +491,81 @@ class BrokerCluster:
             # Rare: other restored links already reconnected the
             # endpoints; canonicalize the healed component the slow way.
             self.fabric.reroute_component(first)
+        self._down_overlay_links -= 1
         self.metrics.counter("cluster.link_restores").increment()
+        self._maybe_clear_anomaly()
         return True
 
     def overlay_link_is_up(self, first: str, second: str) -> bool:
         return self._link_up.get(frozenset((first, second)), False)
+
+    @property
+    def degraded(self) -> bool:
+        """True while any broker is down or any overlay link is torn down."""
+        return self._down_brokers > 0 or self._down_overlay_links > 0
+
+    def _maybe_clear_anomaly(self) -> None:
+        """Leave the tracer's always-sample window once the cluster is
+        healthy again: all brokers up, all overlay links restored, and no
+        physical link still forced down."""
+        if self.tracer is None or self.degraded:
+            return
+        if self.network.down_links():
+            return
+        self.tracer.clear_anomaly()
+
+    def _trace_lost_batch(
+        self,
+        entries: Iterable[Tuple[float, EventEnvelope]],
+        broker_name: str,
+        cause: str,
+    ) -> None:
+        """Terminal drop spans for every traced envelope in a lost batch."""
+        tracer = self.tracer
+        if tracer is None:
+            return
+        now = self.sim.now
+        broker = self.brokers[broker_name]
+        for _enqueued_at, envelope in entries:
+            if envelope.trace is not None:
+                tracer.record_drop(
+                    envelope.trace,
+                    now,
+                    broker_name,
+                    cause=cause,
+                    incarnation=broker.incarnation,
+                    hops=envelope.hops,
+                )
+
+    def _on_network_drop(self, message: Message) -> None:
+        """Network drop listener: a dropped ``event.forward`` carrying a
+        traced envelope becomes a terminal drop span naming the link and
+        the reason (downed link vs gone destination vs random loss)."""
+        if message.kind != "event.forward":
+            return
+        envelope = message.payload
+        trace = getattr(envelope, "trace", None)
+        if trace is None:
+            return
+        if not self.network.has_node(message.destination):
+            reason = "destination_down"
+        elif not self.network.link_is_up(message.source, message.destination):
+            reason = "link_down"
+        else:
+            reason = "loss"
+        now = self.sim.now
+        self.tracer.record_drop(
+            trace,
+            now,
+            message.source,
+            cause="forward_dropped",
+            link=f"{message.source}->{message.destination}",
+            reason=reason,
+            hops=envelope.hops,
+        )
+        self.tracer.note_anomaly(
+            f"forward_dropped:{message.source}->{message.destination}", now
+        )
 
     def _count_lost(self, broker: BrokerProcess, count: int) -> None:
         if count <= 0:
@@ -479,10 +587,17 @@ class BrokerCluster:
         simply gone, exactly the unavailability C2 measures.
         """
         broker = self._broker(broker_name)
+        trace = None
+        if self.tracer is not None:
+            trace = self.tracer.begin_trace(event, broker_name, self.sim.now)
         if not broker.up:
             self.metrics.counter("cluster.publishes_dropped").increment()
+            if trace is not None:
+                self.tracer.record_drop(
+                    trace, self.sim.now, broker_name, cause="publish_target_down"
+                )
             return
-        envelope = EventEnvelope(event=event, origin_time=self.sim.now)
+        envelope = EventEnvelope(event=event, origin_time=self.sim.now, trace=trace)
         self._enqueue(broker, envelope)
 
     def publish_at(self, time: float, broker_name: str, event: Event) -> None:
@@ -505,6 +620,13 @@ class BrokerCluster:
     def _receive_forward(self, broker: BrokerProcess, envelope: EventEnvelope) -> None:
         if not broker.up:  # pragma: no cover - the network drops these first
             self._count_lost(broker, 1)
+            if self.tracer is not None and envelope.trace is not None:
+                self.tracer.record_drop(
+                    envelope.trace,
+                    self.sim.now,
+                    broker.name,
+                    cause="arrived_at_down_broker",
+                )
             return
         broker.stats.forwards_received += 1
         self._enqueue(broker, envelope)
@@ -546,11 +668,24 @@ class BrokerCluster:
             broker.queue_depth
         )
         self.metrics.histogram("cluster.service_batch").observe(len(batch))
-        for enqueued_at, _envelope in batch:
+        tracer = self.tracer
+        for enqueued_at, envelope in batch:
             self.metrics.histogram("cluster.wait_time").observe(start - enqueued_at)
+            if tracer is not None and envelope.trace is not None:
+                # Mailbox wait: from enqueue to this service cycle's start.
+                envelope.trace.parent_id = tracer.record_span(
+                    "queue",
+                    envelope.trace,
+                    start=enqueued_at,
+                    end=start,
+                    broker=broker.name,
+                    batch_size=len(batch),
+                    hops=envelope.hops,
+                    incarnation=broker.incarnation,
+                )
 
         def complete(_engine: SimulationEngine) -> None:
-            self._complete_service(broker, batch, incarnation)
+            self._complete_service(broker, batch, incarnation, start)
 
         self.sim.schedule_in(service_time, complete, label=f"serve:{broker.name}")
 
@@ -559,6 +694,7 @@ class BrokerCluster:
         broker: BrokerProcess,
         batch: List[Tuple[float, EventEnvelope]],
         incarnation: int,
+        started_at: float,
     ) -> None:
         if not broker.up or incarnation != broker.incarnation:
             # The broker died mid-service; the batch was counted lost at
@@ -566,12 +702,39 @@ class BrokerCluster:
             return
         broker._in_service = None
         now = self.sim.now
+        tracer = self.tracer
         events = [envelope.event for _at, envelope in batch]
         matches = broker.engine.match_batch(events)
         deliveries = 0
         for (enqueued_at, envelope), row in zip(batch, matches):
             deliveries += len(row)
             self.metrics.histogram("cluster.queue_delay").observe(now - enqueued_at)
+            if tracer is not None and envelope.trace is not None:
+                match_span = tracer.record_span(
+                    "match",
+                    envelope.trace,
+                    start=started_at,
+                    end=now,
+                    broker=broker.name,
+                    batch_size=len(batch),
+                    matches=len(row),
+                    shards=getattr(broker.engine, "num_shards", 1),
+                    incarnation=broker.incarnation,
+                )
+                envelope.trace.parent_id = match_span
+                if row:
+                    subscribers = [s.subscription_id for s in row[:16]]
+                    tracer.record_span(
+                        "deliver",
+                        envelope.trace,
+                        start=now,
+                        end=now,
+                        broker=broker.name,
+                        parent_id=match_span,
+                        deliveries=len(row),
+                        subscriptions=subscribers,
+                        truncated=len(row) > 16,
+                    )
             for subscription in row:
                 self.metrics.histogram("cluster.delivery_hops").observe(envelope.hops)
                 self.metrics.histogram("cluster.e2e_delay").observe(
@@ -592,9 +755,41 @@ class BrokerCluster:
         next_hops = self.fabric.next_hops(
             broker.name, envelope.event, came_from=envelope.came_from
         )
+        tracer = self.tracer
+        trace = envelope.trace
+        if tracer is not None and trace is not None and self.degraded:
+            # Served while routing was degraded: routes the healthy fabric
+            # would hold may be pruned, silently ending this event's walk
+            # short of some subscribers.  The at-risk marker keeps such
+            # losses attributable — harmless if delivery still completes.
+            tracer.record_drop(
+                trace,
+                self.sim.now,
+                broker.name,
+                cause="routing_partitioned",
+                definite=False,
+                down_brokers=self._down_brokers,
+                down_overlay_links=self._down_overlay_links,
+            )
+        size_bytes = envelope.event.size_bytes()
         for neighbour in next_hops:
             broker.stats.events_forwarded += 1
             self.metrics.counter("cluster.events_forwarded").increment()
+            child = None
+            if tracer is not None and trace is not None:
+                now = self.sim.now
+                link = self.network.link_for(broker.name, neighbour)
+                span_id = tracer.record_span(
+                    "forward",
+                    trace,
+                    start=now,
+                    end=now + link.transfer_time(size_bytes),
+                    broker=broker.name,
+                    link=f"{broker.name}->{neighbour}",
+                    latency=link.latency,
+                    hops=envelope.hops + 1,
+                )
+                child = tracer.fork(trace, span_id)
             self.network.send(
                 broker.name,
                 neighbour,
@@ -604,8 +799,9 @@ class BrokerCluster:
                     origin_time=envelope.origin_time,
                     hops=envelope.hops + 1,
                     came_from=broker.name,
+                    trace=child,
                 ),
-                size_bytes=envelope.event.size_bytes(),
+                size_bytes=size_bytes,
             )
 
     # -- execution ---------------------------------------------------------

@@ -198,14 +198,27 @@ class FaultInjector:
 
     def _apply(self, action: FaultAction):
         def fire(_engine) -> None:
+            tracer = getattr(self.cluster, "tracer", None)
             if action.kind == CRASH:
                 self.cluster.crash_broker(action.target[0])
             elif action.kind == RECOVER:
                 self.cluster.recover_broker(action.target[0])
             elif action.kind == LINK_DOWN:
                 self.cluster.network.set_link_down(*action.target)
+                # Physical link faults bypass the cluster's fail_link hook
+                # (routing only learns via the detector), so open the
+                # tracer's always-sample window here or 1-in-N sampling
+                # could miss the start of the flap.
+                if tracer is not None:
+                    self.cluster.tracer.note_anomaly(
+                        f"phys_link_down:{'-'.join(action.target)}",
+                        self.cluster.sim.now,
+                    )
             else:
                 self.cluster.network.set_link_up(*action.target)
+                clear = getattr(self.cluster, "_maybe_clear_anomaly", None)
+                if clear is not None:
+                    clear()
             self.applied.append(action)
             self.cluster.metrics.counter(f"faults.{action.kind}").increment()
 

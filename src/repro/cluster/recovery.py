@@ -175,6 +175,9 @@ class FailureDetector:
         if peer_alive and path_clear:
             # Omniscient accounting: the peer was fine, we were just slow.
             cluster.metrics.counter("detector.false_suspicions").increment()
+        tracer = getattr(cluster, "tracer", None)
+        if tracer is not None:
+            tracer.note_anomaly(f"suspicion:{listener}->{peer}", now)
         cluster.fail_link(listener, peer)
 
     # -- heartbeat receipt (called by the broker port) -----------------------

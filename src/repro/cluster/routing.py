@@ -75,6 +75,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
+from repro.obs.audit import RouteAuditLog
 from repro.pubsub.broker import Broker
 from repro.pubsub.events import Event
 from repro.pubsub.subscriptions import CoveringIndex, Subscription
@@ -137,9 +138,14 @@ class RoutingFabric:
         metrics: Optional[MetricsRegistry] = None,
         verify_repairs: bool = False,
         merge_ingress: bool = False,
+        audit: Optional[RouteAuditLog] = None,
     ) -> None:
         self.nodes: Dict[str, object] = {}
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        # Control-plane audit log (repro.obs.audit): when attached, every
+        # select/prune/readmit/merge decision is recorded with its blocker
+        # id.  Costs one `is not None` per decision when absent.
+        self.audit = audit
         self._edges: Dict[str, Set[str]] = {}
         self._client_home: Dict[str, str] = {}
         # subscription id -> (home broker, live definition); insertion
@@ -540,6 +546,13 @@ class RoutingFabric:
             outcome.merged = True
             self.metrics.counter("overlay.adverts_skipped").increment()
             self.metrics.counter("overlay.subscriptions_merged").increment()
+            if self.audit is not None:
+                self.audit.record(
+                    "merged-ingress",
+                    subscription_id,
+                    node=broker_name,
+                    blocker=coverer_id,
+                )
             return outcome, False
         self._home_of[subscription_id] = (broker_name, subscription)
         self._seq[subscription_id] = self._next_seq
@@ -703,6 +716,8 @@ class RoutingFabric:
             return False
         if present and not keep_local:
             home_node.unsubscribe_local(subscription_id)
+        if self.audit is not None:
+            self.audit.record("retracted", subscription_id, node=home)
         del self._home_of[subscription_id]
         del self._seq[subscription_id]
         self._unregister_ingress(home, removed_sub)
@@ -722,7 +737,13 @@ class RoutingFabric:
 
     # -- per-edge canonical placement ----------------------------------------
 
-    def _select(self, edge: RouteEntry, subscription: Subscription, seq: int) -> None:
+    def _select(
+        self,
+        edge: RouteEntry,
+        subscription: Subscription,
+        seq: int,
+        reason: str = "issued",
+    ) -> None:
         node_name, via = edge
         node = self.nodes[node_name]
         node.learn_remote(via, subscription)
@@ -732,6 +753,14 @@ class RoutingFabric:
             table = self._tables[edge] = _EdgeTable()
         table.covers.add(subscription, priority=seq)
         self._routes.setdefault(subscription.subscription_id, set()).add(edge)
+        if self.audit is not None:
+            self.audit.record(
+                reason,
+                subscription.subscription_id,
+                node=node_name,
+                via=via,
+                seq=seq,
+            )
 
     def _deselect(
         self, edge: RouteEntry, subscription_id: str, collect_victims: bool = False
@@ -755,13 +784,23 @@ class RoutingFabric:
                 del self._routes[subscription_id]
         return victims
 
-    def _record_prune(self, edge: RouteEntry, victim_id: str, blocker_id: str) -> None:
+    def _record_prune(
+        self,
+        edge: RouteEntry,
+        victim_id: str,
+        blocker_id: str,
+        reason: str = "covered-by",
+    ) -> None:
         table = self._tables.get(edge)
         if table is None:
             table = self._tables[edge] = _EdgeTable()
         table.blocker_of[victim_id] = blocker_id
         table.victims_of.setdefault(blocker_id, set()).add(victim_id)
         self._pruned_at.setdefault(victim_id, set()).add(edge)
+        if self.audit is not None:
+            self.audit.record(
+                reason, victim_id, node=edge[0], via=edge[1], blocker=blocker_id
+            )
 
     def _clear_prune(self, edge: RouteEntry, victim_id: str) -> None:
         table = self._tables.get(edge)
@@ -833,7 +872,7 @@ class RoutingFabric:
         inherited = self._deselect(edge, booted_id, collect_victims=True)
         for victim in inherited:
             self._record_prune(edge, victim, cover_id)
-        self._record_prune(edge, booted_id, cover_id)
+        self._record_prune(edge, booted_id, cover_id, reason="evicted")
 
     def _readmit(
         self,
@@ -867,13 +906,21 @@ class RoutingFabric:
                 # Still covered — just re-point the prune record.
                 table.blocker_of[victim_id] = cover.subscription_id
                 table.victims_of.setdefault(cover.subscription_id, set()).add(victim_id)
+                if self.audit is not None:
+                    self.audit.record(
+                        "covered-by",
+                        victim_id,
+                        node=edge[0],
+                        via=edge[1],
+                        blocker=cover.subscription_id,
+                    )
                 continue
             prunes = self._pruned_at.get(victim_id)
             if prunes is not None:
                 prunes.discard(edge)
                 if not prunes:
                     del self._pruned_at[victim_id]
-            self._select(edge, subscription, seq)
+            self._select(edge, subscription, seq, reason="readmitted-victim")
             readmitted += 1
             for booted in table.covers.covered_by(
                 subscription, after=seq, exclude=victim_id

@@ -127,6 +127,22 @@ class ShardedMatchingEngine:
             return 1.0
         return max(loads) * len(loads) / total
 
+    def telemetry(self) -> Dict[str, object]:
+        """Plain-dict engine state for the observability exporters
+        (:mod:`repro.obs.export`) and experiment report tables."""
+        loads = self.shard_loads()
+        return {
+            "engine": "sharded",
+            "num_shards": self.num_shards,
+            "subscriptions": sum(loads),
+            "shard_loads": loads,
+            "skew": round(self.skew(), 3),
+            "rebalances": self.rebalances,
+            "migrations": self.migrations,
+            "placement": type(self._placement).__name__,
+            "executor": type(self._executor).__name__,
+        }
+
     def add(self, subscription: Subscription) -> None:
         """Index a subscription on its placement shard.
 

@@ -36,6 +36,7 @@ Run directly (reduced scale for CI)::
 from __future__ import annotations
 
 import argparse
+import json
 from collections import Counter as TallyCounter
 from typing import Dict, List, Optional, Sequence
 
@@ -48,6 +49,7 @@ from repro.cluster.faults import FaultInjector, FaultPlan
 from repro.cluster.recovery import FailureDetector, routing_converged
 from repro.experiments.harness import ExperimentResult
 from repro.experiments.substrate import make_event, make_subscription
+from repro.obs import Tracer, attribute_losses, broker_timing_breakdown, spans_payload
 from repro.pubsub.events import Event
 from repro.pubsub.matching import MatchingEngine
 from repro.pubsub.subscriptions import Subscription
@@ -111,6 +113,8 @@ def run_cluster_churn(
     verify: bool = False,
     cross_check_repairs: bool = False,
     merge_ingress: bool = False,
+    trace: bool = False,
+    trace_dump: Optional[str] = None,
 ) -> ExperimentResult:
     """Sweep crash rate × recovery delay × topology under churn.
 
@@ -128,6 +132,15 @@ def run_cluster_churn(
     Delivery counts and the oracles must be unaffected — combining it
     with ``verify``/``cross_check_repairs`` is the CI check that merging
     survives crash/recovery churn.
+
+    ``trace`` arms a full-sampling :class:`~repro.obs.trace.Tracer` on
+    every point and cross-checks the span record against the delivery
+    oracle (:func:`~repro.obs.loss.attribute_losses`): every lost event
+    must terminate in a drop span naming its cause, and every delivered
+    traced event must show a complete publish→deliver chain.  Any
+    unattributed loss raises — this is the trace-oracle CI gate.
+    ``trace_dump`` additionally writes the per-point span record as JSON
+    (the CI build artifact).
     """
     if scale <= 0:
         raise ValueError("scale must be positive")
@@ -151,8 +164,10 @@ def run_cluster_churn(
             "verified": verify,
             "cross_checked_repairs": cross_check_repairs,
             "merge_ingress": merge_ingress,
+            "traced": trace,
         },
     )
+    dump_points: List[Dict[str, object]] = []
 
     # The workload and its oracle are functions of (seed, sizes) only —
     # per-point randomness (placement, faults, arrivals) comes from
@@ -174,6 +189,7 @@ def run_cluster_churn(
         for crash_rate in crash_rates:
             for recovery_delay in recovery_delays:
                 rng = SeededRNG(seed)
+                tracer = Tracer(sample_every=1) if trace else None
                 cluster = BrokerCluster(
                     sim=SimulationEngine(),
                     service_rate=service_rate,
@@ -181,6 +197,7 @@ def run_cluster_churn(
                     link_latency=link_latency,
                     mailbox_policy=mailbox_policy,
                     merge_ingress=merge_ingress,
+                    tracer=tracer,
                 )
                 names = build_cluster_topology(topology, num_brokers, cluster)
                 cluster.fabric.verify_repairs = cross_check_repairs
@@ -239,6 +256,33 @@ def run_cluster_churn(
                 cluster.run(until=run_until)
 
                 tallies = _loss_and_duplication(expected, delivered)
+                loss_report = None
+                if tracer is not None:
+                    # Cross-check the span record against the delivery
+                    # oracle at the same instant the tallies were taken.
+                    loss_report = attribute_losses(tracer, expected, delivered)
+                    if not loss_report.fully_attributed:
+                        raise AssertionError(
+                            "trace oracle: unexplained loss or incomplete "
+                            f"span chain (topology={topology}, "
+                            f"crash_rate={crash_rate}, "
+                            f"recovery_delay={recovery_delay})\n"
+                            + loss_report.summary()
+                        )
+                    if trace_dump is not None:
+                        dump_points.append(
+                            spans_payload(
+                                tracer,
+                                extra={
+                                    "point": {
+                                        "topology": topology,
+                                        "crash_rate": crash_rate,
+                                        "recovery_delay": recovery_delay,
+                                    },
+                                    "loss_attribution": loss_report.summary(),
+                                },
+                            )
+                        )
                 converged = routing_converged(cluster.fabric)
                 all_links_up = all(
                     cluster.overlay_link_is_up(*sorted(pair))
@@ -269,7 +313,9 @@ def run_cluster_churn(
                     broker.stats.downtime for broker in cluster.brokers.values()
                 )
                 outage = cluster.metrics.histogram("cluster.unavailability")
-                result.add_row(
+                # One structured snapshot instead of per-counter scraping.
+                counters = cluster.metrics.snapshot()["counters"]
+                row: Dict[str, object] = dict(
                     topology=topology,
                     crash_rate=crash_rate,
                     recovery_delay=recovery_delay,
@@ -286,17 +332,33 @@ def run_cluster_churn(
                     duplicated=tallies["duplicated"],
                     unavailability_s=unavailability,
                     mean_outage_s=outage.mean if outage.count else 0.0,
-                    suspicions=cluster.metrics.counter("detector.suspicions").value,
-                    false_suspicions=cluster.metrics.counter(
-                        "detector.false_suspicions"
-                    ).value,
-                    link_restores=cluster.metrics.counter(
-                        "detector.link_restores"
-                    ).value,
+                    suspicions=counters.get("detector.suspicions", 0.0),
+                    false_suspicions=counters.get("detector.false_suspicions", 0.0),
+                    link_restores=counters.get("detector.link_restores", 0.0),
                     convergence_s=convergence_s,
                     converged=float(converged and all_links_up),
                 )
+                if loss_report is not None:
+                    row["lost_events"] = loss_report.events_lost
+                    row["attributed"] = len(loss_report.verdicts)
+                    row["drop_spans"] = len(tracer.drop_spans(definite_only=True))
+                result.add_row(**row)
                 detector.stop()
+        # Per-broker timing breakdown for this topology (last sweep
+        # point), wired into the report via the harness tables.
+        result.add_table(
+            f"broker timing — {topology} (last point)",
+            broker_timing_breakdown(cluster),
+        )
+    result.attach_metrics(
+        cluster.metrics,
+        prefixes=("cluster.", "detector.", "faults.", "overlay."),
+    )
+    if trace_dump is not None and trace:
+        with open(trace_dump, "w", encoding="utf-8") as handle:
+            json.dump({"experiment": "C2", "points": dump_points}, handle)
+            handle.write("\n")
+        result.notes.append(f"span dump written to {trace_dump}")
 
     loss_channels = (
         "losses happen in the detection gap (events forwarded toward a dead "
@@ -330,6 +392,14 @@ def run_cluster_churn(
             "cross-checked: every individual delta repair (retraction, link "
             "failover purge+readmit, failback merge) was verified against "
             "the retained full-rebuild path at mutation time"
+        )
+    if trace:
+        result.notes.append(
+            "trace oracle: every lost event terminated in a drop span whose "
+            "cause agrees with the delivery oracle (crashed in-service "
+            "batch, dropped mailbox, dead ingress, network drop, or "
+            "degraded-routing window), and every delivered traced event "
+            "shows a complete publish→deliver span chain"
         )
     return result
 
@@ -411,6 +481,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default="freeze",
         help="what a crash does to queued events",
     )
+    parser.add_argument(
+        "--trace-oracle",
+        action="store_true",
+        help="run every point with full-sampling tracing and assert every "
+        "lost event carries a drop-attribution span agreeing with the "
+        "delivery oracle (exit 1 on any unattributed loss)",
+    )
+    parser.add_argument(
+        "--trace-dump",
+        metavar="PATH",
+        default=None,
+        help="with --trace-oracle, write the per-point span record as JSON "
+        "(the CI build artifact)",
+    )
     parser.add_argument("--seed", type=int, default=29)
     args = parser.parse_args(argv)
     try:
@@ -422,6 +506,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             seed=args.seed,
             link_flap_rate=args.link_flap_rate,
             mailbox_policy=args.mailbox_policy,
+            trace=args.trace_oracle,
+            trace_dump=args.trace_dump,
         )
         print(result.summary())
     except AssertionError as error:

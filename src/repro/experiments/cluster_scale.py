@@ -44,6 +44,7 @@ from repro.cluster.sharded import ShardedMatchingEngine
 from repro.cluster.workers import EXECUTOR_KINDS, sharded_engine_factory
 from repro.experiments.harness import ExperimentResult
 from repro.experiments.substrate import make_event, make_subscription
+from repro.obs import broker_timing_breakdown
 from repro.pubsub.events import Event
 from repro.pubsub.matching import MatchingEngine, NaiveMatchingEngine
 from repro.pubsub.subscriptions import Subscription
@@ -187,7 +188,7 @@ def run_cluster_scale(
                 deliveries=deliveries,
                 sim_throughput_eps=cluster.throughput(),
                 mean_delay_ms=delay.mean * 1000.0,
-                p95_delay_ms=delay.percentile(95) * 1000.0,
+                p95_delay_ms=delay.percentile(95) * 1000.0 if delay.count else 0.0,
             )
     result.notes.append(
         "batching amortizes per-cycle service overhead (throughput rises with "
@@ -340,9 +341,14 @@ def run_routed_cluster_scale(
                     max_hops=hops.maximum if hops.count else 0.0,
                     forwards_per_event=forwarded / num_events,
                     mean_e2e_delay_ms=e2e.mean * 1000.0,
-                    p95_e2e_delay_ms=e2e.percentile(95) * 1000.0,
+                    p95_e2e_delay_ms=e2e.percentile(95) * 1000.0 if e2e.count else 0.0,
                     sim_throughput_eps=cluster.throughput(),
                 )
+        result.add_table(
+            f"broker timing — {topology} (last point)",
+            broker_timing_breakdown(cluster),
+        )
+    result.attach_metrics(cluster.metrics, prefixes=("cluster.", "overlay."))
     result.notes.append(
         "subscriptions spread uniformly across brokers; events enter at random "
         "brokers and are forwarded hop by hop through broker mailboxes with "

@@ -13,7 +13,12 @@ class ExperimentResult:
     ``rows`` is a list of dictionaries sharing the same keys (one row per
     sweep point or per reported quantity); ``paper`` optionally records the
     value the paper reports for a row/metric so benchmarks can print
-    paper-vs-measured side by side.
+    paper-vs-measured side by side.  ``tables`` holds named auxiliary
+    tables rendered after the main rows (e.g. the per-broker timing
+    breakdown from :func:`repro.obs.export.broker_timing_breakdown`);
+    ``metrics`` holds a structured ``MetricsRegistry.snapshot()`` so
+    reports and exporters read one canonical export instead of scraping
+    individual counters.
     """
 
     experiment_id: str
@@ -22,9 +27,40 @@ class ExperimentResult:
     rows: List[Dict[str, object]] = field(default_factory=list)
     paper: Dict[str, object] = field(default_factory=dict)
     notes: List[str] = field(default_factory=list)
+    tables: Dict[str, List[Dict[str, object]]] = field(default_factory=dict)
+    metrics: Dict[str, Dict[str, object]] = field(default_factory=dict)
 
     def add_row(self, **values: object) -> None:
         self.rows.append(dict(values))
+
+    def add_table(self, name: str, rows: List[Dict[str, object]]) -> None:
+        """Attach a named auxiliary table (rendered by :meth:`summary`)."""
+        self.tables[name] = rows
+
+    def attach_metrics(self, registry, prefixes: Sequence[str] = ()) -> None:
+        """Store a structured metrics snapshot on the result.
+
+        ``registry`` is a :class:`~repro.sim.metrics.MetricsRegistry` (or
+        an already-taken ``snapshot()`` dict).  ``prefixes`` optionally
+        filters each metric family to names starting with any prefix —
+        experiment reports usually only want their own subsystem's
+        counters, not the per-edge network accounting.
+        """
+        snapshot = registry if isinstance(registry, dict) else registry.snapshot()
+        if prefixes:
+            snapshot = {
+                family: {
+                    name: value
+                    for name, value in entries.items()
+                    if any(name.startswith(prefix) for prefix in prefixes)
+                }
+                for family, entries in snapshot.items()
+            }
+        self.metrics = snapshot
+
+    def metric(self, family: str, name: str, default: float = 0.0):
+        """One value out of the attached snapshot (e.g. a counter)."""
+        return self.metrics.get(family, {}).get(name, default)
 
     def column(self, name: str) -> List[object]:
         return [row.get(name) for row in self.rows]
@@ -42,6 +78,9 @@ class ExperimentResult:
             lines.append(f"  parameters: {params}")
         if self.rows:
             lines.append(format_table(self.rows, indent="  "))
+        for name, rows in self.tables.items():
+            lines.append(f"  [{name}]")
+            lines.append(format_table(rows, indent="  "))
         for note in self.notes:
             lines.append(f"  note: {note}")
         return "\n".join(lines)

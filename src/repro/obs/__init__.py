@@ -1,0 +1,42 @@
+"""Observability: event tracing, loss attribution, audit log, exporters.
+
+``repro.obs`` is the per-event lens on the routed cluster that the
+aggregate counters in :mod:`repro.sim.metrics` cannot provide:
+
+* :mod:`repro.obs.trace` — sampling :class:`Tracer`, :class:`Span`,
+  :class:`TraceContext`; threads through ``BrokerCluster`` publish →
+  queue → match → forward → deliver;
+* :mod:`repro.obs.loss` — :func:`attribute_losses`, cross-checking drop
+  spans against the C2 delivery oracle;
+* :mod:`repro.obs.audit` — :class:`RouteAuditLog` recording why each
+  :class:`~repro.cluster.routing.RoutingFabric` route entry exists;
+* :mod:`repro.obs.export` — JSON span dumps, Prometheus text rendering,
+  per-broker timing breakdown tables.
+"""
+
+from repro.obs.audit import AuditRecord, RouteAuditLog
+from repro.obs.export import (
+    broker_timing_breakdown,
+    dump_spans,
+    format_span_tree,
+    render_prometheus,
+    spans_payload,
+)
+from repro.obs.loss import LossReport, LossVerdict, attribute_losses
+from repro.obs.trace import Span, TraceContext, Tracer
+
+__all__ = [
+    "AuditRecord",
+    "LossReport",
+    "LossVerdict",
+    "RouteAuditLog",
+    "Span",
+    "TraceContext",
+    "Tracer",
+    "attribute_losses",
+    "broker_timing_breakdown",
+    "dump_spans",
+    "format_span_tree",
+    "render_prometheus",
+    "spans_payload",
+]

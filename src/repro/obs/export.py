@@ -1,0 +1,160 @@
+"""Exporters: span dumps, Prometheus text, per-broker timing tables.
+
+Three renderings of the observability state, all fed from plain dicts so
+they stay decoupled from the collectors:
+
+* :func:`dump_spans` / :func:`spans_payload` — the tracer's span record
+  as JSON (the CI trace-oracle job uploads this as a build artifact);
+* :func:`render_prometheus` — a :class:`~repro.sim.metrics.MetricsRegistry`
+  snapshot in the Prometheus text exposition format (counters →
+  ``counter``, gauges → ``gauge``, histograms → ``summary`` with
+  p50/p95/p99 quantile lines), for scraping a future live broker server;
+* :func:`broker_timing_breakdown` — the per-broker timing/throughput
+  table the C1/C2 experiment reports embed (service cycles, busy time,
+  utilization, queue depth, crash downtime).
+
+:func:`format_span_tree` pretty-prints one event's spans as an indented
+tree (used by ``examples/traced_publish.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.sim.metrics import MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.broker_cluster import BrokerCluster
+    from repro.obs.trace import Span, Tracer
+
+__all__ = [
+    "broker_timing_breakdown",
+    "dump_spans",
+    "format_span_tree",
+    "render_prometheus",
+    "spans_payload",
+]
+
+_PROM_NAME = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str, prefix: str) -> str:
+    return prefix + _PROM_NAME.sub("_", name)
+
+
+def render_prometheus(
+    metrics: Union[MetricsRegistry, Dict[str, Dict[str, object]]],
+    prefix: str = "repro_",
+) -> str:
+    """Render a metrics snapshot in the Prometheus text exposition format.
+
+    Accepts a registry or an already-taken ``registry.snapshot()`` dict.
+    Metric names are sanitized (``.`` and other invalid characters become
+    ``_``) and prefixed; histograms render as summaries with quantile
+    lines plus ``_sum``/``_count``.
+    """
+    snapshot = metrics.snapshot() if isinstance(metrics, MetricsRegistry) else metrics
+    lines: List[str] = []
+    for name, value in snapshot.get("counters", {}).items():
+        prom = _prom_name(name, prefix)
+        lines.append(f"# TYPE {prom} counter")
+        lines.append(f"{prom} {value}")
+    for name, value in snapshot.get("gauges", {}).items():
+        prom = _prom_name(name, prefix)
+        lines.append(f"# TYPE {prom} gauge")
+        lines.append(f"{prom} {value}")
+    for name, aggregate in snapshot.get("histograms", {}).items():
+        prom = _prom_name(name, prefix)
+        lines.append(f"# TYPE {prom} summary")
+        for q, key in ((0.5, "p50"), (0.95, "p95"), (0.99, "p99")):
+            lines.append(f'{prom}{{quantile="{q}"}} {aggregate.get(key, 0.0)}')
+        lines.append(f"{prom}_sum {aggregate.get('total', 0.0)}")
+        lines.append(f"{prom}_count {int(aggregate.get('count', 0))}")
+    return "\n".join(lines) + "\n"
+
+
+def spans_payload(
+    tracer: "Tracer", extra: Optional[Dict[str, object]] = None
+) -> Dict[str, object]:
+    """The JSON-ready span-dump document: tracer stats + every span."""
+    payload: Dict[str, object] = {
+        "stats": tracer.stats(),
+        "spans": [span.as_dict() for span in tracer.spans],
+    }
+    if extra:
+        payload.update(extra)
+    return payload
+
+
+def dump_spans(
+    tracer: "Tracer", path: str, extra: Optional[Dict[str, object]] = None
+) -> None:
+    """Write the span dump to ``path`` (compact JSON; dumps can be large)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(spans_payload(tracer, extra), handle, separators=(",", ":"))
+        handle.write("\n")
+
+
+def format_span_tree(spans: Sequence["Span"]) -> str:
+    """Indented tree rendering of one trace's spans (parent-id order)."""
+    children: Dict[Optional[int], List["Span"]] = {}
+    ids = {span.span_id for span in spans}
+    for span in spans:
+        parent = span.parent_id if span.parent_id in ids else None
+        children.setdefault(parent, []).append(span)
+
+    lines: List[str] = []
+
+    def render(span: "Span", depth: int) -> None:
+        duration_ms = span.duration * 1000.0
+        detail = f"@{span.broker}" if span.broker else ""
+        bits = [f"t={span.start:.4f}s"]
+        if duration_ms > 0:
+            bits.append(f"dur={duration_ms:.2f}ms")
+        if span.status != "ok":
+            bits.append(span.status.upper())
+        if span.cause:
+            bits.append(f"cause={span.cause}")
+        for key in ("link", "batch_size", "matches", "deliveries", "hops"):
+            if key in span.attrs:
+                bits.append(f"{key}={span.attrs[key]}")
+        lines.append(f"{'  ' * depth}{span.name} {detail} [{', '.join(bits)}]")
+        for child in sorted(
+            children.get(span.span_id, ()), key=lambda s: (s.start, s.span_id)
+        ):
+            render(child, depth + 1)
+
+    for root in sorted(children.get(None, ()), key=lambda s: (s.start, s.span_id)):
+        render(root, 0)
+    return "\n".join(lines)
+
+
+def broker_timing_breakdown(cluster: "BrokerCluster") -> List[Dict[str, object]]:
+    """Per-broker timing/throughput rows for experiment report tables."""
+    now = cluster.sim.now
+    rows: List[Dict[str, object]] = []
+    for name, broker in sorted(cluster.brokers.items()):
+        stats = broker.stats
+        cycles = stats.service_cycles
+        rows.append(
+            {
+                "broker": name,
+                "enqueued": stats.events_enqueued,
+                "processed": stats.events_processed,
+                "deliveries": stats.deliveries,
+                "fwd_out": stats.events_forwarded,
+                "fwd_in": stats.forwards_received,
+                "cycles": cycles,
+                "mean_batch": round(stats.events_processed / cycles, 2) if cycles else 0.0,
+                "busy_s": round(stats.busy_time, 4),
+                "util": round(stats.busy_time / now, 3) if now > 0 else 0.0,
+                "queued": broker.queue_depth,
+                "crashes": stats.crashes,
+                "lost": stats.events_lost,
+                "down_s": round(stats.downtime, 4),
+                "shards": getattr(broker.engine, "num_shards", 1),
+            }
+        )
+    return rows

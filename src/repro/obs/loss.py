@@ -1,0 +1,184 @@
+"""Loss attribution: explain every undelivered traced event.
+
+The C2 churn experiment already *detects* loss — a single-engine oracle
+computes the expected delivery multiset and the run is diffed against it
+(:func:`repro.experiments.cluster_churn` ``_loss_and_duplication``).
+This module goes one step further and *explains* it: for every traced
+event that lost deliveries, the span record must contain a drop span
+naming the cause.
+
+Causes come in two strengths (see :mod:`repro.obs.trace`):
+
+* **definite** (``status="dropped"``) — the event provably died there:
+  published to a crashed broker, lost with an in-service batch, shed by a
+  drop-policy mailbox, or network-dropped on a downed link / toward an
+  unregistered destination;
+* **potential** (``status="at_risk"``) — the event was served while the
+  overlay was degraded.  Failover prunes routes, and an event crossing a
+  pruned fabric simply stops being forwarded — there is no local "drop"
+  anywhere near the cut.  The cluster therefore stamps an at-risk marker
+  on every traced serve during a degraded window; if the oracle then
+  finds losses and no definite cause, the degraded routing state is the
+  attribution.
+
+:func:`attribute_losses` cross-checks the trace record against the
+delivery oracle and returns a :class:`LossReport` whose
+``fully_attributed`` property is the CI gate: with full sampling, every
+lost event must carry an explanation, and every fully delivered event
+must show a complete publish → deliver span chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.obs.trace import STATUS_AT_RISK, STATUS_DROPPED, Tracer
+
+__all__ = ["LossVerdict", "LossReport", "attribute_losses"]
+
+
+@dataclass
+class LossVerdict:
+    """The attribution outcome for one event that lost deliveries."""
+
+    event_id: str
+    expected: int
+    delivered: int
+    causes: Tuple[str, ...]
+    definite: bool
+    attributed: bool
+
+    @property
+    def lost(self) -> int:
+        return self.expected - self.delivered
+
+    def describe(self) -> str:
+        if not self.attributed:
+            why = "UNATTRIBUTED"
+        else:
+            strength = "definite" if self.definite else "potential"
+            why = f"{strength}: {', '.join(self.causes)}"
+        return (
+            f"{self.event_id}: lost {self.lost}/{self.expected} "
+            f"deliveries — {why}"
+        )
+
+
+@dataclass
+class LossReport:
+    """Trace-vs-oracle cross-check over one run."""
+
+    verdicts: List[LossVerdict] = field(default_factory=list)
+    unattributed: List[str] = field(default_factory=list)
+    untraced_losses: List[str] = field(default_factory=list)
+    chain_gaps: List[str] = field(default_factory=list)
+    events_checked: int = 0
+    events_lost: int = 0
+    deliveries_expected: int = 0
+    deliveries_lost: int = 0
+
+    @property
+    def fully_attributed(self) -> bool:
+        """True when every lost event is traced and explained and every
+        delivered trace has a complete span chain (the CI gate)."""
+        return not (self.unattributed or self.untraced_losses or self.chain_gaps)
+
+    def cause_tally(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for verdict in self.verdicts:
+            for cause in verdict.causes:
+                counts[cause] = counts.get(cause, 0) + 1
+        return counts
+
+    def summary(self) -> str:
+        lines = [
+            f"loss attribution: {self.events_lost}/{self.events_checked} events "
+            f"lost deliveries ({self.deliveries_lost}/{self.deliveries_expected} "
+            f"deliveries)"
+        ]
+        tally = self.cause_tally()
+        if tally:
+            causes = ", ".join(f"{k}={v}" for k, v in sorted(tally.items()))
+            lines.append(f"  causes: {causes}")
+        if self.fully_attributed:
+            lines.append("  every loss attributed; all delivery chains complete")
+        else:
+            if self.unattributed:
+                lines.append(f"  UNATTRIBUTED: {sorted(self.unattributed)}")
+            if self.untraced_losses:
+                lines.append(f"  untraced losses: {sorted(self.untraced_losses)}")
+            if self.chain_gaps:
+                lines.append(f"  incomplete span chains: {sorted(self.chain_gaps)}")
+        return "\n".join(lines)
+
+
+def attribute_losses(
+    tracer: Tracer,
+    expected: Mapping[str, Sequence[str]],
+    delivered: Mapping[str, Sequence[str]],
+) -> LossReport:
+    """Cross-check the trace record against the delivery oracle.
+
+    ``expected`` maps event id → the oracle's subscription-id multiset;
+    ``delivered`` maps event id → the subscription ids actually served.
+    Events the tracer never sampled are only reported when they lost
+    deliveries (``untraced_losses``) — with ``sample_every=1`` that list
+    is empty by construction, which is what the CI trace-oracle job runs.
+    """
+    report = LossReport()
+    for event_id in sorted(expected):
+        wanted = expected[event_id]
+        got = list(delivered.get(event_id, ()))
+        report.events_checked += 1
+        report.deliveries_expected += len(wanted)
+
+        remaining: Dict[str, int] = {}
+        for sub_id in got:
+            remaining[sub_id] = remaining.get(sub_id, 0) + 1
+        missing = 0
+        for sub_id in wanted:
+            if remaining.get(sub_id, 0) > 0:
+                remaining[sub_id] -= 1
+            else:
+                missing += 1
+
+        spans = tracer.spans_for_event(event_id)
+        if missing:
+            report.events_lost += 1
+            report.deliveries_lost += missing
+            if not spans:
+                report.untraced_losses.append(event_id)
+                continue
+            drops = [s for s in spans if s.name == "drop"]
+            definite = sorted(
+                {s.cause for s in drops if s.status == STATUS_DROPPED and s.cause}
+            )
+            potential = sorted(
+                {s.cause for s in drops if s.status == STATUS_AT_RISK and s.cause}
+            )
+            if definite:
+                causes, is_definite, attributed = tuple(definite), True, True
+            elif potential:
+                causes, is_definite, attributed = tuple(potential), False, True
+            else:
+                causes, is_definite, attributed = (), False, False
+                report.unattributed.append(event_id)
+            report.verdicts.append(
+                LossVerdict(
+                    event_id=event_id,
+                    expected=len(wanted),
+                    delivered=len(wanted) - missing,
+                    causes=causes,
+                    definite=is_definite,
+                    attributed=attributed,
+                )
+            )
+        elif spans:
+            # Fully delivered *and* traced: the chain must be complete —
+            # a publish root, and at least one deliver span whenever the
+            # oracle expected deliveries at all.
+            names = {s.name for s in spans}
+            if "publish" not in names or (wanted and "deliver" not in names):
+                report.chain_gaps.append(event_id)
+    return report

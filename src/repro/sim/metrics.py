@@ -77,6 +77,10 @@ class Histogram:
 
     @property
     def count(self) -> int:
+        """Number of observations; O(1) (list length, never a scan)."""
+        return len(self._samples)
+
+    def __len__(self) -> int:
         return len(self._samples)
 
     @property
@@ -104,9 +108,18 @@ class Histogram:
         return math.sqrt(variance)
 
     def percentile(self, q: float) -> float:
-        """Return the q-th percentile (0 <= q <= 100) by linear interpolation."""
+        """Return the q-th percentile (0 <= q <= 100) by linear interpolation.
+
+        Raises :class:`ValueError` on an empty histogram — a percentile of
+        nothing is undefined, and silently returning 0.0 used to mask
+        never-populated histograms in experiment reports.  Guard with
+        :attr:`count` when a metric may legitimately be empty.
+        """
         if not self._samples:
-            return 0.0
+            raise ValueError(
+                f"percentile() of empty histogram {self.name!r}; "
+                "check .count before asking for percentiles"
+            )
         if not 0 <= q <= 100:
             raise ValueError("percentile must be within [0, 100]")
         if self._ordered is None:
@@ -178,15 +191,46 @@ class MetricsRegistry:
     def gauges(self) -> Dict[str, float]:
         return {name: gauge.value for name, gauge in sorted(self._gauges.items())}
 
-    def snapshot(self) -> Dict[str, float]:
-        """Flat dictionary of counters, gauges and histogram means."""
-        flat: Dict[str, float] = {}
-        flat.update(self.counters())
-        flat.update(self.gauges())
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Structured plain-dict export of every metric.
+
+        The single source the exporters (:mod:`repro.obs.export`) and
+        experiment reports consume::
+
+            {"counters":   {name: value},
+             "gauges":     {name: value},
+             "histograms": {name: {count, total, mean, min, max,
+                                   p50, p95, p99}},
+             "series":     {name: {points, last}}}
+
+        Percentile aggregates are 0.0 for empty histograms (the
+        :meth:`Histogram.percentile` accessor itself raises there).
+        """
+        histograms: Dict[str, Dict[str, float]] = {}
         for name, histogram in sorted(self._histograms.items()):
-            flat[f"{name}.mean"] = histogram.mean
-            flat[f"{name}.count"] = float(histogram.count)
-        return flat
+            aggregate = {
+                "count": float(histogram.count),
+                "total": histogram.total,
+                "mean": histogram.mean,
+                "min": histogram.minimum,
+                "max": histogram.maximum,
+            }
+            if histogram.count:
+                for q in (50, 95, 99):
+                    aggregate[f"p{q}"] = histogram.percentile(q)
+            else:
+                aggregate.update({"p50": 0.0, "p95": 0.0, "p99": 0.0})
+            histograms[name] = aggregate
+        series = {
+            name: {"points": len(ts.points), "last": ts.last()}
+            for name, ts in sorted(self._series.items())
+        }
+        return {
+            "counters": self.counters(),
+            "gauges": self.gauges(),
+            "histograms": histograms,
+            "series": series,
+        }
 
     def names(self) -> Iterable[str]:
         yield from self._counters

@@ -11,7 +11,7 @@ paper).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional, Protocol, Set, Tuple
+from typing import Any, Callable, Dict, FrozenSet, List, Optional, Protocol, Set, Tuple
 
 from repro.sim.engine import SimulationEngine
 from repro.sim.metrics import MetricsRegistry
@@ -88,6 +88,10 @@ class SimulatedNetwork:
         self.messages_delivered = 0
         self.messages_dropped = 0
         self.bytes_sent = 0
+        # Observers invoked on every counted drop (after the counters),
+        # e.g. the cluster's tracer turning a dropped event.forward into a
+        # terminal drop span.  Listeners must not send.
+        self._drop_listeners: List[Callable[[Message], None]] = []
 
     # -- topology ---------------------------------------------------------
 
@@ -131,6 +135,14 @@ class SimulatedNetwork:
 
     def link_is_up(self, source: str, destination: str) -> bool:
         return (source, destination) not in self._down_links
+
+    def down_links(self) -> FrozenSet[Tuple[str, str]]:
+        """The directed links currently down (a snapshot)."""
+        return frozenset(self._down_links)
+
+    def add_drop_listener(self, listener: Callable[[Message], None]) -> None:
+        """Observe every counted drop (called after drop accounting)."""
+        self._drop_listeners.append(listener)
 
     # -- messaging --------------------------------------------------------
 
@@ -195,6 +207,8 @@ class SimulatedNetwork:
         self.messages_dropped += 1
         self.metrics.counter("network.messages_dropped").increment()
         self.metrics.counter(f"network.kind.{message.kind}.dropped").increment()
+        for listener in self._drop_listeners:
+            listener(message)
 
     def broadcast(
         self,

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.experiments.cluster_churn import main, run_cluster_churn
@@ -90,3 +92,41 @@ class TestClusterChurn:
         out = capsys.readouterr().out
         assert "C2" in out
         assert "verified" in out
+
+    def test_trace_oracle_attributes_every_loss(self, tmp_path):
+        """Full-sampling trace mode: the run raises unless every lost
+        event carries a drop-span explanation agreeing with the delivery
+        oracle, and the span dump lands on disk."""
+        dump = tmp_path / "spans.json"
+        result = run_cluster_churn(
+            topologies=("line", "tree"),
+            crash_rates=(0.6,),
+            recovery_delays=(0.3,),
+            num_brokers=4,
+            scale=0.04,
+            churn_duration=4.0,
+            trace=True,
+            trace_dump=str(dump),
+        )
+        assert result.parameters["traced"] is True
+        for row in result.rows:
+            # lost counts deliveries, lost_events counts events; every
+            # lost event must be attributed.
+            assert row["lost"] >= row["lost_events"]
+            assert row["attributed"] == row["lost_events"]
+        assert any(name.startswith("broker timing") for name in result.tables)
+        assert result.metric("counters", "cluster.events_enqueued") > 0
+        payload = json.loads(dump.read_text())
+        assert payload["experiment"] == "C2"
+        assert payload["points"]
+        assert payload["points"][0]["spans"]
+
+    def test_trace_oracle_cli_smoke(self, capsys, tmp_path):
+        dump = tmp_path / "spans.json"
+        assert (
+            main(["--scale", "0.03", "--trace-oracle", "--trace-dump", str(dump)])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "trace oracle" in out
+        assert dump.exists()

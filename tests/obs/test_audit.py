@@ -1,0 +1,136 @@
+"""Route audit log: record format, queries, and fabric integration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.broker_cluster import BrokerCluster
+from repro.obs.audit import ACTIONS, AuditRecord, RouteAuditLog
+from repro.pubsub.subscriptions import Operator, Predicate, Subscription
+
+
+def _sub(topic, subscriber="u", sub_id=None):
+    kwargs = {"subscription_id": sub_id} if sub_id else {}
+    return Subscription(
+        event_type="news.story",
+        predicates=(Predicate("topic", Operator.EQ, topic),),
+        subscriber=subscriber,
+        **kwargs,
+    )
+
+
+def _range_sub(low, high, subscriber="u", sub_id=None):
+    kwargs = {"subscription_id": sub_id} if sub_id else {}
+    return Subscription(
+        event_type="news.story",
+        predicates=(
+            Predicate("rank", Operator.GE, low),
+            Predicate("rank", Operator.LE, high),
+        ),
+        subscriber=subscriber,
+        **kwargs,
+    )
+
+
+class TestLogUnits:
+    def test_record_and_query(self):
+        log = RouteAuditLog()
+        log.record("issued", "s1", node="a", via="b", seq=1)
+        log.record("covered-by", "s2", node="a", via="b", blocker="s1")
+        assert len(log) == 2
+        assert [entry.action for entry in log] == ["issued", "covered-by"]
+        assert log.for_subscription("s1")[0].index == 0
+        assert log.for_subscription("missing") == []
+        assert log.tally() == {"issued": 1, "covered-by": 1}
+
+    def test_unknown_action_rejected(self):
+        log = RouteAuditLog()
+        with pytest.raises(ValueError):
+            log.record("vanished", "s1")
+        for action in ACTIONS:
+            log.record(action, "s1")
+        assert len(log) == len(ACTIONS)
+
+    def test_why_returns_latest_matching_decision(self):
+        log = RouteAuditLog()
+        log.record("issued", "s1", node="a", via="b", seq=1)
+        log.record("retracted", "s1", node="a")
+        log.record("issued", "s1", node="a", via="c", seq=2)
+        latest = log.why("s1", "a")
+        assert latest.action == "issued" and latest.via == "c"
+        # Narrowed to an edge: entries for other edges are skipped, but a
+        # node-scoped decision (via=None) still applies to every edge, so
+        # a->b's latest explanation is the retraction.
+        assert log.why("s1", "a", via="c").action == "issued"
+        assert log.why("s1", "a", via="b").action == "retracted"
+        assert log.why("s1", "b") is None
+
+    def test_record_renderings(self):
+        record = AuditRecord(
+            index=3, action="covered-by", subscription_id="s2",
+            node="a", via="b", blocker="s1",
+        )
+        assert record.as_dict() == {
+            "index": 3,
+            "action": "covered-by",
+            "subscription_id": "s2",
+            "node": "a",
+            "via": "b",
+            "blocker": "s1",
+        }
+        assert record.describe() == "#3 s2: covered-by at a->b (blocker s1)"
+        bare = AuditRecord(index=0, action="issued", subscription_id="s1")
+        assert "seq" not in bare.as_dict()
+        assert bare.describe() == "#0 s1: issued"
+
+
+class TestFabricIntegration:
+    def _line(self, route_audit=True):
+        cluster = BrokerCluster(route_audit=route_audit)
+        for name in ("a", "b", "c"):
+            cluster.add_broker(name)
+        cluster.connect("a", "b")
+        cluster.connect("b", "c")
+        return cluster
+
+    def test_audit_disabled_by_default(self):
+        cluster = self._line(route_audit=False)
+        assert cluster.route_audit is None
+        cluster.subscribe("a", _sub("t"))  # must not blow up without a log
+
+    def test_issue_and_covering_recorded(self):
+        cluster = self._line()
+        wide = _range_sub(0, 100, sub_id="wide")
+        narrow = _range_sub(10, 20, sub_id="narrow")
+        cluster.subscribe("a", wide)
+        cluster.subscribe("a", narrow)
+        log = cluster.route_audit
+        tally = log.tally()
+        # The wide subscription propagated normally; the narrow one was
+        # blocked by covering somewhere (pruned edge or merged ingress).
+        assert tally.get("issued", 0) >= 2
+        assert ("covered-by" in tally) or ("merged-ingress" in tally)
+        blocked = [
+            entry
+            for entry in log.for_subscription("narrow")
+            if entry.action in ("covered-by", "merged-ingress")
+        ]
+        assert blocked and all(entry.blocker == "wide" for entry in blocked)
+
+    def test_retraction_and_readmission_recorded(self):
+        cluster = self._line()
+        wide = _range_sub(0, 100, sub_id="wide")
+        narrow = _range_sub(10, 20, sub_id="narrow")
+        cluster.subscribe("a", wide)
+        cluster.subscribe("b", narrow)
+        cluster.unsubscribe("a", wide.subscription_id)
+        log = cluster.route_audit
+        tally = log.tally()
+        assert tally.get("retracted", 0) >= 1
+        # The narrow victim must be re-issued once its blocker retracts.
+        readmitted = [
+            entry
+            for entry in log.for_subscription("narrow")
+            if entry.action == "readmitted-victim"
+        ]
+        assert readmitted

@@ -1,0 +1,181 @@
+"""End-to-end tracing through the routed cluster's message plane."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.broker_cluster import BrokerCluster
+from repro.obs.trace import STATUS_AT_RISK, Tracer
+from repro.pubsub.events import Event
+from repro.pubsub.subscriptions import Operator, Predicate, Subscription
+
+
+def _sub(topic, subscriber="u"):
+    return Subscription(
+        event_type="news.story",
+        predicates=(Predicate("topic", Operator.EQ, topic),),
+        subscriber=subscriber,
+    )
+
+
+def _event(topic, event_id=None):
+    kwargs = {"event_id": event_id} if event_id else {}
+    return Event(event_type="news.story", attributes={"topic": topic}, **kwargs)
+
+
+def _line(tracer, names=("a", "b", "c"), **kwargs):
+    cluster = BrokerCluster(tracer=tracer, **kwargs)
+    for name in names:
+        cluster.add_broker(name)
+    for left, right in zip(names, names[1:]):
+        cluster.connect(left, right)
+    return cluster
+
+
+class TestHappyPath:
+    def test_local_delivery_span_chain(self):
+        tracer = Tracer()
+        cluster = _line(tracer, names=("a",))
+        cluster.subscribe("a", _sub("t"))
+        cluster.publish("a", _event("t", "e1"))
+        cluster.run()
+        spans = tracer.spans_for_event("e1")
+        names = [span.name for span in spans]
+        assert names == ["publish", "queue", "match", "deliver"]
+        publish, queue, match, deliver = spans
+        assert queue.parent_id == publish.span_id
+        assert match.parent_id == queue.span_id
+        assert deliver.parent_id == match.span_id
+        assert all(span.broker == "a" for span in spans)
+        assert match.attrs["matches"] == 1
+        assert deliver.attrs["deliveries"] == 1
+        assert deliver.attrs["subscriptions"]
+
+    def test_forwarded_delivery_crosses_brokers(self):
+        tracer = Tracer()
+        cluster = _line(tracer, link_latency=0.01)
+        cluster.subscribe("c", _sub("t"))
+        cluster.publish("a", _event("t", "e1"))
+        cluster.run()
+        spans = tracer.spans_for_event("e1")
+        forwards = [span for span in spans if span.name == "forward"]
+        assert [span.attrs["link"] for span in forwards] == ["a->b", "b->c"]
+        for span in forwards:
+            assert span.duration == pytest.approx(0.01)
+        # The remote queue span parents on the forward span (forked ctx).
+        hop_queue = [
+            span for span in spans if span.name == "queue" and span.broker == "b"
+        ]
+        assert hop_queue[0].parent_id == forwards[0].span_id
+        deliver = [span for span in spans if span.name == "deliver"]
+        assert deliver and deliver[0].broker == "c"
+        assert not tracer.drop_spans()
+
+    def test_untraced_cluster_pays_nothing(self):
+        cluster = _line(None)
+        cluster.subscribe("c", _sub("t"))
+        cluster.publish("a", _event("t", "e1"))
+        cluster.run()
+        assert cluster.tracer is None
+        assert cluster.metrics.counter("cluster.deliveries").value == 1
+
+    def test_sampling_skips_unsampled_events(self):
+        tracer = Tracer(sample_every=2, sample_on_anomaly=False)
+        cluster = _line(tracer)
+        cluster.subscribe("c", _sub("t"))
+        for index in range(4):
+            cluster.publish("a", _event("t", f"e{index}"))
+        cluster.run()
+        assert sorted(tracer.traced_event_ids()) == ["e0", "e2"]
+        assert cluster.metrics.counter("cluster.deliveries").value == 4
+
+
+class TestLossChannels:
+    def test_publish_to_crashed_broker(self):
+        tracer = Tracer()
+        cluster = _line(tracer)
+        cluster.crash_broker("a")
+        cluster.publish("a", _event("t", "e1"))
+        (drop,) = tracer.drop_spans(definite_only=True)
+        assert drop.cause == "publish_target_down"
+        assert drop.broker == "a"
+
+    def test_crash_drops_in_service_batch(self):
+        tracer = Tracer()
+        cluster = _line(tracer, names=("a",), service_rate=10.0)
+        cluster.subscribe("a", _sub("t"))
+        cluster.publish_at(0.0, "a", _event("t", "e1"))
+        cluster.crash_at(0.05, "a")  # mid-service: 0.1 s per event
+        cluster.run()
+        (drop,) = tracer.drop_spans(definite_only=True)
+        assert drop.cause == "crashed_in_service"
+        assert drop.attrs["incarnation"] == 1
+        assert tracer.anomaly_active
+
+    def test_drop_policy_mailbox_loss(self):
+        tracer = Tracer()
+        cluster = _line(
+            tracer, names=("a",), service_rate=10.0, mailbox_policy="drop"
+        )
+        cluster.subscribe("a", _sub("t"))
+        for index in range(3):
+            cluster.publish_at(0.0, "a", _event("t", f"e{index}"))
+        cluster.crash_at(0.05, "a")
+        cluster.run()
+        causes = sorted(span.cause for span in tracer.drop_spans(definite_only=True))
+        assert causes == ["crashed_in_service", "mailbox_dropped", "mailbox_dropped"]
+
+    def test_forward_onto_downed_link(self):
+        tracer = Tracer()
+        cluster = _line(tracer, link_latency=0.01)
+        cluster.subscribe("c", _sub("t"))
+        # Physical failure only: routing still points a->b, so the
+        # forward is attempted and dies on the wire.
+        cluster.network.set_link_down("a", "b")
+        cluster.publish("a", _event("t", "e1"))
+        cluster.run()
+        (drop,) = tracer.drop_spans(definite_only=True)
+        assert drop.cause == "forward_dropped"
+        assert drop.attrs["reason"] == "link_down"
+        assert drop.attrs["link"] == "a->b"
+        assert cluster.metrics.counter("network.messages_dropped").value == 1
+
+    def test_degraded_serve_gets_at_risk_marker(self):
+        tracer = Tracer()
+        cluster = _line(tracer)
+        cluster.subscribe("c", _sub("t"))
+        # Overlay repair pruned the route; the event is served on a
+        # degraded cluster and silently stops — the at-risk marker is the
+        # only record that deliveries may be missing.
+        cluster.fail_link("b", "c")
+        cluster.publish("a", _event("t", "e1"))
+        cluster.run()
+        markers = [
+            span for span in tracer.drop_spans() if span.status == STATUS_AT_RISK
+        ]
+        assert markers
+        assert markers[0].cause == "routing_partitioned"
+        assert markers[0].attrs["down_overlay_links"] == 1
+        assert cluster.metrics.counter("cluster.deliveries").value == 0
+
+    def test_anomaly_clears_when_cluster_heals(self):
+        tracer = Tracer(sample_every=1000)
+        cluster = _line(tracer)
+        cluster.crash_broker("b")
+        assert tracer.anomaly_active and cluster.degraded
+        cluster.fail_link("a", "b")
+        cluster.recover_broker("b")
+        assert tracer.anomaly_active  # link still torn down
+        cluster.restore_link("a", "b")
+        assert not tracer.anomaly_active and not cluster.degraded
+
+    def test_physical_down_link_blocks_anomaly_clear(self):
+        tracer = Tracer()
+        cluster = _line(tracer)
+        cluster.network.set_link_down("a", "b")
+        tracer.note_anomaly("phys_link_down:a-b", 0.0)
+        cluster._maybe_clear_anomaly()
+        assert tracer.anomaly_active
+        cluster.network.set_link_up("a", "b")
+        cluster._maybe_clear_anomaly()
+        assert not tracer.anomaly_active

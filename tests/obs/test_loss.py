@@ -1,0 +1,110 @@
+"""Loss attribution: trace-vs-oracle cross-checking scenarios."""
+
+from __future__ import annotations
+
+from repro.obs.loss import attribute_losses
+from repro.obs.trace import Tracer
+from repro.pubsub.events import Event
+
+
+def _traced(tracer, event_id):
+    return tracer.begin_trace(
+        Event(event_type="t", attributes={}, event_id=event_id), "b0", 0.0
+    )
+
+
+def _complete_chain(tracer, trace):
+    trace.parent_id = tracer.record_span("queue", trace, start=0.0, end=0.1)
+    trace.parent_id = tracer.record_span("match", trace, start=0.1, end=0.2)
+    tracer.record_span("deliver", trace, start=0.2, end=0.2)
+
+
+class TestAttribution:
+    def test_clean_run_fully_attributed(self):
+        tracer = Tracer()
+        trace = _traced(tracer, "e1")
+        _complete_chain(tracer, trace)
+        report = attribute_losses(tracer, {"e1": ["s1"]}, {"e1": ["s1"]})
+        assert report.fully_attributed
+        assert report.events_checked == 1
+        assert report.events_lost == 0
+        assert "every loss attributed" in report.summary()
+
+    def test_definite_drop_attributes_loss(self):
+        tracer = Tracer()
+        trace = _traced(tracer, "e1")
+        tracer.record_drop(trace, 0.5, "b1", cause="link_down")
+        report = attribute_losses(tracer, {"e1": ["s1", "s2"]}, {"e1": ["s1"]})
+        assert report.fully_attributed
+        (verdict,) = report.verdicts
+        assert verdict.lost == 1
+        assert verdict.definite
+        assert verdict.causes == ("link_down",)
+        assert "definite: link_down" in verdict.describe()
+        assert report.cause_tally() == {"link_down": 1}
+
+    def test_at_risk_marker_is_potential_attribution(self):
+        tracer = Tracer()
+        trace = _traced(tracer, "e1")
+        tracer.record_drop(trace, 0.5, "b1", cause="routing_partitioned", definite=False)
+        report = attribute_losses(tracer, {"e1": ["s1"]}, {})
+        assert report.fully_attributed
+        (verdict,) = report.verdicts
+        assert not verdict.definite and verdict.attributed
+        assert "potential: routing_partitioned" in verdict.describe()
+
+    def test_definite_cause_preferred_over_potential(self):
+        tracer = Tracer()
+        trace = _traced(tracer, "e1")
+        tracer.record_drop(trace, 0.4, "b1", cause="routing_partitioned", definite=False)
+        tracer.record_drop(trace, 0.5, "b2", cause="crashed_in_service")
+        report = attribute_losses(tracer, {"e1": ["s1"]}, {})
+        (verdict,) = report.verdicts
+        assert verdict.definite
+        assert verdict.causes == ("crashed_in_service",)
+
+    def test_traced_loss_without_drop_span_is_unattributed(self):
+        tracer = Tracer()
+        trace = _traced(tracer, "e1")
+        _complete_chain(tracer, trace)
+        report = attribute_losses(tracer, {"e1": ["s1", "s2"]}, {"e1": ["s1"]})
+        assert not report.fully_attributed
+        assert report.unattributed == ["e1"]
+        assert "UNATTRIBUTED" in report.summary()
+        assert "UNATTRIBUTED" in report.verdicts[0].describe()
+
+    def test_untraced_loss_reported_separately(self):
+        tracer = Tracer(sample_every=1000)
+        _traced(tracer, "head")  # only the head publication is sampled
+        tracer.begin_trace(Event(event_type="t", attributes={}, event_id="e2"), "b0", 0.0)
+        report = attribute_losses(tracer, {"e2": ["s1"]}, {})
+        assert report.untraced_losses == ["e2"]
+        assert not report.fully_attributed
+        assert "untraced losses" in report.summary()
+
+    def test_delivered_trace_with_missing_deliver_span_is_chain_gap(self):
+        tracer = Tracer()
+        trace = _traced(tracer, "e1")
+        trace.parent_id = tracer.record_span("queue", trace, start=0.0, end=0.1)
+        report = attribute_losses(tracer, {"e1": ["s1"]}, {"e1": ["s1"]})
+        assert report.chain_gaps == ["e1"]
+        assert not report.fully_attributed
+        assert "incomplete span chains" in report.summary()
+
+    def test_duplicate_deliveries_do_not_mask_losses(self):
+        tracer = Tracer()
+        trace = _traced(tracer, "e1")
+        _complete_chain(tracer, trace)
+        tracer.record_drop(trace, 0.5, "b1", cause="loss")
+        # Two copies of s1 arrived but s2 is still missing: multiset diff.
+        report = attribute_losses(tracer, {"e1": ["s1", "s2"]}, {"e1": ["s1", "s1"]})
+        assert report.events_lost == 1
+        assert report.deliveries_lost == 1
+        assert report.fully_attributed
+
+    def test_zero_expectation_event_needs_no_deliver_span(self):
+        tracer = Tracer()
+        _traced(tracer, "e1")  # publish span only; oracle expects nothing
+        report = attribute_losses(tracer, {"e1": []}, {})
+        assert report.fully_attributed
+        assert report.events_lost == 0

@@ -1,0 +1,152 @@
+"""Tracer units: head sampling, anomaly windows, span recording."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.trace import STATUS_AT_RISK, STATUS_DROPPED, Span, TraceContext, Tracer
+from repro.pubsub.events import Event
+
+
+def _event(event_id="e1"):
+    return Event(event_type="news.story", attributes={"topic": "t"}, event_id=event_id)
+
+
+class TestSampling:
+    def test_sample_every_one_samples_everything(self):
+        tracer = Tracer(sample_every=1)
+        for index in range(5):
+            assert tracer.begin_trace(_event(f"e{index}"), "b0", 0.0) is not None
+        assert tracer.sampled_traces == 5
+        assert tracer.published == 5
+
+    def test_one_in_n_head_sampling(self):
+        tracer = Tracer(sample_every=3)
+        hits = [
+            tracer.begin_trace(_event(f"e{index}"), "b0", 0.0) is not None
+            for index in range(7)
+        ]
+        # The first publication, then every third.
+        assert hits == [True, False, False, True, False, False, True]
+        assert tracer.sampled_traces == 3
+
+    def test_anomaly_window_forces_sampling(self):
+        tracer = Tracer(sample_every=1000)
+        assert tracer.begin_trace(_event("head"), "b0", 0.0) is not None
+        assert tracer.begin_trace(_event("miss"), "b0", 0.0) is None
+        tracer.note_anomaly("crash:b1", now=1.0)
+        assert tracer.anomaly_active
+        assert tracer.begin_trace(_event("forced"), "b0", 1.0) is not None
+        tracer.clear_anomaly()
+        assert tracer.begin_trace(_event("miss2"), "b0", 2.0) is None
+        assert tracer.anomalies == [(1.0, "crash:b1")]
+
+    def test_anomaly_sampling_can_be_disabled(self):
+        tracer = Tracer(sample_every=1000, sample_on_anomaly=False)
+        tracer.begin_trace(_event("head"), "b0", 0.0)
+        tracer.note_anomaly("crash:b1")
+        assert tracer.begin_trace(_event("ignored"), "b0", 0.0) is None
+
+    def test_anomaly_log_bounded(self):
+        tracer = Tracer()
+        for index in range(1100):
+            tracer.note_anomaly(f"k{index}", now=float(index))
+        assert len(tracer.anomalies) == 1000
+        assert tracer.anomalies[0] == (100.0, "k100")
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            Tracer(sample_every=0)
+        with pytest.raises(ValueError):
+            Tracer(max_spans=0)
+
+
+class TestSpanRecording:
+    def test_begin_trace_emits_publish_root(self):
+        tracer = Tracer()
+        trace = tracer.begin_trace(_event(), "b0", 2.5)
+        assert isinstance(trace, TraceContext)
+        (root,) = tracer.spans_for_event("e1")
+        assert root.name == "publish"
+        assert root.broker == "b0"
+        assert root.parent_id is None
+        assert root.start == root.end == 2.5
+        # The context parents the next stage on the root span.
+        assert trace.parent_id == root.span_id
+
+    def test_record_span_threads_parent_ids(self):
+        tracer = Tracer()
+        trace = tracer.begin_trace(_event(), "b0", 0.0)
+        queue_id = tracer.record_span(
+            "queue", trace, start=0.0, end=0.5, broker="b0", batch_size=4
+        )
+        trace.parent_id = queue_id
+        match_id = tracer.record_span("match", trace, start=0.5, end=0.6, broker="b0")
+        spans = tracer.spans_for_event("e1")
+        names = [span.name for span in spans]
+        assert names == ["publish", "queue", "match"]
+        publish, queue, match = spans
+        assert queue.parent_id == publish.span_id
+        assert match.parent_id == queue_id
+        assert match.span_id == match_id
+        assert queue.attrs == {"batch_size": 4}
+        assert queue.duration == pytest.approx(0.5)
+
+    def test_fork_keeps_trace_and_reparents(self):
+        tracer = Tracer()
+        trace = tracer.begin_trace(_event(), "b0", 0.0)
+        forward_id = tracer.record_span("forward", trace, start=0.0, end=0.1)
+        child = tracer.fork(trace, forward_id)
+        assert child.trace_id == trace.trace_id
+        assert child.event_id == trace.event_id
+        assert child.parent_id == forward_id
+
+    def test_record_drop_definite_and_at_risk(self):
+        tracer = Tracer()
+        trace = tracer.begin_trace(_event(), "b0", 0.0)
+        tracer.record_drop(trace, 1.0, "b1", cause="link_down", link="b0->b1")
+        tracer.record_drop(trace, 2.0, "b2", cause="routing_partitioned", definite=False)
+        definite, at_risk = tracer.drop_spans()
+        assert definite.is_terminal_drop
+        assert definite.status == STATUS_DROPPED
+        assert definite.cause == "link_down"
+        assert definite.attrs["link"] == "b0->b1"
+        assert at_risk.status == STATUS_AT_RISK
+        assert not at_risk.is_terminal_drop
+        assert tracer.drop_spans(definite_only=True) == [definite]
+
+    def test_max_spans_keeps_recording_drops(self):
+        tracer = Tracer(max_spans=2)
+        trace = tracer.begin_trace(_event(), "b0", 0.0)
+        tracer.record_span("queue", trace, start=0.0, end=0.1)
+        tracer.record_span("match", trace, start=0.1, end=0.2)  # over the cap
+        tracer.record_drop(trace, 0.3, "b0", cause="mailbox_dropped")
+        names = [span.name for span in tracer.spans]
+        assert names == ["publish", "queue", "drop"]
+        assert tracer.truncated
+        assert tracer.stats()["truncated"] is True
+
+    def test_span_as_dict_omits_empty_fields(self):
+        span = Span(
+            span_id=1, trace_id=1, event_id="e", name="publish", start=0.0, end=0.0
+        )
+        row = span.as_dict()
+        assert "cause" not in row and "attrs" not in row
+        span.cause = "link_down"
+        span.attrs["k"] = 1
+        row = span.as_dict()
+        assert row["cause"] == "link_down"
+        assert row["attrs"] == {"k": 1}
+
+    def test_stats_accounting(self):
+        tracer = Tracer(sample_every=2)
+        for index in range(4):
+            trace = tracer.begin_trace(_event(f"e{index}"), "b0", 0.0)
+            if trace is not None and index == 0:
+                tracer.record_drop(trace, 0.0, "b0", cause="publish_target_down")
+        stats = tracer.stats()
+        assert stats["published"] == 4
+        assert stats["sampled_traces"] == 2
+        assert stats["drop_spans"] == 1
+        assert stats["definite_drops"] == 1
+        assert sorted(tracer.traced_event_ids()) == ["e0", "e2"]

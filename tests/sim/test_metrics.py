@@ -29,8 +29,20 @@ class TestHistogram:
     def test_empty_histogram_defaults(self):
         histogram = Histogram("latency")
         assert histogram.count == 0
+        assert len(histogram) == 0
         assert histogram.mean == 0.0
-        assert histogram.percentile(50) == 0.0
+
+    def test_empty_histogram_percentile_raises(self):
+        histogram = Histogram("latency")
+        with pytest.raises(ValueError, match="empty histogram 'latency'"):
+            histogram.percentile(50)
+
+    def test_count_tracks_observations(self):
+        histogram = Histogram("latency")
+        for value in range(5):
+            histogram.observe(float(value))
+        assert histogram.count == 5
+        assert len(histogram) == 5
 
     def test_basic_statistics(self):
         histogram = Histogram("latency")
@@ -100,11 +112,23 @@ class TestMetricsRegistry:
         registry.counter("c").increment(2)
         registry.gauge("g").set(7)
         registry.histogram("h").observe(4.0)
+        registry.series("s").record(1.0, 3.0)
         snapshot = registry.snapshot()
-        assert snapshot["c"] == 2
-        assert snapshot["g"] == 7
-        assert snapshot["h.mean"] == 4.0
-        assert snapshot["h.count"] == 1.0
+        assert snapshot["counters"]["c"] == 2
+        assert snapshot["gauges"]["g"] == 7
+        hist = snapshot["histograms"]["h"]
+        assert hist["count"] == 1.0
+        assert hist["mean"] == 4.0
+        assert hist["p50"] == 4.0
+        assert hist["p99"] == 4.0
+        assert snapshot["series"]["s"] == {"points": 1, "last": 3.0}
+
+    def test_snapshot_empty_histogram_has_zero_percentiles(self):
+        registry = MetricsRegistry()
+        registry.histogram("h")  # registered, never observed
+        hist = registry.snapshot()["histograms"]["h"]
+        assert hist["count"] == 0.0
+        assert hist["p50"] == 0.0 and hist["p95"] == 0.0 and hist["p99"] == 0.0
 
     def test_counters_dict_sorted(self):
         registry = MetricsRegistry()

@@ -177,3 +177,44 @@ class TestAccounting:
         node = NetworkNode("plain")
         with pytest.raises(NotImplementedError):
             node.handle_message(Message("a", "plain", "x"), None)
+
+
+class TestDropObservers:
+    """The hooks the tracing layer hangs loss attribution on."""
+
+    def test_down_links_snapshot(self, network):
+        assert network.down_links() == frozenset()
+        network.set_link_down("a", "b")  # both directions by default
+        network.set_link_down("c", "d", both=False)
+        assert network.down_links() == frozenset(
+            {("a", "b"), ("b", "a"), ("c", "d")}
+        )
+        network.set_link_up("a", "b")
+        assert network.down_links() == frozenset({("c", "d")})
+
+    def test_drop_listener_sees_every_drop(self):
+        engine = SimulationEngine()
+        network = SimulatedNetwork(engine)
+        dropped = []
+        network.add_drop_listener(dropped.append)
+        network.register("dst", Recorder("dst"))
+        network.set_link_down("src", "dst")
+        network.send("src", "dst", kind="ping")       # downed link
+        network.send("src", "nowhere", kind="ping")   # unknown destination
+        engine.run()
+        assert network.messages_dropped == 2
+        assert [(m.source, m.destination) for m in dropped] == [
+            ("src", "dst"),
+            ("src", "nowhere"),
+        ]
+
+    def test_drop_listener_not_called_on_delivery(self):
+        engine = SimulationEngine()
+        network = SimulatedNetwork(engine)
+        dropped = []
+        network.add_drop_listener(dropped.append)
+        network.register("dst", Recorder("dst"))
+        network.send("src", "dst", kind="ping")
+        engine.run()
+        assert dropped == []
+        assert network.messages_delivered == 1
