@@ -14,6 +14,12 @@ Wall-clock ratios are asserted loosely (generous bound, CI boxes are
 noisy); the authoritative before/after gate is BENCH_PR7.json via
 ``benchmarks/run_hotpath_bench.py``, which times the matching engine the
 tracer must not touch.
+
+PR 8 extends the same three-way comparison to the batched data plane
+(``publish_many`` + coalesced ``event.forward_batch`` forwards): the
+per-event fork/span work batching adds must keep 1-in-1000 sampling
+within noise of untraced batched publishing, and full sampling must
+still produce one complete chain per member event.
 """
 
 from __future__ import annotations
@@ -99,3 +105,104 @@ def test_obs_full_sampling_chains_complete(benchmark):
             delivered_events += 1
     assert delivered_events > 0
     assert deliveries > 0
+
+
+BATCH = 50
+
+
+def _run_batched_workload(tracer):
+    """The same workload through ``publish_many`` in 50-event batches."""
+    cluster = BrokerCluster(
+        tracer=tracer, service_rate=5000.0, batch_size=8, link_latency=0.001
+    )
+    names = [f"b{i}" for i in range(5)]
+    for name in names:
+        cluster.add_broker(name)
+    for left, right in zip(names, names[1:]):
+        cluster.connect(left, right)
+    rng = SeededRNG(7)
+    for index in range(200):
+        cluster.subscribe(
+            names[index % len(names)],
+            Subscription(
+                event_type="news.story",
+                predicates=(
+                    Predicate("topic", Operator.EQ, f"t{index % NUM_TOPICS}"),
+                ),
+                subscriber=f"u{index % 50}",
+            ),
+        )
+    at = 0.0
+    chunk = []
+    for index in range(NUM_EVENTS):
+        at += rng.expovariate(3000.0)
+        chunk.append(
+            Event(
+                event_type="news.story",
+                attributes={"topic": f"t{index % NUM_TOPICS}"},
+                timestamp=at,
+            )
+        )
+        if len(chunk) == BATCH:
+            cluster.publish_many_at(at, names[(index // BATCH) % len(names)], chunk)
+            chunk = []
+    if chunk:
+        cluster.publish_many_at(at, names[0], chunk)
+    cluster.run()
+    return cluster
+
+
+def test_obs_untraced_batched_publish(benchmark):
+    cluster = benchmark(_run_batched_workload, None)
+    assert cluster.tracer is None
+    assert cluster.metrics.counter("cluster.deliveries").value > 0
+    # The batched plane actually coalesced forwards on the wire.
+    assert cluster.network.kind_message_count("event.forward_batch") > 0
+
+
+def test_obs_batched_sampled_1_in_1000(benchmark):
+    """1-in-1000 sampling on the batched path: same structural facts as
+    the per-event path (exact sample count, no drops), and deliveries
+    identical to the untraced batched run — the within-noise wall-clock
+    comparison is read off this bench line next to
+    ``test_obs_untraced_batched_publish``."""
+
+    def run():
+        return _run_batched_workload(Tracer(sample_every=1000))
+
+    cluster = benchmark(run)
+    tracer = cluster.tracer
+    # Head sampling is per member event, not per batch: the first
+    # publication, then every thousandth.
+    assert tracer.sampled_traces == (NUM_EVENTS + 999) // 1000
+    assert tracer.published == NUM_EVENTS
+    assert not tracer.drop_spans()
+    untraced = _run_batched_workload(None)
+    assert (
+        cluster.metrics.counter("cluster.deliveries").value
+        == untraced.metrics.counter("cluster.deliveries").value
+    )
+
+
+def test_obs_batched_full_sampling_chains_complete(benchmark):
+    def run():
+        return _run_batched_workload(Tracer(sample_every=1))
+
+    cluster = benchmark(run)
+    tracer = cluster.tracer
+    assert tracer.sampled_traces == NUM_EVENTS
+    delivered_events = 0
+    forwarded_events = 0
+    for event_id in tracer.traced_event_ids():
+        spans = tracer.spans_for_event(event_id)
+        names = {span.name for span in spans}
+        assert "publish" in names
+        if "deliver" in names:
+            delivered_events += 1
+        for span in spans:
+            if span.name == "forward":
+                forwarded_events += 1
+                # Coalesced forwards still carry per-event spans.
+                assert span.attrs.get("coalesced", 1) >= 1
+    assert delivered_events > 0
+    assert forwarded_events > 0

@@ -6,8 +6,10 @@ runner can afford: build ``--subs`` subscriptions through ``add_many``,
 enforce a hard RSS ceiling on the resident population, check match and
 churn latency budgets, then run the batch-vs-loop advertisement check on
 the bench topology (a ``--brokers``-node line) and enforce a minimum
-batch speedup.  Exits non-zero on any violated budget, so the CI job
-fails loudly instead of letting scale regressions rot.
+batch speedup, and finally the batched-vs-sequential routed publish
+check (PR 8) with a minimum data-plane throughput speedup.  Exits
+non-zero on any violated budget, so the CI job fails loudly instead of
+letting scale regressions rot.
 
 Usage::
 
@@ -134,6 +136,63 @@ def check_batch_budget(subs: int, brokers: int, results: dict) -> None:
     }
 
 
+def check_publish_budget(events: int, results: dict) -> None:
+    """Batched-vs-sequential routed publish on the bench line (PR 8).
+
+    A reduced copy of ``bench_hotpaths.test_hp_routed_publish_many``:
+    the sequential pass publishes each event at a distinct sim time (one
+    service cycle and one forward message per event), the batched pass
+    feeds the same events through ``publish_many`` in 512-event batches.
+    Delivery counts must agree; the throughput ratio is budgeted.
+    """
+    from repro.cluster.broker_cluster import (  # noqa: E402
+        BrokerCluster,
+        build_cluster_topology,
+    )
+    from repro.experiments.substrate import make_event  # noqa: E402
+
+    topics = [f"topic{i:03d}" for i in range(1_000)]
+    rng = SeededRNG(23)
+    subscriptions = [
+        make_subscription(rng, topics, f"user{i % 200}") for i in range(6_000)
+    ]
+    events_list = [make_event(rng, topics, timestamp=float(i)) for i in range(events)]
+    cluster = BrokerCluster(service_rate=1e9, batch_size=64, link_latency=0.001)
+    names = build_cluster_topology("line", 3, cluster)
+    placement = SeededRNG(41)
+    for subscription in subscriptions:
+        cluster.subscribe(names[placement.randint(0, 2)], subscription)
+    delivered = cluster.metrics.counter("cluster.deliveries")
+
+    base = cluster.sim.now
+    gc.collect()
+    start = time.perf_counter()
+    for index, event in enumerate(events_list):
+        cluster.publish_at(base + index * 1e-5, names[index % 3], event)
+    cluster.run()
+    sequential_s = time.perf_counter() - start
+    sequential_deliveries = delivered.value
+
+    gc.collect()
+    start = time.perf_counter()
+    for index, chunk_start in enumerate(range(0, len(events_list), 512)):
+        cluster.publish_many(
+            names[index % 3], events_list[chunk_start : chunk_start + 512]
+        )
+    cluster.run()
+    batched_s = time.perf_counter() - start
+    assert delivered.value - sequential_deliveries == sequential_deliveries
+
+    results["publish"] = {
+        "events": events,
+        "sequential_s": round(sequential_s, 3),
+        "batched_s": round(batched_s, 3),
+        "sequential_us_per_event": round(sequential_s / events * 1e6, 2),
+        "batched_us_per_event": round(batched_s / events * 1e6, 2),
+        "speedup": round(sequential_s / batched_s, 2) if batched_s else None,
+    }
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--subs", type=int, default=100_000,
@@ -151,6 +210,11 @@ def main() -> int:
     parser.add_argument("--min-batch-speedup", type=float, default=3.0,
                         help="floor on the batch-vs-loop speedup "
                         "(the full-scale target is 5x; CI keeps noise margin)")
+    parser.add_argument("--publish-events", type=int, default=10_000,
+                        help="event count for the batched-publish check")
+    parser.add_argument("--min-publish-speedup", type=float, default=2.0,
+                        help="floor on the batched-vs-sequential routed publish "
+                        "speedup (the bench target is 3x; CI keeps noise margin)")
     parser.add_argument("--record", help="write the measurements to this JSON file")
     args = parser.parse_args()
 
@@ -161,6 +225,7 @@ def main() -> int:
         args.brokers,
         results,
     )
+    check_publish_budget(args.publish_events, results)
 
     budgets = [
         ("engine rss_mb", results["engine"]["rss_mb"], "<=", args.max_rss_mb),
@@ -168,6 +233,8 @@ def main() -> int:
         ("engine subscribe_us", results["engine"]["subscribe_us"], "<=",
          args.max_subscribe_us),
         ("batch speedup", results["batch"]["speedup"], ">=", args.min_batch_speedup),
+        ("publish speedup", results["publish"]["speedup"], ">=",
+         args.min_publish_speedup),
     ]
     failures = []
     for name, value, op, limit in budgets:

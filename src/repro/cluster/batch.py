@@ -16,6 +16,7 @@ from typing import List, Optional, Sequence
 
 from repro.pubsub.broker import DeliveryCallback
 from repro.pubsub.events import Event
+from repro.pubsub.matching import BatchMatchCache
 from repro.pubsub.subscriptions import Subscription
 from repro.sim.metrics import MetricsRegistry
 
@@ -45,6 +46,11 @@ class BatchPublisher:
         self.engine = engine
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._delivery_callbacks: List[DeliveryCallback] = []
+        # Cross-batch probe/result tables for engines that support cached
+        # batched matching (plain MatchingEngine); self-invalidates on
+        # engine mutation, so a stream of batches over a stable
+        # subscription population amortizes probes across the stream.
+        self._match_cache = BatchMatchCache()
 
     def on_delivery(self, callback: DeliveryCallback) -> None:
         """Register a callback invoked per delivery
@@ -54,8 +60,11 @@ class BatchPublisher:
     def publish_batch(self, events: Sequence[Event]) -> BatchReport:
         """Publish a batch; returns per-event matches plus totals."""
         events = list(events)
+        match_cached = getattr(self.engine, "match_batch_cached", None)
         match_batch = getattr(self.engine, "match_batch", None)
-        if match_batch is not None:
+        if match_cached is not None:
+            matches = match_cached(events, self._match_cache)
+        elif match_batch is not None:
             matches = match_batch(events)
         else:
             matches = [self.engine.match(event) for event in events]

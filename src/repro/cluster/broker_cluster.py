@@ -18,6 +18,18 @@ is an ``event.forward`` message through
 in the neighbour's mailbox like any publication, so hop latency, remote
 queueing and service time all show up in the end-to-end delivery delay.
 
+The data plane is *batched* end to end (PR 8): :meth:`BrokerCluster.publish_many`
+enqueues a whole event batch as ONE mailbox entry, a service cycle
+matches it through ``match_batch`` with per-broker probe/result caches
+that persist across cycles (dropped on any engine mutation), next-hop
+fan-out comes from the fabric's route-set cache (invalidated by a
+routing-version counter bumped on every control-plane mutation), and all
+served events sharing a next hop leave as one ``event.forward_batch``
+message per link — one latency charge per coalesced message, while
+delivery, statistics, tracing spans and loss attribution all stay
+per-event.  The batched path is delivery-identical to per-event
+``publish`` in a loop (pinned by the property suite).
+
 The cluster runs on :class:`~repro.sim.engine.SimulationEngine`, so
 queueing delay, service time and throughput come out of simulated time,
 and all observations land in a :class:`~repro.sim.metrics.MetricsRegistry`:
@@ -45,7 +57,7 @@ from repro.obs.audit import RouteAuditLog
 from repro.obs.trace import TraceContext, Tracer
 from repro.pubsub.broker import Broker, EngineFactory
 from repro.pubsub.events import Event
-from repro.pubsub.matching import MatchingEngine
+from repro.pubsub.matching import BatchMatchCache, MatchingEngine
 from repro.pubsub.subscriptions import Subscription
 from repro.sim.engine import SimulationEngine
 from repro.sim.metrics import MetricsRegistry
@@ -80,6 +92,38 @@ class EventEnvelope:
     hops: int = 0
     came_from: Optional[str] = None
     trace: Optional[TraceContext] = None
+
+
+@dataclass
+class BatchEnvelope:
+    """A batch of envelopes travelling (or queued) as one unit.
+
+    Used both as a single mailbox entry (``publish_many`` enqueues the
+    whole batch at once, so the queue pays one entry, one dispatch and
+    one service-cycle overhead for it) and as the payload of an
+    ``event.forward_batch`` network message (all served events sharing a
+    next hop coalesce into one message per link).  Every member keeps its
+    own :class:`EventEnvelope` — per-event hops, origin time and trace
+    context survive batching untouched.
+    """
+
+    envelopes: List[EventEnvelope]
+
+
+def _flatten_entries(
+    entries: Iterable[Tuple[float, object]],
+) -> List[Tuple[float, EventEnvelope]]:
+    """Expand mailbox entries into per-event ``(enqueued_at, envelope)``
+    pairs (a :class:`BatchEnvelope` entry contributes one pair per member,
+    all stamped with the batch's enqueue time)."""
+    flat: List[Tuple[float, EventEnvelope]] = []
+    for enqueued_at, payload in entries:
+        if type(payload) is BatchEnvelope:
+            for envelope in payload.envelopes:
+                flat.append((enqueued_at, envelope))
+        else:
+            flat.append((enqueued_at, payload))
+    return flat
 
 
 @dataclass
@@ -142,9 +186,17 @@ class BrokerProcess:
         self.service_rate = service_rate
         self.batch_size = batch_size
         self.batch_overhead = batch_overhead
-        self.mailbox: Deque[Tuple[float, EventEnvelope]] = deque()
+        # Entries are (enqueue time, EventEnvelope | BatchEnvelope): a
+        # publish_many batch (or a coalesced forward) occupies ONE entry.
+        self.mailbox: Deque[Tuple[float, object]] = deque()
+        # Events across all mailbox entries, kept so queue_depth stays
+        # O(1) with batch entries in the queue.
+        self._queued_events = 0
         self.busy = False
         self.stats = BrokerProcessStats()
+        # Cross-cycle probe/result cache for the local engine's batched
+        # matching; self-invalidates on engine mutation (version check).
+        self._match_cache = BatchMatchCache()
         # -- crash lifecycle -------------------------------------------------
         # What happens to queued work when the broker dies: "freeze" keeps
         # the mailbox for post-recovery service (durable queue), "drop"
@@ -179,11 +231,12 @@ class BrokerProcess:
 
     @property
     def queue_depth(self) -> int:
-        return len(self.mailbox)
+        """Queued *events* (batch mailbox entries count all their members)."""
+        return self._queued_events
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
-            f"BrokerProcess({self.name!r}, queued={len(self.mailbox)}, "
+            f"BrokerProcess({self.name!r}, queued={self._queued_events}, "
             f"rate={self.service_rate}, batch={self.batch_size})"
         )
 
@@ -199,6 +252,8 @@ class _BrokerPort:
     def handle_message(self, message: Message, network: SimulatedNetwork) -> None:
         if message.kind == "event.forward":
             self.cluster._receive_forward(self.broker, message.payload)
+        elif message.kind == "event.forward_batch":
+            self.cluster._receive_forward_batch(self.broker, message.payload)
         elif message.kind == "heartbeat":
             self.cluster._receive_heartbeat(self.broker, message)
         # Unknown kinds are ignored: a crashed broker's port may still see
@@ -364,6 +419,16 @@ class BrokerCluster:
         self._broker(broker_name)
         return self.fabric.unsubscribe_at(broker_name, subscription_id)
 
+    def unsubscribe_many(
+        self, broker_name: str, subscription_ids: Iterable[str]
+    ) -> List[bool]:
+        """Batch-retract subscriptions homed at ``broker_name``: one
+        readmission flush per touched edge for the whole batch (see
+        ``RoutingFabric.unsubscribe_many_at``); snapshot-identical to
+        :meth:`unsubscribe` in a loop.  Returns per-id results."""
+        self._broker(broker_name)
+        return self.fabric.unsubscribe_many_at(broker_name, subscription_ids)
+
     def on_delivery(self, callback: ClusterDeliveryCallback) -> None:
         """Register a callback invoked per delivery
         (broker name, subscriber, event, matching subscription)."""
@@ -411,9 +476,11 @@ class BrokerCluster:
             broker._in_service = None
         broker.busy = False
         if broker.mailbox_policy == "drop" and broker.mailbox:
-            self._count_lost(broker, len(broker.mailbox))
-            self._trace_lost_batch(broker.mailbox, name, "mailbox_dropped")
+            queued = _flatten_entries(broker.mailbox)
+            self._count_lost(broker, len(queued))
+            self._trace_lost_batch(queued, name, "mailbox_dropped")
             broker.mailbox.clear()
+            broker._queued_events = 0
         self.metrics.gauge(f"cluster.queue_depth.{name}").set(broker.queue_depth)
         self.network.unregister(name)
         self.metrics.counter("cluster.broker_crashes").increment()
@@ -538,14 +605,17 @@ class BrokerCluster:
                 )
 
     def _on_network_drop(self, message: Message) -> None:
-        """Network drop listener: a dropped ``event.forward`` carrying a
-        traced envelope becomes a terminal drop span naming the link and
-        the reason (downed link vs gone destination vs random loss)."""
-        if message.kind != "event.forward":
+        """Network drop listener: a dropped ``event.forward`` (or
+        ``event.forward_batch``) carrying traced envelopes becomes one
+        terminal drop span *per traced member* naming the link and the
+        reason (downed link vs gone destination vs random loss)."""
+        if message.kind == "event.forward":
+            envelopes = (message.payload,)
+        elif message.kind == "event.forward_batch":
+            envelopes = tuple(message.payload.envelopes)
+        else:
             return
-        envelope = message.payload
-        trace = getattr(envelope, "trace", None)
-        if trace is None:
+        if all(getattr(envelope, "trace", None) is None for envelope in envelopes):
             return
         if not self.network.has_node(message.destination):
             reason = "destination_down"
@@ -554,15 +624,19 @@ class BrokerCluster:
         else:
             reason = "loss"
         now = self.sim.now
-        self.tracer.record_drop(
-            trace,
-            now,
-            message.source,
-            cause="forward_dropped",
-            link=f"{message.source}->{message.destination}",
-            reason=reason,
-            hops=envelope.hops,
-        )
+        for envelope in envelopes:
+            trace = getattr(envelope, "trace", None)
+            if trace is None:
+                continue
+            self.tracer.record_drop(
+                trace,
+                now,
+                message.source,
+                cause="forward_dropped",
+                link=f"{message.source}->{message.destination}",
+                reason=reason,
+                hops=envelope.hops,
+            )
         self.tracer.note_anomaly(
             f"forward_dropped:{message.source}->{message.destination}", now
         )
@@ -608,10 +682,79 @@ class BrokerCluster:
             label=f"publish:{broker_name}",
         )
 
+    def publish_many(self, broker_name: str, events: Iterable[Event]) -> int:
+        """Enqueue a batch of events as ONE mailbox entry at a broker.
+
+        Delivery-identical to :meth:`publish` in a loop (same traces, same
+        per-event delivery sets and callbacks, pinned by the property
+        suite) but the whole batch pays one mailbox entry, one dispatch
+        and one service-cycle overhead, is matched through the batched
+        engine path, and its forwards coalesce per next-hop link.
+        Publishing to a crashed broker drops the entire batch (counted in
+        ``cluster.publishes_dropped``, one drop span per sampled trace).
+        Returns the number of events enqueued (0 when the broker is down
+        or the batch is empty).
+        """
+        broker = self._broker(broker_name)
+        batch = list(events)
+        if not batch:
+            return 0
+        now = self.sim.now
+        tracer = self.tracer
+        traces: List[Optional[TraceContext]]
+        if tracer is not None:
+            traces = [tracer.begin_trace(event, broker_name, now) for event in batch]
+        else:
+            traces = [None] * len(batch)
+        if not broker.up:
+            self.metrics.counter("cluster.publishes_dropped").increment(len(batch))
+            if tracer is not None:
+                for trace in traces:
+                    if trace is not None:
+                        tracer.record_drop(
+                            trace, now, broker_name, cause="publish_target_down"
+                        )
+            return 0
+        envelopes = [
+            EventEnvelope(event=event, origin_time=now, trace=trace)
+            for event, trace in zip(batch, traces)
+        ]
+        self._enqueue_batch(broker, envelopes)
+        return len(batch)
+
+    def publish_many_at(
+        self, time: float, broker_name: str, events: Iterable[Event]
+    ) -> None:
+        """Schedule a batched publication at an absolute simulation time."""
+        batch = list(events)
+        self.sim.schedule_at(
+            time,
+            lambda _engine: self.publish_many(broker_name, batch),
+            label=f"publish_many:{broker_name}",
+        )
+
     def _enqueue(self, broker: BrokerProcess, envelope: EventEnvelope) -> None:
         broker.mailbox.append((self.sim.now, envelope))
+        broker._queued_events += 1
         broker.stats.events_enqueued += 1
         self.metrics.counter("cluster.events_enqueued").increment()
+        self.metrics.gauge(f"cluster.queue_depth.{broker.name}").set(
+            broker.queue_depth
+        )
+        self._start_service(broker)
+
+    def _enqueue_batch(
+        self, broker: BrokerProcess, envelopes: List[EventEnvelope]
+    ) -> None:
+        """Enqueue envelopes as one mailbox entry (singletons take the
+        per-event entry shape so the wire/queue format stays unchanged)."""
+        if len(envelopes) == 1:
+            self._enqueue(broker, envelopes[0])
+            return
+        broker.mailbox.append((self.sim.now, BatchEnvelope(envelopes)))
+        broker._queued_events += len(envelopes)
+        broker.stats.events_enqueued += len(envelopes)
+        self.metrics.counter("cluster.events_enqueued").increment(len(envelopes))
         self.metrics.gauge(f"cluster.queue_depth.{broker.name}").set(
             broker.queue_depth
         )
@@ -630,6 +773,25 @@ class BrokerCluster:
             return
         broker.stats.forwards_received += 1
         self._enqueue(broker, envelope)
+
+    def _receive_forward_batch(
+        self, broker: BrokerProcess, batch: BatchEnvelope
+    ) -> None:
+        envelopes = batch.envelopes
+        if not broker.up:  # pragma: no cover - the network drops these first
+            self._count_lost(broker, len(envelopes))
+            if self.tracer is not None:
+                for envelope in envelopes:
+                    if envelope.trace is not None:
+                        self.tracer.record_drop(
+                            envelope.trace,
+                            self.sim.now,
+                            broker.name,
+                            cause="arrived_at_down_broker",
+                        )
+            return
+        broker.stats.forwards_received += len(envelopes)
+        self._enqueue_batch(broker, envelopes)
 
     def _start_service(self, broker: BrokerProcess) -> None:
         if not broker.up or broker.busy or not broker.mailbox:
@@ -654,11 +816,17 @@ class BrokerCluster:
             broker.busy = False
             return
         # The batch is drawn (and leaves the queue) when service begins;
-        # its size fixes the cycle's service time.
-        batch: List[Tuple[float, EventEnvelope]] = [
+        # its size fixes the cycle's service time.  batch_size counts
+        # *mailbox entries*, so a publish_many batch (one entry) is served
+        # whole in one cycle; `_in_service` holds the flattened per-event
+        # view so crash accounting counts a lost in-service batch by
+        # events, exactly as the per-event path did.
+        entries = [
             broker.mailbox.popleft()
             for _ in range(min(broker.batch_size, len(broker.mailbox)))
         ]
+        batch = _flatten_entries(entries)
+        broker._queued_events -= len(batch)
         broker._in_service = batch
         service_time = broker.batch_overhead + len(batch) / broker.service_rate
         start = self.sim.now
@@ -704,8 +872,17 @@ class BrokerCluster:
         now = self.sim.now
         tracer = self.tracer
         events = [envelope.event for _at, envelope in batch]
-        matches = broker.engine.match_batch(events)
+        # Cross-cycle probe/result caching when the engine supports it
+        # (plain MatchingEngine); sharded/naive engines take their own
+        # match_batch path.  The cache self-invalidates on any engine
+        # mutation, so delivery results are identical either way.
+        match_cached = getattr(broker.engine, "match_batch_cached", None)
+        if match_cached is not None:
+            matches = match_cached(events, broker._match_cache)
+        else:
+            matches = broker.engine.match_batch(events)
         deliveries = 0
+        outboxes: Dict[str, List[EventEnvelope]] = {}
         for (enqueued_at, envelope), row in zip(batch, matches):
             deliveries += len(row)
             self.metrics.histogram("cluster.queue_delay").observe(now - enqueued_at)
@@ -742,7 +919,9 @@ class BrokerCluster:
                 )
                 for callback in self._delivery_callbacks:
                     callback(broker.name, subscription.subscriber, envelope.event, subscription)
-            self._forward(broker, envelope)
+            self._forward_collect(broker, envelope, outboxes)
+        if outboxes:
+            self._flush_forwards(broker, outboxes)
         broker.stats.events_processed += len(batch)
         broker.stats.deliveries += deliveries
         self.metrics.counter("cluster.events_processed").increment(len(batch))
@@ -750,8 +929,21 @@ class BrokerCluster:
         broker.busy = False
         self._start_service(broker)
 
-    def _forward(self, broker: BrokerProcess, envelope: EventEnvelope) -> None:
-        """Send the served event down every interested overlay link."""
+    def _forward_collect(
+        self,
+        broker: BrokerProcess,
+        envelope: EventEnvelope,
+        outboxes: Dict[str, List[EventEnvelope]],
+    ) -> None:
+        """Resolve the served event's next hops and stage it per link.
+
+        Next hops are resolved at each event's own point in the service
+        order — through the fabric's versioned route-set cache, so a
+        control-plane mutation fired by an earlier event's delivery
+        callback (a mid-batch retraction) invalidates cached routes
+        before this event's fan-out is computed, exactly matching the
+        sequential per-event path.  Forward accounting stays per-event.
+        """
         next_hops = self.fabric.next_hops(
             broker.name, envelope.event, came_from=envelope.came_from
         )
@@ -771,38 +963,76 @@ class BrokerCluster:
                 down_brokers=self._down_brokers,
                 down_overlay_links=self._down_overlay_links,
             )
-        size_bytes = envelope.event.size_bytes()
+        if not next_hops:
+            return
         for neighbour in next_hops:
             broker.stats.events_forwarded += 1
             self.metrics.counter("cluster.events_forwarded").increment()
-            child = None
-            if tracer is not None and trace is not None:
-                now = self.sim.now
-                link = self.network.link_for(broker.name, neighbour)
-                span_id = tracer.record_span(
-                    "forward",
-                    trace,
-                    start=now,
-                    end=now + link.transfer_time(size_bytes),
-                    broker=broker.name,
-                    link=f"{broker.name}->{neighbour}",
-                    latency=link.latency,
-                    hops=envelope.hops + 1,
+            staged = outboxes.get(neighbour)
+            if staged is None:
+                staged = outboxes[neighbour] = []
+            staged.append(envelope)
+
+    def _flush_forwards(
+        self, broker: BrokerProcess, outboxes: Dict[str, List[EventEnvelope]]
+    ) -> None:
+        """Send each link's staged events as one coalesced message.
+
+        One network message (and one latency charge) per link per service
+        cycle; every traced member still gets its own ``forward`` span
+        (annotated with the coalesced count) and a forked child context,
+        so span chains and loss attribution stay per-event.  A link with
+        a single staged event uses the legacy ``event.forward`` shape.
+        """
+        tracer = self.tracer
+        now = self.sim.now
+        for neighbour in sorted(outboxes):
+            parents = outboxes[neighbour]
+            total_bytes = sum(parent.event.size_bytes() for parent in parents)
+            link = None
+            children: List[EventEnvelope] = []
+            for parent in parents:
+                child = None
+                if tracer is not None and parent.trace is not None:
+                    if link is None:
+                        link = self.network.link_for(broker.name, neighbour)
+                    span_id = tracer.record_span(
+                        "forward",
+                        parent.trace,
+                        start=now,
+                        end=now + link.transfer_time(total_bytes),
+                        broker=broker.name,
+                        link=f"{broker.name}->{neighbour}",
+                        latency=link.latency,
+                        hops=parent.hops + 1,
+                        coalesced=len(parents),
+                    )
+                    child = tracer.fork(parent.trace, span_id)
+                children.append(
+                    EventEnvelope(
+                        event=parent.event,
+                        origin_time=parent.origin_time,
+                        hops=parent.hops + 1,
+                        came_from=broker.name,
+                        trace=child,
+                    )
                 )
-                child = tracer.fork(trace, span_id)
-            self.network.send(
-                broker.name,
-                neighbour,
-                kind="event.forward",
-                payload=EventEnvelope(
-                    event=envelope.event,
-                    origin_time=envelope.origin_time,
-                    hops=envelope.hops + 1,
-                    came_from=broker.name,
-                    trace=child,
-                ),
-                size_bytes=size_bytes,
-            )
+            if len(children) == 1:
+                self.network.send(
+                    broker.name,
+                    neighbour,
+                    kind="event.forward",
+                    payload=children[0],
+                    size_bytes=total_bytes,
+                )
+            else:
+                self.network.send(
+                    broker.name,
+                    neighbour,
+                    kind="event.forward_batch",
+                    payload=BatchEnvelope(children),
+                    size_bytes=total_bytes,
+                )
 
     # -- execution ---------------------------------------------------------
 

@@ -180,6 +180,15 @@ class RoutingFabric:
         # (home, subscriber) -> CoveringIndex over the advertised
         # subscriptions (maintained only with merge_ingress).
         self._ingress: Dict[Tuple[str, str], CoveringIndex] = {}
+        # Data-plane route-set cache: (node, came_from, event signature)
+        # -> next-hop list.  Every control-plane mutation bumps
+        # `_route_version`; the cache is dropped lazily on the next
+        # `next_hops` call that observes a stale version, so mutation
+        # bursts pay one integer increment each, not a dict clear each.
+        self._route_version = 0
+        self._route_cache: Dict[Tuple, List[str]] = {}
+        self._route_cache_version = -1
+        self.route_cache_max = 8192
 
     # -- topology -----------------------------------------------------------
 
@@ -228,6 +237,7 @@ class RoutingFabric:
             second_side = self._component(second)
         self._edges[first].add(second)
         self._edges[second].add(first)
+        self._route_version += 1
         self.nodes[first].add_neighbour(second)
         self.nodes[second].add_neighbour(first)
         if not propagate:
@@ -279,6 +289,7 @@ class RoutingFabric:
             return False
         self._edges[first].discard(second)
         self._edges[second].discard(first)
+        self._route_version += 1
         self.nodes[first].remove_neighbour(second)
         self.nodes[second].remove_neighbour(first)
         self.metrics.counter("overlay.links_removed").increment()
@@ -691,6 +702,94 @@ class RoutingFabric:
             return False
         return self.unsubscribe_at(home, subscription_id)
 
+    def unsubscribe_many_at(
+        self, broker_name: str, subscription_ids: Iterable[str]
+    ) -> List[bool]:
+        """Retract a batch of subscriptions homed at ``broker_name``.
+
+        Snapshot-equivalent to :meth:`unsubscribe_at` in a loop (same
+        per-id results, same canonical tables), but pruned-by readmission
+        is flushed once per touched edge at the end of the batch instead
+        of once per retraction.  Deferring is canonical because
+        :meth:`_place` probes only the *selected* covering index: a
+        not-yet-readmitted victim is simply absent while later batch
+        members retract or merged children promote, and :meth:`_readmit`
+        re-runs the greedy decision in issue order — booting any
+        later-issued entry the victim covers — so every interleaving
+        converges to the same per-edge greedy filter (the
+        :attr:`verify_repairs` oracle cross-checks this).
+        """
+        results: List[bool] = []
+        pending: Dict[RouteEntry, Set[str]] = {}
+        removed = 0
+        for subscription_id in subscription_ids:
+            merged = self._merged.get(subscription_id)
+            if merged is not None:
+                if (
+                    merged[0] != broker_name
+                    or subscription_id not in self.nodes[broker_name].local_engine
+                ):
+                    results.append(False)
+                    continue
+                self._unmerge(subscription_id)
+                removed += 1
+                results.append(True)
+                continue
+            homed = self._home_of.get(subscription_id)
+            if homed is None or homed[0] != broker_name:
+                results.append(False)
+                continue
+            ok = self._retract_deferred(subscription_id, pending)
+            if ok:
+                removed += 1
+            results.append(ok)
+        for edge, victims in pending.items():
+            self._readmit(edge, victims)
+        if removed:
+            self.metrics.counter("overlay.unsubscriptions").increment(removed)
+            self._check_canonical("unsubscribe_many")
+        return results
+
+    def unsubscribe_many(
+        self, client: str, subscription_ids: Iterable[str]
+    ) -> List[bool]:
+        """Batch-retract at the client's home broker."""
+        home = self._client_home.get(client)
+        if home is None:
+            return [False for _ in subscription_ids]
+        return self.unsubscribe_many_at(home, subscription_ids)
+
+    def _retract_deferred(
+        self, subscription_id: str, pending: Dict[RouteEntry, Set[str]]
+    ) -> bool:
+        """:meth:`_retract` with readmission deferred into ``pending``.
+
+        Accumulates each purged route's prune victims per edge for the
+        caller to flush in one :meth:`_readmit` pass per edge; everything
+        else (home/seq/ingress bookkeeping, prune clearing, merged-child
+        promotion) runs exactly as the sequential path does.  Victims
+        that are themselves retracted later in the batch are skipped by
+        ``_readmit``'s liveness check.
+        """
+        home, removed_sub = self._home_of[subscription_id]
+        home_node = self.nodes[home]
+        if subscription_id not in home_node.local_engine:
+            return False
+        home_node.unsubscribe_local(subscription_id)
+        if self.audit is not None:
+            self.audit.record("retracted", subscription_id, node=home)
+        del self._home_of[subscription_id]
+        del self._seq[subscription_id]
+        self._unregister_ingress(home, removed_sub)
+        for edge in list(self._pruned_at.get(subscription_id, ())):
+            self._clear_prune(edge, subscription_id)
+        for edge in list(self._routes.get(subscription_id, ())):
+            victims = self._deselect(edge, subscription_id, collect_victims=True)
+            if victims:
+                pending.setdefault(edge, set()).update(victims)
+        self._promote_children(subscription_id)
+        return True
+
     def _retract(
         self, subscription_id: str, keep_local: bool = False, force: bool = False
     ) -> bool:
@@ -746,6 +845,7 @@ class RoutingFabric:
     ) -> None:
         node_name, via = edge
         node = self.nodes[node_name]
+        self._route_version += 1
         node.learn_remote(via, subscription)
         node.stats.subscriptions_forwarded += 1
         table = self._tables.get(edge)
@@ -768,6 +868,7 @@ class RoutingFabric:
         """Remove a selected entry; optionally detach and return its
         recorded prune victims (for re-admission by the caller)."""
         node_name, via = edge
+        self._route_version += 1
         self.nodes[node_name].forget_remote(via, subscription_id)
         victims: Set[str] = set()
         table = self._tables.get(edge)
@@ -821,6 +922,7 @@ class RoutingFabric:
     def _drop_edge_state(self, edge: RouteEntry) -> None:
         """Forget all bookkeeping of a table position whose link is gone
         (the node-side engine is dropped by ``remove_neighbour``)."""
+        self._route_version += 1
         table = self._tables.pop(edge, None)
         if table is None:
             return
@@ -1115,6 +1217,20 @@ class RoutingFabric:
 
     # -- data plane decision --------------------------------------------------
 
+    @property
+    def route_version(self) -> int:
+        """Monotonic counter bumped on every control-plane mutation.
+
+        The data-plane route-set cache (and any external cache of
+        :meth:`next_hops` answers) is valid only while this value holds
+        still; batched forwarders re-check it per flush so a mid-batch
+        retraction invalidates routes computed earlier in the batch.
+        """
+        return self._route_version
+
+    def _bump_route_version(self) -> None:
+        self._route_version += 1
+
     def next_hops(
         self,
         broker_name: str,
@@ -1127,10 +1243,40 @@ class RoutingFabric:
         With ``flood=True`` every neighbour except the arrival link is a
         next hop (the baseline); otherwise only neighbours whose routing
         table holds at least one subscription matching the event.
+
+        Routed answers are cached per (node, arrival link, event
+        signature) until the next control-plane mutation, so a batch of
+        same-shape events pays one ``interested_neighbours`` walk instead
+        of one per event.  Callers must treat the returned list as
+        read-only.
         """
         if flood:
             return sorted(n for n in self._edges[broker_name] if n != came_from)
-        return self.nodes[broker_name].interested_neighbours(event, exclude=came_from)
+        cache = self._route_cache
+        if self._route_cache_version != self._route_version:
+            cache.clear()
+            self._route_cache_version = self._route_version
+        try:
+            key = (
+                broker_name,
+                came_from,
+                event.event_type,
+                tuple(sorted(event.attributes.items())),
+            )
+        except TypeError:
+            # Unhashable/unorderable attribute values: uncacheable event.
+            return self.nodes[broker_name].interested_neighbours(
+                event, exclude=came_from
+            )
+        hops = cache.get(key)
+        if hops is None:
+            if len(cache) >= self.route_cache_max:
+                cache.clear()
+            hops = self.nodes[broker_name].interested_neighbours(
+                event, exclude=came_from
+            )
+            cache[key] = hops
+        return hops
 
     # -- reporting ------------------------------------------------------------
 

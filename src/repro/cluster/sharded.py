@@ -115,6 +115,18 @@ class ShardedMatchingEngine:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
+    @property
+    def mutation_version(self) -> int:
+        """Monotonic counter over all shard mutations (API parity with
+        :attr:`MatchingEngine.mutation_version`), so external caches can
+        detect staleness without knowing the shard layout.  The sharded
+        engine deliberately does NOT expose ``match_batch_cached``: its
+        per-shard ``match_batch`` calls already carry BatchPublisher-style
+        per-batch probe/result caches inside each shard, and worker-pool
+        executors cache whole shard engines by these versions.
+        """
+        return sum(self._shard_versions)
+
     def shard_loads(self) -> List[int]:
         """Live subscription count per shard."""
         return [len(shard) for shard in self._shards]

@@ -115,6 +115,7 @@ def run_cluster_churn(
     merge_ingress: bool = False,
     trace: bool = False,
     trace_dump: Optional[str] = None,
+    publish_batch: int = 0,
 ) -> ExperimentResult:
     """Sweep crash rate × recovery delay × topology under churn.
 
@@ -141,6 +142,13 @@ def run_cluster_churn(
     unattributed loss raises — this is the trace-oracle CI gate.
     ``trace_dump`` additionally writes the per-point span record as JSON
     (the CI build artifact).
+
+    ``publish_batch > 1`` chunks the publication stream (and the
+    post-recovery verify wave) through ``publish_many_at``, driving the
+    batched data plane — batched mailbox entries, coalesced
+    ``event.forward_batch`` messages, batch crash-loss accounting —
+    through the same churn, oracles and trace-attribution gates the
+    per-event path is held to.
     """
     if scale <= 0:
         raise ValueError("scale must be positive")
@@ -165,6 +173,7 @@ def run_cluster_churn(
             "cross_checked_repairs": cross_check_repairs,
             "merge_ingress": merge_ingress,
             "traced": trace,
+            "publish_batch": publish_batch,
         },
     )
     dump_points: List[Dict[str, object]] = []
@@ -233,11 +242,28 @@ def run_cluster_churn(
 
                 publish_rng = rng.fork("publish")
                 at = 0.0
-                for event in events:
-                    at += publish_rng.expovariate(arrival_rate)
-                    cluster.publish_at(
-                        at, names[publish_rng.randint(0, len(names) - 1)], event
-                    )
+                if publish_batch > 1:
+                    chunk: List[Event] = []
+                    for event in events:
+                        at += publish_rng.expovariate(arrival_rate)
+                        chunk.append(event)
+                        if len(chunk) >= publish_batch:
+                            cluster.publish_many_at(
+                                at,
+                                names[publish_rng.randint(0, len(names) - 1)],
+                                chunk,
+                            )
+                            chunk = []
+                    if chunk:
+                        cluster.publish_many_at(
+                            at, names[publish_rng.randint(0, len(names) - 1)], chunk
+                        )
+                else:
+                    for event in events:
+                        at += publish_rng.expovariate(arrival_rate)
+                        cluster.publish_at(
+                            at, names[publish_rng.randint(0, len(names) - 1)], event
+                        )
                 last_publish = at
 
                 # Phase 1: churn.  Run past both the last fault action
@@ -307,6 +333,7 @@ def run_cluster_churn(
                     _verify_post_recovery(
                         cluster, names, subscriptions, rng.fork("verify"),
                         topics, arrival_rate, topology,
+                        publish_batch=publish_batch,
                     )
 
                 unavailability = sum(
@@ -413,8 +440,13 @@ def _verify_post_recovery(
     arrival_rate: float,
     topology: str,
     num_verify_events: int = 150,
+    publish_batch: int = 0,
 ) -> None:
-    """Publish a fresh wave after convergence; delivery must be exact."""
+    """Publish a fresh wave after convergence; delivery must be exact.
+
+    With ``publish_batch > 1`` the wave goes through ``publish_many_at``
+    (the batched data plane) and is held to the same exact-match oracle.
+    """
     events = [
         make_event(rng, topics, timestamp=1e6 + i) for i in range(num_verify_events)
     ]
@@ -425,9 +457,22 @@ def _verify_post_recovery(
         ).append(subscription.subscription_id)
     )
     at = cluster.sim.now
-    for event in events:
-        at += rng.expovariate(arrival_rate)
-        cluster.publish_at(at, names[rng.randint(0, len(names) - 1)], event)
+    if publish_batch > 1:
+        chunk: List[Event] = []
+        for event in events:
+            at += rng.expovariate(arrival_rate)
+            chunk.append(event)
+            if len(chunk) >= publish_batch:
+                cluster.publish_many_at(
+                    at, names[rng.randint(0, len(names) - 1)], chunk
+                )
+                chunk = []
+        if chunk:
+            cluster.publish_many_at(at, names[rng.randint(0, len(names) - 1)], chunk)
+    else:
+        for event in events:
+            at += rng.expovariate(arrival_rate)
+            cluster.publish_at(at, names[rng.randint(0, len(names) - 1)], event)
     cluster.run(until=at + 1.0)
     expected = _oracle_expectations(subscriptions, events)
     for index, event in enumerate(events):
@@ -495,6 +540,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="with --trace-oracle, write the per-point span record as JSON "
         "(the CI build artifact)",
     )
+    parser.add_argument(
+        "--publish-batch",
+        type=int,
+        default=0,
+        help="chunk the publication stream (and the post-recovery verify "
+        "wave) through publish_many in batches of this size "
+        "(0/1 = per-event publish)",
+    )
     parser.add_argument("--seed", type=int, default=29)
     args = parser.parse_args(argv)
     try:
@@ -508,6 +561,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             mailbox_policy=args.mailbox_policy,
             trace=args.trace_oracle,
             trace_dump=args.trace_dump,
+            publish_batch=args.publish_batch,
         )
         print(result.summary())
     except AssertionError as error:

@@ -220,6 +220,7 @@ def run_routed_cluster_scale(
     seed: int = 17,
     scale: float = 1.0,
     verify: bool = False,
+    publish_batch: int = 0,
 ) -> ExperimentResult:
     """C1b — the routed axis: topology × shards × batch size.
 
@@ -230,9 +231,17 @@ def run_routed_cluster_scale(
     (mean/p95, including queueing + service at each broker on the path and
     link latency), forwards per event, and simulated throughput.
 
+    With ``publish_batch > 1`` the Poisson stream is chunked through
+    ``publish_many_at``: each chunk of that many events enters one broker
+    as a single mailbox entry at its last member's arrival time,
+    exercising the batched data plane (batched matching, coalesced
+    forwards) end to end.
+
     With ``verify=True`` the union of deliveries across brokers is checked
     event-by-event against a single :class:`MatchingEngine` oracle holding
-    every subscription; any divergence raises ``AssertionError``.
+    every subscription; any divergence raises ``AssertionError`` — with
+    ``publish_batch`` set, this pins the batched path to the same oracle
+    the per-event path is held to.
     """
     if scale <= 0:
         raise ValueError("scale must be positive")
@@ -252,6 +261,7 @@ def run_routed_cluster_scale(
             "link_latency": link_latency,
             "executor": executor_kind,
             "verified": verify,
+            "publish_batch": publish_batch,
         },
     )
 
@@ -302,11 +312,28 @@ def run_routed_cluster_scale(
                     )
                 arrival_rng = rng.fork("arrivals")
                 now = 0.0
-                for event in events:
-                    now += arrival_rng.expovariate(arrival_rate)
-                    cluster.publish_at(
-                        now, names[arrival_rng.randint(0, len(names) - 1)], event
-                    )
+                if publish_batch > 1:
+                    chunk: List[Event] = []
+                    for event in events:
+                        now += arrival_rng.expovariate(arrival_rate)
+                        chunk.append(event)
+                        if len(chunk) >= publish_batch:
+                            cluster.publish_many_at(
+                                now,
+                                names[arrival_rng.randint(0, len(names) - 1)],
+                                chunk,
+                            )
+                            chunk = []
+                    if chunk:
+                        cluster.publish_many_at(
+                            now, names[arrival_rng.randint(0, len(names) - 1)], chunk
+                        )
+                else:
+                    for event in events:
+                        now += arrival_rng.expovariate(arrival_rate)
+                        cluster.publish_at(
+                            now, names[arrival_rng.randint(0, len(names) - 1)], event
+                        )
                 cluster.run()
                 for broker in cluster.brokers.values():
                     close = getattr(broker.engine, "close", None)
@@ -390,6 +417,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default="serial",
         help="shard executor for the routed sweep's sharded nodes",
     )
+    parser.add_argument(
+        "--publish-batch",
+        type=int,
+        default=0,
+        help="chunk the routed sweep's event stream through publish_many "
+        "in batches of this size (0/1 = per-event publish)",
+    )
     parser.add_argument("--seed", type=int, default=13)
     args = parser.parse_args(argv)
     try:
@@ -401,6 +435,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 verify=args.verify,
                 seed=args.seed,
                 executor_kind=args.executor,
+                publish_batch=args.publish_batch,
             )
             print(routed.summary())
     except AssertionError as error:

@@ -26,6 +26,12 @@ delivery oracle and returns a :class:`LossReport` whose
 ``fully_attributed`` property is the CI gate: with full sampling, every
 lost event must carry an explanation, and every fully delivered event
 must show a complete publish → deliver span chain.
+
+Batched publishing and coalesced forwarding change nothing here: a
+``publish_many`` batch traces one root per member event, a dropped
+``event.forward_batch`` message yields one definite drop span per member,
+and a crashed in-service batch is flattened to its member events before
+drop spans are recorded — attribution stays per-event.
 """
 
 from __future__ import annotations

@@ -20,8 +20,13 @@ always-sample while an anomaly is active) and threads a
     local deliveries produced by a match (attrs: delivery count,
     subscription ids, truncated past a cap);
 ``forward``
-    one per outgoing overlay link, spanning the link transfer time
-    (attrs: ``link="a->b"``, latency, hop count);
+    one per outgoing overlay link *per event*, spanning the link transfer
+    time (attrs: ``link="a->b"``, latency, hop count).  When the cluster
+    coalesces several events bound for the same next hop into one
+    ``event.forward_batch`` message, each member event still gets its own
+    forward span — carrying ``coalesced=N`` and the shared batch transfer
+    time — and its own forked child context, so per-event causality (and
+    loss attribution) is unchanged by batching;
 ``drop``
     a *terminal* span explaining why the event (or one of its forwarded
     copies) died.  ``status="dropped"`` marks a definite loss (crashed

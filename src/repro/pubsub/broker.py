@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Set
 
 from repro.pubsub.events import Event
-from repro.pubsub.matching import MatchingEngine
+from repro.pubsub.matching import MatchingEngine, RouteProbeCache
 from repro.pubsub.subscriptions import Subscription, minimal_cover
 
 DeliveryCallback = Callable[[str, Event, Subscription], None]
@@ -67,6 +67,11 @@ class Broker:
         self.neighbours: Set[str] = set()
         self.stats = BrokerStats()
         self._delivery_callbacks: List[DeliveryCallback] = []
+        # Per-neighbour forwarding-probe caches (see RouteProbeCache):
+        # keyed by neighbour name, validated against the remote engine's
+        # identity and mutation version on every probe, so stale entries
+        # never outlive a routing-table change or an engine swap.
+        self._route_probe_caches: Dict[str, RouteProbeCache] = {}
 
     # -- wiring ------------------------------------------------------------
 
@@ -174,12 +179,23 @@ class Broker:
         """Neighbours that have at least one remote subscription matching
         ``event`` (the forwarding decision of content-based routing)."""
         interested = []
+        caches = self._route_probe_caches
         for neighbour, engine in self.remote_engines.items():
             if neighbour == exclude:
                 continue
-            # matches_any() is the early-exit fast path: forwarding only
-            # needs the boolean, not the sorted list of matches.
-            if engine.matches_any(event):
+            # Only the boolean matters on the forwarding path; when the
+            # engine supports it, answer through the per-neighbour probe
+            # cache (validated against the engine's mutation version) so
+            # a stream of routing decisions amortizes the index walks.
+            probe = getattr(engine, "matches_any_cached", None)
+            if probe is None:
+                if engine.matches_any(event):
+                    interested.append(neighbour)
+                continue
+            cache = caches.get(neighbour)
+            if cache is None:
+                cache = caches[neighbour] = RouteProbeCache()
+            if probe(event, cache):
                 interested.append(neighbour)
         return sorted(interested)
 

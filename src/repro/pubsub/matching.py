@@ -137,6 +137,9 @@ class MatchingEngine:
         # id-sorted list per event type is cached between mutations.
         self._wildcards: Dict[str, Dict[str, Subscription]] = {}
         self._wildcard_cache: Dict[str, List[Subscription]] = {}
+        # Bumped on every index mutation; lets external caches (see
+        # BatchMatchCache) detect staleness without subscribing to events.
+        self._mutation_version = 0
 
     # -- maintenance -------------------------------------------------------
 
@@ -154,6 +157,7 @@ class MatchingEngine:
             if old is subscription or old == subscription:
                 return
             self.remove(subscription.subscription_id)
+        self._mutation_version += 1
 
         # Duplicate predicates are conjunctively redundant; the pooled
         # shape already holds the distinct set (deduped by interned id,
@@ -253,6 +257,7 @@ class MatchingEngine:
         slot = self._slot_of.pop(subscription_id, None)
         if slot is None:
             return False
+        self._mutation_version += 1
         subscription = self._subs[slot]
         assert subscription is not None
         event_type = subscription.event_type
@@ -319,6 +324,16 @@ class MatchingEngine:
 
     def __contains__(self, subscription_id: str) -> bool:
         return subscription_id in self._slot_of
+
+    @property
+    def mutation_version(self) -> int:
+        """Monotonic counter bumped on every index mutation.
+
+        External probe/result caches key their validity on this value so
+        a control-plane mutation between batches invalidates them without
+        the engine knowing who holds a cache.
+        """
+        return self._mutation_version
 
     def subscriptions(self) -> List[Subscription]:
         return [self._subs[slot] for slot in self._slot_of.values()]
@@ -467,6 +482,73 @@ class MatchingEngine:
             counts[slot] = 0
         return found
 
+    def matches_any_cached(self, event: Event, cache: "RouteProbeCache") -> bool:
+        """:meth:`matches_any` with cross-event probe tables.
+
+        Same boolean as :meth:`matches_any`, but the per-``(event_type,
+        attribute, value)`` probe contributions are cached in ``cache``
+        across calls (dropped whenever :attr:`mutation_version` moves), as
+        a slot -> contribution-count dict plus a "some subscription is
+        fully satisfied by this item alone" flag.  A stream of routing
+        probes then pays dict lookups instead of the per-event index walk
+        — in particular the sorted-range suffix copy and counter sweep
+        that a wide range bucket (e.g. a popular ``priority >= n``
+        predicate) costs :meth:`_count_hits` on every call.
+
+        Multi-predicate subscriptions are resolved by joining the cached
+        items: a subscription left incomplete by every single item needs
+        contributions from at least two of them, so candidate slots can be
+        drawn from every contributing item *except* the largest and probed
+        into the rest — O(small buckets) instead of O(all touched slots).
+        """
+        if self._wildcards.get(event.event_type):
+            return True
+        items = cache.table_for(self)
+        needs = self._needs
+        event_type = event.event_type
+        contributing: List[Dict[int, int]] = []
+        for name, value in event.attributes.items():
+            key = (event_type, name, value)
+            try:
+                entry = items.get(key)
+            except TypeError:
+                # Unhashable attribute value: uncacheable event.
+                return self.matches_any(event)
+            if entry is None:
+                slot_counts: Dict[int, int] = {}
+                for slot in self._probe_item(event_type, name, value):
+                    slot_counts[slot] = slot_counts.get(slot, 0) + 1
+                complete = any(
+                    count >= needs[slot] for slot, count in slot_counts.items()
+                )
+                entry = items[key] = (slot_counts, complete)
+            slot_counts, complete = entry
+            if complete:
+                return True
+            if slot_counts:
+                contributing.append(slot_counts)
+        if len(contributing) < 2:
+            # Zero or one contributing item, and no item completed a
+            # subscription on its own: nothing can reach its needs count.
+            return False
+        # No subscription is satisfied by any single item, so a match must
+        # draw contributions from >= 2 items — i.e. every candidate slot
+        # appears in at least one item that is not the (single) largest.
+        largest = max(contributing, key=len)
+        for slot_counts in contributing:
+            if slot_counts is largest:
+                continue
+            for slot, count in slot_counts.items():
+                total = count
+                need = needs[slot]
+                for other in contributing:
+                    if other is slot_counts:
+                        continue
+                    total += other.get(slot, 0)
+                    if total >= need:
+                        return True
+        return False
+
     def match_subscribers(self, event: Event) -> List[str]:
         """Distinct subscriber names whose subscriptions match ``event``.
 
@@ -553,11 +635,34 @@ class MatchingEngine:
         The engine must not be mutated while a batch is in flight (the
         per-call caches assume stable indexes).
         """
+        item_slots: Dict[Tuple[str, str, object], Tuple[int, ...]] = {}
+        result_cache: Dict[Tuple[str, Tuple], Tuple[Subscription, ...]] = {}
+        return self._match_batch(events, item_slots, result_cache)
+
+    def match_batch_cached(
+        self, events: Sequence[Event], cache: "BatchMatchCache"
+    ) -> List[List[Subscription]]:
+        """:meth:`match_batch` with probe/result tables that outlive the call.
+
+        ``cache`` keeps the per-triple probe slots and per-signature match
+        results across batches, and drops them whenever
+        :attr:`mutation_version` moves, so steady-state traffic with a
+        stable subscription population amortizes probe work across the
+        whole stream instead of one batch.  Semantics are identical to
+        :meth:`match_batch` (and therefore to ``match`` in a loop).
+        """
+        item_slots, result_cache = cache.tables_for(self)
+        return self._match_batch(events, item_slots, result_cache)
+
+    def _match_batch(
+        self,
+        events: Sequence[Event],
+        item_slots: Dict[Tuple[str, str, object], Tuple[int, ...]],
+        result_cache: Dict[Tuple[str, Tuple], Tuple[Subscription, ...]],
+    ) -> List[List[Subscription]]:
         counts = self._counts
         needs = self._needs
         subs = self._subs
-        item_slots: Dict[Tuple[str, str, object], Tuple[int, ...]] = {}
-        result_cache: Dict[Tuple[str, Tuple], Tuple[Subscription, ...]] = {}
         results: List[List[Subscription]] = []
         for event in events:
             event_type = event.event_type
@@ -601,6 +706,81 @@ class MatchingEngine:
                 result_cache[cache_key] = cached
             results.append(list(cached))
         return results
+
+
+class BatchMatchCache:
+    """Cross-batch probe/result tables for :meth:`MatchingEngine.match_batch_cached`.
+
+    One instance per consumer (e.g. per broker process); holds the
+    per-(event_type, attribute, value) probe slots and the
+    per-contributing-signature match results between batches and discards
+    both whenever the engine's :attr:`~MatchingEngine.mutation_version`
+    has moved since the tables were built.  ``max_entries`` bounds the
+    combined table size so adversarial attribute diversity cannot grow
+    the cache without limit (overflow clears, it does not evict).
+    """
+
+    __slots__ = ("_engine_id", "_version", "_item_slots", "_result_cache",
+                 "max_entries", "resets")
+
+    def __init__(self, max_entries: int = 65536) -> None:
+        self._engine_id: Optional[int] = None
+        self._version = -1
+        self._item_slots: Dict[Tuple[str, str, object], Tuple[int, ...]] = {}
+        self._result_cache: Dict[Tuple[str, Tuple], Tuple[Subscription, ...]] = {}
+        self.max_entries = max_entries
+        self.resets = 0
+
+    def tables_for(self, engine: "MatchingEngine") -> Tuple[dict, dict]:
+        version = engine.mutation_version
+        if (
+            self._engine_id != id(engine)
+            or self._version != version
+            or len(self._item_slots) + len(self._result_cache) > self.max_entries
+        ):
+            self._engine_id = id(engine)
+            self._version = version
+            self._item_slots = {}
+            self._result_cache = {}
+            self.resets += 1
+        return self._item_slots, self._result_cache
+
+
+class RouteProbeCache:
+    """Cross-event probe tables for :meth:`MatchingEngine.matches_any_cached`.
+
+    One instance per (broker, neighbour) routing engine; maps
+    ``(event_type, attribute, value)`` to that item's cached probe
+    contributions (slot -> count dict plus a single-item-completion flag)
+    and discards the table whenever the engine's
+    :attr:`~MatchingEngine.mutation_version` has moved since it was built,
+    so control-plane mutations (subscribe, unsubscribe, repair) invalidate
+    every cached forwarding probe.  ``max_entries`` bounds the table so
+    adversarial attribute diversity cannot grow it without limit
+    (overflow clears, it does not evict).
+    """
+
+    __slots__ = ("_engine_id", "_version", "_items", "max_entries", "resets")
+
+    def __init__(self, max_entries: int = 65536) -> None:
+        self._engine_id: Optional[int] = None
+        self._version = -1
+        self._items: Dict[Tuple[str, str, object], Tuple[Dict[int, int], bool]] = {}
+        self.max_entries = max_entries
+        self.resets = 0
+
+    def table_for(self, engine: "MatchingEngine") -> Dict:
+        version = engine.mutation_version
+        if (
+            self._engine_id != id(engine)
+            or self._version != version
+            or len(self._items) > self.max_entries
+        ):
+            self._engine_id = id(engine)
+            self._version = version
+            self._items = {}
+            self.resets += 1
+        return self._items
 
 
 class NaiveMatchingEngine:

@@ -6,6 +6,14 @@ Hosts (browsers, Reef servers, pub/sub brokers, Web servers) are
 per-link latency and counts traffic so experiments can report bytes and
 messages crossing each architectural edge (Figure 1 vs Figure 2 of the
 paper).
+
+Message kinds are free-form strings; the broker cluster uses
+``event.publish``, ``event.forward`` (one event per message) and
+``event.forward_batch`` (one message coalescing every event bound for the
+same next hop in a service cycle — one latency charge for the whole
+batch, ``size_bytes`` summed over members).  Traffic accounting is per
+*message*: batched forwards deliberately show up as fewer, larger
+messages on the edge counters.
 """
 
 from __future__ import annotations
@@ -90,7 +98,11 @@ class SimulatedNetwork:
         self.bytes_sent = 0
         # Observers invoked on every counted drop (after the counters),
         # e.g. the cluster's tracer turning a dropped event.forward into a
-        # terminal drop span.  Listeners must not send.
+        # terminal drop span.  Listeners must not send.  A dropped message
+        # may carry a *batch* payload (kind ``event.forward_batch``
+        # coalesces many events into one message): the listener sees the
+        # message exactly once and is responsible for per-member
+        # accounting — the network itself counts messages, not events.
         self._drop_listeners: List[Callable[[Message], None]] = []
 
     # -- topology ---------------------------------------------------------
