@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""Wire transport end to end: real broker processes, real TCP, real clients.
+
+Everything in the other examples runs on the simulated clock inside one
+process.  This one does not: it launches a **3-broker line** (b0 — b1 — b2)
+as three actual OS processes speaking the msgpack wire protocol over
+localhost TCP, then drives them with the async client SDK:
+
+1. launch — ``WireCluster`` spawns one ``repro.net.broker_main`` process
+   per broker, pre-allocating ports and waiting until every listener
+   accepts; the brokers dial each other and exchange advertisement
+   snapshots;
+2. subscribe — *alice* (on b0) wants AI stories, *bob* (on b2, the far
+   end of the line) wants sports **or** anything with priority >= 8;
+   their subscriptions flood broker-to-broker so every node learns the
+   routes;
+3. publish — a publisher client on b1 (the middle broker) pushes a small
+   news stream; each event is content-routed only toward interested
+   brokers and delivered to the matching sessions;
+4. observe — both subscribers print what arrived, with hop counts and
+   *measured* end-to-end latency (publish stamp → receive, one host, one
+   clock); finally each broker reports its server-side metrics.
+
+Run with:  python examples/wire_cluster.py
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.net.client import BrokerClient, connect
+from repro.net.launcher import WireCluster, topology_specs
+from repro.pubsub.events import Event
+from repro.pubsub.subscriptions import Operator, Predicate, Subscription
+
+STORIES = [
+    ("ai", 5, "transformer pruning halves inference cost"),
+    ("sports", 3, "underdogs take the cup final to penalties"),
+    ("markets", 9, "flash rally trips exchange circuit breakers"),
+    ("ai", 2, "new benchmark suite for event routing"),
+    ("weather", 1, "mild week ahead, light winds"),
+    ("sports", 8, "record transfer fee confirmed"),
+]
+
+
+def story(topic: str, priority: int, headline: str, index: int) -> Event:
+    return Event(
+        event_type="news.story",
+        attributes={"topic": topic, "priority": priority, "headline": headline},
+        timestamp=float(index),
+    )
+
+
+async def subscriber_report(name: str, client: BrokerClient, expected: int) -> None:
+    """Print deliveries as they arrive until ``expected`` have landed."""
+    received = 0
+    while received < expected:
+        delivery = await client.next_event(timeout=10.0)
+        if delivery is None:
+            print(f"  [{name}] stream ended early ({received}/{expected})")
+            return
+        received += 1
+        event = delivery.event
+        latency_us = (delivery.received_at - delivery.origin_ts) * 1e6
+        print(
+            f"  [{name}] {event.attributes['topic']:>8} p{event.attributes['priority']}"
+            f"  «{event.attributes['headline']}»"
+            f"  (hops={delivery.hops}, e2e={latency_us:,.0f} µs)"
+        )
+
+
+async def main() -> None:
+    print("== wire transport demo: 3-broker line as real processes ==\n")
+    specs = topology_specs("line", 3)
+    for spec in specs:
+        dials = ", ".join(f"{peer}@{addr[1]}" for peer, addr in spec.dial.items())
+        print(
+            f"  {spec.name} will listen on {spec.host}:{spec.port}"
+            + (f" and dial {dials}" if dials else "")
+        )
+
+    with WireCluster(specs) as cluster:
+        print(f"\nall {len(specs)} broker processes up (logs in {cluster.log_dir})\n")
+
+        alice = await connect(*cluster.address("b0"), name="alice")
+        bob = await connect(*cluster.address("b2"), name="bob")
+        publisher = await connect(*cluster.address("b1"), name="newsdesk")
+
+        await alice.subscribe(
+            Subscription(
+                event_type="news.story",
+                predicates=(Predicate("topic", Operator.EQ, "ai"),),
+                subscriber="alice",
+            )
+        )
+        await bob.subscribe(
+            Subscription(
+                event_type="news.story",
+                predicates=(Predicate("topic", Operator.EQ, "sports"),),
+                subscriber="bob",
+            )
+        )
+        await bob.subscribe(
+            Subscription(
+                event_type="news.story",
+                predicates=(Predicate("priority", Operator.GE, 8),),
+                subscriber="bob",
+            )
+        )
+        print("alice (on b0) follows topic=ai")
+        print("bob   (on b2) follows topic=sports, plus anything priority>=8\n")
+
+        # Let the advertisement flood reach both ends of the line: each
+        # broker must know 3 subscriptions in total (local + routed).
+        for _ in range(200):
+            stats = await publisher.stats()
+            if stats["subscriptions"] + stats["routing_table"] >= 3:
+                break
+            await asyncio.sleep(0.02)
+
+        # alice: 2 ai stories; bob: 2 sports + 1 high-priority markets
+        # (priority-8 sports story matches both of bob's subscriptions
+        # but is delivered to his session once).
+        reports = [
+            asyncio.create_task(subscriber_report("alice", alice, 2)),
+            asyncio.create_task(subscriber_report("bob", bob, 3)),
+        ]
+        print("newsdesk (on b1) publishes 6 stories:\n")
+        for index, (topic, priority, headline) in enumerate(STORIES):
+            await publisher.publish(story(topic, priority, headline, index))
+            print(f"  published {topic:>8} p{priority}  «{headline}»")
+        print()
+        await asyncio.gather(*reports)
+
+        print("\nserver-side metrics:")
+        for name in cluster.names:
+            probe = await connect(*cluster.address(name), name="probe")
+            stats = await probe.stats()
+            counters = stats["metrics"]["counters"]
+            print(
+                f"  {name}: local_subs={stats['subscriptions']} "
+                f"routing_table={stats['routing_table']} "
+                f"published={counters.get('net.events_published', 0):.0f} "
+                f"forwarded={counters.get('net.events_forwarded', 0):.0f} "
+                f"delivered={counters.get('net.deliveries', 0):.0f}"
+            )
+            await probe.close()
+
+        await alice.close()
+        await bob.close()
+        await publisher.close()
+    print("\nall broker processes drained and stopped")
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

@@ -40,6 +40,7 @@ from repro.cluster.broker_cluster import (
     BrokerProcessStats,
     EventEnvelope,
     build_cluster_topology,
+    topology_edges,
 )
 from repro.cluster.faults import FaultAction, FaultInjector, FaultPlan
 from repro.cluster.placement import AttributeRangePlacement, HashPlacement
@@ -84,4 +85,5 @@ __all__ = [
     "rebuilt_routing_snapshot",
     "routing_converged",
     "sharded_engine_factory",
+    "topology_edges",
 ]

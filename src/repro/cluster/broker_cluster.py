@@ -66,6 +66,8 @@ from repro.sim.network import Link, Message, SimulatedNetwork
 # Cluster deliveries also carry the serving broker's name (4 args, unlike
 # the 3-arg repro.pubsub.broker.DeliveryCallback).
 ClusterDeliveryCallback = Callable[[str, str, Event, Subscription], None]
+# Vectorized delivery callback: (broker name, event, full match row).
+ClusterDeliveryBatchCallback = Callable[[str, Event, List[Subscription]], None]
 # Lifecycle notifications: ("crashed" | "recovered", broker name, sim time).
 LifecycleCallback = Callable[[str, str, float], None]
 
@@ -309,6 +311,7 @@ class BrokerCluster:
         self.brokers: Dict[str, BrokerProcess] = {}
         self._ports: Dict[str, _BrokerPort] = {}
         self._delivery_callbacks: List[ClusterDeliveryCallback] = []
+        self._delivery_batch_callbacks: List[ClusterDeliveryBatchCallback] = []
         self._lifecycle_callbacks: List[LifecycleCallback] = []
         # Intended overlay links (set by connect) and whether the routing
         # layer currently believes each is usable; a failure detector (or a
@@ -433,6 +436,17 @@ class BrokerCluster:
         """Register a callback invoked per delivery
         (broker name, subscriber, event, matching subscription)."""
         self._delivery_callbacks.append(callback)
+
+    def on_delivery_batch(self, callback: ClusterDeliveryBatchCallback) -> None:
+        """Register a callback invoked once per event with its full match
+        row (broker name, event, matched subscriptions).
+
+        The vectorized form of :meth:`on_delivery` — the serve loop calls
+        it once per event instead of once per (event, subscription) pair,
+        which is where most of the residual per-event cost of the routed
+        path lives at high fan-out.
+        """
+        self._delivery_batch_callbacks.append(callback)
 
     def on_lifecycle(self, callback: LifecycleCallback) -> None:
         """Register a callback invoked on broker crash/recovery
@@ -883,9 +897,18 @@ class BrokerCluster:
             matches = broker.engine.match_batch(events)
         deliveries = 0
         outboxes: Dict[str, List[EventEnvelope]] = {}
+        # Vectorized fan-out: metric handles hoisted out of the loop, one
+        # observe_many per event (every subscriber shares the envelope's
+        # hop count and origin time), and per-delivery callbacks skipped
+        # wholesale when only batch callbacks are registered.
+        queue_delay = self.metrics.histogram("cluster.queue_delay")
+        delivery_hops = self.metrics.histogram("cluster.delivery_hops")
+        e2e_delay = self.metrics.histogram("cluster.e2e_delay")
+        per_delivery = self._delivery_callbacks
+        per_batch = self._delivery_batch_callbacks
         for (enqueued_at, envelope), row in zip(batch, matches):
             deliveries += len(row)
-            self.metrics.histogram("cluster.queue_delay").observe(now - enqueued_at)
+            queue_delay.observe(now - enqueued_at)
             if tracer is not None and envelope.trace is not None:
                 match_span = tracer.record_span(
                     "match",
@@ -912,13 +935,22 @@ class BrokerCluster:
                         subscriptions=subscribers,
                         truncated=len(row) > 16,
                     )
-            for subscription in row:
-                self.metrics.histogram("cluster.delivery_hops").observe(envelope.hops)
-                self.metrics.histogram("cluster.e2e_delay").observe(
-                    now - envelope.origin_time
-                )
-                for callback in self._delivery_callbacks:
-                    callback(broker.name, subscription.subscriber, envelope.event, subscription)
+            if row:
+                fan_out = len(row)
+                delivery_hops.observe_many(envelope.hops, fan_out)
+                e2e_delay.observe_many(now - envelope.origin_time, fan_out)
+                for batch_callback in per_batch:
+                    batch_callback(broker.name, envelope.event, row)
+                if per_delivery:
+                    event = envelope.event
+                    for subscription in row:
+                        for callback in per_delivery:
+                            callback(
+                                broker.name,
+                                subscription.subscriber,
+                                event,
+                                subscription,
+                            )
             self._forward_collect(broker, envelope, outboxes)
         if outboxes:
             self._flush_forwards(broker, outboxes)
@@ -1066,6 +1098,27 @@ class BrokerCluster:
         return self.fabric.total_routing_state()
 
 
+def topology_edges(topology: str, num_brokers: int) -> List[Tuple[int, int]]:
+    """The edge list of a ``line``/``star``/``tree`` topology over broker
+    indices ``0..num_brokers-1``.
+
+    This is the single topology-shape definition shared by the sim-clock
+    cluster (:func:`build_cluster_topology`) and the wire launcher
+    (:func:`repro.net.launcher.topology_specs`), so the oracle compares the
+    same graph on both paths.  ``tree`` is binary, filled level by level;
+    ``star`` puts broker 0 at the hub.
+    """
+    if num_brokers < 1:
+        raise ValueError("num_brokers must be at least 1")
+    if topology == "line":
+        return [(index, index + 1) for index in range(num_brokers - 1)]
+    if topology == "star":
+        return [(0, index) for index in range(1, num_brokers)]
+    if topology == "tree":
+        return [((index - 1) // 2, index) for index in range(1, num_brokers)]
+    raise ValueError(f"unknown topology {topology!r} (line|star|tree)")
+
+
 def build_cluster_topology(
     topology: str,
     num_brokers: int,
@@ -1074,23 +1127,13 @@ def build_cluster_topology(
 ) -> List[str]:
     """Add ``num_brokers`` brokers wired as ``line``/``star``/``tree``.
 
-    Returns the broker names in creation order.  ``tree`` is binary,
-    filled level by level; ``star`` puts broker 0 at the hub.
+    Returns the broker names in creation order (shapes defined by
+    :func:`topology_edges`).
     """
-    if num_brokers < 1:
-        raise ValueError("num_brokers must be at least 1")
+    edges = topology_edges(topology, num_brokers)
     names = [f"b{index}" for index in range(num_brokers)]
     for name in names:
         cluster.add_broker(name)
-    if topology == "line":
-        for index in range(num_brokers - 1):
-            cluster.connect(names[index], names[index + 1], latency=latency)
-    elif topology == "star":
-        for index in range(1, num_brokers):
-            cluster.connect(names[0], names[index], latency=latency)
-    elif topology == "tree":
-        for index in range(1, num_brokers):
-            cluster.connect(names[(index - 1) // 2], names[index], latency=latency)
-    else:
-        raise ValueError(f"unknown topology {topology!r} (line|star|tree)")
+    for left, right in edges:
+        cluster.connect(names[left], names[right], latency=latency)
     return names

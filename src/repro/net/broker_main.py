@@ -1,0 +1,65 @@
+"""Broker process entry point: ``python -m repro.net.broker_main '<spec json>'``.
+
+The launcher passes one :class:`~repro.net.launcher.BrokerSpec` as a JSON
+argv blob.  The process binds the spec's listen port, dials its peer
+links, and serves until SIGTERM/SIGINT, which triggers a graceful drain
+(flush outbound queues, close connections) before exit.  All logging goes
+to stdout — the launcher redirects it to a per-broker log file that the
+CI wire-oracle job uploads on failure.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import signal
+import sys
+
+from repro.net.launcher import BrokerSpec
+from repro.net.server import BrokerServer
+
+
+async def _amain(spec: BrokerSpec) -> int:
+    server = BrokerServer(
+        spec.name, host=spec.host, port=spec.port, dial=spec.dial
+    )
+    await server.start()
+    print(
+        f"broker {spec.name} ready on {server.host}:{server.port} "
+        f"dialing {sorted(spec.dial) or '[]'}",
+        flush=True,
+    )
+    loop = asyncio.get_running_loop()
+    stopping = asyncio.Event()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        loop.add_signal_handler(signum, stopping.set)
+    closed = asyncio.ensure_future(server.serve_forever())
+    stopped = asyncio.ensure_future(stopping.wait())
+    await asyncio.wait({closed, stopped}, return_when=asyncio.FIRST_COMPLETED)
+    stopped.cancel()
+    if not closed.done():
+        # Signal-initiated shutdown (a drain request sets _closed itself).
+        await server.shutdown(drain=True)
+        await closed
+    print(f"broker {spec.name} drained and stopped", flush=True)
+    return 0
+
+
+def main(argv: list) -> int:
+    logging.basicConfig(
+        stream=sys.stdout,
+        level=logging.INFO,
+        format="%(asctime)s %(name)s %(levelname)s %(message)s",
+    )
+    if len(argv) != 2:
+        print("usage: python -m repro.net.broker_main '<spec json>'", file=sys.stderr)
+        return 2
+    spec = BrokerSpec.from_json(argv[1])
+    try:
+        return asyncio.run(_amain(spec))
+    except KeyboardInterrupt:  # pragma: no cover - direct ^C
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,201 @@
+"""Workload driver for wire clusters: subscribe, converge, publish, collect.
+
+Shared by the wire==sim delivery oracle (``tests/net/test_wire_oracle.py``,
+CI's wire-oracle job) and the measured ``--wire`` mode of
+``experiments/cluster_scale.py``: both need to place subscriptions on live
+broker processes, wait for advertisement flooding to converge, push a
+workload through a publisher session, and collect every delivery with
+receive timestamps.
+
+Convergence is checked against the flooding invariant, not a sleep: with
+unpruned split-horizon advertisement on an acyclic topology, every broker
+ends up holding ``total_subscriptions - its own local subscriptions`` as
+routing state, which :meth:`~repro.net.client.BrokerClient.stats` exposes.
+
+Completion is checked against ground truth: a single
+:class:`~repro.pubsub.matching.MatchingEngine` holding every subscription
+predicts exactly how many (event, subscription) deliveries the fabric must
+produce, so the collector knows when it has seen everything (or that it
+timed out with a deficit, which the oracle reports as a failure).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.net.client import BrokerClient, Delivery, connect
+from repro.net.launcher import WireCluster
+from repro.pubsub.events import Event
+from repro.pubsub.matching import MatchingEngine
+from repro.pubsub.subscriptions import Subscription
+
+
+@dataclass
+class WireRunResult:
+    """Everything one workload run produced."""
+
+    #: Every delivery received by every subscriber session.
+    deliveries: List[Delivery] = field(default_factory=list)
+    #: Wall-clock seconds from first publish to last expected delivery.
+    duration: float = 0.0
+    #: Wall-clock seconds spent issuing the publishes (ack-paced).
+    publish_duration: float = 0.0
+    #: Ground-truth delivery count (single-engine match over the workload).
+    expected: int = 0
+    #: Per-broker stats snapshots taken after the run.
+    broker_stats: Dict[str, Dict] = field(default_factory=dict)
+
+    @property
+    def delivery_set(self) -> Set[Tuple[str, str]]:
+        """``{(event_id, subscription_id)}`` — the oracle's comparison key."""
+        pairs: Set[Tuple[str, str]] = set()
+        for delivery in self.deliveries:
+            for subscription_id in delivery.subscription_ids:
+                pairs.add((delivery.event.event_id, subscription_id))
+        return pairs
+
+    @property
+    def complete(self) -> bool:
+        return len(self.delivery_set) >= self.expected
+
+    def latencies(self) -> List[float]:
+        """Per-delivery end-to-end seconds (publish stamp → receive)."""
+        return [
+            delivery.received_at - delivery.origin_ts
+            for delivery in self.deliveries
+            if delivery.origin_ts > 0.0
+        ]
+
+
+def expected_deliveries(
+    subscriptions: Sequence[Subscription], events: Sequence[Event]
+) -> Set[Tuple[str, str]]:
+    """Ground truth: the delivery set a perfect fabric must produce."""
+    engine = MatchingEngine()
+    for subscription in subscriptions:
+        engine.add(subscription)
+    pairs: Set[Tuple[str, str]] = set()
+    for event, row in zip(events, engine.match_batch(list(events))):
+        for subscription in row:
+            pairs.add((event.event_id, subscription.subscription_id))
+    return pairs
+
+
+async def await_convergence(
+    clients: Dict[str, BrokerClient],
+    local_counts: Dict[str, int],
+    timeout: float = 20.0,
+) -> None:
+    """Poll broker stats until advert flooding reached every broker.
+
+    ``local_counts`` maps broker name → subscriptions placed directly on
+    it; the flooding invariant says each broker's routing table must hold
+    every *other* broker's subscriptions.
+    """
+    total = sum(local_counts.values())
+    deadline = time.monotonic() + timeout
+    while True:
+        converged = True
+        for name, client in clients.items():
+            stats = await client.stats()
+            expected_remote = total - local_counts.get(name, 0)
+            if (
+                int(stats.get("routing_table", -1)) < expected_remote
+                or int(stats.get("subscriptions", -1)) < local_counts.get(name, 0)
+            ):
+                converged = False
+                break
+        if converged:
+            return
+        if time.monotonic() > deadline:
+            raise TimeoutError(
+                "subscription flooding did not converge within "
+                f"{timeout:.0f}s (want {total} total subscriptions visible "
+                "everywhere)"
+            )
+        await asyncio.sleep(0.05)
+
+
+async def run_wire_workload(
+    cluster: WireCluster,
+    placements: Sequence[Tuple[str, Subscription]],
+    events: Sequence[Event],
+    publish_broker: str = "b0",
+    batch_size: int = 32,
+    collect_timeout: float = 30.0,
+) -> WireRunResult:
+    """Drive one workload through a running :class:`WireCluster`.
+
+    ``placements`` assigns each subscription to a broker; one subscriber
+    session per distinct broker holds that broker's subscriptions and
+    collects its deliveries.  Events are published in ack-paced batches of
+    ``batch_size`` through one publisher session on ``publish_broker``.
+    """
+    expected = expected_deliveries([s for _, s in placements], events)
+    result = WireRunResult(expected=len(expected))
+    by_broker: Dict[str, List[Subscription]] = {}
+    for broker_name, subscription in placements:
+        by_broker.setdefault(broker_name, []).append(subscription)
+
+    clients: Dict[str, BrokerClient] = {}
+    collectors: List[asyncio.Task] = []
+    remaining = set(expected)
+    done = asyncio.Event()
+    if not remaining:
+        done.set()
+
+    async def collect(client: BrokerClient) -> None:
+        async for delivery in client.events():
+            result.deliveries.append(delivery)
+            for subscription_id in delivery.subscription_ids:
+                remaining.discard((delivery.event.event_id, subscription_id))
+            if not remaining:
+                done.set()
+
+    try:
+        for broker_name, subscriptions in by_broker.items():
+            client = await connect(
+                *cluster.address(broker_name), name=f"sub@{broker_name}"
+            )
+            clients[broker_name] = client
+            await client.subscribe_many(subscriptions)
+            collectors.append(asyncio.create_task(collect(client)))
+        if publish_broker not in clients:
+            clients[publish_broker] = await connect(
+                *cluster.address(publish_broker), name="stats-probe"
+            )
+        await await_convergence(
+            clients,
+            {name: len(subs) for name, subs in by_broker.items()},
+        )
+
+        publisher = await connect(*cluster.address(publish_broker), name="publisher")
+        started = time.monotonic()
+        try:
+            for offset in range(0, len(events), batch_size):
+                batch = list(events[offset : offset + batch_size])
+                if len(batch) == 1:
+                    await publisher.publish(batch[0])
+                else:
+                    await publisher.publish_many(batch)
+            result.publish_duration = time.monotonic() - started
+            if result.expected:
+                try:
+                    await asyncio.wait_for(done.wait(), timeout=collect_timeout)
+                except asyncio.TimeoutError:
+                    pass  # result.complete stays False; caller decides.
+            result.duration = time.monotonic() - started
+            for name, client in clients.items():
+                result.broker_stats[name] = await client.stats()
+        finally:
+            await publisher.close()
+    finally:
+        for task in collectors:
+            task.cancel()
+        await asyncio.gather(*collectors, return_exceptions=True)
+        for client in clients.values():
+            await client.close()
+    return result

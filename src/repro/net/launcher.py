@@ -1,0 +1,263 @@
+"""Process-per-broker launcher: topology specs as real OS processes.
+
+:func:`topology_specs` turns the same ``line``/``star``/``tree`` shapes the
+sim-clock cluster builds (one shared edge-list definition,
+:func:`repro.cluster.broker_cluster.topology_edges`) into a list of
+:class:`BrokerSpec` — one per broker, each carrying its listen port and the
+peer links *it* dials (the lower-index endpoint of every edge dials, so
+each edge is exactly one TCP connection).
+
+:class:`WireCluster` materializes the specs: it spawns one
+``python -m repro.net.broker_main`` subprocess per broker on localhost TCP
+(ports pre-allocated by binding port 0 and releasing — the listen sockets
+are bound again by the children, with dial-retry absorbing the window),
+polls each port until it accepts connections, and tears everything down
+with SIGTERM → wait → kill.  Per-broker stdout/stderr land in log files
+(uploaded as CI artifacts when the wire-oracle job fails).
+
+Use it as a context manager::
+
+    with WireCluster(topology_specs("line", 3)) as cluster:
+        client = await connect(*cluster.address("b0"))
+        ...
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cluster.broker_cluster import topology_edges
+
+
+@dataclass
+class BrokerSpec:
+    """One broker process: name, listen address, and the peers it dials."""
+
+    name: str
+    host: str = "127.0.0.1"
+    port: int = 0
+    dial: Dict[str, Tuple[str, int]] = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "name": self.name,
+                "host": self.host,
+                "port": self.port,
+                "dial": {peer: list(addr) for peer, addr in self.dial.items()},
+            }
+        )
+
+    @classmethod
+    def from_json(cls, payload: str) -> "BrokerSpec":
+        data = json.loads(payload)
+        return cls(
+            name=data["name"],
+            host=data.get("host", "127.0.0.1"),
+            port=int(data.get("port", 0)),
+            dial={
+                peer: (addr[0], int(addr[1]))
+                for peer, addr in data.get("dial", {}).items()
+            },
+        )
+
+
+def _free_ports(count: int, host: str) -> List[int]:
+    """Reserve ``count`` distinct ephemeral ports.
+
+    Sockets are held open while allocating (so the kernel cannot hand the
+    same port out twice), then released together; the children re-bind.
+    The dial-retry loops on broker links and the client connect absorb
+    the small re-bind window.
+    """
+    sockets: List[socket.socket] = []
+    ports: List[int] = []
+    try:
+        for _ in range(count):
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            sock.bind((host, 0))
+            sockets.append(sock)
+            ports.append(sock.getsockname()[1])
+    finally:
+        for sock in sockets:
+            sock.close()
+    return ports
+
+
+def topology_specs(
+    topology: str,
+    num_brokers: int,
+    host: str = "127.0.0.1",
+    ports: Optional[Sequence[int]] = None,
+) -> List[BrokerSpec]:
+    """Broker specs for a ``line``/``star``/``tree`` over localhost TCP.
+
+    The broker names (``b0``..``bN-1``) and edge shapes match
+    :func:`repro.cluster.broker_cluster.build_cluster_topology` exactly —
+    the wire oracle relies on that.  For each edge ``(i, j)`` the
+    lower-index broker dials, so every edge is one deterministic TCP
+    connection regardless of process start order.
+    """
+    edges = topology_edges(topology, num_brokers)
+    if ports is None:
+        ports = _free_ports(num_brokers, host)
+    if len(ports) != num_brokers:
+        raise ValueError("need exactly one port per broker")
+    specs = [
+        BrokerSpec(name=f"b{index}", host=host, port=ports[index])
+        for index in range(num_brokers)
+    ]
+    for left, right in edges:
+        dialer, target = (left, right) if left < right else (right, left)
+        specs[dialer].dial[specs[target].name] = (host, ports[target])
+    return specs
+
+
+class WireCluster:
+    """A set of broker processes materializing one topology.
+
+    Spawns ``python -m repro.net.broker_main`` per spec, waits for every
+    listen port to accept TCP connections, and guarantees teardown (also
+    via ``__del__`` as a last resort, so a crashed test does not leak
+    processes).
+    """
+
+    def __init__(
+        self,
+        specs: Sequence[BrokerSpec],
+        log_dir: Optional[str] = None,
+        python: Optional[str] = None,
+        startup_timeout: float = 30.0,
+    ) -> None:
+        self.specs = list(specs)
+        if log_dir is None:
+            # REPRO_WIRE_LOG_DIR collects every cluster's logs under one
+            # base directory (one fresh subdir per cluster) so CI can
+            # upload them as a failure artifact.
+            base = os.environ.get("REPRO_WIRE_LOG_DIR")
+            if base:
+                os.makedirs(base, exist_ok=True)
+            log_dir = tempfile.mkdtemp(prefix="wire-cluster-", dir=base or None)
+        self.log_dir = log_dir
+        self.python = python or sys.executable
+        self.startup_timeout = startup_timeout
+        self.processes: Dict[str, subprocess.Popen] = {}
+        self._log_handles: List[object] = []
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "WireCluster":
+        os.makedirs(self.log_dir, exist_ok=True)
+        env = dict(os.environ)
+        src_root = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+        env["PYTHONPATH"] = os.pathsep.join(
+            path for path in (src_root, env.get("PYTHONPATH")) if path
+        )
+        for spec in self.specs:
+            log_path = os.path.join(self.log_dir, f"{spec.name}.log")
+            log_file = open(log_path, "wb")
+            self._log_handles.append(log_file)
+            self.processes[spec.name] = subprocess.Popen(
+                [self.python, "-m", "repro.net.broker_main", spec.to_json()],
+                stdout=log_file,
+                stderr=subprocess.STDOUT,
+                env=env,
+            )
+        try:
+            self._await_ready()
+        except Exception:
+            self.stop()
+            raise
+        return self
+
+    def _await_ready(self) -> None:
+        deadline = time.monotonic() + self.startup_timeout
+        for spec in self.specs:
+            while True:
+                process = self.processes[spec.name]
+                if process.poll() is not None:
+                    raise RuntimeError(
+                        f"broker {spec.name} exited with {process.returncode} "
+                        f"during startup (log: "
+                        f"{os.path.join(self.log_dir, spec.name + '.log')})"
+                    )
+                try:
+                    with socket.create_connection(
+                        (spec.host, spec.port), timeout=0.25
+                    ):
+                        break
+                except OSError:
+                    if time.monotonic() > deadline:
+                        raise RuntimeError(
+                            f"broker {spec.name} did not start listening on "
+                            f"{spec.host}:{spec.port} within "
+                            f"{self.startup_timeout:.0f}s"
+                        ) from None
+                    time.sleep(0.05)
+
+    def stop(self, grace: float = 5.0) -> None:
+        """SIGTERM every broker, wait up to ``grace`` seconds, then kill."""
+        for process in self.processes.values():
+            if process.poll() is None:
+                try:
+                    process.send_signal(signal.SIGTERM)
+                except OSError:  # pragma: no cover - already gone
+                    pass
+        deadline = time.monotonic() + grace
+        for process in self.processes.values():
+            remaining = max(0.0, deadline - time.monotonic())
+            try:
+                process.wait(timeout=remaining)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait(timeout=grace)
+        for handle in self._log_handles:
+            try:
+                handle.close()
+            except Exception:  # pragma: no cover
+                pass
+        self._log_handles.clear()
+
+    def __enter__(self) -> "WireCluster":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    def __del__(self) -> None:  # pragma: no cover - safety net
+        for process in getattr(self, "processes", {}).values():
+            if process.poll() is None:
+                process.kill()
+
+    # -- accessors ---------------------------------------------------------
+
+    def address(self, name: str) -> Tuple[str, int]:
+        for spec in self.specs:
+            if spec.name == name:
+                return (spec.host, spec.port)
+        raise KeyError(f"no broker named {name!r}")
+
+    @property
+    def names(self) -> List[str]:
+        return [spec.name for spec in self.specs]
+
+    def alive(self) -> bool:
+        return all(process.poll() is None for process in self.processes.values())
+
+    def logs(self, name: str) -> str:
+        path = os.path.join(self.log_dir, f"{name}.log")
+        try:
+            with open(path, "r", encoding="utf-8", errors="replace") as handle:
+                return handle.read()
+        except OSError:
+            return ""

@@ -1,0 +1,265 @@
+"""Dependency-free msgpack codec (the subset the wire protocol needs).
+
+The wire protocol frames are msgpack maps/arrays of strings, numbers,
+booleans, ``None`` and byte strings.  When the real ``msgpack`` package is
+installed it is used directly (same bytes on the wire); this module is the
+fallback so the transport works on a bare Python install.  The encoding
+follows the msgpack spec exactly for the supported types, so frames
+produced by either side are interchangeable:
+
+* nil / true / false;
+* integers (fixint, [u]int8/16/32/64 — always the smallest encoding);
+* float64 (floats are never narrowed; float32 is decoded but not emitted);
+* str (fixstr/str8/str16/str32, UTF-8);
+* bin (bin8/16/32);
+* array (fixarray/array16/array32);
+* map (fixmap/map16/map32).
+
+Ext types and timestamps are not produced by the protocol; decoding one
+raises :class:`MsgpackError` rather than guessing.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, List, Tuple
+
+
+class MsgpackError(ValueError):
+    """Malformed or unsupported msgpack data."""
+
+
+class MsgpackTruncated(MsgpackError):
+    """The buffer ended inside a value (caller should wait for more bytes)."""
+
+
+def packb(obj: Any) -> bytes:
+    """Serialize ``obj`` to msgpack bytes."""
+    out: List[bytes] = []
+    _pack(obj, out)
+    return b"".join(out)
+
+
+def _pack(obj: Any, out: List[bytes]) -> None:
+    if obj is None:
+        out.append(b"\xc0")
+    elif obj is True:
+        out.append(b"\xc3")
+    elif obj is False:
+        out.append(b"\xc2")
+    elif isinstance(obj, int):
+        _pack_int(obj, out)
+    elif isinstance(obj, float):
+        out.append(struct.pack(">Bd", 0xCB, obj))
+    elif isinstance(obj, str):
+        _pack_str(obj, out)
+    elif isinstance(obj, (bytes, bytearray, memoryview)):
+        _pack_bin(bytes(obj), out)
+    elif isinstance(obj, (list, tuple)):
+        _pack_array(obj, out)
+    elif isinstance(obj, dict):
+        _pack_map(obj, out)
+    else:
+        raise MsgpackError(f"cannot serialize {type(obj).__name__} to msgpack")
+
+
+def _pack_int(value: int, out: List[bytes]) -> None:
+    if 0 <= value <= 0x7F:
+        out.append(bytes((value,)))
+    elif -32 <= value < 0:
+        out.append(struct.pack(">b", value))
+    elif value > 0:
+        if value <= 0xFF:
+            out.append(struct.pack(">BB", 0xCC, value))
+        elif value <= 0xFFFF:
+            out.append(struct.pack(">BH", 0xCD, value))
+        elif value <= 0xFFFFFFFF:
+            out.append(struct.pack(">BI", 0xCE, value))
+        elif value <= 0xFFFFFFFFFFFFFFFF:
+            out.append(struct.pack(">BQ", 0xCF, value))
+        else:
+            raise MsgpackError("integer out of 64-bit msgpack range")
+    else:
+        if value >= -0x80:
+            out.append(struct.pack(">Bb", 0xD0, value))
+        elif value >= -0x8000:
+            out.append(struct.pack(">Bh", 0xD1, value))
+        elif value >= -0x80000000:
+            out.append(struct.pack(">Bi", 0xD2, value))
+        elif value >= -0x8000000000000000:
+            out.append(struct.pack(">Bq", 0xD3, value))
+        else:
+            raise MsgpackError("integer out of 64-bit msgpack range")
+
+
+def _pack_str(value: str, out: List[bytes]) -> None:
+    data = value.encode("utf-8")
+    size = len(data)
+    if size <= 0x1F:
+        out.append(bytes((0xA0 | size,)))
+    elif size <= 0xFF:
+        out.append(struct.pack(">BB", 0xD9, size))
+    elif size <= 0xFFFF:
+        out.append(struct.pack(">BH", 0xDA, size))
+    elif size <= 0xFFFFFFFF:
+        out.append(struct.pack(">BI", 0xDB, size))
+    else:
+        raise MsgpackError("string too long for msgpack")
+    out.append(data)
+
+
+def _pack_bin(data: bytes, out: List[bytes]) -> None:
+    size = len(data)
+    if size <= 0xFF:
+        out.append(struct.pack(">BB", 0xC4, size))
+    elif size <= 0xFFFF:
+        out.append(struct.pack(">BH", 0xC5, size))
+    elif size <= 0xFFFFFFFF:
+        out.append(struct.pack(">BI", 0xC6, size))
+    else:
+        raise MsgpackError("bytes too long for msgpack")
+    out.append(data)
+
+
+def _pack_array(items: Any, out: List[bytes]) -> None:
+    size = len(items)
+    if size <= 0x0F:
+        out.append(bytes((0x90 | size,)))
+    elif size <= 0xFFFF:
+        out.append(struct.pack(">BH", 0xDC, size))
+    elif size <= 0xFFFFFFFF:
+        out.append(struct.pack(">BI", 0xDD, size))
+    else:
+        raise MsgpackError("array too long for msgpack")
+    for item in items:
+        _pack(item, out)
+
+
+def _pack_map(mapping: dict, out: List[bytes]) -> None:
+    size = len(mapping)
+    if size <= 0x0F:
+        out.append(bytes((0x80 | size,)))
+    elif size <= 0xFFFF:
+        out.append(struct.pack(">BH", 0xDE, size))
+    elif size <= 0xFFFFFFFF:
+        out.append(struct.pack(">BI", 0xDF, size))
+    else:
+        raise MsgpackError("map too long for msgpack")
+    for key, value in mapping.items():
+        _pack(key, out)
+        _pack(value, out)
+
+
+def unpackb(data: bytes) -> Any:
+    """Deserialize one msgpack value; trailing bytes are an error."""
+    value, offset = _unpack(data, 0)
+    if offset != len(data):
+        raise MsgpackError(f"{len(data) - offset} trailing bytes after msgpack value")
+    return value
+
+
+def _need(data: bytes, offset: int, count: int) -> None:
+    if offset + count > len(data):
+        raise MsgpackTruncated("msgpack data truncated")
+
+
+def _unpack(data: bytes, offset: int) -> Tuple[Any, int]:
+    _need(data, offset, 1)
+    marker = data[offset]
+    offset += 1
+    if marker <= 0x7F:  # positive fixint
+        return marker, offset
+    if marker >= 0xE0:  # negative fixint
+        return marker - 0x100, offset
+    if 0x80 <= marker <= 0x8F:  # fixmap
+        return _unpack_map(data, offset, marker & 0x0F)
+    if 0x90 <= marker <= 0x9F:  # fixarray
+        return _unpack_array(data, offset, marker & 0x0F)
+    if 0xA0 <= marker <= 0xBF:  # fixstr
+        return _unpack_str(data, offset, marker & 0x1F)
+    if marker == 0xC0:
+        return None, offset
+    if marker == 0xC2:
+        return False, offset
+    if marker == 0xC3:
+        return True, offset
+    if marker == 0xC4:
+        _need(data, offset, 1)
+        return _unpack_bin(data, offset + 1, data[offset])
+    if marker == 0xC5:
+        _need(data, offset, 2)
+        return _unpack_bin(data, offset + 2, struct.unpack_from(">H", data, offset)[0])
+    if marker == 0xC6:
+        _need(data, offset, 4)
+        return _unpack_bin(data, offset + 4, struct.unpack_from(">I", data, offset)[0])
+    if marker == 0xCA:
+        _need(data, offset, 4)
+        return struct.unpack_from(">f", data, offset)[0], offset + 4
+    if marker == 0xCB:
+        _need(data, offset, 8)
+        return struct.unpack_from(">d", data, offset)[0], offset + 8
+    if 0xCC <= marker <= 0xCF:
+        width = 1 << (marker - 0xCC)
+        _need(data, offset, width)
+        return int.from_bytes(data[offset : offset + width], "big"), offset + width
+    if 0xD0 <= marker <= 0xD3:
+        width = 1 << (marker - 0xD0)
+        _need(data, offset, width)
+        value = int.from_bytes(data[offset : offset + width], "big", signed=True)
+        return value, offset + width
+    if marker == 0xD9:
+        _need(data, offset, 1)
+        return _unpack_str(data, offset + 1, data[offset])
+    if marker == 0xDA:
+        _need(data, offset, 2)
+        return _unpack_str(data, offset + 2, struct.unpack_from(">H", data, offset)[0])
+    if marker == 0xDB:
+        _need(data, offset, 4)
+        return _unpack_str(data, offset + 4, struct.unpack_from(">I", data, offset)[0])
+    if marker == 0xDC:
+        _need(data, offset, 2)
+        return _unpack_array(data, offset + 2, struct.unpack_from(">H", data, offset)[0])
+    if marker == 0xDD:
+        _need(data, offset, 4)
+        return _unpack_array(data, offset + 4, struct.unpack_from(">I", data, offset)[0])
+    if marker == 0xDE:
+        _need(data, offset, 2)
+        return _unpack_map(data, offset + 2, struct.unpack_from(">H", data, offset)[0])
+    if marker == 0xDF:
+        _need(data, offset, 4)
+        return _unpack_map(data, offset + 4, struct.unpack_from(">I", data, offset)[0])
+    raise MsgpackError(f"unsupported msgpack marker 0x{marker:02x}")
+
+
+def _unpack_str(data: bytes, offset: int, size: int) -> Tuple[str, int]:
+    _need(data, offset, size)
+    try:
+        return data[offset : offset + size].decode("utf-8"), offset + size
+    except UnicodeDecodeError as error:
+        raise MsgpackError(f"invalid UTF-8 in msgpack string: {error}") from None
+
+
+def _unpack_bin(data: bytes, offset: int, size: int) -> Tuple[bytes, int]:
+    _need(data, offset, size)
+    return data[offset : offset + size], offset + size
+
+
+def _unpack_array(data: bytes, offset: int, size: int) -> Tuple[List[Any], int]:
+    items: List[Any] = []
+    for _ in range(size):
+        value, offset = _unpack(data, offset)
+        items.append(value)
+    return items, offset
+
+
+def _unpack_map(data: bytes, offset: int, size: int) -> Tuple[dict, int]:
+    result: dict = {}
+    for _ in range(size):
+        key, offset = _unpack(data, offset)
+        try:
+            hash(key)
+        except TypeError:
+            raise MsgpackError("unhashable msgpack map key") from None
+        value, offset = _unpack(data, offset)
+        result[key] = value
+    return result, offset

@@ -1,0 +1,187 @@
+"""Spec-conformance and fuzz tests for the dependency-free msgpack codec."""
+
+import math
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.msgpack_lite import (
+    MsgpackError,
+    MsgpackTruncated,
+    packb,
+    unpackb,
+)
+
+# ---------------------------------------------------------------------------
+# Known-answer vectors straight from the msgpack spec
+# ---------------------------------------------------------------------------
+
+
+class TestSpecVectors:
+    @pytest.mark.parametrize(
+        "value, encoded",
+        [
+            (None, b"\xc0"),
+            (False, b"\xc2"),
+            (True, b"\xc3"),
+            (0, b"\x00"),
+            (127, b"\x7f"),
+            (-1, b"\xff"),
+            (-32, b"\xe0"),
+            (128, b"\xcc\x80"),
+            (255, b"\xcc\xff"),
+            (256, b"\xcd\x01\x00"),
+            (65535, b"\xcd\xff\xff"),
+            (65536, b"\xce\x00\x01\x00\x00"),
+            (2**32 - 1, b"\xce\xff\xff\xff\xff"),
+            (2**32, b"\xcf\x00\x00\x00\x01\x00\x00\x00\x00"),
+            (2**64 - 1, b"\xcf" + b"\xff" * 8),
+            (-33, b"\xd0\xdf"),
+            (-128, b"\xd0\x80"),
+            (-129, b"\xd1\xff\x7f"),
+            (-32768, b"\xd1\x80\x00"),
+            (-32769, b"\xd2\xff\xff\x7f\xff"),
+            (-(2**31), b"\xd2\x80\x00\x00\x00"),
+            (-(2**31) - 1, b"\xd3\xff\xff\xff\xff\x7f\xff\xff\xff"),
+            (-(2**63), b"\xd3\x80" + b"\x00" * 7),
+            (1.5, b"\xcb" + struct.pack(">d", 1.5)),
+            ("", b"\xa0"),
+            ("hi", b"\xa2hi"),
+            ("a" * 31, b"\xbf" + b"a" * 31),
+            ("a" * 32, b"\xd9\x20" + b"a" * 32),
+            (b"", b"\xc4\x00"),
+            (b"\x01\x02", b"\xc4\x02\x01\x02"),
+            ([], b"\x90"),
+            ([1, 2, 3], b"\x93\x01\x02\x03"),
+            ({}, b"\x80"),
+            ({"a": 1}, b"\x81\xa1a\x01"),
+        ],
+    )
+    def test_known_encodings(self, value, encoded):
+        assert packb(value) == encoded
+        assert unpackb(encoded) == value
+
+    def test_integer_boundaries_use_smallest_encoding(self):
+        # The format byte families must switch exactly at the spec limits.
+        assert len(packb(127)) == 1 and len(packb(128)) == 2
+        assert len(packb(255)) == 2 and len(packb(256)) == 3
+        assert len(packb(65535)) == 3 and len(packb(65536)) == 5
+        assert len(packb(-32)) == 1 and len(packb(-33)) == 2
+
+    def test_str16_and_str32(self):
+        long = "x" * 70000
+        data = packb(long)
+        assert data[0] == 0xDA or data[0] == 0xDB
+        assert unpackb(data) == long
+
+    def test_array16_and_map16(self):
+        items = list(range(20))
+        assert unpackb(packb(items)) == items
+        mapping = {f"k{i}": i for i in range(20)}
+        assert unpackb(packb(mapping)) == mapping
+
+    def test_float32_decodes(self):
+        data = b"\xca" + struct.pack(">f", 0.5)
+        assert unpackb(data) == 0.5
+
+    def test_unicode_round_trip(self):
+        value = {"θέμα": "δίκτυο", "日本": "東京", "emoji": "🛰️"}
+        assert unpackb(packb(value)) == value
+
+
+# ---------------------------------------------------------------------------
+# Error handling
+# ---------------------------------------------------------------------------
+
+
+class TestErrors:
+    def test_truncated_raises_truncation(self):
+        data = packb({"key": [1, 2, "three"]})
+        for cut in range(1, len(data)):
+            with pytest.raises(MsgpackTruncated):
+                unpackb(data[:cut])
+
+    def test_trailing_bytes_rejected(self):
+        with pytest.raises(MsgpackError, match="trailing"):
+            unpackb(packb(1) + b"\x00")
+
+    def test_ext_marker_rejected(self):
+        with pytest.raises(MsgpackError, match="marker"):
+            unpackb(b"\xc7\x01\x00\x00")  # ext8
+
+    def test_reserved_marker_rejected(self):
+        with pytest.raises(MsgpackError):
+            unpackb(b"\xc1")
+
+    def test_invalid_utf8_rejected(self):
+        with pytest.raises(MsgpackError, match="UTF-8"):
+            unpackb(b"\xa2\xff\xfe")
+
+    def test_unserializable_type_rejected(self):
+        with pytest.raises(MsgpackError):
+            packb({"bad": object()})
+
+    def test_out_of_range_int_rejected(self):
+        with pytest.raises(MsgpackError):
+            packb(2**64)
+        with pytest.raises(MsgpackError):
+            packb(-(2**63) - 1)
+
+
+# ---------------------------------------------------------------------------
+# Fuzz: arbitrary protocol-shaped values round-trip to identity
+# ---------------------------------------------------------------------------
+
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**63), max_value=2**64 - 1),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=64),
+    st.binary(max_size=64),
+)
+
+values = st.recursive(
+    scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=6),
+        st.dictionaries(st.text(max_size=12), children, max_size=6),
+    ),
+    max_leaves=25,
+)
+
+
+class TestFuzz:
+    @given(values)
+    @settings(max_examples=300, deadline=None)
+    def test_round_trip_identity(self, value):
+        decoded = unpackb(packb(value))
+        assert decoded == value
+
+    @given(values)
+    @settings(max_examples=150, deadline=None)
+    def test_every_truncation_raises_cleanly(self, value):
+        data = packb(value)
+        for cut in (1, len(data) // 2, len(data) - 1):
+            if 0 < cut < len(data):
+                with pytest.raises(MsgpackError):
+                    unpackb(data[:cut])
+
+    @given(st.floats(allow_nan=False, allow_infinity=False))
+    @settings(max_examples=150, deadline=None)
+    def test_floats_are_exact(self, value):
+        # Always float64 on the wire: no precision loss, ever.
+        decoded = unpackb(packb(value))
+        assert decoded == value and math.copysign(1, decoded) == math.copysign(1, value)
+
+    @given(st.binary(min_size=1, max_size=40))
+    @settings(max_examples=300, deadline=None)
+    def test_garbage_never_crashes(self, data):
+        # Arbitrary bytes either decode to something or raise MsgpackError;
+        # nothing else may escape.
+        try:
+            unpackb(data)
+        except MsgpackError:
+            pass

@@ -1,0 +1,271 @@
+"""Integration tests: asyncio BrokerServer + async client SDK, in process.
+
+Everything here runs server and clients in one event loop (no
+subprocesses — the multi-process path is ``test_wire_oracle.py``), driven
+through ``asyncio.run`` from sync test functions since the environment has
+no pytest-asyncio.
+"""
+
+import asyncio
+import struct
+
+import pytest
+
+from repro.net import wire
+from repro.net.client import BrokerReplyError, connect
+from repro.net.server import BrokerServer
+from repro.pubsub.events import Event
+from repro.pubsub.subscriptions import Operator, Predicate, Subscription
+
+
+def sub(topic, subscriber="c", **extra):
+    predicates = [Predicate("topic", Operator.EQ, topic)]
+    for attribute, (operator, value) in extra.items():
+        predicates.append(Predicate(attribute, operator, value))
+    return Subscription(
+        event_type="news.story", predicates=tuple(predicates), subscriber=subscriber
+    )
+
+
+def story(topic, **attributes):
+    return Event("news.story", {"topic": topic, **attributes}, timestamp=1.0)
+
+
+def run(coro_fn, timeout=30.0):
+    async def wrapper():
+        server = BrokerServer("b0", port=0)
+        await server.start()
+        try:
+            await asyncio.wait_for(coro_fn(server), timeout=timeout)
+        finally:
+            await server.shutdown(drain=False)
+
+    asyncio.run(wrapper())
+
+
+class TestRequestReply:
+    def test_subscribe_publish_deliver(self):
+        async def scenario(server):
+            async with await connect("127.0.0.1", server.port, name="s") as client:
+                placed = sub("ai", subscriber="s")
+                await client.subscribe(placed)
+                assert await client.publish(story("ai")) == 1
+                delivery = await client.next_event(timeout=5)
+                assert delivery.event.attributes["topic"] == "ai"
+                assert delivery.subscription_ids == (placed.subscription_id,)
+                assert delivery.hops == 0
+
+        run(scenario)
+
+    def test_unsubscribe_stops_delivery(self):
+        async def scenario(server):
+            async with await connect("127.0.0.1", server.port, name="s") as client:
+                placed = sub("ai", subscriber="s")
+                await client.subscribe(placed)
+                assert await client.unsubscribe(placed.subscription_id) is True
+                assert await client.publish(story("ai")) == 0
+                assert await client.next_event(timeout=0.2) is None
+
+        run(scenario)
+
+    def test_publish_many_acks_total_matches(self):
+        async def scenario(server):
+            async with await connect("127.0.0.1", server.port, name="s") as client:
+                await client.subscribe(sub("ai", subscriber="s"))
+                await client.subscribe(
+                    sub("ai", subscriber="s", priority=(Operator.GE, 5))
+                )
+                events = [story("ai", priority=p) for p in (1, 7)] + [story("other")]
+                # priority=1 matches one sub, priority=7 matches both.
+                assert await client.publish_many(events) == 3
+                got = []
+                for _ in range(2):
+                    got.append(await client.next_event(timeout=5))
+                assert sum(len(d.subscription_ids) for d in got) == 3
+
+        run(scenario)
+
+    def test_concurrent_requests_correlate(self):
+        async def scenario(server):
+            async with await connect("127.0.0.1", server.port, name="s") as client:
+                subs = [sub(f"t{i}", subscriber="s") for i in range(20)]
+                await asyncio.gather(*(client.subscribe(s) for s in subs))
+                stats = await client.stats()
+                assert stats["subscriptions"] == 20
+
+        run(scenario)
+
+    def test_two_sessions_fan_out_by_ownership(self):
+        async def scenario(server):
+            alice = await connect("127.0.0.1", server.port, name="alice")
+            bob = await connect("127.0.0.1", server.port, name="bob")
+            try:
+                sub_a = sub("ai", subscriber="alice")
+                sub_b = sub("ai", subscriber="bob")
+                await alice.subscribe(sub_a)
+                await bob.subscribe(sub_b)
+                assert await alice.publish(story("ai")) == 2
+                delivery_a = await alice.next_event(timeout=5)
+                delivery_b = await bob.next_event(timeout=5)
+                assert delivery_a.subscription_ids == (sub_a.subscription_id,)
+                assert delivery_b.subscription_ids == (sub_b.subscription_id,)
+            finally:
+                await alice.close()
+                await bob.close()
+
+        run(scenario)
+
+    def test_stats_snapshot_shape(self):
+        async def scenario(server):
+            async with await connect("127.0.0.1", server.port, name="s") as client:
+                stats = await client.stats()
+                assert stats["broker"] == "b0"
+                assert "metrics" in stats and "counters" in stats["metrics"]
+
+        run(scenario)
+
+
+class TestProtocolResilience:
+    def test_malformed_frame_gets_error_reply_connection_survives(self):
+        async def scenario(server):
+            reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
+            decoder = wire.FrameDecoder()
+
+            async def read_message():
+                while True:
+                    data = await asyncio.wait_for(reader.read(65536), timeout=5)
+                    assert data, "server closed the connection"
+                    frames = decoder.feed(data)
+                    if frames:
+                        return wire.decode_payload(frames[0])
+
+            writer.write(wire.hello_frame("client", "raw", 1))
+            await writer.drain()
+            assert (await read_message()).msg_type == "ack"
+
+            # Garbage msgpack in a well-formed frame -> typed error reply.
+            bad_payload = bytes([wire.WIRE_VERSION]) + b"\xc1\xc1\xc1"
+            writer.write(struct.pack(">I", len(bad_payload)) + bad_payload)
+            await writer.drain()
+            message = await read_message()
+            assert message.msg_type == "error"
+            assert message.body["code"] == "bad_payload"
+
+            # Wrong protocol version byte -> typed error reply.
+            good = wire.stats_frame(7)
+            forged = struct.pack(">I", len(good) - 4) + bytes([9]) + good[5:]
+            writer.write(forged)
+            await writer.drain()
+            message = await read_message()
+            assert message.msg_type == "error"
+            assert message.body["code"] == "bad_version"
+
+            # Unknown message type -> typed error reply.
+            payload = bytes([wire.WIRE_VERSION]) + wire.packb(["warp", 3, {}])
+            writer.write(struct.pack(">I", len(payload)) + payload)
+            await writer.drain()
+            message = await read_message()
+            assert message.msg_type == "error"
+            assert message.body["code"] == "unknown_type"
+
+            # The connection still serves valid requests after all three.
+            writer.write(wire.stats_frame(9))
+            await writer.drain()
+            message = await read_message()
+            assert message.msg_type == "ack" and message.request_id == 9
+            writer.close()
+            await writer.wait_closed()
+
+        run(scenario)
+
+    def test_request_before_hello_rejected(self):
+        async def scenario(server):
+            reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
+            writer.write(wire.stats_frame(1))
+            await writer.drain()
+            decoder = wire.FrameDecoder()
+            data = await asyncio.wait_for(reader.read(65536), timeout=5)
+            message = wire.decode_payload(decoder.feed(data)[0])
+            assert message.msg_type == "ack" and message.body["ok"] is False
+            writer.close()
+            await writer.wait_closed()
+
+        run(scenario)
+
+    def test_malformed_subscription_nacks_request(self):
+        async def scenario(server):
+            async with await connect("127.0.0.1", server.port, name="s") as client:
+                with pytest.raises(BrokerReplyError):
+                    await client._request(
+                        lambda rid: wire.encode_frame(
+                            "subscribe", rid, {"sub": {"t": "", "id": ""}}
+                        )
+                    )
+                # Session still works.
+                assert (await client.stats())["broker"] == "b0"
+
+        run(scenario)
+
+
+class TestReconnect:
+    def test_reconnect_replays_subscriptions(self):
+        async def wrapper():
+            server = BrokerServer("b0", port=0)
+            await server.start()
+            port = server.port
+            client = await connect("127.0.0.1", port, name="s", reconnect=True)
+            placed = sub("ai", subscriber="s")
+            await client.subscribe(placed)
+            # Kill the server (drops the session), then restart on the
+            # same port; the client must re-dial and re-subscribe.
+            await server.shutdown(drain=False)
+            server = BrokerServer("b0", host="127.0.0.1", port=port)
+            await server.start()
+            for _ in range(100):
+                if len(server.node.local_engine):
+                    break
+                await asyncio.sleep(0.05)
+            assert len(server.node.local_engine) == 1
+            assert await client.publish(story("ai")) == 1
+            delivery = await client.next_event(timeout=5)
+            assert delivery.subscription_ids == (placed.subscription_id,)
+            await client.close()
+            await server.shutdown(drain=False)
+
+        asyncio.run(asyncio.wait_for(wrapper(), timeout=30))
+
+    def test_close_without_reconnect_ends_event_stream(self):
+        async def wrapper():
+            server = BrokerServer("b0", port=0)
+            await server.start()
+            client = await connect(
+                "127.0.0.1", server.port, name="s", reconnect=False
+            )
+            await server.shutdown(drain=False)
+            # Stream terminates rather than hanging.
+            assert await asyncio.wait_for(client.next_event(), timeout=5) is None
+            await client.close()
+
+        asyncio.run(asyncio.wait_for(wrapper(), timeout=30))
+
+
+class TestGracefulDrain:
+    def test_drain_request_flushes_and_stops(self):
+        async def wrapper():
+            server = BrokerServer("b0", port=0)
+            await server.start()
+            client = await connect(
+                "127.0.0.1", server.port, name="s", reconnect=False
+            )
+            placed = sub("ai", subscriber="s")
+            await client.subscribe(placed)
+            assert await client.publish(story("ai")) == 1
+            await client.drain()
+            await asyncio.wait_for(server.serve_forever(), timeout=10)
+            # The delivery enqueued before the drain still arrived.
+            delivery = await asyncio.wait_for(client.next_event(), timeout=5)
+            assert delivery is not None
+            assert delivery.subscription_ids == (placed.subscription_id,)
+            await client.close()
+
+        asyncio.run(asyncio.wait_for(wrapper(), timeout=30))

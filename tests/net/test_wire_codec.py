@@ -1,0 +1,289 @@
+"""Property tests for the wire codec: IR round-trips and frame handling.
+
+The satellite contract: fuzz round-trip of ``Subscription`` / ``FilterExpr``
+/ events across **all** predicate operators (ranges, EXISTS, prefix/contains
+wildcards, unicode attributes) must be identity, and malformed frames
+(truncated, bad version, unknown message type) must yield typed errors —
+never crashes, never silent misdecodes.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net import wire
+from repro.net.wire import (
+    WIRE_VERSION,
+    FrameDecoder,
+    FrameError,
+    ProtocolError,
+    decode_event,
+    decode_filter_expr,
+    decode_payload,
+    decode_subscription,
+    encode_event,
+    encode_filter_expr,
+    encode_frame,
+    encode_subscription,
+)
+from repro.pubsub.algebra import FilterExpr
+from repro.pubsub.events import Event
+from repro.pubsub.subscriptions import Operator, Predicate, Subscription
+
+# ---------------------------------------------------------------------------
+# Strategies: every operator, unicode attribute names, all value types
+# ---------------------------------------------------------------------------
+
+attribute_names = st.one_of(
+    st.text(alphabet="abcdefghijklmnopqrstuvwxyz_", min_size=1, max_size=10),
+    st.sampled_from(["θέμα", "優先度", "città", "тема"]),
+)
+
+attribute_values = st.one_of(
+    st.text(max_size=20),
+    st.integers(min_value=-(2**31), max_value=2**31),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.booleans(),
+)
+
+comparison_operators = st.sampled_from(
+    [
+        Operator.EQ,
+        Operator.NE,
+        Operator.LT,
+        Operator.LE,
+        Operator.GT,
+        Operator.GE,
+        Operator.PREFIX,
+        Operator.CONTAINS,
+    ]
+)
+
+
+def predicate_strategy():
+    comparison = st.builds(
+        lambda attr, op, value: Predicate(attr, op, value),
+        attribute_names,
+        comparison_operators,
+        attribute_values,
+    )
+    exists = st.builds(
+        lambda attr: Predicate(attr, Operator.EXISTS, None), attribute_names
+    )
+    return st.one_of(comparison, exists)
+
+
+subscription_strategy = st.builds(
+    lambda event_type, predicates, subscriber: Subscription(
+        event_type=event_type,
+        predicates=tuple(predicates),
+        subscriber=subscriber,
+    ),
+    st.text(min_size=1, max_size=20),
+    st.lists(predicate_strategy(), max_size=6),
+    st.text(max_size=12),
+)
+
+filter_strategy = st.builds(
+    lambda event_type, predicates, name: FilterExpr(
+        event_type=event_type, predicates=tuple(predicates), name=name
+    ),
+    st.text(min_size=1, max_size=20),
+    st.lists(predicate_strategy(), max_size=6),
+    st.text(min_size=1, max_size=12),
+)
+
+event_strategy = st.builds(
+    lambda event_type, attributes, timestamp: Event(
+        event_type=event_type, attributes=attributes, timestamp=timestamp
+    ),
+    st.text(min_size=1, max_size=20),
+    st.dictionaries(attribute_names, attribute_values, max_size=6),
+    st.floats(min_value=0, max_value=1e9, allow_nan=False),
+)
+
+
+# ---------------------------------------------------------------------------
+# Round-trips == identity (through real msgpack bytes, not just dicts)
+# ---------------------------------------------------------------------------
+
+
+def frame_round_trip(msg_type: str, body: dict) -> dict:
+    """Push a body through a complete frame encode/decode cycle."""
+    frames = FrameDecoder().feed(encode_frame(msg_type, 1, body))
+    assert len(frames) == 1
+    message = decode_payload(frames[0])
+    assert message.msg_type == msg_type and message.request_id == 1
+    return message.body
+
+
+class TestRoundTrips:
+    @given(subscription_strategy)
+    @settings(max_examples=200, deadline=None)
+    def test_subscription_identity(self, subscription):
+        body = frame_round_trip("subscribe", {"sub": encode_subscription(subscription)})
+        decoded = decode_subscription(body["sub"])
+        assert decoded == subscription
+        assert decoded.subscription_id == subscription.subscription_id
+        assert decoded.predicates == subscription.predicates
+
+    @given(filter_strategy)
+    @settings(max_examples=150, deadline=None)
+    def test_filter_expr_identity(self, expr):
+        decoded = decode_filter_expr(
+            frame_round_trip("subscribe", {"f": encode_filter_expr(expr)})["f"]
+        )
+        # FilterExpr compares by identity, so check the fields.
+        assert decoded.event_type == expr.event_type
+        assert decoded.predicates == expr.predicates
+        assert decoded.name == expr.name
+
+    @given(event_strategy)
+    @settings(max_examples=200, deadline=None)
+    def test_event_identity(self, event):
+        body = frame_round_trip("publish", {"event": encode_event(event)})
+        decoded = decode_event(body["event"])
+        assert decoded == event
+        assert decoded.event_id == event.event_id
+        assert decoded.timestamp == event.timestamp
+        assert dict(decoded.attributes) == dict(event.attributes)
+
+    @given(event_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_matching_is_transport_invariant(self, event):
+        # A decoded event matches exactly the predicates the original did.
+        predicates = [
+            Predicate(attr, Operator.EXISTS, None) for attr in event.attributes
+        ]
+        decoded = decode_event(encode_event(event))
+        for predicate in predicates:
+            assert predicate.matches(decoded) == predicate.matches(event)
+
+    def test_range_exists_wildcard_operators_explicitly(self):
+        subscription = Subscription(
+            event_type="news.story",
+            predicates=(
+                Predicate("priority", Operator.GE, 2),
+                Predicate("priority", Operator.LE, 8),
+                Predicate("score", Operator.GT, 0.25),
+                Predicate("author", Operator.EXISTS, None),
+                Predicate("title", Operator.PREFIX, "Breaking"),
+                Predicate("body", Operator.CONTAINS, "δίκτυο"),
+                Predicate("flagged", Operator.NE, True),
+            ),
+            subscriber="σ-client",
+        )
+        assert decode_subscription(encode_subscription(subscription)) == subscription
+
+
+# ---------------------------------------------------------------------------
+# Frame splitting
+# ---------------------------------------------------------------------------
+
+
+class TestFraming:
+    @given(st.lists(event_strategy, min_size=1, max_size=6), st.integers(1, 7))
+    @settings(max_examples=60, deadline=None)
+    def test_reassembly_across_arbitrary_chunking(self, events, chunk):
+        stream = b"".join(
+            wire.publish_frame(event, index + 1) for index, event in enumerate(events)
+        )
+        decoder = FrameDecoder()
+        payloads = []
+        for offset in range(0, len(stream), chunk):
+            payloads.extend(decoder.feed(stream[offset : offset + chunk]))
+        assert decoder.pending_bytes == 0
+        assert len(payloads) == len(events)
+        for event, payload in zip(events, payloads):
+            assert decode_event(decode_payload(payload).body["event"]) == event
+
+    def test_partial_frame_waits(self):
+        frame = wire.hello_frame("client", "x", 1)
+        decoder = FrameDecoder()
+        assert decoder.feed(frame[:-1]) == []
+        assert decoder.pending_bytes == len(frame) - 1
+        assert len(decoder.feed(frame[-1:])) == 1
+
+    def test_oversized_length_prefix_is_fatal(self):
+        decoder = FrameDecoder(max_frame_bytes=1024)
+        with pytest.raises(FrameError):
+            decoder.feed(b"\x7f\xff\xff\xff")
+
+
+# ---------------------------------------------------------------------------
+# Malformed payloads: typed ProtocolError, correct code, never a crash
+# ---------------------------------------------------------------------------
+
+
+class TestMalformed:
+    def test_bad_version_byte(self):
+        frame = wire.hello_frame("client", "x", 1)
+        payload = FrameDecoder().feed(frame)[0]
+        with pytest.raises(ProtocolError) as exc:
+            decode_payload(bytes([WIRE_VERSION + 1]) + payload[1:])
+        assert exc.value.code == "bad_version"
+
+    def test_empty_payload(self):
+        with pytest.raises(ProtocolError) as exc:
+            decode_payload(b"")
+        assert exc.value.code == "empty_frame"
+
+    def test_unknown_message_type(self):
+        payload = FrameDecoder().feed(encode_frame("hello", 1, {}))[0]
+        from repro.net.wire import packb
+
+        forged = bytes([WIRE_VERSION]) + packb(["nope", 1, {}])
+        with pytest.raises(ProtocolError) as exc:
+            decode_payload(forged)
+        assert exc.value.code == "unknown_type"
+        assert decode_payload(payload).msg_type == "hello"  # decoder unharmed
+
+    def test_garbage_msgpack_payload(self):
+        with pytest.raises(ProtocolError) as exc:
+            decode_payload(bytes([WIRE_VERSION]) + b"\xc1\xc1\xc1")
+        assert exc.value.code == "bad_payload"
+
+    def test_wrong_payload_shape(self):
+        from repro.net.wire import packb
+
+        with pytest.raises(ProtocolError) as exc:
+            decode_payload(bytes([WIRE_VERSION]) + packb({"not": "a list"}))
+        assert exc.value.code == "bad_payload"
+
+    @pytest.mark.parametrize(
+        "decoder, payload, code",
+        [
+            (decode_subscription, "not a map", "bad_subscription"),
+            (decode_subscription, {"t": "", "p": [], "s": "", "id": "x"},
+             "bad_subscription"),
+            (decode_subscription, {"t": "e", "p": [], "s": "", "id": ""},
+             "bad_subscription"),
+            (decode_subscription,
+             {"t": "e", "p": [["a", "nope", 1]], "s": "", "id": "x"},
+             "bad_predicate"),
+            (decode_subscription,
+             {"t": "e", "p": [["a", "eq"]], "s": "", "id": "x"},
+             "bad_predicate"),
+            (decode_subscription,
+             {"t": "e", "p": [["a", "eq", None]], "s": "", "id": "x"},
+             "bad_predicate"),
+            (decode_filter_expr, {"t": "e", "p": "x", "n": "f"}, "bad_filter"),
+            (decode_event, {"t": "", "a": {}, "ts": 0.0, "id": "e"}, "bad_event"),
+            (decode_event, {"t": "e", "a": {}, "ts": "late", "id": "e"}, "bad_event"),
+            (decode_event, {"t": "e", "a": {"k": []}, "ts": 0.0, "id": "e"},
+             "bad_event"),
+            (decode_event, {"t": "e", "a": {}, "ts": 0.0, "id": ""}, "bad_event"),
+        ],
+    )
+    def test_malformed_ir_bodies(self, decoder, payload, code):
+        with pytest.raises(ProtocolError) as exc:
+            decoder(payload)
+        assert exc.value.code == code
+
+    @given(st.binary(max_size=60))
+    @settings(max_examples=300, deadline=None)
+    def test_arbitrary_payload_bytes_never_crash(self, payload):
+        try:
+            decode_payload(payload)
+        except ProtocolError:
+            pass

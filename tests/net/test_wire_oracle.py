@@ -1,0 +1,141 @@
+"""The wire == sim delivery oracle.
+
+The acceptance gate of the wire transport: the same seeded workload
+(subscriptions placed round-robin, events published at broker 0) replayed
+through
+
+* the **wire path** — real OS processes per broker over localhost TCP
+  (:class:`~repro.net.launcher.WireCluster` + the async client SDK), and
+* the **sim path** — the deterministic sim-clock
+  :class:`~repro.cluster.broker_cluster.BrokerCluster` on the identical
+  topology
+
+must produce *identical* delivery sets ``{(event_id, subscription_id)}``,
+and both must equal the single-engine ground truth.  Run directly by CI's
+wire-oracle job.
+"""
+
+import asyncio
+from typing import List, Set, Tuple
+
+import pytest
+
+from repro.cluster.broker_cluster import BrokerCluster, build_cluster_topology
+from repro.net.driver import expected_deliveries, run_wire_workload
+from repro.net.launcher import WireCluster, topology_specs
+from repro.experiments.substrate import make_event, make_subscription
+from repro.sim.rng import SeededRNG
+
+TOPICS = ["sports", "politics", "weather", "finance", "music"]
+
+
+def make_workload(seed: int, num_brokers: int, num_subs: int, num_events: int):
+    """Deterministic workload with explicit round-robin placement."""
+    rng = SeededRNG(seed)
+    placements = [
+        (
+            f"b{index % num_brokers}",
+            make_subscription(rng, TOPICS, subscriber=f"client-{index}"),
+        )
+        for index in range(num_subs)
+    ]
+    events = [
+        make_event(rng, TOPICS, timestamp=float(index))
+        for index in range(num_events)
+    ]
+    return placements, events
+
+
+def sim_delivery_set(
+    topology: str, num_brokers: int, placements, events
+) -> Set[Tuple[str, str]]:
+    """Replay the workload through the sim-clock cluster."""
+    cluster = BrokerCluster()
+    build_cluster_topology(topology, num_brokers, cluster)
+    seen: Set[Tuple[str, str]] = set()
+    cluster.on_delivery(
+        lambda _broker, _subscriber, event, subscription: seen.add(
+            (event.event_id, subscription.subscription_id)
+        )
+    )
+    for broker_name, subscription in placements:
+        cluster.subscribe(broker_name, subscription)
+    for event in events:
+        cluster.publish("b0", event)
+    cluster.run()
+    return seen
+
+
+def wire_delivery_set(
+    topology: str, num_brokers: int, placements, events
+) -> Set[Tuple[str, str]]:
+    """Replay the workload through real broker processes over TCP."""
+    with WireCluster(topology_specs(topology, num_brokers)) as cluster:
+        result = asyncio.run(
+            run_wire_workload(cluster, placements, events, publish_broker="b0")
+        )
+        if not result.complete:
+            logs = "\n".join(
+                f"--- {name} ---\n{cluster.logs(name)}" for name in cluster.names
+            )
+            pytest.fail(
+                f"wire path delivered {len(result.delivery_set)} of "
+                f"{result.expected} expected pairs within the timeout\n{logs}"
+            )
+    return result.delivery_set
+
+
+@pytest.mark.parametrize(
+    "topology, num_brokers",
+    [("line", 3), ("star", 4), ("tree", 5)],
+)
+def test_wire_matches_sim_delivery(topology, num_brokers):
+    placements, events = make_workload(
+        seed=1234 + num_brokers, num_brokers=num_brokers, num_subs=40, num_events=60
+    )
+    truth = expected_deliveries([s for _, s in placements], events)
+    assert truth, "degenerate workload: ground truth is empty"
+
+    sim_set = sim_delivery_set(topology, num_brokers, placements, events)
+    wire_set = wire_delivery_set(topology, num_brokers, placements, events)
+
+    assert sim_set == truth, (
+        f"sim path diverged from ground truth: "
+        f"missing={len(truth - sim_set)} extra={len(sim_set - truth)}"
+    )
+    assert wire_set == truth, (
+        f"wire path diverged from ground truth: "
+        f"missing={len(truth - wire_set)} extra={len(wire_set - truth)}"
+    )
+    assert wire_set == sim_set
+
+
+def test_wire_matches_sim_with_remote_publisher():
+    """Publish at a leaf (b2 of a line) instead of the edge-0 broker, so
+    forwarding crosses every link in the other direction too."""
+    placements, events = make_workload(seed=99, num_brokers=3, num_subs=24, num_events=40)
+    truth = expected_deliveries([s for _, s in placements], events)
+
+    cluster = BrokerCluster()
+    build_cluster_topology("line", 3, cluster)
+    seen: Set[Tuple[str, str]] = set()
+    cluster.on_delivery(
+        lambda _b, _s, event, subscription: seen.add(
+            (event.event_id, subscription.subscription_id)
+        )
+    )
+    for broker_name, subscription in placements:
+        cluster.subscribe(broker_name, subscription)
+    for event in events:
+        cluster.publish("b2", event)
+    cluster.run()
+
+    with WireCluster(topology_specs("line", 3)) as wire_cluster:
+        result = asyncio.run(
+            run_wire_workload(wire_cluster, placements, events, publish_broker="b2")
+        )
+        assert result.complete, (
+            f"wire path delivered {len(result.delivery_set)}/{result.expected}"
+        )
+    assert seen == truth
+    assert result.delivery_set == truth
