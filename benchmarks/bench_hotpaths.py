@@ -257,6 +257,41 @@ def test_hp_routed_cluster_publish(benchmark):
     assert cluster.metrics.counter("cluster.events_forwarded").value > 0
 
 
+def test_hp_mesh_publish_dedup(benchmark):
+    """2k events through a 5-broker *mesh* (ring + chords, sim-driven).
+
+    Pins the redundant-routing overhead: on a cyclic overlay every event
+    fans out over multiple paths and each broker's TTL-bounded
+    ``DedupIndex`` suppresses the re-arrivals.  The delta against
+    ``test_hp_routed_cluster_publish`` (acyclic line) is the price of
+    redundancy — extra forwards plus per-ingress dedup probes.
+    """
+    from repro.cluster.broker_cluster import BrokerCluster, build_cluster_topology
+
+    subscriptions, events = _cluster_publish_workload(num_subscriptions=6_000)
+    rng = SeededRNG(41)
+    cluster = BrokerCluster(
+        service_rate=1e9, batch_size=64, link_latency=0.001, allow_cycles=True
+    )
+    names = build_cluster_topology("mesh", 5, cluster)
+    for subscription in subscriptions:
+        cluster.subscribe(names[rng.randint(0, len(names) - 1)], subscription)
+    expected = cluster.metrics.counter("cluster.deliveries")
+
+    def run():
+        start = expected.value
+        for index, event in enumerate(events):
+            cluster.publish(names[index % len(names)], event)
+        cluster.run()
+        return expected.value - start
+
+    deliveries = benchmark(run)
+    assert deliveries > 0
+    assert cluster.network.duplicates_suppressed > 0, (
+        "a mesh publish run must exercise duplicate suppression"
+    )
+
+
 def test_hp_routed_publish_many(benchmark):
     """10k events through the routed line cluster, batched vs sequential.
 

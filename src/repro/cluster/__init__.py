@@ -30,7 +30,19 @@ names:
   :class:`~repro.cluster.faults.FaultInjector`), heartbeat-driven failure
   detection with covering-aware route repair and rejoin re-advertisement
   (:class:`~repro.cluster.recovery.FailureDetector`), and the routing
-  convergence oracle used by ``repro.experiments.cluster_churn``.
+  convergence oracle used by ``repro.experiments.cluster_churn``;
+* :mod:`~repro.cluster.replication` + :mod:`~repro.cluster.durable` are
+  the durability subsystem (PR 10): cyclic/redundant overlays (ring and
+  mesh topologies with per-broker
+  :class:`~repro.cluster.durable.DedupIndex` duplicate suppression),
+  :class:`~repro.cluster.replication.ReplicationManager` keeping R
+  replica homes per subscription with detector-driven failover/failback
+  through the ordinary control plane, and
+  :class:`~repro.cluster.durable.DurabilityManager` (per-broker
+  :class:`~repro.cluster.durable.DurableLog`, deferred publishes, crash
+  replay, subscriber-side dedup) — exactly-once observable delivery
+  through crashes, asserted by C2's ``--mesh --replicate --replay``
+  oracle.
 """
 
 from repro.cluster.batch import BatchPublisher, BatchReport
@@ -41,8 +53,11 @@ from repro.cluster.broker_cluster import (
     EventEnvelope,
     build_cluster_topology,
     topology_edges,
+    topology_is_cyclic,
 )
+from repro.cluster.durable import DedupIndex, DurabilityManager, DurableLog
 from repro.cluster.faults import FaultAction, FaultInjector, FaultPlan
+from repro.cluster.replication import ReplicatedSubscription, ReplicationManager
 from repro.cluster.placement import AttributeRangePlacement, HashPlacement
 from repro.cluster.recovery import (
     FailureDetector,
@@ -67,6 +82,9 @@ __all__ = [
     "BrokerCluster",
     "BrokerProcess",
     "BrokerProcessStats",
+    "DedupIndex",
+    "DurabilityManager",
+    "DurableLog",
     "EventEnvelope",
     "FailureDetector",
     "FaultAction",
@@ -74,6 +92,8 @@ __all__ = [
     "FaultPlan",
     "HashPlacement",
     "MultiprocessExecutor",
+    "ReplicatedSubscription",
+    "ReplicationManager",
     "RoutingFabric",
     "SerialExecutor",
     "ShardView",
@@ -86,4 +106,5 @@ __all__ = [
     "routing_converged",
     "sharded_engine_factory",
     "topology_edges",
+    "topology_is_cyclic",
 ]

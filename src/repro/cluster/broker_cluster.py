@@ -52,6 +52,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Deque, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
+from repro.cluster.durable import DedupIndex
 from repro.cluster.routing import RoutingFabric
 from repro.obs.audit import RouteAuditLog
 from repro.obs.trace import TraceContext, Tracer
@@ -70,6 +71,8 @@ ClusterDeliveryCallback = Callable[[str, str, Event, Subscription], None]
 ClusterDeliveryBatchCallback = Callable[[str, Event, List[Subscription]], None]
 # Lifecycle notifications: ("crashed" | "recovered", broker name, sim time).
 LifecycleCallback = Callable[[str, str, float], None]
+# Overlay link notifications: ("failed" | "restored", first, second, sim time).
+LinkEventCallback = Callable[[str, str, str, float], None]
 
 # What a crash does to a broker's queued events: "freeze" keeps the
 # mailbox for post-recovery service (durable queue), "drop" loses it
@@ -87,6 +90,10 @@ class EventEnvelope:
     (so forwarding never bounces an event back along its arrival link).
     ``trace`` is the sampled-trace handle (``None`` for unsampled events
     and for clusters without a tracer — the common, zero-cost case).
+    ``attempt`` is the durable-replay incarnation of the publication: the
+    mesh dedup seen-set is keyed ``(event_id, attempt)``, so a replay
+    (attempt+1) traverses the redundant overlay again while in-flight
+    duplicates of the same attempt are suppressed.
     """
 
     event: Event
@@ -94,6 +101,7 @@ class EventEnvelope:
     hops: int = 0
     came_from: Optional[str] = None
     trace: Optional[TraceContext] = None
+    attempt: int = 0
 
 
 @dataclass
@@ -139,6 +147,7 @@ class BrokerProcessStats:
     busy_time: float = 0.0
     events_forwarded: int = 0
     forwards_received: int = 0
+    duplicates_suppressed: int = 0
     crashes: int = 0
     events_lost: int = 0
     downtime: float = 0.0
@@ -152,6 +161,7 @@ class BrokerProcessStats:
             "busy_time": self.busy_time,
             "events_forwarded": float(self.events_forwarded),
             "forwards_received": float(self.forwards_received),
+            "duplicates_suppressed": float(self.duplicates_suppressed),
             "crashes": float(self.crashes),
             "events_lost": float(self.events_lost),
             "downtime": self.downtime,
@@ -215,6 +225,14 @@ class BrokerProcess:
         # helpers go through the routing fabric (standalone processes
         # outside a cluster fall back to local-only behavior).
         self._cluster: Optional["BrokerCluster"] = None
+        # Per-event dedup seen-set, present only on cyclic (mesh)
+        # clusters: redundant paths deliver the same event along several
+        # routes, and this index makes each broker serve an (event,
+        # attempt) at most once.  It deliberately survives crashes — the
+        # recovered broker suppressing a copy it already served is always
+        # safe because lost work is recovered by durable replay, never by
+        # re-forwarding.
+        self.seen: Optional[DedupIndex] = None
 
     @property
     def engine(self) -> MatchingEngine:
@@ -280,6 +298,8 @@ class BrokerCluster:
         merge_ingress: bool = False,
         tracer: Optional[Tracer] = None,
         route_audit: bool = False,
+        allow_cycles: bool = False,
+        dedup_ttl: Optional[float] = 60.0,
     ) -> None:
         if link_latency < 0:
             raise ValueError("link_latency must be non-negative")
@@ -296,10 +316,17 @@ class BrokerCluster:
         self.default_batch_overhead = batch_overhead
         self.default_mailbox_policy = mailbox_policy
         self.link_latency = link_latency
+        # Cyclic (mesh) clusters route over redundant paths: the fabric
+        # keeps routes on every 2-connected edge and the data plane
+        # suppresses the duplicate forwards with per-broker seen-sets
+        # bounded by ``dedup_ttl`` (sim seconds).
+        self.allow_cycles = allow_cycles
+        self.dedup_ttl = dedup_ttl
         self.fabric = RoutingFabric(
             metrics=self.metrics,
             merge_ingress=merge_ingress,
             audit=RouteAuditLog() if route_audit else None,
+            allow_cycles=allow_cycles,
         )
         self.network = (
             network
@@ -313,6 +340,9 @@ class BrokerCluster:
         self._delivery_callbacks: List[ClusterDeliveryCallback] = []
         self._delivery_batch_callbacks: List[ClusterDeliveryBatchCallback] = []
         self._lifecycle_callbacks: List[LifecycleCallback] = []
+        self._link_callbacks: List[LinkEventCallback] = []
+        # Attached by repro.cluster.durable.DurabilityManager.
+        self._durability: Optional[object] = None
         # Intended overlay links (set by connect) and whether the routing
         # layer currently believes each is usable; a failure detector (or a
         # test) flips them with fail_link/restore_link.
@@ -375,6 +405,8 @@ class BrokerCluster:
             ),
         )
         broker._cluster = self
+        if self.allow_cycles:
+            broker.seen = DedupIndex(ttl=self.dedup_ttl)
         self.brokers[name] = broker
         self.fabric.add_node(name, node)
         port = _BrokerPort(self, broker)
@@ -452,6 +484,22 @@ class BrokerCluster:
         """Register a callback invoked on broker crash/recovery
         (kind ``"crashed"``/``"recovered"``, broker name, sim time)."""
         self._lifecycle_callbacks.append(callback)
+
+    def on_link_event(self, callback: LinkEventCallback) -> None:
+        """Register a callback invoked when an overlay link is torn down
+        or restored (kind ``"failed"``/``"restored"``, endpoints, sim
+        time).  This is the detector-driven signal — it fires when the
+        routing layer *learns* of a failure, not when the fault is
+        injected — which is what replication failover keys off."""
+        self._link_callbacks.append(callback)
+
+    def attach_durability(self, manager: object) -> None:
+        """Called by :class:`repro.cluster.durable.DurabilityManager` to
+        hook publish logging / deferral / applied-marking into the data
+        plane.  One manager per cluster."""
+        if self._durability is not None:
+            raise ValueError("a DurabilityManager is already attached")
+        self._durability = manager
 
     def _broker(self, name: str) -> BrokerProcess:
         broker = self.brokers.get(name)
@@ -551,6 +599,8 @@ class BrokerCluster:
             self.tracer.note_anomaly(f"link_down:{first}-{second}", self.sim.now)
         self.fabric.disconnect(first, second)
         self.metrics.counter("cluster.link_failures").increment()
+        for callback in self._link_callbacks:
+            callback("failed", first, second, self.sim.now)
         return True
 
     def restore_link(self, first: str, second: str) -> bool:
@@ -561,7 +611,12 @@ class BrokerCluster:
         if pair not in self.intended_links or self._link_up.get(pair, False):
             return False
         self._link_up[pair] = True
-        if not self.fabric.path_exists(first, second):
+        if self.fabric.allow_cycles:
+            # Mesh mode: a restored edge is re-added even when a path
+            # already exists — redundant paths are the point — and the
+            # fabric's retopology repair recanonicalizes routes.
+            self.fabric.connect(first, second)
+        elif not self.fabric.path_exists(first, second):
             # The fabric's edge-merge advertisement is canonical (each
             # side crosses the restored link with issue-order-aware
             # pruning), so failback is an incremental merge — no
@@ -574,6 +629,8 @@ class BrokerCluster:
             self.fabric.reroute_component(first)
         self._down_overlay_links -= 1
         self.metrics.counter("cluster.link_restores").increment()
+        for callback in self._link_callbacks:
+            callback("restored", first, second, self.sim.now)
         self._maybe_clear_anomaly()
         return True
 
@@ -667,25 +724,51 @@ class BrokerCluster:
 
     # -- event flow --------------------------------------------------------
 
-    def publish(self, broker_name: str, event: Event) -> None:
+    def publish(self, broker_name: str, event: Event, attempt: int = 0) -> None:
         """Enqueue an event into a broker's mailbox at the current sim time.
 
         Publishing to a crashed broker is a counted drop
         (``cluster.publishes_dropped``): the client's connection target is
-        simply gone, exactly the unavailability C2 measures.
+        simply gone, exactly the unavailability C2 measures.  With a
+        :class:`~repro.cluster.durable.DurabilityManager` attached, the
+        publication is instead *deferred* — logged now, replayed when the
+        broker recovers — and ``attempt`` (used by replays) keys the mesh
+        dedup so a redelivery traverses the overlay again.
         """
         broker = self._broker(broker_name)
+        now = self.sim.now
         trace = None
         if self.tracer is not None:
-            trace = self.tracer.begin_trace(event, broker_name, self.sim.now)
+            trace = self.tracer.begin_trace(event, broker_name, now)
+        durability = self._durability
         if not broker.up:
+            if durability is not None:
+                durability.record_deferred(broker_name, event, now)
+                self.metrics.counter("cluster.publishes_deferred").increment()
+                if trace is not None:
+                    self.tracer.record_drop(
+                        trace,
+                        now,
+                        broker_name,
+                        cause="publish_deferred",
+                        definite=False,
+                    )
+                return
             self.metrics.counter("cluster.publishes_dropped").increment()
             if trace is not None:
                 self.tracer.record_drop(
-                    trace, self.sim.now, broker_name, cause="publish_target_down"
+                    trace, now, broker_name, cause="publish_target_down"
                 )
             return
-        envelope = EventEnvelope(event=event, origin_time=self.sim.now, trace=trace)
+        if durability is not None and attempt == 0:
+            durability.record_publish(broker_name, event, now)
+        envelope = EventEnvelope(
+            event=event, origin_time=now, trace=trace, attempt=attempt
+        )
+        if broker.seen is not None:
+            # Register the ingress sighting so a mesh cycle looping the
+            # event back to its origin broker is suppressed there.
+            broker.seen.first_sighting((event.event_id, attempt), now)
         self._enqueue(broker, envelope)
 
     def publish_at(self, time: float, broker_name: str, event: Event) -> None:
@@ -705,9 +788,10 @@ class BrokerCluster:
         and one service-cycle overhead, is matched through the batched
         engine path, and its forwards coalesce per next-hop link.
         Publishing to a crashed broker drops the entire batch (counted in
-        ``cluster.publishes_dropped``, one drop span per sampled trace).
-        Returns the number of events enqueued (0 when the broker is down
-        or the batch is empty).
+        ``cluster.publishes_dropped``, one drop span per sampled trace) —
+        or defers it, when a durability manager is attached.  Returns the
+        number of events enqueued (0 when the broker is down or the batch
+        is empty).
         """
         broker = self._broker(broker_name)
         batch = list(events)
@@ -720,7 +804,25 @@ class BrokerCluster:
             traces = [tracer.begin_trace(event, broker_name, now) for event in batch]
         else:
             traces = [None] * len(batch)
+        durability = self._durability
         if not broker.up:
+            if durability is not None:
+                for event in batch:
+                    durability.record_deferred(broker_name, event, now)
+                self.metrics.counter("cluster.publishes_deferred").increment(
+                    len(batch)
+                )
+                if tracer is not None:
+                    for trace in traces:
+                        if trace is not None:
+                            tracer.record_drop(
+                                trace,
+                                now,
+                                broker_name,
+                                cause="publish_deferred",
+                                definite=False,
+                            )
+                return 0
             self.metrics.counter("cluster.publishes_dropped").increment(len(batch))
             if tracer is not None:
                 for trace in traces:
@@ -729,10 +831,16 @@ class BrokerCluster:
                             trace, now, broker_name, cause="publish_target_down"
                         )
             return 0
+        if durability is not None:
+            for event in batch:
+                durability.record_publish(broker_name, event, now)
         envelopes = [
             EventEnvelope(event=event, origin_time=now, trace=trace)
             for event, trace in zip(batch, traces)
         ]
+        if broker.seen is not None:
+            for event in batch:
+                broker.seen.first_sighting((event.event_id, 0), now)
         self._enqueue_batch(broker, envelopes)
         return len(batch)
 
@@ -774,6 +882,46 @@ class BrokerCluster:
         )
         self._start_service(broker)
 
+    def _suppress_duplicate(
+        self, broker: BrokerProcess, envelope: EventEnvelope
+    ) -> None:
+        """Account one duplicate-suppressed forward arrival.
+
+        Suppression is *not* a loss: it is counted under its own
+        ``network.duplicates_suppressed`` metric (never through the
+        network drop path, whose listeners would mis-attribute it), and a
+        traced envelope gets a benign terminal ``dedup`` span so the
+        suppressed branch of its walk stays explained."""
+        broker.stats.duplicates_suppressed += 1
+        self.network.note_duplicate_suppressed(
+            envelope.came_from, broker.name, kind="event.forward"
+        )
+        if self.tracer is not None and envelope.trace is not None:
+            now = self.sim.now
+            self.tracer.record_span(
+                "dedup",
+                envelope.trace,
+                start=now,
+                end=now,
+                broker=broker.name,
+                hops=envelope.hops,
+                attempt=envelope.attempt,
+            )
+
+    def _accept_forward(
+        self, broker: BrokerProcess, envelope: EventEnvelope
+    ) -> bool:
+        """Mesh dedup gate: False (and accounted) for a duplicate arrival."""
+        seen = broker.seen
+        if seen is None:
+            return True
+        if seen.first_sighting(
+            (envelope.event.event_id, envelope.attempt), self.sim.now
+        ):
+            return True
+        self._suppress_duplicate(broker, envelope)
+        return False
+
     def _receive_forward(self, broker: BrokerProcess, envelope: EventEnvelope) -> None:
         if not broker.up:  # pragma: no cover - the network drops these first
             self._count_lost(broker, 1)
@@ -784,6 +932,8 @@ class BrokerCluster:
                     broker.name,
                     cause="arrived_at_down_broker",
                 )
+            return
+        if not self._accept_forward(broker, envelope):
             return
         broker.stats.forwards_received += 1
         self._enqueue(broker, envelope)
@@ -804,6 +954,14 @@ class BrokerCluster:
                             cause="arrived_at_down_broker",
                         )
             return
+        if broker.seen is not None:
+            envelopes = [
+                envelope
+                for envelope in envelopes
+                if self._accept_forward(broker, envelope)
+            ]
+            if not envelopes:
+                return
         broker.stats.forwards_received += len(envelopes)
         self._enqueue_batch(broker, envelopes)
 
@@ -954,6 +1112,14 @@ class BrokerCluster:
             self._forward_collect(broker, envelope, outboxes)
         if outboxes:
             self._flush_forwards(broker, outboxes)
+        durability = self._durability
+        if durability is not None:
+            # Ingress envelopes (no came_from) are this broker's logged
+            # publications: served means applied — a crash from here on
+            # no longer owes them a replay *from this broker's log*.
+            for _enqueued_at, envelope in batch:
+                if envelope.came_from is None:
+                    durability.mark_applied(broker.name, envelope.event.event_id)
         broker.stats.events_processed += len(batch)
         broker.stats.deliveries += deliveries
         self.metrics.counter("cluster.events_processed").increment(len(batch))
@@ -1047,6 +1213,7 @@ class BrokerCluster:
                         hops=parent.hops + 1,
                         came_from=broker.name,
                         trace=child,
+                        attempt=parent.attempt,
                     )
                 )
             if len(children) == 1:
@@ -1098,15 +1265,29 @@ class BrokerCluster:
         return self.fabric.total_routing_state()
 
 
+# Topologies whose edge lists contain cycles: clusters carrying them must
+# be built with ``allow_cycles=True`` (redundant-mesh routing + dedup).
+CYCLIC_TOPOLOGIES = ("ring", "mesh")
+
+
+def topology_is_cyclic(topology: str) -> bool:
+    """True for topology shapes that need a cycle-tolerant fabric."""
+    return topology in CYCLIC_TOPOLOGIES
+
+
 def topology_edges(topology: str, num_brokers: int) -> List[Tuple[int, int]]:
-    """The edge list of a ``line``/``star``/``tree`` topology over broker
-    indices ``0..num_brokers-1``.
+    """The edge list of a ``line``/``star``/``tree``/``ring``/``mesh``
+    topology over broker indices ``0..num_brokers-1``.
 
     This is the single topology-shape definition shared by the sim-clock
     cluster (:func:`build_cluster_topology`) and the wire launcher
     (:func:`repro.net.launcher.topology_specs`), so the oracle compares the
     same graph on both paths.  ``tree`` is binary, filled level by level;
-    ``star`` puts broker 0 at the hub.
+    ``star`` puts broker 0 at the hub.  ``ring`` is the line plus its
+    closing edge (2-connected: any single link loss leaves a path);
+    ``mesh`` adds a chord to every second neighbour on top of the ring
+    (survives any single broker loss too).  Both degenerate to a line
+    below 3 brokers.
     """
     if num_brokers < 1:
         raise ValueError("num_brokers must be at least 1")
@@ -1116,7 +1297,26 @@ def topology_edges(topology: str, num_brokers: int) -> List[Tuple[int, int]]:
         return [(0, index) for index in range(1, num_brokers)]
     if topology == "tree":
         return [((index - 1) // 2, index) for index in range(1, num_brokers)]
-    raise ValueError(f"unknown topology {topology!r} (line|star|tree)")
+    if topology == "ring":
+        if num_brokers < 3:
+            return [(index, index + 1) for index in range(num_brokers - 1)]
+        return [(index, (index + 1) % num_brokers) for index in range(num_brokers)]
+    if topology == "mesh":
+        if num_brokers < 3:
+            return [(index, index + 1) for index in range(num_brokers - 1)]
+        seen: Set[Tuple[int, int]] = set()
+        edges: List[Tuple[int, int]] = []
+        for index in range(num_brokers):
+            for step in (1, 2):
+                other = (index + step) % num_brokers
+                if other == index:
+                    continue
+                edge = (min(index, other), max(index, other))
+                if edge not in seen:
+                    seen.add(edge)
+                    edges.append(edge)
+        return edges
+    raise ValueError(f"unknown topology {topology!r} (line|star|tree|ring|mesh)")
 
 
 def build_cluster_topology(
@@ -1125,11 +1325,19 @@ def build_cluster_topology(
     cluster: BrokerCluster,
     latency: Optional[float] = None,
 ) -> List[str]:
-    """Add ``num_brokers`` brokers wired as ``line``/``star``/``tree``.
+    """Add ``num_brokers`` brokers wired as
+    ``line``/``star``/``tree``/``ring``/``mesh``.
 
     Returns the broker names in creation order (shapes defined by
-    :func:`topology_edges`).
+    :func:`topology_edges`).  Cyclic shapes require a cluster built with
+    ``allow_cycles=True`` (checked here so the failure is immediate and
+    named, not a confusing acyclicity error mid-wiring).
     """
+    if topology_is_cyclic(topology) and not cluster.allow_cycles:
+        raise ValueError(
+            f"topology {topology!r} is cyclic: build the cluster with "
+            "allow_cycles=True"
+        )
     edges = topology_edges(topology, num_brokers)
     names = [f"b{index}" for index in range(num_brokers)]
     for name in names:

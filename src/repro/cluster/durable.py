@@ -1,0 +1,375 @@
+"""Durable delivery: bounded dedup indexes, per-broker publish logs, replay.
+
+Three pieces combine into exactly-once *observable* delivery through
+broker crashes on redundant (cyclic) overlays:
+
+* :class:`DedupIndex` — a TTL-bounded seen-set.  Brokers on a mesh key it
+  by ``(event_id, attempt)`` to suppress the duplicate forwards that
+  redundant paths necessarily produce; subscribers key it by
+  ``(subscription_id, event_id)`` so redeliveries collapse to one
+  observable delivery.
+* :class:`DurableLog` — an append-only per-broker log of ingress
+  publications (in-memory, optionally file-backed as JSON lines for the
+  wire path).  Entries are marked *applied* once the owning broker has
+  served them; whatever is unapplied at crash time is exactly the work a
+  recovery must redo.
+* :class:`DurabilityManager` — wires the log into a ``BrokerCluster``:
+  publications are logged before they enter the mailbox, publishes aimed
+  at a down broker are deferred instead of dropped, recoveries replay the
+  unapplied suffix, and :meth:`DurabilityManager.replay_at_risk` replays
+  the whole log after the churn horizon.  Replays bump the envelope
+  ``attempt`` so they traverse the mesh again (broker dedup is
+  attempt-scoped); the subscriber-side index then collapses the resulting
+  at-least-once stream to exactly-once.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Deque,
+    Dict,
+    Hashable,
+    List,
+    Optional,
+    Tuple,
+)
+
+from repro.pubsub.events import Event
+
+__all__ = ["DedupIndex", "DurableLog", "LogEntry", "DurabilityManager"]
+
+
+class DedupIndex:
+    """A bounded seen-set: ``first_sighting(key)`` is True exactly once.
+
+    Keys expire ``ttl`` seconds after their first sighting (lazy eviction
+    off a FIFO of insertion times), and ``max_entries`` caps the resident
+    set regardless of age, so the index stays O(active window) on
+    unbounded streams.  A crashed broker keeps its index across the
+    outage: suppressing a replayed copy it already served is always safe
+    because losses are recovered by replay, never by re-forwarding.
+    """
+
+    def __init__(
+        self,
+        ttl: Optional[float] = None,
+        max_entries: Optional[int] = None,
+    ) -> None:
+        if ttl is not None and ttl <= 0:
+            raise ValueError("ttl must be positive when given")
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be positive when given")
+        self.ttl = ttl
+        self.max_entries = max_entries
+        self._seen: Dict[Hashable, float] = {}
+        self._order: Deque[Tuple[float, Hashable]] = deque()
+        self.suppressed = 0
+
+    def __len__(self) -> int:
+        return len(self._seen)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._seen
+
+    def first_sighting(self, key: Hashable, now: float) -> bool:
+        """Record ``key``; True iff it was not already in the live window.
+
+        A repeat sighting does *not* refresh the TTL — the window is
+        anchored at the first sighting, which keeps eviction a strict
+        FIFO."""
+        self._evict(now)
+        if key in self._seen:
+            self.suppressed += 1
+            return False
+        self._seen[key] = now
+        self._order.append((now, key))
+        self._trim()
+        return True
+
+    def _evict(self, now: float) -> None:
+        if self.ttl is not None:
+            horizon = now - self.ttl
+            while self._order and self._order[0][0] <= horizon:
+                stamped, key = self._order.popleft()
+                if self._seen.get(key) == stamped:
+                    del self._seen[key]
+        self._trim()
+
+    def _trim(self) -> None:
+        if self.max_entries is None:
+            return
+        while len(self._seen) > self.max_entries and self._order:
+            stamped, key = self._order.popleft()
+            if self._seen.get(key) == stamped:
+                del self._seen[key]
+
+
+@dataclass
+class LogEntry:
+    """One logged ingress publication."""
+
+    event: Event
+    origin_broker: str
+    logged_at: float
+    applied: bool = False
+    deferred: bool = False
+    attempts: int = 0
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "event_id": self.event.event_id,
+            "event_type": self.event.event_type,
+            "attributes": dict(self.event.attributes),
+            "timestamp": self.event.timestamp,
+            "origin_broker": self.origin_broker,
+            "logged_at": self.logged_at,
+        }
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, object]) -> "LogEntry":
+        event = Event(
+            event_type=str(payload["event_type"]),
+            attributes=payload.get("attributes", {}),  # type: ignore[arg-type]
+            timestamp=float(payload.get("timestamp", 0.0)),
+            event_id=str(payload["event_id"]),
+        )
+        return cls(
+            event=event,
+            origin_broker=str(payload["origin_broker"]),
+            logged_at=float(payload.get("logged_at", 0.0)),
+        )
+
+
+class DurableLog:
+    """Append-only publish log for one broker.
+
+    In-memory always; pass ``path`` to also append every record as a JSON
+    line (``append``/``applied`` records), which is what the wire path
+    uses to survive a SIGKILL — :meth:`load` folds a log file back into
+    entry state, replaying applied-markers onto their entries.
+    """
+
+    def __init__(self, broker: str, path: Optional[str] = None) -> None:
+        self.broker = broker
+        self.path = path
+        self.entries: List[LogEntry] = []
+        self._by_id: Dict[str, LogEntry] = {}
+        self._file = open(path, "a", encoding="utf-8") if path else None
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def append(self, event: Event, at: float, deferred: bool = False) -> LogEntry:
+        existing = self._by_id.get(event.event_id)
+        if existing is not None:
+            # Re-logging the same publication (e.g. a deferred publish
+            # retried while the broker is still down) keeps one entry.
+            existing.deferred = existing.deferred or deferred
+            return existing
+        entry = LogEntry(
+            event=event, origin_broker=self.broker, logged_at=at, deferred=deferred
+        )
+        self.entries.append(entry)
+        self._by_id[event.event_id] = entry
+        if self._file is not None:
+            record = entry.to_json()
+            record["record"] = "append"
+            self._file.write(json.dumps(record, sort_keys=True) + "\n")
+            self._file.flush()
+        return entry
+
+    def mark_applied(self, event_id: str) -> None:
+        entry = self._by_id.get(event_id)
+        if entry is None or entry.applied:
+            return
+        entry.applied = True
+        if self._file is not None:
+            self._file.write(
+                json.dumps({"record": "applied", "event_id": event_id}) + "\n"
+            )
+            self._file.flush()
+
+    def get(self, event_id: str) -> Optional[LogEntry]:
+        return self._by_id.get(event_id)
+
+    def unapplied(self) -> List[LogEntry]:
+        return [entry for entry in self.entries if not entry.applied]
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    @classmethod
+    def load(cls, broker: str, path: str) -> "DurableLog":
+        """Rebuild entry state from a JSON-lines log file (read-only)."""
+        log = cls(broker)
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                payload = json.loads(line)
+                if payload.get("record") == "applied":
+                    log.mark_applied(str(payload["event_id"]))
+                else:
+                    entry = LogEntry.from_json(payload)
+                    log.entries.append(entry)
+                    log._by_id[entry.event.event_id] = entry
+        return log
+
+
+DeliveryCallback = Callable[[str, str, Event, object], None]
+
+
+class DurabilityManager:
+    """Exactly-once delivery harness over a :class:`BrokerCluster`.
+
+    Attach one per cluster *before* publishing.  It owns a
+    :class:`DurableLog` per broker, a subscriber-side :class:`DedupIndex`,
+    and the replay policy:
+
+    * every ingress publication is logged before it enters the mailbox;
+    * publishes aimed at a crashed broker are *deferred* (logged, not
+      dropped) and replayed when it recovers;
+    * on recovery the broker's unapplied suffix is republished with a
+      bumped ``attempt``;
+    * :meth:`replay_at_risk` (call after the churn horizon) republishes
+      the whole log — brute-force at-least-once that the subscriber-side
+      index collapses back to exactly-once.
+
+    Consumers read the deduped stream via :meth:`on_delivery`.
+    """
+
+    def __init__(
+        self,
+        cluster,
+        client_dedup_ttl: Optional[float] = None,
+        log_dir: Optional[str] = None,
+    ) -> None:
+        self.cluster = cluster
+        self.log_dir = log_dir
+        self.logs: Dict[str, DurableLog] = {}
+        self.client_seen = DedupIndex(ttl=client_dedup_ttl)
+        self._callbacks: List[DeliveryCallback] = []
+        self.faults_seen = False
+        self.first_fault_at: Optional[float] = None
+        self.events_logged = 0
+        self.events_replayed = 0
+        self.publishes_deferred = 0
+        self.client_duplicates_suppressed = 0
+        self.deliveries = 0
+        cluster.attach_durability(self)
+        cluster.on_lifecycle(self._on_lifecycle)
+        cluster.on_link_event(self._on_link_event)
+        cluster.on_delivery(self.deliver)
+
+    def on_delivery(self, callback: DeliveryCallback) -> None:
+        """Register a consumer of the deduped (exactly-once) stream."""
+        self._callbacks.append(callback)
+
+    # -- plumbing ----------------------------------------------------------
+
+    def log_for(self, broker: str) -> DurableLog:
+        log = self.logs.get(broker)
+        if log is None:
+            path = None
+            if self.log_dir is not None:
+                path = f"{self.log_dir}/{broker}.events.log"
+            log = DurableLog(broker, path=path)
+            self.logs[broker] = log
+        return log
+
+    def _metric(self, name: str):
+        return self.cluster.metrics.counter(name)
+
+    # -- hooks called by the cluster --------------------------------------
+
+    def record_publish(self, broker: str, event: Event, at: float) -> LogEntry:
+        entry = self.log_for(broker).append(event, at)
+        self.events_logged += 1
+        self._metric("durable.events_logged").increment()
+        return entry
+
+    def record_deferred(self, broker: str, event: Event, at: float) -> LogEntry:
+        entry = self.log_for(broker).append(event, at, deferred=True)
+        self.publishes_deferred += 1
+        self._metric("durable.publishes_deferred").increment()
+        return entry
+
+    def mark_applied(self, broker: str, event_id: str) -> None:
+        self.log_for(broker).mark_applied(event_id)
+
+    def deliver(self, broker: str, subscriber: str, event: Event, subscription) -> None:
+        """Subscriber-side dedup: collapse redeliveries to one callback."""
+        key = (subscription.subscription_id, event.event_id)
+        if not self.client_seen.first_sighting(key, self.cluster.sim.now):
+            self.client_duplicates_suppressed += 1
+            self._metric("durable.client_duplicates_suppressed").increment()
+            return
+        self.deliveries += 1
+        for callback in self._callbacks:
+            callback(broker, subscriber, event, subscription)
+
+    # -- fault awareness ---------------------------------------------------
+
+    def _note_fault(self, at: float) -> None:
+        self.faults_seen = True
+        if self.first_fault_at is None:
+            self.first_fault_at = at
+
+    def _on_lifecycle(self, kind: str, broker: str, at: float) -> None:
+        if kind == "crashed":
+            self._note_fault(at)
+        elif kind == "recovered":
+            self.replay_unapplied(broker)
+
+    def _on_link_event(self, kind: str, first: str, second: str, at: float) -> None:
+        if kind == "failed":
+            self._note_fault(at)
+
+    # -- replay ------------------------------------------------------------
+
+    def _replay(self, entry: LogEntry) -> None:
+        entry.attempts += 1
+        self.events_replayed += 1
+        self._metric("durable.events_replayed").increment()
+        self.cluster.publish(
+            entry.origin_broker, entry.event, attempt=entry.attempts
+        )
+
+    def replay_unapplied(self, broker: str) -> int:
+        """At-least-once redelivery of one broker's unapplied suffix
+        (crash-lost in-service work plus deferred publishes)."""
+        replayed = 0
+        for entry in self.log_for(broker).unapplied():
+            self._replay(entry)
+            replayed += 1
+        return replayed
+
+    def replay_at_risk(self, since: Optional[float] = None) -> int:
+        """Replay every logged publication (optionally only those logged
+        at/after ``since``) across all brokers.  Call after the fault
+        horizon: detection-gap losses — events that died at a crashed
+        broker's doorstep before failover engaged — have no per-broker
+        marker, so the safe oracle move is to replay the whole window and
+        let subscriber dedup discard the overwhelmingly-duplicate
+        stream."""
+        if not self.faults_seen:
+            return 0
+        replayed = 0
+        for broker in sorted(self.logs):
+            for entry in list(self.logs[broker].entries):
+                if since is not None and entry.logged_at < since:
+                    continue
+                self._replay(entry)
+                replayed += 1
+        return replayed
+
+    def close(self) -> None:
+        for log in self.logs.values():
+            log.close()

@@ -107,6 +107,24 @@ class FaultPlan:
     def link_flap_count(self) -> int:
         return sum(1 for action in self.actions if action.kind == LINK_DOWN)
 
+    def peak_concurrent_outages(self) -> int:
+        """The largest number of brokers down at once under this plan.
+
+        The replication experiment reports it next to the replication
+        factor R: exactly-once through churn is only at stake when the
+        peak exceeds the R+1 copies of a subscription's home set."""
+        transitions: List[Tuple[float, int]] = []
+        for _name, started, ended in self.broker_outages():
+            transitions.append((started, 1))
+            transitions.append((ended, -1))
+        peak = current = 0
+        # Sorting (time, delta) lands recoveries before same-instant
+        # crashes — the conservative reading of a back-to-back swap.
+        for _time, delta in sorted(transitions):
+            current += delta
+            peak = max(peak, current)
+        return peak
+
     def broker_outages(self) -> List[Tuple[str, float, float]]:
         """Matched ``(broker, crash time, recovery time)`` windows."""
         open_crash: dict = {}

@@ -124,7 +124,8 @@ class _EdgeTable:
 class RoutingFabric:
     """Topology + routing state shared by every broker transport.
 
-    The fabric owns the overlay graph (kept acyclic), the client→home
+    The fabric owns the overlay graph (kept acyclic unless constructed
+    with ``allow_cycles``, the redundant-mesh mode), the client→home
     mapping, and the id→home mapping of live subscriptions; per-broker
     routing tables live on the node objects themselves so the matching
     fast paths (``interested_neighbours`` → ``matches_any``) stay where
@@ -139,9 +140,24 @@ class RoutingFabric:
         verify_repairs: bool = False,
         merge_ingress: bool = False,
         audit: Optional[RouteAuditLog] = None,
+        allow_cycles: bool = False,
     ) -> None:
         self.nodes: Dict[str, object] = {}
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        # Redundant-mesh mode (set at construction).  With
+        # ``allow_cycles`` the overlay may hold cycles: the per-edge
+        # candidate rule generalizes to "the home is reachable from the
+        # via-neighbour with the node itself removed" (on a forest that
+        # reduces exactly to the acyclic BFS walk), every topology change
+        # runs a diff-based repair over the live subscriptions, and the
+        # data plane relies on per-event dedup at the transport to
+        # suppress the duplicate forwards redundant paths produce.
+        self.allow_cycles = allow_cycles
+        # Mesh candidate-edge cache: home -> directed table positions,
+        # valid for one topology version.
+        self._topology_version = 0
+        self._mesh_walk_version = -1
+        self._mesh_walk_cache: Dict[str, List[RouteEntry]] = {}
         # Control-plane audit log (repro.obs.audit): when attached, every
         # select/prune/readmit/merge decision is recorded with its blocker
         # id.  Costs one `is not None` per decision when absent.
@@ -197,6 +213,7 @@ class RoutingFabric:
             raise ValueError(f"broker {name!r} already exists")
         self.nodes[name] = node
         self._edges[name] = set()
+        self._topology_version += 1
 
     def connect(self, first: str, second: str, propagate: bool = True) -> None:
         """Join two brokers with a bidirectional overlay link.
@@ -221,6 +238,11 @@ class RoutingFabric:
             raise KeyError("both brokers must exist before connecting them")
         if first == second:
             raise ValueError("cannot connect a broker to itself")
+        if second in self._edges[first]:
+            raise ValueError(f"{first!r} and {second!r} are already connected")
+        if self.allow_cycles:
+            self._connect_mesh(first, second, propagate)
+            return
         if self.path_exists(first, second):
             raise ValueError("overlay must remain acyclic (path already exists)")
         # The components being joined, captured before the edge exists:
@@ -238,6 +260,7 @@ class RoutingFabric:
         self._edges[first].add(second)
         self._edges[second].add(first)
         self._route_version += 1
+        self._topology_version += 1
         self.nodes[first].add_neighbour(second)
         self.nodes[second].add_neighbour(first)
         if not propagate:
@@ -272,6 +295,91 @@ class RoutingFabric:
                 self._propagate_many(origin, walks, via=via)
         self._check_canonical("connect")
 
+    def _connect_mesh(self, first: str, second: str, propagate: bool) -> None:
+        """Mesh-mode link addition: add the edge (cycles allowed) and
+        diff-repair every live subscription's table positions.
+
+        Adding an edge can only *add* candidate positions (reachability
+        grows), so the repair places the new candidacies in issue order
+        and leaves everything else untouched; on a still-acyclic overlay
+        the result is identical to the acyclic edge-merge path.
+        """
+        self._edges[first].add(second)
+        self._edges[second].add(first)
+        self._route_version += 1
+        self._topology_version += 1
+        self.nodes[first].add_neighbour(second)
+        self.nodes[second].add_neighbour(first)
+        if not propagate:
+            return
+        if self._home_of:
+            self._retopology_repair()
+        else:
+            self.metrics.counter("overlay.adverts_skipped").increment()
+        self._check_canonical("connect")
+
+    def _retopology_repair(self) -> None:
+        """Mesh-mode delta repair after an edge change.
+
+        For every live subscription, diff the candidate positions of its
+        home (:meth:`_mesh_edges`) against the positions it currently
+        occupies (selected routes plus recorded prunes): stale positions
+        are deselected (collecting their prune victims) or cleared, new
+        candidacies are placed in global issue order, and victim
+        readmission flushes once per touched edge with a candidacy
+        filter — ending in exactly the state a fresh build on the new
+        topology would hold (``verify_repairs`` cross-checks each call).
+        """
+        candidate_sets: Dict[str, Set[RouteEntry]] = {}
+
+        def candidates_of(home: str) -> Set[RouteEntry]:
+            cached = candidate_sets.get(home)
+            if cached is None:
+                cached = candidate_sets[home] = set(self._mesh_edges(home))
+            return cached
+
+        pending: Dict[RouteEntry, Set[str]] = {}
+        placements: List[Tuple[int, Subscription, List[RouteEntry]]] = []
+        purged = 0
+        for subscription_id, (home, subscription) in list(self._home_of.items()):
+            candidate_set = candidates_of(home)
+            routes = self._routes.get(subscription_id)
+            if routes:
+                for edge in [e for e in routes if e not in candidate_set]:
+                    victims = self._deselect(
+                        edge, subscription_id, collect_victims=True
+                    )
+                    purged += 1
+                    if victims:
+                        pending.setdefault(edge, set()).update(victims)
+            prunes = self._pruned_at.get(subscription_id)
+            if prunes:
+                for edge in [e for e in prunes if e not in candidate_set]:
+                    self._clear_prune(edge, subscription_id)
+            occupied = set(self._routes.get(subscription_id, ()))
+            occupied.update(self._pruned_at.get(subscription_id, ()))
+            added = [e for e in self._mesh_edges(home) if e not in occupied]
+            if added:
+                placements.append((self._seq[subscription_id], subscription, added))
+        placements.sort(key=lambda item: item[0])
+        placed = 0
+        for seq, subscription, added in placements:
+            for edge in added:
+                if self._place(edge, subscription, seq):
+                    placed += 1
+        for edge, victims in pending.items():
+            self._readmit(
+                edge,
+                victims,
+                candidate=lambda vid, e=edge: e
+                in candidates_of(self._home_of[vid][0]),
+            )
+        if purged:
+            self.metrics.counter("overlay.routes_purged").increment(purged)
+        if placed:
+            self.metrics.counter("overlay.subscription_hops").increment(placed)
+        self.metrics.counter("overlay.route_repairs").increment()
+
     def disconnect(self, first: str, second: str) -> bool:
         """Remove the overlay link between two brokers and repair routes.
 
@@ -290,14 +398,22 @@ class RoutingFabric:
         self._edges[first].discard(second)
         self._edges[second].discard(first)
         self._route_version += 1
+        self._topology_version += 1
         self.nodes[first].remove_neighbour(second)
         self.nodes[second].remove_neighbour(first)
         self.metrics.counter("overlay.links_removed").increment()
         # The two directed positions on the removed link are gone outright.
         self._drop_edge_state((first, second))
         self._drop_edge_state((second, first))
-        self._delta_split_repair(second)
-        self.metrics.counter("overlay.route_repairs").increment()
+        if self.allow_cycles:
+            # Losing an edge can only *shrink* candidacy (reachability
+            # falls); the mesh diff repair deselects exactly the positions
+            # whose remaining paths died with the link — on a mesh the
+            # redundant paths keep their routes and delivery survives.
+            self._retopology_repair()
+        else:
+            self._delta_split_repair(second)
+            self.metrics.counter("overlay.route_repairs").increment()
         self._check_canonical("disconnect")
         return True
 
@@ -1043,7 +1159,13 @@ class RoutingFabric:
         the far side only.  The walk is subscription-independent (pruning
         does not stop the BFS), which is what lets a whole batch share
         one walk.
+
+        In mesh mode the generalized candidate rule applies instead
+        (:meth:`_mesh_edges`; ``via`` is never used there — mesh topology
+        changes go through :meth:`_retopology_repair`).
         """
+        if self.allow_cycles:
+            return self._mesh_edges(origin)
         if via is None:
             visited = {origin}
             queue = deque((origin, neighbour) for neighbour in self._edges[origin])
@@ -1062,6 +1184,63 @@ class RoutingFabric:
                 if neighbour not in visited:
                     queue.append((to_broker, neighbour))
         return edges
+
+    def _mesh_edges(self, origin: str) -> List[RouteEntry]:
+        """Directed table positions a subscription homed at ``origin``
+        occupies on a (possibly cyclic) overlay.
+
+        A position ``(node, via)`` is a candidate iff ``origin`` is
+        reachable from ``via`` with ``node`` itself removed from the
+        graph — i.e. the via-neighbour lies on some path from the node
+        toward the home that does not double back through the node.  On
+        a forest exactly one neighbour per node qualifies (the parent
+        toward the home), so the rule reduces to the acyclic BFS walk;
+        on a mesh every neighbour on *any* redundant path qualifies,
+        which is what lets delivery survive a link or broker loss (the
+        transport's per-event dedup suppresses the duplicate arrivals).
+
+        Results are cached per home until the next topology change.
+        """
+        if self._mesh_walk_version != self._topology_version:
+            self._mesh_walk_cache.clear()
+            self._mesh_walk_version = self._topology_version
+        cached = self._mesh_walk_cache.get(origin)
+        if cached is not None:
+            return cached
+        # BFS node order from the home keeps the emitted edge list
+        # distance-layered and deterministic (hop metrics, audit order).
+        order: List[str] = []
+        seen = {origin}
+        queue = deque([origin])
+        while queue:
+            current = queue.popleft()
+            order.append(current)
+            for neighbour in sorted(self._edges[current]):
+                if neighbour not in seen:
+                    seen.add(neighbour)
+                    queue.append(neighbour)
+        edges: List[RouteEntry] = []
+        for node in order:
+            if node == origin:
+                continue
+            reachable = self._reachable_without(origin, node)
+            for via in sorted(self._edges[node]):
+                if via in reachable:
+                    edges.append((node, via))
+        self._mesh_walk_cache[origin] = edges
+        return edges
+
+    def _reachable_without(self, start: str, removed: str) -> Set[str]:
+        """Brokers reachable from ``start`` with ``removed`` cut out."""
+        seen = {start}
+        queue = deque([start])
+        while queue:
+            current = queue.popleft()
+            for neighbour in self._edges[current]:
+                if neighbour != removed and neighbour not in seen:
+                    seen.add(neighbour)
+                    queue.append(neighbour)
+        return seen
 
     def _propagate(
         self,
@@ -1338,7 +1517,7 @@ class RoutingFabric:
         surviving topology (its current edges unless ``edges`` is given),
         subscribing the live set in its original issue order — the
         verification oracle every delta repair is held equal to."""
-        fresh = RoutingFabric()
+        fresh = RoutingFabric(allow_cycles=self.allow_cycles)
         for name in self.node_names():
             fresh.add_node(name, Broker(name))
         for first, second in self.edges() if edges is None else edges:

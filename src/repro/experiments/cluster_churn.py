@@ -44,9 +44,12 @@ from repro.cluster.broker_cluster import (
     MAILBOX_POLICIES,
     BrokerCluster,
     build_cluster_topology,
+    topology_is_cyclic,
 )
+from repro.cluster.durable import DurabilityManager
 from repro.cluster.faults import FaultInjector, FaultPlan
 from repro.cluster.recovery import FailureDetector, routing_converged
+from repro.cluster.replication import ReplicationManager
 from repro.experiments.harness import ExperimentResult
 from repro.experiments.substrate import make_event, make_subscription
 from repro.obs import Tracer, attribute_losses, broker_timing_breakdown, spans_payload
@@ -116,6 +119,8 @@ def run_cluster_churn(
     trace: bool = False,
     trace_dump: Optional[str] = None,
     publish_batch: int = 0,
+    replicate: int = 0,
+    replay: bool = False,
 ) -> ExperimentResult:
     """Sweep crash rate × recovery delay × topology under churn.
 
@@ -149,6 +154,20 @@ def run_cluster_churn(
     ``event.forward_batch`` messages, batch crash-loss accounting —
     through the same churn, oracles and trace-attribution gates the
     per-event path is held to.
+
+    Cyclic topologies (``ring``/``mesh`` in ``topologies``) run on a
+    cycle-tolerant fabric with per-event dedup; redundant paths keep
+    deliveries flowing through single link/broker losses.  ``replicate``
+    homes every subscription on a primary plus that many replicas
+    (:class:`~repro.cluster.replication.ReplicationManager`) so crash
+    detection fails deliveries over to a live replica instead of
+    dropping them.  ``replay`` attaches a
+    :class:`~repro.cluster.durable.DurabilityManager` — ingress
+    publications are logged, publishes to down brokers deferred, and
+    after the churn horizon the whole log is replayed with
+    subscriber-side dedup; combined with ``verify`` the tally must then
+    be **exactly-once** (zero lost AND zero duplicated) or the run
+    raises.  This is the durability CI oracle.
     """
     if scale <= 0:
         raise ValueError("scale must be positive")
@@ -174,6 +193,8 @@ def run_cluster_churn(
             "merge_ingress": merge_ingress,
             "traced": trace,
             "publish_batch": publish_batch,
+            "replicate": replicate,
+            "replay": replay,
         },
     )
     dump_points: List[Dict[str, object]] = []
@@ -207,14 +228,23 @@ def run_cluster_churn(
                     mailbox_policy=mailbox_policy,
                     merge_ingress=merge_ingress,
                     tracer=tracer,
+                    allow_cycles=topology_is_cyclic(topology),
                 )
                 names = build_cluster_topology(topology, num_brokers, cluster)
                 cluster.fabric.verify_repairs = cross_check_repairs
+                durability = DurabilityManager(cluster) if replay else None
+                replication = (
+                    ReplicationManager(cluster, replication_factor=replicate)
+                    if replicate > 0
+                    else None
+                )
                 placement_rng = rng.fork("placement")
                 for subscription in subscriptions:
-                    cluster.subscribe(
-                        names[placement_rng.randint(0, len(names) - 1)], subscription
-                    )
+                    home = names[placement_rng.randint(0, len(names) - 1)]
+                    if replication is not None:
+                        replication.subscribe(home, subscription)
+                    else:
+                        cluster.subscribe(home, subscription)
 
                 detector = FailureDetector(
                     cluster, period=heartbeat_period, timeout=detect_timeout
@@ -234,11 +264,18 @@ def run_cluster_churn(
                 injector.schedule()
 
                 delivered: Dict[str, List[str]] = {}
-                cluster.on_delivery(
-                    lambda broker, subscriber, event, subscription: delivered.setdefault(
-                        event.event_id, []
-                    ).append(subscription.subscription_id)
-                )
+
+                def tally_delivery(broker, subscriber, event, subscription):
+                    delivered.setdefault(event.event_id, []).append(
+                        subscription.subscription_id
+                    )
+
+                if durability is not None:
+                    # Consume the subscriber-side deduped stream: the
+                    # exactly-once surface replay is judged against.
+                    durability.on_delivery(tally_delivery)
+                else:
+                    cluster.on_delivery(tally_delivery)
 
                 publish_rng = rng.fork("publish")
                 at = 0.0
@@ -281,7 +318,28 @@ def run_cluster_churn(
                 detector.start(until=run_until + (2.0 if verify else 0.0))
                 cluster.run(until=run_until)
 
+                replayed = 0
+                if durability is not None:
+                    # Let the detector finish every pending failback, then
+                    # replay the whole durable log: at-least-once over the
+                    # healed overlay, collapsed back to exactly-once by
+                    # the subscriber-side dedup the tally consumes.
+                    cluster.run()
+                    replayed = durability.replay_at_risk()
+                    cluster.run()
+
                 tallies = _loss_and_duplication(expected, delivered)
+                if verify and replay and (
+                    tallies["lost"] or tallies["duplicated"]
+                ):
+                    raise AssertionError(
+                        "exactly-once oracle violated under mesh+crash+replay "
+                        f"(topology={topology}, crash_rate={crash_rate}, "
+                        f"recovery_delay={recovery_delay}): "
+                        f"lost={tallies['lost']} "
+                        f"duplicated={tallies['duplicated']} "
+                        f"of {tallies['expected']} expected deliveries"
+                    )
                 loss_report = None
                 if tracer is not None:
                     # Cross-check the span record against the delivery
@@ -365,6 +423,21 @@ def run_cluster_churn(
                     convergence_s=convergence_s,
                     converged=float(converged and all_links_up),
                 )
+                if topology_is_cyclic(topology):
+                    row["duplicates_suppressed"] = (
+                        cluster.network.duplicates_suppressed
+                    )
+                if replication is not None:
+                    row["replicate"] = replicate
+                    row["peak_outages"] = plan.peak_concurrent_outages()
+                    row["failovers"] = replication.failovers
+                    row["failbacks"] = replication.failbacks
+                if durability is not None:
+                    row["replayed"] = replayed
+                    row["deferred"] = durability.publishes_deferred
+                    row["client_dupes_suppressed"] = (
+                        durability.client_duplicates_suppressed
+                    )
                 if loss_report is not None:
                     row["lost_events"] = loss_report.events_lost
                     row["attributed"] = len(loss_report.verdicts)
@@ -427,6 +500,26 @@ def run_cluster_churn(
             "batch, dropped mailbox, dead ingress, network drop, or "
             "degraded-routing window), and every delivered traced event "
             "shows a complete publish→deliver span chain"
+        )
+    if replicate > 0:
+        result.notes.append(
+            f"replicated: every subscription homed on a primary + "
+            f"{replicate} BFS-nearest replicas; crash detection fails "
+            "deliveries over to a live replica and fails back on recovery, "
+            "all through the incremental control plane"
+        )
+    if replay:
+        result.notes.append(
+            "durable replay: ingress publications are logged per broker, "
+            "publishes to down brokers deferred, unapplied suffixes "
+            "replayed on recovery, and the whole log replayed after the "
+            "churn horizon; subscriber-side dedup collapses the "
+            "at-least-once stream to the exactly-once tally reported"
+            + (
+                " (verified: zero lost, zero duplicated)"
+                if verify
+                else ""
+            )
         )
     return result
 
@@ -548,10 +641,36 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "wave) through publish_many in batches of this size "
         "(0/1 = per-event publish)",
     )
+    parser.add_argument(
+        "--mesh",
+        action="store_true",
+        help="sweep the cyclic ring/mesh topologies (redundant-path "
+        "routing with per-event dedup) instead of line/star/tree",
+    )
+    parser.add_argument(
+        "--replicate",
+        type=int,
+        default=0,
+        metavar="R",
+        help="home every subscription on a primary plus R replicas with "
+        "failover on crash detection and failback on recovery",
+    )
+    parser.add_argument(
+        "--replay",
+        action="store_true",
+        help="durable publish logs + deferred publishes + post-horizon "
+        "replay with subscriber-side dedup; with --verify, assert the "
+        "tally is exactly-once (zero lost, zero duplicated)",
+    )
     parser.add_argument("--seed", type=int, default=29)
     args = parser.parse_args(argv)
     try:
         result = run_cluster_churn(
+            topologies=(
+                ("ring", "mesh") if args.mesh else ("line", "star", "tree")
+            ),
+            replicate=args.replicate,
+            replay=args.replay,
             scale=args.scale,
             verify=args.verify,
             cross_check_repairs=args.cross_check_repairs,

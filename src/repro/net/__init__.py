@@ -22,8 +22,9 @@ gives the same routing fabric an asyncio TCP face so they can be
   an async-iterator event stream, request/ack correlation, and
   reconnect-with-resubscribe;
 * :mod:`repro.net.launcher` — :class:`~repro.net.launcher.WireCluster`,
-  materializing the C1/C2 topology shapes (line/star/tree) as real OS
-  processes wired over localhost TCP.
+  materializing the C1/C2 topology shapes (line/star/tree/ring/mesh) as
+  real OS processes wired over localhost TCP, with ``kill``/``restart``
+  for SIGKILL churn testing.
 
 The sim-clock :class:`~repro.cluster.broker_cluster.BrokerCluster` stays
 the deterministic twin: the wire path is pinned delivery-identical to it
@@ -31,7 +32,7 @@ the deterministic twin: the wire path is pinned delivery-identical to it
 and the CI wire-oracle job.
 """
 
-from repro.net.client import BrokerClient, connect
+from repro.net.client import BrokerClient, ReconnectBackoff, connect
 from repro.net.launcher import BrokerSpec, WireCluster, topology_specs
 from repro.net.server import BrokerServer
 from repro.net.wire import (
@@ -54,6 +55,7 @@ __all__ = [
     "BrokerSpec",
     "FrameDecoder",
     "Message",
+    "ReconnectBackoff",
     "WIRE_VERSION",
     "WireCluster",
     "WireError",

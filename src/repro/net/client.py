@@ -13,16 +13,20 @@ and returns a :class:`BrokerClient`:
   session owns, and the publisher's origin timestamp (so callers can
   measure end-to-end latency);
 * **reconnect with resubscribe** — when the connection drops and
-  ``reconnect=True``, the client re-dials with capped exponential backoff
-  and replays every subscription it holds (``subscribe_many``), so a
-  broker restart or a flapped link is a pause, not a loss of
-  subscription state.  Requests in flight across the drop fail with
-  :class:`ConnectionError`; the event iterator keeps going.
+  ``reconnect=True``, the client re-dials under a configurable
+  :class:`ReconnectBackoff` policy (exponential with a cap and
+  decorrelating jitter, so a restarted broker is not greeted by every
+  client at the same instant) and replays every subscription it holds
+  (``subscribe_many``), so a broker restart — even a SIGKILL — is a
+  pause, not a loss of subscription state.  Requests in flight across
+  the drop fail with :class:`ConnectionError`; the event iterator keeps
+  going.
 """
 
 from __future__ import annotations
 
 import asyncio
+import random
 import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
@@ -31,6 +35,48 @@ from repro.net import wire
 from repro.net.wire import FrameError, ProtocolError
 from repro.pubsub.events import Event
 from repro.pubsub.subscriptions import Subscription
+
+
+@dataclass(frozen=True)
+class ReconnectBackoff:
+    """Retry pacing for dial/reconnect attempts.
+
+    Delay for attempt *n* (1-based) is
+    ``min(initial * multiplier**(n-1), max_delay)``, then scaled by a
+    uniform factor in ``[1 - jitter, 1 + jitter]`` so a fleet of clients
+    reconnecting to a restarted broker spreads out instead of
+    thundering in lockstep.  ``max_attempts`` bounds the whole dial;
+    ``jitter=0`` makes the schedule deterministic (tests)."""
+
+    initial: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 1.0
+    jitter: float = 0.1
+    max_attempts: int = 60
+
+    def __post_init__(self) -> None:
+        if self.initial <= 0:
+            raise ValueError("initial delay must be positive")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be at least 1")
+        if self.max_delay < self.initial:
+            raise ValueError("max_delay must be at least the initial delay")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+
+    def delay_for(self, attempt: int, rng: Optional[random.Random] = None) -> float:
+        """The sleep before retrying after failed attempt ``attempt``."""
+        if attempt < 1:
+            raise ValueError("attempt numbering is 1-based")
+        base = min(self.initial * self.multiplier ** (attempt - 1), self.max_delay)
+        if self.jitter == 0.0:
+            return base
+        spread = (rng.uniform if rng is not None else random.uniform)(
+            1.0 - self.jitter, 1.0 + self.jitter
+        )
+        return base * spread
 
 
 class BrokerReplyError(RuntimeError):
@@ -96,11 +142,16 @@ class BrokerClient:
         name: str = "client",
         reconnect: bool = True,
         event_queue_limit: int = 4096,
+        reconnect_backoff: Optional[ReconnectBackoff] = None,
     ) -> None:
         self.host = host
         self.port = port
         self.name = name
         self.reconnect = reconnect
+        self.reconnect_backoff = (
+            reconnect_backoff if reconnect_backoff is not None else ReconnectBackoff()
+        )
+        self._backoff_rng = random.Random()
         self.broker_name: Optional[str] = None
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
@@ -116,10 +167,13 @@ class BrokerClient:
 
     # -- connection lifecycle ----------------------------------------------
 
-    async def _dial(self, max_attempts: int = 60) -> None:
-        """Open the socket and complete the hello handshake (with retry —
-        servers may still be binding when the launcher starts clients)."""
-        backoff = 0.05
+    async def _dial(self, max_attempts: Optional[int] = None) -> None:
+        """Open the socket and complete the hello handshake, retrying
+        under the session's :class:`ReconnectBackoff` policy — servers
+        may still be binding when the launcher starts clients, and a
+        killed broker takes its restart time to come back."""
+        policy = self.reconnect_backoff
+        limit = max_attempts if max_attempts is not None else policy.max_attempts
         attempt = 0
         while True:
             attempt += 1
@@ -129,10 +183,9 @@ class BrokerClient:
                 )
                 break
             except OSError:
-                if self._closed or attempt >= max_attempts:
+                if self._closed or attempt >= limit:
                     raise
-                await asyncio.sleep(backoff)
-                backoff = min(backoff * 2, 1.0)
+                await asyncio.sleep(policy.delay_for(attempt, self._backoff_rng))
         self._reader_task = asyncio.create_task(self._read_loop())
         reply = await self._request(
             lambda rid: wire.hello_frame("client", self.name, rid)
@@ -328,8 +381,12 @@ async def connect(
     port: int,
     name: str = "client",
     reconnect: bool = True,
+    reconnect_backoff: Optional[ReconnectBackoff] = None,
 ) -> BrokerClient:
     """Open a client session: dial, handshake, start the read loop."""
-    client = BrokerClient(host, port, name=name, reconnect=reconnect)
+    client = BrokerClient(
+        host, port, name=name, reconnect=reconnect,
+        reconnect_backoff=reconnect_backoff,
+    )
     await client._dial()
     return client

@@ -100,7 +100,8 @@ def topology_specs(
     host: str = "127.0.0.1",
     ports: Optional[Sequence[int]] = None,
 ) -> List[BrokerSpec]:
-    """Broker specs for a ``line``/``star``/``tree`` over localhost TCP.
+    """Broker specs for a ``line``/``star``/``tree``/``ring``/``mesh``
+    over localhost TCP.
 
     The broker names (``b0``..``bN-1``) and edge shapes match
     :func:`repro.cluster.broker_cluster.build_cluster_topology` exactly —
@@ -163,16 +164,9 @@ class WireCluster:
         env["PYTHONPATH"] = os.pathsep.join(
             path for path in (src_root, env.get("PYTHONPATH")) if path
         )
+        self._env = env
         for spec in self.specs:
-            log_path = os.path.join(self.log_dir, f"{spec.name}.log")
-            log_file = open(log_path, "wb")
-            self._log_handles.append(log_file)
-            self.processes[spec.name] = subprocess.Popen(
-                [self.python, "-m", "repro.net.broker_main", spec.to_json()],
-                stdout=log_file,
-                stderr=subprocess.STDOUT,
-                env=env,
-            )
+            self._spawn(spec)
         try:
             self._await_ready()
         except Exception:
@@ -180,9 +174,24 @@ class WireCluster:
             raise
         return self
 
-    def _await_ready(self) -> None:
+    def _spawn(self, spec: BrokerSpec) -> None:
+        """Start (or re-start) one broker process; logs append across
+        restarts so a killed broker's pre-crash output survives."""
+        log_path = os.path.join(self.log_dir, f"{spec.name}.log")
+        log_file = open(log_path, "ab")
+        self._log_handles.append(log_file)
+        self.processes[spec.name] = subprocess.Popen(
+            [self.python, "-m", "repro.net.broker_main", spec.to_json()],
+            stdout=log_file,
+            stderr=subprocess.STDOUT,
+            env=self._env,
+        )
+
+    def _await_ready(self, names: Optional[Sequence[str]] = None) -> None:
         deadline = time.monotonic() + self.startup_timeout
         for spec in self.specs:
+            if names is not None and spec.name not in names:
+                continue
             while True:
                 process = self.processes[spec.name]
                 if process.poll() is not None:
@@ -204,6 +213,35 @@ class WireCluster:
                             f"{self.startup_timeout:.0f}s"
                         ) from None
                     time.sleep(0.05)
+
+    def kill(self, name: str) -> None:
+        """SIGKILL one broker process — the wire churn fault.
+
+        No shutdown handshake runs: clients and peer brokers see the
+        connection die mid-stream, exactly like a crashed machine.  The
+        cluster keeps the spec, so :meth:`restart` can bring the broker
+        back on the same address."""
+        process = self.processes.get(name)
+        if process is None:
+            raise KeyError(f"no broker named {name!r}")
+        if process.poll() is None:
+            process.kill()
+        process.wait(timeout=self.startup_timeout)
+
+    def restart(self, name: str) -> None:
+        """Restart a killed broker on its original spec and wait until it
+        accepts TCP again.  Peer brokers re-dial it automatically (their
+        outbound links retry with backoff forever) and re-send their
+        advertisement snapshots, so routing state converges; reconnecting
+        clients replay their subscriptions the same way."""
+        spec = next((s for s in self.specs if s.name == name), None)
+        if spec is None:
+            raise KeyError(f"no broker named {name!r}")
+        process = self.processes.get(name)
+        if process is not None and process.poll() is None:
+            raise RuntimeError(f"broker {name!r} is still running")
+        self._spawn(spec)
+        self._await_ready(names=[name])
 
     def stop(self, grace: float = 5.0) -> None:
         """SIGTERM every broker, wait up to ``grace`` seconds, then kill."""

@@ -42,8 +42,11 @@ from __future__ import annotations
 
 import asyncio
 import logging
+import os
+import time
 from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
 
+from repro.cluster.durable import DurableLog
 from repro.net import wire
 from repro.net.wire import FrameError, Message, ProtocolError
 from repro.pubsub.broker import Broker, EngineFactory
@@ -167,6 +170,17 @@ class BrokerServer:
         self._dial_tasks: List[asyncio.Task] = []
         self._closed = asyncio.Event()
         self._draining = False
+        # Optional crash-proof publish log: when REPRO_BROKER_EVENT_LOG_DIR
+        # is set, every client publish is appended (and fsync-flushed) to
+        # <dir>/<name>.events.log *before* routing, so a SIGKILL'd broker
+        # leaves a replayable record of everything it accepted.
+        self._event_log: Optional[DurableLog] = None
+        log_dir = os.environ.get("REPRO_BROKER_EVENT_LOG_DIR")
+        if log_dir:
+            os.makedirs(log_dir, exist_ok=True)
+            self._event_log = DurableLog(
+                name, path=os.path.join(log_dir, f"{name}.events.log")
+            )
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -194,6 +208,8 @@ class BrokerServer:
             task.cancel()
         for connection in list(self._connections):
             await connection.close(drain=drain)
+        if self._event_log is not None:
+            self._event_log.close()
         self._closed.set()
 
     # -- peer links --------------------------------------------------------
@@ -486,9 +502,13 @@ class BrokerServer:
         event = wire.decode_event(message.body.get("event"))
         origin_ts = float(message.body.get("ots", 0.0) or 0.0)
         self.metrics.counter("net.events_published").increment()
+        if self._event_log is not None:
+            self._event_log.append(event, at=time.time())
         matched, forwarded = await self._route_events(
             [(event, 0, origin_ts)], came_from=None
         )
+        if self._event_log is not None:
+            self._event_log.mark_applied(event.event_id)
         if message.request_id:
             await connection.send(
                 wire.ack_frame(
@@ -510,9 +530,16 @@ class BrokerServer:
         events = [wire.decode_event(item) for item in raw]
         origin_ts = float(message.body.get("ots", 0.0) or 0.0)
         self.metrics.counter("net.events_published").increment(len(events))
+        if self._event_log is not None:
+            now = time.time()
+            for event in events:
+                self._event_log.append(event, at=now)
         matched, forwarded = await self._route_events(
             [(event, 0, origin_ts) for event in events], came_from=None
         )
+        if self._event_log is not None:
+            for event in events:
+                self._event_log.mark_applied(event.event_id)
         if message.request_id:
             await connection.send(
                 wire.ack_frame(

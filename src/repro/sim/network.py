@@ -95,6 +95,7 @@ class SimulatedNetwork:
         self.messages_sent = 0
         self.messages_delivered = 0
         self.messages_dropped = 0
+        self.duplicates_suppressed = 0
         self.bytes_sent = 0
         # Observers invoked on every counted drop (after the counters),
         # e.g. the cluster's tracer turning a dropped event.forward into a
@@ -221,6 +222,21 @@ class SimulatedNetwork:
         self.metrics.counter(f"network.kind.{message.kind}.dropped").increment()
         for listener in self._drop_listeners:
             listener(message)
+
+    def note_duplicate_suppressed(
+        self, source: Optional[str], destination: str, kind: str = "event.forward"
+    ) -> None:
+        """Account a duplicate-suppressed arrival (redundant-mesh dedup).
+
+        Deliberately NOT a drop: the message was delivered and the
+        receiver discarded a redundant copy, so it is counted under its
+        own ``network.duplicates_suppressed`` metric and the drop
+        listeners never fire — a loss-attribution listener seeing it
+        would mis-file routine mesh dedup as a loss.
+        """
+        self.duplicates_suppressed += 1
+        self.metrics.counter("network.duplicates_suppressed").increment()
+        self.metrics.counter(f"network.kind.{kind}.duplicates_suppressed").increment()
 
     def broadcast(
         self,

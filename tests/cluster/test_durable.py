@@ -1,0 +1,181 @@
+"""Durable delivery primitives: dedup indexes, publish logs, replay.
+
+Covers the three layers of :mod:`repro.cluster.durable` in isolation and
+wired into a cluster: TTL/size-bounded :class:`DedupIndex` semantics,
+:class:`DurableLog` append/apply/file round-trips, and the
+:class:`DurabilityManager` contract — publishes to down brokers deferred
+(never silently dropped), recoveries replaying the unapplied suffix, and
+``replay_at_risk`` turning the at-least-once stream back into an
+exactly-once one through the subscriber-side index.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.broker_cluster import BrokerCluster, build_cluster_topology
+from repro.cluster.durable import DedupIndex, DurabilityManager, DurableLog
+from repro.pubsub.events import Event
+from repro.pubsub.subscriptions import Subscription
+
+
+class TestDedupIndex:
+    def test_first_sighting_then_suppressed(self):
+        index = DedupIndex()
+        assert index.first_sighting(("e1", 0), now=0.0)
+        assert not index.first_sighting(("e1", 0), now=0.1)
+        assert index.suppressed == 1
+
+    def test_attempts_are_distinct_keys(self):
+        index = DedupIndex()
+        assert index.first_sighting(("e1", 0), now=0.0)
+        assert index.first_sighting(("e1", 1), now=0.0)
+
+    def test_ttl_expiry_forgets(self):
+        index = DedupIndex(ttl=1.0)
+        assert index.first_sighting("k", now=0.0)
+        assert not index.first_sighting("k", now=0.9)
+        assert index.first_sighting("k", now=1.5)
+
+    def test_repeat_sighting_does_not_refresh_ttl(self):
+        index = DedupIndex(ttl=1.0)
+        index.first_sighting("k", now=0.0)
+        index.first_sighting("k", now=0.9)  # suppressed, must not re-arm
+        assert index.first_sighting("k", now=1.5)
+
+    def test_max_entries_bounds_memory(self):
+        index = DedupIndex(max_entries=10)
+        for i in range(50):
+            index.first_sighting(f"k{i}", now=float(i))
+        assert len(index) <= 10
+
+
+class TestDurableLog:
+    def test_append_apply_unapplied(self):
+        log = DurableLog("b0")
+        first = Event(event_type="msg", attributes={"n": 1})
+        second = Event(event_type="msg", attributes={"n": 2})
+        log.append(first, at=0.0)
+        log.append(second, at=0.1)
+        log.mark_applied(first.event_id)
+        assert [entry.event.event_id for entry in log.unapplied()] == [
+            second.event_id
+        ]
+
+    def test_append_is_idempotent_per_event(self):
+        log = DurableLog("b0")
+        event = Event(event_type="msg", attributes={})
+        log.append(event, at=0.0)
+        log.append(event, at=0.5, deferred=True)
+        assert len(log) == 1
+        assert log.get(event.event_id).deferred
+
+    def test_file_round_trip(self, tmp_path):
+        path = str(tmp_path / "b0.events.log")
+        log = DurableLog("b0", path=path)
+        events = [
+            Event(event_type="msg", attributes={"n": i, "s": f"v{i}"})
+            for i in range(4)
+        ]
+        for event in events:
+            log.append(event, at=float(event.attributes["n"]))
+        log.mark_applied(events[0].event_id)
+        log.mark_applied(events[2].event_id)
+        log.close()
+
+        loaded = DurableLog.load("b0", path)
+        assert [e.event.event_id for e in loaded.entries] == [
+            e.event_id for e in events
+        ]
+        assert [e.event.event_id for e in loaded.unapplied()] == [
+            events[1].event_id,
+            events[3].event_id,
+        ]
+        # Attribute payloads survive the JSON round trip.
+        assert loaded.entries[3].event.attributes == {"n": 3, "s": "v3"}
+
+    def test_file_appends_across_reopen(self, tmp_path):
+        path = str(tmp_path / "b0.events.log")
+        first = Event(event_type="msg", attributes={})
+        second = Event(event_type="msg", attributes={})
+        log = DurableLog("b0", path=path)
+        log.append(first, at=0.0)
+        log.close()
+        log = DurableLog("b0", path=path)
+        log.append(second, at=1.0)
+        log.close()
+        assert len(DurableLog.load("b0", path)) == 2
+
+
+def _durable_cluster(topology="line", num_brokers=3):
+    cluster = BrokerCluster(allow_cycles=(topology in ("ring", "mesh")))
+    names = build_cluster_topology(topology, num_brokers, cluster)
+    durability = DurabilityManager(cluster)
+    deliveries = []
+    durability.on_delivery(
+        lambda broker, subscriber, event, subscription: deliveries.append(
+            (event.event_id, subscription.subscription_id)
+        )
+    )
+    return cluster, durability, names, deliveries
+
+
+class TestDurabilityManager:
+    def test_publish_to_down_broker_is_deferred_then_replayed(self):
+        cluster, durability, names, deliveries = _durable_cluster()
+        sub = Subscription(event_type="msg", subscriber="a")
+        cluster.subscribe("b2", sub)
+        cluster.crash_broker("b0")
+        event = Event(event_type="msg", attributes={})
+        cluster.publish("b0", event)
+        cluster.run()
+        assert durability.publishes_deferred == 1
+        assert deliveries == []
+
+        cluster.recover_broker("b0")
+        cluster.run()
+        assert durability.events_replayed >= 1
+        assert deliveries == [(event.event_id, sub.subscription_id)]
+
+    def test_replay_at_risk_is_noop_without_faults(self):
+        cluster, durability, names, deliveries = _durable_cluster()
+        cluster.subscribe("b2", Subscription(event_type="msg", subscriber="a"))
+        cluster.publish("b0", Event(event_type="msg", attributes={}))
+        cluster.run()
+        assert durability.replay_at_risk() == 0
+        assert len(deliveries) == 1
+
+    def test_replay_after_fault_is_exactly_once(self):
+        cluster, durability, names, deliveries = _durable_cluster()
+        sub = Subscription(event_type="msg", subscriber="a")
+        cluster.subscribe("b2", sub)
+        events = [Event(event_type="msg", attributes={"n": i}) for i in range(5)]
+        for event in events:
+            cluster.publish("b0", event)
+        cluster.run()
+        cluster.crash_broker("b1")
+        cluster.recover_broker("b1")
+        replayed = durability.replay_at_risk()
+        cluster.run()
+        assert replayed == len(events)
+        # Redeliveries collapsed by the subscriber-side index: the
+        # observable stream is still one delivery per pair.
+        assert sorted(deliveries) == sorted(
+            (event.event_id, sub.subscription_id) for event in events
+        )
+        assert durability.client_duplicates_suppressed >= len(events)
+
+    def test_second_manager_attachment_rejected(self):
+        cluster, durability, names, _ = _durable_cluster()
+        with pytest.raises(ValueError):
+            DurabilityManager(cluster)
+
+    def test_counters_flow_into_metrics(self):
+        cluster, durability, names, _ = _durable_cluster()
+        cluster.subscribe("b2", Subscription(event_type="msg", subscriber="a"))
+        cluster.publish("b0", Event(event_type="msg", attributes={}))
+        cluster.run()
+        counters = cluster.metrics.snapshot()["counters"]
+        assert counters["durable.events_logged"] == 1
+        assert durability.events_logged == 1
+        assert durability.deliveries == 1

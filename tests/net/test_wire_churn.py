@@ -1,0 +1,259 @@
+"""Wire-level churn: SIGKILL a broker process mid-run and verify the
+fabric heals end-to-end.
+
+Two properties are pinned here:
+
+* **reconnect + resubscribe replay** — a subscriber whose broker is
+  SIGKILL'd re-dials under :class:`~repro.net.client.ReconnectBackoff`
+  (exponential, jittered), replays its held subscriptions, and the
+  post-recovery wave is delivered *identically* to the sim-clock twin /
+  single-engine ground truth;
+* **crash-proof publish log** — with ``REPRO_BROKER_EVENT_LOG_DIR`` set,
+  every publish a broker acked before the SIGKILL is still in its
+  on-disk JSON-lines log afterwards, and the log survives (appends
+  across) the restart.
+
+Run by CI's exactly-once-oracle job; on failure the broker logs are
+dumped into the assertion message (and uploaded as artifacts).
+"""
+
+import asyncio
+import os
+from typing import Dict, List, Set, Tuple
+
+import pytest
+
+from repro.cluster.broker_cluster import BrokerCluster, build_cluster_topology
+from repro.cluster.durable import DurableLog
+from repro.experiments.substrate import make_event, make_subscription
+from repro.net.client import BrokerClient, ReconnectBackoff, connect
+from repro.net.driver import await_convergence, expected_deliveries
+from repro.net.launcher import WireCluster, topology_specs
+from repro.sim.rng import SeededRNG
+
+TOPICS = ["sports", "politics", "weather", "finance", "music"]
+
+# Fast, jittered: the killed broker is back within a couple of seconds,
+# so cap the delay low but keep jitter on — the point is to exercise the
+# spread, not to wait politely.
+BACKOFF = ReconnectBackoff(initial=0.05, multiplier=2.0, max_delay=0.5, jitter=0.25)
+
+
+def make_workload(seed: int, num_brokers: int, num_subs: int, waves: Tuple[int, ...]):
+    rng = SeededRNG(seed)
+    placements = [
+        (
+            f"b{index % num_brokers}",
+            make_subscription(rng, TOPICS, subscriber=f"client-{index}"),
+        )
+        for index in range(num_subs)
+    ]
+    stamp = 0
+    event_waves: List[List] = []
+    for count in waves:
+        wave = []
+        for _ in range(count):
+            wave.append(make_event(rng, TOPICS, timestamp=float(stamp)))
+            stamp += 1
+        event_waves.append(wave)
+    return placements, event_waves
+
+
+def sim_twin_set(topology: str, num_brokers: int, placements, events) -> Set[Tuple[str, str]]:
+    """The healthy sim-clock cluster's delivery set for one wave — what
+    the wire path must reproduce once it has healed."""
+    cluster = BrokerCluster()
+    build_cluster_topology(topology, num_brokers, cluster)
+    seen: Set[Tuple[str, str]] = set()
+    cluster.on_delivery(
+        lambda _broker, _subscriber, event, subscription: seen.add(
+            (event.event_id, subscription.subscription_id)
+        )
+    )
+    for broker_name, subscription in placements:
+        cluster.subscribe(broker_name, subscription)
+    for event in events:
+        cluster.publish("b0", event)
+    cluster.run()
+    return seen
+
+
+async def _await_broker_state(
+    cluster: WireCluster, name: str, min_local: int, min_remote: int, timeout: float = 20.0
+) -> None:
+    """Poll a fresh probe session until the (restarted) broker holds its
+    resubscribed locals and its peers' re-advertised remotes."""
+    probe = await connect(*cluster.address(name), name=f"probe@{name}")
+    try:
+        deadline = asyncio.get_running_loop().time() + timeout
+        while True:
+            stats = await probe.stats()
+            if (
+                int(stats.get("subscriptions", -1)) >= min_local
+                and int(stats.get("routing_table", -1)) >= min_remote
+            ):
+                return
+            if asyncio.get_running_loop().time() > deadline:
+                raise TimeoutError(
+                    f"broker {name} did not recover state within {timeout:.0f}s "
+                    f"(stats: {stats})"
+                )
+            await asyncio.sleep(0.05)
+    finally:
+        await probe.close()
+
+
+async def run_churn_workload(
+    cluster: WireCluster,
+    placements,
+    wave1,
+    wave2,
+    kill_name: str,
+    collect_timeout: float = 30.0,
+):
+    """Wave 1 → SIGKILL ``kill_name`` → restart → reconnect/resubscribe →
+    wave 2.  Returns (wave1 pairs, wave2 pairs) actually delivered."""
+    subscriptions = [s for _, s in placements]
+    expected1 = expected_deliveries(subscriptions, wave1)
+    expected2 = expected_deliveries(subscriptions, wave2)
+    by_broker: Dict[str, List] = {}
+    for broker_name, subscription in placements:
+        by_broker.setdefault(broker_name, []).append(subscription)
+    local_counts = {name: len(subs) for name, subs in by_broker.items()}
+    total = sum(local_counts.values())
+
+    got: Set[Tuple[str, str]] = set()
+    remaining: Set[Tuple[str, str]] = set(expected1)
+    done = asyncio.Event()
+    clients: Dict[str, BrokerClient] = {}
+    collectors: List[asyncio.Task] = []
+
+    async def collect(client: BrokerClient) -> None:
+        async for delivery in client.events():
+            for subscription_id in delivery.subscription_ids:
+                pair = (delivery.event.event_id, subscription_id)
+                got.add(pair)
+                remaining.discard(pair)
+            if not remaining:
+                done.set()
+
+    try:
+        for broker_name, subs in by_broker.items():
+            client = await connect(
+                *cluster.address(broker_name),
+                name=f"sub@{broker_name}",
+                reconnect_backoff=BACKOFF,
+            )
+            clients[broker_name] = client
+            await client.subscribe_many(subs)
+            collectors.append(asyncio.create_task(collect(client)))
+        await await_convergence(clients, local_counts)
+
+        publisher = await connect(
+            *cluster.address("b0"), name="publisher", reconnect_backoff=BACKOFF
+        )
+        try:
+            # Wave 1: healthy cluster.
+            await publisher.publish_many(wave1)
+            await asyncio.wait_for(done.wait(), timeout=collect_timeout)
+            wave1_got = set(got)
+
+            # The churn fault: SIGKILL mid-session, no goodbye frames.
+            cluster.kill(kill_name)
+            cluster.restart(kill_name)
+            # The killed broker's subscriber re-dials under BACKOFF and
+            # replays its subscriptions; peers re-dial and re-advertise.
+            await _await_broker_state(
+                cluster,
+                kill_name,
+                min_local=local_counts.get(kill_name, 0),
+                min_remote=total - local_counts.get(kill_name, 0),
+            )
+
+            # Wave 2: must be delivered as if the crash never happened.
+            done.clear()
+            remaining.update(expected2)
+            await publisher.publish_many(wave2)
+            await asyncio.wait_for(done.wait(), timeout=collect_timeout)
+            wave2_got = set(got) - wave1_got
+        finally:
+            await publisher.close()
+    finally:
+        for task in collectors:
+            task.cancel()
+        await asyncio.gather(*collectors, return_exceptions=True)
+        for client in clients.values():
+            await client.close()
+    return wave1_got, wave2_got, expected1, expected2
+
+
+@pytest.mark.parametrize("topology, num_brokers, kill_name", [("line", 3, "b2")])
+def test_sigkill_reconnect_resubscribe_matches_sim(topology, num_brokers, kill_name):
+    placements, (wave1, wave2) = make_workload(
+        seed=7100 + num_brokers, num_brokers=num_brokers, num_subs=18, waves=(30, 30)
+    )
+    twin1 = sim_twin_set(topology, num_brokers, placements, wave1)
+    twin2 = sim_twin_set(topology, num_brokers, placements, wave2)
+    assert twin1 and twin2, "degenerate workload: a wave matches nothing"
+
+    with WireCluster(topology_specs(topology, num_brokers)) as cluster:
+        try:
+            wave1_got, wave2_got, expected1, expected2 = asyncio.run(
+                run_churn_workload(cluster, placements, wave1, wave2, kill_name)
+            )
+        except (TimeoutError, asyncio.TimeoutError) as exc:
+            logs = "\n".join(
+                f"--- {name} ---\n{cluster.logs(name)}" for name in cluster.names
+            )
+            pytest.fail(f"wire churn run did not complete: {exc}\n{logs}")
+
+    assert expected1 == twin1 and expected2 == twin2, "sim twin diverged from ground truth"
+    assert wave1_got == twin1, (
+        f"pre-crash wave diverged: missing={len(twin1 - wave1_got)} "
+        f"extra={len(wave1_got - twin1)}"
+    )
+    assert wave2_got == twin2, (
+        f"post-recovery wave diverged from the sim twin: "
+        f"missing={len(twin2 - wave2_got)} extra={len(wave2_got - twin2)}"
+    )
+
+
+async def _publish_acked(cluster: WireCluster, broker: str, events) -> None:
+    publisher = await connect(*cluster.address(broker), name="publisher")
+    try:
+        for event in events:
+            await publisher.publish(event)  # each ack means the broker accepted it
+    finally:
+        await publisher.close()
+
+
+def test_event_log_survives_sigkill(tmp_path, monkeypatch):
+    """Everything a broker acked before SIGKILL is on disk afterwards,
+    and the log appends (not truncates) across the restart."""
+    monkeypatch.setenv("REPRO_BROKER_EVENT_LOG_DIR", str(tmp_path))
+    rng = SeededRNG(4242)
+    wave1 = [make_event(rng, TOPICS, timestamp=float(i)) for i in range(10)]
+    wave2 = [make_event(rng, TOPICS, timestamp=10.0 + i) for i in range(5)]
+    log_path = os.path.join(str(tmp_path), "b0.events.log")
+
+    with WireCluster(topology_specs("line", 2)) as cluster:
+        asyncio.run(_publish_acked(cluster, "b0", wave1))
+        cluster.kill("b0")
+
+        recovered = DurableLog.load("b0", log_path)
+        logged = {entry.event.event_id for entry in recovered.entries}
+        assert logged >= {event.event_id for event in wave1}, (
+            "acked publishes missing from the crash-proof log"
+        )
+        assert all(entry.applied for entry in recovered.entries), (
+            "acked publishes should have been marked applied before the kill"
+        )
+
+        cluster.restart("b0")
+        asyncio.run(_publish_acked(cluster, "b0", wave2))
+
+    after = DurableLog.load("b0", log_path)
+    logged_after = {entry.event.event_id for entry in after.entries}
+    assert logged_after >= {e.event_id for e in wave1 + wave2}, (
+        "restart truncated the publish log instead of appending"
+    )

@@ -1,0 +1,219 @@
+"""Randomized durability storm: mesh + replication + replay ≡ exactly-once.
+
+The durable-delivery stack's whole claim, exercised the adversarial way:
+seeded *random cyclic* overlays (ring + random chords), replicated
+subscription placement, Poisson crash/recovery churn with the heartbeat
+detector driving failover/failback, durable ingress logging with
+post-heal replay — and at the end the observable delivery multiset must
+equal the single-engine oracle **exactly once per pair**: nothing lost to
+the churn, nothing duplicated by the redundant paths or the replay.
+
+Routing state is held to the same standard: ``verify_repairs`` arms the
+per-mutation cross-check (every failover/failback placement delta is
+compared against :meth:`RoutingFabric.rebuilt_snapshot` as it happens),
+and the final healed fabric must be snapshot-identical to a rebuild.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+import pytest
+
+from repro.cluster.broker_cluster import BrokerCluster
+from repro.cluster.durable import DurabilityManager
+from repro.cluster.faults import FaultInjector, FaultPlan, crash, recover
+from repro.cluster.recovery import FailureDetector, routing_converged
+from repro.cluster.replication import ReplicationManager
+from repro.experiments.substrate import make_event, make_subscription
+from repro.pubsub.matching import MatchingEngine
+from repro.sim.engine import SimulationEngine
+from repro.sim.rng import SeededRNG
+
+TOPICS = [f"topic{i:02d}" for i in range(8)]
+
+HEARTBEAT = 0.02
+DETECT_TIMEOUT = 0.08
+
+
+def build_random_cyclic_cluster(rng: SeededRNG, **kwargs) -> Tuple[BrokerCluster, List[str]]:
+    """A ring over 4–7 brokers plus 1–3 random chords — always cyclic,
+    never the same shape twice across seeds."""
+    num_brokers = rng.randint(4, 7)
+    names = [f"b{i}" for i in range(num_brokers)]
+    cluster = BrokerCluster(sim=SimulationEngine(), allow_cycles=True, **kwargs)
+    for name in names:
+        cluster.add_broker(name)
+    edges: Set[Tuple[int, int]] = set()
+    for index in range(num_brokers):
+        edges.add(tuple(sorted((index, (index + 1) % num_brokers))))
+    for _ in range(rng.randint(1, 3)):
+        first = rng.randint(0, num_brokers - 1)
+        second = rng.randint(0, num_brokers - 1)
+        if first != second:
+            edges.add(tuple(sorted((first, second))))
+    for left, right in sorted(edges):
+        cluster.connect(names[left], names[right])
+    return cluster, names
+
+
+def oracle_pairs(subscriptions, events) -> Set[Tuple[str, str]]:
+    engine = MatchingEngine()
+    for subscription in subscriptions:
+        engine.add(subscription)
+    pairs: Set[Tuple[str, str]] = set()
+    for event, row in zip(events, engine.match_batch(list(events))):
+        for subscription in row:
+            pairs.add((event.event_id, subscription.subscription_id))
+    return pairs
+
+
+class TestDurabilityStorm:
+    @pytest.mark.parametrize(
+        "seed, replication_factor, crash_rate",
+        [(11, 1, 0.5), (47, 2, 0.8), (83, 2, 0.5), (131, 1, 0.8)],
+    )
+    def test_exactly_once_through_mesh_crash_replay(
+        self, seed, replication_factor, crash_rate
+    ):
+        rng = SeededRNG(seed)
+        cluster, names = build_random_cyclic_cluster(rng.fork("topo"))
+        cluster.fabric.verify_repairs = True
+        durability = DurabilityManager(cluster)
+        replication = ReplicationManager(
+            cluster, replication_factor=replication_factor
+        )
+
+        sub_rng = rng.fork("subs")
+        subscriptions = [
+            make_subscription(sub_rng, TOPICS, subscriber=f"user{i % 7}")
+            for i in range(30)
+        ]
+        placement_rng = rng.fork("placement")
+        for subscription in subscriptions:
+            home = names[placement_rng.randint(0, len(names) - 1)]
+            replication.subscribe(home, subscription)
+        assert routing_converged(cluster.fabric)
+
+        detector = FailureDetector(
+            cluster, period=HEARTBEAT, timeout=DETECT_TIMEOUT
+        )
+        plan = FaultPlan.random_churn(
+            names,
+            rng.fork("faults"),
+            start=0.4,
+            end=3.0,
+            crash_rate=crash_rate,
+            recovery_delay=0.4,
+        )
+        injector = FaultInjector(cluster, plan)
+        injector.schedule()
+
+        counts: Dict[Tuple[str, str], int] = {}
+        durability.on_delivery(
+            lambda _broker, _subscriber, event, subscription: counts.__setitem__(
+                (event.event_id, subscription.subscription_id),
+                counts.get(
+                    (event.event_id, subscription.subscription_id), 0
+                )
+                + 1,
+            )
+        )
+
+        event_rng = rng.fork("events")
+        events = [
+            make_event(event_rng, TOPICS, timestamp=float(i)) for i in range(100)
+        ]
+        publish_rng = rng.fork("publish")
+        at = 0.0
+        for event in events:
+            at += publish_rng.expovariate(40.0)
+            cluster.publish_at(
+                at, names[publish_rng.randint(0, len(names) - 1)], event
+            )
+
+        horizon = (
+            max(3.0, plan.last_time, at + 0.5)
+            + DETECT_TIMEOUT
+            + 6.0 * HEARTBEAT
+            + 0.25
+        )
+        detector.start(until=horizon + 2.0)
+        cluster.run(until=horizon)
+        cluster.run()  # drain detector restores / failbacks
+        durability.replay_at_risk()
+        cluster.run()
+
+        expected = oracle_pairs(subscriptions, events)
+        assert expected, "degenerate workload: the oracle expects nothing"
+        got = set(counts)
+        missing = expected - got
+        extra = got - expected
+        duplicated = {pair for pair, count in counts.items() if count > 1}
+        assert not missing and not extra and not duplicated, (
+            f"exactly-once violated on seed {seed} "
+            f"(R={replication_factor}, crashes={plan.crash_count}, "
+            f"peak_outages={plan.peak_concurrent_outages()}): "
+            f"missing={len(missing)} extra={len(extra)} "
+            f"duplicated={len(duplicated)}"
+        )
+        # Healed fabric must be byte-identical to a rebuild (and every
+        # failover/failback along the way already was, via verify_repairs).
+        assert routing_converged(cluster.fabric), "healed mesh routing diverged"
+
+
+class TestFailoverFailbackSnapshots:
+    @pytest.mark.parametrize("seed, replication_factor", [(5, 1), (23, 2)])
+    def test_failover_then_failback_is_rebuilt_clean(self, seed, replication_factor):
+        rng = SeededRNG(seed)
+        cluster, names = build_random_cyclic_cluster(rng.fork("topo"))
+        cluster.fabric.verify_repairs = True
+        replication = ReplicationManager(
+            cluster, replication_factor=replication_factor
+        )
+
+        sub_rng = rng.fork("subs")
+        primary = names[rng.randint(0, len(names) - 1)]
+        subscriptions = [
+            make_subscription(sub_rng, TOPICS, subscriber=f"user{i}")
+            for i in range(12)
+        ]
+        for index, subscription in enumerate(subscriptions):
+            home = primary if index % 2 == 0 else names[index % len(names)]
+            replication.subscribe(home, subscription)
+        primary_subs = [
+            s.subscription_id
+            for s in subscriptions
+            if replication.record(s.subscription_id).primary == primary
+        ]
+        assert primary_subs, "no subscription homed at the chosen primary"
+
+        detector = FailureDetector(cluster, period=HEARTBEAT, timeout=DETECT_TIMEOUT)
+        injector = FaultInjector(
+            cluster, FaultPlan([crash(0.5, primary), recover(2.0, primary)])
+        )
+        injector.schedule()
+        detector.start(until=4.0)
+
+        # After detection: every primary-homed subscription acts from a
+        # live replica (R >= 1 always leaves one), snapshots stay clean.
+        cluster.run(until=1.5)
+        assert replication.broker_is_dead(primary)
+        for subscription_id in primary_subs:
+            record = replication.record(subscription_id)
+            assert record.acting != primary, (
+                f"subscription {subscription_id} still acting at the dead primary"
+            )
+            assert record.acting in record.candidates
+        assert routing_converged(cluster.fabric), "failover left stale routes"
+
+        # After recovery: failback home, snapshots byte-identical again.
+        cluster.run()
+        assert not replication.broker_is_dead(primary)
+        for subscription_id in primary_subs:
+            record = replication.record(subscription_id)
+            assert record.acting == record.primary
+            assert record.moves >= 2  # out and back
+        assert (
+            cluster.fabric.routing_snapshot() == cluster.fabric.rebuilt_snapshot()
+        ), "failback snapshot diverged from rebuilt"
